@@ -1,0 +1,60 @@
+//! Error type for ANN operations.
+
+use std::fmt;
+
+/// Errors produced by index construction and search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AnnError {
+    /// A vector had a different dimensionality than the index.
+    DimensionMismatch {
+        /// Dimensionality the index expects.
+        expected: usize,
+        /// Dimensionality that was supplied.
+        actual: usize,
+    },
+    /// Training data was too small for the requested configuration.
+    InsufficientTrainingData {
+        /// Number of training vectors required.
+        required: usize,
+        /// Number of training vectors supplied.
+        supplied: usize,
+    },
+    /// A configuration parameter was invalid.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for AnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnnError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: index expects {expected}, got {actual}")
+            }
+            AnnError::InsufficientTrainingData { required, supplied } => {
+                write!(f, "insufficient training data: need {required} vectors, got {supplied}")
+            }
+            AnnError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AnnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = AnnError::DimensionMismatch { expected: 8, actual: 4 };
+        assert_eq!(format!("{e}"), "dimension mismatch: index expects 8, got 4");
+        let e = AnnError::InsufficientTrainingData { required: 10, supplied: 2 };
+        assert!(format!("{e}").contains("need 10"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AnnError>();
+    }
+}

@@ -1,0 +1,308 @@
+//! Hierarchical Navigable Small World graphs (Malkov & Yashunin, 2018).
+//!
+//! The paper keeps coarse quantization on the CPU and notes it "is often
+//! implemented using memory-intensive graph-based structures such as HNSW"
+//! (§IV-A1). This module provides that coarse quantizer: a multi-layer
+//! proximity graph with greedy descent through upper layers and beam search
+//! (`ef`) at the base layer.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Metric, Neighbor, VecSet};
+
+/// Configuration for [`Hnsw::build`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HnswConfig {
+    /// Maximum out-degree per node on layers ≥ 1 (layer 0 allows `2m`).
+    pub m: usize,
+    /// Beam width during construction.
+    pub ef_construction: usize,
+    /// Default beam width during search.
+    pub ef_search: usize,
+    /// Distance metric.
+    pub metric: Metric,
+    /// RNG seed for level assignment.
+    pub seed: u64,
+}
+
+impl Default for HnswConfig {
+    fn default() -> Self {
+        Self { m: 16, ef_construction: 100, ef_search: 64, metric: Metric::L2, seed: 0xb01d }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct HnswNode {
+    /// `neighbors[l]` is the adjacency list on layer `l` (0 = base).
+    neighbors: Vec<Vec<u32>>,
+}
+
+/// A built HNSW graph over a vector set.
+///
+/// # Examples
+///
+/// ```
+/// use vlite_ann::{Hnsw, HnswConfig, VecSet};
+///
+/// let data = VecSet::from_fn(200, 2, |i, j| (i * 2 + j) as f32);
+/// let hnsw = Hnsw::build(&data, &HnswConfig::default());
+/// let hits = hnsw.search(data.get(42), 1, 32);
+/// assert_eq!(hits[0].id, 42);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Hnsw {
+    data: VecSet,
+    nodes: Vec<HnswNode>,
+    entry: u32,
+    max_level: usize,
+    metric: Metric,
+    config: HnswConfig,
+}
+
+impl Hnsw {
+    /// Builds a graph over `data` by sequential insertion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or `config.m == 0`.
+    pub fn build(data: &VecSet, config: &HnswConfig) -> Hnsw {
+        assert!(!data.is_empty(), "HNSW needs at least one vector");
+        assert!(config.m > 0, "HNSW connectivity m must be >= 1");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let ml = 1.0 / (config.m as f64).ln().max(0.7);
+        let mut hnsw = Hnsw {
+            data: data.clone(),
+            nodes: Vec::with_capacity(data.len()),
+            entry: 0,
+            max_level: 0,
+            metric: config.metric,
+            config: config.clone(),
+        };
+        for i in 0..data.len() {
+            let u: f64 = rng.random::<f64>().max(1e-12);
+            let level = ((-u.ln()) * ml).floor() as usize;
+            hnsw.insert(i as u32, level);
+        }
+        hnsw
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph is empty (never true for a built graph).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Approximate memory footprint of the graph edges in bytes — the
+    /// overhead the paper cites as HNSW's weakness at scale.
+    pub fn edge_bytes(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| n.neighbors.iter().map(|adj| adj.len() * 4).sum::<usize>())
+            .sum()
+    }
+
+    fn dist(&self, a: &[f32], node: u32) -> f32 {
+        self.metric.score(a, self.data.get(node as usize))
+    }
+
+    fn insert(&mut self, id: u32, level: usize) {
+        let node = HnswNode { neighbors: vec![Vec::new(); level + 1] };
+        self.nodes.push(node);
+        if self.nodes.len() == 1 {
+            self.entry = id;
+            self.max_level = level;
+            return;
+        }
+        let query = self.data.get(id as usize).to_vec();
+        let mut current = self.entry;
+        // Greedy descent through layers above the new node's level.
+        for l in ((level + 1)..=self.max_level).rev() {
+            current = self.greedy_step(&query, current, l);
+        }
+        // Beam-connect on each layer the node participates in.
+        for l in (0..=level.min(self.max_level)).rev() {
+            let found = self.search_layer(&query, current, self.config.ef_construction, l);
+            current = found.first().map_or(current, |n| n.id as u32);
+            let max_degree = if l == 0 { 2 * self.config.m } else { self.config.m };
+            let selected: Vec<u32> =
+                found.iter().take(self.config.m).map(|n| n.id as u32).collect();
+            self.nodes[id as usize].neighbors[l] = selected.clone();
+            for &peer in &selected {
+                let adj = &mut self.nodes[peer as usize].neighbors[l];
+                adj.push(id);
+                if adj.len() > max_degree {
+                    // Prune to the max_degree closest neighbors of `peer`.
+                    let peer_vec = self.data.get(peer as usize).to_vec();
+                    let mut scored: Vec<(f32, u32)> = self.nodes[peer as usize].neighbors[l]
+                        .iter()
+                        .map(|&nb| (self.metric.score(&peer_vec, self.data.get(nb as usize)), nb))
+                        .collect();
+                    scored.sort_by(|a, b| a.0.total_cmp(&b.0));
+                    scored.truncate(max_degree);
+                    self.nodes[peer as usize].neighbors[l] =
+                        scored.into_iter().map(|(_, nb)| nb).collect();
+                }
+            }
+        }
+        if level > self.max_level {
+            self.max_level = level;
+            self.entry = id;
+        }
+    }
+
+    fn greedy_step(&self, query: &[f32], start: u32, layer: usize) -> u32 {
+        let mut current = start;
+        let mut current_d = self.dist(query, current);
+        loop {
+            let mut improved = false;
+            for &nb in &self.nodes[current as usize].neighbors[layer] {
+                let d = self.dist(query, nb);
+                if d < current_d {
+                    current = nb;
+                    current_d = d;
+                    improved = true;
+                }
+            }
+            if !improved {
+                return current;
+            }
+        }
+    }
+
+    /// Beam search on one layer; returns up to `ef` closest nodes, sorted.
+    fn search_layer(&self, query: &[f32], entry: u32, ef: usize, layer: usize) -> Vec<Neighbor> {
+        let mut visited = vec![false; self.nodes.len()];
+        visited[entry as usize] = true;
+        let entry_d = self.dist(query, entry);
+        // Min-heap of candidates to expand; max-heap of current results.
+        let mut candidates = BinaryHeap::new();
+        candidates.push(Reverse(Neighbor::new(entry as u64, entry_d)));
+        let mut results: BinaryHeap<Neighbor> = BinaryHeap::new();
+        results.push(Neighbor::new(entry as u64, entry_d));
+        while let Some(Reverse(cand)) = candidates.pop() {
+            let worst = results.peek().expect("results never empty").distance;
+            if cand.distance > worst && results.len() >= ef {
+                break;
+            }
+            for &nb in &self.nodes[cand.id as usize].neighbors[layer] {
+                if visited[nb as usize] {
+                    continue;
+                }
+                visited[nb as usize] = true;
+                let d = self.dist(query, nb);
+                let worst = results.peek().expect("non-empty").distance;
+                if results.len() < ef || d < worst {
+                    candidates.push(Reverse(Neighbor::new(nb as u64, d)));
+                    results.push(Neighbor::new(nb as u64, d));
+                    if results.len() > ef {
+                        results.pop();
+                    }
+                }
+            }
+        }
+        let mut out = results.into_vec();
+        out.sort_unstable();
+        out
+    }
+
+    /// Returns the approximate `k` nearest neighbors using beam width `ef`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.len()` differs from the indexed dimensionality.
+    pub fn search(&self, query: &[f32], k: usize, ef: usize) -> Vec<Neighbor> {
+        assert_eq!(query.len(), self.data.dim(), "query has wrong dimensionality");
+        let mut current = self.entry;
+        for l in (1..=self.max_level).rev() {
+            current = self.greedy_step(query, current, l);
+        }
+        let ef = ef.max(k);
+        let mut found = self.search_layer(query, current, ef, 0);
+        found.truncate(k);
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FlatIndex;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_data(n: usize, dim: usize, seed: u64) -> VecSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        VecSet::from_fn(n, dim, |_, _| rng.random::<f32>())
+    }
+
+    #[test]
+    fn exact_match_found() {
+        let data = random_data(500, 8, 1);
+        let hnsw = Hnsw::build(&data, &HnswConfig::default());
+        for i in (0..500).step_by(61) {
+            let hits = hnsw.search(data.get(i), 1, 64);
+            assert_eq!(hits[0].id, i as u64, "query {i} should find itself");
+        }
+    }
+
+    #[test]
+    fn recall_at_10_beats_090_vs_flat() {
+        let data = random_data(2000, 16, 2);
+        let hnsw = Hnsw::build(&data, &HnswConfig::default());
+        let flat = FlatIndex::new(data.clone(), Metric::L2);
+        let mut recall_sum = 0.0;
+        let trials = 50;
+        for q in 0..trials {
+            let query: Vec<f32> = {
+                let mut rng = StdRng::seed_from_u64(100 + q);
+                (0..16).map(|_| rng.random::<f32>()).collect()
+            };
+            let truth: Vec<u64> = flat.search(&query, 10).iter().map(|n| n.id).collect();
+            let approx = hnsw.search(&query, 10, 128);
+            let hit = approx.iter().filter(|n| truth.contains(&n.id)).count();
+            recall_sum += hit as f64 / 10.0;
+        }
+        let recall = recall_sum / trials as f64;
+        assert!(recall > 0.9, "HNSW recall@10 too low: {recall}");
+    }
+
+    #[test]
+    fn single_vector_graph() {
+        let data = random_data(1, 4, 3);
+        let hnsw = Hnsw::build(&data, &HnswConfig::default());
+        let hits = hnsw.search(&[0.0; 4], 5, 10);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = random_data(300, 8, 4);
+        let a = Hnsw::build(&data, &HnswConfig::default());
+        let b = Hnsw::build(&data, &HnswConfig::default());
+        let qa = a.search(data.get(5), 7, 50);
+        let qb = b.search(data.get(5), 7, 50);
+        assert_eq!(qa, qb);
+    }
+
+    #[test]
+    fn edge_bytes_grows_with_size() {
+        let small = Hnsw::build(&random_data(100, 4, 5), &HnswConfig::default());
+        let large = Hnsw::build(&random_data(1000, 4, 5), &HnswConfig::default());
+        assert!(large.edge_bytes() > small.edge_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one vector")]
+    fn empty_build_rejected() {
+        Hnsw::build(&VecSet::new(4), &HnswConfig::default());
+    }
+}

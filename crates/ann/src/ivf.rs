@@ -1,0 +1,798 @@
+//! Inverted-file (IVF) index with flat, PQ, or fast-scan list storage.
+//!
+//! Search proceeds in the three stages of paper Fig. 2, each separately
+//! exposed so the profiler and the hybrid CPU/GPU runtime can time and
+//! split them:
+//!
+//! 1. **Coarse quantization** ([`IvfIndex::probe`]) — rank clusters by
+//!    centroid distance and keep the closest `nprobe`.
+//! 2. **LUT construction** — build the query's partial-distance table
+//!    (PQ/fast-scan storage only).
+//! 3. **LUT scan** ([`IvfIndex::scan_lists`]) — accumulate approximate
+//!    distances over the selected inverted lists and keep the top-k.
+
+use rand::rngs::StdRng;
+use rand::seq::index::sample;
+use rand::SeedableRng;
+
+use crate::{
+    AnnError, FastScanList, Hnsw, HnswConfig, KMeans, KMeansConfig, Metric, Neighbor, PqConfig,
+    ProductQuantizer, QuantizedLut, Result, TopK, VecSet,
+};
+
+/// How inverted lists store their vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ListStorage {
+    /// Full-precision vectors (IVF-Flat).
+    Flat,
+    /// PQ codes scanned against a full-precision LUT (classic IVF-PQ).
+    Pq(PqConfig),
+    /// PQ codes in register-blocked layout with 8-bit LUTs (IVF-PQ
+    /// fast-scan, the paper's CPU baseline).
+    FastScan(PqConfig),
+}
+
+/// How coarse quantization ranks centroids.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoarseKind {
+    /// Exact scan over all centroids.
+    Exact,
+    /// HNSW graph over the centroids (the paper's assumption for large
+    /// `nlist`).
+    Hnsw(HnswConfig),
+}
+
+/// Configuration for [`IvfIndex::train`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct IvfConfig {
+    /// Number of inverted lists (clusters).
+    pub nlist: usize,
+    /// Distance metric.
+    pub metric: Metric,
+    /// List storage scheme.
+    pub storage: ListStorage,
+    /// Coarse quantizer structure.
+    pub coarse: CoarseKind,
+    /// k-means iterations for centroid training.
+    pub train_iters: usize,
+    /// Max training vectors sampled for k-means (Faiss-style cap so huge
+    /// adds don't make training quadratic).
+    pub max_train_points: usize,
+    /// Encode PQ codes over residuals `v − centroid` instead of raw
+    /// vectors. Improves quantization resolution inside tight clusters at
+    /// the cost of one LUT construction *per probed cluster* — the
+    /// per-probe "LUT Cmp" stage of the paper's latency breakdown (Fig. 3).
+    pub by_residual: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl IvfConfig {
+    /// Creates a config with `nlist` clusters, IVF-Flat storage, and exact
+    /// coarse quantization.
+    pub fn new(nlist: usize) -> Self {
+        Self {
+            nlist,
+            metric: Metric::L2,
+            storage: ListStorage::Flat,
+            coarse: CoarseKind::Exact,
+            train_iters: 10,
+            max_train_points: 65_536,
+            by_residual: false,
+            seed: 0x1f,
+        }
+    }
+
+    /// Enables residual PQ encoding (see [`IvfConfig::by_residual`]).
+    pub fn by_residual(mut self, enable: bool) -> Self {
+        self.by_residual = enable;
+        self
+    }
+
+    /// Sets the list storage scheme.
+    pub fn storage(mut self, storage: ListStorage) -> Self {
+        self.storage = storage;
+        self
+    }
+
+    /// Sets the coarse quantizer structure.
+    pub fn coarse(mut self, coarse: CoarseKind) -> Self {
+        self.coarse = coarse;
+        self
+    }
+
+    /// Sets the metric.
+    pub fn metric(mut self, metric: Metric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// One coarse-quantization result: a cluster and its centroid distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Probe {
+    /// Cluster (inverted list) id.
+    pub list: u32,
+    /// Query-to-centroid score (smaller is closer).
+    pub distance: f32,
+}
+
+#[derive(Debug, Clone)]
+enum ListData {
+    Flat(VecSet),
+    Pq(Vec<u8>),
+    FastScan(FastScanList),
+}
+
+#[derive(Debug, Clone)]
+struct InvertedList {
+    ids: Vec<u64>,
+    data: ListData,
+}
+
+impl InvertedList {
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn bytes(&self, code_bytes: usize, dim: usize) -> usize {
+        let payload = match &self.data {
+            ListData::Flat(v) => v.len() * dim * 4,
+            ListData::Pq(codes) => codes.len(),
+            ListData::FastScan(fs) => fs.bytes().saturating_sub(fs.len() * 8),
+        };
+        payload + self.ids.len() * 8 + code_bytes * 0
+    }
+}
+
+/// An IVF index: k-means centroids plus one inverted list per cluster.
+///
+/// # Examples
+///
+/// ```
+/// use vlite_ann::{IvfConfig, IvfIndex, ListStorage, PqConfig, VecSet};
+/// use rand::{Rng, SeedableRng};
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let data = VecSet::from_fn(2048, 16, |_, _| rng.random::<f32>());
+/// let cfg = IvfConfig::new(16)
+///     .storage(ListStorage::FastScan(PqConfig { m: 4, ksub: 16, train_iters: 4, seed: 9 }));
+/// let index = IvfIndex::train(&data, &cfg)?;
+/// let hits = index.search(data.get(100), 10, 8);
+/// assert!(hits.iter().any(|n| n.id == 100));
+/// # Ok::<(), vlite_ann::AnnError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct IvfIndex {
+    config: IvfConfig,
+    dim: usize,
+    centroids: KMeans,
+    coarse_graph: Option<Hnsw>,
+    pq: Option<ProductQuantizer>,
+    lists: Vec<InvertedList>,
+    ntotal: usize,
+}
+
+impl IvfIndex {
+    /// Trains centroids (and PQ codebooks if configured) on `data` and adds
+    /// all of `data` to the index with sequential ids.
+    ///
+    /// # Errors
+    ///
+    /// Propagates k-means/PQ training errors (insufficient data, invalid
+    /// configuration).
+    pub fn train(data: &VecSet, config: &IvfConfig) -> Result<IvfIndex> {
+        let mut index = IvfIndex::train_empty(data, config)?;
+        let ids: Vec<u64> = (0..data.len() as u64).collect();
+        index.add(&ids, data)?;
+        Ok(index)
+    }
+
+    /// Trains the quantizers only, returning an index with empty lists.
+    ///
+    /// # Errors
+    ///
+    /// See [`IvfIndex::train`].
+    pub fn train_empty(data: &VecSet, config: &IvfConfig) -> Result<IvfIndex> {
+        if config.nlist == 0 {
+            return Err(AnnError::InvalidConfig("nlist must be >= 1".into()));
+        }
+        if config.metric == Metric::Cosine && !matches!(config.storage, ListStorage::Flat) {
+            return Err(AnnError::InvalidConfig(
+                "cosine metric requires flat list storage (norms do not decompose over PQ subspaces)"
+                    .into(),
+            ));
+        }
+        if config.by_residual && matches!(config.storage, ListStorage::Flat) {
+            return Err(AnnError::InvalidConfig(
+                "residual encoding only applies to PQ-based list storage".into(),
+            ));
+        }
+        // Subsample training points, Faiss-style.
+        let train_set: VecSet = if data.len() > config.max_train_points {
+            let mut rng = StdRng::seed_from_u64(config.seed);
+            let rows: Vec<usize> =
+                sample(&mut rng, data.len(), config.max_train_points).into_iter().collect();
+            data.select(&rows)
+        } else {
+            data.clone()
+        };
+        let km_cfg = KMeansConfig::new(config.nlist)
+            .max_iters(config.train_iters)
+            .seed(config.seed);
+        let centroids = KMeans::train(&train_set, &km_cfg)?;
+        let coarse_graph = match &config.coarse {
+            CoarseKind::Exact => None,
+            CoarseKind::Hnsw(hnsw_cfg) => Some(Hnsw::build(centroids.centroids(), hnsw_cfg)),
+        };
+        let pq = match &config.storage {
+            ListStorage::Flat => None,
+            ListStorage::Pq(pq_cfg) | ListStorage::FastScan(pq_cfg) => {
+                if config.by_residual {
+                    // Codebooks must cover the residual, not raw, space.
+                    let assignment = centroids.assign(&train_set);
+                    let residuals = VecSet::from_fn(train_set.len(), train_set.dim(), |i, j| {
+                        train_set.get(i)[j]
+                            - centroids.centroids().get(assignment[i] as usize)[j]
+                    });
+                    Some(ProductQuantizer::train(&residuals, pq_cfg)?)
+                } else {
+                    Some(ProductQuantizer::train(&train_set, pq_cfg)?)
+                }
+            }
+        };
+        let lists = (0..config.nlist)
+            .map(|_| InvertedList {
+                ids: Vec::new(),
+                data: match &config.storage {
+                    ListStorage::Flat => ListData::Flat(VecSet::new(data.dim())),
+                    ListStorage::Pq(_) => ListData::Pq(Vec::new()),
+                    ListStorage::FastScan(_) => ListData::FastScan(FastScanList::default()),
+                },
+            })
+            .collect();
+        Ok(IvfIndex {
+            config: config.clone(),
+            dim: data.dim(),
+            centroids,
+            coarse_graph,
+            pq,
+            lists,
+            ntotal: 0,
+        })
+    }
+
+    /// Adds vectors with explicit ids.
+    ///
+    /// Fast-scan lists are rebuilt per affected cluster (the blocked layout
+    /// is append-unfriendly; the paper likewise rebuilds shards wholesale,
+    /// §IV-B3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::DimensionMismatch`] if `data` has the wrong
+    /// dimensionality and [`AnnError::InvalidConfig`] if `ids` and `data`
+    /// lengths differ.
+    pub fn add(&mut self, ids: &[u64], data: &VecSet) -> Result<()> {
+        if data.dim() != self.dim {
+            return Err(AnnError::DimensionMismatch { expected: self.dim, actual: data.dim() });
+        }
+        if ids.len() != data.len() {
+            return Err(AnnError::InvalidConfig(format!(
+                "ids ({}) and vectors ({}) must have equal length",
+                ids.len(),
+                data.len()
+            )));
+        }
+        let assignment = self.centroids.assign(data);
+        // Group rows by destination list to amortize fast-scan rebuilds.
+        let mut grouped: Vec<Vec<usize>> = vec![Vec::new(); self.lists.len()];
+        for (row, &list) in assignment.iter().enumerate() {
+            grouped[list as usize].push(row);
+        }
+        let by_residual = self.config.by_residual;
+        for (list_id, rows) in grouped.into_iter().enumerate() {
+            if rows.is_empty() {
+                continue;
+            }
+            let centroid: Vec<f32> = if by_residual {
+                self.centroids.centroids().get(list_id).to_vec()
+            } else {
+                Vec::new()
+            };
+            let prep = |v: &[f32]| -> Vec<f32> {
+                if by_residual {
+                    v.iter().zip(&centroid).map(|(x, c)| x - c).collect()
+                } else {
+                    v.to_vec()
+                }
+            };
+            let list = &mut self.lists[list_id];
+            for &row in &rows {
+                list.ids.push(ids[row]);
+            }
+            match &mut list.data {
+                ListData::Flat(store) => {
+                    for &row in &rows {
+                        store.push(data.get(row));
+                    }
+                }
+                ListData::Pq(codes) => {
+                    let pq = self.pq.as_ref().expect("PQ storage implies trained PQ");
+                    for &row in &rows {
+                        codes.extend_from_slice(&pq.encode(&prep(data.get(row))));
+                    }
+                }
+                ListData::FastScan(fs) => {
+                    let pq = self.pq.as_ref().expect("fast-scan storage implies trained PQ");
+                    // The blocked layout is append-unfriendly: recover the
+                    // existing row-major codes, append, and rebuild.
+                    let mut staged = fs.to_codes();
+                    staged.reserve(rows.len() * pq.m());
+                    for &row in &rows {
+                        staged.extend_from_slice(&pq.encode(&prep(data.get(row))));
+                    }
+                    *fs = FastScanList::build(&staged, pq.m(), &list.ids);
+                }
+            }
+        }
+        self.ntotal += data.len();
+        Ok(())
+    }
+
+    /// Total number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.ntotal
+    }
+
+    /// Whether the index holds no vectors.
+    pub fn is_empty(&self) -> bool {
+        self.ntotal == 0
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of inverted lists.
+    pub fn nlist(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Number of vectors in list `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    pub fn list_len(&self, l: usize) -> usize {
+        self.lists[l].len()
+    }
+
+    /// Per-list sizes, the input to the splitter's round-robin packing.
+    pub fn list_sizes(&self) -> Vec<usize> {
+        self.lists.iter().map(InvertedList::len).collect()
+    }
+
+    /// Approximate memory footprint of list `l` in bytes (codes + ids).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    pub fn list_bytes(&self, l: usize) -> usize {
+        let code_bytes = self.pq.as_ref().map_or(0, ProductQuantizer::code_bytes);
+        self.lists[l].bytes(code_bytes, self.dim)
+    }
+
+    /// The trained product quantizer, when the storage scheme uses one.
+    pub fn pq(&self) -> Option<&ProductQuantizer> {
+        self.pq.as_ref()
+    }
+
+    /// The coarse centroids.
+    pub fn centroids(&self) -> &VecSet {
+        self.centroids.centroids()
+    }
+
+    /// Stage 1 — coarse quantization: the `nprobe` closest clusters,
+    /// closest first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.len()` differs from the index dimensionality.
+    pub fn probe(&self, query: &[f32], nprobe: usize) -> Vec<Probe> {
+        assert_eq!(query.len(), self.dim, "query has wrong dimensionality");
+        let nprobe = nprobe.min(self.nlist()).max(1);
+        match &self.coarse_graph {
+            Some(graph) => graph
+                .search(query, nprobe, (2 * nprobe).max(64))
+                .into_iter()
+                .map(|n| Probe { list: n.id as u32, distance: n.distance })
+                .collect(),
+            None => {
+                let mut top = TopK::new(nprobe);
+                for (c, centroid) in self.centroids.centroids().iter().enumerate() {
+                    top.push(c as u64, self.config.metric.score(query, centroid));
+                }
+                top.into_sorted()
+                    .into_iter()
+                    .map(|n| Probe { list: n.id as u32, distance: n.distance })
+                    .collect()
+            }
+        }
+    }
+
+    /// Stages 2+3 — LUT construction and scan over the given lists,
+    /// returning the top-`k` hits. Also usable on an arbitrary list subset,
+    /// which is how the hybrid runtime scans only CPU-resident (or only
+    /// GPU-resident) clusters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.len()` differs from the index dimensionality or a
+    /// list id is out of range.
+    pub fn scan_lists(&self, query: &[f32], lists: &[u32], k: usize) -> Vec<Neighbor> {
+        assert_eq!(query.len(), self.dim, "query has wrong dimensionality");
+        let mut top = TopK::new(k);
+        match &self.config.storage {
+            ListStorage::Flat => {
+                for &l in lists {
+                    let list = &self.lists[l as usize];
+                    if let ListData::Flat(store) = &list.data {
+                        for (i, v) in store.iter().enumerate() {
+                            top.push(list.ids[i], self.config.metric.score(query, v));
+                        }
+                    }
+                }
+            }
+            ListStorage::Pq(_) => {
+                let pq = self.pq.as_ref().expect("PQ storage implies trained PQ");
+                let m = pq.m();
+                // Non-residual: one LUT serves every probed list. Residual:
+                // a per-cluster LUT over (query − centroid) — the per-probe
+                // "LUT Cmp" stage of the paper's breakdown.
+                let shared = (!self.config.by_residual).then(|| pq.lut(query));
+                for &l in lists {
+                    let list = &self.lists[l as usize];
+                    let per_cluster;
+                    let lut = match &shared {
+                        Some(lut) => lut,
+                        None => {
+                            per_cluster = pq.lut(&self.residual_query(query, l));
+                            &per_cluster
+                        }
+                    };
+                    if let ListData::Pq(codes) = &list.data {
+                        for (i, code) in codes.chunks_exact(m).enumerate() {
+                            top.push(list.ids[i], lut.distance(code));
+                        }
+                    }
+                }
+            }
+            ListStorage::FastScan(_) => {
+                let pq = self.pq.as_ref().expect("fast-scan storage implies trained PQ");
+                let shared = (!self.config.by_residual)
+                    .then(|| QuantizedLut::from_lut(&pq.lut(query)));
+                for &l in lists {
+                    let per_cluster;
+                    let qlut = match &shared {
+                        Some(qlut) => qlut,
+                        None => {
+                            per_cluster =
+                                QuantizedLut::from_lut(&pq.lut(&self.residual_query(query, l)));
+                            &per_cluster
+                        }
+                    };
+                    if let ListData::FastScan(fs) = &self.lists[l as usize].data {
+                        fs.scan(qlut, &mut top);
+                    }
+                }
+            }
+        }
+        top.into_sorted()
+    }
+
+    /// The query's residual against one list's centroid.
+    fn residual_query(&self, query: &[f32], list: u32) -> Vec<f32> {
+        let centroid = self.centroids.centroids().get(list as usize);
+        query.iter().zip(centroid).map(|(q, c)| q - c).collect()
+    }
+
+    /// Full search: probe then scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.len()` differs from the index dimensionality.
+    pub fn search(&self, query: &[f32], k: usize, nprobe: usize) -> Vec<Neighbor> {
+        let probes = self.probe(query, nprobe);
+        let lists: Vec<u32> = probes.iter().map(|p| p.list).collect();
+        self.scan_lists(query, &lists, k)
+    }
+
+    /// Batched search parallelized over queries.
+    pub fn search_batch(
+        &self,
+        queries: &VecSet,
+        k: usize,
+        nprobe: usize,
+        threads: usize,
+    ) -> Vec<Vec<Neighbor>> {
+        assert_eq!(queries.dim(), self.dim, "queries have wrong dimensionality");
+        let n = queries.len();
+        let mut out: Vec<Vec<Neighbor>> = vec![Vec::new(); n];
+        let threads = threads.max(1).min(n.max(1));
+        let chunk = n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (t, slice) in out.chunks_mut(chunk).enumerate() {
+                let start = t * chunk;
+                scope.spawn(move || {
+                    for (offset, result) in slice.iter_mut().enumerate() {
+                        *result = self.search(queries.get(start + offset), k, nprobe);
+                    }
+                });
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FlatIndex;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn clustered_data(n: usize, dim: usize, seed: u64) -> VecSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        VecSet::from_fn(n, dim, |i, _| {
+            let center = (i % 8) as f32 * 4.0;
+            center + rng.random::<f32>()
+        })
+    }
+
+    fn recall_vs_flat(index: &IvfIndex, data: &VecSet, k: usize, nprobe: usize) -> f64 {
+        let flat = FlatIndex::new(data.clone(), Metric::L2);
+        let mut total = 0.0;
+        let trials = 20;
+        for q in 0..trials {
+            let query = data.get(q * 31 % data.len());
+            let truth: Vec<u64> = flat.search(query, k).iter().map(|n| n.id).collect();
+            let approx = index.search(query, k, nprobe);
+            total += approx.iter().filter(|n| truth.contains(&n.id)).count() as f64 / k as f64;
+        }
+        total / trials as f64
+    }
+
+    #[test]
+    fn flat_storage_with_full_probe_is_exact() {
+        let data = clustered_data(1000, 8, 1);
+        let index = IvfIndex::train(&data, &IvfConfig::new(10)).unwrap();
+        let recall = recall_vs_flat(&index, &data, 10, 10);
+        assert_eq!(recall, 1.0, "probing every list must be exhaustive");
+    }
+
+    #[test]
+    fn recall_improves_with_nprobe() {
+        let data = clustered_data(2000, 8, 2);
+        let index = IvfIndex::train(&data, &IvfConfig::new(32)).unwrap();
+        let r1 = recall_vs_flat(&index, &data, 10, 1);
+        let r8 = recall_vs_flat(&index, &data, 10, 8);
+        assert!(r8 >= r1, "r8={r8} r1={r1}");
+        assert!(r8 > 0.8, "r8={r8}");
+    }
+
+    #[test]
+    fn fastscan_top1_distance_within_lut_quantization_error() {
+        // Same seeds → identical centroids and codebooks; the only
+        // difference between the two indexes is the scan arithmetic, so the
+        // top-1 ADC distances must agree within the 8-bit LUT error bound.
+        // (Id-level agreement is not required: clustered data produces
+        // duplicate codes and therefore ties.)
+        let data = clustered_data(1500, 16, 3);
+        let pq_cfg = PqConfig { m: 4, ksub: 16, train_iters: 5, seed: 7 };
+        let pq_index = IvfIndex::train(
+            &data,
+            &IvfConfig::new(16).storage(ListStorage::Pq(pq_cfg.clone())),
+        )
+        .unwrap();
+        let fs_index = IvfIndex::train(
+            &data,
+            &IvfConfig::new(16).storage(ListStorage::FastScan(pq_cfg)),
+        )
+        .unwrap();
+        for q in 0..20 {
+            let query = data.get(q * 71 % data.len());
+            let bound = QuantizedLut::from_lut(&pq_index.pq().unwrap().lut(query)).max_error();
+            let a = pq_index.search(query, 1, 8)[0].distance;
+            let b = fs_index.search(query, 1, 8)[0].distance;
+            assert!(
+                (a - b).abs() <= bound + 1e-3,
+                "query {q}: pq={a} fastscan={b} bound={bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_vectors_land_in_exactly_one_list() {
+        let data = clustered_data(500, 8, 4);
+        let index = IvfIndex::train(&data, &IvfConfig::new(8)).unwrap();
+        assert_eq!(index.list_sizes().iter().sum::<usize>(), 500);
+        assert_eq!(index.len(), 500);
+    }
+
+    #[test]
+    fn hnsw_coarse_matches_exact_coarse_usually() {
+        let data = clustered_data(2000, 8, 5);
+        let exact = IvfIndex::train(&data, &IvfConfig::new(64)).unwrap();
+        let hnsw = IvfIndex::train(
+            &data,
+            &IvfConfig::new(64).coarse(CoarseKind::Hnsw(HnswConfig::default())),
+        )
+        .unwrap();
+        let mut overlap = 0usize;
+        let mut total = 0usize;
+        for q in 0..10 {
+            let query = data.get(q * 101 % data.len());
+            let pe: Vec<u32> = exact.probe(query, 8).iter().map(|p| p.list).collect();
+            let ph: Vec<u32> = hnsw.probe(query, 8).iter().map(|p| p.list).collect();
+            overlap += ph.iter().filter(|l| pe.contains(l)).count();
+            total += 8;
+        }
+        assert!(
+            overlap as f64 / total as f64 > 0.8,
+            "HNSW coarse overlap too low: {overlap}/{total}"
+        );
+    }
+
+    #[test]
+    fn incremental_add_after_train_empty() {
+        let data = clustered_data(600, 8, 6);
+        let mut index = IvfIndex::train_empty(&data, &IvfConfig::new(8)).unwrap();
+        assert!(index.is_empty());
+        let ids: Vec<u64> = (1000..1600).collect();
+        index.add(&ids, &data).unwrap();
+        assert_eq!(index.len(), 600);
+        let hits = index.search(data.get(0), 1, 8);
+        assert_eq!(hits[0].id, 1000);
+    }
+
+    #[test]
+    fn fastscan_incremental_add_preserves_existing_codes() {
+        let data = clustered_data(512, 16, 7);
+        let pq_cfg = PqConfig { m: 4, ksub: 16, train_iters: 4, seed: 3 };
+        let cfg = IvfConfig::new(4).storage(ListStorage::FastScan(pq_cfg));
+        let mut index = IvfIndex::train_empty(&data, &cfg).unwrap();
+        let half = 256;
+        let first: Vec<u64> = (0..half as u64).collect();
+        let second: Vec<u64> = (half as u64..512).collect();
+        index.add(&first, &data.select(&(0..half).collect::<Vec<_>>())).unwrap();
+        index.add(&second, &data.select(&(half..512).collect::<Vec<_>>())).unwrap();
+
+        // Reference: everything added at once.
+        let mut reference = IvfIndex::train_empty(&data, &cfg).unwrap();
+        let all: Vec<u64> = (0..512).collect();
+        reference.add(&all, &data).unwrap();
+
+        for q in [0usize, 100, 300, 500] {
+            let a = index.search(data.get(q), 5, 4);
+            let b = reference.search(data.get(q), 5, 4);
+            assert_eq!(a, b, "incremental vs bulk mismatch at query {q}");
+        }
+    }
+
+    #[test]
+    fn residual_encoding_improves_recall_on_tight_clusters() {
+        // Tight blobs: raw PQ collapses within-cluster structure; residual
+        // codebooks operate at the noise scale and resolve it.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let data = VecSet::from_fn(3000, 16, |i, _| {
+            (i % 12) as f32 * 8.0 + rng.random::<f32>() * 0.5
+        });
+        let pq_cfg = PqConfig { m: 4, ksub: 32, train_iters: 6, seed: 5 };
+        let raw = IvfIndex::train(
+            &data,
+            &IvfConfig::new(12).storage(ListStorage::Pq(pq_cfg.clone())),
+        )
+        .unwrap();
+        let residual = IvfIndex::train(
+            &data,
+            &IvfConfig::new(12).storage(ListStorage::Pq(pq_cfg)).by_residual(true),
+        )
+        .unwrap();
+        let r_raw = recall_vs_flat(&raw, &data, 10, 4);
+        let r_res = recall_vs_flat(&residual, &data, 10, 4);
+        assert!(
+            r_res > r_raw + 0.1,
+            "residual recall {r_res} should clearly beat raw {r_raw}"
+        );
+    }
+
+    #[test]
+    fn residual_fastscan_matches_residual_pq_closely() {
+        let data = clustered_data(1200, 16, 13);
+        let pq_cfg = PqConfig { m: 4, ksub: 32, train_iters: 5, seed: 6 };
+        let pq_idx = IvfIndex::train(
+            &data,
+            &IvfConfig::new(8).storage(ListStorage::Pq(pq_cfg.clone())).by_residual(true),
+        )
+        .unwrap();
+        let fs_idx = IvfIndex::train(
+            &data,
+            &IvfConfig::new(8).storage(ListStorage::FastScan(pq_cfg)).by_residual(true),
+        )
+        .unwrap();
+        for q in 0..10 {
+            let query = data.get(q * 111 % data.len());
+            let a = pq_idx.search(query, 1, 4)[0].distance;
+            let b = fs_idx.search(query, 1, 4)[0].distance;
+            let bound =
+                QuantizedLut::from_lut(&pq_idx.pq().unwrap().lut(query)).max_error() * 4.0;
+            assert!((a - b).abs() <= bound + 1e-2, "q{q}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn cosine_with_pq_storage_rejected() {
+        let data = clustered_data(200, 8, 14);
+        let cfg = IvfConfig::new(4)
+            .metric(Metric::Cosine)
+            .storage(ListStorage::Pq(PqConfig { m: 4, ksub: 16, train_iters: 3, seed: 1 }));
+        assert!(matches!(IvfIndex::train(&data, &cfg), Err(AnnError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn residual_with_flat_storage_rejected() {
+        let data = clustered_data(200, 8, 15);
+        let cfg = IvfConfig::new(4).by_residual(true);
+        assert!(matches!(IvfIndex::train(&data, &cfg), Err(AnnError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn cosine_flat_index_ranks_by_angle() {
+        let mut data = VecSet::new(2);
+        data.push(&[10.0, 0.1]); // nearly aligned with +x, large norm
+        data.push(&[0.1, 10.0]); // orthogonal-ish
+        data.push(&[1.0, 0.0]); // exactly aligned, small norm
+        let cfg = IvfConfig::new(1).metric(Metric::Cosine);
+        let index = IvfIndex::train(&data, &cfg).unwrap();
+        let hits = index.search(&[5.0, 0.0], 3, 1);
+        assert_eq!(hits[0].id, 2, "exact angular match must win regardless of norm");
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let data = clustered_data(100, 8, 8);
+        let mut index = IvfIndex::train_empty(&data, &IvfConfig::new(4)).unwrap();
+        let wrong = VecSet::from_fn(10, 4, |_, _| 0.0);
+        assert!(matches!(
+            index.add(&[0; 10], &wrong),
+            Err(AnnError::DimensionMismatch { expected: 8, actual: 4 })
+        ));
+    }
+
+    #[test]
+    fn probe_respects_nprobe_clamp() {
+        let data = clustered_data(100, 8, 9);
+        let index = IvfIndex::train(&data, &IvfConfig::new(4)).unwrap();
+        assert_eq!(index.probe(data.get(0), 100).len(), 4);
+        assert_eq!(index.probe(data.get(0), 2).len(), 2);
+    }
+
+    #[test]
+    fn batch_search_matches_single() {
+        let data = clustered_data(400, 8, 10);
+        let index = IvfIndex::train(&data, &IvfConfig::new(8)).unwrap();
+        let queries = data.select(&[5, 50, 100, 200, 399]);
+        let batch = index.search_batch(&queries, 3, 4, 3);
+        for (i, q) in queries.iter().enumerate() {
+            assert_eq!(batch[i], index.search(q, 3, 4));
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! From-scratch approximate nearest neighbor (ANN) substrate.
+//!
+//! The paper builds on Faiss (IVF, IVF-PQ, IVF-FastScan, HNSW coarse
+//! quantization). Faiss is unavailable here, so this crate reimplements the
+//! required index family in pure Rust:
+//!
+//! - [`FlatIndex`] — exhaustive search, the recall ground truth.
+//! - [`KMeans`] — Lloyd's algorithm with k-means++ / random-sample
+//!   initialization and empty-cluster repair; trains coarse centroids and PQ
+//!   codebooks.
+//! - [`ProductQuantizer`] — product quantization (Jégou et al.) with
+//!   asymmetric-distance lookup tables (LUTs), the paper's compression
+//!   scheme.
+//! - [`ScalarQuantizer`] — `f32 → u8` scalar quantization baseline.
+//! - [`IvfIndex`] — inverted-file index over k-means clusters with flat, PQ,
+//!   or fast-scan list storage; exposes the *three search stages* the paper's
+//!   performance model distinguishes (Fig. 2): coarse quantization → LUT
+//!   construction → LUT scan.
+//! - [`FastScanList`] — register-blocked PQ code layout with 8-bit quantized
+//!   LUTs, the structural analogue of Faiss's IVF-PQ fast-scan.
+//! - [`Hnsw`] — hierarchical navigable small world graph, used (as in the
+//!   paper) for coarse quantization over many centroids.
+//! - [`eval`] — recall@k and NDCG@k quality metrics.
+//!
+//! # Examples
+//!
+//! Build an IVF index and search it:
+//!
+//! ```
+//! use vlite_ann::{IvfConfig, IvfIndex, ListStorage, VecSet};
+//! use rand::{Rng, SeedableRng};
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let data = VecSet::from_fn(512, 16, |_, _| rng.random::<f32>());
+//! let config = IvfConfig::new(8).storage(ListStorage::Flat);
+//! let index = IvfIndex::train(&data, &config)?;
+//! let hits = index.search(data.get(3), 5, 4);
+//! assert_eq!(hits[0].id, 3); // the vector itself is its own nearest neighbor
+//! # Ok::<(), vlite_ann::AnnError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod distance;
+mod error;
+pub mod eval;
+mod fastscan;
+mod flat;
+mod hnsw;
+mod ivf;
+mod kmeans;
+mod pq;
+mod sq;
+mod topk;
+mod vecset;
+
+pub use distance::{cosine_distance, dot, l2_sq, Metric};
+pub use error::AnnError;
+pub use fastscan::{FastScanList, QuantizedLut, FAST_SCAN_BLOCK};
+pub use flat::FlatIndex;
+pub use hnsw::{Hnsw, HnswConfig};
+pub use ivf::{CoarseKind, IvfConfig, IvfIndex, ListStorage, Probe};
+pub use kmeans::{KMeans, KMeansConfig, KMeansInit};
+pub use pq::{Lut, PqConfig, ProductQuantizer};
+pub use sq::ScalarQuantizer;
+pub use topk::{merge_sorted, Neighbor, TopK};
+pub use vecset::VecSet;
+
+/// Result alias for fallible ANN operations.
+pub type Result<T> = std::result::Result<T, AnnError>;

@@ -1,0 +1,150 @@
+//! Scalar quantization (`f32 → u8`).
+//!
+//! The paper mentions scalar quantization (SQ) as the simple alternative to
+//! PQ: each element is independently mapped to an 8-bit integer over a
+//! per-dimension [min, max] range. It offers 4× compression (vs PQ's
+//! typically 32–64×) but trivial encode/decode cost.
+
+use crate::{AnnError, Result, VecSet};
+
+/// A trained per-dimension scalar quantizer.
+///
+/// # Examples
+///
+/// ```
+/// use vlite_ann::{ScalarQuantizer, VecSet};
+///
+/// let data = VecSet::from_fn(100, 4, |i, j| (i + j) as f32);
+/// let sq = ScalarQuantizer::train(&data)?;
+/// let codes = sq.encode(data.get(50));
+/// let rec = sq.decode(&codes);
+/// for (orig, r) in data.get(50).iter().zip(&rec) {
+///     assert!((orig - r).abs() <= sq.step_size() / 2.0 + 1e-3);
+/// }
+/// # Ok::<(), vlite_ann::AnnError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalarQuantizer {
+    mins: Vec<f32>,
+    scales: Vec<f32>,
+}
+
+impl ScalarQuantizer {
+    /// Learns per-dimension ranges from `data`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::InsufficientTrainingData`] if `data` is empty.
+    pub fn train(data: &VecSet) -> Result<ScalarQuantizer> {
+        if data.is_empty() {
+            return Err(AnnError::InsufficientTrainingData { required: 1, supplied: 0 });
+        }
+        let dim = data.dim();
+        let mut mins = vec![f32::INFINITY; dim];
+        let mut maxs = vec![f32::NEG_INFINITY; dim];
+        for v in data.iter() {
+            for j in 0..dim {
+                mins[j] = mins[j].min(v[j]);
+                maxs[j] = maxs[j].max(v[j]);
+            }
+        }
+        let scales = mins
+            .iter()
+            .zip(&maxs)
+            .map(|(&lo, &hi)| {
+                let range = hi - lo;
+                if range > 0.0 {
+                    range / 255.0
+                } else {
+                    1.0 // constant dimension: any scale round-trips to lo
+                }
+            })
+            .collect();
+        Ok(ScalarQuantizer { mins, scales })
+    }
+
+    /// Dimensionality this quantizer encodes.
+    pub fn dim(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// The largest per-dimension quantization step.
+    pub fn step_size(&self) -> f32 {
+        self.scales.iter().copied().fold(0.0, f32::max)
+    }
+
+    /// Encodes one vector to `dim` bytes, clamping out-of-range values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != dim`.
+    pub fn encode(&self, v: &[f32]) -> Vec<u8> {
+        assert_eq!(v.len(), self.dim(), "encode: wrong dimensionality");
+        v.iter()
+            .enumerate()
+            .map(|(j, &x)| {
+                let q = (x - self.mins[j]) / self.scales[j];
+                q.round().clamp(0.0, 255.0) as u8
+            })
+            .collect()
+    }
+
+    /// Decodes `codes` back to approximate floats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codes.len() != dim`.
+    pub fn decode(&self, codes: &[u8]) -> Vec<f32> {
+        assert_eq!(codes.len(), self.dim(), "decode: wrong code length");
+        codes
+            .iter()
+            .enumerate()
+            .map(|(j, &c)| self.mins[j] + f32::from(c) * self.scales[j])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn round_trip_error_bounded_by_half_step() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = VecSet::from_fn(500, 8, |_, _| rng.random::<f32>() * 10.0 - 5.0);
+        let sq = ScalarQuantizer::train(&data).unwrap();
+        for v in data.iter() {
+            let rec = sq.decode(&sq.encode(v));
+            for (x, r) in v.iter().zip(&rec) {
+                assert!((x - r).abs() <= sq.step_size() / 2.0 + 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn constant_dimension_round_trips_exactly() {
+        let data = VecSet::from_fn(10, 2, |i, j| if j == 0 { 7.5 } else { i as f32 });
+        let sq = ScalarQuantizer::train(&data).unwrap();
+        let rec = sq.decode(&sq.encode(&[7.5, 3.0]));
+        assert_eq!(rec[0], 7.5);
+    }
+
+    #[test]
+    fn out_of_range_values_clamp() {
+        let data = VecSet::from_fn(10, 1, |i, _| i as f32); // range [0, 9]
+        let sq = ScalarQuantizer::train(&data).unwrap();
+        assert_eq!(sq.encode(&[-100.0])[0], 0);
+        assert_eq!(sq.encode(&[100.0])[0], 255);
+    }
+
+    #[test]
+    fn empty_training_set_rejected() {
+        let data = VecSet::new(4);
+        assert!(matches!(
+            ScalarQuantizer::train(&data),
+            Err(AnnError::InsufficientTrainingData { .. })
+        ));
+    }
+}

@@ -1,0 +1,212 @@
+//! Bounded top-k selection.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One search result: a vector id and its "smaller is closer" score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Identifier of the database vector.
+    pub id: u64,
+    /// Distance/score to the query (smaller is closer).
+    pub distance: f32,
+}
+
+impl Neighbor {
+    /// Creates a neighbor.
+    pub fn new(id: u64, distance: f32) -> Self {
+        Self { id, distance }
+    }
+}
+
+impl Eq for Neighbor {}
+
+impl Ord for Neighbor {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Total order: distance first, id as a deterministic tie-breaker.
+        self.distance
+            .total_cmp(&other.distance)
+            .then_with(|| self.id.cmp(&other.id))
+    }
+}
+
+impl PartialOrd for Neighbor {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Keeps the `k` smallest-distance neighbors seen so far using a bounded
+/// max-heap, the standard selection structure in ANN scan loops.
+///
+/// # Examples
+///
+/// ```
+/// use vlite_ann::TopK;
+///
+/// let mut top = TopK::new(2);
+/// top.push(1, 5.0);
+/// top.push(2, 1.0);
+/// top.push(3, 3.0);
+/// let hits = top.into_sorted();
+/// assert_eq!(hits.len(), 2);
+/// assert_eq!(hits[0].id, 2);
+/// assert_eq!(hits[1].id, 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TopK {
+    k: usize,
+    heap: BinaryHeap<Neighbor>,
+}
+
+impl TopK {
+    /// Creates a selector for the `k` closest results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "top-k selection requires k >= 1");
+        Self { k, heap: BinaryHeap::with_capacity(k + 1) }
+    }
+
+    /// Requested result count `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of candidates currently held (≤ `k`).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no candidates have been accepted yet.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Current admission threshold: the k-th best distance, or `+∞` while
+    /// fewer than `k` candidates are held. Scan loops use this to skip
+    /// distance computations early.
+    pub fn threshold(&self) -> f32 {
+        if self.heap.len() < self.k {
+            f32::INFINITY
+        } else {
+            self.heap.peek().map_or(f32::INFINITY, |n| n.distance)
+        }
+    }
+
+    /// Offers a candidate; returns `true` if it was admitted.
+    pub fn push(&mut self, id: u64, distance: f32) -> bool {
+        let candidate = Neighbor::new(id, distance);
+        if self.heap.len() < self.k {
+            self.heap.push(candidate);
+            true
+        } else if candidate < *self.heap.peek().expect("heap is non-empty at capacity") {
+            self.heap.pop();
+            self.heap.push(candidate);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Merges another selector's contents into this one.
+    pub fn merge(&mut self, other: TopK) {
+        for n in other.heap {
+            self.push(n.id, n.distance);
+        }
+    }
+
+    /// Consumes the selector, returning results sorted closest-first.
+    pub fn into_sorted(self) -> Vec<Neighbor> {
+        let mut v = self.heap.into_vec();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Merges several sorted result lists into a single sorted top-k list.
+///
+/// Used by the dispatcher to combine CPU and GPU partial results (paper
+/// §IV-B2: "merges the CPU and GPU results, re-ranks them").
+pub fn merge_sorted(lists: &[Vec<Neighbor>], k: usize) -> Vec<Neighbor> {
+    let mut top = TopK::new(k);
+    for list in lists {
+        for n in list {
+            top.push(n.id, n.distance);
+        }
+    }
+    top.into_sorted()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_k_smallest() {
+        let mut top = TopK::new(3);
+        for (id, d) in [(1, 9.0), (2, 1.0), (3, 8.0), (4, 2.0), (5, 7.0), (6, 3.0)] {
+            top.push(id, d);
+        }
+        let ids: Vec<u64> = top.into_sorted().iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn threshold_tracks_kth_distance() {
+        let mut top = TopK::new(2);
+        assert_eq!(top.threshold(), f32::INFINITY);
+        top.push(1, 5.0);
+        assert_eq!(top.threshold(), f32::INFINITY);
+        top.push(2, 3.0);
+        assert_eq!(top.threshold(), 5.0);
+        top.push(3, 1.0);
+        assert_eq!(top.threshold(), 3.0);
+    }
+
+    #[test]
+    fn ties_break_by_id_for_determinism() {
+        let mut top = TopK::new(1);
+        top.push(7, 1.0);
+        top.push(3, 1.0);
+        assert_eq!(top.into_sorted()[0].id, 3);
+    }
+
+    #[test]
+    fn rejected_candidates_return_false() {
+        let mut top = TopK::new(1);
+        assert!(top.push(1, 1.0));
+        assert!(!top.push(2, 2.0));
+        assert!(top.push(3, 0.5));
+    }
+
+    #[test]
+    fn merge_combines_selectors() {
+        let mut a = TopK::new(2);
+        a.push(1, 1.0);
+        a.push(2, 2.0);
+        let mut b = TopK::new(2);
+        b.push(3, 0.5);
+        b.push(4, 3.0);
+        a.merge(b);
+        let ids: Vec<u64> = a.into_sorted().iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![3, 1]);
+    }
+
+    #[test]
+    fn merge_sorted_lists() {
+        let l1 = vec![Neighbor::new(1, 1.0), Neighbor::new(2, 4.0)];
+        let l2 = vec![Neighbor::new(3, 2.0), Neighbor::new(4, 3.0)];
+        let merged = merge_sorted(&[l1, l2], 3);
+        let ids: Vec<u64> = merged.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![1, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 1")]
+    fn zero_k_rejected() {
+        TopK::new(0);
+    }
+}

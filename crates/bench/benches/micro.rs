@@ -1,0 +1,189 @@
+//! Criterion micro-benchmarks for the performance-critical kernels:
+//! the ANN substrate (k-means, PQ, fast-scan, HNSW, top-k), the
+//! estimator's numerics (Beta CDF, order statistics, coverage inversion),
+//! the partitioning algorithm, the router, and the serving engines.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use vlite_ann::{
+    FlatIndex, Hnsw, HnswConfig, IvfConfig, IvfIndex, KMeans, KMeansConfig, ListStorage, Metric,
+    PqConfig, ProductQuantizer, QuantizedLut, TopK, VecSet,
+};
+use vlite_core::{
+    partition, stats, AccessProfile, HitRateEstimator, HybridSearchEngine, PartitionInput,
+    PerfModel, RagConfig, RagPipeline, RagSystem, PipelineConfig, Router, SearchCostModel,
+    SearchRequest, SystemKind,
+};
+use vlite_llm::{LlmCostModel, LlmEngine, LlmRequest, ModelSpec};
+use vlite_sim::{devices, SimTime};
+use vlite_workload::DatasetPreset;
+
+fn random_data(n: usize, dim: usize, seed: u64) -> VecSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    VecSet::from_fn(n, dim, |_, _| rng.random::<f32>())
+}
+
+fn bench_ann(c: &mut Criterion) {
+    let data = random_data(8_192, 32, 1);
+    let queries = random_data(16, 32, 2);
+
+    c.bench_function("kmeans_train_8k_x32_k64", |b| {
+        let cfg = KMeansConfig::new(64).max_iters(5);
+        b.iter(|| KMeans::train(black_box(&data), &cfg).unwrap())
+    });
+
+    let pq_cfg = PqConfig { m: 8, ksub: 256, train_iters: 4, seed: 3 };
+    let pq = ProductQuantizer::train(&data, &pq_cfg).unwrap();
+    c.bench_function("pq_encode_one", |b| {
+        b.iter(|| black_box(&pq).encode(black_box(data.get(7))))
+    });
+    c.bench_function("pq_lut_build", |b| {
+        b.iter(|| black_box(&pq).lut(black_box(queries.get(0))))
+    });
+
+    let codes = pq.encode_batch(&data);
+    let lut = pq.lut(queries.get(0));
+    c.bench_function("pq_scan_8k_classic", |b| {
+        b.iter(|| {
+            let mut top = TopK::new(10);
+            for (i, code) in codes.chunks_exact(pq.m()).enumerate() {
+                top.push(i as u64, lut.distance(code));
+            }
+            top.into_sorted()
+        })
+    });
+
+    let ids: Vec<u64> = (0..data.len() as u64).collect();
+    let fs = vlite_ann::FastScanList::build(&codes, pq.m(), &ids);
+    let qlut = QuantizedLut::from_lut(&lut);
+    c.bench_function("pq_scan_8k_fastscan", |b| {
+        b.iter(|| {
+            let mut top = TopK::new(10);
+            black_box(&fs).scan(&qlut, &mut top);
+            top.into_sorted()
+        })
+    });
+
+    let ivf = IvfIndex::train(
+        &data,
+        &IvfConfig::new(64).storage(ListStorage::FastScan(pq_cfg.clone())),
+    )
+    .unwrap();
+    c.bench_function("ivf_fastscan_search_nprobe8", |b| {
+        b.iter(|| black_box(&ivf).search(black_box(queries.get(1)), 10, 8))
+    });
+
+    let flat = FlatIndex::new(data.clone(), Metric::L2);
+    c.bench_function("flat_search_8k", |b| {
+        b.iter(|| black_box(&flat).search(black_box(queries.get(2)), 10))
+    });
+
+    let hnsw = Hnsw::build(&random_data(4096, 16, 5), &HnswConfig::default());
+    let hq = random_data(4, 16, 6);
+    c.bench_function("hnsw_search_4k_ef64", |b| {
+        b.iter(|| black_box(&hnsw).search(black_box(hq.get(0)), 10, 64))
+    });
+
+    c.bench_function("topk_1m_stream", |b| {
+        let mut rng = StdRng::seed_from_u64(8);
+        let stream: Vec<f32> = (0..100_000).map(|_| rng.random()).collect();
+        b.iter(|| {
+            let mut top = TopK::new(25);
+            for (i, &d) in stream.iter().enumerate() {
+                top.push(i as u64, d);
+            }
+            top.into_sorted()
+        })
+    });
+}
+
+fn bench_estimator(c: &mut Criterion) {
+    let preset = DatasetPreset::tiny();
+    let wl = preset.workload(9);
+    let profile = AccessProfile::from_workload(&preset, &wl, 2000, 9);
+    let est = HitRateEstimator::from_profile(&profile);
+
+    c.bench_function("beta_cdf", |b| {
+        let d = stats::BetaDist::new(2.3, 5.1);
+        b.iter(|| black_box(&d).cdf(black_box(0.37)))
+    });
+    c.bench_function("expected_batch_min_b8", |b| {
+        let d = stats::BetaDist::new(2.3, 5.1);
+        b.iter(|| stats::expected_batch_min(black_box(&d), 8))
+    });
+    c.bench_function("hit_rate_to_coverage", |b| {
+        b.iter(|| black_box(&est).hit_rate_to_coverage(black_box(0.4), 8))
+    });
+
+    let cost = SearchCostModel::from_preset(&preset, &wl, &devices::xeon_8462y(), &devices::h100());
+    let perf = PerfModel::from_cost_model(&cost, &[1, 2, 4, 8, 16, 32]);
+    c.bench_function("partition_algorithm", |b| {
+        let input = PartitionInput::new(0.005, 25.0, 64 << 30);
+        b.iter(|| partition(black_box(&input), &perf, &est, &profile))
+    });
+}
+
+fn bench_runtime(c: &mut Criterion) {
+    let system = RagSystem::build(RagConfig::tiny(SystemKind::VectorLite));
+
+    c.bench_function("router_route_nprobe32", |b| {
+        let probes: Vec<u32> = (0..32).collect();
+        b.iter(|| system.router.route(black_box(&probes)))
+    });
+
+    c.bench_function("search_engine_batch16", |b| {
+        b.iter_batched(
+            || {
+                let mut engine = HybridSearchEngine::new(
+                    SystemKind::VectorLite,
+                    system.cost.clone(),
+                    system.workload.clone(),
+                    &system.profile,
+                    Router::new(system.router.split().clone()),
+                    true,
+                    system.shard_gpus.clone(),
+                    4,
+                    1,
+                );
+                for id in 0..16 {
+                    engine.enqueue(SearchRequest { id, arrival: SimTime::ZERO });
+                }
+                engine
+            },
+            |mut engine| engine.try_start_batch(SimTime::ZERO).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("llm_engine_decode_step_b32", |b| {
+        b.iter_batched(
+            || {
+                let cost = LlmCostModel::new(ModelSpec::tiny(), devices::l40s(), 1);
+                let mut engine = LlmEngine::new(cost, 8 << 30);
+                for id in 0..32 {
+                    engine.submit(LlmRequest::new(id, 64, 64), SimTime::ZERO);
+                }
+                // Consume the prefill iteration so the next advance decodes.
+                let step = engine.advance(SimTime::ZERO).unwrap();
+                (engine, step.busy_until)
+            },
+            |(mut engine, now)| engine.advance(now).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("pipeline_100_requests", |b| {
+        b.iter(|| RagPipeline::new(&system).run(&PipelineConfig::new(20.0, 100, 3)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_ann, bench_estimator, bench_runtime
+}
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 03 (see `vlite_bench::figs::fig03`).
+fn main() {
+    vlite_bench::figs::fig03::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 04 (see `vlite_bench::figs::fig04`).
+fn main() {
+    vlite_bench::figs::fig04::run();
+}

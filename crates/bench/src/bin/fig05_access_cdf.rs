@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 05 (see `vlite_bench::figs::fig05`).
+fn main() {
+    vlite_bench::figs::fig05::run();
+}

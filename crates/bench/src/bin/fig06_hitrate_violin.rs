@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 06 (see `vlite_bench::figs::fig06`).
+fn main() {
+    vlite_bench::figs::fig06::run();
+}

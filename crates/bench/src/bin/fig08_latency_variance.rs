@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 08 (see `vlite_bench::figs::fig08`).
+fn main() {
+    vlite_bench::figs::fig08::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 09 (see `vlite_bench::figs::fig09`).
+fn main() {
+    vlite_bench::figs::fig09::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 10 (see `vlite_bench::figs::fig10`).
+fn main() {
+    vlite_bench::figs::fig10::run();
+}

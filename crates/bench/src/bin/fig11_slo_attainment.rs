@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 11 (see `vlite_bench::figs::fig11`).
+fn main() {
+    vlite_bench::figs::fig11::run();
+}

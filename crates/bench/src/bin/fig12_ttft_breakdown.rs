@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 12 (see `vlite_bench::figs::fig12`).
+fn main() {
+    vlite_bench::figs::fig12::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 13 (see `vlite_bench::figs::fig13`).
+fn main() {
+    vlite_bench::figs::fig13::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 14 (see `vlite_bench::figs::fig14`).
+fn main() {
+    vlite_bench::figs::fig14::run();
+}

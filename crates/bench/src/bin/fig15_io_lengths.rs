@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 15 (see `vlite_bench::figs::fig15`).
+fn main() {
+    vlite_bench::figs::fig15::run();
+}

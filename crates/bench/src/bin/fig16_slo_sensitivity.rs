@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 16 (see `vlite_bench::figs::fig16`).
+fn main() {
+    vlite_bench::figs::fig16::run();
+}

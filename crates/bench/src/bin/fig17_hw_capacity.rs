@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 17 (see `vlite_bench::figs::fig17`).
+fn main() {
+    vlite_bench::figs::fig17::run();
+}

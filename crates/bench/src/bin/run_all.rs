@@ -1,0 +1,24 @@
+//! Runs every table/figure harness in paper order and writes all CSV
+//! artifacts under `results/`.
+use vlite_bench::figs;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    figs::fig03::run();
+    figs::fig04::run();
+    figs::fig05::run();
+    figs::fig06::run();
+    figs::fig08::run();
+    figs::fig09::run();
+    figs::fig10::run();
+    figs::table1::run();
+    figs::table2::run();
+    figs::fig11::run();
+    figs::fig12::run();
+    figs::fig13::run();
+    figs::fig14::run();
+    figs::fig15::run();
+    figs::fig16::run();
+    figs::fig17::run();
+    println!("\nall harnesses completed in {:.1}s", t0.elapsed().as_secs_f64());
+}

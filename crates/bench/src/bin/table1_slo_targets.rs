@@ -1,0 +1,4 @@
+//! Regenerates the paper's table1 (see `vlite_bench::figs::table1`).
+fn main() {
+    vlite_bench::figs::table1::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's table2 (see `vlite_bench::figs::table2`).
+fn main() {
+    vlite_bench::figs::table2::run();
+}

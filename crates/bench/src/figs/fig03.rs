@@ -1,0 +1,122 @@
+//! Fig. 3 — IVF vs IVF-FastScan latency; IVF-FS stage breakdown.
+//!
+//! Left panel (real tier): identical IVF-PQ indexes, one with classic
+//! list scanning and one with the register-blocked fast-scan layout, timed
+//! at batch sizes 4 and 16. Right panel: the LUT-dominated breakdown (CQ /
+//! LUT construction / LUT scan) measured on the real index at batches 2
+//! and 8, plus the modeled 128M-vector breakdown.
+
+use std::time::Instant;
+
+use vlite_core::SearchCostModel;
+use vlite_metrics::Table;
+use vlite_sim::devices;
+use vlite_workload::{CorpusConfig, DatasetPreset, SyntheticCorpus};
+
+use vlite_ann::{IvfConfig, IvfIndex, ListStorage, PqConfig, QuantizedLut};
+
+use crate::{banner, write_csv};
+
+fn time_search(index: &IvfIndex, queries: &vlite_ann::VecSet, batch: usize, nprobe: usize) -> f64 {
+    let reps = 6;
+    let mut total = 0.0;
+    for rep in 0..reps {
+        let t0 = Instant::now();
+        for i in 0..batch {
+            let q = queries.get((rep * batch + i) % queries.len());
+            let _ = index.search(q, 10, nprobe);
+        }
+        total += t0.elapsed().as_secs_f64();
+    }
+    total / reps as f64
+}
+
+/// Runs the Fig. 3 harness.
+pub fn run() {
+    banner("Fig. 3", "IVF vs IVF-FastScan latency; IVF-FS breakdown");
+    let corpus = SyntheticCorpus::generate(&CorpusConfig::medium());
+    let queries = corpus.queries(64, 17);
+    let pq_cfg = PqConfig { m: 8, ksub: 256, train_iters: 6, seed: 4 };
+    let nprobe = 16;
+
+    let classic = IvfIndex::train(
+        &corpus.vectors,
+        &IvfConfig::new(256).storage(ListStorage::Pq(pq_cfg.clone())),
+    )
+    .expect("classic IVF-PQ trains");
+    let fastscan = IvfIndex::train(
+        &corpus.vectors,
+        &IvfConfig::new(256).storage(ListStorage::FastScan(pq_cfg)),
+    )
+    .expect("fast-scan IVF-PQ trains");
+
+    let mut left = Table::new(vec!["batch", "IVF (norm.)", "IVF-FS (norm.)", "speedup"]);
+    let mut csv = String::from("batch,ivf_s,ivf_fs_s\n");
+    for &batch in &[4usize, 16] {
+        let t_ivf = time_search(&classic, &queries, batch, nprobe);
+        let t_fs = time_search(&fastscan, &queries, batch, nprobe);
+        left.row(vec![
+            batch.to_string(),
+            "1.00".to_string(),
+            format!("{:.2}", t_fs / t_ivf),
+            format!("{:.2}x", t_ivf / t_fs),
+        ]);
+        csv.push_str(&format!("{batch},{t_ivf},{t_fs}\n"));
+    }
+    println!("{}", left.render());
+    write_csv("fig03_left.csv", &csv);
+
+    // Right panel: stage breakdown on the real fast-scan index.
+    let mut right = Table::new(vec!["batch", "CQ (ms)", "LUT build (ms)", "LUT scan (ms)"]);
+    let mut csv = String::from("batch,cq_s,lut_build_s,lut_scan_s\n");
+    let pq = fastscan.pq().expect("fast-scan index has a PQ");
+    for &batch in &[2usize, 8] {
+        let (mut t_cq, mut t_build, mut t_scan) = (0.0, 0.0, 0.0);
+        let reps = 6;
+        for rep in 0..reps {
+            for i in 0..batch {
+                let q = queries.get((rep * batch + i) % queries.len());
+                let t0 = Instant::now();
+                let probes = fastscan.probe(q, nprobe);
+                let t1 = Instant::now();
+                let lut = pq.lut(q);
+                let _qlut = QuantizedLut::from_lut(&lut);
+                let t2 = Instant::now();
+                let lists: Vec<u32> = probes.iter().map(|p| p.list).collect();
+                let _ = fastscan.scan_lists(q, &lists, 10);
+                let t3 = Instant::now();
+                t_cq += t1.duration_since(t0).as_secs_f64();
+                t_build += t2.duration_since(t1).as_secs_f64();
+                t_scan += t3.duration_since(t2).as_secs_f64();
+            }
+        }
+        let n = reps as f64;
+        right.row(vec![
+            batch.to_string(),
+            format!("{:.3}", t_cq / n * 1e3),
+            format!("{:.3}", t_build / n * 1e3),
+            format!("{:.3}", t_scan / n * 1e3),
+        ]);
+        csv.push_str(&format!("{batch},{},{},{}\n", t_cq / n, t_build / n, t_scan / n));
+    }
+    println!("{}", right.render());
+    write_csv("fig03_right_real.csv", &csv);
+
+    // Modeled 128M-vector index (the paper's right panel substrate).
+    let preset = DatasetPreset::orcas_1k();
+    let wl = preset.workload(1);
+    let cost = SearchCostModel::from_preset(&preset, &wl, &devices::xeon_8462y(), &devices::h100());
+    let mut modeled = Table::new(vec!["batch", "CQ (s)", "LUT stages (s)", "LUT share"]);
+    for &batch in &[2.0f64, 8.0] {
+        let cq = cost.t_cq(batch);
+        let lut = cost.t_lut_full(batch);
+        modeled.row(vec![
+            format!("{batch}"),
+            format!("{cq:.3}"),
+            format!("{lut:.3}"),
+            format!("{:.0}%", 100.0 * lut / (cq + lut)),
+        ]);
+    }
+    println!("modeled 128M-vector index (paper: 'LUT operations dominate'):");
+    println!("{}", modeled.render());
+}

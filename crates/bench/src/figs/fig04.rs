@@ -1,0 +1,53 @@
+//! Fig. 4 — CPU fast-scan vs GPU IVF search; KV size vs LLM throughput.
+
+use vlite_core::SearchCostModel;
+use vlite_llm::{throughput, LlmCostModel, ModelSpec};
+use vlite_metrics::Table;
+use vlite_sim::devices;
+use vlite_workload::DatasetPreset;
+
+use crate::{banner, write_csv};
+
+/// Runs the Fig. 4 harness.
+pub fn run() {
+    banner("Fig. 4", "GPU search advantage; KV-cache/throughput coupling");
+
+    // Left: CPU IVF fast scan vs GPU IVF search on the big index
+    // (64-core Xeon 8462Y+ vs H100, batch 8).
+    let preset = DatasetPreset::orcas_1k();
+    let wl = preset.workload(1);
+    let cost = SearchCostModel::from_preset(&preset, &wl, &devices::xeon_8462y(), &devices::h100());
+    let batch = 8.0;
+    let cpu = cost.cpu_only_total(batch);
+    let gpu = cost.dedicated_gpu_total(batch);
+    let mut left = Table::new(vec!["engine", "search time (ms)", "speedup"]);
+    left.row(vec!["CPU IVF Fast Scan".into(), format!("{:.0}", cpu * 1e3), "1.0x".into()]);
+    left.row(vec![
+        "GPU IVF Search".into(),
+        format!("{:.0}", gpu * 1e3),
+        format!("{:.1}x", cpu / gpu),
+    ]);
+    println!("{}", left.render());
+    write_csv("fig04_left.csv", &format!("engine,seconds\ncpu_fastscan,{cpu}\ngpu_ivf,{gpu}\n"));
+
+    // Right: relative KV space vs normalized LLM throughput
+    // (Qwen3-32B on two H100s, the paper's setup).
+    let model = ModelSpec::qwen3_32b();
+    let llm = LlmCostModel::new(model.clone(), devices::h100(), 2);
+    let kv_full = (devices::h100().mem_bytes - llm.param_bytes_per_gpu() - (4 << 30)) * 2;
+    let fracs = [0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1.0];
+    let curve = throughput::kv_throughput_curve(&llm, kv_full, 1024, 256, &fracs);
+    let peak = curve.last().expect("curve non-empty").1;
+    let mut right = Table::new(vec!["relative KV space", "normalized throughput"]);
+    let mut csv = String::from("kv_frac,norm_throughput\n");
+    for (frac, rps) in &curve {
+        right.row(vec![format!("{frac:.2}"), format!("{:.2}", rps / peak)]);
+        csv.push_str(&format!("{frac},{}\n", rps / peak));
+    }
+    println!("{}", right.render());
+    write_csv("fig04_right.csv", &csv);
+    println!(
+        "shape check: throughput at 5% KV is {:.0}% of peak (paper: 'significant drop')",
+        100.0 * curve[0].1 / peak
+    );
+}

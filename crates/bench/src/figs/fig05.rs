@@ -1,0 +1,44 @@
+//! Fig. 5 — CDF of cluster access frequency (Wiki-All, ORCAS).
+
+use vlite_metrics::{Series, Table};
+use vlite_workload::DatasetPreset;
+
+use crate::{banner, write_csv};
+
+/// Runs the Fig. 5 harness.
+pub fn run() {
+    banner("Fig. 5", "CDF of cluster access frequency");
+    let mut table = Table::new(vec![
+        "dataset",
+        "top 10% share",
+        "top 20% share",
+        "top 50% share",
+        "paper top-20%",
+    ]);
+    let mut series = Vec::new();
+    for preset in [DatasetPreset::wiki_all(), DatasetPreset::orcas_1k()] {
+        let wl = preset.workload(5);
+        let mut s = Series::new(preset.name);
+        let shares = wl.access_shares_sorted();
+        let mut acc = 0.0;
+        for (i, share) in shares.iter().enumerate() {
+            acc += share;
+            let pct = (i + 1) as f64 / shares.len() as f64;
+            // Sample the CDF at percentile steps to keep the CSV small.
+            if (pct * 200.0).fract() < 200.0 / shares.len() as f64 {
+                s.push(pct, acc);
+            }
+        }
+        table.row(vec![
+            preset.name.to_string(),
+            format!("{:.2}", wl.top_fraction_share(0.1)),
+            format!("{:.2}", wl.top_fraction_share(0.2)),
+            format!("{:.2}", wl.top_fraction_share(0.5)),
+            format!("{:.2}", preset.top20_share),
+        ]);
+        series.push(s);
+    }
+    println!("{}", table.render());
+    write_csv("fig05_cdf.csv", &Series::merge_csv(&series));
+    println!("calibration check: measured top-20% shares must match the paper's 0.59 / 0.93.");
+}

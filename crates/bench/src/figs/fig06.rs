@@ -1,0 +1,51 @@
+//! Fig. 6 — hit-rate distribution vs cache coverage (violin quantiles).
+
+use vlite_core::AccessProfile;
+use vlite_metrics::Table;
+use vlite_workload::DatasetPreset;
+
+use crate::{banner, write_csv};
+
+/// Runs the Fig. 6 harness.
+pub fn run() {
+    banner("Fig. 6", "hit-rate distributions at 5/10/20% cache coverage");
+    let mut table = Table::new(vec![
+        "dataset", "coverage", "p5", "p25", "median", "p75", "p95", "mean",
+    ]);
+    let mut csv = String::from("dataset,coverage,p5,p25,p50,p75,p95,mean\n");
+    for preset in [DatasetPreset::wiki_all(), DatasetPreset::orcas_1k()] {
+        let wl = preset.workload(6);
+        let profile = AccessProfile::from_workload(&preset, &wl, 4000, 6);
+        for &coverage in &[0.05, 0.10, 0.20] {
+            let mut samples = profile.hit_rate_samples(coverage);
+            samples.sort_by(f64::total_cmp);
+            let q = |p: f64| samples[((samples.len() - 1) as f64 * p) as usize];
+            let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+            table.row(vec![
+                preset.name.to_string(),
+                format!("{:.0}%", coverage * 100.0),
+                format!("{:.2}", q(0.05)),
+                format!("{:.2}", q(0.25)),
+                format!("{:.2}", q(0.50)),
+                format!("{:.2}", q(0.75)),
+                format!("{:.2}", q(0.95)),
+                format!("{mean:.2}"),
+            ]);
+            csv.push_str(&format!(
+                "{},{},{},{},{},{},{},{}\n",
+                preset.name,
+                coverage,
+                q(0.05),
+                q(0.25),
+                q(0.50),
+                q(0.75),
+                q(0.95),
+                mean
+            ));
+        }
+    }
+    println!("{}", table.render());
+    write_csv("fig06_violins.csv", &csv);
+    println!("shape check: means rise with coverage, but low-hit tail queries persist");
+    println!("(p5 well below the median), which is the paper's Takeaway 3.");
+}

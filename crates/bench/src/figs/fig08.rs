@@ -1,0 +1,62 @@
+//! Fig. 8 — search latency vs batch size; hit-rate variance parabola.
+
+use vlite_core::{AccessProfile, SearchCostModel};
+use vlite_metrics::{Series, Table};
+use vlite_sim::devices;
+use vlite_workload::DatasetPreset;
+
+use crate::{banner, write_csv};
+
+/// Runs the Fig. 8 harness.
+pub fn run() {
+    banner("Fig. 8", "latency vs batch size (left); variance vs mean hit rate (right)");
+
+    // Left: ORCAS on the 64-core Xeon.
+    let preset = DatasetPreset::orcas_1k();
+    let wl = preset.workload(8);
+    let cost = SearchCostModel::from_preset(&preset, &wl, &devices::xeon_8462y(), &devices::h100());
+    let mut cq = Series::new("CQ");
+    let mut lut = Series::new("LUT");
+    let mut total = Series::new("Search");
+    let mut table = Table::new(vec!["batch", "CQ (s)", "LUT (s)", "Search (s)"]);
+    for b in [1usize, 2, 4, 8, 12, 16, 24, 32] {
+        let bf = b as f64;
+        cq.push(bf, cost.t_cq(bf));
+        lut.push(bf, cost.t_lut_full(bf));
+        total.push(bf, cost.cpu_only_total(bf));
+        table.row(vec![
+            b.to_string(),
+            format!("{:.3}", cost.t_cq(bf)),
+            format!("{:.3}", cost.t_lut_full(bf)),
+            format!("{:.3}", cost.cpu_only_total(bf)),
+        ]);
+    }
+    println!("{}", table.render());
+    write_csv("fig08_left.csv", &Series::merge_csv(&[cq, lut, total]));
+
+    // Right: empirical hit-rate variance vs mean (Wiki-All) against the
+    // Beta-model parabola 4·σ²max·m(1−m).
+    let preset = DatasetPreset::wiki_all();
+    let wl = preset.workload(8);
+    let profile = AccessProfile::from_workload(&preset, &wl, 4000, 8);
+    let sigma2_max = profile.fit_sigma2_max();
+    let mut table = Table::new(vec!["mean hit rate", "empirical var", "model 4s2m(1-m)"]);
+    let mut csv = String::from("mean,empirical_var,model_var\n");
+    let mut worst_gap = 0.0f64;
+    for step in 1..=19 {
+        let coverage = step as f64 / 20.0;
+        let (mean, var) = profile.hit_rate_moments(coverage);
+        let model = 4.0 * sigma2_max * mean * (1.0 - mean);
+        worst_gap = worst_gap.max((var - model).abs());
+        table.row(vec![
+            format!("{mean:.2}"),
+            format!("{var:.4}"),
+            format!("{model:.4}"),
+        ]);
+        csv.push_str(&format!("{mean},{var},{model}\n"));
+    }
+    println!("{}", table.render());
+    println!("fitted sigma^2_max = {sigma2_max:.4}; worst |empirical - model| = {worst_gap:.4}");
+    println!("shape check: variance peaks near mean 0.5 and vanishes at the ends (parabola).");
+    write_csv("fig08_right.csv", &csv);
+}

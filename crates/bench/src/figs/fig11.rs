@@ -1,0 +1,84 @@
+//! Fig. 11 — the main evaluation: TTFT SLO attainment and end-to-end
+//! latency across all nine (dataset × model) cells and four systems.
+
+use vlite_core::SystemKind;
+use vlite_metrics::Table;
+
+use crate::{banner, build_cell, evaluation_grid, rate_grid, run_point, write_csv, POINT_REQUESTS, SEED};
+
+/// Runs the Fig. 11 harness.
+pub fn run() {
+    banner("Fig. 11", "SLO attainment (left) and end-to-end latency (right), 9 cells");
+    let mut csv = String::from(
+        "dataset,model,system,rate_rps,slo_attainment,p90_ttft_s,mean_e2e_s\n",
+    );
+    for (dataset, model) in evaluation_grid() {
+        println!("\n--- {} + {} ---", dataset.name, model.name);
+        // Common x-axis: the bare node capacity measured on the clean
+        // (CPU-only) deployment, like the paper's vertical dashed line.
+        let reference = build_cell(SystemKind::CpuOnly, &dataset, &model);
+        let rates = rate_grid(reference.mu_llm0);
+        let target = reference.slo_ttft();
+        println!(
+            "bare capacity {:.1} req/s; TTFT target {:.0} ms (SLO_LLM {:.0} + SLO_search {:.0})",
+            reference.mu_llm0,
+            target * 1e3,
+            reference.slo_llm * 1e3,
+            reference.config.slo_search * 1e3
+        );
+        let mut table = Table::new(vec![
+            "system", "coverage", "rate", "attainment", "P90 TTFT (ms)", "mean E2E (s)",
+        ]);
+        let mut compliant_range: Vec<(SystemKind, f64)> = Vec::new();
+        for kind in SystemKind::main_four() {
+            let system = build_cell(kind, &dataset, &model);
+            let mut best_rate: f64 = 0.0;
+            for &rate in &rates {
+                let mut result = run_point(&system, rate, POINT_REQUESTS, SEED);
+                let attainment = result.slo_attainment(target);
+                if attainment >= 0.9 && rate > best_rate {
+                    best_rate = rate;
+                }
+                table.row(vec![
+                    kind.name().to_string(),
+                    format!("{:.1}%", 100.0 * system.decision.coverage),
+                    format!("{rate:.1}"),
+                    format!("{:.1}%", 100.0 * attainment),
+                    format!("{:.0}", result.ttft.percentile(0.90) * 1e3),
+                    format!("{:.2}", result.e2e.mean()),
+                ]);
+                csv.push_str(&format!(
+                    "{},{},{},{rate},{attainment},{},{}\n",
+                    dataset.name,
+                    model.name,
+                    kind.name(),
+                    result.ttft.percentile(0.90),
+                    result.e2e.mean()
+                ));
+            }
+            compliant_range.push((kind, best_rate));
+        }
+        println!("{}", table.render());
+        let vlite = compliant_range
+            .iter()
+            .find(|(k, _)| *k == SystemKind::VectorLite)
+            .expect("vLiteRAG ran")
+            .1;
+        for (kind, range) in &compliant_range {
+            let marker = if *kind == SystemKind::VectorLite {
+                "  <- vLiteRAG"
+            } else if vlite >= *range {
+                ""
+            } else {
+                "  (! exceeds vLiteRAG)"
+            };
+            println!(
+                "  SLO-compliant up to {:>6.1} req/s : {}{}",
+                range,
+                kind.name(),
+                marker
+            );
+        }
+    }
+    write_csv("fig11_main.csv", &csv);
+}

@@ -1,0 +1,89 @@
+//! Fig. 13 — comparison with HedraRAG under its own index configuration
+//! (√N clusters, accuracy-matched nprobe, SLO_search = 400 ms).
+
+use vlite_core::{RagConfig, RagSystem, SystemKind};
+use vlite_llm::ModelSpec;
+use vlite_metrics::Table;
+use vlite_workload::DatasetPreset;
+
+use crate::{banner, rate_grid, run_point, write_csv, POINT_REQUESTS, SEED};
+
+/// The HedraRAG-replication dataset: ORCAS-scale corpus re-indexed with
+/// √N ≈ 11314 clusters; nprobe raised to 6144 to match the retrieval
+/// accuracy of the coarser index (paper: 0.94 NDCG@50 parity).
+fn hedra_setting() -> DatasetPreset {
+    DatasetPreset {
+        name: "ORCAS-sqrtN",
+        nlist: 11_314,
+        default_nprobe: 6_144,
+        slo_search_ms: 400.0,
+        ..DatasetPreset::orcas_1k()
+    }
+}
+
+/// Runs the Fig. 13 harness.
+pub fn run() {
+    banner("Fig. 13", "VectorLiteRAG vs HedraRAG (throughput-balanced caching)");
+    let dataset = hedra_setting();
+    let model = ModelSpec::qwen3_32b();
+
+    let mut systems = Vec::new();
+    for kind in [SystemKind::HedraRag, SystemKind::VectorLite] {
+        let config = RagConfig::paper_default(kind, dataset.clone(), model.clone());
+        systems.push(RagSystem::build(config));
+    }
+    println!(
+        "coverage: HedraRAG {:.1}% vs vLiteRAG {:.1}% (paper: 73% vs 31.5%; the ratio is",
+        100.0 * systems[0].decision.coverage,
+        100.0 * systems[1].decision.coverage
+    );
+    println!("calibration-dependent — our CPU retrieval is lighter relative to the LLM");
+    println!("than the authors' testbed, so Hedra's balance point needs less cache).");
+
+    let rates = rate_grid(systems[1].mu_llm0);
+    // Combined target with the experiment's relaxed 400 ms search SLO.
+    let target = systems[1].slo_ttft();
+    let mut table =
+        Table::new(vec!["system", "rate", "mean TTFT (s)", "P90 TTFT (s)", "mean E2E (s)"]);
+    let mut csv = String::from("system,rate_rps,mean_ttft_s,p90_ttft_s,mean_e2e_s\n");
+    let mut compliant = Vec::new();
+    for system in &systems {
+        let mut best: f64 = 0.0;
+        for &rate in &rates {
+            let mut result = run_point(system, rate, POINT_REQUESTS, SEED);
+            if result.ttft.percentile(0.9) <= target {
+                best = best.max(rate);
+            }
+            table.row(vec![
+                system.config.system.name().to_string(),
+                format!("{rate:.1}"),
+                format!("{:.2}", result.ttft.mean()),
+                format!("{:.2}", result.ttft.percentile(0.9)),
+                format!("{:.2}", result.e2e.mean()),
+            ]);
+            csv.push_str(&format!(
+                "{},{rate},{},{},{}\n",
+                system.config.system.name(),
+                result.ttft.mean(),
+                result.ttft.percentile(0.9),
+                result.e2e.mean()
+            ));
+        }
+        compliant.push(best);
+    }
+    println!("{}", table.render());
+    write_csv("fig13_hedra.csv", &csv);
+    println!(
+        "operable range (P90 TTFT <= {:.0} ms): HedraRAG up to {:.1} req/s, vLiteRAG up to {:.1} req/s",
+        target * 1e3,
+        compliant[0],
+        compliant[1]
+    );
+    assert!(
+        compliant[1] >= compliant[0],
+        "vLiteRAG must hold the latency target over at least Hedra's range"
+    );
+    println!("shape checks: the throughput-balanced, latency-blind policy loses operable");
+    println!("range to unpruned shard probing and missing dispatch; vLiteRAG holds");
+    println!("latency near its 400 ms target across a wider range (paper Fig. 13).");
+}

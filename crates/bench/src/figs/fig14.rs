@@ -1,0 +1,58 @@
+//! Fig. 14 — dynamic dispatcher ablation on ORCAS 2K.
+
+use vlite_core::{RagConfig, RagSystem, SystemKind};
+use vlite_llm::ModelSpec;
+use vlite_metrics::Table;
+use vlite_workload::DatasetPreset;
+
+use crate::{banner, run_point, write_csv, POINT_REQUESTS, SEED};
+
+/// Runs the Fig. 14 harness.
+pub fn run() {
+    banner("Fig. 14", "dynamic dispatcher: average/P90 search latency and batch size");
+    let dataset = DatasetPreset::orcas_2k();
+    let model = ModelSpec::qwen3_32b();
+
+    let mut builds = Vec::new();
+    for dispatcher in [true, false] {
+        let mut config =
+            RagConfig::paper_default(SystemKind::VectorLite, dataset.clone(), model.clone());
+        config.dispatcher = dispatcher;
+        builds.push((dispatcher, RagSystem::build(config)));
+    }
+    let rates: Vec<f64> =
+        [0.7, 0.9, 1.15].iter().map(|f| f * builds[0].1.mu_llm0).collect();
+
+    let mut table = Table::new(vec![
+        "dispatcher", "rate", "avg search (ms)", "P90 search (ms)", "mean batch",
+    ]);
+    let mut csv = String::from("dispatcher,rate_rps,avg_search_s,p90_search_s,mean_batch\n");
+    let mut gains = Vec::new();
+    for &rate in &rates {
+        let mut row_pair = Vec::new();
+        for (dispatcher, system) in &builds {
+            let mut result = run_point(system, rate, POINT_REQUESTS, SEED);
+            let avg = result.search_exec.mean();
+            let p90 = result.search_exec.percentile(0.9);
+            let batch = result.search_stats.mean_batch();
+            table.row(vec![
+                if *dispatcher { "on" } else { "off" }.to_string(),
+                format!("{rate:.1}"),
+                format!("{:.1}", avg * 1e3),
+                format!("{:.1}", p90 * 1e3),
+                format!("{batch:.1}"),
+            ]);
+            csv.push_str(&format!("{dispatcher},{rate},{avg},{p90},{batch}\n"));
+            row_pair.push(avg);
+        }
+        gains.push(1.0 - row_pair[0] / row_pair[1]);
+    }
+    println!("{}", table.render());
+    write_csv("fig14_dispatcher.csv", &csv);
+    let max_gain = gains.iter().copied().fold(0.0, f64::max);
+    println!(
+        "dispatcher average-latency reduction: up to {:.0}% (paper: up to 16%)",
+        100.0 * max_gain
+    );
+    assert!(max_gain > 0.0, "dispatcher must not hurt average search latency");
+}

@@ -1,0 +1,70 @@
+//! Fig. 17 — robustness to hardware capacity: 4-, 6-, 8-GPU nodes.
+
+use vlite_core::{RagConfig, RagSystem, SystemKind};
+use vlite_llm::ModelSpec;
+use vlite_metrics::Table;
+use vlite_workload::DatasetPreset;
+
+use crate::{banner, rate_grid, run_point, write_csv, POINT_REQUESTS, SEED};
+
+/// Runs the Fig. 17 harness.
+pub fn run() {
+    banner("Fig. 17", "SLO attainment and E2E latency on 4/6/8-GPU nodes");
+    let dataset = DatasetPreset::orcas_2k();
+    let model = ModelSpec::qwen3_32b();
+    let mut csv = String::from(
+        "n_gpus,system,rate_rps,attainment,mean_e2e_s\n",
+    );
+    let mut compliant = Vec::new();
+    for n_gpus in [4usize, 6, 8] {
+        let make = |kind: SystemKind| {
+            let mut config = RagConfig::paper_default(kind, dataset.clone(), model.clone());
+            // Cloud provisioning policy: CPU cores scale with GPU count.
+            config.node = config.node.with_gpus(n_gpus);
+            RagSystem::build(config)
+        };
+        let reference = make(SystemKind::CpuOnly);
+        let rates = rate_grid(reference.mu_llm0);
+        let target = reference.slo_ttft();
+        let mut table = Table::new(vec![
+            "system", "rate", "attainment", "mean E2E (s)",
+        ]);
+        for kind in [SystemKind::CpuOnly, SystemKind::AllGpu, SystemKind::VectorLite] {
+            let system = make(kind);
+            let mut best: f64 = 0.0;
+            for &rate in &rates {
+                let result = run_point(&system, rate, POINT_REQUESTS, SEED);
+                let attainment = result.slo_attainment(target);
+                if attainment >= 0.9 {
+                    best = best.max(rate);
+                }
+                table.row(vec![
+                    kind.name().to_string(),
+                    format!("{rate:.1}"),
+                    format!("{:.1}%", 100.0 * attainment),
+                    format!("{:.2}", result.e2e.mean()),
+                ]);
+                csv.push_str(&format!(
+                    "{n_gpus},{},{rate},{attainment},{}\n",
+                    kind.name(),
+                    result.e2e.mean()
+                ));
+            }
+            if kind == SystemKind::VectorLite {
+                compliant.push((n_gpus, best));
+            }
+        }
+        println!("{n_gpus} GPUs + {} cores:", reference.config.node.cpu.cores);
+        println!("{}", table.render());
+    }
+    write_csv("fig17_capacity.csv", &csv);
+    println!("vLiteRAG SLO-compliant range by node size:");
+    for (n, r) in &compliant {
+        println!("  {n} GPUs: up to {r:.1} req/s");
+    }
+    assert!(
+        compliant.windows(2).all(|w| w[1].1 >= w[0].1),
+        "compliant range must grow with GPU count"
+    );
+    println!("shape check: range grows roughly in proportion to GPU count (paper §VI-E4).");
+}

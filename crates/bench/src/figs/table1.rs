@@ -1,0 +1,55 @@
+//! Table I — SLO target values used in the main evaluation.
+
+use vlite_core::{RagConfig, RagSystem, SystemKind};
+use vlite_llm::ModelSpec;
+use vlite_metrics::Table;
+use vlite_workload::DatasetPreset;
+
+use crate::{banner, write_csv};
+
+/// Runs the Table I harness.
+pub fn run() {
+    banner("Table I", "SLO targets: search (configured) and LLM (measured at capacity)");
+    // The paper pairs rows positionally: Wiki-All/Llama3-8B,
+    // ORCAS 1K/Qwen3-32B, ORCAS 2K/Llama3-70B.
+    let rows = [
+        (DatasetPreset::wiki_all(), ModelSpec::llama3_8b(), 217.0),
+        (DatasetPreset::orcas_1k(), ModelSpec::qwen3_32b(), 191.0),
+        (DatasetPreset::orcas_2k(), ModelSpec::llama3_70b(), 311.0),
+    ];
+    let mut table = Table::new(vec![
+        "Vector Index",
+        "SLO_search (ms)",
+        "LLM",
+        "SLO_LLM measured (ms)",
+        "SLO_LLM paper (ms)",
+    ]);
+    let mut csv = String::from("dataset,slo_search_ms,model,slo_llm_ms,paper_slo_llm_ms\n");
+    for (dataset, model, paper_ms) in rows {
+        let system = RagSystem::build(RagConfig::paper_default(
+            SystemKind::CpuOnly,
+            dataset.clone(),
+            model.clone(),
+        ));
+        let measured = system.slo_llm * 1e3;
+        table.row(vec![
+            dataset.name.to_string(),
+            format!("{:.0}", dataset.slo_search_ms),
+            model.name.clone(),
+            format!("{measured:.0}"),
+            format!("{paper_ms:.0}"),
+        ]);
+        csv.push_str(&format!(
+            "{},{},{},{measured},{paper_ms}\n",
+            dataset.name, dataset.slo_search_ms, model.name
+        ));
+        let ratio = measured / paper_ms;
+        assert!(
+            (0.4..2.5).contains(&ratio),
+            "{}: SLO_LLM {measured:.0}ms too far from paper {paper_ms:.0}ms",
+            model.name
+        );
+    }
+    println!("{}", table.render());
+    write_csv("table1_slo.csv", &csv);
+}

@@ -1,0 +1,63 @@
+//! Table II — SLO targets and the resulting GPU memory split.
+
+use vlite_core::{RagConfig, RagSystem, SystemKind};
+use vlite_llm::ModelSpec;
+use vlite_metrics::Table;
+use vlite_workload::DatasetPreset;
+
+use crate::{banner, write_csv};
+
+/// Runs the Table II harness.
+pub fn run() {
+    banner("Table II", "SLO -> index shard / parameter / KV-cache memory split");
+    let dataset = DatasetPreset::orcas_1k();
+    let model = ModelSpec::qwen3_32b();
+    // Paper reference rows (GB): index shard sizes at each SLO.
+    let paper_index_gb = [(100.0, 3.80), (150.0, 2.95), (200.0, 2.47), (250.0, 2.21)];
+    let gib = |b: u64| b as f64 / (1u64 << 30) as f64;
+
+    let mut table = Table::new(vec![
+        "SLO (ms)",
+        "Index (GB)",
+        "paper Index (GB)",
+        "Param (GB)",
+        "KV Cache (GB)",
+        "coverage",
+    ]);
+    let mut csv = String::from("slo_ms,index_gb,paper_index_gb,param_gb,kv_gb,coverage\n");
+    let mut prev_index = f64::INFINITY;
+    for (slo_ms, paper_gb) in paper_index_gb {
+        let mut config =
+            RagConfig::paper_default(SystemKind::VectorLite, dataset.clone(), model.clone());
+        config.slo_search = slo_ms / 1e3;
+        let system = RagSystem::build(config);
+        let d = &system.decision;
+        // Paper units: index = total GPU-resident bytes; param and KV =
+        // per-GPU (params are the TP slice).
+        let index_gb = gib(d.index_bytes);
+        let param_gb = gib(system.llm_cost.param_bytes_per_gpu());
+        let n_llm_gpus = (system.n_llm_instances * system.config.tp as usize) as u64;
+        let kv_gb = gib(d.kv_bytes_remaining / n_llm_gpus);
+        table.row(vec![
+            format!("{slo_ms:.0}"),
+            format!("{index_gb:.2}"),
+            format!("{paper_gb:.2}"),
+            format!("{param_gb:.2}"),
+            format!("{kv_gb:.2}"),
+            format!("{:.1}%", 100.0 * d.coverage),
+        ]);
+        csv.push_str(&format!(
+            "{slo_ms},{index_gb},{paper_gb},{param_gb},{kv_gb},{}\n",
+            d.coverage
+        ));
+        assert!(
+            index_gb <= prev_index + 1e-9,
+            "index share must shrink as the SLO relaxes"
+        );
+        prev_index = index_gb;
+    }
+    println!("{}", table.render());
+    write_csv("table2_memory.csv", &csv);
+    println!("shape check: tighter SLOs allocate more GPU memory to the index and");
+    println!("less to KV cache, monotonically — the paper's Table II trend.");
+}

@@ -1,0 +1,77 @@
+//! Shared harness utilities for regenerating the paper's tables and
+//! figures.
+//!
+//! Each `src/bin/figNN_*.rs` binary reproduces one table or figure of the
+//! VectorLiteRAG evaluation (see `DESIGN.md` §5 for the experiment index);
+//! `run_all` executes every harness in sequence. Results print as aligned
+//! tables and are also written as CSV under `results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figs;
+
+use std::fs;
+use std::path::PathBuf;
+
+use vlite_core::{PipelineConfig, RagConfig, RagPipeline, RagSystem, RunResult, SystemKind};
+use vlite_llm::ModelSpec;
+use vlite_workload::DatasetPreset;
+
+/// Output directory for CSV artifacts (created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from("results");
+    fs::create_dir_all(&dir).expect("can create results/");
+    dir
+}
+
+/// Writes a CSV artifact and reports the path on stdout.
+pub fn write_csv(name: &str, contents: &str) {
+    let path = results_dir().join(name);
+    fs::write(&path, contents).expect("can write results CSV");
+    println!("[csv] {}", path.display());
+}
+
+/// Prints a figure/table banner.
+pub fn banner(id: &str, caption: &str) {
+    println!("\n=== {id} — {caption} ===");
+}
+
+/// The paper's nine (dataset, model) evaluation pairs (Fig. 11 grid order:
+/// datasets are rows, models are columns).
+pub fn evaluation_grid() -> Vec<(DatasetPreset, ModelSpec)> {
+    let mut grid = Vec::new();
+    for dataset in DatasetPreset::all() {
+        for model in ModelSpec::all() {
+            grid.push((dataset.clone(), model.clone()));
+        }
+    }
+    grid
+}
+
+/// Builds the system for one evaluation cell.
+pub fn build_cell(kind: SystemKind, dataset: &DatasetPreset, model: &ModelSpec) -> RagSystem {
+    RagSystem::build(RagConfig::paper_default(kind, dataset.clone(), model.clone()))
+}
+
+/// Runs one pipeline point.
+pub fn run_point(system: &RagSystem, rate: f64, n_requests: usize, seed: u64) -> RunResult {
+    RagPipeline::new(system).run(&PipelineConfig::new(rate, n_requests, seed))
+}
+
+/// Standard arrival-rate grid: fractions of the node's bare LLM capacity,
+/// spanning the under-loaded through the over-saturated regimes the way the
+/// paper's x-axes do.
+pub fn rate_grid(bare_capacity: f64) -> Vec<f64> {
+    [0.5, 0.65, 0.8, 0.9, 1.0, 1.1, 1.25]
+        .iter()
+        .map(|f| f * bare_capacity)
+        .collect()
+}
+
+/// Requests per simulated point (kept moderate so `run_all` finishes in
+/// minutes; raise for tighter tails).
+pub const POINT_REQUESTS: usize = 600;
+
+/// Shared seed for harness runs.
+pub const SEED: u64 = 0xf1a9;

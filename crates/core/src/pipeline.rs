@@ -1,0 +1,410 @@
+//! End-to-end RAG serving pipeline in virtual time.
+//!
+//! Drives Poisson arrivals through the hybrid search engine and the
+//! continuous-batching LLM instances, recording per-request TTFT (with its
+//! queueing/search/prefill breakdown, Fig. 12), end-to-end latency and SLO
+//! attainment — the measurement spine of Figs. 10–17.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use vlite_llm::{LlmEngine, LlmEvent, LlmRequest};
+use vlite_metrics::LatencyRecorder;
+use vlite_sim::{EventQueue, PoissonProcess, SimDuration, SimTime};
+
+use crate::{HybridSearchEngine, RagSystem, SearchRequest, SearchStats, SystemKind};
+
+/// Parameters of one pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Poisson arrival rate, requests/s.
+    pub arrival_rate: f64,
+    /// Number of requests to serve.
+    pub n_requests: usize,
+    /// RNG seed (arrivals and probe draws).
+    pub seed: u64,
+    /// Document fetch latency between retrieval and generation (seconds).
+    pub doc_fetch: f64,
+}
+
+impl PipelineConfig {
+    /// Creates a run config with the paper's defaults (2 ms doc fetch).
+    pub fn new(arrival_rate: f64, n_requests: usize, seed: u64) -> Self {
+        Self { arrival_rate, n_requests, seed, doc_fetch: 0.002 }
+    }
+}
+
+/// Per-request timeline.
+#[derive(Debug, Clone, Copy, Default)]
+struct RequestRecord {
+    arrival: SimTime,
+    batch_start: Option<SimTime>,
+    search_done: Option<SimTime>,
+    llm_submit: Option<SimTime>,
+    first_token: Option<SimTime>,
+    completed: Option<SimTime>,
+    hit_rate: f64,
+}
+
+/// Aggregated outcome of a pipeline run.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Time to first token per request (arrival → first token).
+    pub ttft: LatencyRecorder,
+    /// End-to-end latency per request (arrival → last token).
+    pub e2e: LatencyRecorder,
+    /// Retrieval latency including queueing (arrival → search done).
+    pub search_total: LatencyRecorder,
+    /// Retrieval queueing delay (arrival → batch start).
+    pub search_queue: LatencyRecorder,
+    /// Retrieval execution (batch start → search done).
+    pub search_exec: LatencyRecorder,
+    /// Generation-side queueing (search done → first token, minus the
+    /// prefill estimate).
+    pub llm_queue: LatencyRecorder,
+    /// Single-request prefill time estimate (seconds) used in breakdowns.
+    pub prefill_estimate: f64,
+    /// Per-request cache hit rates.
+    pub hit_rates: Vec<f64>,
+    /// Search-engine statistics (batch sizes, min hit rates).
+    pub search_stats: SearchStats,
+    /// Requests completed.
+    pub completed: usize,
+    /// Total LLM preemptions across instances.
+    pub preemptions: u64,
+}
+
+impl RunResult {
+    /// TTFT SLO attainment against a latency target in seconds.
+    pub fn slo_attainment(&self, target: f64) -> f64 {
+        self.ttft.fraction_within(target)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    Arrival(u64),
+    QueryDone(u64),
+    BatchDone,
+    LlmSubmit(u64),
+    LlmStep(usize),
+}
+
+/// The pipeline simulator.
+///
+/// # Examples
+///
+/// ```
+/// use vlite_core::{PipelineConfig, RagConfig, RagPipeline, RagSystem, SystemKind};
+///
+/// let system = RagSystem::build(RagConfig::tiny(SystemKind::VectorLite));
+/// let result = RagPipeline::new(&system).run(&PipelineConfig::new(10.0, 50, 1));
+/// assert_eq!(result.completed, 50);
+/// ```
+#[derive(Debug)]
+pub struct RagPipeline<'a> {
+    system: &'a RagSystem,
+}
+
+impl<'a> RagPipeline<'a> {
+    /// Creates a pipeline over a built system.
+    pub fn new(system: &'a RagSystem) -> Self {
+        Self { system }
+    }
+
+    /// Runs the simulation to completion and aggregates results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.n_requests == 0`.
+    pub fn run(&self, config: &PipelineConfig) -> RunResult {
+        assert!(config.n_requests > 0, "need at least one request");
+        let system = self.system;
+        let tp = system.config.tp as usize;
+        let co_located = matches!(
+            system.config.system,
+            SystemKind::VectorLite | SystemKind::AllGpu | SystemKind::HedraRag
+        );
+
+        // Search engine.
+        let mut search = HybridSearchEngine::new(
+            system.config.system,
+            system.cost.clone(),
+            system.workload.clone(),
+            &system.profile,
+            system.router.clone(),
+            system.config.dispatcher,
+            system.shard_gpus.clone(),
+            system.config.node.n_gpus,
+            config.seed,
+        );
+
+        // LLM instances.
+        let mut llms: Vec<LlmEngine> = (0..system.n_llm_instances)
+            .map(|_| LlmEngine::new(system.llm_cost.clone(), system.kv_bytes_per_instance))
+            .collect();
+        let mut llm_busy = vec![false; llms.len()];
+        let mut llm_pending: Vec<Vec<LlmEvent>> = vec![Vec::new(); llms.len()];
+
+        // Requests and arrivals.
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut arrivals = PoissonProcess::new(config.arrival_rate);
+        let mut records: Vec<RequestRecord> = Vec::with_capacity(config.n_requests);
+        let mut events: EventQueue<Event> = EventQueue::new();
+        for id in 0..config.n_requests as u64 {
+            let at = arrivals.next_arrival(&mut rng);
+            records.push(RequestRecord { arrival: at, ..Default::default() });
+            events.schedule(at, Event::Arrival(id));
+        }
+        let mut batch_of: HashMap<u64, (SimTime, f64)> = HashMap::new();
+        let mut completed = 0usize;
+
+        while let Some((now, event)) = events.pop() {
+            match event {
+                Event::Arrival(id) => {
+                    search.enqueue(SearchRequest { id, arrival: now });
+                    if let Some(plan) = search.try_start_batch(now) {
+                        schedule_batch(&mut events, &mut batch_of, &plan);
+                    }
+                }
+                Event::BatchDone => {
+                    search.finish_batch(now);
+                    if let Some(plan) = search.try_start_batch(now) {
+                        schedule_batch(&mut events, &mut batch_of, &plan);
+                    }
+                }
+                Event::QueryDone(id) => {
+                    let (batch_start, hit) = batch_of.remove(&id).expect("query was planned");
+                    let rec = &mut records[id as usize];
+                    rec.batch_start = Some(batch_start);
+                    rec.search_done = Some(now);
+                    rec.hit_rate = hit;
+                    events.schedule(
+                        now + SimDuration::from_secs_f64(config.doc_fetch),
+                        Event::LlmSubmit(id),
+                    );
+                }
+                Event::LlmSubmit(id) => {
+                    records[id as usize].llm_submit = Some(now);
+                    // Least-loaded instance by outstanding work.
+                    let instance = (0..llms.len())
+                        .min_by_key(|&i| llms[i].queue_len() + llms[i].running_len())
+                        .expect("at least one instance");
+                    llms[instance].submit(
+                        LlmRequest::new(
+                            id,
+                            system.config.input_tokens,
+                            system.config.output_tokens,
+                        ),
+                        now,
+                    );
+                    if !llm_busy[instance] {
+                        advance_llm(
+                            system, &search, &mut llms, &mut llm_busy, &mut llm_pending,
+                            instance, now, &mut events, tp, co_located,
+                        );
+                    }
+                }
+                Event::LlmStep(instance) => {
+                    llm_busy[instance] = false;
+                    for ev in std::mem::take(&mut llm_pending[instance]) {
+                        match ev {
+                            LlmEvent::FirstToken { id, at } => {
+                                records[id as usize].first_token = Some(at);
+                            }
+                            LlmEvent::Completed { id, at } => {
+                                records[id as usize].completed = Some(at);
+                                completed += 1;
+                            }
+                        }
+                    }
+                    advance_llm(
+                        system, &search, &mut llms, &mut llm_busy, &mut llm_pending, instance,
+                        now, &mut events, tp, co_located,
+                    );
+                }
+            }
+        }
+
+        self.aggregate(config, records, completed, search, llms)
+    }
+
+    fn aggregate(
+        &self,
+        _config: &PipelineConfig,
+        records: Vec<RequestRecord>,
+        completed: usize,
+        search: HybridSearchEngine,
+        llms: Vec<LlmEngine>,
+    ) -> RunResult {
+        let prefill_estimate =
+            self.system.llm_cost.prefill_time(self.system.config.input_tokens, 1.0).as_secs_f64();
+        let mut ttft = LatencyRecorder::new();
+        let mut e2e = LatencyRecorder::new();
+        let mut search_total = LatencyRecorder::new();
+        let mut search_queue = LatencyRecorder::new();
+        let mut search_exec = LatencyRecorder::new();
+        let mut llm_queue = LatencyRecorder::new();
+        let mut hit_rates = Vec::with_capacity(records.len());
+        for rec in &records {
+            let (Some(batch_start), Some(search_done), Some(first), Some(done)) =
+                (rec.batch_start, rec.search_done, rec.first_token, rec.completed)
+            else {
+                continue;
+            };
+            ttft.record((first - rec.arrival).as_secs_f64());
+            e2e.record((done - rec.arrival).as_secs_f64());
+            search_total.record((search_done - rec.arrival).as_secs_f64());
+            search_queue.record((batch_start - rec.arrival).as_secs_f64());
+            search_exec.record((search_done - batch_start).as_secs_f64());
+            let wait =
+                ((first - rec.llm_submit.expect("submitted")).as_secs_f64() - prefill_estimate)
+                    .max(0.0);
+            llm_queue.record(wait);
+            hit_rates.push(rec.hit_rate);
+        }
+        RunResult {
+            ttft,
+            e2e,
+            search_total,
+            search_queue,
+            search_exec,
+            llm_queue,
+            prefill_estimate,
+            hit_rates,
+            search_stats: search.stats().clone(),
+            completed,
+            preemptions: llms.iter().map(|l| l.stats().preemptions).sum(),
+        }
+    }
+}
+
+fn schedule_batch(
+    events: &mut EventQueue<Event>,
+    batch_of: &mut HashMap<u64, (SimTime, f64)>,
+    plan: &crate::BatchPlan,
+) {
+    for q in &plan.queries {
+        batch_of.insert(q.id, (plan.started_at, q.hit_rate));
+        events.schedule(plan.started_at + q.done_offset, Event::QueryDone(q.id));
+    }
+    events.schedule(plan.busy_until, Event::BatchDone);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn advance_llm(
+    system: &RagSystem,
+    search: &HybridSearchEngine,
+    llms: &mut [LlmEngine],
+    llm_busy: &mut [bool],
+    llm_pending: &mut [Vec<LlmEvent>],
+    instance: usize,
+    now: SimTime,
+    events: &mut EventQueue<Event>,
+    tp: usize,
+    co_located: bool,
+) {
+    // Retrieval interference: mean duty cycle over this instance's GPUs,
+    // scaled by how aggressively this system's kernels contend.
+    let factor = if co_located {
+        let gpus = instance * tp..(instance + 1) * tp;
+        let duty: f64 =
+            gpus.clone().map(|g| search.gpu_duty(g, now)).sum::<f64>() / tp as f64;
+        vlite_llm::LlmCostModel::interference(duty * search.contention_coeff())
+    } else {
+        1.0
+    };
+    llms[instance].set_interference(factor);
+    if let Some(step) = llms[instance].advance(now) {
+        llm_pending[instance] = step.events;
+        llm_busy[instance] = true;
+        events.schedule(step.busy_until, Event::LlmStep(instance));
+    } else {
+        debug_assert!(system.n_llm_instances > 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RagConfig;
+
+    fn run(kind: SystemKind, rate: f64, n: usize) -> RunResult {
+        let system = RagSystem::build(RagConfig::tiny(kind));
+        RagPipeline::new(&system).run(&PipelineConfig::new(rate, n, 3))
+    }
+
+    #[test]
+    fn all_requests_complete() {
+        for kind in SystemKind::main_four() {
+            let result = run(kind, 8.0, 60);
+            assert_eq!(result.completed, 60, "{kind:?} lost requests");
+            assert_eq!(result.ttft.len(), 60);
+            assert_eq!(result.e2e.len(), 60);
+        }
+    }
+
+    #[test]
+    fn ttft_below_e2e_everywhere() {
+        let mut result = run(SystemKind::VectorLite, 10.0, 80);
+        assert!(result.ttft.percentile(1.0) <= result.e2e.percentile(0.0) + 60.0);
+        for (t, e) in result.ttft.samples().iter().zip(result.e2e.samples()) {
+            assert!(t <= e, "TTFT {t} exceeds E2E {e}");
+        }
+    }
+
+    #[test]
+    fn breakdown_components_sum_to_at_most_ttft() {
+        let result = run(SystemKind::VectorLite, 10.0, 60);
+        // queue + exec = search_total; search_total + prefill ≤ ttft + ε.
+        let st = result.search_total.mean();
+        let parts = result.search_queue.mean() + result.search_exec.mean();
+        assert!((st - parts).abs() < 1e-6, "queue+exec {parts} != total {st}");
+        assert!(st + result.prefill_estimate <= result.ttft.mean() + 1e-3);
+    }
+
+    #[test]
+    fn overload_degrades_latency() {
+        let light = run(SystemKind::CpuOnly, 2.0, 60);
+        let heavy = run(SystemKind::CpuOnly, 60.0, 60);
+        let (mut l, mut h) = (light, heavy);
+        assert!(
+            h.ttft.percentile(0.9) > l.ttft.percentile(0.9),
+            "overload should inflate TTFT: {} vs {}",
+            h.ttft.percentile(0.9),
+            l.ttft.percentile(0.9)
+        );
+    }
+
+    #[test]
+    fn batch_size_grows_with_arrival_rate() {
+        // CPU-only has the slowest search service time, so on-demand
+        // batching must accumulate requests once arrivals outpace it.
+        let slow = run(SystemKind::CpuOnly, 2.0, 80);
+        let fast = run(SystemKind::CpuOnly, 400.0, 80);
+        assert!(
+            fast.search_stats.mean_batch() > slow.search_stats.mean_batch(),
+            "fast {} <= slow {}",
+            fast.search_stats.mean_batch(),
+            slow.search_stats.mean_batch()
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let system = RagSystem::build(RagConfig::tiny(SystemKind::VectorLite));
+        let a = RagPipeline::new(&system).run(&PipelineConfig::new(10.0, 40, 5));
+        let b = RagPipeline::new(&system).run(&PipelineConfig::new(10.0, 40, 5));
+        assert_eq!(a.ttft.samples(), b.ttft.samples());
+    }
+
+    #[test]
+    fn hit_rates_recorded_for_vectorlite() {
+        let result = run(SystemKind::VectorLite, 10.0, 50);
+        assert_eq!(result.hit_rates.len(), 50);
+        // Tiny preset caches aggressively: some queries must hit.
+        assert!(result.hit_rates.iter().any(|&h| h > 0.0));
+    }
+}

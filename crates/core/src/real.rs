@@ -1,0 +1,337 @@
+//! Real-tier deployment: the full VectorLiteRAG offline + runtime path over
+//! an actual [`IvfIndex`] (no cost models), including the threaded dynamic
+//! dispatcher of §IV-B2.
+//!
+//! The "GPU" shards are executed by dedicated worker threads — this
+//! environment has no GPUs, but the *coordination structure* is the paper's:
+//! per-shard workers scan their pruned probe lists and raise completion
+//! flags; the CPU loop scans cold clusters grouped by query and fires a
+//! callback as each query finishes; a dispatcher thread polls the completion
+//! queue, merges CPU and shard partials, re-ranks and forwards early
+//! finishers.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use crossbeam::channel;
+
+use vlite_ann::{merge_sorted, IvfConfig, IvfIndex, Neighbor, VecSet};
+use vlite_workload::SyntheticCorpus;
+
+use crate::{
+    partition, AccessProfile, HitRateEstimator, IndexSplit, PartitionDecision, PartitionInput,
+    PerfModel, RoutedQuery, Router,
+};
+
+/// Configuration for a real-tier deployment.
+#[derive(Debug, Clone)]
+pub struct RealConfig {
+    /// IVF configuration for the index.
+    pub ivf: IvfConfig,
+    /// Probes per query.
+    pub nprobe: usize,
+    /// Results per query.
+    pub top_k: usize,
+    /// Calibration queries for profiling.
+    pub n_profile_queries: usize,
+    /// Search-stage SLO in seconds.
+    pub slo_search: f64,
+    /// Bare LLM throughput assumed by the partitioner (requests/s).
+    pub mu_llm0: f64,
+    /// KV bytes available with no index resident.
+    pub kv_bytes_full: u64,
+    /// Number of shard workers ("GPUs").
+    pub n_shards: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RealConfig {
+    /// Defaults suitable for the small synthetic corpora used in tests.
+    pub fn small() -> Self {
+        Self {
+            ivf: IvfConfig::new(128),
+            nprobe: 16,
+            top_k: 10,
+            n_profile_queries: 512,
+            slo_search: 0.030,
+            mu_llm0: 50.0,
+            kv_bytes_full: 8 << 30,
+            n_shards: 2,
+            seed: 0x7ea1,
+        }
+    }
+}
+
+/// A deployment over a real index: profile, model, decision, split.
+#[derive(Debug)]
+pub struct RealDeployment {
+    /// The trained IVF index.
+    pub index: IvfIndex,
+    /// Access profile measured by replaying calibration queries.
+    pub profile: AccessProfile,
+    /// Latency model fitted from wall-clock measurements.
+    pub perf: PerfModel,
+    /// Hit-rate estimator over the measured profile.
+    pub estimator: HitRateEstimator,
+    /// Partitioning decision.
+    pub decision: PartitionDecision,
+    /// Router over the built split.
+    pub router: Router,
+    config: RealConfig,
+}
+
+impl RealDeployment {
+    /// Runs the full offline stage on a corpus: train the index, profile
+    /// access patterns and latencies with real measurements, estimate,
+    /// partition and split.
+    ///
+    /// # Errors
+    ///
+    /// Propagates index-training errors.
+    pub fn build(corpus: &SyntheticCorpus, config: RealConfig) -> vlite_ann::Result<Self> {
+        let index = IvfIndex::train(&corpus.vectors, &config.ivf)?;
+        let calibration = corpus.queries(config.n_profile_queries, config.seed);
+
+        // Access profiling: replay the coarse quantizer.
+        let nlist = index.nlist();
+        let mut counts = vec![0u64; nlist];
+        let mut probe_sets = Vec::with_capacity(calibration.len());
+        for q in calibration.iter() {
+            let probes: Vec<u32> =
+                index.probe(q, config.nprobe).iter().map(|p| p.list).collect();
+            for &c in &probes {
+                counts[c as usize] += 1;
+            }
+            probe_sets.push(probes);
+        }
+        let sizes: Vec<u64> = (0..nlist).map(|l| index.list_len(l) as u64).collect();
+        let bytes: Vec<u64> = (0..nlist).map(|l| index.list_bytes(l) as u64).collect();
+        let profile = AccessProfile::from_parts(counts, sizes, bytes, probe_sets);
+
+        // Latency profiling: wall-clock CQ and LUT timings per batch size.
+        let mut samples = Vec::new();
+        for &batch in &[1usize, 2, 4, 8, 16] {
+            let reps = (32 / batch).max(2);
+            let (mut t_cq, mut t_lut) = (0.0f64, 0.0f64);
+            for rep in 0..reps {
+                let start_q = (rep * batch) % calibration.len().saturating_sub(batch).max(1);
+                let t0 = Instant::now();
+                let mut probe_lists = Vec::with_capacity(batch);
+                for i in 0..batch {
+                    let q = calibration.get((start_q + i) % calibration.len());
+                    probe_lists.push(index.probe(q, config.nprobe));
+                }
+                let cq_done = Instant::now();
+                for (i, probes) in probe_lists.iter().enumerate() {
+                    let q = calibration.get((start_q + i) % calibration.len());
+                    let lists: Vec<u32> = probes.iter().map(|p| p.list).collect();
+                    let _ = index.scan_lists(q, &lists, config.top_k);
+                }
+                let scan_done = Instant::now();
+                t_cq += cq_done.duration_since(t0).as_secs_f64();
+                t_lut += scan_done.duration_since(cq_done).as_secs_f64();
+            }
+            samples.push((batch as f64, t_cq / reps as f64, t_lut / reps as f64));
+        }
+        let perf = PerfModel::fit(&samples).expect("timing samples are finite");
+
+        let estimator = HitRateEstimator::from_profile(&profile);
+        let input = PartitionInput::new(config.slo_search, config.mu_llm0, config.kv_bytes_full);
+        let decision = partition(&input, &perf, &estimator, &profile);
+        let split = IndexSplit::build(&profile, decision.coverage, config.n_shards);
+        let router = Router::new(split);
+        Ok(Self { index, profile, perf, estimator, decision, router, config })
+    }
+
+    /// The deployment configuration.
+    pub fn config(&self) -> &RealConfig {
+        &self.config
+    }
+
+    /// Plain (non-hybrid) search, for ground-truthing the hybrid path.
+    pub fn search_flat_path(&self, query: &[f32]) -> Vec<Neighbor> {
+        self.index.search(query, self.config.top_k, self.config.nprobe)
+    }
+
+    /// Hybrid batched search through the threaded dispatcher. Returns the
+    /// final top-k per query plus the completion order observed by the
+    /// dispatcher.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries` is empty.
+    pub fn hybrid_search_batch(&self, queries: &VecSet) -> DispatchOutcome {
+        assert!(!queries.is_empty(), "batch must be non-empty");
+        let routed: Vec<RoutedQuery> = queries
+            .iter()
+            .map(|q| {
+                let probes: Vec<u32> =
+                    self.index.probe(q, self.config.nprobe).iter().map(|p| p.list).collect();
+                self.router.route(&probes)
+            })
+            .collect();
+        run_dispatcher(&self.index, queries, &routed, self.config.top_k)
+    }
+}
+
+/// Outcome of one dispatched batch.
+#[derive(Debug)]
+pub struct DispatchOutcome {
+    /// Final merged top-k per query (input order).
+    pub results: Vec<Vec<Neighbor>>,
+    /// Query indices in dispatcher completion order.
+    pub completion_order: Vec<usize>,
+}
+
+/// The threaded dynamic dispatcher (§IV-B2).
+///
+/// Shard workers scan their (pruned) probe lists for the whole batch and
+/// set completion flags; the CPU worker scans cold probes query-by-query
+/// and pushes each finished query into a channel; the dispatcher thread
+/// waits for all shard flags, then merges and re-ranks each query as it
+/// arrives, recording completion order.
+fn run_dispatcher(
+    index: &IvfIndex,
+    queries: &VecSet,
+    routed: &[RoutedQuery],
+    k: usize,
+) -> DispatchOutcome {
+    let n_queries = queries.len();
+    let n_shards = routed.first().map_or(0, |r| r.shard_probes.len());
+    let shard_flags: Vec<AtomicBool> = (0..n_shards).map(|_| AtomicBool::new(false)).collect();
+    let (shard_tx, shard_rx) = channel::unbounded::<(usize, Vec<Vec<Neighbor>>)>();
+    let (cpu_tx, cpu_rx) = channel::unbounded::<(usize, Vec<Neighbor>)>();
+
+    let mut results: Vec<Vec<Neighbor>> = vec![Vec::new(); n_queries];
+    let mut completion_order: Vec<usize> = Vec::with_capacity(n_queries);
+
+    std::thread::scope(|scope| {
+        // Shard ("GPU") workers: scan all queries' pruned lists, publish the
+        // partials, raise the completion flag.
+        for shard in 0..n_shards {
+            let tx = shard_tx.clone();
+            let flags = &shard_flags;
+            scope.spawn(move || {
+                let mut partials: Vec<Vec<Neighbor>> = vec![Vec::new(); n_queries];
+                for (qi, out) in partials.iter_mut().enumerate() {
+                    let lists = &routed[qi].shard_probes_global[shard];
+                    if !lists.is_empty() {
+                        *out = index.scan_lists(queries.get(qi), lists, k);
+                    }
+                }
+                flags[shard].store(true, Ordering::Release);
+                tx.send((shard, partials)).expect("dispatcher alive");
+            });
+        }
+        drop(shard_tx);
+        // CPU worker: query-by-query cold scan with completion callback.
+        scope.spawn(move || {
+            for (qi, r) in routed.iter().enumerate() {
+                let partial = if r.cpu_probes.is_empty() {
+                    Vec::new()
+                } else {
+                    index.scan_lists(queries.get(qi), &r.cpu_probes, k)
+                };
+                // The callback: the query has scanned all assigned clusters.
+                cpu_tx.send((qi, partial)).expect("dispatcher alive");
+            }
+            drop(cpu_tx);
+        });
+        // Dispatcher: wait for all GPU flags (collecting the partials), then
+        // poll the CPU completion queue, merging and re-ranking per query.
+        let mut shard_partials: Vec<Vec<Vec<Neighbor>>> =
+            vec![vec![Vec::new(); n_queries]; n_shards];
+        for _ in 0..n_shards {
+            let (shard, partials) = shard_rx.recv().expect("shard worker alive");
+            debug_assert!(shard_flags[shard].load(Ordering::Acquire));
+            shard_partials[shard] = partials;
+        }
+        while let Ok((qi, cpu_partial)) = cpu_rx.recv() {
+            let mut lists: Vec<Vec<Neighbor>> = vec![cpu_partial];
+            for partials in &shard_partials {
+                lists.push(partials[qi].clone());
+            }
+            results[qi] = merge_sorted(&lists, k);
+            completion_order.push(qi);
+        }
+    });
+
+    DispatchOutcome { results, completion_order }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vlite_workload::CorpusConfig;
+
+    fn deployment() -> RealDeployment {
+        let corpus = SyntheticCorpus::generate(&CorpusConfig {
+            n_vectors: 6000,
+            dim: 16,
+            n_centers: 32,
+            zipf_exponent: 1.2,
+            noise: 0.25,
+            seed: 9,
+        });
+        RealDeployment::build(&corpus, RealConfig::small()).expect("build succeeds")
+    }
+
+    #[test]
+    fn profile_reflects_real_skew() {
+        let d = deployment();
+        // Zipf-weighted topics ⇒ skewed cluster accesses on a real index.
+        let top20 = d.profile.mean_hit_rate(0.2);
+        assert!(top20 > 0.3, "real access skew too weak: top-20% covers {top20}");
+    }
+
+    #[test]
+    fn hybrid_results_match_plain_search_exactly() {
+        // Routing partitions the probe list; scanning hot lists on shard
+        // workers and cold lists on the CPU must reproduce the single-path
+        // scan exactly after the merge.
+        let d = deployment();
+        let corpus_queries = {
+            let corpus = SyntheticCorpus::generate(&CorpusConfig {
+                n_vectors: 6000,
+                dim: 16,
+                n_centers: 32,
+                zipf_exponent: 1.2,
+                noise: 0.25,
+                seed: 9,
+            });
+            corpus.queries(12, 77)
+        };
+        let outcome = d.hybrid_search_batch(&corpus_queries);
+        for (qi, q) in corpus_queries.iter().enumerate() {
+            let plain = d.search_flat_path(q);
+            assert_eq!(outcome.results[qi], plain, "query {qi} diverged");
+        }
+    }
+
+    #[test]
+    fn dispatcher_completes_every_query_exactly_once() {
+        let d = deployment();
+        let corpus = SyntheticCorpus::generate(&CorpusConfig {
+            n_vectors: 6000,
+            dim: 16,
+            n_centers: 32,
+            zipf_exponent: 1.2,
+            noise: 0.25,
+            seed: 9,
+        });
+        let queries = corpus.queries(9, 31);
+        let outcome = d.hybrid_search_batch(&queries);
+        let mut order = outcome.completion_order.clone();
+        order.sort_unstable();
+        assert_eq!(order, (0..9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn decision_is_well_formed_on_real_measurements() {
+        let d = deployment();
+        assert!((0.0..=1.0).contains(&d.decision.coverage));
+        assert!(d.decision.index_bytes <= d.profile.total_bytes());
+        assert!(d.decision.expected_batch >= 1);
+    }
+}

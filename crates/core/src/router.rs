@@ -1,0 +1,194 @@
+//! Query router (§IV-B1).
+//!
+//! After coarse quantization, the router splits each query's probe list by
+//! the mapping tables: probes of GPU-resident clusters go to exactly the
+//! shard holding them (with remapped local ids), the rest stay on the CPU.
+//! Unlike Faiss's `IndexIVFShards` — which sends the *full* probe list to
+//! every shard and launches kernels even for non-resident clusters — the
+//! router prunes, so per-shard `nprobe` shrinks and GPU scheduling pressure
+//! drops.
+
+use crate::{IndexSplit, Placement};
+
+/// A query's probe list after routing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutedQuery {
+    /// Per-shard probe lists, as shard-local cluster ids.
+    pub shard_probes: Vec<Vec<u32>>,
+    /// Per-shard probe lists, as global cluster ids (same order as
+    /// `shard_probes`; kept for accounting and result attribution).
+    pub shard_probes_global: Vec<Vec<u32>>,
+    /// Probes served by the CPU (global cluster ids).
+    pub cpu_probes: Vec<u32>,
+}
+
+impl RoutedQuery {
+    /// Number of probes that hit GPU-resident clusters.
+    pub fn gpu_probe_count(&self) -> usize {
+        self.shard_probes.iter().map(Vec::len).sum()
+    }
+
+    /// Total probes (GPU + CPU) — conserved from the input list.
+    pub fn total_probes(&self) -> usize {
+        self.gpu_probe_count() + self.cpu_probes.len()
+    }
+
+    /// The query's hit rate against the cache: GPU probes / total probes.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.total_probes();
+        if total == 0 {
+            0.0
+        } else {
+            self.gpu_probe_count() as f64 / total as f64
+        }
+    }
+}
+
+/// Routes probe lists through an [`IndexSplit`]'s mapping tables.
+///
+/// # Examples
+///
+/// ```
+/// use vlite_core::{AccessProfile, IndexSplit, Router};
+/// use vlite_workload::DatasetPreset;
+///
+/// let preset = DatasetPreset::tiny();
+/// let wl = preset.workload(13);
+/// let profile = AccessProfile::from_workload(&preset, &wl, 1_000, 13);
+/// let split = IndexSplit::build(&profile, 0.2, 2);
+/// let router = Router::new(split);
+/// let routed = router.route(&[0, 1, 2, 3]);
+/// assert_eq!(routed.total_probes(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Router {
+    split: IndexSplit,
+}
+
+impl Router {
+    /// Creates a router over a built split.
+    pub fn new(split: IndexSplit) -> Self {
+        Self { split }
+    }
+
+    /// The underlying split.
+    pub fn split(&self) -> &IndexSplit {
+        &self.split
+    }
+
+    /// Replaces the split (used by the adaptive runtime update when a
+    /// refreshed shard set is loaded).
+    pub fn install_split(&mut self, split: IndexSplit) {
+        self.split = split;
+    }
+
+    /// Routes one query's probe list.
+    pub fn route(&self, probes: &[u32]) -> RoutedQuery {
+        let n_shards = self.split.n_shards();
+        let mut shard_probes: Vec<Vec<u32>> = vec![Vec::new(); n_shards];
+        let mut shard_probes_global: Vec<Vec<u32>> = vec![Vec::new(); n_shards];
+        let mut cpu_probes = Vec::new();
+        for &cluster in probes {
+            match self.split.placement(cluster) {
+                Placement::Cpu => cpu_probes.push(cluster),
+                Placement::Gpu { shard, local } => {
+                    shard_probes[usize::from(shard)].push(local);
+                    shard_probes_global[usize::from(shard)].push(cluster);
+                }
+            }
+        }
+        RoutedQuery { shard_probes, shard_probes_global, cpu_probes }
+    }
+
+    /// Routes a batch of probe lists.
+    pub fn route_batch(&self, batch: &[Vec<u32>]) -> Vec<RoutedQuery> {
+        batch.iter().map(|probes| self.route(probes)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AccessProfile;
+    use vlite_workload::DatasetPreset;
+
+    fn router(coverage: f64, shards: usize) -> (Router, AccessProfile) {
+        let preset = DatasetPreset::tiny();
+        let wl = preset.workload(13);
+        let profile = AccessProfile::from_workload(&preset, &wl, 2000, 13);
+        let split = IndexSplit::build(&profile, coverage, shards);
+        (Router::new(split), profile)
+    }
+
+    #[test]
+    fn probes_are_conserved_exactly_once() {
+        let (router, profile) = router(0.25, 4);
+        let probes: Vec<u32> = (0..profile.nlist() as u32).step_by(3).collect();
+        let routed = router.route(&probes);
+        assert_eq!(routed.total_probes(), probes.len());
+        // Global ids across CPU + shards reproduce the input as a set.
+        let mut all: Vec<u32> = routed.cpu_probes.clone();
+        for list in &routed.shard_probes_global {
+            all.extend(list);
+        }
+        all.sort_unstable();
+        let mut expected = probes.clone();
+        expected.sort_unstable();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn local_ids_resolve_back_to_global() {
+        let (router, profile) = router(0.3, 3);
+        let probes: Vec<u32> = (0..profile.nlist() as u32).collect();
+        let routed = router.route(&probes);
+        for (shard, (locals, globals)) in routed
+            .shard_probes
+            .iter()
+            .zip(&routed.shard_probes_global)
+            .enumerate()
+        {
+            for (&local, &global) in locals.iter().zip(globals) {
+                assert_eq!(router.split().shard_clusters(shard)[local as usize], global);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_coverage_routes_everything_to_cpu() {
+        let (router, _) = router(0.0, 2);
+        let routed = router.route(&[1, 2, 3]);
+        assert_eq!(routed.cpu_probes, vec![1, 2, 3]);
+        assert_eq!(routed.gpu_probe_count(), 0);
+        assert_eq!(routed.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn full_coverage_routes_everything_to_gpus() {
+        let (router, profile) = router(1.0, 2);
+        let probes: Vec<u32> = (0..profile.nlist() as u32).step_by(7).collect();
+        let routed = router.route(&probes);
+        assert!(routed.cpu_probes.is_empty());
+        assert_eq!(routed.hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn pruning_reduces_per_shard_probe_counts() {
+        // The router's whole point: each shard sees only its own clusters,
+        // so per-shard nprobe ≪ total nprobe.
+        let (router, profile) = router(0.4, 4);
+        let probes: Vec<u32> = (0..profile.nlist() as u32).collect();
+        let routed = router.route(&probes);
+        for list in &routed.shard_probes {
+            assert!(list.len() < probes.len() / 2, "shard probe list not pruned");
+        }
+    }
+
+    #[test]
+    fn empty_probe_list_routes_empty() {
+        let (router, _) = router(0.2, 2);
+        let routed = router.route(&[]);
+        assert_eq!(routed.total_probes(), 0);
+        assert_eq!(routed.hit_rate(), 0.0);
+    }
+}

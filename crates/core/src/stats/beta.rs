@@ -1,0 +1,235 @@
+//! The Beta distribution and the regularized incomplete beta function.
+
+use super::ln_gamma;
+
+/// A Beta(α, β) distribution on `[0, 1]`.
+///
+/// The paper uses it to model per-query cache hit rates (§IV-A2): "widely
+/// used in Bayesian statistics for variables constrained to the `[0,1]`
+/// range". Parameters come from the method of moments with the variance
+/// approximation `σ² ≈ 4σ²_max·η̄(1−η̄)`, which makes the concentration
+/// `ν = α + β = 1/(4σ²_max) − 1` a workload constant.
+///
+/// # Examples
+///
+/// ```
+/// use vlite_core::stats::BetaDist;
+///
+/// let b = BetaDist::from_mean_variance(0.5, 0.05).unwrap();
+/// assert!((b.mean() - 0.5).abs() < 1e-12);
+/// assert!((b.cdf(0.5) - 0.5).abs() < 1e-9); // symmetric at the mean
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BetaDist {
+    alpha: f64,
+    beta: f64,
+}
+
+impl BetaDist {
+    /// Creates a Beta(α, β).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is not finite and positive.
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        assert!(alpha.is_finite() && alpha > 0.0, "alpha must be > 0, got {alpha}");
+        assert!(beta.is_finite() && beta > 0.0, "beta must be > 0, got {beta}");
+        Self { alpha, beta }
+    }
+
+    /// Method-of-moments fit from mean `m ∈ (0,1)` and variance `v`.
+    ///
+    /// Returns `None` when the pair is infeasible for a Beta distribution
+    /// (requires `0 < v < m(1−m)`).
+    pub fn from_mean_variance(m: f64, v: f64) -> Option<Self> {
+        if !(0.0 < m && m < 1.0) || !(v > 0.0) || v >= m * (1.0 - m) {
+            return None;
+        }
+        let nu = m * (1.0 - m) / v - 1.0;
+        Some(Self::new(m * nu, (1.0 - m) * nu))
+    }
+
+    /// Shape parameter α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Shape parameter β.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Distribution mean α/(α+β).
+    pub fn mean(&self) -> f64 {
+        self.alpha / (self.alpha + self.beta)
+    }
+
+    /// Distribution variance αβ / ((α+β)²(α+β+1)).
+    pub fn variance(&self) -> f64 {
+        let s = self.alpha + self.beta;
+        self.alpha * self.beta / (s * s * (s + 1.0))
+    }
+
+    /// Cumulative distribution function `F(x) = I_x(α, β)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN; values outside `[0,1]` clamp to the boundary.
+    pub fn cdf(&self, x: f64) -> f64 {
+        assert!(!x.is_nan(), "cdf of NaN");
+        if x <= 0.0 {
+            return 0.0;
+        }
+        if x >= 1.0 {
+            return 1.0;
+        }
+        reg_inc_beta(self.alpha, self.beta, x)
+    }
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` via the Lentz continued
+/// fraction (Numerical Recipes §6.4), with the symmetry transform for
+/// convergence when `x > (a+1)/(a+b+2)`.
+pub fn reg_inc_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&x), "x must be in [0,1], got {x}");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Continued-fraction kernel (modified Lentz method).
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-14;
+    const TINY: f64 = 1e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_special_case() {
+        // Beta(1,1) is Uniform(0,1): F(x) = x.
+        let b = BetaDist::new(1.0, 1.0);
+        for &x in &[0.0, 0.1, 0.37, 0.5, 0.92, 1.0] {
+            assert!((b.cdf(x) - x).abs() < 1e-12, "x={x}");
+        }
+    }
+
+    #[test]
+    fn closed_form_beta_2_1() {
+        // Beta(2,1): F(x) = x².
+        let b = BetaDist::new(2.0, 1.0);
+        for &x in &[0.2, 0.5, 0.8] {
+            assert!((b.cdf(x) - x * x).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        let b = BetaDist::new(0.7, 2.3); // α < 1 exercises the singular edge
+        let mut prev = 0.0;
+        for i in 0..=100 {
+            let x = i as f64 / 100.0;
+            let f = b.cdf(x);
+            assert!((0.0..=1.0).contains(&f));
+            assert!(f >= prev - 1e-12, "non-monotone at {x}");
+            prev = f;
+        }
+        assert_eq!(b.cdf(0.0), 0.0);
+        assert_eq!(b.cdf(1.0), 1.0);
+    }
+
+    #[test]
+    fn symmetry_identity() {
+        // I_x(a,b) = 1 − I_{1−x}(b,a).
+        for &(a, b, x) in &[(2.0, 5.0, 0.3), (0.5, 0.5, 0.7), (8.0, 1.5, 0.45)] {
+            let lhs = reg_inc_beta(a, b, x);
+            let rhs = 1.0 - reg_inc_beta(b, a, 1.0 - x);
+            assert!((lhs - rhs).abs() < 1e-10, "a={a} b={b} x={x}");
+        }
+    }
+
+    #[test]
+    fn moments_round_trip() {
+        let b = BetaDist::from_mean_variance(0.3, 0.02).unwrap();
+        assert!((b.mean() - 0.3).abs() < 1e-12);
+        assert!((b.variance() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infeasible_moments_rejected() {
+        // Variance must be < m(1−m).
+        assert!(BetaDist::from_mean_variance(0.5, 0.25).is_none());
+        assert!(BetaDist::from_mean_variance(0.5, 0.3).is_none());
+        assert!(BetaDist::from_mean_variance(0.0, 0.1).is_none());
+        assert!(BetaDist::from_mean_variance(1.0, 0.1).is_none());
+    }
+
+    #[test]
+    fn paper_variance_model_concentration_is_constant() {
+        // With σ² = 4σ²max·m(1−m), ν = α+β = 1/(4σ²max) − 1 for every mean.
+        let sigma2_max = 0.03;
+        let nu_expected = 1.0 / (4.0 * sigma2_max) - 1.0;
+        for &m in &[0.1, 0.3, 0.5, 0.7, 0.9] {
+            let v = 4.0 * sigma2_max * m * (1.0 - m);
+            let b = BetaDist::from_mean_variance(m, v).unwrap();
+            assert!(((b.alpha() + b.beta()) - nu_expected).abs() < 1e-9);
+        }
+    }
+}

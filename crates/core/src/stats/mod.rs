@@ -1,0 +1,18 @@
+//! Numerical statistics for the hit-rate estimator.
+//!
+//! The paper models per-query cache hit rates with a Beta distribution and
+//! needs its first-order statistic (minimum of a batch) — this module
+//! provides the special functions involved, implemented from scratch:
+//! Lanczos log-gamma, the regularized incomplete beta function via Lentz
+//! continued fractions, the Beta distribution, batch-minimum expectations,
+//! and piecewise-linear latency curve fitting.
+
+mod beta;
+mod gamma;
+mod orderstat;
+mod piecewise;
+
+pub use beta::BetaDist;
+pub use gamma::ln_gamma;
+pub use orderstat::{expected_batch_min, expected_batch_min_empirical};
+pub use piecewise::PiecewiseLinear;

@@ -1,0 +1,207 @@
+//! Iteration latency models for prefill and decode.
+//!
+//! Standard roofline decomposition of transformer serving:
+//!
+//! - **Prefill** is compute-bound: `2 · params · tokens` FLOPs against the
+//!   tensor-core rate of the TP group.
+//! - **Decode** is bandwidth-bound: every step re-reads the weights and the
+//!   active KV cache, plus a (usually smaller) compute term that matters at
+//!   large batch.
+//!
+//! Efficiency factors are deliberately conservative constants (no
+//! per-kernel fitting): the paper's conclusions depend on *relative*
+//! throughput/latency shifts under memory and compute contention, which the
+//! roofline form preserves. The retrieval-interference multiplier models
+//! co-located search kernels stealing SM time and memory bandwidth
+//! (paper §III-A: "scheduling pressure", "contention for compute
+//! resources").
+
+use vlite_sim::{GpuSpec, SimDuration};
+
+use crate::ModelSpec;
+
+/// Latency model for one model replica on a tensor-parallel GPU group.
+///
+/// # Examples
+///
+/// ```
+/// use vlite_llm::{LlmCostModel, ModelSpec};
+/// use vlite_sim::devices;
+///
+/// let cost = LlmCostModel::new(ModelSpec::qwen3_32b(), devices::h100(), 2);
+/// let prefill = cost.prefill_time(1024, 1.0);
+/// let decode = cost.decode_step_time(8, 8 * 1280, 1.0);
+/// assert!(prefill.as_secs_f64() > decode.as_secs_f64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct LlmCostModel {
+    model: ModelSpec,
+    gpu: GpuSpec,
+    tp: u32,
+    /// Fraction of peak FLOPs reached by prefill GEMMs.
+    pub prefill_efficiency: f64,
+    /// Fraction of peak FLOPs reached by decode GEMVs.
+    pub decode_compute_efficiency: f64,
+    /// Fraction of peak memory bandwidth reached by weight/KV streaming.
+    pub mem_efficiency: f64,
+    /// Fixed per-iteration overhead (kernel launches, sampling, scheduler).
+    pub step_overhead: SimDuration,
+}
+
+impl LlmCostModel {
+    /// Creates a cost model for `model` on `tp` GPUs of the given spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tp == 0` or the model's weights do not fit in the TP
+    /// group's combined memory.
+    pub fn new(model: ModelSpec, gpu: GpuSpec, tp: u32) -> Self {
+        assert!(tp > 0, "tensor parallel degree must be >= 1");
+        assert!(
+            model.param_bytes() / u64::from(tp) < gpu.mem_bytes,
+            "{} (TP={tp}) does not fit in {}: {} bytes per GPU",
+            model.name,
+            gpu.name,
+            model.param_bytes() / u64::from(tp)
+        );
+        // All-reduce per layer adds overhead that grows with TP.
+        let comms = 1.0 + 0.15 * f64::from(tp - 1);
+        Self {
+            model,
+            gpu,
+            tp,
+            prefill_efficiency: 0.45 / comms,
+            decode_compute_efficiency: 0.35 / comms,
+            mem_efficiency: 0.75,
+            step_overhead: SimDuration::from_micros(300 + 200 * u64::from(tp - 1)),
+        }
+    }
+
+    /// The model being served.
+    pub fn model(&self) -> &ModelSpec {
+        &self.model
+    }
+
+    /// The GPU spec of each TP rank.
+    pub fn gpu(&self) -> &GpuSpec {
+        &self.gpu
+    }
+
+    /// Tensor-parallel degree.
+    pub fn tp(&self) -> u32 {
+        self.tp
+    }
+
+    /// Per-GPU weight bytes (the TP slice).
+    pub fn param_bytes_per_gpu(&self) -> u64 {
+        self.model.param_bytes() / u64::from(self.tp)
+    }
+
+    /// Prefill latency for `tokens` prompt tokens, under a retrieval
+    /// interference factor (`1.0` = no co-located retrieval; see
+    /// [`interference`](Self::interference)).
+    pub fn prefill_time(&self, tokens: u64, interference: f64) -> SimDuration {
+        let flops = self.model.flops_per_token() * tokens as f64;
+        let rate = self.gpu.fp16_flops * f64::from(self.tp) * self.prefill_efficiency;
+        let secs = flops / rate;
+        self.step_overhead + SimDuration::from_secs_f64(secs * interference.max(1.0))
+    }
+
+    /// One decode iteration for a running batch: `batch` sequences with
+    /// `context_tokens` total resident KV tokens.
+    ///
+    /// `max(bandwidth term, compute term)` — the roofline — plus fixed
+    /// overhead, scaled by the interference factor.
+    pub fn decode_step_time(&self, batch: usize, context_tokens: u64, interference: f64) -> SimDuration {
+        if batch == 0 {
+            return SimDuration::ZERO;
+        }
+        let bw = self.gpu.mem_bw * self.mem_efficiency;
+        let weight_bytes = self.param_bytes_per_gpu() as f64;
+        let kv_bytes =
+            (self.model.kv_bytes_per_token() * context_tokens) as f64 / f64::from(self.tp);
+        let mem_secs = (weight_bytes + kv_bytes) / bw;
+        let flops = self.model.flops_per_token() * batch as f64;
+        let compute_secs = flops
+            / (self.gpu.fp16_flops * f64::from(self.tp) * self.decode_compute_efficiency);
+        let secs = mem_secs.max(compute_secs) * interference.max(1.0);
+        self.step_overhead + SimDuration::from_secs_f64(secs)
+    }
+
+    /// Converts a retrieval occupancy fraction (`0..=1` of the GPU busy
+    /// with search kernels) into a step-time multiplier.
+    ///
+    /// Linear contention model: occupancy `o` inflates iteration time by
+    /// `1 + o` (the retrieval kernels time-share SMs and memory bandwidth
+    /// with the LLM stream).
+    pub fn interference(occupancy: f64) -> f64 {
+        1.0 + occupancy.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vlite_sim::devices;
+
+    #[test]
+    fn prefill_scales_linearly_with_tokens() {
+        let cost = LlmCostModel::new(ModelSpec::llama3_8b(), devices::l40s(), 1);
+        let t1 = cost.prefill_time(512, 1.0).as_secs_f64();
+        let t2 = cost.prefill_time(1024, 1.0).as_secs_f64();
+        let fixed = cost.step_overhead.as_secs_f64();
+        assert!(((t2 - fixed) / (t1 - fixed) - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn decode_is_dominated_by_weight_reads_at_small_batch() {
+        let cost = LlmCostModel::new(ModelSpec::llama3_8b(), devices::l40s(), 1);
+        let t1 = cost.decode_step_time(1, 1280, 1.0).as_secs_f64();
+        let t8 = cost.decode_step_time(8, 8 * 1280, 1.0).as_secs_f64();
+        // Same weight traffic, slightly more KV: step time grows < 20%.
+        assert!(t8 < t1 * 1.2, "t1={t1} t8={t8}");
+    }
+
+    #[test]
+    fn decode_becomes_compute_bound_at_huge_batch() {
+        let cost = LlmCostModel::new(ModelSpec::llama3_8b(), devices::l40s(), 1);
+        let mem_only = cost.decode_step_time(1, 0, 1.0).as_secs_f64();
+        let huge = cost.decode_step_time(4096, 0, 1.0).as_secs_f64();
+        assert!(huge > 2.0 * mem_only, "compute roofline must kick in");
+    }
+
+    #[test]
+    fn tensor_parallelism_speeds_up_decode() {
+        let t1 = LlmCostModel::new(ModelSpec::llama3_70b(), devices::h100(), 4)
+            .decode_step_time(8, 8 * 1280, 1.0)
+            .as_secs_f64();
+        let t2 = LlmCostModel::new(ModelSpec::llama3_70b(), devices::h100(), 8)
+            .decode_step_time(8, 8 * 1280, 1.0)
+            .as_secs_f64();
+        assert!(t2 < t1);
+    }
+
+    #[test]
+    fn interference_inflates_latency() {
+        let cost = LlmCostModel::new(ModelSpec::qwen3_32b(), devices::h100(), 2);
+        let clean = cost.decode_step_time(8, 10_000, 1.0).as_secs_f64();
+        let contended =
+            cost.decode_step_time(8, 10_000, LlmCostModel::interference(0.5)).as_secs_f64();
+        assert!(contended > clean * 1.3);
+    }
+
+    #[test]
+    fn paper_scale_sanity_prefill_under_a_second() {
+        // Llama3-8B, 1024-token prompt: paper's bare TTFT is 197 ms.
+        let cost = LlmCostModel::new(ModelSpec::llama3_8b(), devices::l40s(), 1);
+        let t = cost.prefill_time(1024, 1.0).as_secs_f64();
+        assert!(t > 0.02 && t < 0.5, "prefill {t}s out of plausible range");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_model_rejected() {
+        // 70B fp16 (141 GB) on a single L40S (48 GB) is impossible.
+        LlmCostModel::new(ModelSpec::llama3_70b(), devices::l40s(), 1);
+    }
+}

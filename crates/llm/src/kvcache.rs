@@ -1,0 +1,225 @@
+//! Paged KV-cache allocator (vLLM-style).
+//!
+//! KV memory is carved into fixed-size blocks of `block_tokens` tokens;
+//! a sequence owns an integer number of blocks and grows one token at a
+//! time. This reproduces the allocation granularity through which reduced
+//! KV capacity (stolen by the vector-index shard) translates into smaller
+//! running batches and lower throughput — the coupling of paper Fig. 4
+//! (right).
+
+use std::collections::HashMap;
+
+/// Handle for one sequence's reservation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KvReservation(u64);
+
+/// A paged KV-cache pool.
+///
+/// # Examples
+///
+/// ```
+/// let mut kv = vlite_llm::PagedKvCache::new(16, 64); // 64 blocks × 16 tokens
+/// let seq = kv.try_reserve(100).expect("fits");      // 7 blocks
+/// assert_eq!(kv.used_blocks(), 7);
+/// kv.free(seq);
+/// assert_eq!(kv.used_blocks(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PagedKvCache {
+    block_tokens: u32,
+    total_blocks: u64,
+    used_blocks: u64,
+    seqs: HashMap<u64, SeqState>,
+    next_id: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SeqState {
+    tokens: u64,
+    blocks: u64,
+}
+
+impl PagedKvCache {
+    /// Creates a pool of `total_blocks` blocks of `block_tokens` tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_tokens == 0`.
+    pub fn new(block_tokens: u32, total_blocks: u64) -> Self {
+        assert!(block_tokens > 0, "block size must be positive");
+        Self { block_tokens, total_blocks, used_blocks: 0, seqs: HashMap::new(), next_id: 0 }
+    }
+
+    /// Creates a pool sized from a byte budget and per-token KV footprint,
+    /// using vLLM's default 16-token blocks.
+    pub fn with_bytes(kv_bytes: u64, bytes_per_token: u64) -> Self {
+        let block_tokens = 16u32;
+        let bytes_per_block = bytes_per_token * u64::from(block_tokens);
+        let total_blocks = if bytes_per_block == 0 { 0 } else { kv_bytes / bytes_per_block };
+        Self::new(block_tokens, total_blocks)
+    }
+
+    /// Tokens per block.
+    pub fn block_tokens(&self) -> u32 {
+        self.block_tokens
+    }
+
+    /// Total block count.
+    pub fn total_blocks(&self) -> u64 {
+        self.total_blocks
+    }
+
+    /// Blocks currently allocated.
+    pub fn used_blocks(&self) -> u64 {
+        self.used_blocks
+    }
+
+    /// Blocks currently free.
+    pub fn free_blocks(&self) -> u64 {
+        self.total_blocks - self.used_blocks
+    }
+
+    /// Total token capacity of the pool.
+    pub fn capacity_tokens(&self) -> u64 {
+        self.total_blocks * u64::from(self.block_tokens)
+    }
+
+    /// Tokens currently resident (across all sequences).
+    pub fn resident_tokens(&self) -> u64 {
+        self.seqs.values().map(|s| s.tokens).sum()
+    }
+
+    /// Number of active sequences.
+    pub fn active_seqs(&self) -> usize {
+        self.seqs.len()
+    }
+
+    fn blocks_for(&self, tokens: u64) -> u64 {
+        tokens.div_ceil(u64::from(self.block_tokens))
+    }
+
+    /// Whether a new sequence of `tokens` tokens would fit right now.
+    pub fn fits(&self, tokens: u64) -> bool {
+        self.blocks_for(tokens) <= self.free_blocks()
+    }
+
+    /// Reserves blocks for a new sequence holding `tokens` tokens.
+    ///
+    /// Returns `None` (pool unchanged) if the blocks are not available.
+    pub fn try_reserve(&mut self, tokens: u64) -> Option<KvReservation> {
+        let blocks = self.blocks_for(tokens);
+        if blocks > self.free_blocks() {
+            return None;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.used_blocks += blocks;
+        self.seqs.insert(id, SeqState { tokens, blocks });
+        Some(KvReservation(id))
+    }
+
+    /// Grows a sequence by one token; allocates a new block when the
+    /// current one is full. Returns `false` (state unchanged) if a needed
+    /// block is unavailable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reservation is unknown (stale handle).
+    pub fn try_grow(&mut self, seq: KvReservation) -> bool {
+        let state = self.seqs.get_mut(&seq.0).expect("unknown KV reservation");
+        let needed = (state.tokens + 1).div_ceil(u64::from(self.block_tokens));
+        if needed > state.blocks {
+            if self.used_blocks + 1 > self.total_blocks {
+                return false;
+            }
+            state.blocks += 1;
+            state.tokens += 1;
+            self.used_blocks += 1;
+        } else {
+            state.tokens += 1;
+        }
+        true
+    }
+
+    /// Tokens held by a sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reservation is unknown.
+    pub fn seq_tokens(&self, seq: KvReservation) -> u64 {
+        self.seqs.get(&seq.0).expect("unknown KV reservation").tokens
+    }
+
+    /// Releases a sequence's blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reservation is unknown (double free).
+    pub fn free(&mut self, seq: KvReservation) {
+        let state = self.seqs.remove(&seq.0).expect("unknown KV reservation (double free?)");
+        self.used_blocks -= state.blocks;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_grow_free_cycle() {
+        let mut kv = PagedKvCache::new(4, 10);
+        let seq = kv.try_reserve(7).unwrap(); // 2 blocks
+        assert_eq!(kv.used_blocks(), 2);
+        assert!(kv.try_grow(seq)); // 8th token fits in block 2
+        assert_eq!(kv.used_blocks(), 2);
+        assert!(kv.try_grow(seq)); // 9th token opens block 3
+        assert_eq!(kv.used_blocks(), 3);
+        assert_eq!(kv.seq_tokens(seq), 9);
+        kv.free(seq);
+        assert_eq!(kv.used_blocks(), 0);
+    }
+
+    #[test]
+    fn reserve_fails_without_mutation_when_full() {
+        let mut kv = PagedKvCache::new(4, 2);
+        let _a = kv.try_reserve(8).unwrap();
+        assert!(kv.try_reserve(1).is_none());
+        assert_eq!(kv.used_blocks(), 2);
+    }
+
+    #[test]
+    fn grow_fails_when_no_block_left() {
+        let mut kv = PagedKvCache::new(2, 1);
+        let seq = kv.try_reserve(2).unwrap();
+        assert!(!kv.try_grow(seq));
+        assert_eq!(kv.seq_tokens(seq), 2, "failed grow must not change tokens");
+    }
+
+    #[test]
+    fn with_bytes_matches_hand_calculation() {
+        // 1 MiB budget, 1 KiB per token → 1024 tokens → 64 blocks of 16.
+        let kv = PagedKvCache::with_bytes(1 << 20, 1 << 10);
+        assert_eq!(kv.total_blocks(), 64);
+        assert_eq!(kv.capacity_tokens(), 1024);
+    }
+
+    #[test]
+    fn resident_tokens_tracks_sequences() {
+        let mut kv = PagedKvCache::new(16, 100);
+        let a = kv.try_reserve(10).unwrap();
+        let _b = kv.try_reserve(20).unwrap();
+        assert_eq!(kv.resident_tokens(), 30);
+        kv.free(a);
+        assert_eq!(kv.resident_tokens(), 20);
+        assert_eq!(kv.active_seqs(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut kv = PagedKvCache::new(4, 4);
+        let seq = kv.try_reserve(1).unwrap();
+        kv.free(seq);
+        kv.free(seq);
+    }
+}

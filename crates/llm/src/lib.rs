@@ -1,0 +1,49 @@
+//! Continuous-batching LLM serving simulator.
+//!
+//! The paper serves Llama3-8B/70B and Qwen3-32B with vLLM on L40S/H100
+//! nodes. Neither vLLM nor the GPUs exist in this environment, so this
+//! crate simulates the serving engine at iteration granularity — the level
+//! at which VectorLiteRAG's contention effects act:
+//!
+//! - [`ModelSpec`] — architecture constants (layers, GQA heads, parameter
+//!   and per-token KV footprints) for the paper's three models.
+//! - [`PagedKvCache`] — a vLLM-style block allocator; KV capacity is the
+//!   resource the vector index shard steals (paper Fig. 4 right, Table II).
+//! - [`LlmCostModel`] — prefill (compute-bound) and decode (bandwidth-bound)
+//!   iteration latencies derived from device specs, with an interference
+//!   multiplier for co-located retrieval kernels.
+//! - [`LlmEngine`] — iteration-level continuous batching with
+//!   prefill-priority scheduling, KV-watermark admission and preemption,
+//!   emitting first-token (TTFT) and completion events in virtual time.
+//! - [`throughput`] — closed-loop saturation probes: peak request rate and
+//!   latency-at-capacity (the paper's `SLO_LLM`, Table I), and the KV-size →
+//!   throughput curve of Fig. 4 (right).
+//!
+//! # Examples
+//!
+//! ```
+//! use vlite_llm::{LlmCostModel, LlmEngine, LlmRequest, ModelSpec};
+//! use vlite_sim::{devices, SimTime};
+//!
+//! let model = ModelSpec::llama3_8b();
+//! let cost = LlmCostModel::new(model.clone(), devices::l40s(), 1);
+//! let kv_bytes = 24 << 30;
+//! let mut engine = LlmEngine::new(cost, kv_bytes);
+//! engine.submit(LlmRequest::new(0, 1024, 256), SimTime::ZERO);
+//! let step = engine.advance(SimTime::ZERO).expect("work pending");
+//! assert!(step.busy_until > SimTime::ZERO);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost;
+mod engine;
+mod kvcache;
+mod model;
+pub mod throughput;
+
+pub use cost::LlmCostModel;
+pub use engine::{EngineStats, LlmEngine, LlmEvent, LlmRequest, StepResult};
+pub use kvcache::{KvReservation, PagedKvCache};
+pub use model::ModelSpec;

@@ -1,0 +1,145 @@
+//! Architecture constants for the paper's three generation models.
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of a transformer LLM (decoder-only, GQA attention),
+/// carrying exactly the quantities the serving cost model needs.
+///
+/// All three paper models use 128-dim heads with 8 grouped KV heads; the
+/// per-token KV footprint is
+/// `2 (K and V) × layers × kv_heads × head_dim × 2 bytes (fp16)`.
+///
+/// # Examples
+///
+/// ```
+/// let m = vlite_llm::ModelSpec::llama3_8b();
+/// assert_eq!(m.kv_bytes_per_token(), 131_072); // 128 KiB
+/// assert_eq!(m.param_bytes(), 16_000_000_000); // fp16
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelSpec {
+    /// Display name, e.g. `"Llama3-8B"`.
+    pub name: String,
+    /// Total parameter count.
+    pub params: u64,
+    /// Transformer layer count.
+    pub layers: u32,
+    /// Grouped KV heads per layer.
+    pub kv_heads: u32,
+    /// Per-head dimensionality.
+    pub head_dim: u32,
+    /// Bytes per weight/KV element (2 = fp16/bf16).
+    pub dtype_bytes: u32,
+    /// Tensor-parallel degree the paper deploys this model with.
+    pub default_tp: u32,
+}
+
+impl ModelSpec {
+    /// Llama3-8B: 32 layers, served at TP=1 on L40S (paper §V-A).
+    pub fn llama3_8b() -> Self {
+        Self {
+            name: "Llama3-8B".to_string(),
+            params: 8_000_000_000,
+            layers: 32,
+            kv_heads: 8,
+            head_dim: 128,
+            dtype_bytes: 2,
+            default_tp: 1,
+        }
+    }
+
+    /// Qwen3-32B: 64 layers, served at TP=2 on H100 (paper Fig. 4).
+    pub fn qwen3_32b() -> Self {
+        Self {
+            name: "Qwen3-32B".to_string(),
+            params: 32_800_000_000,
+            layers: 64,
+            kv_heads: 8,
+            head_dim: 128,
+            dtype_bytes: 2,
+            default_tp: 2,
+        }
+    }
+
+    /// Llama3-70B: 80 layers, served at TP=4 on H100 (paper §VI-B).
+    pub fn llama3_70b() -> Self {
+        Self {
+            name: "Llama3-70B".to_string(),
+            params: 70_600_000_000,
+            layers: 80,
+            kv_heads: 8,
+            head_dim: 128,
+            dtype_bytes: 2,
+            default_tp: 4,
+        }
+    }
+
+    /// The three paper models in evaluation order.
+    pub fn all() -> Vec<ModelSpec> {
+        vec![Self::llama3_8b(), Self::qwen3_32b(), Self::llama3_70b()]
+    }
+
+    /// A miniature model for fast tests.
+    pub fn tiny() -> Self {
+        Self {
+            name: "Tiny-1B".to_string(),
+            params: 1_000_000_000,
+            layers: 16,
+            kv_heads: 8,
+            head_dim: 64,
+            dtype_bytes: 2,
+            default_tp: 1,
+        }
+    }
+
+    /// Weight footprint in bytes.
+    pub fn param_bytes(&self) -> u64 {
+        self.params * u64::from(self.dtype_bytes)
+    }
+
+    /// KV-cache bytes per generated/context token (across all layers).
+    pub fn kv_bytes_per_token(&self) -> u64 {
+        2 * u64::from(self.layers)
+            * u64::from(self.kv_heads)
+            * u64::from(self.head_dim)
+            * u64::from(self.dtype_bytes)
+    }
+
+    /// Dense FLOPs per token (forward pass ≈ 2 × params).
+    pub fn flops_per_token(&self) -> f64 {
+        2.0 * self.params as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kv_footprints_match_hand_calculation() {
+        assert_eq!(ModelSpec::llama3_8b().kv_bytes_per_token(), 128 * 1024);
+        assert_eq!(ModelSpec::qwen3_32b().kv_bytes_per_token(), 256 * 1024);
+        assert_eq!(ModelSpec::llama3_70b().kv_bytes_per_token(), 320 * 1024);
+    }
+
+    #[test]
+    fn param_bytes_are_fp16() {
+        assert_eq!(ModelSpec::llama3_70b().param_bytes(), 141_200_000_000);
+    }
+
+    #[test]
+    fn bigger_models_cost_more_per_token() {
+        let specs = ModelSpec::all();
+        for w in specs.windows(2) {
+            assert!(w[1].flops_per_token() > w[0].flops_per_token());
+            assert!(w[1].kv_bytes_per_token() > w[0].kv_bytes_per_token());
+        }
+    }
+
+    #[test]
+    fn paper_tp_degrees() {
+        assert_eq!(ModelSpec::llama3_8b().default_tp, 1);
+        assert_eq!(ModelSpec::qwen3_32b().default_tp, 2);
+        assert_eq!(ModelSpec::llama3_70b().default_tp, 4);
+    }
+}

@@ -1,0 +1,152 @@
+//! Closed-loop saturation probes.
+//!
+//! The paper's partitioner needs two offline measurements of the bare LLM
+//! (§IV-A1): its peak throughput `µ_LLM0`, and the generation-stage latency
+//! at that limit, which defines `SLO_LLM` (Table I). It also needs the KV
+//! size → throughput curve (Fig. 4 right) that converts index-shard bytes
+//! into a throughput penalty inside Algorithm 1.
+
+use vlite_sim::SimTime;
+
+use crate::{LlmCostModel, LlmEngine, LlmEvent, LlmRequest};
+
+/// Result of a saturation probe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeakThroughput {
+    /// Sustained request completions per second at saturation.
+    pub requests_per_sec: f64,
+    /// Generated tokens per second at saturation.
+    pub tokens_per_sec: f64,
+    /// Mean time-to-first-token at saturation, in seconds — the paper's
+    /// `SLO_LLM` definition ("latency measured at the model's throughput
+    /// limit").
+    pub ttft_at_capacity: f64,
+}
+
+/// Measures peak throughput by keeping the engine saturated in closed loop.
+///
+/// `probe_requests` requests of `input_tokens`/`output_tokens` are all
+/// enqueued at t=0; the engine is driven to completion and rates are taken
+/// over the busy interval (excluding the initial fill and final drain
+/// quarter, to approximate steady state).
+///
+/// # Panics
+///
+/// Panics if `probe_requests < 8` (too few for a steady-state estimate).
+///
+/// # Examples
+///
+/// ```
+/// use vlite_llm::{throughput, LlmCostModel, ModelSpec};
+/// use vlite_sim::devices;
+///
+/// let cost = LlmCostModel::new(ModelSpec::llama3_8b(), devices::l40s(), 1);
+/// let peak = throughput::measure_peak(&cost, 24 << 30, 1024, 256, 64);
+/// assert!(peak.requests_per_sec > 0.5);
+/// ```
+pub fn measure_peak(
+    cost: &LlmCostModel,
+    kv_bytes: u64,
+    input_tokens: u64,
+    output_tokens: u64,
+    probe_requests: usize,
+) -> PeakThroughput {
+    assert!(probe_requests >= 8, "need at least 8 probe requests");
+    let mut engine = LlmEngine::new(cost.clone(), kv_bytes);
+    for id in 0..probe_requests as u64 {
+        engine.submit(LlmRequest::new(id, input_tokens, output_tokens), SimTime::ZERO);
+    }
+    let mut now = SimTime::ZERO;
+    let mut completions: Vec<SimTime> = Vec::with_capacity(probe_requests);
+    let mut first_tokens: Vec<SimTime> = Vec::with_capacity(probe_requests);
+    while let Some(step) = engine.advance(now) {
+        now = step.busy_until;
+        for event in step.events {
+            match event {
+                LlmEvent::FirstToken { at, .. } => first_tokens.push(at),
+                LlmEvent::Completed { at, .. } => completions.push(at),
+            }
+        }
+    }
+    // Identical request lengths make completions bunch at wave boundaries,
+    // so a trimmed-window rate is degenerate; the makespan rate is the
+    // robust saturation measure (the prefill ramp amortizes over the probe).
+    let makespan = completions.last().expect("probe completed requests").as_secs_f64();
+    let rps = completions.len() as f64 / makespan.max(1e-9);
+    let mean_ttft =
+        first_tokens.iter().map(|t| t.as_secs_f64()).sum::<f64>() / first_tokens.len() as f64;
+    PeakThroughput {
+        requests_per_sec: rps,
+        tokens_per_sec: rps * output_tokens as f64,
+        ttft_at_capacity: mean_ttft,
+    }
+}
+
+/// Measures throughput at each KV budget of `kv_fracs` × `kv_full_bytes`,
+/// returning `(fraction, requests/s)` pairs — paper Fig. 4 (right).
+pub fn kv_throughput_curve(
+    cost: &LlmCostModel,
+    kv_full_bytes: u64,
+    input_tokens: u64,
+    output_tokens: u64,
+    kv_fracs: &[f64],
+) -> Vec<(f64, f64)> {
+    kv_fracs
+        .iter()
+        .map(|&frac| {
+            let kv = (kv_full_bytes as f64 * frac) as u64;
+            let min_tokens = input_tokens + output_tokens + 16;
+            let kv = kv.max(min_tokens * cost.model().kv_bytes_per_token());
+            let peak = measure_peak(cost, kv, input_tokens, output_tokens, 48);
+            (frac, peak.requests_per_sec)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelSpec;
+    use vlite_sim::devices;
+
+    fn tiny_cost() -> LlmCostModel {
+        LlmCostModel::new(ModelSpec::tiny(), devices::l40s(), 1)
+    }
+
+    #[test]
+    fn peak_is_positive_and_finite() {
+        let peak = measure_peak(&tiny_cost(), 8 << 30, 128, 32, 32);
+        assert!(peak.requests_per_sec.is_finite() && peak.requests_per_sec > 0.0);
+        assert!(peak.ttft_at_capacity > 0.0);
+        assert_eq!(peak.tokens_per_sec, peak.requests_per_sec * 32.0);
+    }
+
+    #[test]
+    fn more_kv_means_no_less_throughput() {
+        let small = measure_peak(&tiny_cost(), 1 << 30, 512, 128, 48);
+        let large = measure_peak(&tiny_cost(), 8 << 30, 512, 128, 48);
+        assert!(
+            large.requests_per_sec >= small.requests_per_sec * 0.95,
+            "large={} small={}",
+            large.requests_per_sec,
+            small.requests_per_sec
+        );
+    }
+
+    #[test]
+    fn kv_curve_is_nondecreasing_overall() {
+        let curve = kv_throughput_curve(&tiny_cost(), 8 << 30, 512, 128, &[0.1, 0.5, 1.0]);
+        assert_eq!(curve.len(), 3);
+        assert!(
+            curve[2].1 >= curve[0].1 * 0.9,
+            "full-KV throughput should not fall below starved-KV: {curve:?}"
+        );
+    }
+
+    #[test]
+    fn longer_outputs_reduce_request_throughput() {
+        let short = measure_peak(&tiny_cost(), 8 << 30, 512, 64, 48);
+        let long = measure_peak(&tiny_cost(), 8 << 30, 512, 256, 48);
+        assert!(long.requests_per_sec < short.requests_per_sec);
+    }
+}

@@ -1,0 +1,234 @@
+//! Exact-sample latency recorder with percentile queries.
+
+use crate::Summary;
+
+/// Records latency samples (in seconds) and answers percentile queries.
+///
+/// The recorder keeps exact samples; experiments in this repository record at
+/// most a few hundred thousand samples per run, so exactness is affordable
+/// and avoids histogram-bucket error in tail percentiles, which the paper's
+/// P90/P95 plots are sensitive to.
+///
+/// Percentile queries sort lazily and cache the sorted order until the next
+/// mutation.
+///
+/// # Examples
+///
+/// ```
+/// let mut rec = vlite_metrics::LatencyRecorder::new();
+/// rec.record(0.010);
+/// rec.record(0.020);
+/// assert_eq!(rec.max(), 0.020);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LatencyRecorder {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty recorder with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { samples: Vec::with_capacity(capacity), sorted: true }
+    }
+
+    /// Records one sample, in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is not finite or is negative: a latency sample
+    /// that is NaN/∞/negative always indicates a bug in the experiment
+    /// harness, and poisoning percentiles silently would corrupt results.
+    pub fn record(&mut self, seconds: f64) {
+        assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "latency sample must be finite and non-negative, got {seconds}"
+        );
+        self.samples.push(seconds);
+        self.sorted = false;
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Removes all samples.
+    pub fn clear(&mut self) {
+        self.samples.clear();
+        self.sorted = true;
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+            self.sorted = true;
+        }
+    }
+
+    /// Returns the `q`-quantile (`q` in `[0, 1]`) using nearest-rank
+    /// interpolation, or `0.0` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn percentile(&mut self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        let rank = (q * (n as f64 - 1.0)).round() as usize;
+        self.samples[rank.min(n - 1)]
+    }
+
+    /// Arithmetic mean of the samples, or `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Largest sample, or `0.0` when empty.
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Smallest sample, or `0.0` when empty.
+    pub fn min(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min).min(self.max())
+    }
+
+    /// Fraction of samples at or below `bound`, i.e. the empirical CDF —
+    /// this is exactly the "SLO attainment" metric of the paper when `bound`
+    /// is the latency target.
+    pub fn fraction_within(&self, bound: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let within = self.samples.iter().filter(|&&s| s <= bound).count();
+        within as f64 / self.samples.len() as f64
+    }
+
+    /// Produces a [`Summary`] digest (mean, min, max, P50/P90/P95/P99).
+    pub fn summary(&mut self) -> Summary {
+        Summary {
+            count: self.len(),
+            mean: self.mean(),
+            min: self.min(),
+            max: self.max(),
+            p50: self.percentile(0.50),
+            p90: self.percentile(0.90),
+            p95: self.percentile(0.95),
+            p99: self.percentile(0.99),
+        }
+    }
+
+    /// Immutable view of the raw samples (unspecified order).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+impl Extend<f64> for LatencyRecorder {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for s in iter {
+            self.record(s);
+        }
+    }
+}
+
+impl FromIterator<f64> for LatencyRecorder {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut rec = Self::new();
+        rec.extend(iter);
+        rec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_recorder_is_zeroed() {
+        let mut rec = LatencyRecorder::new();
+        assert!(rec.is_empty());
+        assert_eq!(rec.percentile(0.9), 0.0);
+        assert_eq!(rec.mean(), 0.0);
+        assert_eq!(rec.fraction_within(1.0), 0.0);
+    }
+
+    #[test]
+    fn percentiles_are_order_invariant() {
+        let mut a: LatencyRecorder = (1..=100).map(|i| i as f64).collect();
+        let mut b: LatencyRecorder = (1..=100).rev().map(|i| i as f64).collect();
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 1.0] {
+            assert_eq!(a.percentile(q), b.percentile(q));
+        }
+    }
+
+    #[test]
+    fn p50_of_uniform_ramp() {
+        let mut rec: LatencyRecorder = (0..1001).map(|i| i as f64 / 1000.0).collect();
+        assert!((rec.percentile(0.5) - 0.5).abs() < 1e-9);
+        assert_eq!(rec.percentile(0.0), 0.0);
+        assert_eq!(rec.percentile(1.0), 1.0);
+    }
+
+    #[test]
+    fn fraction_within_matches_manual_count() {
+        let rec: LatencyRecorder = vec![0.1, 0.2, 0.3, 0.4].into_iter().collect();
+        assert_eq!(rec.fraction_within(0.25), 0.5);
+        assert_eq!(rec.fraction_within(0.4), 1.0);
+        assert_eq!(rec.fraction_within(0.05), 0.0);
+    }
+
+    #[test]
+    fn interleaved_record_and_query() {
+        let mut rec = LatencyRecorder::new();
+        rec.record(5.0);
+        assert_eq!(rec.percentile(0.5), 5.0);
+        rec.record(1.0);
+        assert_eq!(rec.percentile(0.0), 1.0);
+        rec.record(3.0);
+        assert_eq!(rec.percentile(0.5), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_sample_rejected() {
+        LatencyRecorder::new().record(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn out_of_range_quantile_rejected() {
+        let mut rec: LatencyRecorder = vec![1.0].into_iter().collect();
+        rec.percentile(1.5);
+    }
+
+    #[test]
+    fn summary_digest_is_consistent() {
+        let mut rec: LatencyRecorder = (1..=10).map(|i| i as f64).collect();
+        let s = rec.summary();
+        assert_eq!(s.count, 10);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 10.0);
+        assert!((s.mean - 5.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,139 @@
+//! Per-request SLO bookkeeping.
+
+use serde::{Deserialize, Serialize};
+
+/// Outcome of checking a single request against its SLO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SloOutcome {
+    /// The request met its latency target.
+    Met,
+    /// The request violated its latency target.
+    Violated,
+}
+
+/// Tracks SLO attainment over a stream of requests.
+///
+/// The paper's headline metric — "SLO attainment" (Figs. 11, 16, 17) — is the
+/// fraction of requests whose TTFT falls within the combined target
+/// `SLO_LLM + SLO_search`. This tracker also keeps the violation magnitudes
+/// so harnesses can report how badly a configuration misses.
+///
+/// # Examples
+///
+/// ```
+/// let mut slo = vlite_metrics::SloTracker::new(0.200);
+/// slo.observe(0.150);
+/// slo.observe(0.250);
+/// assert_eq!(slo.attainment(), 0.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SloTracker {
+    target: f64,
+    met: usize,
+    violated: usize,
+    worst_violation: f64,
+    violation_sum: f64,
+}
+
+impl SloTracker {
+    /// Creates a tracker for the given latency target in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_seconds` is not finite and positive.
+    pub fn new(target_seconds: f64) -> Self {
+        assert!(
+            target_seconds.is_finite() && target_seconds > 0.0,
+            "SLO target must be positive and finite, got {target_seconds}"
+        );
+        Self { target: target_seconds, met: 0, violated: 0, worst_violation: 0.0, violation_sum: 0.0 }
+    }
+
+    /// Latency target in seconds.
+    pub fn target(&self) -> f64 {
+        self.target
+    }
+
+    /// Records one observed latency and returns whether it met the SLO.
+    pub fn observe(&mut self, latency_seconds: f64) -> SloOutcome {
+        if latency_seconds <= self.target {
+            self.met += 1;
+            SloOutcome::Met
+        } else {
+            self.violated += 1;
+            let excess = latency_seconds - self.target;
+            self.violation_sum += excess;
+            if excess > self.worst_violation {
+                self.worst_violation = excess;
+            }
+            SloOutcome::Violated
+        }
+    }
+
+    /// Total observed requests.
+    pub fn total(&self) -> usize {
+        self.met + self.violated
+    }
+
+    /// Fraction of requests that met the SLO (`0.0` when no observations).
+    pub fn attainment(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.met as f64 / total as f64
+        }
+    }
+
+    /// Largest observed excess over the target, in seconds.
+    pub fn worst_violation(&self) -> f64 {
+        self.worst_violation
+    }
+
+    /// Mean excess over the target among violating requests, in seconds
+    /// (`0.0` when there are no violations).
+    pub fn mean_violation(&self) -> f64 {
+        if self.violated == 0 {
+            0.0
+        } else {
+            self.violation_sum / self.violated as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attainment_counts_boundaries_as_met() {
+        let mut slo = SloTracker::new(0.1);
+        assert_eq!(slo.observe(0.1), SloOutcome::Met);
+        assert_eq!(slo.attainment(), 1.0);
+    }
+
+    #[test]
+    fn violation_statistics() {
+        let mut slo = SloTracker::new(1.0);
+        slo.observe(1.5);
+        slo.observe(3.0);
+        slo.observe(0.5);
+        assert_eq!(slo.total(), 3);
+        assert!((slo.attainment() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((slo.worst_violation() - 2.0).abs() < 1e-12);
+        assert!((slo.mean_violation() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_tracker_reports_zero_attainment() {
+        let slo = SloTracker::new(0.5);
+        assert_eq!(slo.attainment(), 0.0);
+        assert_eq!(slo.total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_target_rejected() {
+        SloTracker::new(0.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Discrete-event simulation substrate for the VectorLiteRAG reproduction.
+//!
+//! The paper evaluates on 8×H100 / 8×L40S nodes; this environment has
+//! neither. Per the reproduction's substitution rule (see `DESIGN.md` §2),
+//! serving-level experiments run in *virtual time* over this substrate:
+//!
+//! - [`SimTime`] / [`SimDuration`] — nanosecond-resolution virtual time
+//!   newtypes; integer representation keeps event ordering deterministic.
+//! - [`EventQueue`] — a generic priority queue of timestamped events with
+//!   stable FIFO ordering among simultaneous events.
+//! - [`GpuSpec`], [`CpuSpec`], [`devices`] — hardware catalog mirroring the
+//!   paper's testbed (H100, L40S, Xeon 8462Y/6426Y).
+//! - [`MemoryLedger`] — per-GPU memory accounting (model parameters, KV
+//!   cache, vector-index shard) that drives the capacity side of the
+//!   retrieval/inference contention model.
+//! - [`PoissonProcess`] — the arrival process used throughout the paper's
+//!   evaluation.
+//!
+//! # Examples
+//!
+//! ```
+//! use vlite_sim::{EventQueue, SimDuration, SimTime};
+//!
+//! let mut q: EventQueue<&str> = EventQueue::new();
+//! q.schedule(SimTime::ZERO + SimDuration::from_millis(5.0), "b");
+//! q.schedule(SimTime::ZERO, "a");
+//! assert_eq!(q.pop().map(|(_, e)| e), Some("a"));
+//! assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arrivals;
+mod event;
+mod hardware;
+mod memory;
+mod time;
+
+pub use arrivals::PoissonProcess;
+pub use hardware::{devices, CpuSpec, GpuSpec};
+pub use event::EventQueue;
+pub use memory::{MemoryLedger, MemoryRegion, OutOfMemory};
+pub use time::{SimDuration, SimTime};

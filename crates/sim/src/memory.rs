@@ -1,0 +1,221 @@
+//! Per-GPU memory accounting.
+//!
+//! VectorLiteRAG's central trade-off is *capacity*: bytes granted to the
+//! vector-index shard are bytes taken from the LLM's KV cache (paper Fig. 4
+//! right, Table II). [`MemoryLedger`] tracks named regions per device so the
+//! partitioner and the serving simulator agree on exactly how much KV space
+//! survives a given partitioning point ρ.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The purpose of a reserved region of GPU memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemoryRegion {
+    /// Model parameters (this GPU's tensor-parallel slice).
+    Params,
+    /// Paged KV cache pool.
+    KvCache,
+    /// Resident vector-index shard (hot clusters).
+    IndexShard,
+    /// Scratch: activation workspace, LUT staging, CUDA context overhead.
+    Workspace,
+}
+
+impl MemoryRegion {
+    /// All regions, in ledger-display order.
+    pub const ALL: [MemoryRegion; 4] =
+        [MemoryRegion::Params, MemoryRegion::KvCache, MemoryRegion::IndexShard, MemoryRegion::Workspace];
+}
+
+impl fmt::Display for MemoryRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MemoryRegion::Params => "params",
+            MemoryRegion::KvCache => "kv-cache",
+            MemoryRegion::IndexShard => "index-shard",
+            MemoryRegion::Workspace => "workspace",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Error returned when a reservation exceeds remaining capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfMemory {
+    /// Bytes requested.
+    pub requested: u64,
+    /// Bytes still free.
+    pub available: u64,
+}
+
+impl fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "device memory exhausted: requested {} bytes, {} bytes available",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+/// Byte-exact accounting of one device's memory.
+///
+/// # Examples
+///
+/// ```
+/// use vlite_sim::{MemoryLedger, MemoryRegion};
+///
+/// let mut ledger = MemoryLedger::new(1 << 30);
+/// ledger.reserve(MemoryRegion::Params, 512 << 20)?;
+/// assert_eq!(ledger.free(), 512 << 20);
+/// ledger.release(MemoryRegion::Params, 512 << 20);
+/// assert_eq!(ledger.free(), 1 << 30);
+/// # Ok::<(), vlite_sim::OutOfMemory>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryLedger {
+    capacity: u64,
+    used: [u64; 4],
+}
+
+impl MemoryLedger {
+    /// Creates a ledger for a device with `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        Self { capacity, used: [0; 4] }
+    }
+
+    fn idx(region: MemoryRegion) -> usize {
+        match region {
+            MemoryRegion::Params => 0,
+            MemoryRegion::KvCache => 1,
+            MemoryRegion::IndexShard => 2,
+            MemoryRegion::Workspace => 3,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently reserved across all regions.
+    pub fn used(&self) -> u64 {
+        self.used.iter().sum()
+    }
+
+    /// Bytes not reserved by any region.
+    pub fn free(&self) -> u64 {
+        self.capacity - self.used()
+    }
+
+    /// Bytes reserved by one region.
+    pub fn region(&self, region: MemoryRegion) -> u64 {
+        self.used[Self::idx(region)]
+    }
+
+    /// Reserves `bytes` for `region`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfMemory`] if fewer than `bytes` are free; the ledger is
+    /// unchanged in that case.
+    pub fn reserve(&mut self, region: MemoryRegion, bytes: u64) -> Result<(), OutOfMemory> {
+        if bytes > self.free() {
+            return Err(OutOfMemory { requested: bytes, available: self.free() });
+        }
+        self.used[Self::idx(region)] += bytes;
+        Ok(())
+    }
+
+    /// Releases `bytes` from `region`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` exceeds the region's current reservation — freeing
+    /// memory that was never reserved is always an accounting bug.
+    pub fn release(&mut self, region: MemoryRegion, bytes: u64) {
+        let idx = Self::idx(region);
+        assert!(
+            bytes <= self.used[idx],
+            "releasing {bytes} bytes from {region} which holds only {}",
+            self.used[idx]
+        );
+        self.used[idx] -= bytes;
+    }
+
+    /// Reserves as much of `bytes` as fits, returning the granted amount.
+    pub fn reserve_up_to(&mut self, region: MemoryRegion, bytes: u64) -> u64 {
+        let grant = bytes.min(self.free());
+        self.used[Self::idx(region)] += grant;
+        grant
+    }
+}
+
+impl fmt::Display for MemoryLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let gib = |b: u64| b as f64 / (1u64 << 30) as f64;
+        write!(f, "{:.1}/{:.1} GiB used (", gib(self.used()), gib(self.capacity))?;
+        for (i, region) in MemoryRegion::ALL.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}={:.1}", region, gib(self.region(*region)))?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_release_round_trip() {
+        let mut m = MemoryLedger::new(100);
+        m.reserve(MemoryRegion::KvCache, 60).unwrap();
+        m.reserve(MemoryRegion::IndexShard, 30).unwrap();
+        assert_eq!(m.free(), 10);
+        m.release(MemoryRegion::KvCache, 60);
+        assert_eq!(m.free(), 70);
+        assert_eq!(m.region(MemoryRegion::IndexShard), 30);
+    }
+
+    #[test]
+    fn oversubscription_fails_without_mutation() {
+        let mut m = MemoryLedger::new(100);
+        m.reserve(MemoryRegion::Params, 90).unwrap();
+        let err = m.reserve(MemoryRegion::KvCache, 20).unwrap_err();
+        assert_eq!(err.requested, 20);
+        assert_eq!(err.available, 10);
+        assert_eq!(m.used(), 90);
+    }
+
+    #[test]
+    fn reserve_up_to_clamps() {
+        let mut m = MemoryLedger::new(100);
+        m.reserve(MemoryRegion::Params, 70).unwrap();
+        let granted = m.reserve_up_to(MemoryRegion::KvCache, 50);
+        assert_eq!(granted, 30);
+        assert_eq!(m.free(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "releasing")]
+    fn over_release_panics() {
+        let mut m = MemoryLedger::new(100);
+        m.release(MemoryRegion::Params, 1);
+    }
+
+    #[test]
+    fn display_lists_all_regions() {
+        let m = MemoryLedger::new(1 << 30);
+        let text = format!("{m}");
+        for region in ["params", "kv-cache", "index-shard", "workspace"] {
+            assert!(text.contains(region), "missing {region} in {text}");
+        }
+    }
+}

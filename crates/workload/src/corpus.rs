@@ -1,0 +1,204 @@
+//! Real-tier synthetic corpora: Gaussian mixtures with Zipf weights.
+//!
+//! When the full ANN code path must actually execute (tests, micro-benches,
+//! model-fit validation), this module generates embedding-like vectors:
+//! a mixture of Gaussian blobs whose mixture weights follow a Zipf law, so
+//! a real IVF index trained on the corpus exhibits the skewed cluster
+//! access the paper observes on Wiki-All / ORCAS.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use vlite_ann::VecSet;
+
+use crate::ZipfSampler;
+
+/// Configuration for [`SyntheticCorpus::generate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusConfig {
+    /// Number of database vectors.
+    pub n_vectors: usize,
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// Number of mixture components (semantic topics).
+    pub n_centers: usize,
+    /// Zipf exponent of the topic popularity (0 = uniform).
+    pub zipf_exponent: f64,
+    /// Standard deviation of the within-topic Gaussian noise.
+    pub noise: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl CorpusConfig {
+    /// A small corpus good for unit tests (≈20k vectors, 32 dims).
+    pub fn small() -> Self {
+        Self { n_vectors: 20_000, dim: 32, n_centers: 64, zipf_exponent: 1.0, noise: 0.35, seed: 0xc0 }
+    }
+
+    /// A medium corpus for integration tests and micro-benchmarks
+    /// (≈200k vectors, 64 dims).
+    pub fn medium() -> Self {
+        Self {
+            n_vectors: 200_000,
+            dim: 64,
+            n_centers: 256,
+            zipf_exponent: 1.0,
+            noise: 0.35,
+            seed: 0xc1,
+        }
+    }
+}
+
+/// A generated corpus plus its topic structure.
+///
+/// # Examples
+///
+/// ```
+/// use vlite_workload::{CorpusConfig, SyntheticCorpus};
+///
+/// let corpus = SyntheticCorpus::generate(&CorpusConfig {
+///     n_vectors: 500,
+///     dim: 8,
+///     n_centers: 10,
+///     zipf_exponent: 1.0,
+///     noise: 0.2,
+///     seed: 42,
+/// });
+/// assert_eq!(corpus.vectors.len(), 500);
+/// let queries = corpus.queries(20, 1);
+/// assert_eq!(queries.len(), 20);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyntheticCorpus {
+    /// The database vectors.
+    pub vectors: VecSet,
+    /// The mixture centers ("topics").
+    pub centers: VecSet,
+    /// Which topic generated each vector.
+    pub topic_of: Vec<u32>,
+    config: CorpusConfig,
+}
+
+impl SyntheticCorpus {
+    /// Generates a corpus deterministically from the config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any size field is zero.
+    pub fn generate(config: &CorpusConfig) -> SyntheticCorpus {
+        assert!(config.n_vectors > 0 && config.dim > 0 && config.n_centers > 0);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        // Topic centers spread uniformly in [0, 10)^dim, far apart relative
+        // to the within-topic noise so the mixture structure is real.
+        let centers =
+            VecSet::from_fn(config.n_centers, config.dim, |_, _| rng.random::<f32>() * 10.0);
+        let zipf = ZipfSampler::new(config.n_centers, config.zipf_exponent);
+        let mut vectors = VecSet::with_capacity(config.dim, config.n_vectors);
+        let mut topic_of = Vec::with_capacity(config.n_vectors);
+        let mut sample = vec![0.0f32; config.dim];
+        for _ in 0..config.n_vectors {
+            let topic = zipf.sample(&mut rng);
+            topic_of.push(topic as u32);
+            let center = centers.get(topic);
+            for (j, s) in sample.iter_mut().enumerate() {
+                *s = center[j] + gaussian(&mut rng) * config.noise;
+            }
+            vectors.push(&sample);
+        }
+        SyntheticCorpus { vectors, centers, topic_of, config: config.clone() }
+    }
+
+    /// Draws `n` queries from the same mixture (same popularity law), with
+    /// slightly wider noise — mimicking user queries that are semantically
+    /// near, but not identical to, indexed documents.
+    pub fn queries(&self, n: usize, seed: u64) -> VecSet {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let zipf = ZipfSampler::new(self.centers.len(), self.config.zipf_exponent);
+        let dim = self.vectors.dim();
+        let mut out = VecSet::with_capacity(dim, n);
+        let mut sample = vec![0.0f32; dim];
+        for _ in 0..n {
+            let topic = zipf.sample(&mut rng);
+            let center = self.centers.get(topic);
+            for (j, s) in sample.iter_mut().enumerate() {
+                *s = center[j] + gaussian(&mut rng) * self.config.noise * 1.25;
+            }
+            out.push(&sample);
+        }
+        out
+    }
+
+    /// The generation config.
+    pub fn config(&self) -> &CorpusConfig {
+        &self.config
+    }
+}
+
+/// Standard normal sample via Box–Muller (keeps the dependency set to
+/// `rand` itself; `rand_distr` is not in the approved crate list).
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random();
+    ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CorpusConfig {
+        CorpusConfig { n_vectors: 2000, dim: 8, n_centers: 16, zipf_exponent: 1.0, noise: 0.2, seed: 1 }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SyntheticCorpus::generate(&tiny());
+        let b = SyntheticCorpus::generate(&tiny());
+        assert_eq!(a.vectors.as_flat(), b.vectors.as_flat());
+        assert_eq!(a.topic_of, b.topic_of);
+    }
+
+    #[test]
+    fn topic_popularity_is_skewed() {
+        let corpus = SyntheticCorpus::generate(&tiny());
+        let mut counts = vec![0usize; 16];
+        for &t in &corpus.topic_of {
+            counts[t as usize] += 1;
+        }
+        // Zipf(1.0): topic 0 should appear far more often than topic 15.
+        assert!(counts[0] > 3 * counts[15].max(1));
+    }
+
+    #[test]
+    fn vectors_cluster_around_their_topic_center() {
+        let corpus = SyntheticCorpus::generate(&tiny());
+        for i in (0..2000).step_by(211) {
+            let topic = corpus.topic_of[i] as usize;
+            let d_own = vlite_ann::l2_sq(corpus.vectors.get(i), corpus.centers.get(topic));
+            // Expected squared distance ≈ dim · noise² = 8 · 0.04 = 0.32.
+            assert!(d_own < 2.0, "vector {i} strayed too far: {d_own}");
+        }
+    }
+
+    #[test]
+    fn queries_have_matching_dim_and_determinism() {
+        let corpus = SyntheticCorpus::generate(&tiny());
+        let q1 = corpus.queries(50, 9);
+        let q2 = corpus.queries(50, 9);
+        assert_eq!(q1.as_flat(), q2.as_flat());
+        assert_eq!(q1.dim(), 8);
+    }
+
+    #[test]
+    fn gaussian_moments_are_standard() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 100_000;
+        let samples: Vec<f32> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean: f64 = samples.iter().map(|&x| f64::from(x)).sum::<f64>() / n as f64;
+        let var: f64 =
+            samples.iter().map(|&x| (f64::from(x) - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.03, "var={var}");
+    }
+}

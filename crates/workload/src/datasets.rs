@@ -1,0 +1,212 @@
+//! Dataset presets mirroring the paper's evaluation corpora (§V-A, Table I).
+
+use crate::ClusterWorkload;
+
+/// Paper-scale parameters of one vector database, used by the modeled tier.
+///
+/// The three presets carry the footprints, dimensionalities, skew
+/// calibration points and search SLOs the paper reports; [`workload`] builds
+/// the calibrated access workload, and [`cluster_sizes`]/[`cluster_bytes`]
+/// synthesize the per-cluster layout the splitter packs into GPU shards.
+///
+/// [`workload`]: DatasetPreset::workload
+/// [`cluster_sizes`]: DatasetPreset::cluster_sizes
+/// [`cluster_bytes`]: DatasetPreset::cluster_bytes
+///
+/// # Examples
+///
+/// ```
+/// let wiki = vlite_workload::DatasetPreset::wiki_all();
+/// assert_eq!(wiki.index_bytes, 18 << 30);
+/// let sizes = wiki.cluster_sizes(&wiki.workload(1));
+/// assert_eq!(sizes.len(), wiki.nlist);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetPreset {
+    /// Display name.
+    pub name: &'static str,
+    /// Number of database vectors.
+    pub n_vectors: u64,
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// Number of IVF clusters.
+    pub nlist: usize,
+    /// Default probes per query (paper: 2048 → 0.91 NDCG@50).
+    pub default_nprobe: usize,
+    /// Compressed index footprint in bytes (paper: 18 / 40 / 80 GB).
+    pub index_bytes: u64,
+    /// Share of accesses on the top-20% clusters (Fig. 5 calibration).
+    pub top20_share: f64,
+    /// Retrieval-stage SLO in milliseconds (Table I).
+    pub slo_search_ms: f64,
+    /// Documents retrieved per query (paper: top-25).
+    pub top_k: usize,
+}
+
+impl DatasetPreset {
+    /// Wiki-All: 88M × 768-d vectors, 18 GB IVF-PQ index, moderate skew
+    /// (top-20% ⇒ 59% of accesses), 150 ms search SLO.
+    pub fn wiki_all() -> Self {
+        Self {
+            name: "Wiki-All",
+            n_vectors: 88_000_000,
+            dim: 768,
+            nlist: 65_536,
+            default_nprobe: 2048,
+            index_bytes: 18 << 30,
+            top20_share: 0.59,
+            slo_search_ms: 150.0,
+            top_k: 25,
+        }
+    }
+
+    /// ORCAS 1K: chunked-Wikipedia corpus embedded at 1024 dims with real
+    /// Bing-query skew (top-20% ⇒ 93%), 40 GB index, 200 ms search SLO.
+    pub fn orcas_1k() -> Self {
+        Self {
+            name: "ORCAS 1K",
+            n_vectors: 128_000_000,
+            dim: 1024,
+            nlist: 65_536,
+            default_nprobe: 2048,
+            index_bytes: 40 << 30,
+            top20_share: 0.93,
+            slo_search_ms: 200.0,
+            top_k: 25,
+        }
+    }
+
+    /// ORCAS 2K: the 2048-dim variant, 80 GB index, 300 ms search SLO.
+    pub fn orcas_2k() -> Self {
+        Self {
+            name: "ORCAS 2K",
+            n_vectors: 128_000_000,
+            dim: 2048,
+            nlist: 65_536,
+            default_nprobe: 2048,
+            index_bytes: 80 << 30,
+            top20_share: 0.93,
+            slo_search_ms: 300.0,
+            top_k: 25,
+        }
+    }
+
+    /// The three paper datasets in evaluation order.
+    pub fn all() -> Vec<DatasetPreset> {
+        vec![Self::wiki_all(), Self::orcas_1k(), Self::orcas_2k()]
+    }
+
+    /// A miniature preset for fast tests: same structure, 512 clusters.
+    /// The search SLO is deliberately tight relative to the (small) CPU
+    /// search cost so that partitioning decisions are non-trivial.
+    pub fn tiny() -> Self {
+        Self {
+            name: "Tiny",
+            n_vectors: 1_000_000,
+            dim: 64,
+            nlist: 512,
+            default_nprobe: 32,
+            index_bytes: 256 << 20,
+            top20_share: 0.80,
+            slo_search_ms: 5.0,
+            top_k: 10,
+        }
+    }
+
+    /// Builds the calibrated cluster access workload for this dataset.
+    pub fn workload(&self, seed: u64) -> ClusterWorkload {
+        ClusterWorkload::calibrate(self.nlist, self.default_nprobe, self.top20_share, seed)
+    }
+
+    /// Synthesizes per-cluster vector counts.
+    ///
+    /// Counts follow `access_share^0.5` — popular clusters are larger, the
+    /// cluster-size imbalance the paper notes "exacerbates the access skew"
+    /// (§III-B) — normalized to sum to `n_vectors` with a floor of one
+    /// vector per cluster.
+    pub fn cluster_sizes(&self, workload: &ClusterWorkload) -> Vec<u64> {
+        let shares = workload.access_shares();
+        let weights: Vec<f64> = shares.iter().map(|s| s.sqrt()).collect();
+        let total_w: f64 = weights.iter().sum();
+        let mut sizes: Vec<u64> = weights
+            .iter()
+            .map(|w| ((w / total_w) * self.n_vectors as f64).round().max(1.0) as u64)
+            .collect();
+        // Fix rounding drift so totals are exact (adjust the largest entry).
+        let drift = sizes.iter().sum::<u64>() as i64 - self.n_vectors as i64;
+        if drift != 0 {
+            let largest = (0..sizes.len())
+                .max_by_key(|&i| sizes[i])
+                .expect("nlist > 0");
+            sizes[largest] = (sizes[largest] as i64 - drift).max(1) as u64;
+        }
+        sizes
+    }
+
+    /// Per-cluster index footprint in bytes, proportional to cluster sizes
+    /// and summing to `index_bytes`.
+    pub fn cluster_bytes(&self, workload: &ClusterWorkload) -> Vec<u64> {
+        let sizes = self.cluster_sizes(workload);
+        let bytes_per_vec = self.index_bytes as f64 / self.n_vectors as f64;
+        sizes.iter().map(|&s| (s as f64 * bytes_per_vec).round() as u64).collect()
+    }
+
+    /// Bytes of compressed index data per vector (codes + ids + overhead).
+    pub fn bytes_per_vector(&self) -> f64 {
+        self.index_bytes as f64 / self.n_vectors as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_footprints_are_exact() {
+        assert_eq!(DatasetPreset::wiki_all().index_bytes, 18 * (1 << 30));
+        assert_eq!(DatasetPreset::orcas_1k().index_bytes, 40 * (1u64 << 30));
+        assert_eq!(DatasetPreset::orcas_2k().index_bytes, 80 * (1u64 << 30));
+    }
+
+    #[test]
+    fn tiny_workload_calibrates_to_target() {
+        let preset = DatasetPreset::tiny();
+        let wl = preset.workload(3);
+        assert!((wl.top_fraction_share(0.2) - preset.top20_share).abs() < 0.02);
+    }
+
+    #[test]
+    fn cluster_sizes_sum_to_n_vectors() {
+        let preset = DatasetPreset::tiny();
+        let wl = preset.workload(3);
+        let sizes = preset.cluster_sizes(&wl);
+        assert_eq!(sizes.iter().sum::<u64>(), preset.n_vectors);
+        assert!(sizes.iter().all(|&s| s >= 1));
+    }
+
+    #[test]
+    fn cluster_bytes_approximate_index_bytes() {
+        let preset = DatasetPreset::tiny();
+        let wl = preset.workload(3);
+        let total: u64 = preset.cluster_bytes(&wl).iter().sum();
+        let err = (total as f64 - preset.index_bytes as f64).abs() / preset.index_bytes as f64;
+        assert!(err < 0.001, "cluster bytes off by {err}");
+    }
+
+    #[test]
+    fn popular_clusters_are_larger() {
+        let preset = DatasetPreset::tiny();
+        let wl = preset.workload(3);
+        let sizes = preset.cluster_sizes(&wl);
+        let hot = wl.hot_set(0.1);
+        let hot_mean =
+            hot.iter().map(|&c| sizes[c as usize] as f64).sum::<f64>() / hot.len() as f64;
+        let overall_mean = preset.n_vectors as f64 / preset.nlist as f64;
+        assert!(hot_mean > overall_mean, "hot clusters should exceed mean size");
+    }
+
+    #[test]
+    fn orcas_is_more_skewed_than_wiki() {
+        assert!(DatasetPreset::orcas_1k().top20_share > DatasetPreset::wiki_all().top20_share);
+    }
+}

@@ -1,0 +1,45 @@
+//! Synthetic corpora and skewed query workloads.
+//!
+//! The paper's datasets (Wiki-All 88M×768, ORCAS 1K/2K with real Bing query
+//! logs) are unavailable offline, so this crate synthesizes workloads that
+//! reproduce the *one property the partitioner consumes*: the cluster access
+//! distribution. Fig. 5 of the paper pins two calibration points —
+//! the top 20% of clusters receive ≈59% of accesses for Wiki-All and ≈93%
+//! for ORCAS — and [`ClusterWorkload::calibrate`] solves for the Zipf
+//! exponent that reproduces them exactly.
+//!
+//! Two tiers (see `DESIGN.md` §2):
+//!
+//! - **Modeled tier** — [`ClusterWorkload`] generates per-query probe sets
+//!   over a "semantic ring" of clusters: a query anchors at a
+//!   popularity-weighted cluster and probes a contiguous window, so probe
+//!   sets are *correlated within a query* — which is what creates the
+//!   inter-query hit-rate variance central to the paper (§III-C).
+//! - **Real tier** — [`SyntheticCorpus`] generates Gaussian-mixture vectors
+//!   with Zipf mixture weights; queries sampled from the same mixture make a
+//!   real IVF index exhibit skewed cluster access.
+//!
+//! # Examples
+//!
+//! ```
+//! use vlite_workload::ClusterWorkload;
+//! use rand::SeedableRng;
+//!
+//! let wl = ClusterWorkload::calibrate(1024, 64, 0.80, 7);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let probes = wl.gen_probe_set(&mut rng);
+//! assert!(!probes.is_empty() && probes.len() <= 64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod access;
+mod corpus;
+mod datasets;
+mod zipf;
+
+pub use access::ClusterWorkload;
+pub use corpus::{CorpusConfig, SyntheticCorpus};
+pub use datasets::DatasetPreset;
+pub use zipf::ZipfSampler;

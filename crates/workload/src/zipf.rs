@@ -1,0 +1,148 @@
+//! Zipf-distributed sampling.
+
+use rand::Rng;
+
+/// Samples from a Zipf distribution over ranks `0..n` with exponent `s`:
+/// `P(rank = r) ∝ 1 / (r + 1)^s`.
+///
+/// Uses a precomputed CDF and binary search — O(n) build, O(log n) per
+/// sample — which is exact (no rejection) and deterministic given the RNG.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use vlite_workload::ZipfSampler;
+///
+/// let zipf = ZipfSampler::new(100, 1.0);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let mut counts = [0usize; 100];
+/// for _ in 0..10_000 {
+///     counts[zipf.sample(&mut rng)] += 1;
+/// }
+/// assert!(counts[0] > counts[50]); // rank 0 is the most popular
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` ranks with exponent `s ≥ 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative/not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf support must be non-empty");
+        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be >= 0, got {s}");
+        let weights = Self::weights(n, s);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for w in weights {
+            acc += w;
+            cdf.push(acc);
+        }
+        // Guard against FP drift so the final bucket is always reachable.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Self { cdf }
+    }
+
+    /// The normalized probability masses `P(rank = r)`, descending in rank.
+    pub fn weights(n: usize, s: f64) -> Vec<f64> {
+        let raw: Vec<f64> = (0..n).map(|r| 1.0 / ((r + 1) as f64).powf(s)).collect();
+        let total: f64 = raw.iter().sum();
+        raw.into_iter().map(|w| w / total).collect()
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the support is empty (never true for a constructed sampler).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        self.sample_from_uniform(u)
+    }
+
+    /// Maps a uniform `[0,1)` draw to a rank (exposed for testability).
+    pub fn sample_from_uniform(&self, u: f64) -> usize {
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite")) {
+            Ok(i) => (i + 1).min(self.cdf.len() - 1),
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weights_are_normalized_and_descending() {
+        let w = ZipfSampler::weights(50, 1.2);
+        let sum: f64 = w.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        for pair in w.windows(2) {
+            assert!(pair[0] >= pair[1]);
+        }
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let w = ZipfSampler::weights(10, 0.0);
+        for x in &w {
+            assert!((x - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_match_weights() {
+        let n = 20;
+        let zipf = ZipfSampler::new(n, 1.0);
+        let w = ZipfSampler::weights(n, 1.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let trials = 200_000;
+        let mut counts = vec![0usize; n];
+        for _ in 0..trials {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for r in 0..n {
+            let freq = counts[r] as f64 / trials as f64;
+            assert!(
+                (freq - w[r]).abs() < 0.01,
+                "rank {r}: freq {freq} vs weight {}",
+                w[r]
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_edges_map_into_range() {
+        let zipf = ZipfSampler::new(5, 1.0);
+        assert_eq!(zipf.sample_from_uniform(0.0), 0);
+        assert!(zipf.sample_from_uniform(0.999_999_999) < 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_support_rejected() {
+        ZipfSampler::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent")]
+    fn negative_exponent_rejected() {
+        ZipfSampler::new(5, -1.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Adaptive runtime index update under query-distribution drift (§IV-B3).
+//!
+//! Simulates the paper's drift scenario: the workload's hot region migrates
+//! (rotated popularity ring), the drift monitor's dual trigger fires, and an
+//! update cycle re-profiles, re-partitions, re-splits and reloads shards —
+//! with the per-stage timings of Fig. 9.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example adaptive_update
+//! ```
+
+use vectorlite_rag::core::{
+    run_update_cycle, DriftMonitor, PartitionInput, PerfModel, SearchCostModel, UpdateConfig,
+};
+use vectorlite_rag::sim::devices;
+use vectorlite_rag::workload::DatasetPreset;
+
+fn main() {
+    let preset = DatasetPreset::orcas_1k();
+    let workload = preset.workload(1);
+    let cpu = devices::xeon_8462y();
+    let gpu = devices::h100();
+    let cost = SearchCostModel::from_preset(&preset, &workload, &cpu, &gpu);
+    let perf = PerfModel::from_cost_model(&cost, &[1, 2, 4, 8, 16, 32]);
+    let input = PartitionInput::new(preset.slo_search_ms / 1e3, 30.0, 256 << 30);
+
+    // Initial deployment.
+    let initial =
+        run_update_cycle(&preset, &workload, &cost, &perf, &input, &gpu, 5000, 8, 1);
+    let expected_hit = initial.profile.mean_hit_rate(initial.decision.coverage);
+    println!("initial coverage: {:.1}%  expected mean hit rate: {:.2}",
+        100.0 * initial.decision.coverage, expected_hit);
+
+    // The query distribution drifts: the hot region rotates half the ring.
+    let drifted = workload.rotated(preset.nlist / 2);
+
+    // The router's monitor observes requests under the *old* split: hit
+    // rates collapse and SLO violations pile up.
+    let mut monitor = DriftMonitor::new(UpdateConfig::default(), expected_hit);
+    let old_mask = {
+        let hot = initial.profile.hot_set(initial.decision.coverage);
+        let mut mask = vec![false; preset.nlist];
+        for c in hot {
+            mask[c as usize] = true;
+        }
+        mask
+    };
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(9);
+    for _ in 0..2000 {
+        let probes = drifted.gen_probe_set(&mut rng);
+        let hits = probes.iter().filter(|&&c| old_mask[c as usize]).count();
+        let hit_rate = hits as f64 / probes.len() as f64;
+        // Low hit rate ⇒ the hybrid latency model blows the budget.
+        let met_slo = hit_rate > 0.5;
+        monitor.observe(hit_rate, met_slo);
+    }
+    println!("\nafter drift:");
+    println!("  windowed SLO attainment : {:.1}%", 100.0 * monitor.attainment());
+    println!("  observed mean hit rate  : {:.2} (expected {:.2})",
+        monitor.observed_mean_hit(), expected_hit);
+    println!("  update triggered        : {}", monitor.should_update());
+    assert!(monitor.should_update(), "drift this severe must trigger an update");
+
+    // Run the update cycle against the drifted distribution.
+    let refreshed =
+        run_update_cycle(&preset, &drifted, &cost, &perf, &input, &gpu, 5000, 8, 2);
+    let t = refreshed.timing;
+    println!("\nupdate cycle stage timings (paper Fig. 9):");
+    println!("  profiling : {:6.2}s", t.profiling);
+    println!("  algorithm : {:6.3}s", t.algorithm);
+    println!("  splitting : {:6.2}s", t.splitting);
+    println!("  loading   : {:6.2}s", t.loading);
+    println!("  total     : {:6.2}s  (paper: under one minute)", t.total());
+
+    // The refreshed split chases the new hot region.
+    let old_hot = initial.profile.hot_set(0.1);
+    let new_hot = refreshed.profile.hot_set(0.1);
+    let overlap = old_hot.iter().filter(|c| new_hot.contains(c)).count();
+    println!("\nhot-set overlap before/after update: {overlap}/{} clusters", old_hot.len());
+    let new_expected = refreshed.profile.mean_hit_rate(refreshed.decision.coverage);
+    println!("restored expected mean hit rate: {new_expected:.2}");
+}

@@ -1,0 +1,45 @@
+//! # VectorLiteRAG
+//!
+//! A reproduction of *"VectorLiteRAG: Latency-Aware and Fine-Grained
+//! Resource Partitioning for Efficient RAG"* (Kim & Mahajan, HPCA 2026):
+//! a serving system that co-schedules approximate-nearest-neighbor
+//! retrieval and LLM inference on a shared GPU pool, partitioning the
+//! vector index between CPU and GPUs so that end-to-end SLOs hold under
+//! skewed, dynamic workloads.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`core`] | `vlite-core` | Access-skew profiling, Beta/order-statistic hit-rate estimation, latency-bounded partitioning (Algorithm 1), index splitter, router, dynamic dispatcher, serving pipeline, adaptive update |
+//! | [`ann`] | `vlite-ann` | IVF-Flat / IVF-PQ / fast-scan indexes, k-means, product & scalar quantizers, HNSW, recall/NDCG |
+//! | [`llm`] | `vlite-llm` | Continuous-batching LLM engine simulator, paged KV cache, model specs, throughput probes |
+//! | [`sim`] | `vlite-sim` | Virtual time, event queue, device catalog, GPU memory ledgers, Poisson arrivals |
+//! | [`workload`] | `vlite-workload` | Skew-calibrated cluster workloads, synthetic corpora, dataset presets |
+//! | [`metrics`] | `vlite-metrics` | Latency recorders, SLO trackers, result tables/series |
+//!
+//! # Quickstart
+//!
+//! Partition a paper-scale dataset model and serve a Poisson trace:
+//!
+//! ```
+//! use vectorlite_rag::core::{PipelineConfig, RagConfig, RagPipeline, RagSystem, SystemKind};
+//!
+//! let system = RagSystem::build(RagConfig::tiny(SystemKind::VectorLite));
+//! let result = RagPipeline::new(&system).run(&PipelineConfig::new(10.0, 100, 7));
+//! println!("SLO attainment: {:.1}%", 100.0 * result.slo_attainment(system.slo_ttft()));
+//! assert_eq!(result.completed, 100);
+//! ```
+//!
+//! See `examples/` for richer scenarios and `crates/bench` for the
+//! harnesses that regenerate every table and figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use vlite_ann as ann;
+pub use vlite_core as core;
+pub use vlite_llm as llm;
+pub use vlite_metrics as metrics;
+pub use vlite_sim as sim;
+pub use vlite_workload as workload;

@@ -1,0 +1,78 @@
+//! Integration: the analytic estimator against empirical sampling — the
+//! repository-level version of the paper's Fig. 10 validation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use vectorlite_rag::core::stats::expected_batch_min_empirical;
+use vectorlite_rag::core::{AccessProfile, HitRateEstimator};
+use vectorlite_rag::workload::{ClusterWorkload, DatasetPreset};
+
+#[test]
+fn beta_tail_estimate_tracks_empirical_min_hit_rate() {
+    let preset = DatasetPreset::tiny();
+    let wl = preset.workload(55);
+    let profile = AccessProfile::from_workload(&preset, &wl, 4000, 55);
+    let est = HitRateEstimator::from_profile(&profile);
+    let coverage = 0.2;
+
+    // Empirical: sample fresh queries, compute per-query hit rates, take
+    // window minima.
+    let hot = profile.hot_set(coverage);
+    let mask = {
+        let mut mask = vec![false; preset.nlist];
+        for c in hot {
+            mask[c as usize] = true;
+        }
+        mask
+    };
+    let mut rng = StdRng::seed_from_u64(77);
+    let samples: Vec<f64> = (0..6000)
+        .map(|_| ClusterWorkload::hit_rate(&wl.gen_probe_set(&mut rng), &mask))
+        .collect();
+
+    for batch in [1usize, 4, 8] {
+        let empirical = expected_batch_min_empirical(&samples, batch);
+        let predicted = est.eta_min(coverage, batch);
+        assert!(
+            (empirical - predicted).abs() < 0.15,
+            "batch {batch}: empirical {empirical:.3} vs predicted {predicted:.3}"
+        );
+    }
+}
+
+#[test]
+fn mean_hit_rate_estimates_match_sampling() {
+    let preset = DatasetPreset::tiny();
+    let wl = preset.workload(56);
+    let profile = AccessProfile::from_workload(&preset, &wl, 4000, 56);
+    for coverage in [0.1, 0.3, 0.5] {
+        let analytic = wl.mean_hit_rate(coverage);
+        let profiled = profile.mean_hit_rate(coverage);
+        assert!(
+            (analytic - profiled).abs() < 0.05,
+            "coverage {coverage}: workload model {analytic:.3} vs profiled {profiled:.3}"
+        );
+    }
+}
+
+#[test]
+fn variance_parabola_holds_on_fresh_samples() {
+    // The σ² ≈ 4σ²max·m(1−m) approximation (paper Fig. 8 right) must hold
+    // out of sample, not just on the profiling draw.
+    let preset = DatasetPreset::tiny();
+    let wl = preset.workload(57);
+    let profile = AccessProfile::from_workload(&preset, &wl, 4000, 57);
+    let sigma2_max = profile.fit_sigma2_max();
+    let mut worst = 0.0f64;
+    for step in 2..=18 {
+        let coverage = step as f64 / 20.0;
+        let (mean, var) = profile.hit_rate_moments(coverage);
+        if !(0.05..0.95).contains(&mean) {
+            continue;
+        }
+        let model = 4.0 * sigma2_max * mean * (1.0 - mean);
+        worst = worst.max((var - model).abs());
+    }
+    assert!(worst < 0.08, "parabola deviation too large: {worst}");
+}
