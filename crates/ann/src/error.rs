@@ -28,10 +28,16 @@ impl fmt::Display for AnnError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AnnError::DimensionMismatch { expected, actual } => {
-                write!(f, "dimension mismatch: index expects {expected}, got {actual}")
+                write!(
+                    f,
+                    "dimension mismatch: index expects {expected}, got {actual}"
+                )
             }
             AnnError::InsufficientTrainingData { required, supplied } => {
-                write!(f, "insufficient training data: need {required} vectors, got {supplied}")
+                write!(
+                    f,
+                    "insufficient training data: need {required} vectors, got {supplied}"
+                )
             }
             AnnError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
         }
@@ -46,9 +52,15 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_informative() {
-        let e = AnnError::DimensionMismatch { expected: 8, actual: 4 };
+        let e = AnnError::DimensionMismatch {
+            expected: 8,
+            actual: 4,
+        };
         assert_eq!(format!("{e}"), "dimension mismatch: index expects 8, got 4");
-        let e = AnnError::InsufficientTrainingData { required: 10, supplied: 2 };
+        let e = AnnError::InsufficientTrainingData {
+            required: 10,
+            supplied: 2,
+        };
         assert!(format!("{e}").contains("need 10"));
     }
 

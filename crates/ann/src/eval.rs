@@ -25,7 +25,11 @@ pub fn recall_at_k(truth: &[Neighbor], approx: &[Neighbor], k: usize) -> f64 {
     assert!(!truth.is_empty(), "ground truth must be non-empty");
     let k = k.min(truth.len());
     let truth_ids: Vec<u64> = truth.iter().take(k).map(|n| n.id).collect();
-    let hits = approx.iter().take(k).filter(|n| truth_ids.contains(&n.id)).count();
+    let hits = approx
+        .iter()
+        .take(k)
+        .filter(|n| truth_ids.contains(&n.id))
+        .count();
     hits as f64 / k as f64
 }
 
@@ -95,7 +99,10 @@ mod tests {
     use super::*;
 
     fn nb(ids: &[u64]) -> Vec<Neighbor> {
-        ids.iter().enumerate().map(|(i, &id)| Neighbor::new(id, i as f32)).collect()
+        ids.iter()
+            .enumerate()
+            .map(|(i, &id)| Neighbor::new(id, i as f32))
+            .collect()
     }
 
     #[test]

@@ -52,7 +52,11 @@ impl QuantizedLut {
             spread_max = spread_max.max(hi - lo);
         }
         let bias: f32 = mins.iter().sum();
-        let scale = if spread_max > 0.0 { spread_max / 255.0 } else { 1.0 };
+        let scale = if spread_max > 0.0 {
+            spread_max / 255.0
+        } else {
+            1.0
+        };
         let mut q = Vec::with_capacity(m * ksub);
         for j in 0..m {
             for c in 0..ksub {
@@ -60,7 +64,13 @@ impl QuantizedLut {
                 q.push(v.round().clamp(0.0, 255.0) as u8);
             }
         }
-        QuantizedLut { m, ksub, table: q, scale, bias }
+        QuantizedLut {
+            m,
+            ksub,
+            table: q,
+            scale,
+            bias,
+        }
     }
 
     /// Number of subquantizers.
@@ -127,7 +137,12 @@ impl FastScanList {
                 blocks[(b * m + j) * FAST_SCAN_BLOCK + lane] = c;
             }
         }
-        FastScanList { m, len, ids: ids.to_vec(), blocks }
+        FastScanList {
+            m,
+            len,
+            ids: ids.to_vec(),
+            blocks,
+        }
     }
 
     /// Number of encoded vectors.
@@ -175,8 +190,7 @@ impl FastScanList {
             acc.fill(0);
             for j in 0..self.m {
                 let row = lut.row(j);
-                let codes =
-                    &self.blocks[(b * self.m + j) * FAST_SCAN_BLOCK..][..FAST_SCAN_BLOCK];
+                let codes = &self.blocks[(b * self.m + j) * FAST_SCAN_BLOCK..][..FAST_SCAN_BLOCK];
                 for lane in 0..FAST_SCAN_BLOCK {
                     // Branch-free gather; auto-vectorizes on x86-64.
                     acc[lane] += u32::from(row[codes[lane] as usize]);
@@ -184,8 +198,8 @@ impl FastScanList {
             }
             let base = b * FAST_SCAN_BLOCK;
             let lanes = FAST_SCAN_BLOCK.min(self.len - base);
-            for lane in 0..lanes {
-                let dist = lut.bias + lut.scale * acc[lane] as f32;
+            for (lane, &sum) in acc.iter().enumerate().take(lanes) {
+                let dist = lut.bias + lut.scale * sum as f32;
                 top.push(self.ids[base + lane], dist);
             }
         }
@@ -205,7 +219,12 @@ mod tests {
         // Train on a fixed-size corpus; the list under test holds its first
         // `n` rows (so tiny lists still get well-trained codebooks).
         let data = VecSet::from_fn(n.max(320), 8, |_, _| rng.random::<f32>());
-        let cfg = PqConfig { m: 4, ksub: 16, train_iters: 6, seed: 5 };
+        let cfg = PqConfig {
+            m: 4,
+            ksub: 16,
+            train_iters: 6,
+            seed: 5,
+        };
         let pq = ProductQuantizer::train(&data, &cfg).unwrap();
         let subset = data.select(&(0..n).collect::<Vec<_>>());
         let ids: Vec<u64> = (0..n as u64).collect();
@@ -245,7 +264,11 @@ mod tests {
             let mut top = TopK::new(n);
             let scanned = list.scan(&qlut, &mut top);
             assert_eq!(scanned, n);
-            assert_eq!(top.into_sorted().len(), n, "padding lanes must not leak ids (n={n})");
+            assert_eq!(
+                top.into_sorted().len(),
+                n,
+                "padding lanes must not leak ids (n={n})"
+            );
         }
     }
 
@@ -270,14 +293,17 @@ mod tests {
                 hits += 1;
             }
         }
-        assert!(hits >= 18, "8-bit LUT quantization lost too much: {hits}/20");
+        assert!(
+            hits >= 18,
+            "8-bit LUT quantization lost too much: {hits}/20"
+        );
     }
 
     #[test]
     fn empty_list_scans_nothing() {
         let (_, pq, _) = setup(64);
         let list = FastScanList::build(&[], pq.m(), &[]);
-        let qlut = QuantizedLut::from_lut(&pq.lut(&vec![0.0; 8]));
+        let qlut = QuantizedLut::from_lut(&pq.lut(&[0.0; 8]));
         let mut top = TopK::new(3);
         assert_eq!(list.scan(&qlut, &mut top), 0);
         assert!(top.is_empty());

@@ -56,7 +56,11 @@ impl FlatIndex {
     ///
     /// Panics if `query.len()` differs from the index dimensionality.
     pub fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
-        assert_eq!(query.len(), self.data.dim(), "query has wrong dimensionality");
+        assert_eq!(
+            query.len(),
+            self.data.dim(),
+            "query has wrong dimensionality"
+        );
         let mut top = TopK::new(k);
         for (i, v) in self.data.iter().enumerate() {
             top.push(i as u64, self.metric.score(query, v));
@@ -67,7 +71,11 @@ impl FlatIndex {
     /// Searches a batch of queries, parallelized over queries with scoped
     /// threads.
     pub fn search_batch(&self, queries: &VecSet, k: usize, threads: usize) -> Vec<Vec<Neighbor>> {
-        assert_eq!(queries.dim(), self.data.dim(), "queries have wrong dimensionality");
+        assert_eq!(
+            queries.dim(),
+            self.data.dim(),
+            "queries have wrong dimensionality"
+        );
         let n = queries.len();
         let mut out: Vec<Vec<Neighbor>> = vec![Vec::new(); n];
         let threads = threads.max(1).min(n.max(1));
@@ -116,7 +124,7 @@ mod tests {
     }
 
     #[test]
-    fn batch_matches_single(){
+    fn batch_matches_single() {
         let mut rng = StdRng::seed_from_u64(3);
         let data = VecSet::from_fn(80, 4, |_, _| rng.random::<f32>());
         let queries = VecSet::from_fn(9, 4, |_, _| rng.random::<f32>());

@@ -31,7 +31,13 @@ pub struct HnswConfig {
 
 impl Default for HnswConfig {
     fn default() -> Self {
-        Self { m: 16, ef_construction: 100, ef_search: 64, metric: Metric::L2, seed: 0xb01d }
+        Self {
+            m: 16,
+            ef_construction: 100,
+            ef_search: 64,
+            metric: Metric::L2,
+            seed: 0xb01d,
+        }
     }
 }
 
@@ -114,7 +120,9 @@ impl Hnsw {
     }
 
     fn insert(&mut self, id: u32, level: usize) {
-        let node = HnswNode { neighbors: vec![Vec::new(); level + 1] };
+        let node = HnswNode {
+            neighbors: vec![Vec::new(); level + 1],
+        };
         self.nodes.push(node);
         if self.nodes.len() == 1 {
             self.entry = id;
@@ -131,9 +139,16 @@ impl Hnsw {
         for l in (0..=level.min(self.max_level)).rev() {
             let found = self.search_layer(&query, current, self.config.ef_construction, l);
             current = found.first().map_or(current, |n| n.id as u32);
-            let max_degree = if l == 0 { 2 * self.config.m } else { self.config.m };
-            let selected: Vec<u32> =
-                found.iter().take(self.config.m).map(|n| n.id as u32).collect();
+            let max_degree = if l == 0 {
+                2 * self.config.m
+            } else {
+                self.config.m
+            };
+            let selected: Vec<u32> = found
+                .iter()
+                .take(self.config.m)
+                .map(|n| n.id as u32)
+                .collect();
             self.nodes[id as usize].neighbors[l] = selected.clone();
             for &peer in &selected {
                 let adj = &mut self.nodes[peer as usize].neighbors[l];
@@ -219,7 +234,11 @@ impl Hnsw {
     ///
     /// Panics if `query.len()` differs from the indexed dimensionality.
     pub fn search(&self, query: &[f32], k: usize, ef: usize) -> Vec<Neighbor> {
-        assert_eq!(query.len(), self.data.dim(), "query has wrong dimensionality");
+        assert_eq!(
+            query.len(),
+            self.data.dim(),
+            "query has wrong dimensionality"
+        );
         let mut current = self.entry;
         for l in (1..=self.max_level).rev() {
             current = self.greedy_step(query, current, l);

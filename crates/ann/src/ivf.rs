@@ -141,13 +141,13 @@ impl InvertedList {
         self.ids.len()
     }
 
-    fn bytes(&self, code_bytes: usize, dim: usize) -> usize {
+    fn bytes(&self, dim: usize) -> usize {
         let payload = match &self.data {
             ListData::Flat(v) => v.len() * dim * 4,
             ListData::Pq(codes) => codes.len(),
             ListData::FastScan(fs) => fs.bytes().saturating_sub(fs.len() * 8),
         };
-        payload + self.ids.len() * 8 + code_bytes * 0
+        payload + self.ids.len() * 8
     }
 }
 
@@ -217,8 +217,9 @@ impl IvfIndex {
         // Subsample training points, Faiss-style.
         let train_set: VecSet = if data.len() > config.max_train_points {
             let mut rng = StdRng::seed_from_u64(config.seed);
-            let rows: Vec<usize> =
-                sample(&mut rng, data.len(), config.max_train_points).into_iter().collect();
+            let rows: Vec<usize> = sample(&mut rng, data.len(), config.max_train_points)
+                .into_iter()
+                .collect();
             data.select(&rows)
         } else {
             data.clone()
@@ -238,8 +239,7 @@ impl IvfIndex {
                     // Codebooks must cover the residual, not raw, space.
                     let assignment = centroids.assign(&train_set);
                     let residuals = VecSet::from_fn(train_set.len(), train_set.dim(), |i, j| {
-                        train_set.get(i)[j]
-                            - centroids.centroids().get(assignment[i] as usize)[j]
+                        train_set.get(i)[j] - centroids.centroids().get(assignment[i] as usize)[j]
                     });
                     Some(ProductQuantizer::train(&residuals, pq_cfg)?)
                 } else {
@@ -281,7 +281,10 @@ impl IvfIndex {
     /// lengths differ.
     pub fn add(&mut self, ids: &[u64], data: &VecSet) -> Result<()> {
         if data.dim() != self.dim {
-            return Err(AnnError::DimensionMismatch { expected: self.dim, actual: data.dim() });
+            return Err(AnnError::DimensionMismatch {
+                expected: self.dim,
+                actual: data.dim(),
+            });
         }
         if ids.len() != data.len() {
             return Err(AnnError::InvalidConfig(format!(
@@ -330,7 +333,10 @@ impl IvfIndex {
                     }
                 }
                 ListData::FastScan(fs) => {
-                    let pq = self.pq.as_ref().expect("fast-scan storage implies trained PQ");
+                    let pq = self
+                        .pq
+                        .as_ref()
+                        .expect("fast-scan storage implies trained PQ");
                     // The blocked layout is append-unfriendly: recover the
                     // existing row-major codes, append, and rebuild.
                     let mut staged = fs.to_codes();
@@ -386,8 +392,7 @@ impl IvfIndex {
     ///
     /// Panics if `l` is out of range.
     pub fn list_bytes(&self, l: usize) -> usize {
-        let code_bytes = self.pq.as_ref().map_or(0, ProductQuantizer::code_bytes);
-        self.lists[l].bytes(code_bytes, self.dim)
+        self.lists[l].bytes(self.dim)
     }
 
     /// The trained product quantizer, when the storage scheme uses one.
@@ -413,7 +418,10 @@ impl IvfIndex {
             Some(graph) => graph
                 .search(query, nprobe, (2 * nprobe).max(64))
                 .into_iter()
-                .map(|n| Probe { list: n.id as u32, distance: n.distance })
+                .map(|n| Probe {
+                    list: n.id as u32,
+                    distance: n.distance,
+                })
                 .collect(),
             None => {
                 let mut top = TopK::new(nprobe);
@@ -422,7 +430,10 @@ impl IvfIndex {
                 }
                 top.into_sorted()
                     .into_iter()
-                    .map(|n| Probe { list: n.id as u32, distance: n.distance })
+                    .map(|n| Probe {
+                        list: n.id as u32,
+                        distance: n.distance,
+                    })
                     .collect()
             }
         }
@@ -476,9 +487,12 @@ impl IvfIndex {
                 }
             }
             ListStorage::FastScan(_) => {
-                let pq = self.pq.as_ref().expect("fast-scan storage implies trained PQ");
-                let shared = (!self.config.by_residual)
-                    .then(|| QuantizedLut::from_lut(&pq.lut(query)));
+                let pq = self
+                    .pq
+                    .as_ref()
+                    .expect("fast-scan storage implies trained PQ");
+                let shared =
+                    (!self.config.by_residual).then(|| QuantizedLut::from_lut(&pq.lut(query)));
                 for &l in lists {
                     let per_cluster;
                     let qlut = match &shared {
@@ -596,7 +610,12 @@ mod tests {
         // (Id-level agreement is not required: clustered data produces
         // duplicate codes and therefore ties.)
         let data = clustered_data(1500, 16, 3);
-        let pq_cfg = PqConfig { m: 4, ksub: 16, train_iters: 5, seed: 7 };
+        let pq_cfg = PqConfig {
+            m: 4,
+            ksub: 16,
+            train_iters: 5,
+            seed: 7,
+        };
         let pq_index = IvfIndex::train(
             &data,
             &IvfConfig::new(16).storage(ListStorage::Pq(pq_cfg.clone())),
@@ -666,14 +685,23 @@ mod tests {
     #[test]
     fn fastscan_incremental_add_preserves_existing_codes() {
         let data = clustered_data(512, 16, 7);
-        let pq_cfg = PqConfig { m: 4, ksub: 16, train_iters: 4, seed: 3 };
+        let pq_cfg = PqConfig {
+            m: 4,
+            ksub: 16,
+            train_iters: 4,
+            seed: 3,
+        };
         let cfg = IvfConfig::new(4).storage(ListStorage::FastScan(pq_cfg));
         let mut index = IvfIndex::train_empty(&data, &cfg).unwrap();
         let half = 256;
         let first: Vec<u64> = (0..half as u64).collect();
         let second: Vec<u64> = (half as u64..512).collect();
-        index.add(&first, &data.select(&(0..half).collect::<Vec<_>>())).unwrap();
-        index.add(&second, &data.select(&(half..512).collect::<Vec<_>>())).unwrap();
+        index
+            .add(&first, &data.select(&(0..half).collect::<Vec<_>>()))
+            .unwrap();
+        index
+            .add(&second, &data.select(&(half..512).collect::<Vec<_>>()))
+            .unwrap();
 
         // Reference: everything added at once.
         let mut reference = IvfIndex::train_empty(&data, &cfg).unwrap();
@@ -695,7 +723,12 @@ mod tests {
         let data = VecSet::from_fn(3000, 16, |i, _| {
             (i % 12) as f32 * 8.0 + rng.random::<f32>() * 0.5
         });
-        let pq_cfg = PqConfig { m: 4, ksub: 32, train_iters: 6, seed: 5 };
+        let pq_cfg = PqConfig {
+            m: 4,
+            ksub: 32,
+            train_iters: 6,
+            seed: 5,
+        };
         let raw = IvfIndex::train(
             &data,
             &IvfConfig::new(12).storage(ListStorage::Pq(pq_cfg.clone())),
@@ -703,7 +736,9 @@ mod tests {
         .unwrap();
         let residual = IvfIndex::train(
             &data,
-            &IvfConfig::new(12).storage(ListStorage::Pq(pq_cfg)).by_residual(true),
+            &IvfConfig::new(12)
+                .storage(ListStorage::Pq(pq_cfg))
+                .by_residual(true),
         )
         .unwrap();
         let r_raw = recall_vs_flat(&raw, &data, 10, 4);
@@ -717,23 +752,31 @@ mod tests {
     #[test]
     fn residual_fastscan_matches_residual_pq_closely() {
         let data = clustered_data(1200, 16, 13);
-        let pq_cfg = PqConfig { m: 4, ksub: 32, train_iters: 5, seed: 6 };
+        let pq_cfg = PqConfig {
+            m: 4,
+            ksub: 32,
+            train_iters: 5,
+            seed: 6,
+        };
         let pq_idx = IvfIndex::train(
             &data,
-            &IvfConfig::new(8).storage(ListStorage::Pq(pq_cfg.clone())).by_residual(true),
+            &IvfConfig::new(8)
+                .storage(ListStorage::Pq(pq_cfg.clone()))
+                .by_residual(true),
         )
         .unwrap();
         let fs_idx = IvfIndex::train(
             &data,
-            &IvfConfig::new(8).storage(ListStorage::FastScan(pq_cfg)).by_residual(true),
+            &IvfConfig::new(8)
+                .storage(ListStorage::FastScan(pq_cfg))
+                .by_residual(true),
         )
         .unwrap();
         for q in 0..10 {
             let query = data.get(q * 111 % data.len());
             let a = pq_idx.search(query, 1, 4)[0].distance;
             let b = fs_idx.search(query, 1, 4)[0].distance;
-            let bound =
-                QuantizedLut::from_lut(&pq_idx.pq().unwrap().lut(query)).max_error() * 4.0;
+            let bound = QuantizedLut::from_lut(&pq_idx.pq().unwrap().lut(query)).max_error() * 4.0;
             assert!((a - b).abs() <= bound + 1e-2, "q{q}: {a} vs {b}");
         }
     }
@@ -743,15 +786,26 @@ mod tests {
         let data = clustered_data(200, 8, 14);
         let cfg = IvfConfig::new(4)
             .metric(Metric::Cosine)
-            .storage(ListStorage::Pq(PqConfig { m: 4, ksub: 16, train_iters: 3, seed: 1 }));
-        assert!(matches!(IvfIndex::train(&data, &cfg), Err(AnnError::InvalidConfig(_))));
+            .storage(ListStorage::Pq(PqConfig {
+                m: 4,
+                ksub: 16,
+                train_iters: 3,
+                seed: 1,
+            }));
+        assert!(matches!(
+            IvfIndex::train(&data, &cfg),
+            Err(AnnError::InvalidConfig(_))
+        ));
     }
 
     #[test]
     fn residual_with_flat_storage_rejected() {
         let data = clustered_data(200, 8, 15);
         let cfg = IvfConfig::new(4).by_residual(true);
-        assert!(matches!(IvfIndex::train(&data, &cfg), Err(AnnError::InvalidConfig(_))));
+        assert!(matches!(
+            IvfIndex::train(&data, &cfg),
+            Err(AnnError::InvalidConfig(_))
+        ));
     }
 
     #[test]
@@ -763,7 +817,10 @@ mod tests {
         let cfg = IvfConfig::new(1).metric(Metric::Cosine);
         let index = IvfIndex::train(&data, &cfg).unwrap();
         let hits = index.search(&[5.0, 0.0], 3, 1);
-        assert_eq!(hits[0].id, 2, "exact angular match must win regardless of norm");
+        assert_eq!(
+            hits[0].id, 2,
+            "exact angular match must win regardless of norm"
+        );
     }
 
     #[test]
@@ -773,7 +830,10 @@ mod tests {
         let wrong = VecSet::from_fn(10, 4, |_, _| 0.0);
         assert!(matches!(
             index.add(&[0; 10], &wrong),
-            Err(AnnError::DimensionMismatch { expected: 8, actual: 4 })
+            Err(AnnError::DimensionMismatch {
+                expected: 8,
+                actual: 4
+            })
         ));
     }
 

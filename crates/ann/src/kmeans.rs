@@ -45,7 +45,14 @@ impl KMeansConfig {
     /// Creates a config with `k` clusters and defaults suitable for IVF
     /// coarse training (random-sample init, 10 iterations).
     pub fn new(k: usize) -> Self {
-        Self { k, max_iters: 10, tolerance: 1e-4, init: KMeansInit::RandomSample, seed: 0x5eed, threads: 4 }
+        Self {
+            k,
+            max_iters: 10,
+            tolerance: 1e-4,
+            init: KMeansInit::RandomSample,
+            seed: 0x5eed,
+            threads: 4,
+        }
     }
 
     /// Sets the iteration budget.
@@ -292,8 +299,9 @@ fn update_centroids(data: &VecSet, assignments: &[u32], centroids: &mut VecSet, 
         if counts[c] == 0 {
             // Empty cluster: re-seed from a random member of the largest one,
             // nudged so the two copies diverge next iteration.
-            let members: Vec<usize> =
-                (0..data.len()).filter(|&i| assignments[i] as usize == largest).collect();
+            let members: Vec<usize> = (0..data.len())
+                .filter(|&i| assignments[i] as usize == largest)
+                .collect();
             if let Some(&pick) = members.get(rng.random_range(0..members.len().max(1))) {
                 let src = data.get(pick).to_vec();
                 let dst = centroids.get_mut(c);
@@ -336,7 +344,9 @@ mod tests {
         // k-means++ seeding makes separation of well-spread blobs reliable;
         // random-sample init can land two seeds in one blob and stall in a
         // local optimum (which is expected Lloyd behaviour, not a bug).
-        let cfg = KMeansConfig::new(3).max_iters(20).init(KMeansInit::PlusPlus);
+        let cfg = KMeansConfig::new(3)
+            .max_iters(20)
+            .init(KMeansInit::PlusPlus);
         let model = KMeans::train(&data, &cfg).unwrap();
         // Every blob maps to a single distinct cluster.
         let a = model.assign_one(&[0.05, 0.05]);
@@ -351,7 +361,9 @@ mod tests {
     #[test]
     fn plus_plus_init_also_converges() {
         let data = blobs(50, &[[0.0, 0.0], [10.0, 10.0]], 2);
-        let cfg = KMeansConfig::new(2).init(KMeansInit::PlusPlus).max_iters(20);
+        let cfg = KMeansConfig::new(2)
+            .init(KMeansInit::PlusPlus)
+            .max_iters(20);
         let model = KMeans::train(&data, &cfg).unwrap();
         assert!(model.quantization_error(&data) < 0.1);
     }
@@ -380,7 +392,10 @@ mod tests {
     fn too_few_points_is_an_error() {
         let data = blobs(1, &[[0.0, 0.0]], 4);
         let err = KMeans::train(&data, &KMeansConfig::new(5)).unwrap_err();
-        assert!(matches!(err, AnnError::InsufficientTrainingData { required: 5, .. }));
+        assert!(matches!(
+            err,
+            AnnError::InsufficientTrainingData { required: 5, .. }
+        ));
     }
 
     #[test]

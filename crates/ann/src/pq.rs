@@ -28,7 +28,12 @@ pub struct PqConfig {
 impl PqConfig {
     /// Creates a config with `m` subquantizers and 256-entry codebooks.
     pub fn new(m: usize) -> Self {
-        Self { m, ksub: 256, train_iters: 8, seed: 0x9a5e_ed }
+        Self {
+            m,
+            ksub: 256,
+            train_iters: 8,
+            seed: 0x009a_5eed,
+        }
     }
 }
 
@@ -113,7 +118,7 @@ impl ProductQuantizer {
     ///   training vectors are supplied.
     pub fn train(data: &VecSet, config: &PqConfig) -> Result<ProductQuantizer> {
         let dim = data.dim();
-        if config.m == 0 || dim % config.m != 0 {
+        if config.m == 0 || !dim.is_multiple_of(config.m) {
             return Err(AnnError::InvalidConfig(format!(
                 "m={} must be positive and divide dim={dim}",
                 config.m
@@ -147,7 +152,13 @@ impl ProductQuantizer {
             let model = KMeans::train(&sub, &cfg)?;
             codebooks.push(model.centroids().clone());
         }
-        Ok(ProductQuantizer { dim, m: config.m, dsub, ksub: config.ksub, codebooks })
+        Ok(ProductQuantizer {
+            dim,
+            m: config.m,
+            dsub,
+            ksub: config.ksub,
+            codebooks,
+        })
     }
 
     /// Vector dimensionality this quantizer encodes.
@@ -232,7 +243,11 @@ impl ProductQuantizer {
                 table.push(l2_sq(sub, word));
             }
         }
-        Lut { m: self.m, ksub: self.ksub, table }
+        Lut {
+            m: self.m,
+            ksub: self.ksub,
+            table,
+        }
     }
 
     /// Mean squared reconstruction error over `data`.
@@ -261,7 +276,12 @@ mod tests {
     }
 
     fn small_pq(data: &VecSet, m: usize) -> ProductQuantizer {
-        let cfg = PqConfig { m, ksub: 16, train_iters: 6, seed: 42 };
+        let cfg = PqConfig {
+            m,
+            ksub: 16,
+            train_iters: 6,
+            seed: 42,
+        };
         ProductQuantizer::train(data, &cfg).unwrap()
     }
 
@@ -271,7 +291,10 @@ mod tests {
         let pq = small_pq(&data, 4);
         let err = pq.reconstruction_error(&data);
         // Zero vector baseline error for U[0,1)^8 data is d * E[x²] ≈ 8/3.
-        assert!(err < 8.0 / 3.0 * 0.5, "PQ must beat half the trivial baseline, err={err}");
+        assert!(
+            err < 8.0 / 3.0 * 0.5,
+            "PQ must beat half the trivial baseline, err={err}"
+        );
     }
 
     #[test]
@@ -309,7 +332,10 @@ mod tests {
     #[test]
     fn oversized_ksub_rejected() {
         let data = random_data(100, 8, 5);
-        let cfg = PqConfig { ksub: 300, ..PqConfig::new(4) };
+        let cfg = PqConfig {
+            ksub: 300,
+            ..PqConfig::new(4)
+        };
         assert!(matches!(
             ProductQuantizer::train(&data, &cfg),
             Err(AnnError::InvalidConfig(_))
@@ -319,7 +345,10 @@ mod tests {
     #[test]
     fn too_little_training_data_rejected() {
         let data = random_data(10, 8, 6);
-        let cfg = PqConfig { ksub: 16, ..PqConfig::new(4) };
+        let cfg = PqConfig {
+            ksub: 16,
+            ..PqConfig::new(4)
+        };
         assert!(matches!(
             ProductQuantizer::train(&data, &cfg),
             Err(AnnError::InsufficientTrainingData { .. })
@@ -332,7 +361,10 @@ mod tests {
         let pq = small_pq(&data, 4);
         let batch = pq.encode_batch(&data);
         for i in 0..data.len() {
-            assert_eq!(&batch[i * 4..(i + 1) * 4], pq.encode(data.get(i)).as_slice());
+            assert_eq!(
+                &batch[i * 4..(i + 1) * 4],
+                pq.encode(data.get(i)).as_slice()
+            );
         }
     }
 

@@ -37,7 +37,10 @@ impl ScalarQuantizer {
     /// Returns [`AnnError::InsufficientTrainingData`] if `data` is empty.
     pub fn train(data: &VecSet) -> Result<ScalarQuantizer> {
         if data.is_empty() {
-            return Err(AnnError::InsufficientTrainingData { required: 1, supplied: 0 });
+            return Err(AnnError::InsufficientTrainingData {
+                required: 1,
+                supplied: 0,
+            });
         }
         let dim = data.dim();
         let mut mins = vec![f32::INFINITY; dim];

@@ -31,7 +31,10 @@ impl VecSet {
     /// Panics if `dim == 0`.
     pub fn new(dim: usize) -> Self {
         assert!(dim > 0, "vector dimensionality must be positive");
-        Self { dim, data: Vec::new() }
+        Self {
+            dim,
+            data: Vec::new(),
+        }
     }
 
     /// Creates an empty set with capacity for `n` vectors.
@@ -59,7 +62,11 @@ impl VecSet {
     /// Panics if `data.len()` is not a multiple of `dim`.
     pub fn from_flat(dim: usize, data: Vec<f32>) -> Self {
         assert!(dim > 0, "vector dimensionality must be positive");
-        assert_eq!(data.len() % dim, 0, "flat buffer length must be a multiple of dim");
+        assert_eq!(
+            data.len() % dim,
+            0,
+            "flat buffer length must be a multiple of dim"
+        );
         Self { dim, data }
     }
 

@@ -15,7 +15,7 @@ use vlite_ann::{
 };
 use vlite_core::{
     partition, stats, AccessProfile, HitRateEstimator, HybridSearchEngine, PartitionInput,
-    PerfModel, RagConfig, RagPipeline, RagSystem, PipelineConfig, Router, SearchCostModel,
+    PerfModel, PipelineConfig, RagConfig, RagPipeline, RagSystem, Router, SearchCostModel,
     SearchRequest, SystemKind,
 };
 use vlite_llm::{LlmCostModel, LlmEngine, LlmRequest, ModelSpec};
@@ -36,7 +36,12 @@ fn bench_ann(c: &mut Criterion) {
         b.iter(|| KMeans::train(black_box(&data), &cfg).unwrap())
     });
 
-    let pq_cfg = PqConfig { m: 8, ksub: 256, train_iters: 4, seed: 3 };
+    let pq_cfg = PqConfig {
+        m: 8,
+        ksub: 256,
+        train_iters: 4,
+        seed: 3,
+    };
     let pq = ProductQuantizer::train(&data, &pq_cfg).unwrap();
     c.bench_function("pq_encode_one", |b| {
         b.iter(|| black_box(&pq).encode(black_box(data.get(7))))
@@ -150,7 +155,10 @@ fn bench_runtime(c: &mut Criterion) {
                     1,
                 );
                 for id in 0..16 {
-                    engine.enqueue(SearchRequest { id, arrival: SimTime::ZERO });
+                    engine.enqueue(SearchRequest {
+                        id,
+                        arrival: SimTime::ZERO,
+                    });
                 }
                 engine
             },

@@ -6,7 +6,7 @@
 //! the SLO to a single batch (less coverage, cheaper, but fragile under
 //! queueing), larger ε over-provisions.
 
-use vlite_core::{RagConfig, RagPipeline, RagSystem, PipelineConfig, SystemKind};
+use vlite_core::{PipelineConfig, RagConfig, RagPipeline, RagSystem, SystemKind};
 use vlite_llm::ModelSpec;
 use vlite_metrics::Table;
 use vlite_workload::DatasetPreset;
@@ -35,7 +35,10 @@ fn main() {
             format!("{epsilon:.1}"),
             format!("{:.0}", system.decision.tau_s * 1e3),
             format!("{:.1}%", 100.0 * system.decision.coverage),
-            format!("{:.2}", system.decision.index_bytes as f64 / (1u64 << 30) as f64),
+            format!(
+                "{:.2}",
+                system.decision.index_bytes as f64 / (1u64 << 30) as f64
+            ),
             format!("{:.1}%", 100.0 * result.slo_attainment(system.slo_ttft())),
             format!("{:.0}", result.ttft.percentile(0.9) * 1e3),
         ]);

@@ -20,5 +20,8 @@ fn main() {
     figs::fig15::run();
     figs::fig16::run();
     figs::fig17::run();
-    println!("\nall harnesses completed in {:.1}s", t0.elapsed().as_secs_f64());
+    println!(
+        "\nall harnesses completed in {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
 }

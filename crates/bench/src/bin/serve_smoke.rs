@@ -1,0 +1,86 @@
+//! Throughput/latency smoke benchmark for the `vlite-serve` runtime: the
+//! real-tier counterpart of the simulated serving figures (latency
+//! variance, SLO attainment, dispatcher behaviour) on this machine's
+//! actual hardware.
+//!
+//! Sweeps the offered Poisson rate and reports achieved throughput,
+//! p50/p95/p99 search latency, SLO attainment, mean batch size, and
+//! admission shedding. Writes `results/serve_smoke.csv`.
+
+use vlite_bench::{banner, write_csv};
+use vlite_core::RealConfig;
+use vlite_metrics::{fmt_seconds, Table};
+use vlite_serve::loadgen::{run_open_loop, RotatingQuerySource};
+use vlite_serve::{RagServer, ServeConfig};
+use vlite_workload::{CorpusConfig, SyntheticCorpus};
+
+fn main() {
+    banner(
+        "serve-smoke",
+        "vlite-serve wall-clock throughput/latency sweep",
+    );
+
+    let corpus = SyntheticCorpus::generate(&CorpusConfig {
+        n_vectors: 20_000,
+        dim: 32,
+        n_centers: 64,
+        zipf_exponent: 1.1,
+        noise: 0.3,
+        seed: 3,
+    });
+
+    let mut table = Table::new(vec![
+        "offered (req/s)",
+        "achieved (req/s)",
+        "rejected",
+        "mean batch",
+        "search p50",
+        "search p95",
+        "search p99",
+        "SLO attainment",
+    ]);
+
+    let n_requests = 1_000;
+    for &rate in &[250.0, 500.0, 1_000.0, 2_000.0] {
+        let mut config = ServeConfig::small();
+        config.real = RealConfig {
+            ivf: vlite_ann::IvfConfig::new(128),
+            nprobe: 16,
+            top_k: 10,
+            n_profile_queries: 512,
+            slo_search: 0.010,
+            mu_llm0: 50.0,
+            kv_bytes_full: 8 << 30,
+            n_shards: 2,
+            seed: 0x7ea1,
+            coverage_override: Some(0.25),
+        };
+        config.queue_capacity = 512;
+
+        let server = RagServer::start(&corpus, config).expect("server starts");
+        let mut source = RotatingQuerySource::from_corpus(&corpus, 11);
+        let outcome = run_open_loop(&server, &mut source, rate, n_requests, 17, |_, _| {});
+        let report = server.shutdown();
+
+        // Completions over the full run including the queue-drain phase:
+        // at overload this converges to the service capacity instead of
+        // echoing the offered rate.
+        let achieved = outcome.achieved_rate();
+        table.row(vec![
+            format!("{rate:.0}"),
+            format!("{achieved:.0}"),
+            format!("{}", report.rejected),
+            format!("{:.1}", report.mean_batch),
+            fmt_seconds(report.search.p50),
+            fmt_seconds(report.search.p95),
+            fmt_seconds(report.search.p99),
+            format!("{:.1}%", 100.0 * report.slo_attainment),
+        ]);
+    }
+
+    println!("{}", table.render());
+    write_csv("serve_smoke.csv", &table.to_csv());
+    println!("On-demand batching absorbs queueing as the offered rate crosses the");
+    println!("service capacity: batch size grows, per-query latency stays bounded by");
+    println!("the batch scan, and admission control sheds load past the queue bound.");
+}

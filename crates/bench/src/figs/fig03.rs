@@ -36,7 +36,12 @@ pub fn run() {
     banner("Fig. 3", "IVF vs IVF-FastScan latency; IVF-FS breakdown");
     let corpus = SyntheticCorpus::generate(&CorpusConfig::medium());
     let queries = corpus.queries(64, 17);
-    let pq_cfg = PqConfig { m: 8, ksub: 256, train_iters: 6, seed: 4 };
+    let pq_cfg = PqConfig {
+        m: 8,
+        ksub: 256,
+        train_iters: 6,
+        seed: 4,
+    };
     let nprobe = 16;
 
     let classic = IvfIndex::train(
@@ -97,7 +102,12 @@ pub fn run() {
             format!("{:.3}", t_build / n * 1e3),
             format!("{:.3}", t_scan / n * 1e3),
         ]);
-        csv.push_str(&format!("{batch},{},{},{}\n", t_cq / n, t_build / n, t_scan / n));
+        csv.push_str(&format!(
+            "{batch},{},{},{}\n",
+            t_cq / n,
+            t_build / n,
+            t_scan / n
+        ));
     }
     println!("{}", right.render());
     write_csv("fig03_right_real.csv", &csv);

@@ -10,7 +10,10 @@ use crate::{banner, write_csv};
 
 /// Runs the Fig. 4 harness.
 pub fn run() {
-    banner("Fig. 4", "GPU search advantage; KV-cache/throughput coupling");
+    banner(
+        "Fig. 4",
+        "GPU search advantage; KV-cache/throughput coupling",
+    );
 
     // Left: CPU IVF fast scan vs GPU IVF search on the big index
     // (64-core Xeon 8462Y+ vs H100, batch 8).
@@ -21,14 +24,21 @@ pub fn run() {
     let cpu = cost.cpu_only_total(batch);
     let gpu = cost.dedicated_gpu_total(batch);
     let mut left = Table::new(vec!["engine", "search time (ms)", "speedup"]);
-    left.row(vec!["CPU IVF Fast Scan".into(), format!("{:.0}", cpu * 1e3), "1.0x".into()]);
+    left.row(vec![
+        "CPU IVF Fast Scan".into(),
+        format!("{:.0}", cpu * 1e3),
+        "1.0x".into(),
+    ]);
     left.row(vec![
         "GPU IVF Search".into(),
         format!("{:.0}", gpu * 1e3),
         format!("{:.1}x", cpu / gpu),
     ]);
     println!("{}", left.render());
-    write_csv("fig04_left.csv", &format!("engine,seconds\ncpu_fastscan,{cpu}\ngpu_ivf,{gpu}\n"));
+    write_csv(
+        "fig04_left.csv",
+        &format!("engine,seconds\ncpu_fastscan,{cpu}\ngpu_ivf,{gpu}\n"),
+    );
 
     // Right: relative KV space vs normalized LLM throughput
     // (Qwen3-32B on two H100s, the paper's setup).

@@ -8,7 +8,10 @@ use crate::{banner, write_csv};
 
 /// Runs the Fig. 6 harness.
 pub fn run() {
-    banner("Fig. 6", "hit-rate distributions at 5/10/20% cache coverage");
+    banner(
+        "Fig. 6",
+        "hit-rate distributions at 5/10/20% cache coverage",
+    );
     let mut table = Table::new(vec![
         "dataset", "coverage", "p5", "p25", "median", "p75", "p95", "mean",
     ]);

@@ -9,7 +9,10 @@ use crate::{banner, write_csv};
 
 /// Runs the Fig. 8 harness.
 pub fn run() {
-    banner("Fig. 8", "latency vs batch size (left); variance vs mean hit rate (right)");
+    banner(
+        "Fig. 8",
+        "latency vs batch size (left); variance vs mean hit rate (right)",
+    );
 
     // Left: ORCAS on the 64-core Xeon.
     let preset = DatasetPreset::orcas_1k();

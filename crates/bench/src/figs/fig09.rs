@@ -9,7 +9,10 @@ use crate::{banner, write_csv};
 
 /// Runs the Fig. 9 harness.
 pub fn run() {
-    banner("Fig. 9", "GPU shard rebuild timings (profile/algorithm/split/load)");
+    banner(
+        "Fig. 9",
+        "GPU shard rebuild timings (profile/algorithm/split/load)",
+    );
     // The paper annotates two SLO settings per dataset.
     let cases = [
         (DatasetPreset::wiki_all(), [100.0, 150.0]),
@@ -17,11 +20,15 @@ pub fn run() {
         (DatasetPreset::orcas_2k(), [200.0, 300.0]),
     ];
     let mut table = Table::new(vec![
-        "dataset", "SLO (ms)", "profiling (s)", "algorithm (s)", "splitting (s)", "loading (s)",
+        "dataset",
+        "SLO (ms)",
+        "profiling (s)",
+        "algorithm (s)",
+        "splitting (s)",
+        "loading (s)",
         "total (s)",
     ]);
-    let mut csv =
-        String::from("dataset,slo_ms,profiling_s,algorithm_s,splitting_s,loading_s\n");
+    let mut csv = String::from("dataset,slo_ms,profiling_s,algorithm_s,splitting_s,loading_s\n");
     let gpu = devices::h100();
     let cpu = devices::xeon_8462y();
     for (preset, slos) in cases {
@@ -30,8 +37,7 @@ pub fn run() {
         let perf = PerfModel::from_cost_model(&cost, &[1, 2, 4, 8, 16, 32]);
         for slo_ms in slos {
             let input = PartitionInput::new(slo_ms / 1e3, 30.0, 256 << 30);
-            let cycle =
-                run_update_cycle(&preset, &wl, &cost, &perf, &input, &gpu, 20_000, 8, 9);
+            let cycle = run_update_cycle(&preset, &wl, &cost, &perf, &input, &gpu, 20_000, 8, 9);
             let t = cycle.timing;
             table.row(vec![
                 preset.name.to_string(),

@@ -1,9 +1,7 @@
 //! Fig. 10 — performance-model validation: predicted vs measured search
 //! latency and tail (batch-minimum) hit rate across batch sizes.
 
-use vlite_core::{
-    HybridSearchEngine, RagConfig, RagSystem, Router, SearchRequest, SystemKind,
-};
+use vlite_core::{HybridSearchEngine, RagConfig, RagSystem, Router, SearchRequest, SystemKind};
 use vlite_llm::ModelSpec;
 use vlite_metrics::Table;
 use vlite_sim::SimTime;
@@ -13,9 +11,16 @@ use crate::{banner, write_csv};
 
 /// Runs the Fig. 10 harness.
 pub fn run() {
-    banner("Fig. 10", "predicted vs measured: hybrid latency and tail hit rate");
+    banner(
+        "Fig. 10",
+        "predicted vs measured: hybrid latency and tail hit rate",
+    );
     let mut table = Table::new(vec![
-        "dataset", "batch", "measured lat (ms)", "predicted lat (ms)", "measured tail eta",
+        "dataset",
+        "batch",
+        "measured lat (ms)",
+        "predicted lat (ms)",
+        "measured tail eta",
         "predicted tail eta",
     ]);
     let mut csv = String::from(

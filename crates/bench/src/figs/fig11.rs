@@ -4,14 +4,18 @@
 use vlite_core::SystemKind;
 use vlite_metrics::Table;
 
-use crate::{banner, build_cell, evaluation_grid, rate_grid, run_point, write_csv, POINT_REQUESTS, SEED};
+use crate::{
+    banner, build_cell, evaluation_grid, rate_grid, run_point, write_csv, POINT_REQUESTS, SEED,
+};
 
 /// Runs the Fig. 11 harness.
 pub fn run() {
-    banner("Fig. 11", "SLO attainment (left) and end-to-end latency (right), 9 cells");
-    let mut csv = String::from(
-        "dataset,model,system,rate_rps,slo_attainment,p90_ttft_s,mean_e2e_s\n",
+    banner(
+        "Fig. 11",
+        "SLO attainment (left) and end-to-end latency (right), 9 cells",
     );
+    let mut csv =
+        String::from("dataset,model,system,rate_rps,slo_attainment,p90_ttft_s,mean_e2e_s\n");
     for (dataset, model) in evaluation_grid() {
         println!("\n--- {} + {} ---", dataset.name, model.name);
         // Common x-axis: the bare node capacity measured on the clean
@@ -27,7 +31,12 @@ pub fn run() {
             reference.config.slo_search * 1e3
         );
         let mut table = Table::new(vec![
-            "system", "coverage", "rate", "attainment", "P90 TTFT (ms)", "mean E2E (s)",
+            "system",
+            "coverage",
+            "rate",
+            "attainment",
+            "P90 TTFT (ms)",
+            "mean E2E (s)",
         ]);
         let mut compliant_range: Vec<(SystemKind, f64)> = Vec::new();
         for kind in SystemKind::main_four() {

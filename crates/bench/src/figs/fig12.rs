@@ -12,17 +12,22 @@ use crate::{banner, build_cell, run_point, write_csv, POINT_REQUESTS, SEED};
 pub fn run() {
     banner("Fig. 12", "TTFT breakdown: queueing + search + prefill");
     let model = ModelSpec::qwen3_32b();
-    let mut csv = String::from(
-        "dataset,system,rate_rps,queueing_s,search_s,prefill_s,ttft_s\n",
-    );
+    let mut csv = String::from("dataset,system,rate_rps,queueing_s,search_s,prefill_s,ttft_s\n");
     for dataset in [DatasetPreset::wiki_all(), DatasetPreset::orcas_1k()] {
         let reference = build_cell(SystemKind::CpuOnly, &dataset, &model);
         // The paper samples three absolute rates (19/32/38); use the same
         // relative positions on our capacity axis.
-        let rates: Vec<f64> =
-            [0.55, 0.9, 1.1].iter().map(|f| f * reference.mu_llm0).collect();
+        let rates: Vec<f64> = [0.55, 0.9, 1.1]
+            .iter()
+            .map(|f| f * reference.mu_llm0)
+            .collect();
         let mut table = Table::new(vec![
-            "system", "rate", "queueing (ms)", "search (ms)", "prefill (ms)", "TTFT (ms)",
+            "system",
+            "rate",
+            "queueing (ms)",
+            "search (ms)",
+            "prefill (ms)",
+            "TTFT (ms)",
         ]);
         for kind in SystemKind::main_four() {
             let system = build_cell(kind, &dataset, &model);

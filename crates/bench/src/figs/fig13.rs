@@ -23,7 +23,10 @@ fn hedra_setting() -> DatasetPreset {
 
 /// Runs the Fig. 13 harness.
 pub fn run() {
-    banner("Fig. 13", "VectorLiteRAG vs HedraRAG (throughput-balanced caching)");
+    banner(
+        "Fig. 13",
+        "VectorLiteRAG vs HedraRAG (throughput-balanced caching)",
+    );
     let dataset = hedra_setting();
     let model = ModelSpec::qwen3_32b();
 
@@ -43,8 +46,13 @@ pub fn run() {
     let rates = rate_grid(systems[1].mu_llm0);
     // Combined target with the experiment's relaxed 400 ms search SLO.
     let target = systems[1].slo_ttft();
-    let mut table =
-        Table::new(vec!["system", "rate", "mean TTFT (s)", "P90 TTFT (s)", "mean E2E (s)"]);
+    let mut table = Table::new(vec![
+        "system",
+        "rate",
+        "mean TTFT (s)",
+        "P90 TTFT (s)",
+        "mean E2E (s)",
+    ]);
     let mut csv = String::from("system,rate_rps,mean_ttft_s,p90_ttft_s,mean_e2e_s\n");
     let mut compliant = Vec::new();
     for system in &systems {

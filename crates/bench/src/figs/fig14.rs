@@ -9,7 +9,10 @@ use crate::{banner, run_point, write_csv, POINT_REQUESTS, SEED};
 
 /// Runs the Fig. 14 harness.
 pub fn run() {
-    banner("Fig. 14", "dynamic dispatcher: average/P90 search latency and batch size");
+    banner(
+        "Fig. 14",
+        "dynamic dispatcher: average/P90 search latency and batch size",
+    );
     let dataset = DatasetPreset::orcas_2k();
     let model = ModelSpec::qwen3_32b();
 
@@ -20,11 +23,17 @@ pub fn run() {
         config.dispatcher = dispatcher;
         builds.push((dispatcher, RagSystem::build(config)));
     }
-    let rates: Vec<f64> =
-        [0.7, 0.9, 1.15].iter().map(|f| f * builds[0].1.mu_llm0).collect();
+    let rates: Vec<f64> = [0.7, 0.9, 1.15]
+        .iter()
+        .map(|f| f * builds[0].1.mu_llm0)
+        .collect();
 
     let mut table = Table::new(vec![
-        "dispatcher", "rate", "avg search (ms)", "P90 search (ms)", "mean batch",
+        "dispatcher",
+        "rate",
+        "avg search (ms)",
+        "P90 search (ms)",
+        "mean batch",
     ]);
     let mut csv = String::from("dispatcher,rate_rps,avg_search_s,p90_search_s,mean_batch\n");
     let mut gains = Vec::new();
@@ -54,5 +63,8 @@ pub fn run() {
         "dispatcher average-latency reduction: up to {:.0}% (paper: up to 16%)",
         100.0 * max_gain
     );
-    assert!(max_gain > 0.0, "dispatcher must not hurt average search latency");
+    assert!(
+        max_gain > 0.0,
+        "dispatcher must not hurt average search latency"
+    );
 }

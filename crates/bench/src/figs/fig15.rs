@@ -7,39 +7,49 @@ use vlite_workload::DatasetPreset;
 
 use crate::{banner, run_point, write_csv, SEED};
 
-const SYSTEMS: [SystemKind; 3] =
-    [SystemKind::CpuOnly, SystemKind::VectorLite, SystemKind::AllGpu];
+const SYSTEMS: [SystemKind; 3] = [
+    SystemKind::CpuOnly,
+    SystemKind::VectorLite,
+    SystemKind::AllGpu,
+];
 
 /// Runs the Fig. 15 harness.
 pub fn run() {
-    banner("Fig. 15", "input/output length ablation, P90 TTFT (ORCAS 2K)");
-    let dataset = DatasetPreset::orcas_2k();
-    let mut csv = String::from(
-        "model,in_tokens,out_tokens,system,rate_rps,p90_ttft_s,attainment\n",
+    banner(
+        "Fig. 15",
+        "input/output length ablation, P90 TTFT (ORCAS 2K)",
     );
+    let dataset = DatasetPreset::orcas_2k();
+    let mut csv =
+        String::from("model,in_tokens,out_tokens,system,rate_rps,p90_ttft_s,attainment\n");
     for model in [ModelSpec::llama3_8b(), ModelSpec::llama3_70b()] {
         // Input-length ablation at 256 output tokens, then output-length
         // ablation at 1024 input tokens (1024/256 is shared).
-        let combos: [(u64, u64); 5] =
-            [(512, 256), (1024, 256), (2048, 256), (1024, 128), (1024, 512)];
+        let combos: [(u64, u64); 5] = [
+            (512, 256),
+            (1024, 256),
+            (2048, 256),
+            (1024, 128),
+            (1024, 512),
+        ];
         let mut table = Table::new(vec![
-            "in/out", "system", "rate", "P90 TTFT (ms)", "attainment",
+            "in/out",
+            "system",
+            "rate",
+            "P90 TTFT (ms)",
+            "attainment",
         ]);
         for (input_tokens, output_tokens) in combos {
             // Per the paper, SLO_LLM stays fixed at the 1024/256 setting.
             let reference = {
-                let config = RagConfig::paper_default(
-                    SystemKind::CpuOnly,
-                    dataset.clone(),
-                    model.clone(),
-                );
+                let config =
+                    RagConfig::paper_default(SystemKind::CpuOnly, dataset.clone(), model.clone());
                 RagSystem::build(config)
             };
             let target = reference.slo_ttft();
             let rates = [0.6 * reference.mu_llm0, 1.0 * reference.mu_llm0];
             for kind in SYSTEMS {
-                let mut config =
-                    RagConfig::paper_default(kind, dataset.clone(), model.clone());
+                let mut config = RagConfig::paper_default(kind, dataset.clone(), model.clone());
                 config.input_tokens = input_tokens;
                 config.output_tokens = output_tokens;
                 let system = RagSystem::build(config);

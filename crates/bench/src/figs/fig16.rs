@@ -9,7 +9,10 @@ use crate::{banner, rate_grid, run_point, write_csv, POINT_REQUESTS, SEED};
 
 /// Runs the Fig. 16 harness.
 pub fn run() {
-    banner("Fig. 16", "P95 (and vLiteRAG P90) TTFT under varying SLO_search");
+    banner(
+        "Fig. 16",
+        "P95 (and vLiteRAG P90) TTFT under varying SLO_search",
+    );
     let dataset = DatasetPreset::orcas_1k();
     let model = ModelSpec::qwen3_32b();
     let reference = RagSystem::build(RagConfig::paper_default(
@@ -18,14 +21,20 @@ pub fn run() {
         model.clone(),
     ));
     let rates = rate_grid(reference.mu_llm0);
-    let mut csv = String::from(
-        "slo_search_ms,system,rate_rps,p95_ttft_s,p90_ttft_s,index_gib\n",
-    );
+    let mut csv = String::from("slo_search_ms,system,rate_rps,p95_ttft_s,p90_ttft_s,index_gib\n");
     for slo_ms in [100.0, 150.0, 200.0, 250.0] {
         let mut table = Table::new(vec![
-            "system", "index (GiB)", "rate", "P95 TTFT (ms)", "P90 TTFT (ms)",
+            "system",
+            "index (GiB)",
+            "rate",
+            "P95 TTFT (ms)",
+            "P90 TTFT (ms)",
         ]);
-        for kind in [SystemKind::CpuOnly, SystemKind::AllGpu, SystemKind::VectorLite] {
+        for kind in [
+            SystemKind::CpuOnly,
+            SystemKind::AllGpu,
+            SystemKind::VectorLite,
+        ] {
             let mut config = RagConfig::paper_default(kind, dataset.clone(), model.clone());
             config.slo_search = slo_ms / 1e3;
             let system = RagSystem::build(config);

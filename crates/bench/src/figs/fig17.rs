@@ -9,12 +9,13 @@ use crate::{banner, rate_grid, run_point, write_csv, POINT_REQUESTS, SEED};
 
 /// Runs the Fig. 17 harness.
 pub fn run() {
-    banner("Fig. 17", "SLO attainment and E2E latency on 4/6/8-GPU nodes");
+    banner(
+        "Fig. 17",
+        "SLO attainment and E2E latency on 4/6/8-GPU nodes",
+    );
     let dataset = DatasetPreset::orcas_2k();
     let model = ModelSpec::qwen3_32b();
-    let mut csv = String::from(
-        "n_gpus,system,rate_rps,attainment,mean_e2e_s\n",
-    );
+    let mut csv = String::from("n_gpus,system,rate_rps,attainment,mean_e2e_s\n");
     let mut compliant = Vec::new();
     for n_gpus in [4usize, 6, 8] {
         let make = |kind: SystemKind| {
@@ -26,10 +27,12 @@ pub fn run() {
         let reference = make(SystemKind::CpuOnly);
         let rates = rate_grid(reference.mu_llm0);
         let target = reference.slo_ttft();
-        let mut table = Table::new(vec![
-            "system", "rate", "attainment", "mean E2E (s)",
-        ]);
-        for kind in [SystemKind::CpuOnly, SystemKind::AllGpu, SystemKind::VectorLite] {
+        let mut table = Table::new(vec!["system", "rate", "attainment", "mean E2E (s)"]);
+        for kind in [
+            SystemKind::CpuOnly,
+            SystemKind::AllGpu,
+            SystemKind::VectorLite,
+        ] {
             let system = make(kind);
             let mut best: f64 = 0.0;
             for &rate in &rates {

@@ -9,7 +9,10 @@ use crate::{banner, write_csv};
 
 /// Runs the Table I harness.
 pub fn run() {
-    banner("Table I", "SLO targets: search (configured) and LLM (measured at capacity)");
+    banner(
+        "Table I",
+        "SLO targets: search (configured) and LLM (measured at capacity)",
+    );
     // The paper pairs rows positionally: Wiki-All/Llama3-8B,
     // ORCAS 1K/Qwen3-32B, ORCAS 2K/Llama3-70B.
     let rows = [

@@ -9,7 +9,10 @@ use crate::{banner, write_csv};
 
 /// Runs the Table II harness.
 pub fn run() {
-    banner("Table II", "SLO -> index shard / parameter / KV-cache memory split");
+    banner(
+        "Table II",
+        "SLO -> index shard / parameter / KV-cache memory split",
+    );
     let dataset = DatasetPreset::orcas_1k();
     let model = ModelSpec::qwen3_32b();
     // Paper reference rows (GB): index shard sizes at each SLO.

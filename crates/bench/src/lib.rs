@@ -51,7 +51,11 @@ pub fn evaluation_grid() -> Vec<(DatasetPreset, ModelSpec)> {
 
 /// Builds the system for one evaluation cell.
 pub fn build_cell(kind: SystemKind, dataset: &DatasetPreset, model: &ModelSpec) -> RagSystem {
-    RagSystem::build(RagConfig::paper_default(kind, dataset.clone(), model.clone()))
+    RagSystem::build(RagConfig::paper_default(
+        kind,
+        dataset.clone(),
+        model.clone(),
+    ))
 }
 
 /// Runs one pipeline point.

@@ -132,7 +132,10 @@ mod tests {
         let slow = hedra_coverage(&f.perf, &f.est, &f.profile, 5.0, 64 << 30);
         let fast = hedra_coverage(&f.perf, &f.est, &f.profile, 5000.0, 64 << 30);
         assert!(fast >= slow, "fast={fast} slow={slow}");
-        assert!(fast > 0.03, "a fast LLM should leave room for caching, rho={fast}");
+        assert!(
+            fast > 0.03,
+            "a fast LLM should leave room for caching, rho={fast}"
+        );
     }
 
     #[test]

@@ -47,7 +47,12 @@ impl SystemKind {
 
     /// The four main-evaluation systems (Fig. 11 legend order).
     pub fn main_four() -> [SystemKind; 4] {
-        [SystemKind::CpuOnly, SystemKind::DedGpu, SystemKind::AllGpu, SystemKind::VectorLite]
+        [
+            SystemKind::CpuOnly,
+            SystemKind::DedGpu,
+            SystemKind::AllGpu,
+            SystemKind::VectorLite,
+        ]
     }
 }
 
@@ -65,12 +70,20 @@ pub struct NodeConfig {
 impl NodeConfig {
     /// The paper's L40S node: 8× L40S + 32-core Xeon 6426Y.
     pub fn l40s_node() -> Self {
-        Self { gpu: vlite_sim::devices::l40s(), n_gpus: 8, cpu: vlite_sim::devices::xeon_6426y() }
+        Self {
+            gpu: vlite_sim::devices::l40s(),
+            n_gpus: 8,
+            cpu: vlite_sim::devices::xeon_6426y(),
+        }
     }
 
     /// The paper's H100 node: 8× H100 + 64-core Xeon 8462Y.
     pub fn h100_node() -> Self {
-        Self { gpu: vlite_sim::devices::h100(), n_gpus: 8, cpu: vlite_sim::devices::xeon_8462y() }
+        Self {
+            gpu: vlite_sim::devices::h100(),
+            n_gpus: 8,
+            cpu: vlite_sim::devices::xeon_8462y(),
+        }
     }
 
     /// Scales the node to `n_gpus`, provisioning CPU cores proportionally
@@ -80,7 +93,9 @@ impl NodeConfig {
         Self {
             gpu: self.gpu.clone(),
             n_gpus,
-            cpu: self.cpu.with_cores((cores_per_gpu * n_gpus as f64).round().max(1.0) as u32),
+            cpu: self
+                .cpu
+                .with_cores((cores_per_gpu * n_gpus as f64).round().max(1.0) as u32),
         }
     }
 
@@ -152,7 +167,10 @@ impl RagConfig {
     /// a 4-GPU node).
     pub fn tiny(system: SystemKind) -> Self {
         let mut cfg = Self::paper_default(system, DatasetPreset::tiny(), ModelSpec::tiny());
-        cfg.node = NodeConfig { n_gpus: 4, ..NodeConfig::l40s_node() };
+        cfg.node = NodeConfig {
+            n_gpus: 4,
+            ..NodeConfig::l40s_node()
+        };
         cfg.input_tokens = 256;
         cfg.output_tokens = 64;
         cfg
@@ -203,12 +221,19 @@ impl RagSystem {
     /// GPU count, model not fitting, index shards overflowing GPU memory).
     pub fn build(config: RagConfig) -> RagSystem {
         let tp = config.tp as usize;
-        assert!(tp >= 1 && tp <= config.node.n_gpus, "TP degree must fit the node");
+        assert!(
+            tp >= 1 && tp <= config.node.n_gpus,
+            "TP degree must fit the node"
+        );
         let workload = config.dataset.workload(config.seed);
         let profile = AccessProfile::from_workload(&config.dataset, &workload, 3000, config.seed);
         let estimator = HitRateEstimator::from_profile(&profile);
-        let cost =
-            SearchCostModel::from_preset(&config.dataset, &workload, &config.node.cpu, &config.node.gpu);
+        let cost = SearchCostModel::from_preset(
+            &config.dataset,
+            &workload,
+            &config.node.cpu,
+            &config.node.gpu,
+        );
         let perf = PerfModel::from_cost_model(&cost, &[1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48]);
 
         let llm_cost = LlmCostModel::new(config.model.clone(), config.node.gpu.clone(), config.tp);
@@ -220,7 +245,10 @@ impl RagSystem {
         };
         let llm_gpus = config.node.n_gpus - retrieval_gpus;
         let n_llm_instances = llm_gpus / tp;
-        assert!(n_llm_instances >= 1, "no LLM instance fits the remaining GPUs");
+        assert!(
+            n_llm_instances >= 1,
+            "no LLM instance fits the remaining GPUs"
+        );
 
         // Bare KV capacity per instance (no index resident).
         let per_gpu_free = config
@@ -243,14 +271,15 @@ impl RagSystem {
         );
         let mu_llm0 = peak.requests_per_sec * n_llm_instances as f64;
         let sat_batch = (kv_full_per_instance
-            / ((config.input_tokens + config.output_tokens)
-                * config.model.kv_bytes_per_token()))
+            / ((config.input_tokens + config.output_tokens) * config.model.kv_bytes_per_token()))
         .clamp(1, 256) as usize;
         // Generation latency at the throughput limit ≈ one prefill plus a
         // few decode rounds of queueing at the saturation batch; the
         // 4-round constant reproduces the paper's Table I values
         // (217/191/311 ms) within ~10% on the paper's model/node pairs.
-        let slo_llm = llm_cost.prefill_time(config.input_tokens, 1.0).as_secs_f64()
+        let slo_llm = llm_cost
+            .prefill_time(config.input_tokens, 1.0)
+            .as_secs_f64()
             + 4.0
                 * llm_cost
                     .decode_step_time(sat_batch, sat_batch as u64 * config.input_tokens, 1.0)
@@ -269,8 +298,13 @@ impl RagSystem {
                 partition(&input, &perf, &estimator, &profile)
             }
             SystemKind::HedraRag => {
-                let coverage =
-                    crate::baselines::hedra_coverage(&perf, &estimator, &profile, mu_llm0, kv_node_full);
+                let coverage = crate::baselines::hedra_coverage(
+                    &perf,
+                    &estimator,
+                    &profile,
+                    mu_llm0,
+                    kv_node_full,
+                );
                 decision_at_coverage(coverage, &profile, mu_llm0, kv_node_full, config.slo_search)
             }
         };
@@ -286,18 +320,24 @@ impl RagSystem {
 
         // Memory accounting: per-GPU ledger with params, shard, workspace;
         // KV gets the remainder, evenly across each instance's GPUs.
-        let mut ledgers: Vec<MemoryLedger> =
-            (0..config.node.n_gpus).map(|_| MemoryLedger::new(config.node.gpu.mem_bytes)).collect();
-        for gpu in 0..llm_gpus {
-            ledgers[gpu]
+        let mut ledgers: Vec<MemoryLedger> = (0..config.node.n_gpus)
+            .map(|_| MemoryLedger::new(config.node.gpu.mem_bytes))
+            .collect();
+        for ledger in ledgers.iter_mut().take(llm_gpus) {
+            ledger
                 .reserve(MemoryRegion::Params, llm_cost.param_bytes_per_gpu())
                 .expect("params fit (checked by cost model)");
-            ledgers[gpu]
+            ledger
                 .reserve(MemoryRegion::Workspace, config.workspace_bytes)
                 .expect("workspace fits");
         }
         for (shard, &gpu) in shard_gpus.iter().enumerate() {
-            let bytes = router.split().shard_bytes().get(shard).copied().unwrap_or(0);
+            let bytes = router
+                .split()
+                .shard_bytes()
+                .get(shard)
+                .copied()
+                .unwrap_or(0);
             // DED-GPU may hold an index larger than one GPU; cap at capacity
             // (the spill is precisely why the paper calls it wasteful).
             let granted = ledgers[gpu].reserve_up_to(MemoryRegion::IndexShard, bytes);
@@ -309,7 +349,9 @@ impl RagSystem {
             let mut instance_kv = 0u64;
             for gpu in gpus {
                 let free = ledgers[gpu].free();
-                ledgers[gpu].reserve(MemoryRegion::KvCache, free).expect("free is free");
+                ledgers[gpu]
+                    .reserve(MemoryRegion::KvCache, free)
+                    .expect("free is free");
                 instance_kv += free;
             }
             kv_bytes_per_instance = kv_bytes_per_instance.min(instance_kv);
@@ -410,8 +452,11 @@ mod tests {
     fn all_gpu_hosts_whole_index() {
         let system = RagSystem::build(RagConfig::tiny(SystemKind::AllGpu));
         assert_eq!(system.decision.coverage, 1.0);
-        let resident: u64 =
-            system.ledgers.iter().map(|l| l.region(MemoryRegion::IndexShard)).sum();
+        let resident: u64 = system
+            .ledgers
+            .iter()
+            .map(|l| l.region(MemoryRegion::IndexShard))
+            .sum();
         assert_eq!(resident, system.profile.total_bytes());
     }
 
@@ -446,8 +491,6 @@ mod tests {
     #[test]
     fn slo_ttft_combines_stages() {
         let system = RagSystem::build(RagConfig::tiny(SystemKind::VectorLite));
-        assert!(
-            (system.slo_ttft() - (system.slo_llm + system.config.slo_search)).abs() < 1e-12
-        );
+        assert!((system.slo_ttft() - (system.slo_llm + system.config.slo_search)).abs() < 1e-12);
     }
 }

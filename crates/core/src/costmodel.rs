@@ -163,9 +163,7 @@ impl SearchCostModel {
     pub fn dedicated_gpu_total(&self, batch: f64) -> f64 {
         // GPU coarse quantization: brute-force centroid scan at GPU rate.
         let cq = self.cq_per_query * 0.1 * batch;
-        self.gpu_base
-            + cq
-            + batch * self.gpu_query_secs(self.nprobe as f64, self.vectors_per_query)
+        self.gpu_base + cq + batch * self.gpu_query_secs(self.nprobe as f64, self.vectors_per_query)
     }
 
     /// The hybrid latency model of paper Eq. 1:

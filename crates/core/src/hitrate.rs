@@ -55,7 +55,10 @@ impl HitRateEstimator {
         let coverage_to_mean = (0..=STEPS)
             .map(|i| profile.mean_hit_rate(i as f64 / STEPS as f64))
             .collect();
-        HitRateEstimator { coverage_to_mean, sigma2_max }
+        HitRateEstimator {
+            coverage_to_mean,
+            sigma2_max,
+        }
     }
 
     /// The fitted peak hit-rate variance.
@@ -82,7 +85,11 @@ impl HitRateEstimator {
             Some(i) => {
                 // Interpolate within the bracketing step.
                 let (m0, m1) = (self.coverage_to_mean[i - 1], self.coverage_to_mean[i]);
-                let frac = if m1 > m0 { (mean - m0) / (m1 - m0) } else { 1.0 };
+                let frac = if m1 > m0 {
+                    (mean - m0) / (m1 - m0)
+                } else {
+                    1.0
+                };
                 ((i - 1) as f64 + frac) / steps as f64
             }
             None => 1.0,

@@ -29,7 +29,14 @@ pub struct PartitionInput {
 impl PartitionInput {
     /// Creates inputs with the paper's defaults (`ε = 1`, `δ = 1e-3`).
     pub fn new(slo_search: f64, mu_llm0: f64, kv_bytes_full: u64) -> Self {
-        Self { slo_search, epsilon: 1.0, mu_llm0, kv_bytes_full, delta: 1e-3, max_iters: 64 }
+        Self {
+            slo_search,
+            epsilon: 1.0,
+            mu_llm0,
+            kv_bytes_full,
+            delta: 1e-3,
+            max_iters: 64,
+        }
     }
 }
 
@@ -149,12 +156,7 @@ fn throughput_at(input: &PartitionInput, profile: &AccessProfile, rho: f64) -> f
 /// The `INFERPARTITION` function (Algorithm 1, lines 15–25): given the
 /// latency budget and a throughput bound, the two batch roundings each
 /// yield a required hit rate and hence a coverage; the cheaper one wins.
-fn infer_partition(
-    tau_s: f64,
-    mu: f64,
-    perf: &PerfModel,
-    estimator: &HitRateEstimator,
-) -> f64 {
+fn infer_partition(tau_s: f64, mu: f64, perf: &PerfModel, estimator: &HitRateEstimator) -> f64 {
     // Rounding up: longer latency, must still meet τ_s.
     let b_up = (tau_s * mu).ceil().max(1.0);
     let eta1 = perf.required_hit_rate(b_up, tau_s);

@@ -32,7 +32,12 @@ pub struct PipelineConfig {
 impl PipelineConfig {
     /// Creates a run config with the paper's defaults (2 ms doc fetch).
     pub fn new(arrival_rate: f64, n_requests: usize, seed: u64) -> Self {
-        Self { arrival_rate, n_requests, seed, doc_fetch: 0.002 }
+        Self {
+            arrival_rate,
+            n_requests,
+            seed,
+            doc_fetch: 0.002,
+        }
     }
 }
 
@@ -155,7 +160,10 @@ impl<'a> RagPipeline<'a> {
         let mut events: EventQueue<Event> = EventQueue::new();
         for id in 0..config.n_requests as u64 {
             let at = arrivals.next_arrival(&mut rng);
-            records.push(RequestRecord { arrival: at, ..Default::default() });
+            records.push(RequestRecord {
+                arrival: at,
+                ..Default::default()
+            });
             events.schedule(at, Event::Arrival(id));
         }
         let mut batch_of: HashMap<u64, (SimTime, f64)> = HashMap::new();
@@ -202,8 +210,16 @@ impl<'a> RagPipeline<'a> {
                     );
                     if !llm_busy[instance] {
                         advance_llm(
-                            system, &search, &mut llms, &mut llm_busy, &mut llm_pending,
-                            instance, now, &mut events, tp, co_located,
+                            system,
+                            &search,
+                            &mut llms,
+                            &mut llm_busy,
+                            &mut llm_pending,
+                            instance,
+                            now,
+                            &mut events,
+                            tp,
+                            co_located,
                         );
                     }
                 }
@@ -221,8 +237,16 @@ impl<'a> RagPipeline<'a> {
                         }
                     }
                     advance_llm(
-                        system, &search, &mut llms, &mut llm_busy, &mut llm_pending, instance,
-                        now, &mut events, tp, co_located,
+                        system,
+                        &search,
+                        &mut llms,
+                        &mut llm_busy,
+                        &mut llm_pending,
+                        instance,
+                        now,
+                        &mut events,
+                        tp,
+                        co_located,
                     );
                 }
             }
@@ -239,8 +263,11 @@ impl<'a> RagPipeline<'a> {
         search: HybridSearchEngine,
         llms: Vec<LlmEngine>,
     ) -> RunResult {
-        let prefill_estimate =
-            self.system.llm_cost.prefill_time(self.system.config.input_tokens, 1.0).as_secs_f64();
+        let prefill_estimate = self
+            .system
+            .llm_cost
+            .prefill_time(self.system.config.input_tokens, 1.0)
+            .as_secs_f64();
         let mut ttft = LatencyRecorder::new();
         let mut e2e = LatencyRecorder::new();
         let mut search_total = LatencyRecorder::new();
@@ -249,9 +276,12 @@ impl<'a> RagPipeline<'a> {
         let mut llm_queue = LatencyRecorder::new();
         let mut hit_rates = Vec::with_capacity(records.len());
         for rec in &records {
-            let (Some(batch_start), Some(search_done), Some(first), Some(done)) =
-                (rec.batch_start, rec.search_done, rec.first_token, rec.completed)
-            else {
+            let (Some(batch_start), Some(search_done), Some(first), Some(done)) = (
+                rec.batch_start,
+                rec.search_done,
+                rec.first_token,
+                rec.completed,
+            ) else {
                 continue;
             };
             ttft.record((first - rec.arrival).as_secs_f64());
@@ -259,9 +289,9 @@ impl<'a> RagPipeline<'a> {
             search_total.record((search_done - rec.arrival).as_secs_f64());
             search_queue.record((batch_start - rec.arrival).as_secs_f64());
             search_exec.record((search_done - batch_start).as_secs_f64());
-            let wait =
-                ((first - rec.llm_submit.expect("submitted")).as_secs_f64() - prefill_estimate)
-                    .max(0.0);
+            let wait = ((first - rec.llm_submit.expect("submitted")).as_secs_f64()
+                - prefill_estimate)
+                .max(0.0);
             llm_queue.record(wait);
             hit_rates.push(rec.hit_rate);
         }
@@ -310,8 +340,7 @@ fn advance_llm(
     // scaled by how aggressively this system's kernels contend.
     let factor = if co_located {
         let gpus = instance * tp..(instance + 1) * tp;
-        let duty: f64 =
-            gpus.clone().map(|g| search.gpu_duty(g, now)).sum::<f64>() / tp as f64;
+        let duty: f64 = gpus.clone().map(|g| search.gpu_duty(g, now)).sum::<f64>() / tp as f64;
         vlite_llm::LlmCostModel::interference(duty * search.contention_coeff())
     } else {
         1.0
@@ -361,7 +390,10 @@ mod tests {
         // queue + exec = search_total; search_total + prefill ≤ ttft + ε.
         let st = result.search_total.mean();
         let parts = result.search_queue.mean() + result.search_exec.mean();
-        assert!((st - parts).abs() < 1e-6, "queue+exec {parts} != total {st}");
+        assert!(
+            (st - parts).abs() < 1e-6,
+            "queue+exec {parts} != total {st}"
+        );
         assert!(st + result.prefill_estimate <= result.ttft.mean() + 1e-3);
     }
 

@@ -94,9 +94,7 @@ impl AccessProfile {
         assert_eq!(counts.len(), bytes.len(), "counts/bytes length mismatch");
         let nlist = counts.len();
         let mut order: Vec<u32> = (0..nlist as u32).collect();
-        order.sort_by(|&a, &b| {
-            counts[b as usize].cmp(&counts[a as usize]).then(a.cmp(&b))
-        });
+        order.sort_by(|&a, &b| counts[b as usize].cmp(&counts[a as usize]).then(a.cmp(&b)));
         let mut prefix_counts = Vec::with_capacity(nlist);
         let mut prefix_bytes = Vec::with_capacity(nlist);
         let (mut ca, mut by) = (0u64, 0u64);
@@ -106,7 +104,16 @@ impl AccessProfile {
             prefix_counts.push(ca);
             prefix_bytes.push(by);
         }
-        AccessProfile { nlist, counts, sizes, bytes, order, prefix_counts, prefix_bytes, probe_sets }
+        AccessProfile {
+            nlist,
+            counts,
+            sizes,
+            bytes,
+            order,
+            prefix_counts,
+            prefix_bytes,
+            probe_sets,
+        }
     }
 
     /// Number of clusters.
@@ -226,7 +233,10 @@ impl AccessProfile {
     /// Access shares sorted descending (Fig. 5's CDF input).
     pub fn access_shares_sorted(&self) -> Vec<f64> {
         let total = (*self.prefix_counts.last().expect("nlist > 0")).max(1) as f64;
-        self.order.iter().map(|&c| self.counts[c as usize] as f64 / total).collect()
+        self.order
+            .iter()
+            .map(|&c| self.counts[c as usize] as f64 / total)
+            .collect()
     }
 }
 
@@ -296,7 +306,10 @@ mod tests {
                 v_mid = v_mid.max(v);
             }
         }
-        assert!(v_mid > v_low, "variance at mean≈0.5 ({v_mid}) ≤ variance at mean≈{m_low} ({v_low})");
+        assert!(
+            v_mid > v_low,
+            "variance at mean≈0.5 ({v_mid}) ≤ variance at mean≈{m_low} ({v_low})"
+        );
     }
 
     #[test]

@@ -1,26 +1,23 @@
-//! Real-tier deployment: the full VectorLiteRAG offline + runtime path over
-//! an actual [`IvfIndex`] (no cost models), including the threaded dynamic
-//! dispatcher of §IV-B2.
+//! Real-tier deployment: the VectorLiteRAG *offline* stage over an actual
+//! [`IvfIndex`] (no cost models): train, profile access patterns with
+//! calibration queries, fit the latency model from wall-clock measurements,
+//! run Algorithm 1, and build the split + router.
 //!
-//! The "GPU" shards are executed by dedicated worker threads — this
-//! environment has no GPUs, but the *coordination structure* is the paper's:
-//! per-shard workers scan their pruned probe lists and raise completion
-//! flags; the CPU loop scans cold clusters grouped by query and fires a
-//! callback as each query finishes; a dispatcher thread polls the completion
-//! queue, merges CPU and shard partials, re-ranks and forwards early
-//! finishers.
+//! The *runtime* side — shard workers, CPU scan pool, threaded dynamic
+//! dispatcher (§IV-B2) and the online control loop — lives in the
+//! `vlite-serve` crate, which consumes a [`RealDeployment`] as its offline
+//! artifact. This module is deliberately a thin client: everything needed
+//! to serve (index, router, perf model, estimator, decision) is exposed as
+//! public state.
 
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
-use crossbeam::channel;
-
-use vlite_ann::{merge_sorted, IvfConfig, IvfIndex, Neighbor, VecSet};
+use vlite_ann::{IvfConfig, IvfIndex, Neighbor};
 use vlite_workload::SyntheticCorpus;
 
 use crate::{
     partition, AccessProfile, HitRateEstimator, IndexSplit, PartitionDecision, PartitionInput,
-    PerfModel, RoutedQuery, Router,
+    PerfModel, Router,
 };
 
 /// Configuration for a real-tier deployment.
@@ -44,6 +41,10 @@ pub struct RealConfig {
     pub n_shards: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Pins the split's cache coverage ρ instead of Algorithm 1's decision
+    /// (the paper's fixed-ρ ablations, e.g. the Fig. 6 hit-rate violins).
+    /// Algorithm 1 still runs and its decision is reported either way.
+    pub coverage_override: Option<f64>,
 }
 
 impl RealConfig {
@@ -59,6 +60,7 @@ impl RealConfig {
             kv_bytes_full: 8 << 30,
             n_shards: 2,
             seed: 0x7ea1,
+            coverage_override: None,
         }
     }
 }
@@ -78,7 +80,8 @@ pub struct RealDeployment {
     pub decision: PartitionDecision,
     /// Router over the built split.
     pub router: Router,
-    config: RealConfig,
+    /// The deployment configuration.
+    pub config: RealConfig,
 }
 
 impl RealDeployment {
@@ -98,8 +101,11 @@ impl RealDeployment {
         let mut counts = vec![0u64; nlist];
         let mut probe_sets = Vec::with_capacity(calibration.len());
         for q in calibration.iter() {
-            let probes: Vec<u32> =
-                index.probe(q, config.nprobe).iter().map(|p| p.list).collect();
+            let probes: Vec<u32> = index
+                .probe(q, config.nprobe)
+                .iter()
+                .map(|p| p.list)
+                .collect();
             for &c in &probes {
                 counts[c as usize] += 1;
             }
@@ -139,125 +145,35 @@ impl RealDeployment {
         let estimator = HitRateEstimator::from_profile(&profile);
         let input = PartitionInput::new(config.slo_search, config.mu_llm0, config.kv_bytes_full);
         let decision = partition(&input, &perf, &estimator, &profile);
-        let split = IndexSplit::build(&profile, decision.coverage, config.n_shards);
+        let coverage = config.coverage_override.unwrap_or(decision.coverage);
+        let split = IndexSplit::build(&profile, coverage, config.n_shards);
         let router = Router::new(split);
-        Ok(Self { index, profile, perf, estimator, decision, router, config })
-    }
-
-    /// The deployment configuration.
-    pub fn config(&self) -> &RealConfig {
-        &self.config
+        Ok(Self {
+            index,
+            profile,
+            perf,
+            estimator,
+            decision,
+            router,
+            config,
+        })
     }
 
     /// Plain (non-hybrid) search, for ground-truthing the hybrid path.
     pub fn search_flat_path(&self, query: &[f32]) -> Vec<Neighbor> {
-        self.index.search(query, self.config.top_k, self.config.nprobe)
+        self.index
+            .search(query, self.config.top_k, self.config.nprobe)
     }
 
-    /// Hybrid batched search through the threaded dispatcher. Returns the
-    /// final top-k per query plus the completion order observed by the
-    /// dispatcher.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `queries` is empty.
-    pub fn hybrid_search_batch(&self, queries: &VecSet) -> DispatchOutcome {
-        assert!(!queries.is_empty(), "batch must be non-empty");
-        let routed: Vec<RoutedQuery> = queries
+    /// Coarse-quantizes one query into its global probe list (the CPU's CQ
+    /// stage the serving runtime performs before routing).
+    pub fn probe_global(&self, query: &[f32]) -> Vec<u32> {
+        self.index
+            .probe(query, self.config.nprobe)
             .iter()
-            .map(|q| {
-                let probes: Vec<u32> =
-                    self.index.probe(q, self.config.nprobe).iter().map(|p| p.list).collect();
-                self.router.route(&probes)
-            })
-            .collect();
-        run_dispatcher(&self.index, queries, &routed, self.config.top_k)
+            .map(|p| p.list)
+            .collect()
     }
-}
-
-/// Outcome of one dispatched batch.
-#[derive(Debug)]
-pub struct DispatchOutcome {
-    /// Final merged top-k per query (input order).
-    pub results: Vec<Vec<Neighbor>>,
-    /// Query indices in dispatcher completion order.
-    pub completion_order: Vec<usize>,
-}
-
-/// The threaded dynamic dispatcher (§IV-B2).
-///
-/// Shard workers scan their (pruned) probe lists for the whole batch and
-/// set completion flags; the CPU worker scans cold probes query-by-query
-/// and pushes each finished query into a channel; the dispatcher thread
-/// waits for all shard flags, then merges and re-ranks each query as it
-/// arrives, recording completion order.
-fn run_dispatcher(
-    index: &IvfIndex,
-    queries: &VecSet,
-    routed: &[RoutedQuery],
-    k: usize,
-) -> DispatchOutcome {
-    let n_queries = queries.len();
-    let n_shards = routed.first().map_or(0, |r| r.shard_probes.len());
-    let shard_flags: Vec<AtomicBool> = (0..n_shards).map(|_| AtomicBool::new(false)).collect();
-    let (shard_tx, shard_rx) = channel::unbounded::<(usize, Vec<Vec<Neighbor>>)>();
-    let (cpu_tx, cpu_rx) = channel::unbounded::<(usize, Vec<Neighbor>)>();
-
-    let mut results: Vec<Vec<Neighbor>> = vec![Vec::new(); n_queries];
-    let mut completion_order: Vec<usize> = Vec::with_capacity(n_queries);
-
-    std::thread::scope(|scope| {
-        // Shard ("GPU") workers: scan all queries' pruned lists, publish the
-        // partials, raise the completion flag.
-        for shard in 0..n_shards {
-            let tx = shard_tx.clone();
-            let flags = &shard_flags;
-            scope.spawn(move || {
-                let mut partials: Vec<Vec<Neighbor>> = vec![Vec::new(); n_queries];
-                for (qi, out) in partials.iter_mut().enumerate() {
-                    let lists = &routed[qi].shard_probes_global[shard];
-                    if !lists.is_empty() {
-                        *out = index.scan_lists(queries.get(qi), lists, k);
-                    }
-                }
-                flags[shard].store(true, Ordering::Release);
-                tx.send((shard, partials)).expect("dispatcher alive");
-            });
-        }
-        drop(shard_tx);
-        // CPU worker: query-by-query cold scan with completion callback.
-        scope.spawn(move || {
-            for (qi, r) in routed.iter().enumerate() {
-                let partial = if r.cpu_probes.is_empty() {
-                    Vec::new()
-                } else {
-                    index.scan_lists(queries.get(qi), &r.cpu_probes, k)
-                };
-                // The callback: the query has scanned all assigned clusters.
-                cpu_tx.send((qi, partial)).expect("dispatcher alive");
-            }
-            drop(cpu_tx);
-        });
-        // Dispatcher: wait for all GPU flags (collecting the partials), then
-        // poll the CPU completion queue, merging and re-ranking per query.
-        let mut shard_partials: Vec<Vec<Vec<Neighbor>>> =
-            vec![vec![Vec::new(); n_queries]; n_shards];
-        for _ in 0..n_shards {
-            let (shard, partials) = shard_rx.recv().expect("shard worker alive");
-            debug_assert!(shard_flags[shard].load(Ordering::Acquire));
-            shard_partials[shard] = partials;
-        }
-        while let Ok((qi, cpu_partial)) = cpu_rx.recv() {
-            let mut lists: Vec<Vec<Neighbor>> = vec![cpu_partial];
-            for partials in &shard_partials {
-                lists.push(partials[qi].clone());
-            }
-            results[qi] = merge_sorted(&lists, k);
-            completion_order.push(qi);
-        }
-    });
-
-    DispatchOutcome { results, completion_order }
 }
 
 #[cfg(test)]
@@ -282,35 +198,14 @@ mod tests {
         let d = deployment();
         // Zipf-weighted topics ⇒ skewed cluster accesses on a real index.
         let top20 = d.profile.mean_hit_rate(0.2);
-        assert!(top20 > 0.3, "real access skew too weak: top-20% covers {top20}");
+        assert!(
+            top20 > 0.3,
+            "real access skew too weak: top-20% covers {top20}"
+        );
     }
 
     #[test]
-    fn hybrid_results_match_plain_search_exactly() {
-        // Routing partitions the probe list; scanning hot lists on shard
-        // workers and cold lists on the CPU must reproduce the single-path
-        // scan exactly after the merge.
-        let d = deployment();
-        let corpus_queries = {
-            let corpus = SyntheticCorpus::generate(&CorpusConfig {
-                n_vectors: 6000,
-                dim: 16,
-                n_centers: 32,
-                zipf_exponent: 1.2,
-                noise: 0.25,
-                seed: 9,
-            });
-            corpus.queries(12, 77)
-        };
-        let outcome = d.hybrid_search_batch(&corpus_queries);
-        for (qi, q) in corpus_queries.iter().enumerate() {
-            let plain = d.search_flat_path(q);
-            assert_eq!(outcome.results[qi], plain, "query {qi} diverged");
-        }
-    }
-
-    #[test]
-    fn dispatcher_completes_every_query_exactly_once() {
+    fn probe_global_matches_index_probe() {
         let d = deployment();
         let corpus = SyntheticCorpus::generate(&CorpusConfig {
             n_vectors: 6000,
@@ -320,11 +215,16 @@ mod tests {
             noise: 0.25,
             seed: 9,
         });
-        let queries = corpus.queries(9, 31);
-        let outcome = d.hybrid_search_batch(&queries);
-        let mut order = outcome.completion_order.clone();
-        order.sort_unstable();
-        assert_eq!(order, (0..9).collect::<Vec<_>>());
+        let queries = corpus.queries(4, 77);
+        for q in queries.iter() {
+            let direct: Vec<u32> = d
+                .index
+                .probe(q, d.config.nprobe)
+                .iter()
+                .map(|p| p.list)
+                .collect();
+            assert_eq!(d.probe_global(q), direct);
+        }
     }
 
     #[test]

@@ -97,7 +97,11 @@ impl Router {
                 }
             }
         }
-        RoutedQuery { shard_probes, shard_probes_global, cpu_probes }
+        RoutedQuery {
+            shard_probes,
+            shard_probes_global,
+            cpu_probes,
+        }
     }
 
     /// Routes a batch of probe lists.

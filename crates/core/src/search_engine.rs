@@ -135,7 +135,9 @@ impl HybridSearchEngine {
         n_gpus: usize,
         seed: u64,
     ) -> Self {
-        let sizes = (0..profile.nlist() as u32).map(|c| profile.size(c)).collect();
+        let sizes = (0..profile.nlist() as u32)
+            .map(|c| profile.size(c))
+            .collect();
         let contention_coeff = match kind {
             // Pruned launches on dedicated streams: mild SM sharing.
             SystemKind::VectorLite => 0.3,
@@ -250,7 +252,10 @@ impl HybridSearchEngine {
         let min_hit = hit_rates.iter().copied().fold(1.0, f64::min);
 
         let scan_vectors = |clusters: &[u32]| -> f64 {
-            clusters.iter().map(|&c| self.sizes[c as usize] as f64).sum()
+            clusters
+                .iter()
+                .map(|&c| self.sizes[c as usize] as f64)
+                .sum()
         };
 
         let mut gpu_busy: Vec<(usize, f64)> = Vec::new();
@@ -266,10 +271,8 @@ impl HybridSearchEngine {
                     .iter()
                     .map(|r| self.cost.cpu_scan_secs(scan_vectors(&r.cpu_probes)))
                     .sum();
-                let total = self.cost.t_cq(bf)
-                    + self.cost.lut_base
-                    + scan
-                    + BULK_MERGE_PER_QUERY * bf;
+                let total =
+                    self.cost.t_cq(bf) + self.cost.lut_base + scan + BULK_MERGE_PER_QUERY * bf;
                 busy_until = now + SimDuration::from_secs_f64(total);
                 for r in requests {
                     queries.push(QueryPlan {
@@ -323,14 +326,21 @@ impl HybridSearchEngine {
                 // GPU shards scan concurrently after coarse quantization.
                 let mut gpu_all_done = 0.0f64;
                 for shard in 0..n_shards {
-                    let mut t = if self.router.split().hot_count() > 0 { self.cost.gpu_base } else { 0.0 };
+                    let mut t = if self.router.split().hot_count() > 0 {
+                        self.cost.gpu_base
+                    } else {
+                        0.0
+                    };
                     for routed_q in &routed {
                         let resident = &routed_q.shard_probes_global[shard];
                         if resident.is_empty() && pruned {
                             continue;
                         }
-                        let launched =
-                            if pruned { resident.len() as f64 } else { self.cost.nprobe as f64 };
+                        let launched = if pruned {
+                            resident.len() as f64
+                        } else {
+                            self.cost.nprobe as f64
+                        };
                         t += self.cost.gpu_query_secs(launched, scan_vectors(resident));
                     }
                     if t > 0.0 {
@@ -379,7 +389,14 @@ impl HybridSearchEngine {
             }
         }
 
-        BatchPlan { started_at: now, batch: b, queries, busy_until, min_hit_rate: min_hit, gpu_busy }
+        BatchPlan {
+            started_at: now,
+            batch: b,
+            queries,
+            busy_until,
+            min_hit_rate: min_hit,
+            gpu_busy,
+        }
     }
 
     /// Marks the in-flight batch finished (called by the pipeline when the
@@ -414,14 +431,21 @@ mod tests {
     }
 
     fn requests(n: usize) -> Vec<SearchRequest> {
-        (0..n as u64).map(|id| SearchRequest { id, arrival: SimTime::ZERO }).collect()
+        (0..n as u64)
+            .map(|id| SearchRequest {
+                id,
+                arrival: SimTime::ZERO,
+            })
+            .collect()
     }
 
     fn run_one_batch(engine: &mut HybridSearchEngine, n: usize) -> BatchPlan {
         for r in requests(n) {
             engine.enqueue(r);
         }
-        engine.try_start_batch(SimTime::ZERO).expect("idle engine starts")
+        engine
+            .try_start_batch(SimTime::ZERO)
+            .expect("idle engine starts")
     }
 
     #[test]
@@ -437,7 +461,10 @@ mod tests {
     fn busy_engine_does_not_start_another_batch() {
         let mut engine = engine_for(SystemKind::VectorLite, true);
         let plan = run_one_batch(&mut engine, 4);
-        engine.enqueue(SearchRequest { id: 99, arrival: SimTime::ZERO });
+        engine.enqueue(SearchRequest {
+            id: 99,
+            arrival: SimTime::ZERO,
+        });
         assert!(engine.try_start_batch(SimTime::ZERO).is_none());
         engine.finish_batch(plan.busy_until);
         assert!(engine.try_start_batch(plan.busy_until).is_some());
@@ -495,7 +522,10 @@ mod tests {
         let mut on = engine_for(SystemKind::VectorLite, true);
         let mut off = engine_for(SystemKind::VectorLite, false);
         let mean = |plan: &BatchPlan| {
-            plan.queries.iter().map(|q| q.done_offset.as_secs_f64()).sum::<f64>()
+            plan.queries
+                .iter()
+                .map(|q| q.done_offset.as_secs_f64())
+                .sum::<f64>()
                 / plan.batch as f64
         };
         let m_on = mean(&run_one_batch(&mut on, 16));

@@ -62,9 +62,7 @@ impl IndexSplit {
         assert!(n_shards <= usize::from(u16::MAX), "too many shards");
         let mut hot = profile.hot_set(coverage);
         // Sort by size descending (ties by id for determinism).
-        hot.sort_by(|&a, &b| {
-            profile.size(b).cmp(&profile.size(a)).then(a.cmp(&b))
-        });
+        hot.sort_by(|&a, &b| profile.size(b).cmp(&profile.size(a)).then(a.cmp(&b)));
         let mut placement = vec![Placement::Cpu; profile.nlist()];
         let mut shard_clusters: Vec<Vec<u32>> = vec![Vec::new(); n_shards];
         let mut shard_bytes = vec![0u64; n_shards];
@@ -72,12 +70,21 @@ impl IndexSplit {
         for (i, &cluster) in hot.iter().enumerate() {
             let shard = i % n_shards;
             let local = shard_clusters[shard].len() as u32;
-            placement[cluster as usize] = Placement::Gpu { shard: shard as u16, local };
+            placement[cluster as usize] = Placement::Gpu {
+                shard: shard as u16,
+                local,
+            };
             shard_clusters[shard].push(cluster);
             shard_bytes[shard] += profile.bytes_of(cluster);
             shard_vectors[shard] += profile.size(cluster);
         }
-        IndexSplit { placement, shard_clusters, shard_bytes, shard_vectors, coverage }
+        IndexSplit {
+            placement,
+            shard_clusters,
+            shard_bytes,
+            shard_vectors,
+            coverage,
+        }
     }
 
     /// The coverage this split was built for.
@@ -153,7 +160,10 @@ mod tests {
         let mut seen = 0usize;
         for cluster in 0..p.nlist() as u32 {
             if let Placement::Gpu { shard, local } = split.placement(cluster) {
-                assert_eq!(split.shard_clusters(usize::from(shard))[local as usize], cluster);
+                assert_eq!(
+                    split.shard_clusters(usize::from(shard))[local as usize],
+                    cluster
+                );
                 seen += 1;
             }
         }

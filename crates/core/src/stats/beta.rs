@@ -32,8 +32,14 @@ impl BetaDist {
     ///
     /// Panics if either parameter is not finite and positive.
     pub fn new(alpha: f64, beta: f64) -> Self {
-        assert!(alpha.is_finite() && alpha > 0.0, "alpha must be > 0, got {alpha}");
-        assert!(beta.is_finite() && beta > 0.0, "beta must be > 0, got {beta}");
+        assert!(
+            alpha.is_finite() && alpha > 0.0,
+            "alpha must be > 0, got {alpha}"
+        );
+        assert!(
+            beta.is_finite() && beta > 0.0,
+            "beta must be > 0, got {beta}"
+        );
         Self { alpha, beta }
     }
 
@@ -42,7 +48,13 @@ impl BetaDist {
     /// Returns `None` when the pair is infeasible for a Beta distribution
     /// (requires `0 < v < m(1−m)`).
     pub fn from_mean_variance(m: f64, v: f64) -> Option<Self> {
-        if !(0.0 < m && m < 1.0) || !(v > 0.0) || v >= m * (1.0 - m) {
+        if !m.is_finite()
+            || !v.is_finite()
+            || m <= 0.0
+            || m >= 1.0
+            || v <= 0.0
+            || v >= m * (1.0 - m)
+        {
             return None;
         }
         let nu = m * (1.0 - m) / v - 1.0;

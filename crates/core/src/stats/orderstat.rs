@@ -87,7 +87,10 @@ mod tests {
         for batch in [1usize, 2, 4, 8, 16] {
             let expected = 1.0 / (batch as f64 + 1.0);
             let got = expected_batch_min(&d, batch);
-            assert!((got - expected).abs() < 1e-6, "B={batch}: {got} vs {expected}");
+            assert!(
+                (got - expected).abs() < 1e-6,
+                "B={batch}: {got} vs {expected}"
+            );
         }
     }
 

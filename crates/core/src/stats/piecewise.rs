@@ -30,7 +30,11 @@ impl PiecewiseLinear {
     /// Returns `None` if fewer than one sample is provided or any value is
     /// not finite.
     pub fn from_points(mut samples: Vec<(f64, f64)>) -> Option<Self> {
-        if samples.is_empty() || samples.iter().any(|(x, y)| !x.is_finite() || !y.is_finite()) {
+        if samples.is_empty()
+            || samples
+                .iter()
+                .any(|(x, y)| !x.is_finite() || !y.is_finite())
+        {
             return None;
         }
         samples.sort_by(|a, b| a.0.total_cmp(&b.0));

@@ -32,7 +32,11 @@ pub struct UpdateConfig {
 
 impl Default for UpdateConfig {
     fn default() -> Self {
-        Self { slo_attainment_threshold: 0.9, hit_rate_divergence: 0.1, window_requests: 2000 }
+        Self {
+            slo_attainment_threshold: 0.9,
+            hit_rate_divergence: 0.1,
+            window_requests: 2000,
+        }
     }
 }
 
@@ -61,7 +65,13 @@ pub struct DriftMonitor {
 impl DriftMonitor {
     /// Creates a monitor expecting the given mean hit rate.
     pub fn new(config: UpdateConfig, expected_mean_hit: f64) -> Self {
-        Self { config, expected_mean_hit, requests: 0, slo_met: 0, hit_sum: 0.0 }
+        Self {
+            config,
+            expected_mean_hit,
+            requests: 0,
+            slo_met: 0,
+            hit_sum: 0.0,
+        }
     }
 
     /// Records one served request.
@@ -211,7 +221,12 @@ pub fn run_update_cycle(
         profile,
         decision,
         split,
-        timing: RebuildTiming { profiling, algorithm, splitting, loading },
+        timing: RebuildTiming {
+            profiling,
+            algorithm,
+            splitting,
+            loading,
+        },
     }
 }
 
@@ -222,7 +237,10 @@ mod tests {
 
     #[test]
     fn monitor_triggers_only_on_joint_condition() {
-        let cfg = UpdateConfig { window_requests: 100, ..UpdateConfig::default() };
+        let cfg = UpdateConfig {
+            window_requests: 100,
+            ..UpdateConfig::default()
+        };
         // Violations but hit rate as expected: no trigger.
         let mut m = DriftMonitor::new(cfg, 0.5);
         for _ in 0..150 {
@@ -266,10 +284,26 @@ mod tests {
         let perf = PerfModel::from_cost_model(&cost, &[1, 2, 4, 8, 16]);
         let input = PartitionInput::new(0.004, 20.0, 64 << 30);
         let before = run_update_cycle(
-            &preset, &wl, &cost, &perf, &input, &devices::h100(), 1000, 2, 31,
+            &preset,
+            &wl,
+            &cost,
+            &perf,
+            &input,
+            &devices::h100(),
+            1000,
+            2,
+            31,
         );
         let after = run_update_cycle(
-            &preset, &drifted, &cost, &perf, &input, &devices::h100(), 1000, 2, 31,
+            &preset,
+            &drifted,
+            &cost,
+            &perf,
+            &input,
+            &devices::h100(),
+            1000,
+            2,
+            31,
         );
         // The refreshed split must chase the rotated hot region.
         let hot_before = before.profile.hot_set(0.1);
@@ -293,7 +327,15 @@ mod tests {
         let perf = PerfModel::from_cost_model(&cost, &[1, 2, 4, 8, 16]);
         let input = PartitionInput::new(0.150, 30.0, 256u64 << 30);
         let cycle = run_update_cycle(
-            &preset, &wl, &cost, &perf, &input, &devices::h100(), 5000, 8, 33,
+            &preset,
+            &wl,
+            &cost,
+            &perf,
+            &input,
+            &devices::h100(),
+            5000,
+            8,
+            33,
         );
         assert!(
             cycle.timing.total() < 60.0,
@@ -304,6 +346,9 @@ mod tests {
             cycle.timing.splitting,
             cycle.timing.loading
         );
-        assert!(cycle.timing.algorithm < 60.0, "Algorithm 1 convergence (paper: < 1 min)");
+        assert!(
+            cycle.timing.algorithm < 60.0,
+            "Algorithm 1 convergence (paper: < 1 min)"
+        );
     }
 }

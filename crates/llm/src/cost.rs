@@ -112,7 +112,12 @@ impl LlmCostModel {
     ///
     /// `max(bandwidth term, compute term)` — the roofline — plus fixed
     /// overhead, scaled by the interference factor.
-    pub fn decode_step_time(&self, batch: usize, context_tokens: u64, interference: f64) -> SimDuration {
+    pub fn decode_step_time(
+        &self,
+        batch: usize,
+        context_tokens: u64,
+        interference: f64,
+    ) -> SimDuration {
         if batch == 0 {
             return SimDuration::ZERO;
         }
@@ -122,8 +127,8 @@ impl LlmCostModel {
             (self.model.kv_bytes_per_token() * context_tokens) as f64 / f64::from(self.tp);
         let mem_secs = (weight_bytes + kv_bytes) / bw;
         let flops = self.model.flops_per_token() * batch as f64;
-        let compute_secs = flops
-            / (self.gpu.fp16_flops * f64::from(self.tp) * self.decode_compute_efficiency);
+        let compute_secs =
+            flops / (self.gpu.fp16_flops * f64::from(self.tp) * self.decode_compute_efficiency);
         let secs = mem_secs.max(compute_secs) * interference.max(1.0);
         self.step_overhead + SimDuration::from_secs_f64(secs)
     }
@@ -185,8 +190,9 @@ mod tests {
     fn interference_inflates_latency() {
         let cost = LlmCostModel::new(ModelSpec::qwen3_32b(), devices::h100(), 2);
         let clean = cost.decode_step_time(8, 10_000, 1.0).as_secs_f64();
-        let contended =
-            cost.decode_step_time(8, 10_000, LlmCostModel::interference(0.5)).as_secs_f64();
+        let contended = cost
+            .decode_step_time(8, 10_000, LlmCostModel::interference(0.5))
+            .as_secs_f64();
         assert!(contended > clean * 1.3);
     }
 

@@ -39,8 +39,15 @@ impl LlmRequest {
     ///
     /// Panics if either token count is zero.
     pub fn new(id: u64, input_tokens: u64, output_tokens: u64) -> Self {
-        assert!(input_tokens > 0 && output_tokens > 0, "token counts must be positive");
-        Self { id, input_tokens, output_tokens }
+        assert!(
+            input_tokens > 0 && output_tokens > 0,
+            "token counts must be positive"
+        );
+        Self {
+            id,
+            input_tokens,
+            output_tokens,
+        }
     }
 }
 
@@ -226,7 +233,9 @@ impl LlmEngine {
         let mut admitted = Vec::new();
         let mut admitted_tokens = 0u64;
         while self.running.len() < self.max_batch {
-            let Some(req) = self.waiting.front().copied() else { break };
+            let Some(req) = self.waiting.front().copied() else {
+                break;
+            };
             if !admitted.is_empty() && admitted_tokens + req.input_tokens > self.max_prefill_tokens
             {
                 break;
@@ -244,14 +253,22 @@ impl LlmEngine {
             self.waiting.pop_front();
             self.admit_counter += 1;
             admitted_tokens += req.input_tokens;
-            self.running.push(Running { req, kv, generated: 0, admitted_seq: self.admit_counter });
+            self.running.push(Running {
+                req,
+                kv,
+                generated: 0,
+                admitted_seq: self.admit_counter,
+            });
             admitted.push(self.running.len() - 1);
         }
         admitted
     }
 
     fn prefill_step(&mut self, now: SimTime, admitted: Vec<usize>) -> StepResult {
-        let tokens: u64 = admitted.iter().map(|&i| self.running[i].req.input_tokens).sum();
+        let tokens: u64 = admitted
+            .iter()
+            .map(|&i| self.running[i].req.input_tokens)
+            .sum();
         let duration = self.cost.prefill_time(tokens, self.interference);
         let at = now + duration;
         self.stats.prefill_steps += 1;
@@ -269,7 +286,10 @@ impl LlmEngine {
             }
         }
         self.retire(&finished);
-        StepResult { busy_until: at, events }
+        StepResult {
+            busy_until: at,
+            events,
+        }
     }
 
     fn decode_step(&mut self, now: SimTime) -> StepResult {
@@ -298,7 +318,9 @@ impl LlmEngine {
         }
         let batch = self.running.len();
         let context: u64 = self.running.iter().map(|r| self.kv.seq_tokens(r.kv)).sum();
-        let duration = self.cost.decode_step_time(batch, context, self.interference);
+        let duration = self
+            .cost
+            .decode_step_time(batch, context, self.interference);
         let at = now + duration;
         self.stats.decode_steps += 1;
         let mut events = Vec::new();
@@ -312,7 +334,10 @@ impl LlmEngine {
             }
         }
         self.retire(&finished);
-        StepResult { busy_until: at, events }
+        StepResult {
+            busy_until: at,
+            events,
+        }
     }
 
     fn preempt(&mut self, idx: usize) {
@@ -364,7 +389,10 @@ mod tests {
         let events = drain(&mut e);
         // FirstToken, then Completed after 3 more decode steps.
         assert!(matches!(events[0], LlmEvent::FirstToken { id: 7, .. }));
-        assert!(matches!(events.last(), Some(LlmEvent::Completed { id: 7, .. })));
+        assert!(matches!(
+            events.last(),
+            Some(LlmEvent::Completed { id: 7, .. })
+        ));
         let stats = e.stats();
         assert_eq!(stats.completed, 1);
         assert_eq!(stats.prefill_steps, 1);
@@ -399,8 +427,18 @@ mod tests {
         assert_eq!(e.stats().completed, 8);
         // All eight requests were batched into one prefill (they fit) and
         // decoded together: decode steps ≈ 31, not 8 × 31.
-        assert!(e.stats().decode_steps <= 40, "decode steps {}", e.stats().decode_steps);
-        assert_eq!(events.iter().filter(|e| matches!(e, LlmEvent::Completed { .. })).count(), 8);
+        assert!(
+            e.stats().decode_steps <= 40,
+            "decode steps {}",
+            e.stats().decode_steps
+        );
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(e, LlmEvent::Completed { .. }))
+                .count(),
+            8
+        );
     }
 
     #[test]
@@ -418,7 +456,11 @@ mod tests {
         assert_eq!(e.queue_len(), 1);
         drop(step);
         drain(&mut e);
-        assert_eq!(e.stats().completed, 2, "second request served after first frees KV");
+        assert_eq!(
+            e.stats().completed,
+            2,
+            "second request served after first frees KV"
+        );
     }
 
     #[test]
@@ -430,7 +472,10 @@ mod tests {
         slow.submit(LlmRequest::new(0, 512, 64), SimTime::ZERO);
         let t_fast = last_time(drain(&mut fast));
         let t_slow = last_time(drain(&mut slow));
-        assert!(t_slow > t_fast.mul_check(1.5), "interference must slow completion");
+        assert!(
+            t_slow > t_fast.mul_check(1.5),
+            "interference must slow completion"
+        );
     }
 
     trait MulCheck {

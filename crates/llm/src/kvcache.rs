@@ -47,7 +47,13 @@ impl PagedKvCache {
     /// Panics if `block_tokens == 0`.
     pub fn new(block_tokens: u32, total_blocks: u64) -> Self {
         assert!(block_tokens > 0, "block size must be positive");
-        Self { block_tokens, total_blocks, used_blocks: 0, seqs: HashMap::new(), next_id: 0 }
+        Self {
+            block_tokens,
+            total_blocks,
+            used_blocks: 0,
+            seqs: HashMap::new(),
+            next_id: 0,
+        }
     }
 
     /// Creates a pool sized from a byte budget and per-token KV footprint,
@@ -55,7 +61,7 @@ impl PagedKvCache {
     pub fn with_bytes(kv_bytes: u64, bytes_per_token: u64) -> Self {
         let block_tokens = 16u32;
         let bytes_per_block = bytes_per_token * u64::from(block_tokens);
-        let total_blocks = if bytes_per_block == 0 { 0 } else { kv_bytes / bytes_per_block };
+        let total_blocks = kv_bytes.checked_div(bytes_per_block).unwrap_or(0);
         Self::new(block_tokens, total_blocks)
     }
 
@@ -147,7 +153,10 @@ impl PagedKvCache {
     ///
     /// Panics if the reservation is unknown.
     pub fn seq_tokens(&self, seq: KvReservation) -> u64 {
-        self.seqs.get(&seq.0).expect("unknown KV reservation").tokens
+        self.seqs
+            .get(&seq.0)
+            .expect("unknown KV reservation")
+            .tokens
     }
 
     /// Releases a sequence's blocks.
@@ -156,7 +165,10 @@ impl PagedKvCache {
     ///
     /// Panics if the reservation is unknown (double free).
     pub fn free(&mut self, seq: KvReservation) {
-        let state = self.seqs.remove(&seq.0).expect("unknown KV reservation (double free?)");
+        let state = self
+            .seqs
+            .remove(&seq.0)
+            .expect("unknown KV reservation (double free?)");
         self.used_blocks -= state.blocks;
     }
 }

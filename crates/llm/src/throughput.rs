@@ -54,7 +54,10 @@ pub fn measure_peak(
     assert!(probe_requests >= 8, "need at least 8 probe requests");
     let mut engine = LlmEngine::new(cost.clone(), kv_bytes);
     for id in 0..probe_requests as u64 {
-        engine.submit(LlmRequest::new(id, input_tokens, output_tokens), SimTime::ZERO);
+        engine.submit(
+            LlmRequest::new(id, input_tokens, output_tokens),
+            SimTime::ZERO,
+        );
     }
     let mut now = SimTime::ZERO;
     let mut completions: Vec<SimTime> = Vec::with_capacity(probe_requests);
@@ -71,7 +74,10 @@ pub fn measure_peak(
     // Identical request lengths make completions bunch at wave boundaries,
     // so a trimmed-window rate is degenerate; the makespan rate is the
     // robust saturation measure (the prefill ramp amortizes over the probe).
-    let makespan = completions.last().expect("probe completed requests").as_secs_f64();
+    let makespan = completions
+        .last()
+        .expect("probe completed requests")
+        .as_secs_f64();
     let rps = completions.len() as f64 / makespan.max(1e-9);
     let mean_ttft =
         first_tokens.iter().map(|t| t.as_secs_f64()).sum::<f64>() / first_tokens.len() as f64;

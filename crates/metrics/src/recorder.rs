@@ -34,7 +34,10 @@ impl LatencyRecorder {
 
     /// Creates an empty recorder with pre-allocated capacity.
     pub fn with_capacity(capacity: usize) -> Self {
-        Self { samples: Vec::with_capacity(capacity), sorted: true }
+        Self {
+            samples: Vec::with_capacity(capacity),
+            sorted: true,
+        }
     }
 
     /// Records one sample, in seconds.
@@ -84,7 +87,10 @@ impl LatencyRecorder {
     ///
     /// Panics if `q` is outside `[0, 1]`.
     pub fn percentile(&mut self, q: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile must be in [0,1], got {q}"
+        );
         if self.samples.is_empty() {
             return 0.0;
         }
@@ -110,7 +116,11 @@ impl LatencyRecorder {
 
     /// Smallest sample, or `0.0` when empty.
     pub fn min(&self) -> f64 {
-        self.samples.iter().copied().fold(f64::INFINITY, f64::min).min(self.max())
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+            .min(self.max())
     }
 
     /// Fraction of samples at or below `bound`, i.e. the empirical CDF —

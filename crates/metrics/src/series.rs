@@ -32,7 +32,10 @@ pub struct Series {
 impl Series {
     /// Creates an empty series with the given display name.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), points: Vec::new() }
+        Self {
+            name: name.into(),
+            points: Vec::new(),
+        }
     }
 
     /// Display name of the series.

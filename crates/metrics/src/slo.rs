@@ -46,7 +46,13 @@ impl SloTracker {
             target_seconds.is_finite() && target_seconds > 0.0,
             "SLO target must be positive and finite, got {target_seconds}"
         );
-        Self { target: target_seconds, met: 0, violated: 0, worst_violation: 0.0, violation_sum: 0.0 }
+        Self {
+            target: target_seconds,
+            met: 0,
+            violated: 0,
+            worst_violation: 0.0,
+            violation_sum: 0.0,
+        }
     }
 
     /// Latency target in seconds.

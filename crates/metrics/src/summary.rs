@@ -57,7 +57,10 @@ mod tests {
 
     #[test]
     fn display_is_nonempty_and_contains_count() {
-        let s = Summary { count: 3, ..Default::default() };
+        let s = Summary {
+            count: 3,
+            ..Default::default()
+        };
         let rendered = format!("{s}");
         assert!(rendered.contains("n=3"));
     }

@@ -27,7 +27,10 @@ impl Table {
     pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
         let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
         assert!(!headers.is_empty(), "a table needs at least one column");
-        Self { headers, rows: Vec::new() }
+        Self {
+            headers,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -98,7 +101,12 @@ impl Table {
                 s.to_string()
             }
         };
-        let mut out = self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",");
+        let mut out = self
+            .headers
+            .iter()
+            .map(|h| escape(h))
+            .collect::<Vec<_>>()
+            .join(",");
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));

@@ -1,0 +1,58 @@
+//! Serving-runtime configuration.
+
+use vlite_core::{RealConfig, UpdateConfig};
+
+/// Online-repartitioning (control-loop) knobs.
+#[derive(Debug, Clone)]
+pub struct ControlConfig {
+    /// Drift-trigger thresholds fed to
+    /// [`DriftMonitor`](vlite_core::DriftMonitor).
+    pub update: UpdateConfig,
+    /// How many recent probe sets the control loop keeps for re-profiling
+    /// (the runtime analogue of the offline calibration-query budget).
+    pub profile_window: usize,
+    /// Minimum observed requests between two repartitions.
+    pub cooldown_requests: usize,
+    /// Whether a repartition requires the paper's dual condition (SLO
+    /// attainment below threshold *and* hit-rate divergence). When `false`,
+    /// hit-rate divergence alone triggers — useful on hardware where the
+    /// latency side is pure noise (no actual GPUs behind the shard
+    /// workers).
+    pub require_slo_breach: bool,
+}
+
+impl Default for ControlConfig {
+    fn default() -> Self {
+        Self {
+            update: UpdateConfig::default(),
+            profile_window: 2048,
+            cooldown_requests: 512,
+            require_slo_breach: true,
+        }
+    }
+}
+
+/// Configuration of a [`RagServer`](crate::RagServer).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Offline-stage configuration (index, probes, SLO, shard count).
+    pub real: RealConfig,
+    /// Admission-queue capacity; submissions beyond it are rejected.
+    pub queue_capacity: usize,
+    /// Largest batch one launch may absorb.
+    pub max_batch: usize,
+    /// Control-loop configuration.
+    pub control: ControlConfig,
+}
+
+impl ServeConfig {
+    /// Defaults suitable for the small synthetic corpora used in tests.
+    pub fn small() -> Self {
+        Self {
+            real: RealConfig::small(),
+            queue_capacity: 4096,
+            max_batch: 64,
+            control: ControlConfig::default(),
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! The online control loop (§IV-B3 at runtime).
+//!
+//! The dispatcher streams one [`Observation`] per completed request into
+//! this loop: the request's cache hit rate under the placement that served
+//! it, whether the search stage met its SLO, and the query's global probe
+//! set. A windowed [`DriftMonitor`] watches attainment and hit-rate
+//! divergence; when it trips, the loop re-profiles from the recent probe
+//! sets, re-runs Algorithm 1 ([`partition`]), re-splits, and hot-swaps the
+//! router — the admission queue keeps accepting and batches keep launching
+//! throughout, exactly the paper's "service never stops" full-shard update.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::Receiver;
+
+use vlite_core::{
+    partition, AccessProfile, DriftMonitor, HitRateEstimator, IndexSplit, PartitionInput,
+    PerfModel, Router,
+};
+
+use crate::config::ControlConfig;
+use crate::server::Shared;
+
+/// One completed request, as seen by the control loop.
+#[derive(Debug)]
+pub(crate) struct Observation {
+    /// Cache hit rate under the serving placement.
+    pub hit_rate: f64,
+    /// Whether the search stage met its latency SLO.
+    pub met_slo: bool,
+    /// The query's global probe set (for re-profiling).
+    pub probes: Vec<u32>,
+}
+
+/// One online repartition performed by the control loop.
+#[derive(Debug, Clone)]
+pub struct RepartitionEvent {
+    /// Placement generation installed by this repartition.
+    pub generation: u64,
+    /// Completed requests observed when the trigger fired.
+    pub at_request: u64,
+    /// Cache coverage ρ before the swap.
+    pub old_coverage: f64,
+    /// Cache coverage ρ after the swap.
+    pub new_coverage: f64,
+    /// Fraction of the old hot set still hot after the swap (low overlap =
+    /// the hot set genuinely moved).
+    pub hot_overlap: f64,
+    /// Requests waiting in the admission queue at the moment of the swap —
+    /// recorded to show the queue is never drained for an update.
+    pub queue_depth_at_swap: usize,
+    /// Wall-clock duration of re-profile → Algorithm 1 → re-split → swap.
+    pub duration: Duration,
+}
+
+/// State owned by the control thread.
+pub(crate) struct ControlLoop {
+    shared: Arc<Shared>,
+    config: ControlConfig,
+    monitor: DriftMonitor,
+    expected_mean_hit: f64,
+    input: PartitionInput,
+    perf: PerfModel,
+    /// Pinned coverage ρ (mirrors `RealConfig::coverage_override`); when
+    /// set, a repartition re-chases the hot set at fixed coverage rather
+    /// than adopting Algorithm 1's ρ.
+    coverage_override: Option<f64>,
+    /// Per-cluster vector counts/bytes (static geometry of the index).
+    sizes: Vec<u64>,
+    bytes: Vec<u64>,
+    /// Ring of recent probe sets, the online calibration sample.
+    ring: VecDeque<Vec<u32>>,
+    observed: u64,
+    last_repartition: u64,
+}
+
+impl ControlLoop {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        shared: Arc<Shared>,
+        config: ControlConfig,
+        expected_mean_hit: f64,
+        input: PartitionInput,
+        perf: PerfModel,
+        coverage_override: Option<f64>,
+        sizes: Vec<u64>,
+        bytes: Vec<u64>,
+    ) -> Self {
+        let monitor = DriftMonitor::new(config.update, expected_mean_hit);
+        Self {
+            shared,
+            config,
+            monitor,
+            expected_mean_hit,
+            input,
+            perf,
+            coverage_override,
+            sizes,
+            bytes,
+            ring: VecDeque::new(),
+            observed: 0,
+            last_repartition: 0,
+        }
+    }
+
+    /// Consumes observations until every dispatcher-side sender is gone.
+    pub fn run(mut self, rx: Receiver<Observation>) {
+        while let Ok(obs) = rx.recv() {
+            self.observe(obs);
+        }
+    }
+
+    fn observe(&mut self, obs: Observation) {
+        self.observed += 1;
+        self.monitor.observe(obs.hit_rate, obs.met_slo);
+        if self.ring.len() == self.config.profile_window.max(1) {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(obs.probes);
+
+        if self.should_repartition() {
+            self.repartition();
+        } else if self.monitor.window_full() {
+            // Periodic counter reset, keeping the current expectation.
+            self.monitor.reset(None);
+        }
+    }
+
+    /// The paper's dual trigger, with an optional relaxation to
+    /// hit-rate-divergence-only for hardware where the latency side is
+    /// noise (see [`ControlConfig::require_slo_breach`]).
+    fn should_repartition(&self) -> bool {
+        if self.observed - self.last_repartition < self.config.cooldown_requests as u64 {
+            return false;
+        }
+        if self.config.require_slo_breach {
+            self.monitor.should_update()
+        } else {
+            let min_window = self.config.update.window_requests.min(100);
+            self.monitor.window_len() >= min_window
+                && (self.monitor.observed_mean_hit() - self.expected_mean_hit).abs()
+                    > self.config.update.hit_rate_divergence
+        }
+    }
+
+    /// Re-profile → Algorithm 1 → re-split → hot-swap, without touching the
+    /// admission queue.
+    fn repartition(&mut self) {
+        let started = Instant::now();
+        let queue_depth_at_swap = self.shared.queue.depth();
+
+        // Stage 1: re-profile from the observed probe ring.
+        let mut counts = vec![0u64; self.sizes.len()];
+        for probes in &self.ring {
+            for &c in probes {
+                counts[c as usize] += 1;
+            }
+        }
+        let probe_sets: Vec<Vec<u32>> = self.ring.iter().cloned().collect();
+        let profile =
+            AccessProfile::from_parts(counts, self.sizes.clone(), self.bytes.clone(), probe_sets);
+
+        // Stage 2: Algorithm 1 on the refreshed profile.
+        let estimator = HitRateEstimator::from_profile(&profile);
+        let decision = partition(&self.input, &self.perf, &estimator, &profile);
+        let coverage = self.coverage_override.unwrap_or(decision.coverage);
+
+        // Stage 3: re-split and measure hot-set movement.
+        let (old_router, _) = self.shared.placement_snapshot();
+        let old_split = old_router.split();
+        let old_coverage = old_split.coverage();
+        let split = IndexSplit::build(&profile, coverage, old_split.n_shards());
+        let old_hot: Vec<u32> = (0..self.sizes.len() as u32)
+            .filter(|&c| old_split.is_hot(c))
+            .collect();
+        let retained = old_hot.iter().filter(|&&c| split.is_hot(c)).count();
+        let hot_overlap = if old_hot.is_empty() {
+            1.0
+        } else {
+            retained as f64 / old_hot.len() as f64
+        };
+        let new_coverage = split.coverage();
+        let new_router = Router::new(split);
+        // Refresh the expectation with the runtime's observable statistic:
+        // the recent probe sets routed through the *new* placement.
+        let expected_mean_hit = crate::server::empirical_mean_hit(&new_router, &self.ring);
+
+        // Stage 4: hot-swap. Queries already routed keep their (global-id)
+        // probe lists; the next batch snapshot sees the new placement, with
+        // router and generation advancing under one lock.
+        let generation = self.shared.install_placement(new_router);
+
+        self.shared.record_repartition(RepartitionEvent {
+            generation,
+            at_request: self.observed,
+            old_coverage,
+            new_coverage,
+            hot_overlap,
+            queue_depth_at_swap,
+            duration: started.elapsed(),
+        });
+        self.monitor.reset(Some(expected_mean_hit));
+        self.expected_mean_hit = expected_mean_hit;
+        self.last_repartition = self.observed;
+    }
+}

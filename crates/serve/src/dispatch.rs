@@ -1,0 +1,166 @@
+//! The threaded dynamic dispatcher (§IV-B2), one-shot form.
+//!
+//! Moved here from `vlite-core`'s `real.rs` prototype: shard ("GPU")
+//! workers scan their pruned probe lists for the whole batch and raise
+//! completion flags; the CPU worker scans cold probes query-by-query and
+//! pushes each finished query into a channel; the dispatcher waits for all
+//! shard flags, then merges and re-ranks each query as it arrives,
+//! recording completion order. [`RagServer`](crate::RagServer) runs the
+//! same structure with *persistent* workers; this free-standing form serves
+//! ad-hoc batches against a [`RealDeployment`] without spinning up the full
+//! runtime.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crossbeam::channel;
+
+use vlite_ann::{merge_sorted, Neighbor, VecSet};
+use vlite_core::{RealDeployment, RoutedQuery};
+
+/// Outcome of one dispatched batch.
+#[derive(Debug)]
+pub struct DispatchOutcome {
+    /// Final merged top-k per query (input order).
+    pub results: Vec<Vec<Neighbor>>,
+    /// Query indices in dispatcher completion order.
+    pub completion_order: Vec<usize>,
+}
+
+/// Hybrid batched search through the threaded dispatcher against a built
+/// deployment. Returns the final top-k per query plus the completion order
+/// observed by the dispatcher.
+///
+/// # Panics
+///
+/// Panics if `queries` is empty.
+pub fn hybrid_search_batch(deployment: &RealDeployment, queries: &VecSet) -> DispatchOutcome {
+    assert!(!queries.is_empty(), "batch must be non-empty");
+    let routed: Vec<RoutedQuery> = queries
+        .iter()
+        .map(|q| deployment.router.route(&deployment.probe_global(q)))
+        .collect();
+    run_dispatcher(&deployment.index, queries, &routed, deployment.config.top_k)
+}
+
+/// Runs one batch through shard workers + CPU worker + dispatcher thread.
+///
+/// Scans use *global* cluster ids (`shard_probes_global`), so the result is
+/// identical to a single-path scan of the union probe list — routing only
+/// changes who scans what, never what is scanned.
+pub fn run_dispatcher(
+    index: &vlite_ann::IvfIndex,
+    queries: &VecSet,
+    routed: &[RoutedQuery],
+    k: usize,
+) -> DispatchOutcome {
+    let n_queries = queries.len();
+    let n_shards = routed.first().map_or(0, |r| r.shard_probes.len());
+    let shard_flags: Vec<AtomicBool> = (0..n_shards).map(|_| AtomicBool::new(false)).collect();
+    let (shard_tx, shard_rx) = channel::unbounded::<(usize, Vec<Vec<Neighbor>>)>();
+    let (cpu_tx, cpu_rx) = channel::unbounded::<(usize, Vec<Neighbor>)>();
+
+    let mut results: Vec<Vec<Neighbor>> = vec![Vec::new(); n_queries];
+    let mut completion_order: Vec<usize> = Vec::with_capacity(n_queries);
+
+    std::thread::scope(|scope| {
+        // Shard ("GPU") workers: scan all queries' pruned lists, publish the
+        // partials, raise the completion flag.
+        for shard in 0..n_shards {
+            let tx = shard_tx.clone();
+            let flags = &shard_flags;
+            scope.spawn(move || {
+                let mut partials: Vec<Vec<Neighbor>> = vec![Vec::new(); n_queries];
+                for (qi, out) in partials.iter_mut().enumerate() {
+                    let lists = &routed[qi].shard_probes_global[shard];
+                    if !lists.is_empty() {
+                        *out = index.scan_lists(queries.get(qi), lists, k);
+                    }
+                }
+                flags[shard].store(true, Ordering::Release);
+                tx.send((shard, partials)).expect("dispatcher alive");
+            });
+        }
+        drop(shard_tx);
+        // CPU worker: query-by-query cold scan with completion callback.
+        scope.spawn(move || {
+            for (qi, r) in routed.iter().enumerate() {
+                let partial = if r.cpu_probes.is_empty() {
+                    Vec::new()
+                } else {
+                    index.scan_lists(queries.get(qi), &r.cpu_probes, k)
+                };
+                // The callback: the query has scanned all assigned clusters.
+                cpu_tx.send((qi, partial)).expect("dispatcher alive");
+            }
+            drop(cpu_tx);
+        });
+        // Dispatcher: wait for all GPU flags (collecting the partials), then
+        // poll the CPU completion queue, merging and re-ranking per query.
+        let mut shard_partials: Vec<Vec<Vec<Neighbor>>> =
+            vec![vec![Vec::new(); n_queries]; n_shards];
+        for _ in 0..n_shards {
+            let (shard, partials) = shard_rx.recv().expect("shard worker alive");
+            debug_assert!(shard_flags[shard].load(Ordering::Acquire));
+            shard_partials[shard] = partials;
+        }
+        while let Ok((qi, cpu_partial)) = cpu_rx.recv() {
+            let mut lists: Vec<Vec<Neighbor>> = vec![cpu_partial];
+            for partials in &shard_partials {
+                lists.push(partials[qi].clone());
+            }
+            results[qi] = merge_sorted(&lists, k);
+            completion_order.push(qi);
+        }
+    });
+
+    DispatchOutcome {
+        results,
+        completion_order,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vlite_core::RealConfig;
+    use vlite_workload::{CorpusConfig, SyntheticCorpus};
+
+    fn corpus() -> SyntheticCorpus {
+        SyntheticCorpus::generate(&CorpusConfig {
+            n_vectors: 6000,
+            dim: 16,
+            n_centers: 32,
+            zipf_exponent: 1.2,
+            noise: 0.25,
+            seed: 9,
+        })
+    }
+
+    fn deployment() -> RealDeployment {
+        RealDeployment::build(&corpus(), RealConfig::small()).expect("build succeeds")
+    }
+
+    #[test]
+    fn hybrid_results_match_plain_search_exactly() {
+        // Routing partitions the probe list; scanning hot lists on shard
+        // workers and cold lists on the CPU must reproduce the single-path
+        // scan exactly after the merge.
+        let d = deployment();
+        let queries = corpus().queries(12, 77);
+        let outcome = hybrid_search_batch(&d, &queries);
+        for (qi, q) in queries.iter().enumerate() {
+            let plain = d.search_flat_path(q);
+            assert_eq!(outcome.results[qi], plain, "query {qi} diverged");
+        }
+    }
+
+    #[test]
+    fn dispatcher_completes_every_query_exactly_once() {
+        let d = deployment();
+        let queries = corpus().queries(9, 31);
+        let outcome = hybrid_search_batch(&d, &queries);
+        let mut order = outcome.completion_order.clone();
+        order.sort_unstable();
+        assert_eq!(order, (0..9).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,84 @@
+//! `vlite-serve` — the real-time, wall-clock serving runtime of the
+//! VectorLiteRAG reproduction (§IV-B over a real [`vlite_ann::IvfIndex`]).
+//!
+//! Where `vlite-core`'s [`RagPipeline`](vlite_core::RagPipeline) serves
+//! requests in *virtual* time over cost models, this crate runs the paper's
+//! coordination structure as a long-lived multi-threaded system:
+//!
+//! ```text
+//!                 ┌────────────────────────────────────────────────┐
+//!  submit() ──▶   │ bounded admission queue (reject when full)     │
+//!                 └────────────┬───────────────────────────────────┘
+//!                              ▼  on-demand batching: launch when idle,
+//!                 ┌────────────────────────┐ absorb everything queued
+//!                 │ batcher: CQ + routing  │◀──── Router snapshot (RwLock)
+//!                 └──┬─────────────┬───────┘
+//!          pruned    ▼             ▼  cold probes
+//!        ┌──────────────┐   ┌──────────────┐
+//!        │ shard workers│   │ CPU scan pool│  (per-query completion
+//!        │ ("GPUs")     │   │              │   callbacks)
+//!        └──────┬───────┘   └──────┬───────┘
+//!               ▼                  ▼
+//!        ┌────────────────────────────────┐
+//!        │ dispatcher: merge partials,    │──▶ per-request latencies,
+//!        │ forward early finishers        │    SLO bookkeeping
+//!        └──────────────┬─────────────────┘
+//!                       ▼ observations (hit rate, SLO)
+//!        ┌────────────────────────────────┐
+//!        │ control loop: DriftMonitor →   │──▶ hot-swap new Router
+//!        │ re-profile → Algorithm 1 →     │    (queue never drained)
+//!        │ re-split                       │
+//!        └────────────────────────────────┘
+//! ```
+//!
+//! - [`RagServer`] — owns the partitioned index and all runtime threads.
+//! - [`ServeConfig`] / [`ControlConfig`] — queueing, batching and online
+//!   repartitioning knobs.
+//! - [`run_dispatcher`] / [`hybrid_search_batch`] — the one-shot batch
+//!   dispatcher (moved here from `vlite-core`'s prototype in `real.rs`),
+//!   reused by the persistent runtime.
+//! - [`loadgen`] — open-loop Poisson load generation with a rotating-hot-set
+//!   query source for drift experiments.
+//! - [`ServeReport`] — percentile latencies, SLO attainment, admission and
+//!   repartition accounting for benches and figures.
+//!
+//! # Examples
+//!
+//! ```
+//! use vlite_serve::{RagServer, ServeConfig};
+//! use vlite_workload::{CorpusConfig, SyntheticCorpus};
+//!
+//! let corpus = SyntheticCorpus::generate(&CorpusConfig {
+//!     n_vectors: 2_000,
+//!     dim: 8,
+//!     n_centers: 16,
+//!     zipf_exponent: 1.0,
+//!     noise: 0.2,
+//!     seed: 7,
+//! });
+//! let server = RagServer::start(&corpus, ServeConfig::small()).expect("server starts");
+//! let ticket = server.submit(corpus.vectors.get(0).to_vec()).expect("admitted");
+//! let response = ticket.wait().expect("completes");
+//! assert_eq!(response.neighbors[0].id, 0); // a vector is its own nearest neighbor
+//! let report = server.shutdown();
+//! assert_eq!(report.completed, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod control;
+mod dispatch;
+pub mod loadgen;
+mod queue;
+mod report;
+mod request;
+mod server;
+
+pub use config::{ControlConfig, ServeConfig};
+pub use control::RepartitionEvent;
+pub use dispatch::{hybrid_search_batch, run_dispatcher, DispatchOutcome};
+pub use report::ServeReport;
+pub use request::{AdmissionError, RequestTimings, SearchResponse, Ticket};
+pub use server::RagServer;

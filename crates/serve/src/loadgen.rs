@@ -1,0 +1,167 @@
+//! Open-loop load generation against a [`RagServer`].
+//!
+//! The generator submits on a wall-clock Poisson schedule regardless of
+//! completions (open loop): under overload the admission queue fills and
+//! requests are *rejected*, not silently delayed — the regime the paper's
+//! SLO-attainment figures probe. [`RotatingQuerySource`] draws queries from
+//! a corpus's topic mixture and can rotate the Zipf hot set mid-run, the
+//! drift scenario of §IV-B3.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use vlite_ann::VecSet;
+use vlite_workload::{gaussian, SyntheticCorpus, ZipfSampler};
+
+use crate::request::{SearchResponse, Ticket};
+use crate::server::RagServer;
+
+/// Draws queries near a corpus's topic centers with Zipf-distributed topic
+/// popularity, with a rotatable hot set.
+#[derive(Debug, Clone)]
+pub struct RotatingQuerySource {
+    centers: VecSet,
+    noise: f32,
+    zipf: ZipfSampler,
+    rotation: usize,
+    rng: StdRng,
+}
+
+impl RotatingQuerySource {
+    /// A source matching the corpus's own generation law (same Zipf
+    /// exponent, query noise slightly wider than document noise, as in
+    /// [`SyntheticCorpus::queries`]).
+    pub fn from_corpus(corpus: &SyntheticCorpus, seed: u64) -> Self {
+        let config = corpus.config();
+        Self {
+            centers: corpus.centers.clone(),
+            noise: config.noise * 1.25,
+            zipf: ZipfSampler::new(corpus.centers.len(), config.zipf_exponent),
+            rotation: 0,
+            rng: StdRng::seed_from_u64(seed ^ 0x10ad_9e4e),
+        }
+    }
+
+    /// Rotates the popularity ranking by `offset` topics: the workload's
+    /// hot set moves while its shape stays identical.
+    pub fn set_rotation(&mut self, offset: usize) {
+        self.rotation = offset % self.centers.len();
+    }
+
+    /// The current rotation offset.
+    pub fn rotation(&self) -> usize {
+        self.rotation
+    }
+
+    /// Draws the next query.
+    pub fn next_query(&mut self) -> Vec<f32> {
+        let topic = (self.zipf.sample(&mut self.rng) + self.rotation) % self.centers.len();
+        let center = self.centers.get(topic);
+        center
+            .iter()
+            .map(|&c| c + gaussian(&mut self.rng) * self.noise)
+            .collect()
+    }
+}
+
+/// Outcome of one open-loop run.
+#[derive(Debug)]
+pub struct OpenLoopResult {
+    /// Requests the generator attempted to submit.
+    pub submitted: usize,
+    /// Requests rejected by admission control.
+    pub rejected: usize,
+    /// Completed responses, in completion-collection order.
+    pub responses: Vec<SearchResponse>,
+    /// Wall-clock duration of the submission phase.
+    pub offered_for: Duration,
+    /// Wall-clock duration from first submission until the last admitted
+    /// request completed (submission + queue drain) — the honest
+    /// denominator for achieved throughput.
+    pub served_for: Duration,
+}
+
+impl OpenLoopResult {
+    /// Offered arrival rate actually achieved (submissions per second).
+    pub fn offered_rate(&self) -> f64 {
+        let secs = self.offered_for.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.submitted as f64 / secs
+        }
+    }
+
+    /// Completions per second over the full run including the drain phase
+    /// — at overload this is the service capacity, not the offered rate.
+    pub fn achieved_rate(&self) -> f64 {
+        let secs = self.served_for.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.responses.len() as f64 / secs
+        }
+    }
+}
+
+/// Submits `n` requests at Poisson `rate` (requests/second), calling
+/// `before_submit(i, source)` ahead of each draw — the hook where drift
+/// experiments rotate the hot set mid-run — then waits for all admitted
+/// requests to complete.
+///
+/// # Panics
+///
+/// Panics if `rate` is not finite and positive or `n == 0`.
+pub fn run_open_loop(
+    server: &RagServer,
+    source: &mut RotatingQuerySource,
+    rate: f64,
+    n: usize,
+    seed: u64,
+    mut before_submit: impl FnMut(usize, &mut RotatingQuerySource),
+) -> OpenLoopResult {
+    assert!(
+        rate.is_finite() && rate > 0.0,
+        "rate must be positive, got {rate}"
+    );
+    assert!(n > 0, "need at least one request");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x09e4_100b);
+    let started = Instant::now();
+    let mut next_at = 0.0f64;
+    let mut tickets: Vec<Ticket> = Vec::with_capacity(n);
+    let mut rejected = 0usize;
+
+    for i in 0..n {
+        before_submit(i, source);
+        // Exponential inter-arrival gap; absolute targets keep the offered
+        // rate honest even when sleep granularity is coarse.
+        let u: f64 = rng.random();
+        next_at += -(1.0 - u).ln() / rate;
+        let target = started + Duration::from_secs_f64(next_at);
+        let now = Instant::now();
+        if target > now {
+            std::thread::sleep(target - now);
+        }
+        match server.submit(source.next_query()) {
+            Ok(ticket) => tickets.push(ticket),
+            Err(_) => rejected += 1,
+        }
+    }
+    let offered_for = started.elapsed();
+
+    let mut responses = Vec::with_capacity(tickets.len());
+    for ticket in tickets {
+        if let Some(response) = ticket.wait() {
+            responses.push(response);
+        }
+    }
+    OpenLoopResult {
+        submitted: n,
+        rejected,
+        responses,
+        offered_for,
+        served_for: started.elapsed(),
+    }
+}

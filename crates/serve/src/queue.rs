@@ -1,0 +1,185 @@
+//! Bounded admission queue with on-demand batch draining.
+//!
+//! The queue is the runtime's admission-control point: `try_push` rejects
+//! when the bound is hit (the open-loop generator keeps producing; the
+//! server must shed load rather than grow latency without bound), and
+//! `take_batch` blocks until work exists, then drains up to `max` requests
+//! in one pop — the paper's dynamic on-demand batching (§VI-B): a batch
+//! launches the moment the engine goes idle and absorbs everything queued.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+use crate::request::Job;
+
+#[derive(Debug, Default)]
+struct Inner {
+    jobs: VecDeque<Job>,
+    closed: bool,
+    admitted: u64,
+    rejected: u64,
+    peak_depth: usize,
+}
+
+/// Snapshot of the queue's admission counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct QueueStats {
+    pub admitted: u64,
+    pub rejected: u64,
+    pub peak_depth: usize,
+}
+
+/// The bounded MPMC admission queue.
+#[derive(Debug)]
+pub(crate) struct RequestQueue {
+    inner: Mutex<Inner>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl RequestQueue {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Self {
+            inner: Mutex::new(Inner::default()),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Admits a job, or returns it when the queue is full / closed.
+    /// `Err((job, closed))` reports which of the two happened.
+    pub fn try_push(&self, job: Job) -> Result<(), (Job, bool)> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if inner.closed {
+            return Err((job, true));
+        }
+        if inner.jobs.len() >= self.capacity {
+            inner.rejected += 1;
+            return Err((job, false));
+        }
+        inner.jobs.push_back(job);
+        inner.admitted += 1;
+        let depth = inner.jobs.len();
+        inner.peak_depth = inner.peak_depth.max(depth);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until at least one job is queued, then drains up to `max` in
+    /// arrival order. Returns `None` once the queue is closed *and* empty
+    /// (graceful shutdown serves the backlog first).
+    pub fn take_batch(&self, max: usize) -> Option<Vec<Job>> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if !inner.jobs.is_empty() {
+                let take = inner.jobs.len().min(max.max(1));
+                return Some(inner.jobs.drain(..take).collect());
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    /// Marks the queue closed and wakes every waiter.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue poisoned").closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Requests currently waiting.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").jobs.len()
+    }
+
+    pub fn stats(&self) -> QueueStats {
+        let inner = self.inner.lock().expect("queue poisoned");
+        QueueStats {
+            admitted: inner.admitted,
+            rejected: inner.rejected,
+            peak_depth: inner.peak_depth,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel;
+    use std::time::Instant;
+
+    fn job(id: u64) -> Job {
+        let (reply, _rx) = channel::unbounded();
+        Job {
+            id,
+            query: vec![0.0],
+            enqueued: Instant::now(),
+            reply,
+        }
+    }
+
+    #[test]
+    fn rejects_beyond_capacity_and_counts() {
+        let q = RequestQueue::new(2);
+        assert!(q.try_push(job(0)).is_ok());
+        assert!(q.try_push(job(1)).is_ok());
+        let err = q.try_push(job(2)).unwrap_err();
+        assert!(!err.1, "full, not closed");
+        let stats = q.stats();
+        assert_eq!(stats.admitted, 2);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.peak_depth, 2);
+    }
+
+    #[test]
+    fn take_batch_absorbs_everything_up_to_max() {
+        let q = RequestQueue::new(16);
+        for id in 0..5 {
+            q.try_push(job(id)).unwrap();
+        }
+        let batch = q.take_batch(64).expect("work queued");
+        assert_eq!(batch.len(), 5);
+        assert_eq!(
+            batch.iter().map(|j| j.id).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn take_batch_respects_max() {
+        let q = RequestQueue::new(16);
+        for id in 0..5 {
+            q.try_push(job(id)).unwrap();
+        }
+        assert_eq!(q.take_batch(3).unwrap().len(), 3);
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn close_drains_backlog_then_ends() {
+        let q = RequestQueue::new(16);
+        q.try_push(job(0)).unwrap();
+        q.close();
+        assert!(q.try_push(job(1)).is_err(), "closed queue admits nothing");
+        assert_eq!(q.take_batch(8).unwrap().len(), 1);
+        assert!(q.take_batch(8).is_none());
+    }
+
+    #[test]
+    fn blocked_taker_wakes_on_push() {
+        let q = std::sync::Arc::new(RequestQueue::new(4));
+        let q2 = q.clone();
+        let taker = std::thread::spawn(move || q2.take_batch(8).map(|b| b.len()));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.try_push(job(7)).unwrap();
+        assert_eq!(taker.join().unwrap(), Some(1));
+    }
+}

@@ -1,0 +1,178 @@
+//! Aggregate serving report: the real-tier analogue of the simulator's
+//! `RunResult`, feeding the same figure harnesses (latency variance, SLO
+//! attainment, dispatcher behaviour).
+
+use vlite_metrics::{fmt_seconds, Summary, Table};
+
+use crate::control::RepartitionEvent;
+use crate::queue::QueueStats;
+use crate::server::ServeMetrics;
+
+/// Snapshot of everything a serving run measured.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Requests admitted into the queue.
+    pub admitted: u64,
+    /// Requests rejected by admission control.
+    pub rejected: u64,
+    /// Requests fully served (merged + delivered).
+    pub completed: u64,
+    /// Deepest queue backlog observed.
+    pub peak_queue_depth: usize,
+    /// Queueing delay (admission → batch launch).
+    pub queue: Summary,
+    /// Search execution (batch launch → merged top-k).
+    pub search: Summary,
+    /// End-to-end latency (admission → merged top-k).
+    pub e2e: Summary,
+    /// The search-stage SLO target in seconds.
+    pub slo_target: f64,
+    /// Fraction of requests whose search stage met the SLO.
+    pub slo_attainment: f64,
+    /// Batches launched.
+    pub batches: u64,
+    /// Mean batch size (dynamic on-demand batching).
+    pub mean_batch: f64,
+    /// Largest batch absorbed in one launch.
+    pub max_batch: usize,
+    /// Mean cache hit rate across served requests.
+    pub mean_hit_rate: f64,
+    /// Online repartitions performed by the control loop, in order.
+    pub repartitions: Vec<RepartitionEvent>,
+    /// Placement generation at snapshot time.
+    pub generation: u64,
+    /// Worker scans that panicked and were degraded to empty partials
+    /// (0 in healthy runs; nonzero means results were incomplete).
+    pub worker_panics: u64,
+}
+
+impl ServeReport {
+    pub(crate) fn assemble(
+        metrics: &ServeMetrics,
+        queue_stats: QueueStats,
+        repartitions: Vec<RepartitionEvent>,
+        slo_target: f64,
+        generation: u64,
+        worker_panics: u64,
+    ) -> ServeReport {
+        let mut queue_lat = metrics.queue_lat.clone();
+        let mut search_lat = metrics.search_lat.clone();
+        let mut e2e_lat = metrics.e2e_lat.clone();
+        let completed = metrics.completed;
+        ServeReport {
+            admitted: queue_stats.admitted,
+            rejected: queue_stats.rejected,
+            completed,
+            peak_queue_depth: queue_stats.peak_depth,
+            queue: queue_lat.summary(),
+            search: search_lat.summary(),
+            e2e: e2e_lat.summary(),
+            slo_target,
+            slo_attainment: metrics.slo.attainment(),
+            batches: metrics.batches,
+            mean_batch: if metrics.batches == 0 {
+                0.0
+            } else {
+                metrics.batched_requests as f64 / metrics.batches as f64
+            },
+            max_batch: metrics.max_batch,
+            mean_hit_rate: if completed == 0 {
+                0.0
+            } else {
+                metrics.hit_sum / completed as f64
+            },
+            repartitions,
+            generation,
+            worker_panics,
+        }
+    }
+
+    /// Renders the report as aligned text tables.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "requests: admitted {}  rejected {}  completed {}  peak queue depth {}\n",
+            self.admitted, self.rejected, self.completed, self.peak_queue_depth
+        ));
+        out.push_str(&format!(
+            "batching: {} batches, mean {:.1}, max {}  |  mean hit rate {:.3}  |  generation {}\n",
+            self.batches, self.mean_batch, self.max_batch, self.mean_hit_rate, self.generation
+        ));
+        out.push_str(&format!(
+            "search SLO {}: attainment {:.1}%\n",
+            fmt_seconds(self.slo_target),
+            100.0 * self.slo_attainment
+        ));
+        if self.worker_panics > 0 {
+            out.push_str(&format!(
+                "WARNING: {} worker scan(s) panicked and returned degraded partials\n",
+                self.worker_panics
+            ));
+        }
+        out.push('\n');
+
+        let mut latencies = Table::new(vec!["stage", "p50", "p95", "p99", "mean", "max"]);
+        for (stage, s) in [
+            ("queue", &self.queue),
+            ("search", &self.search),
+            ("e2e", &self.e2e),
+        ] {
+            latencies.row(vec![
+                stage.to_string(),
+                fmt_seconds(s.p50),
+                fmt_seconds(s.p95),
+                fmt_seconds(s.p99),
+                fmt_seconds(s.mean),
+                fmt_seconds(s.max),
+            ]);
+        }
+        out.push_str(&latencies.render());
+
+        if self.repartitions.is_empty() {
+            out.push_str("\nonline repartitions: none\n");
+        } else {
+            let mut events = Table::new(vec![
+                "gen",
+                "at request",
+                "coverage",
+                "hot overlap",
+                "queue@swap",
+                "rebuild",
+            ]);
+            for e in &self.repartitions {
+                events.row(vec![
+                    e.generation.to_string(),
+                    e.at_request.to_string(),
+                    format!(
+                        "{:.1}% -> {:.1}%",
+                        100.0 * e.old_coverage,
+                        100.0 * e.new_coverage
+                    ),
+                    format!("{:.2}", e.hot_overlap),
+                    e.queue_depth_at_swap.to_string(),
+                    fmt_seconds(e.duration.as_secs_f64()),
+                ]);
+            }
+            out.push('\n');
+            out.push_str("online repartitions (queue never drained):\n");
+            out.push_str(&events.render());
+        }
+        out
+    }
+
+    /// The report's latency rows as CSV (stage, p50, p95, p99, mean, max).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("stage,p50,p95,p99,mean,max\n");
+        for (stage, s) in [
+            ("queue", &self.queue),
+            ("search", &self.search),
+            ("e2e", &self.e2e),
+        ] {
+            out.push_str(&format!(
+                "{stage},{:.6},{:.6},{:.6},{:.6},{:.6}\n",
+                s.p50, s.p95, s.p99, s.mean, s.max
+            ));
+        }
+        out
+    }
+}

@@ -1,0 +1,99 @@
+//! Request/response types crossing the serving runtime's thread boundaries.
+
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+
+use vlite_ann::Neighbor;
+
+/// Why a submission was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The bounded admission queue is at capacity (open-loop overload).
+    QueueFull {
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// The server is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::QueueFull { capacity } => {
+                write!(f, "admission queue full (capacity {capacity})")
+            }
+            AdmissionError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// Wall-clock timeline of one served request, all in seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestTimings {
+    /// Admission → batch launch (queueing delay).
+    pub queue: f64,
+    /// Batch launch → merged top-k available (search execution).
+    pub search: f64,
+    /// Admission → merged top-k available.
+    pub e2e: f64,
+}
+
+/// The merged retrieval result for one request.
+#[derive(Debug, Clone)]
+pub struct SearchResponse {
+    /// Request id (assigned at admission).
+    pub id: u64,
+    /// Final merged top-k neighbors.
+    pub neighbors: Vec<Neighbor>,
+    /// Per-stage wall-clock timings.
+    pub timings: RequestTimings,
+    /// The request's cache hit rate (GPU probes / total probes) under the
+    /// placement that served it.
+    pub hit_rate: f64,
+    /// Placement generation that served the request (increments on every
+    /// online repartition).
+    pub generation: u64,
+}
+
+/// A handle to one in-flight request.
+#[derive(Debug)]
+pub struct Ticket {
+    pub(crate) id: u64,
+    pub(crate) rx: Receiver<SearchResponse>,
+}
+
+impl Ticket {
+    /// The admitted request's id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the request completes. Returns `None` only if the
+    /// server was torn down before serving it.
+    pub fn wait(self) -> Option<SearchResponse> {
+        self.rx.recv().ok()
+    }
+
+    /// Blocks up to `timeout`; `Ok(None)` means the server went away,
+    /// `Err(self)` that the request is still in flight.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Option<SearchResponse>, Ticket> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(response) => Ok(Some(response)),
+            Err(RecvTimeoutError::Disconnected) => Ok(None),
+            Err(RecvTimeoutError::Timeout) => Err(self),
+        }
+    }
+}
+
+/// An admitted request travelling through the runtime (internal).
+#[derive(Debug)]
+pub(crate) struct Job {
+    pub id: u64,
+    pub query: Vec<f32>,
+    pub enqueued: Instant,
+    pub reply: Sender<SearchResponse>,
+}

@@ -1,0 +1,665 @@
+//! The long-lived serving runtime: admission → batcher → shard workers +
+//! CPU scan worker → dispatcher → control loop.
+//!
+//! This generalizes the one-shot dispatcher prototype (`dispatch.rs`,
+//! formerly `vlite-core`'s `real.rs`) into persistent threads coordinated
+//! through channels. One batch is in flight at a time — the paper's
+//! on-demand batching: the batcher launches the moment the engine goes
+//! idle, absorbing everything queued (§VI-B) — while admission, response
+//! delivery and the control loop all run concurrently with the scan.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crossbeam::channel::{self, Receiver, Sender};
+
+use vlite_ann::{merge_sorted, IvfIndex, Neighbor};
+use vlite_core::{PartitionDecision, PartitionInput, RealDeployment, RoutedQuery, Router};
+use vlite_metrics::{LatencyRecorder, SloTracker};
+use vlite_workload::SyntheticCorpus;
+
+use crate::config::ServeConfig;
+use crate::control::{ControlLoop, Observation, RepartitionEvent};
+use crate::queue::RequestQueue;
+use crate::report::ServeReport;
+use crate::request::{AdmissionError, Job, RequestTimings, SearchResponse, Ticket};
+
+/// One batch travelling from the batcher to the workers and dispatcher.
+struct BatchWork {
+    jobs: Vec<Job>,
+    routed: Vec<RoutedQuery>,
+    k: usize,
+    started: Instant,
+    generation: u64,
+}
+
+/// Everything the worker threads see through the dispatcher channel.
+enum DispatchMsg {
+    /// A new batch was launched (always arrives before any completion for
+    /// that batch: the batcher enqueues it before handing work out).
+    Launch(Arc<BatchWork>),
+    /// One shard worker finished its pruned scans for the whole batch.
+    ShardDone {
+        shard: usize,
+        partials: Vec<Vec<Neighbor>>,
+    },
+    /// The CPU worker finished one query's cold probes (per-query
+    /// completion callback).
+    CpuDone { qi: usize, partial: Vec<Neighbor> },
+}
+
+/// Aggregate measurements owned by the dispatcher, snapshotted by
+/// [`RagServer::report`].
+#[derive(Debug)]
+pub(crate) struct ServeMetrics {
+    pub queue_lat: LatencyRecorder,
+    pub search_lat: LatencyRecorder,
+    pub e2e_lat: LatencyRecorder,
+    pub slo: SloTracker,
+    pub hit_sum: f64,
+    pub completed: u64,
+    pub batches: u64,
+    pub batched_requests: u64,
+    pub max_batch: usize,
+}
+
+impl ServeMetrics {
+    fn new(slo_search: f64) -> Self {
+        Self {
+            queue_lat: LatencyRecorder::new(),
+            search_lat: LatencyRecorder::new(),
+            e2e_lat: LatencyRecorder::new(),
+            slo: SloTracker::new(slo_search),
+            hit_sum: 0.0,
+            completed: 0,
+            batches: 0,
+            batched_requests: 0,
+            max_batch: 0,
+        }
+    }
+}
+
+/// The installed placement: router plus its generation, swapped together
+/// under one lock so a batch can never pair a router snapshot with the
+/// wrong generation stamp.
+pub(crate) struct PlacementState {
+    pub router: Arc<Router>,
+    pub generation: u64,
+}
+
+/// State shared by every runtime thread.
+pub(crate) struct Shared {
+    pub index: IvfIndex,
+    pub placement: RwLock<PlacementState>,
+    pub queue: RequestQueue,
+    pub metrics: Mutex<ServeMetrics>,
+    /// Worker scans that panicked and were degraded to empty partials
+    /// (availability over exactness; surfaced in the report).
+    pub worker_panics: AtomicU64,
+    repartitions: Mutex<Vec<RepartitionEvent>>,
+    nprobe: usize,
+    top_k: usize,
+    n_shards: usize,
+    slo_search: f64,
+}
+
+impl Shared {
+    pub fn record_repartition(&self, event: RepartitionEvent) {
+        self.repartitions
+            .lock()
+            .expect("events poisoned")
+            .push(event);
+    }
+
+    /// Snapshot of the installed placement.
+    pub fn placement_snapshot(&self) -> (Arc<Router>, u64) {
+        let guard = self.placement.read().expect("placement poisoned");
+        (guard.router.clone(), guard.generation)
+    }
+
+    /// Installs a new router, advancing the generation atomically with it.
+    /// Returns the new generation.
+    pub fn install_placement(&self, router: Router) -> u64 {
+        let mut guard = self.placement.write().expect("placement poisoned");
+        guard.router = Arc::new(router);
+        guard.generation += 1;
+        guard.generation
+    }
+}
+
+/// The serving runtime. See the crate docs for the thread topology.
+///
+/// Dropping the server without calling [`RagServer::shutdown`] tears the
+/// threads down the same way (backlog served, then exit).
+pub struct RagServer {
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+    next_id: AtomicU64,
+    decision: PartitionDecision,
+    expected_mean_hit: f64,
+}
+
+impl std::fmt::Debug for RagServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RagServer")
+            .field("generation", &self.placement_generation())
+            .field("queue_depth", &self.shared.queue.depth())
+            .finish_non_exhaustive()
+    }
+}
+
+impl RagServer {
+    /// Runs the offline stage on `corpus` (train, profile, Algorithm 1,
+    /// split) and starts the runtime.
+    ///
+    /// # Errors
+    ///
+    /// Propagates index-training errors.
+    pub fn start(corpus: &SyntheticCorpus, config: ServeConfig) -> vlite_ann::Result<RagServer> {
+        let deployment = RealDeployment::build(corpus, config.real.clone())?;
+        Ok(Self::from_deployment(deployment, config))
+    }
+
+    /// Starts the runtime over an already-built offline deployment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the deployment and config disagree on shard count zero.
+    pub fn from_deployment(deployment: RealDeployment, config: ServeConfig) -> RagServer {
+        let RealDeployment {
+            index,
+            profile,
+            perf,
+            decision,
+            router,
+            ..
+        } = deployment;
+        let n_shards = router.split().n_shards();
+        assert!(n_shards > 0, "need at least one shard worker");
+        // Expected mean hit rate, measured with the *same statistic* the
+        // dispatcher will observe (per-query GPU-probe fraction over the
+        // calibration probe sets) — the estimator's modeled mean is
+        // access-weighted and systematically biased against it, which would
+        // make the drift monitor's divergence trigger fire without drift.
+        let expected_mean_hit = empirical_mean_hit(&router, profile.probe_sets());
+
+        let shared = Arc::new(Shared {
+            index,
+            placement: RwLock::new(PlacementState {
+                router: Arc::new(router),
+                generation: 0,
+            }),
+            queue: RequestQueue::new(config.queue_capacity),
+            metrics: Mutex::new(ServeMetrics::new(config.real.slo_search)),
+            worker_panics: AtomicU64::new(0),
+            repartitions: Mutex::new(Vec::new()),
+            nprobe: config.real.nprobe,
+            top_k: config.real.top_k,
+            n_shards,
+            slo_search: config.real.slo_search,
+        });
+
+        // Channel topology. Dispatcher ingress is shared by the batcher
+        // (Launch) and every worker (completions); per-worker work channels
+        // carry Arc'd batches.
+        let (dispatch_tx, dispatch_rx) = channel::unbounded::<DispatchMsg>();
+        let (done_tx, done_rx) = channel::unbounded::<()>();
+        let (control_tx, control_rx) = channel::unbounded::<Observation>();
+        let mut shard_channels = Vec::with_capacity(n_shards);
+        let mut threads = Vec::new();
+
+        for shard in 0..n_shards {
+            let (tx, rx) = channel::unbounded::<Arc<BatchWork>>();
+            shard_channels.push(tx);
+            let shared_ = shared.clone();
+            let dispatch = dispatch_tx.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("vlite-shard-{shard}"))
+                    .spawn(move || shard_worker(&shared_, shard, &rx, &dispatch))
+                    .expect("spawn shard worker"),
+            );
+        }
+
+        let (cpu_tx, cpu_rx) = channel::unbounded::<Arc<BatchWork>>();
+        {
+            let shared_ = shared.clone();
+            let dispatch = dispatch_tx.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("vlite-cpu".into())
+                    .spawn(move || cpu_worker(&shared_, &cpu_rx, &dispatch))
+                    .expect("spawn cpu worker"),
+            );
+        }
+
+        {
+            let shared_ = shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("vlite-dispatch".into())
+                    .spawn(move || dispatcher(&shared_, &dispatch_rx, &done_tx, &control_tx))
+                    .expect("spawn dispatcher"),
+            );
+        }
+
+        {
+            let shared_ = shared.clone();
+            let max_batch = config.max_batch;
+            threads.push(
+                std::thread::Builder::new()
+                    .name("vlite-batcher".into())
+                    .spawn(move || {
+                        batcher(
+                            &shared_,
+                            max_batch,
+                            &shard_channels,
+                            &cpu_tx,
+                            &dispatch_tx,
+                            &done_rx,
+                        )
+                    })
+                    .expect("spawn batcher"),
+            );
+        }
+
+        {
+            let input = PartitionInput::new(
+                config.real.slo_search,
+                config.real.mu_llm0,
+                config.real.kv_bytes_full,
+            );
+            let sizes: Vec<u64> = (0..profile.nlist() as u32)
+                .map(|c| profile.size(c))
+                .collect();
+            let bytes: Vec<u64> = (0..profile.nlist() as u32)
+                .map(|c| profile.bytes_of(c))
+                .collect();
+            let control = ControlLoop::new(
+                shared.clone(),
+                config.control.clone(),
+                expected_mean_hit,
+                input,
+                perf,
+                config.real.coverage_override,
+                sizes,
+                bytes,
+            );
+            threads.push(
+                std::thread::Builder::new()
+                    .name("vlite-control".into())
+                    .spawn(move || control.run(control_rx))
+                    .expect("spawn control loop"),
+            );
+        }
+
+        RagServer {
+            shared,
+            threads,
+            next_id: AtomicU64::new(0),
+            decision,
+            expected_mean_hit,
+        }
+    }
+
+    /// Submits one query through admission control.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmissionError::QueueFull`] under overload,
+    /// [`AdmissionError::ShuttingDown`] after shutdown began.
+    pub fn submit(&self, query: Vec<f32>) -> Result<Ticket, AdmissionError> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (reply, rx) = channel::unbounded();
+        let job = Job {
+            id,
+            query,
+            enqueued: Instant::now(),
+            reply,
+        };
+        match self.shared.queue.try_push(job) {
+            Ok(()) => Ok(Ticket { id, rx }),
+            Err((_, true)) => Err(AdmissionError::ShuttingDown),
+            Err((_, false)) => Err(AdmissionError::QueueFull {
+                capacity: self.shared.queue.capacity(),
+            }),
+        }
+    }
+
+    /// Requests currently waiting for a batch.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.depth()
+    }
+
+    /// The current placement generation (0 until the first online
+    /// repartition).
+    pub fn placement_generation(&self) -> u64 {
+        self.shared.placement_snapshot().1
+    }
+
+    /// The offline partitioning decision the server started from.
+    pub fn initial_decision(&self) -> &PartitionDecision {
+        &self.decision
+    }
+
+    /// Expected mean hit rate at start-up: the calibration probe sets
+    /// routed through the initial placement (the drift monitor's baseline).
+    pub fn expected_mean_hit(&self) -> f64 {
+        self.expected_mean_hit
+    }
+
+    /// Cache coverage ρ of the placement currently serving.
+    pub fn current_coverage(&self) -> f64 {
+        self.shared.placement_snapshot().0.split().coverage()
+    }
+
+    /// Global cluster ids resident on each shard under the current
+    /// placement (snapshot).
+    pub fn current_shard_clusters(&self) -> Vec<Vec<u32>> {
+        let (router, _) = self.shared.placement_snapshot();
+        (0..router.split().n_shards())
+            .map(|s| router.split().shard_clusters(s).to_vec())
+            .collect()
+    }
+
+    /// Snapshot of the runtime's measurements so far.
+    pub fn report(&self) -> ServeReport {
+        let metrics = self.shared.metrics.lock().expect("metrics poisoned");
+        let queue_stats = self.shared.queue.stats();
+        let repartitions = self
+            .shared
+            .repartitions
+            .lock()
+            .expect("events poisoned")
+            .clone();
+        ServeReport::assemble(
+            &metrics,
+            queue_stats,
+            repartitions,
+            self.shared.slo_search,
+            self.shared.placement_snapshot().1,
+            self.shared.worker_panics.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Graceful shutdown: stops admitting, serves the backlog, joins every
+    /// thread, and returns the final report.
+    pub fn shutdown(mut self) -> ServeReport {
+        self.shared.queue.close();
+        for handle in self.threads.drain(..) {
+            handle.join().expect("runtime thread panicked");
+        }
+        self.report()
+    }
+}
+
+impl Drop for RagServer {
+    fn drop(&mut self) {
+        self.shared.queue.close();
+        for handle in self.threads.drain(..) {
+            // Avoid double-panicking in unwind paths.
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Mean per-query hit rate of `probe_sets` under `router` — the runtime's
+/// observable statistic, used as the drift monitor's expectation.
+pub(crate) fn empirical_mean_hit<'a>(
+    router: &Router,
+    probe_sets: impl IntoIterator<Item = &'a Vec<u32>>,
+) -> f64 {
+    let (mut sum, mut n) = (0.0f64, 0usize);
+    for probes in probe_sets {
+        sum += router.route(probes).hit_rate();
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Batcher: drain the queue when the engine is idle, coarse-quantize and
+/// route under the current placement snapshot, launch, wait for the
+/// dispatcher's batch-done signal.
+fn batcher(
+    shared: &Shared,
+    max_batch: usize,
+    shard_channels: &[Sender<Arc<BatchWork>>],
+    cpu_tx: &Sender<Arc<BatchWork>>,
+    dispatch_tx: &Sender<DispatchMsg>,
+    done_rx: &Receiver<()>,
+) {
+    while let Some(jobs) = shared.queue.take_batch(max_batch) {
+        let (router, generation) = shared.placement_snapshot();
+        let started = Instant::now();
+        let routed: Vec<RoutedQuery> = jobs
+            .iter()
+            .map(|job| {
+                let probes: Vec<u32> = shared
+                    .index
+                    .probe(&job.query, shared.nprobe)
+                    .iter()
+                    .map(|p| p.list)
+                    .collect();
+                router.route(&probes)
+            })
+            .collect();
+        let batch = Arc::new(BatchWork {
+            jobs,
+            routed,
+            k: shared.top_k,
+            started,
+            generation,
+        });
+        if dispatch_tx
+            .send(DispatchMsg::Launch(batch.clone()))
+            .is_err()
+        {
+            return; // dispatcher gone: runtime is tearing down
+        }
+        for tx in shard_channels {
+            if tx.send(batch.clone()).is_err() {
+                return;
+            }
+        }
+        if cpu_tx.send(batch.clone()).is_err() {
+            return;
+        }
+        drop(batch);
+        // Engine busy until the dispatcher reports the batch complete.
+        if done_rx.recv().is_err() {
+            return;
+        }
+    }
+}
+
+/// Shard ("GPU") worker: scan the batch's pruned probe lists for this
+/// shard, publish partials in one completion message.
+fn shard_worker(
+    shared: &Shared,
+    shard: usize,
+    rx: &Receiver<Arc<BatchWork>>,
+    dispatch: &Sender<DispatchMsg>,
+) {
+    while let Ok(batch) = rx.recv() {
+        let mut partials: Vec<Vec<Neighbor>> = vec![Vec::new(); batch.jobs.len()];
+        for (qi, out) in partials.iter_mut().enumerate() {
+            // Global ids: correctness is placement-independent, so batches
+            // routed just before a hot swap still scan the right lists.
+            let lists = &batch.routed[qi].shard_probes_global[shard];
+            if !lists.is_empty() {
+                *out = degraded_scan(shared, &batch.jobs[qi].query, lists, batch.k);
+            }
+        }
+        if dispatch
+            .send(DispatchMsg::ShardDone { shard, partials })
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+/// One scan with panic containment: a panicking scan degrades to an empty
+/// partial (counted in [`Shared::worker_panics`]) instead of killing the
+/// worker thread — a dead worker would never send its completion message
+/// and the batcher would block on the batch-done signal forever.
+fn degraded_scan(shared: &Shared, query: &[f32], lists: &[u32], k: usize) -> Vec<Neighbor> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        shared.index.scan_lists(query, lists, k)
+    }))
+    .unwrap_or_else(|_| {
+        shared.worker_panics.fetch_add(1, Ordering::Relaxed);
+        Vec::new()
+    })
+}
+
+/// CPU worker: scan cold probes query-by-query, firing the per-query
+/// completion callback so early finishers can leave the batch.
+fn cpu_worker(shared: &Shared, rx: &Receiver<Arc<BatchWork>>, dispatch: &Sender<DispatchMsg>) {
+    while let Ok(batch) = rx.recv() {
+        for (qi, routed) in batch.routed.iter().enumerate() {
+            let partial = if routed.cpu_probes.is_empty() {
+                Vec::new()
+            } else {
+                degraded_scan(shared, &batch.jobs[qi].query, &routed.cpu_probes, batch.k)
+            };
+            if dispatch.send(DispatchMsg::CpuDone { qi, partial }).is_err() {
+                return;
+            }
+        }
+    }
+}
+
+/// Per-batch dispatcher state.
+struct InFlight {
+    batch: Arc<BatchWork>,
+    shard_partials: Vec<Option<Vec<Vec<Neighbor>>>>,
+    shards_ready: usize,
+    /// CPU completions that arrived before every shard flag was up.
+    pending_cpu: Vec<(usize, Vec<Neighbor>)>,
+    completed: usize,
+}
+
+/// Dispatcher: merge shard/CPU partials per query, forward early
+/// finishers, record latencies and stream observations to the control
+/// loop.
+fn dispatcher(
+    shared: &Shared,
+    rx: &Receiver<DispatchMsg>,
+    done_tx: &Sender<()>,
+    control_tx: &Sender<Observation>,
+) {
+    let mut inflight: Option<InFlight> = None;
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            DispatchMsg::Launch(batch) => {
+                debug_assert!(inflight.is_none(), "one batch in flight at a time");
+                inflight = Some(InFlight {
+                    shard_partials: vec![None; shared.n_shards],
+                    shards_ready: 0,
+                    pending_cpu: Vec::new(),
+                    completed: 0,
+                    batch,
+                });
+            }
+            DispatchMsg::ShardDone { shard, partials } => {
+                let state = inflight.as_mut().expect("completion without a launch");
+                debug_assert!(state.shard_partials[shard].is_none());
+                state.shard_partials[shard] = Some(partials);
+                state.shards_ready += 1;
+                if state.shards_ready == shared.n_shards {
+                    // All GPU flags up: flush every buffered CPU finisher.
+                    for (qi, partial) in std::mem::take(&mut state.pending_cpu) {
+                        complete_query(shared, state, qi, partial, control_tx);
+                    }
+                }
+            }
+            DispatchMsg::CpuDone { qi, partial } => {
+                let state = inflight.as_mut().expect("completion without a launch");
+                if state.shards_ready == shared.n_shards {
+                    complete_query(shared, state, qi, partial, control_tx);
+                } else {
+                    state.pending_cpu.push((qi, partial));
+                }
+            }
+        }
+        if let Some(state) = &inflight {
+            if state.completed == state.batch.jobs.len() {
+                let batch_size = state.batch.jobs.len();
+                let mut metrics = shared.metrics.lock().expect("metrics poisoned");
+                metrics.batches += 1;
+                metrics.batched_requests += batch_size as u64;
+                metrics.max_batch = metrics.max_batch.max(batch_size);
+                drop(metrics);
+                inflight = None;
+                if done_tx.send(()).is_err() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Merge one query's partials, deliver the response, record measurements.
+fn complete_query(
+    shared: &Shared,
+    state: &mut InFlight,
+    qi: usize,
+    cpu_partial: Vec<Neighbor>,
+    control_tx: &Sender<Observation>,
+) {
+    let batch = &state.batch;
+    let job = &batch.jobs[qi];
+    let routed = &batch.routed[qi];
+    let mut lists: Vec<Vec<Neighbor>> = vec![cpu_partial];
+    for partials in state.shard_partials.iter().flatten() {
+        lists.push(partials[qi].clone());
+    }
+    let neighbors = merge_sorted(&lists, batch.k);
+    let now = Instant::now();
+    let timings = RequestTimings {
+        queue: batch.started.duration_since(job.enqueued).as_secs_f64(),
+        search: now.duration_since(batch.started).as_secs_f64(),
+        e2e: now.duration_since(job.enqueued).as_secs_f64(),
+    };
+    let hit_rate = routed.hit_rate();
+    let met_slo = timings.search <= shared.slo_search;
+
+    {
+        let mut metrics = shared.metrics.lock().expect("metrics poisoned");
+        metrics.queue_lat.record(timings.queue);
+        metrics.search_lat.record(timings.search);
+        metrics.e2e_lat.record(timings.e2e);
+        metrics.slo.observe(timings.search);
+        metrics.hit_sum += hit_rate;
+        metrics.completed += 1;
+    }
+
+    // Observation for the control loop: hit rate, SLO, and the query's
+    // global probe set (re-profiling sample).
+    let mut probes = routed.cpu_probes.clone();
+    for globals in &routed.shard_probes_global {
+        probes.extend_from_slice(globals);
+    }
+    let _ = control_tx.send(Observation {
+        hit_rate,
+        met_slo,
+        probes,
+    });
+
+    // The ticket may have been dropped (fire-and-forget submission).
+    let _ = job.reply.send(SearchResponse {
+        id: job.id,
+        neighbors,
+        timings,
+        hit_rate,
+        generation: batch.generation,
+    });
+    state.completed += 1;
+}

@@ -1,0 +1,182 @@
+//! Minimal API-compatible subset of `criterion`.
+//!
+//! The workspace builds offline (no crates.io access). This shim keeps the
+//! `criterion_group!`/`criterion_main!`/`bench_function` surface so the
+//! benches compile and produce honest wall-clock numbers (median of N
+//! timed samples after warmup) — without upstream criterion's statistics,
+//! plotting, or baseline comparisons.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are sized (accepted for API compatibility; the shim
+/// treats all variants identically).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples to take per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+        };
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        bencher.report(name);
+        self
+    }
+}
+
+/// Times closures for one benchmark; each `iter*` call contributes one
+/// sample.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times one execution of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let out = routine();
+        self.samples.push(start.elapsed());
+        drop(out);
+    }
+
+    /// Times `routine` on a freshly set-up input, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        let out = routine(input);
+        self.samples.push(start.elapsed());
+        drop(out);
+    }
+
+    fn report(&mut self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        self.samples.sort_unstable();
+        let median = self.samples[self.samples.len() / 2];
+        let min = self.samples[0];
+        let max = *self.samples.last().expect("non-empty");
+        println!(
+            "{name:<40} median {:>12?}   min {:>12?}   max {:>12?}   ({} samples)",
+            median,
+            min,
+            max,
+            self.samples.len()
+        );
+        self.samples.clear();
+    }
+}
+
+/// Declares a benchmark group: either `criterion_group!(name, target, ...)`
+/// or the long form with an explicit `config = ...` expression.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark entry point running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+/// Re-export matching upstream's `criterion::black_box` path.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_sample_size_times() {
+        let mut count = 0usize;
+        Criterion::default()
+            .sample_size(7)
+            .bench_function("counter", |b| {
+                b.iter(|| {
+                    count += 1;
+                })
+            });
+        assert_eq!(count, 7);
+    }
+
+    #[test]
+    fn iter_batched_separates_setup_from_routine() {
+        let mut setups = 0usize;
+        let mut runs = 0usize;
+        Criterion::default()
+            .sample_size(3)
+            .bench_function("batched", |b| {
+                b.iter_batched(
+                    || {
+                        setups += 1;
+                        vec![1u8; 16]
+                    },
+                    |v| {
+                        runs += 1;
+                        v.len()
+                    },
+                    BatchSize::SmallInput,
+                )
+            });
+        assert_eq!(setups, 3);
+        assert_eq!(runs, 3);
+    }
+}

@@ -1,0 +1,21 @@
+//! No-op stand-in for `serde`'s derive macros.
+//!
+//! The workspace builds offline (no crates.io access). Nothing in the tree
+//! actually serializes — the `#[derive(Serialize, Deserialize)]` attributes
+//! only mark types as wire-ready for a future HTTP frontend — so the derives
+//! expand to nothing. Swapping this shim for real `serde` is a one-line
+//! change in the workspace manifest.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -37,8 +37,14 @@ impl PoissonProcess {
     ///
     /// Panics if `rate` is not finite and positive.
     pub fn new(rate: f64) -> Self {
-        assert!(rate.is_finite() && rate > 0.0, "arrival rate must be positive, got {rate}");
-        Self { rate, now: SimTime::ZERO }
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "arrival rate must be positive, got {rate}"
+        );
+        Self {
+            rate,
+            now: SimTime::ZERO,
+        }
     }
 
     /// Arrival rate in events per second.
@@ -51,7 +57,7 @@ impl PoissonProcess {
         // Inverse-CDF sampling of Exp(rate); 1-u avoids ln(0).
         let u: f64 = rng.random();
         let gap = -(1.0 - u).ln() / self.rate;
-        self.now = self.now + SimDuration::from_secs_f64(gap);
+        self.now += SimDuration::from_secs_f64(gap);
         self.now
     }
 

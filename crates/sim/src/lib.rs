@@ -38,7 +38,7 @@ mod memory;
 mod time;
 
 pub use arrivals::PoissonProcess;
-pub use hardware::{devices, CpuSpec, GpuSpec};
 pub use event::EventQueue;
+pub use hardware::{devices, CpuSpec, GpuSpec};
 pub use memory::{MemoryLedger, MemoryRegion, OutOfMemory};
 pub use time::{SimDuration, SimTime};

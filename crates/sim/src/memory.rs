@@ -25,8 +25,12 @@ pub enum MemoryRegion {
 
 impl MemoryRegion {
     /// All regions, in ledger-display order.
-    pub const ALL: [MemoryRegion; 4] =
-        [MemoryRegion::Params, MemoryRegion::KvCache, MemoryRegion::IndexShard, MemoryRegion::Workspace];
+    pub const ALL: [MemoryRegion; 4] = [
+        MemoryRegion::Params,
+        MemoryRegion::KvCache,
+        MemoryRegion::IndexShard,
+        MemoryRegion::Workspace,
+    ];
 }
 
 impl fmt::Display for MemoryRegion {
@@ -85,7 +89,10 @@ pub struct MemoryLedger {
 impl MemoryLedger {
     /// Creates a ledger for a device with `capacity` bytes.
     pub fn new(capacity: u64) -> Self {
-        Self { capacity, used: [0; 4] }
+        Self {
+            capacity,
+            used: [0; 4],
+        }
     }
 
     fn idx(region: MemoryRegion) -> usize {
@@ -125,7 +132,10 @@ impl MemoryLedger {
     /// unchanged in that case.
     pub fn reserve(&mut self, region: MemoryRegion, bytes: u64) -> Result<(), OutOfMemory> {
         if bytes > self.free() {
-            return Err(OutOfMemory { requested: bytes, available: self.free() });
+            return Err(OutOfMemory {
+                requested: bytes,
+                available: self.free(),
+            });
         }
         self.used[Self::idx(region)] += bytes;
         Ok(())
@@ -158,7 +168,12 @@ impl MemoryLedger {
 impl fmt::Display for MemoryLedger {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let gib = |b: u64| b as f64 / (1u64 << 30) as f64;
-        write!(f, "{:.1}/{:.1} GiB used (", gib(self.used()), gib(self.capacity))?;
+        write!(
+            f,
+            "{:.1}/{:.1} GiB used (",
+            gib(self.used()),
+            gib(self.capacity)
+        )?;
         for (i, region) in MemoryRegion::ALL.iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;

@@ -58,7 +58,10 @@ impl SimDuration {
     /// produce tiny negative values from catastrophic cancellation; callers
     /// should clamp with `f64::max(0.0)` when that is expected.
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "duration must be finite and >= 0, got {secs}");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "duration must be finite and >= 0, got {secs}"
+        );
         SimDuration((secs * 1e9).round() as u64)
     }
 
@@ -83,7 +86,10 @@ impl SimDuration {
     ///
     /// Panics if `factor` is negative or not finite.
     pub fn mul_f64(self, factor: f64) -> SimDuration {
-        assert!(factor.is_finite() && factor >= 0.0, "scale factor must be >= 0, got {factor}");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "scale factor must be >= 0, got {factor}"
+        );
         SimDuration((self.0 as f64 * factor).round() as u64)
     }
 }
@@ -203,7 +209,10 @@ mod tests {
 
     #[test]
     fn micros_and_millis_agree() {
-        assert_eq!(SimDuration::from_micros(1500), SimDuration::from_millis(1.5));
+        assert_eq!(
+            SimDuration::from_micros(1500),
+            SimDuration::from_millis(1.5)
+        );
     }
 
     #[test]

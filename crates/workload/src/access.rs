@@ -80,7 +80,15 @@ impl ClusterWorkload {
             *last = 1.0;
         }
         let access = expected_access(&popularity, nprobe.div_ceil(n_windows));
-        Self { nlist, nprobe, n_windows, popularity, cum, access, exponent }
+        Self {
+            nlist,
+            nprobe,
+            n_windows,
+            popularity,
+            cum,
+            access,
+            exponent,
+        }
     }
 
     /// Finds the Zipf exponent whose *access* distribution gives the top
@@ -199,7 +207,10 @@ impl ClusterWorkload {
     /// Expected (mean) hit rate of the hot set at `coverage` — the cache
     /// coverage → mean-hit-rate mapping the estimator consumes.
     pub fn mean_hit_rate(&self, coverage: f64) -> f64 {
-        self.hot_set(coverage).iter().map(|&c| self.access[c as usize]).sum()
+        self.hot_set(coverage)
+            .iter()
+            .map(|&c| self.access[c as usize])
+            .sum()
     }
 
     /// Draws one query's probe set: the union of
@@ -236,7 +247,10 @@ impl ClusterWorkload {
     /// Draws an anchor cluster by popularity.
     pub fn sample_anchor<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.random();
-        match self.cum.binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite")) {
+        match self
+            .cum
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite"))
+        {
             Ok(i) => (i + 1).min(self.nlist - 1),
             Err(i) => i.min(self.nlist - 1),
         }
@@ -417,10 +431,15 @@ mod tests {
             .map(|_| ClusterWorkload::hit_rate(&wl.gen_probe_set(&mut rng), &mask))
             .collect();
         let mean = rates.iter().sum::<f64>() / rates.len() as f64;
-        let var =
-            rates.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / rates.len() as f64;
-        assert!(mean > 0.5, "ORCAS-like skew should yield high mean hit rate, got {mean}");
-        assert!(var > 0.01, "probe-set correlation must create variance, got {var}");
+        let var = rates.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / rates.len() as f64;
+        assert!(
+            mean > 0.5,
+            "ORCAS-like skew should yield high mean hit rate, got {mean}"
+        );
+        assert!(
+            var > 0.01,
+            "probe-set correlation must create variance, got {var}"
+        );
     }
 
     #[test]
@@ -473,7 +492,11 @@ mod tests {
         let a = wl.hot_set(0.1);
         let b = shifted.hot_set(0.1);
         let overlap = a.iter().filter(|c| b.contains(c)).count();
-        assert!(overlap < a.len() / 2, "hot sets overlap too much: {overlap}/{}", a.len());
+        assert!(
+            overlap < a.len() / 2,
+            "hot sets overlap too much: {overlap}/{}",
+            a.len()
+        );
     }
 
     #[test]

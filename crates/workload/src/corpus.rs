@@ -33,7 +33,14 @@ pub struct CorpusConfig {
 impl CorpusConfig {
     /// A small corpus good for unit tests (≈20k vectors, 32 dims).
     pub fn small() -> Self {
-        Self { n_vectors: 20_000, dim: 32, n_centers: 64, zipf_exponent: 1.0, noise: 0.35, seed: 0xc0 }
+        Self {
+            n_vectors: 20_000,
+            dim: 32,
+            n_centers: 64,
+            zipf_exponent: 1.0,
+            noise: 0.35,
+            seed: 0xc0,
+        }
     }
 
     /// A medium corpus for integration tests and micro-benchmarks
@@ -91,8 +98,9 @@ impl SyntheticCorpus {
         let mut rng = StdRng::seed_from_u64(config.seed);
         // Topic centers spread uniformly in [0, 10)^dim, far apart relative
         // to the within-topic noise so the mixture structure is real.
-        let centers =
-            VecSet::from_fn(config.n_centers, config.dim, |_, _| rng.random::<f32>() * 10.0);
+        let centers = VecSet::from_fn(config.n_centers, config.dim, |_, _| {
+            rng.random::<f32>() * 10.0
+        });
         let zipf = ZipfSampler::new(config.n_centers, config.zipf_exponent);
         let mut vectors = VecSet::with_capacity(config.dim, config.n_vectors);
         let mut topic_of = Vec::with_capacity(config.n_vectors);
@@ -106,7 +114,12 @@ impl SyntheticCorpus {
             }
             vectors.push(&sample);
         }
-        SyntheticCorpus { vectors, centers, topic_of, config: config.clone() }
+        SyntheticCorpus {
+            vectors,
+            centers,
+            topic_of,
+            config: config.clone(),
+        }
     }
 
     /// Draws `n` queries from the same mixture (same popularity law), with
@@ -137,7 +150,9 @@ impl SyntheticCorpus {
 
 /// Standard normal sample via Box–Muller (keeps the dependency set to
 /// `rand` itself; `rand_distr` is not in the approved crate list).
-fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+/// Public so consumers drawing corpus-law queries (e.g. the serving
+/// runtime's load generator) share one sampling law with the corpus.
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f32 {
     let u1: f64 = rng.random::<f64>().max(1e-12);
     let u2: f64 = rng.random();
     ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
@@ -148,7 +163,14 @@ mod tests {
     use super::*;
 
     fn tiny() -> CorpusConfig {
-        CorpusConfig { n_vectors: 2000, dim: 8, n_centers: 16, zipf_exponent: 1.0, noise: 0.2, seed: 1 }
+        CorpusConfig {
+            n_vectors: 2000,
+            dim: 8,
+            n_centers: 16,
+            zipf_exponent: 1.0,
+            noise: 0.2,
+            seed: 1,
+        }
     }
 
     #[test]
@@ -162,7 +184,7 @@ mod tests {
     #[test]
     fn topic_popularity_is_skewed() {
         let corpus = SyntheticCorpus::generate(&tiny());
-        let mut counts = vec![0usize; 16];
+        let mut counts = [0usize; 16];
         for &t in &corpus.topic_of {
             counts[t as usize] += 1;
         }
@@ -196,8 +218,11 @@ mod tests {
         let n = 100_000;
         let samples: Vec<f32> = (0..n).map(|_| gaussian(&mut rng)).collect();
         let mean: f64 = samples.iter().map(|&x| f64::from(x)).sum::<f64>() / n as f64;
-        let var: f64 =
-            samples.iter().map(|&x| (f64::from(x) - mean).powi(2)).sum::<f64>() / n as f64;
+        let var: f64 = samples
+            .iter()
+            .map(|&x| (f64::from(x) - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
         assert!(mean.abs() < 0.02, "mean={mean}");
         assert!((var - 1.0).abs() < 0.03, "var={var}");
     }

@@ -148,7 +148,10 @@ impl DatasetPreset {
     pub fn cluster_bytes(&self, workload: &ClusterWorkload) -> Vec<u64> {
         let sizes = self.cluster_sizes(workload);
         let bytes_per_vec = self.index_bytes as f64 / self.n_vectors as f64;
-        sizes.iter().map(|&s| (s as f64 * bytes_per_vec).round() as u64).collect()
+        sizes
+            .iter()
+            .map(|&s| (s as f64 * bytes_per_vec).round() as u64)
+            .collect()
     }
 
     /// Bytes of compressed index data per vector (codes + ids + overhead).
@@ -202,7 +205,10 @@ mod tests {
         let hot_mean =
             hot.iter().map(|&c| sizes[c as usize] as f64).sum::<f64>() / hot.len() as f64;
         let overall_mean = preset.n_vectors as f64 / preset.nlist as f64;
-        assert!(hot_mean > overall_mean, "hot clusters should exceed mean size");
+        assert!(
+            hot_mean > overall_mean,
+            "hot clusters should exceed mean size"
+        );
     }
 
     #[test]

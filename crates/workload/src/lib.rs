@@ -40,6 +40,6 @@ mod datasets;
 mod zipf;
 
 pub use access::ClusterWorkload;
-pub use corpus::{CorpusConfig, SyntheticCorpus};
+pub use corpus::{gaussian, CorpusConfig, SyntheticCorpus};
 pub use datasets::DatasetPreset;
 pub use zipf::ZipfSampler;

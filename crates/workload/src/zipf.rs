@@ -35,7 +35,10 @@ impl ZipfSampler {
     /// Panics if `n == 0` or `s` is negative/not finite.
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "Zipf support must be non-empty");
-        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be >= 0, got {s}");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "Zipf exponent must be >= 0, got {s}"
+        );
         let weights = Self::weights(n, s);
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
@@ -75,7 +78,10 @@ impl ZipfSampler {
 
     /// Maps a uniform `[0,1)` draw to a rank (exposed for testability).
     pub fn sample_from_uniform(&self, u: f64) -> usize {
-        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite")) {
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite"))
+        {
             Ok(i) => (i + 1).min(self.cdf.len() - 1),
             Err(i) => i.min(self.cdf.len() - 1),
         }

@@ -26,11 +26,13 @@ fn main() {
     let input = PartitionInput::new(preset.slo_search_ms / 1e3, 30.0, 256 << 30);
 
     // Initial deployment.
-    let initial =
-        run_update_cycle(&preset, &workload, &cost, &perf, &input, &gpu, 5000, 8, 1);
+    let initial = run_update_cycle(&preset, &workload, &cost, &perf, &input, &gpu, 5000, 8, 1);
     let expected_hit = initial.profile.mean_hit_rate(initial.decision.coverage);
-    println!("initial coverage: {:.1}%  expected mean hit rate: {:.2}",
-        100.0 * initial.decision.coverage, expected_hit);
+    println!(
+        "initial coverage: {:.1}%  expected mean hit rate: {:.2}",
+        100.0 * initial.decision.coverage,
+        expected_hit
+    );
 
     // The query distribution drifts: the hot region rotates half the ring.
     let drifted = workload.rotated(preset.nlist / 2);
@@ -56,28 +58,42 @@ fn main() {
         monitor.observe(hit_rate, met_slo);
     }
     println!("\nafter drift:");
-    println!("  windowed SLO attainment : {:.1}%", 100.0 * monitor.attainment());
-    println!("  observed mean hit rate  : {:.2} (expected {:.2})",
-        monitor.observed_mean_hit(), expected_hit);
+    println!(
+        "  windowed SLO attainment : {:.1}%",
+        100.0 * monitor.attainment()
+    );
+    println!(
+        "  observed mean hit rate  : {:.2} (expected {:.2})",
+        monitor.observed_mean_hit(),
+        expected_hit
+    );
     println!("  update triggered        : {}", monitor.should_update());
-    assert!(monitor.should_update(), "drift this severe must trigger an update");
+    assert!(
+        monitor.should_update(),
+        "drift this severe must trigger an update"
+    );
 
     // Run the update cycle against the drifted distribution.
-    let refreshed =
-        run_update_cycle(&preset, &drifted, &cost, &perf, &input, &gpu, 5000, 8, 2);
+    let refreshed = run_update_cycle(&preset, &drifted, &cost, &perf, &input, &gpu, 5000, 8, 2);
     let t = refreshed.timing;
     println!("\nupdate cycle stage timings (paper Fig. 9):");
     println!("  profiling : {:6.2}s", t.profiling);
     println!("  algorithm : {:6.3}s", t.algorithm);
     println!("  splitting : {:6.2}s", t.splitting);
     println!("  loading   : {:6.2}s", t.loading);
-    println!("  total     : {:6.2}s  (paper: under one minute)", t.total());
+    println!(
+        "  total     : {:6.2}s  (paper: under one minute)",
+        t.total()
+    );
 
     // The refreshed split chases the new hot region.
     let old_hot = initial.profile.hot_set(0.1);
     let new_hot = refreshed.profile.hot_set(0.1);
     let overlap = old_hot.iter().filter(|c| new_hot.contains(c)).count();
-    println!("\nhot-set overlap before/after update: {overlap}/{} clusters", old_hot.len());
+    println!(
+        "\nhot-set overlap before/after update: {overlap}/{} clusters",
+        old_hot.len()
+    );
     let new_expected = refreshed.profile.mean_hit_rate(refreshed.decision.coverage);
     println!("restored expected mean hit rate: {new_expected:.2}");
 }

@@ -35,13 +35,17 @@ fn main() {
     let llm_cost = LlmCostModel::new(model.clone(), gpu.clone(), tp);
     let param_gb = model.param_bytes() as f64 / 1e9;
     let workspace: u64 = 4 << 30;
-    let kv_full: u64 =
-        (gpu.mem_bytes - llm_cost.param_bytes_per_gpu() - workspace) * u64::from(tp);
+    let kv_full: u64 = (gpu.mem_bytes - llm_cost.param_bytes_per_gpu() - workspace) * u64::from(tp);
     let peak = throughput::measure_peak(&llm_cost, kv_full, 1024, 256, 64);
 
     let gib = |b: u64| b as f64 / (1u64 << 30) as f64;
-    let mut table =
-        Table::new(vec!["SLO (ms)", "Index (GB)", "Param (GB)", "KV Cache (GB)", "coverage"]);
+    let mut table = Table::new(vec![
+        "SLO (ms)",
+        "Index (GB)",
+        "Param (GB)",
+        "KV Cache (GB)",
+        "coverage",
+    ]);
     for slo_ms in [100.0, 150.0, 200.0, 250.0] {
         let input = PartitionInput::new(slo_ms / 1e3, peak.requests_per_sec, kv_full);
         let decision = partition(&input, &perf, &estimator, &profile);

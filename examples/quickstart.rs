@@ -18,14 +18,20 @@ fn main() {
     //    throughput measurement, Algorithm 1, index splitting.
     let system = RagSystem::build(config);
     println!("=== offline stage ===");
-    println!("cache coverage rho   : {:.1}%", 100.0 * system.decision.coverage);
+    println!(
+        "cache coverage rho   : {:.1}%",
+        100.0 * system.decision.coverage
+    );
     println!(
         "GPU-resident index   : {:.1} MiB across {} shards",
         system.decision.index_bytes as f64 / (1 << 20) as f64,
         system.router.split().n_shards()
     );
     println!("bare LLM throughput  : {:.1} req/s", system.mu_llm0);
-    println!("estimated throughput : {:.1} req/s (after KV reduction)", system.decision.mu_llm);
+    println!(
+        "estimated throughput : {:.1} req/s (after KV reduction)",
+        system.decision.mu_llm
+    );
     println!("expected batch size  : {}", system.decision.expected_batch);
     println!(
         "predicted search lat : {} (budget {})",
@@ -40,7 +46,10 @@ fn main() {
     println!("TTFT                 : {}", result.ttft.summary());
     println!("end-to-end           : {}", result.e2e.summary());
     println!("search (incl. queue) : {}", result.search_total.summary());
-    println!("mean search batch    : {:.1}", result.search_stats.mean_batch());
+    println!(
+        "mean search batch    : {:.1}",
+        result.search_stats.mean_batch()
+    );
     println!(
         "TTFT SLO attainment  : {:.1}% (target {})",
         100.0 * result.slo_attainment(system.slo_ttft()),

@@ -39,11 +39,8 @@ fn main() {
     ]);
 
     for kind in SystemKind::main_four() {
-        let config = RagConfig::paper_default(
-            kind,
-            DatasetPreset::orcas_1k(),
-            ModelSpec::qwen3_32b(),
-        );
+        let config =
+            RagConfig::paper_default(kind, DatasetPreset::orcas_1k(), ModelSpec::qwen3_32b());
         let system = RagSystem::build(config);
         let target = system.slo_ttft();
         for &rate in &rates {

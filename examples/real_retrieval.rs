@@ -14,6 +14,7 @@
 
 use vectorlite_rag::ann::{eval, FlatIndex, Metric};
 use vectorlite_rag::core::{RealConfig, RealDeployment};
+use vectorlite_rag::serve::hybrid_search_batch;
 use vectorlite_rag::workload::{CorpusConfig, SyntheticCorpus};
 
 fn main() {
@@ -26,7 +27,10 @@ fn main() {
         noise: 0.3,
         seed: 5,
     };
-    println!("generating corpus: {} vectors x {} dims ...", corpus_cfg.n_vectors, corpus_cfg.dim);
+    println!(
+        "generating corpus: {} vectors x {} dims ...",
+        corpus_cfg.n_vectors, corpus_cfg.dim
+    );
     let corpus = SyntheticCorpus::generate(&corpus_cfg);
 
     let mut config = RealConfig::small();
@@ -37,9 +41,18 @@ fn main() {
     let deployment = RealDeployment::build(&corpus, config).expect("deployment builds");
 
     println!("\n=== measured profile ===");
-    println!("top-20% access share : {:.2}", deployment.profile.mean_hit_rate(0.2));
-    println!("fitted sigma^2_max   : {:.4}", deployment.estimator.sigma2_max());
-    println!("coverage decision    : {:.1}%", 100.0 * deployment.decision.coverage);
+    println!(
+        "top-20% access share : {:.2}",
+        deployment.profile.mean_hit_rate(0.2)
+    );
+    println!(
+        "fitted sigma^2_max   : {:.4}",
+        deployment.estimator.sigma2_max()
+    );
+    println!(
+        "coverage decision    : {:.1}%",
+        100.0 * deployment.decision.coverage
+    );
     println!(
         "GPU-resident bytes   : {:.1} MiB of {:.1} MiB",
         deployment.decision.index_bytes as f64 / (1 << 20) as f64,
@@ -48,7 +61,7 @@ fn main() {
 
     // Serve a batch through the threaded dispatcher.
     let queries = corpus.queries(16, 99);
-    let outcome = deployment.hybrid_search_batch(&queries);
+    let outcome = hybrid_search_batch(&deployment, &queries);
     println!("\n=== hybrid batch of 16 queries ===");
     println!("completion order: {:?}", outcome.completion_order);
 
@@ -58,7 +71,10 @@ fn main() {
     let mut ndcg_sum = 0.0;
     for (qi, q) in queries.iter().enumerate() {
         let plain = deployment.search_flat_path(q);
-        assert_eq!(outcome.results[qi], plain, "hybrid diverged from single-path scan");
+        assert_eq!(
+            outcome.results[qi], plain,
+            "hybrid diverged from single-path scan"
+        );
         let truth = flat.search(q, 10);
         recall_sum += eval::recall_at_k(&truth, &outcome.results[qi], 10);
         ndcg_sum += eval::ndcg_at_k(&truth, &outcome.results[qi], 10);

@@ -2,7 +2,12 @@
 
 use vectorlite_rag::core::{PipelineConfig, RagConfig, RagPipeline, RagSystem, SystemKind};
 
-fn run(kind: SystemKind, rate: f64, n: usize, seed: u64) -> (RagSystem, vectorlite_rag::core::RunResult) {
+fn run(
+    kind: SystemKind,
+    rate: f64,
+    n: usize,
+    seed: u64,
+) -> (RagSystem, vectorlite_rag::core::RunResult) {
     let system = RagSystem::build(RagConfig::tiny(kind));
     let result = RagPipeline::new(&system).run(&PipelineConfig::new(rate, n, seed));
     (system, result)

@@ -3,6 +3,7 @@
 
 use vectorlite_rag::ann::{eval, FlatIndex, IvfConfig, ListStorage, Metric};
 use vectorlite_rag::core::{RealConfig, RealDeployment};
+use vectorlite_rag::serve::hybrid_search_batch;
 use vectorlite_rag::workload::{CorpusConfig, SyntheticCorpus};
 
 fn corpus() -> SyntheticCorpus {
@@ -26,12 +27,15 @@ fn real_deployment_full_stack() {
 
     // Offline stage invariants on measured (not modeled) statistics.
     assert!((0.0..=1.0).contains(&deployment.decision.coverage));
-    assert!(deployment.profile.mean_hit_rate(0.2) > 0.2, "measured skew present");
+    assert!(
+        deployment.profile.mean_hit_rate(0.2) > 0.2,
+        "measured skew present"
+    );
     assert!(deployment.estimator.sigma2_max() > 0.0);
 
     // Hybrid serving equals the single-path scan exactly.
     let queries = corpus.queries(10, 33);
-    let outcome = deployment.hybrid_search_batch(&queries);
+    let outcome = hybrid_search_batch(&deployment, &queries);
     for (qi, q) in queries.iter().enumerate() {
         assert_eq!(outcome.results[qi], deployment.search_flat_path(q));
     }
