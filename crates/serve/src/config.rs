@@ -32,17 +32,42 @@ impl Default for ControlConfig {
     }
 }
 
+/// One tenant (SLO class) of the serving runtime.
+///
+/// Tenants are identified by their index in [`ServeConfig::tenants`]
+/// ([`TenantId(i)`](crate::TenantId)). Each tenant owns a bounded admission
+/// queue sized by `queue_capacity` — overload by one tenant fills *its*
+/// queue and rejects *its* submissions, never a victim's — and the batcher
+/// drains the per-tenant queues by smooth weighted round-robin on `weight`,
+/// so a backlogged tenant gets at most `weight / Σ weights` of each dynamic
+/// batch while other tenants have queued work.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    /// Weighted-fair share of each batch relative to other tenants.
+    pub weight: u32,
+    /// Bounded queue capacity; submissions beyond it are rejected.
+    pub queue_capacity: usize,
+    /// Search-stage SLO target in seconds for this tenant's attainment
+    /// accounting (per-tenant rows of the report).
+    pub slo_search: f64,
+}
+
 /// Configuration of a [`RagServer`](crate::RagServer).
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Offline-stage configuration (index, probes, SLO, shard count).
     pub real: RealConfig,
-    /// Admission-queue capacity; submissions beyond it are rejected.
+    /// Admission-queue capacity for the implicit single tenant when
+    /// [`ServeConfig::tenants`] is empty; ignored otherwise.
     pub queue_capacity: usize,
     /// Largest batch one launch may absorb.
     pub max_batch: usize,
     /// Control-loop configuration.
     pub control: ControlConfig,
+    /// The tenant table. Empty means one implicit tenant with
+    /// [`ServeConfig::queue_capacity`] and the global search SLO — the
+    /// single-tenant configuration older callers expect.
+    pub tenants: Vec<TenantSpec>,
 }
 
 impl ServeConfig {
@@ -53,6 +78,37 @@ impl ServeConfig {
             queue_capacity: 4096,
             max_batch: 64,
             control: ControlConfig::default(),
+            tenants: Vec::new(),
         }
+    }
+
+    /// The tenant table actually served: the configured tenants, or the
+    /// implicit single tenant when none are configured.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any configured tenant has a zero weight or capacity —
+    /// a zero-weight tenant would starve by construction and a zero-capacity
+    /// queue rejects everything, both always config bugs.
+    pub fn effective_tenants(&self) -> Vec<TenantSpec> {
+        if self.tenants.is_empty() {
+            return vec![TenantSpec {
+                weight: 1,
+                queue_capacity: self.queue_capacity,
+                slo_search: self.real.slo_search,
+            }];
+        }
+        for (i, spec) in self.tenants.iter().enumerate() {
+            assert!(spec.weight > 0, "tenant {i} has zero weight");
+            assert!(
+                spec.queue_capacity > 0,
+                "tenant {i} has zero queue capacity"
+            );
+            assert!(
+                spec.slo_search.is_finite() && spec.slo_search > 0.0,
+                "tenant {i} SLO must be positive and finite"
+            );
+        }
+        self.tenants.clone()
     }
 }

@@ -21,11 +21,15 @@ use vlite_core::{
 };
 
 use crate::config::ControlConfig;
+use crate::request::TenantId;
 use crate::server::Shared;
 
 /// One completed request, as seen by the control loop.
 #[derive(Debug)]
 pub(crate) struct Observation {
+    /// The tenant that submitted the request (repartition events report
+    /// which tenants' traffic drove the trigger).
+    pub tenant: TenantId,
     /// Cache hit rate under the serving placement.
     pub hit_rate: f64,
     /// Whether the search stage met its latency SLO.
@@ -41,6 +45,10 @@ pub struct RepartitionEvent {
     pub generation: u64,
     /// Completed requests observed when the trigger fired.
     pub at_request: u64,
+    /// Per-tenant observation counts since the previous repartition —
+    /// whose traffic the triggering window (and re-profiling sample) was
+    /// made of.
+    pub observed_by_tenant: Vec<u64>,
     /// Cache coverage ρ before the swap.
     pub old_coverage: f64,
     /// Cache coverage ρ after the swap.
@@ -49,7 +57,8 @@ pub struct RepartitionEvent {
     /// the hot set genuinely moved).
     pub hot_overlap: f64,
     /// Requests waiting in the admission queue at the moment of the swap —
-    /// recorded to show the queue is never drained for an update.
+    /// sampled immediately before `install_placement`, after the rebuild
+    /// stages — recorded to show the queue is never drained for an update.
     pub queue_depth_at_swap: usize,
     /// Wall-clock duration of re-profile → Algorithm 1 → re-split → swap.
     pub duration: Duration,
@@ -73,6 +82,8 @@ pub(crate) struct ControlLoop {
     /// Ring of recent probe sets, the online calibration sample.
     ring: VecDeque<Vec<u32>>,
     observed: u64,
+    /// Observations per tenant since the last repartition.
+    observed_by_tenant: Vec<u64>,
     last_repartition: u64,
 }
 
@@ -89,6 +100,7 @@ impl ControlLoop {
         bytes: Vec<u64>,
     ) -> Self {
         let monitor = DriftMonitor::new(config.update, expected_mean_hit);
+        let n_tenants = shared.tenants.len();
         Self {
             shared,
             config,
@@ -101,6 +113,7 @@ impl ControlLoop {
             bytes,
             ring: VecDeque::new(),
             observed: 0,
+            observed_by_tenant: vec![0; n_tenants],
             last_repartition: 0,
         }
     }
@@ -112,8 +125,9 @@ impl ControlLoop {
         }
     }
 
-    fn observe(&mut self, obs: Observation) {
+    pub(crate) fn observe(&mut self, obs: Observation) {
         self.observed += 1;
+        self.observed_by_tenant[obs.tenant.index()] += 1;
         self.monitor.observe(obs.hit_rate, obs.met_slo);
         if self.ring.len() == self.config.profile_window.max(1) {
             self.ring.pop_front();
@@ -122,17 +136,28 @@ impl ControlLoop {
 
         if self.should_repartition() {
             self.repartition();
-        } else if self.monitor.window_full() {
+        } else if self.monitor.window_full() && !self.in_cooldown() {
             // Periodic counter reset, keeping the current expectation.
+            // Skipped during cooldown: a drift window accumulated while
+            // repartitioning is forbidden must survive until the cooldown
+            // expires, so genuine drift triggers promptly instead of
+            // re-accumulating a whole window from scratch.
             self.monitor.reset(None);
         }
+    }
+
+    /// Whether the post-repartition cooldown is still in effect (also
+    /// covers start-up: the initial profile deserves the same settling
+    /// period as a fresh swap).
+    fn in_cooldown(&self) -> bool {
+        self.observed - self.last_repartition < self.config.cooldown_requests as u64
     }
 
     /// The paper's dual trigger, with an optional relaxation to
     /// hit-rate-divergence-only for hardware where the latency side is
     /// noise (see [`ControlConfig::require_slo_breach`]).
     fn should_repartition(&self) -> bool {
-        if self.observed - self.last_repartition < self.config.cooldown_requests as u64 {
+        if self.in_cooldown() {
             return false;
         }
         if self.config.require_slo_breach {
@@ -149,7 +174,6 @@ impl ControlLoop {
     /// admission queue.
     fn repartition(&mut self) {
         let started = Instant::now();
-        let queue_depth_at_swap = self.shared.queue.depth();
 
         // Stage 1: re-profile from the observed probe ring.
         let mut counts = vec![0u64; self.sizes.len()];
@@ -189,12 +213,20 @@ impl ControlLoop {
 
         // Stage 4: hot-swap. Queries already routed keep their (global-id)
         // probe lists; the next batch snapshot sees the new placement, with
-        // router and generation advancing under one lock.
+        // router and generation advancing under one lock. The queue depth
+        // is sampled here — immediately before the swap, after the rebuild
+        // stages above — so the event reports the backlog *at the moment of
+        // the swap*, not at trigger time.
+        let queue_depth_at_swap = self.shared.queue.depth();
         let generation = self.shared.install_placement(new_router);
 
         self.shared.record_repartition(RepartitionEvent {
             generation,
             at_request: self.observed,
+            observed_by_tenant: std::mem::replace(
+                &mut self.observed_by_tenant,
+                vec![0; self.shared.tenants.len()],
+            ),
             old_coverage,
             new_coverage,
             hot_overlap,
@@ -204,5 +236,178 @@ impl ControlLoop {
         self.monitor.reset(Some(expected_mean_hit));
         self.expected_mean_hit = expected_mean_hit;
         self.last_repartition = self.observed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ServeConfig, TenantSpec};
+    use crate::queue::AdmissionQueue;
+    use crate::request::Job;
+    use crate::server::{PlacementState, ServeMetrics, Shared};
+    use std::sync::atomic::AtomicU64;
+    use std::sync::{Mutex, RwLock};
+    use vlite_core::{RealConfig, RealDeployment, UpdateConfig};
+    use vlite_workload::{CorpusConfig, SyntheticCorpus};
+
+    /// Builds a minimal `Shared` + `ControlLoop` over a tiny real
+    /// deployment, so `observe`/`repartition` can be driven synchronously
+    /// without spawning the runtime threads.
+    fn harness(cooldown: usize, window: usize) -> (Arc<Shared>, ControlLoop, Vec<Vec<u32>>) {
+        let corpus = SyntheticCorpus::generate(&CorpusConfig {
+            n_vectors: 2_000,
+            dim: 8,
+            n_centers: 16,
+            zipf_exponent: 1.1,
+            noise: 0.25,
+            seed: 21,
+        });
+        let mut real = RealConfig::small();
+        real.ivf = vlite_ann::IvfConfig::new(32);
+        real.n_shards = 2;
+        real.coverage_override = Some(0.3);
+        let deployment = RealDeployment::build(&corpus, real.clone()).expect("builds");
+        let RealDeployment {
+            index,
+            profile,
+            perf,
+            router,
+            ..
+        } = deployment;
+        let probe_sets: Vec<Vec<u32>> = profile.probe_sets().to_vec();
+        let sizes: Vec<u64> = (0..profile.nlist() as u32)
+            .map(|c| profile.size(c))
+            .collect();
+        let bytes: Vec<u64> = (0..profile.nlist() as u32)
+            .map(|c| profile.bytes_of(c))
+            .collect();
+        let tenants = vec![TenantSpec {
+            weight: 1,
+            queue_capacity: 64,
+            slo_search: real.slo_search,
+        }];
+        let shared = Arc::new(Shared {
+            index,
+            placement: RwLock::new(PlacementState {
+                router: Arc::new(router),
+                generation: 0,
+            }),
+            queue: AdmissionQueue::new(&tenants),
+            metrics: Mutex::new(ServeMetrics::new(real.slo_search, &tenants)),
+            worker_panics: AtomicU64::new(0),
+            tenants,
+            repartitions: Mutex::new(Vec::new()),
+            nprobe: real.nprobe,
+            top_k: real.top_k,
+            n_shards: 2,
+            slo_search: real.slo_search,
+        });
+        let mut config = ServeConfig::small().control;
+        config.update = UpdateConfig {
+            slo_attainment_threshold: 0.9,
+            hit_rate_divergence: 0.1,
+            window_requests: window,
+        };
+        config.cooldown_requests = cooldown;
+        config.profile_window = 512;
+        config.require_slo_breach = true;
+        let input = PartitionInput::new(real.slo_search, real.mu_llm0, real.kv_bytes_full);
+        let control = ControlLoop::new(
+            shared.clone(),
+            config,
+            // Expectation far above the drifted observations fed by the
+            // tests, so divergence is unambiguous.
+            0.9,
+            input,
+            perf,
+            Some(0.3),
+            sizes,
+            bytes,
+        );
+        (shared, control, probe_sets)
+    }
+
+    fn drifted(probe_sets: &[Vec<u32>], i: usize) -> Observation {
+        Observation {
+            tenant: TenantId(0),
+            hit_rate: 0.0,
+            met_slo: false,
+            probes: probe_sets[i % probe_sets.len()].clone(),
+        }
+    }
+
+    #[test]
+    fn drift_during_cooldown_triggers_promptly_after_cooldown_expires() {
+        // Window 80 < cooldown 440, and 440 is not a multiple of 80: under
+        // the old behavior the periodic reset at request 400 wiped a full
+        // drift window accumulated during cooldown, so the trigger could
+        // not fire before request 480. With the reset skipped during
+        // cooldown, the already-full window fires the moment the cooldown
+        // expires, at request 440 exactly.
+        let (shared, mut control, probe_sets) = harness(440, 80);
+        for i in 0..600 {
+            control.observe(drifted(&probe_sets, i));
+        }
+        let events = shared.repartitions.lock().unwrap();
+        assert!(!events.is_empty(), "drift must trigger a repartition");
+        assert_eq!(
+            events[0].at_request, 440,
+            "repartition must fire the moment cooldown expires, not after \
+             re-accumulating a window (old behavior: request 480)"
+        );
+    }
+
+    #[test]
+    fn periodic_reset_still_runs_outside_cooldown() {
+        // Healthy traffic (matching the expectation) with a short cooldown:
+        // the monitor's window must keep being reset once cooldown is over,
+        // never growing without bound.
+        let (shared, mut control, probe_sets) = harness(50, 80);
+        for i in 0..500 {
+            control.observe(Observation {
+                tenant: TenantId(0),
+                hit_rate: 0.9,
+                met_slo: true,
+                probes: probe_sets[i % probe_sets.len()].clone(),
+            });
+        }
+        assert!(shared.repartitions.lock().unwrap().is_empty());
+        assert!(
+            control.monitor.window_len() <= 80,
+            "window {} never reset",
+            control.monitor.window_len()
+        );
+    }
+
+    #[test]
+    fn queue_depth_at_swap_reports_the_backlog_at_swap_time() {
+        let (shared, mut control, probe_sets) = harness(100, 80);
+        for i in 0..99 {
+            control.observe(drifted(&probe_sets, i));
+        }
+        // Backlog present when the 100th observation trips the trigger.
+        for id in 0..7 {
+            let (reply, _rx) = crossbeam::channel::unbounded();
+            shared
+                .queue
+                .try_push(Job {
+                    id,
+                    tenant: TenantId(0),
+                    query: vec![0.0; 8],
+                    enqueued: std::time::Instant::now(),
+                    reply,
+                })
+                .expect("admitted");
+        }
+        control.observe(drifted(&probe_sets, 99));
+        let events = shared.repartitions.lock().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].queue_depth_at_swap, 7);
+        assert_eq!(events[0].at_request, 100);
+        // The triggering traffic is attributed to its tenant, and the
+        // counter restarts for the next event.
+        assert_eq!(events[0].observed_by_tenant, vec![100]);
+        assert_eq!(control.observed_by_tenant, vec![0]);
     }
 }

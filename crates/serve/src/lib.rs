@@ -7,10 +7,11 @@
 //!
 //! ```text
 //!                 ┌────────────────────────────────────────────────┐
-//!  submit() ──▶   │ bounded admission queue (reject when full)     │
+//!  submit_for() ─▶│ per-tenant bounded queues (reject the          │
+//!                 │ over-quota tenant, never a victim)             │
 //!                 └────────────┬───────────────────────────────────┘
-//!                              ▼  on-demand batching: launch when idle,
-//!                 ┌────────────────────────┐ absorb everything queued
+//!                              ▼  weighted-fair drain (smooth WRR) +
+//!                 ┌────────────────────────┐ on-demand batching
 //!                 │ batcher: CQ + routing  │◀──── Router snapshot (RwLock)
 //!                 └──┬─────────────┬───────┘
 //!          pruned    ▼             ▼  cold probes
@@ -32,15 +33,17 @@
 //! ```
 //!
 //! - [`RagServer`] — owns the partitioned index and all runtime threads.
-//! - [`ServeConfig`] / [`ControlConfig`] — queueing, batching and online
-//!   repartitioning knobs.
+//! - [`ServeConfig`] / [`ControlConfig`] / [`TenantSpec`] — queueing,
+//!   batching, online repartitioning, and per-tenant (weight, quota, SLO)
+//!   knobs; [`TenantId`] names a tenant throughout the pipeline.
 //! - [`run_dispatcher`] / [`hybrid_search_batch`] — the one-shot batch
 //!   dispatcher (moved here from `vlite-core`'s prototype in `real.rs`),
 //!   reused by the persistent runtime.
 //! - [`loadgen`] — open-loop Poisson load generation with a rotating-hot-set
-//!   query source for drift experiments.
+//!   query source for drift experiments, single- and multi-tenant.
 //! - [`ServeReport`] — percentile latencies, SLO attainment, admission and
-//!   repartition accounting for benches and figures.
+//!   repartition accounting for benches and figures, with a per-tenant
+//!   breakdown ([`TenantReport`]).
 //!
 //! # Examples
 //!
@@ -76,9 +79,9 @@ mod report;
 mod request;
 mod server;
 
-pub use config::{ControlConfig, ServeConfig};
+pub use config::{ControlConfig, ServeConfig, TenantSpec};
 pub use control::RepartitionEvent;
 pub use dispatch::{hybrid_search_batch, run_dispatcher, DispatchOutcome};
-pub use report::ServeReport;
-pub use request::{AdmissionError, RequestTimings, SearchResponse, Ticket};
+pub use report::{ServeReport, TenantReport};
+pub use request::{AdmissionError, RequestTimings, SearchResponse, TenantId, Ticket};
 pub use server::RagServer;

@@ -1,11 +1,19 @@
 //! Open-loop load generation against a [`RagServer`].
 //!
-//! The generator submits on a wall-clock Poisson schedule regardless of
+//! The generators submit on a wall-clock Poisson schedule regardless of
 //! completions (open loop): under overload the admission queue fills and
 //! requests are *rejected*, not silently delayed — the regime the paper's
 //! SLO-attainment figures probe. [`RotatingQuerySource`] draws queries from
 //! a corpus's topic mixture and can rotate the Zipf hot set mid-run, the
 //! drift scenario of §IV-B3.
+//!
+//! Two drivers:
+//! - [`run_open_loop`] — single-tenant (tenant 0), one Poisson rate;
+//! - [`run_open_loop_tenants`] — multi-tenant: each tenant brings its own
+//!   Zipf query source and a piecewise-constant rate schedule
+//!   ([`LoadPhase`]), so one tenant can flood mid-run while another stays
+//!   steady. Per-tenant arrival processes are independent Poisson streams
+//!   merged on the wall clock.
 
 use std::time::{Duration, Instant};
 
@@ -15,7 +23,7 @@ use rand::{Rng, SeedableRng};
 use vlite_ann::VecSet;
 use vlite_workload::{gaussian, SyntheticCorpus, ZipfSampler};
 
-use crate::request::{SearchResponse, Ticket};
+use crate::request::{AdmissionError, SearchResponse, TenantId, Ticket};
 use crate::server::RagServer;
 
 /// Draws queries near a corpus's topic centers with Zipf-distributed topic
@@ -106,10 +114,10 @@ impl OpenLoopResult {
     }
 }
 
-/// Submits `n` requests at Poisson `rate` (requests/second), calling
-/// `before_submit(i, source)` ahead of each draw — the hook where drift
-/// experiments rotate the hot set mid-run — then waits for all admitted
-/// requests to complete.
+/// Submits `n` requests at Poisson `rate` (requests/second) as tenant 0,
+/// calling `before_submit(i, source)` ahead of each draw — the hook where
+/// drift experiments rotate the hot set mid-run — then waits for all
+/// admitted requests to complete.
 ///
 /// # Panics
 ///
@@ -161,6 +169,136 @@ pub fn run_open_loop(
         submitted: n,
         rejected,
         responses,
+        offered_for,
+        served_for: started.elapsed(),
+    }
+}
+
+/// One segment of a tenant's piecewise-constant offered load: `n` requests
+/// at Poisson `rate` (requests/second).
+#[derive(Debug, Clone, Copy)]
+pub struct LoadPhase {
+    /// Offered Poisson arrival rate in requests/second.
+    pub rate: f64,
+    /// Number of requests in this phase.
+    pub n: usize,
+}
+
+/// One tenant's offered load for a multi-tenant open-loop run.
+#[derive(Debug)]
+pub struct TenantLoad {
+    /// The tenant to submit as.
+    pub tenant: TenantId,
+    /// This tenant's query distribution.
+    pub source: RotatingQuerySource,
+    /// Phases played back to back; a mid-run flood is a phase with a much
+    /// higher rate.
+    pub phases: Vec<LoadPhase>,
+}
+
+/// One tenant's slice of a [`MultiTenantResult`].
+#[derive(Debug)]
+pub struct TenantLoopResult {
+    /// The tenant this slice describes.
+    pub tenant: TenantId,
+    /// Requests this tenant attempted to submit.
+    pub submitted: usize,
+    /// Requests rejected against this tenant's quota.
+    pub rejected: usize,
+    /// This tenant's completed responses, in submission order.
+    pub responses: Vec<SearchResponse>,
+}
+
+/// Outcome of one multi-tenant open-loop run.
+#[derive(Debug)]
+pub struct MultiTenantResult {
+    /// Per-tenant outcomes, in the order the loads were given.
+    pub tenants: Vec<TenantLoopResult>,
+    /// Wall-clock duration of the submission phase (all tenants).
+    pub offered_for: Duration,
+    /// Wall-clock duration until the last admitted request completed.
+    pub served_for: Duration,
+}
+
+/// Drives several tenants' open-loop Poisson streams against one server.
+///
+/// Each tenant's arrival times are drawn independently from its phase
+/// schedule, then every arrival is merged onto one wall clock and submitted
+/// in timestamp order via [`RagServer::submit_for`]. Rejections charge the
+/// submitting tenant only. After the last submission the driver waits for
+/// every admitted request to complete.
+///
+/// # Panics
+///
+/// Panics if no load has any requests, or any phase rate is not finite and
+/// positive.
+pub fn run_open_loop_tenants(
+    server: &RagServer,
+    loads: &mut [TenantLoad],
+    seed: u64,
+) -> MultiTenantResult {
+    // Precompute per-tenant Poisson arrival offsets (seconds from start).
+    let mut arrivals: Vec<(f64, usize)> = Vec::new();
+    for (li, load) in loads.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(seed ^ (0x7e2a_177e + load.tenant.0 as u64 * 0x9e37));
+        let mut t = 0.0f64;
+        for phase in &load.phases {
+            assert!(
+                phase.rate.is_finite() && phase.rate > 0.0,
+                "rate must be positive, got {}",
+                phase.rate
+            );
+            for _ in 0..phase.n {
+                let u: f64 = rng.random();
+                t += -(1.0 - u).ln() / phase.rate;
+                arrivals.push((t, li));
+            }
+        }
+    }
+    assert!(!arrivals.is_empty(), "need at least one request");
+    arrivals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("arrival times are finite"));
+
+    let mut outcomes: Vec<TenantLoopResult> = loads
+        .iter()
+        .map(|load| TenantLoopResult {
+            tenant: load.tenant,
+            submitted: 0,
+            rejected: 0,
+            responses: Vec::new(),
+        })
+        .collect();
+    let mut tickets: Vec<Vec<Ticket>> = loads.iter().map(|_| Vec::new()).collect();
+
+    let started = Instant::now();
+    for (at, li) in arrivals {
+        let target = started + Duration::from_secs_f64(at);
+        let now = Instant::now();
+        if target > now {
+            std::thread::sleep(target - now);
+        }
+        let load = &mut loads[li];
+        let query = load.source.next_query();
+        outcomes[li].submitted += 1;
+        match server.submit_for(load.tenant, query) {
+            Ok(ticket) => tickets[li].push(ticket),
+            // Only quota rejections are part of the overload experiment;
+            // anything else (unknown tenant, shutdown mid-run) is driver
+            // misuse and must not masquerade as shedding.
+            Err(AdmissionError::QueueFull { .. }) => outcomes[li].rejected += 1,
+            Err(err) => panic!("open-loop submission failed: {err}"),
+        }
+    }
+    let offered_for = started.elapsed();
+
+    for (li, tenant_tickets) in tickets.into_iter().enumerate() {
+        for ticket in tenant_tickets {
+            if let Some(response) = ticket.wait() {
+                outcomes[li].responses.push(response);
+            }
+        }
+    }
+    MultiTenantResult {
+        tenants: outcomes,
         offered_for,
         served_for: started.elapsed(),
     }

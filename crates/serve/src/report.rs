@@ -1,23 +1,32 @@
 //! Aggregate serving report: the real-tier analogue of the simulator's
 //! `RunResult`, feeding the same figure harnesses (latency variance, SLO
-//! attainment, dispatcher behaviour).
+//! attainment, dispatcher behaviour), with a per-tenant breakdown for
+//! multi-tenant runs.
 
 use vlite_metrics::{fmt_seconds, Summary, Table};
 
+use crate::config::TenantSpec;
 use crate::control::RepartitionEvent;
 use crate::queue::QueueStats;
+use crate::request::TenantId;
 use crate::server::ServeMetrics;
 
-/// Snapshot of everything a serving run measured.
+/// One tenant's slice of a serving run.
 #[derive(Debug, Clone)]
-pub struct ServeReport {
-    /// Requests admitted into the queue.
+pub struct TenantReport {
+    /// The tenant this row describes.
+    pub tenant: TenantId,
+    /// Configured weighted-fair share.
+    pub weight: u32,
+    /// Configured bounded queue capacity.
+    pub queue_capacity: usize,
+    /// Requests admitted into this tenant's queue.
     pub admitted: u64,
-    /// Requests rejected by admission control.
+    /// Requests rejected against this tenant's quota.
     pub rejected: u64,
-    /// Requests fully served (merged + delivered).
+    /// Requests fully served for this tenant.
     pub completed: u64,
-    /// Deepest queue backlog observed.
+    /// Deepest backlog this tenant's queue reached.
     pub peak_queue_depth: usize,
     /// Queueing delay (admission → batch launch).
     pub queue: Summary,
@@ -25,9 +34,34 @@ pub struct ServeReport {
     pub search: Summary,
     /// End-to-end latency (admission → merged top-k).
     pub e2e: Summary,
-    /// The search-stage SLO target in seconds.
+    /// This tenant's search-stage SLO target in seconds.
     pub slo_target: f64,
-    /// Fraction of requests whose search stage met the SLO.
+    /// Fraction of this tenant's requests whose search stage met its SLO.
+    pub slo_attainment: f64,
+    /// Mean cache hit rate across this tenant's served requests.
+    pub mean_hit_rate: f64,
+}
+
+/// Snapshot of everything a serving run measured.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Requests admitted into the queue (all tenants).
+    pub admitted: u64,
+    /// Requests rejected by admission control (all tenants).
+    pub rejected: u64,
+    /// Requests fully served (merged + delivered).
+    pub completed: u64,
+    /// Deepest total queue backlog observed (summed over tenants).
+    pub peak_queue_depth: usize,
+    /// Queueing delay (admission → batch launch).
+    pub queue: Summary,
+    /// Search execution (batch launch → merged top-k).
+    pub search: Summary,
+    /// End-to-end latency (admission → merged top-k).
+    pub e2e: Summary,
+    /// The global search-stage SLO target in seconds.
+    pub slo_target: f64,
+    /// Fraction of requests whose search stage met the global SLO.
     pub slo_attainment: f64,
     /// Batches launched.
     pub batches: u64,
@@ -37,6 +71,8 @@ pub struct ServeReport {
     pub max_batch: usize,
     /// Mean cache hit rate across served requests.
     pub mean_hit_rate: f64,
+    /// Per-tenant breakdown, indexed by [`TenantId`].
+    pub tenants: Vec<TenantReport>,
     /// Online repartitions performed by the control loop, in order.
     pub repartitions: Vec<RepartitionEvent>,
     /// Placement generation at snapshot time.
@@ -50,6 +86,7 @@ impl ServeReport {
     pub(crate) fn assemble(
         metrics: &ServeMetrics,
         queue_stats: QueueStats,
+        specs: &[TenantSpec],
         repartitions: Vec<RepartitionEvent>,
         slo_target: f64,
         generation: u64,
@@ -59,6 +96,33 @@ impl ServeReport {
         let mut search_lat = metrics.search_lat.clone();
         let mut e2e_lat = metrics.e2e_lat.clone();
         let completed = metrics.completed;
+        let tenants = specs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let m = &metrics.tenants[i];
+                let q = &queue_stats.tenants[i];
+                TenantReport {
+                    tenant: TenantId(i as u16),
+                    weight: spec.weight,
+                    queue_capacity: spec.queue_capacity,
+                    admitted: q.admitted,
+                    rejected: q.rejected,
+                    completed: m.completed,
+                    peak_queue_depth: q.peak_depth,
+                    queue: m.queue_lat.clone().summary(),
+                    search: m.search_lat.clone().summary(),
+                    e2e: m.e2e_lat.clone().summary(),
+                    slo_target: spec.slo_search,
+                    slo_attainment: m.slo.attainment(),
+                    mean_hit_rate: if m.completed == 0 {
+                        0.0
+                    } else {
+                        m.hit_sum / m.completed as f64
+                    },
+                }
+            })
+            .collect();
         ServeReport {
             admitted: queue_stats.admitted,
             rejected: queue_stats.rejected,
@@ -81,6 +145,7 @@ impl ServeReport {
             } else {
                 metrics.hit_sum / completed as f64
             },
+            tenants,
             repartitions,
             generation,
             worker_panics,
@@ -128,21 +193,35 @@ impl ServeReport {
         }
         out.push_str(&latencies.render());
 
+        if self.tenants.len() > 1 {
+            out.push('\n');
+            out.push_str("per-tenant (weighted-fair admission and draining):\n");
+            out.push_str(&self.tenant_table().render());
+        }
+
         if self.repartitions.is_empty() {
             out.push_str("\nonline repartitions: none\n");
         } else {
             let mut events = Table::new(vec![
                 "gen",
                 "at request",
+                "obs by tenant",
                 "coverage",
                 "hot overlap",
                 "queue@swap",
                 "rebuild",
             ]);
             for e in &self.repartitions {
+                let by_tenant = e
+                    .observed_by_tenant
+                    .iter()
+                    .map(u64::to_string)
+                    .collect::<Vec<_>>()
+                    .join("/");
                 events.row(vec![
                     e.generation.to_string(),
                     e.at_request.to_string(),
+                    by_tenant,
                     format!(
                         "{:.1}% -> {:.1}%",
                         100.0 * e.old_coverage,
@@ -160,7 +239,44 @@ impl ServeReport {
         out
     }
 
+    /// The per-tenant breakdown as an aligned table (one row per tenant).
+    pub fn tenant_table(&self) -> Table {
+        let mut table = Table::new(vec![
+            "tenant",
+            "weight",
+            "admitted",
+            "rejected",
+            "completed",
+            "queue p99",
+            "search p50",
+            "search p99",
+            "e2e p99",
+            "SLO",
+            "attainment",
+            "hit rate",
+        ]);
+        for t in &self.tenants {
+            table.row(vec![
+                t.tenant.to_string(),
+                t.weight.to_string(),
+                t.admitted.to_string(),
+                t.rejected.to_string(),
+                t.completed.to_string(),
+                fmt_seconds(t.queue.p99),
+                fmt_seconds(t.search.p50),
+                fmt_seconds(t.search.p99),
+                fmt_seconds(t.e2e.p99),
+                fmt_seconds(t.slo_target),
+                format!("{:.1}%", 100.0 * t.slo_attainment),
+                format!("{:.3}", t.mean_hit_rate),
+            ]);
+        }
+        table
+    }
+
     /// The report's latency rows as CSV (stage, p50, p95, p99, mean, max).
+    /// The per-tenant breakdown is a differently-shaped table and gets its
+    /// own file: see [`ServeReport::tenants_to_csv`].
     pub fn to_csv(&self) -> String {
         let mut out = String::from("stage,p50,p95,p99,mean,max\n");
         for (stage, s) in [
@@ -171,6 +287,32 @@ impl ServeReport {
             out.push_str(&format!(
                 "{stage},{:.6},{:.6},{:.6},{:.6},{:.6}\n",
                 s.p50, s.p95, s.p99, s.mean, s.max
+            ));
+        }
+        out
+    }
+
+    /// The per-tenant breakdown as CSV, one row per tenant.
+    pub fn tenants_to_csv(&self) -> String {
+        let mut out = String::from(
+            "tenant,weight,admitted,rejected,completed,queue_p99,search_p50,search_p99,\
+             e2e_p99,slo,attainment,hit_rate\n",
+        );
+        for t in &self.tenants {
+            out.push_str(&format!(
+                "{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.4},{:.4}\n",
+                t.tenant.0,
+                t.weight,
+                t.admitted,
+                t.rejected,
+                t.completed,
+                t.queue.p99,
+                t.search.p50,
+                t.search.p99,
+                t.e2e.p99,
+                t.slo_target,
+                t.slo_attainment,
+                t.mean_hit_rate
             ));
         }
         out

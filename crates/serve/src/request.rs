@@ -6,13 +6,46 @@ use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 
 use vlite_ann::Neighbor;
 
+/// Identifies one tenant (SLO class) of the serving runtime.
+///
+/// The id is an index into [`ServeConfig::tenants`](crate::ServeConfig):
+/// tenant 0 always exists (single-tenant configs get one implicit tenant),
+/// so [`RagServer::submit`](crate::RagServer::submit) without a tenant is
+/// shorthand for submitting as tenant 0.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(pub u16);
+
+impl TenantId {
+    /// The tenant's index into the configured tenant table.
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+}
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tenant-{}", self.0)
+    }
+}
+
 /// Why a submission was not admitted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AdmissionError {
-    /// The bounded admission queue is at capacity (open-loop overload).
+    /// The submitting tenant's bounded queue is at capacity (open-loop
+    /// overload). Rejection charges the over-quota tenant only: no other
+    /// tenant's queued work is evicted.
     QueueFull {
-        /// The configured queue capacity.
+        /// The tenant whose quota was exhausted.
+        tenant: TenantId,
+        /// That tenant's configured queue capacity.
         capacity: usize,
+    },
+    /// The tenant id is not in the configured tenant table.
+    UnknownTenant {
+        /// The offending id.
+        tenant: TenantId,
+        /// Number of configured tenants (valid ids are `0..n_tenants`).
+        n_tenants: usize,
     },
     /// The server is shutting down.
     ShuttingDown,
@@ -21,8 +54,11 @@ pub enum AdmissionError {
 impl std::fmt::Display for AdmissionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            AdmissionError::QueueFull { capacity } => {
-                write!(f, "admission queue full (capacity {capacity})")
+            AdmissionError::QueueFull { tenant, capacity } => {
+                write!(f, "{tenant} queue full (capacity {capacity})")
+            }
+            AdmissionError::UnknownTenant { tenant, n_tenants } => {
+                write!(f, "{tenant} not configured ({n_tenants} tenants)")
             }
             AdmissionError::ShuttingDown => write!(f, "server is shutting down"),
         }
@@ -47,6 +83,8 @@ pub struct RequestTimings {
 pub struct SearchResponse {
     /// Request id (assigned at admission).
     pub id: u64,
+    /// The tenant that submitted the request.
+    pub tenant: TenantId,
     /// Final merged top-k neighbors.
     pub neighbors: Vec<Neighbor>,
     /// Per-stage wall-clock timings.
@@ -63,6 +101,7 @@ pub struct SearchResponse {
 #[derive(Debug)]
 pub struct Ticket {
     pub(crate) id: u64,
+    pub(crate) tenant: TenantId,
     pub(crate) rx: Receiver<SearchResponse>,
 }
 
@@ -70,6 +109,11 @@ impl Ticket {
     /// The admitted request's id.
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// The tenant the request was admitted under.
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
     }
 
     /// Blocks until the request completes. Returns `None` only if the
@@ -93,6 +137,7 @@ impl Ticket {
 #[derive(Debug)]
 pub(crate) struct Job {
     pub id: u64,
+    pub tenant: TenantId,
     pub query: Vec<f32>,
     pub enqueued: Instant,
     pub reply: Sender<SearchResponse>,

@@ -7,6 +7,12 @@
 //! on-demand batching: the batcher launches the moment the engine goes
 //! idle, absorbing everything queued (§VI-B) — while admission, response
 //! delivery and the control loop all run concurrently with the scan.
+//!
+//! Admission is multi-tenant: each tenant owns a bounded queue
+//! ([`TenantSpec::queue_capacity`](crate::TenantSpec)) and the batcher
+//! drains tenants by smooth weighted round-robin, so one tenant's overload
+//! fills (and sheds from) its own queue while other tenants keep their
+//! weighted share of every batch.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -20,11 +26,11 @@ use vlite_core::{PartitionDecision, PartitionInput, RealDeployment, RoutedQuery,
 use vlite_metrics::{LatencyRecorder, SloTracker};
 use vlite_workload::SyntheticCorpus;
 
-use crate::config::ServeConfig;
+use crate::config::{ServeConfig, TenantSpec};
 use crate::control::{ControlLoop, Observation, RepartitionEvent};
-use crate::queue::RequestQueue;
+use crate::queue::AdmissionQueue;
 use crate::report::ServeReport;
-use crate::request::{AdmissionError, Job, RequestTimings, SearchResponse, Ticket};
+use crate::request::{AdmissionError, Job, RequestTimings, SearchResponse, TenantId, Ticket};
 
 /// One batch travelling from the batcher to the workers and dispatcher.
 struct BatchWork {
@@ -50,6 +56,30 @@ enum DispatchMsg {
     CpuDone { qi: usize, partial: Vec<Neighbor> },
 }
 
+/// One tenant's slice of the dispatcher's measurements.
+#[derive(Debug)]
+pub(crate) struct TenantMetrics {
+    pub queue_lat: LatencyRecorder,
+    pub search_lat: LatencyRecorder,
+    pub e2e_lat: LatencyRecorder,
+    pub slo: SloTracker,
+    pub hit_sum: f64,
+    pub completed: u64,
+}
+
+impl TenantMetrics {
+    fn new(slo_search: f64) -> Self {
+        Self {
+            queue_lat: LatencyRecorder::new(),
+            search_lat: LatencyRecorder::new(),
+            e2e_lat: LatencyRecorder::new(),
+            slo: SloTracker::new(slo_search),
+            hit_sum: 0.0,
+            completed: 0,
+        }
+    }
+}
+
 /// Aggregate measurements owned by the dispatcher, snapshotted by
 /// [`RagServer::report`].
 #[derive(Debug)]
@@ -63,10 +93,13 @@ pub(crate) struct ServeMetrics {
     pub batches: u64,
     pub batched_requests: u64,
     pub max_batch: usize,
+    /// Per-tenant slices, indexed by [`TenantId`]. Each tenant's SLO
+    /// tracker runs against that tenant's own `slo_search` target.
+    pub tenants: Vec<TenantMetrics>,
 }
 
 impl ServeMetrics {
-    fn new(slo_search: f64) -> Self {
+    pub(crate) fn new(slo_search: f64, tenants: &[TenantSpec]) -> Self {
         Self {
             queue_lat: LatencyRecorder::new(),
             search_lat: LatencyRecorder::new(),
@@ -77,6 +110,10 @@ impl ServeMetrics {
             batches: 0,
             batched_requests: 0,
             max_batch: 0,
+            tenants: tenants
+                .iter()
+                .map(|spec| TenantMetrics::new(spec.slo_search))
+                .collect(),
         }
     }
 }
@@ -91,18 +128,19 @@ pub(crate) struct PlacementState {
 
 /// State shared by every runtime thread.
 pub(crate) struct Shared {
-    pub index: IvfIndex,
-    pub placement: RwLock<PlacementState>,
-    pub queue: RequestQueue,
-    pub metrics: Mutex<ServeMetrics>,
+    pub(crate) index: IvfIndex,
+    pub(crate) placement: RwLock<PlacementState>,
+    pub(crate) queue: AdmissionQueue,
+    pub(crate) metrics: Mutex<ServeMetrics>,
     /// Worker scans that panicked and were degraded to empty partials
     /// (availability over exactness; surfaced in the report).
-    pub worker_panics: AtomicU64,
-    repartitions: Mutex<Vec<RepartitionEvent>>,
-    nprobe: usize,
-    top_k: usize,
-    n_shards: usize,
-    slo_search: f64,
+    pub(crate) worker_panics: AtomicU64,
+    pub(crate) tenants: Vec<TenantSpec>,
+    pub(crate) repartitions: Mutex<Vec<RepartitionEvent>>,
+    pub(crate) nprobe: usize,
+    pub(crate) top_k: usize,
+    pub(crate) n_shards: usize,
+    pub(crate) slo_search: f64,
 }
 
 impl Shared {
@@ -166,7 +204,8 @@ impl RagServer {
     ///
     /// # Panics
     ///
-    /// Panics if the deployment and config disagree on shard count zero.
+    /// Panics if the deployment and config disagree on shard count zero, or
+    /// if the tenant table is invalid (zero weight or capacity).
     pub fn from_deployment(deployment: RealDeployment, config: ServeConfig) -> RagServer {
         let RealDeployment {
             index,
@@ -178,6 +217,7 @@ impl RagServer {
         } = deployment;
         let n_shards = router.split().n_shards();
         assert!(n_shards > 0, "need at least one shard worker");
+        let tenants = config.effective_tenants();
         // Expected mean hit rate, measured with the *same statistic* the
         // dispatcher will observe (per-query GPU-probe fraction over the
         // calibration probe sets) — the estimator's modeled mean is
@@ -191,9 +231,10 @@ impl RagServer {
                 router: Arc::new(router),
                 generation: 0,
             }),
-            queue: RequestQueue::new(config.queue_capacity),
-            metrics: Mutex::new(ServeMetrics::new(config.real.slo_search)),
+            queue: AdmissionQueue::new(&tenants),
+            metrics: Mutex::new(ServeMetrics::new(config.real.slo_search, &tenants)),
             worker_panics: AtomicU64::new(0),
+            tenants,
             repartitions: Mutex::new(Vec::new()),
             nprobe: config.real.nprobe,
             top_k: config.real.top_k,
@@ -304,31 +345,58 @@ impl RagServer {
         }
     }
 
-    /// Submits one query through admission control.
+    /// Submits one query as tenant 0 (the only tenant in single-tenant
+    /// configurations) through admission control.
     ///
     /// # Errors
     ///
     /// [`AdmissionError::QueueFull`] under overload,
     /// [`AdmissionError::ShuttingDown`] after shutdown began.
     pub fn submit(&self, query: Vec<f32>) -> Result<Ticket, AdmissionError> {
+        self.submit_for(TenantId(0), query)
+    }
+
+    /// Submits one query for `tenant` through admission control. Rejection
+    /// charges this tenant's quota only.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmissionError::QueueFull`] when this tenant's queue is at
+    /// capacity, [`AdmissionError::UnknownTenant`] for an id outside the
+    /// tenant table, [`AdmissionError::ShuttingDown`] after shutdown began.
+    pub fn submit_for(&self, tenant: TenantId, query: Vec<f32>) -> Result<Ticket, AdmissionError> {
+        let n_tenants = self.shared.tenants.len();
+        if tenant.index() >= n_tenants {
+            return Err(AdmissionError::UnknownTenant { tenant, n_tenants });
+        }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (reply, rx) = channel::unbounded();
         let job = Job {
             id,
+            tenant,
             query,
             enqueued: Instant::now(),
             reply,
         };
         match self.shared.queue.try_push(job) {
-            Ok(()) => Ok(Ticket { id, rx }),
+            Ok(()) => Ok(Ticket { id, tenant, rx }),
             Err((_, true)) => Err(AdmissionError::ShuttingDown),
+            // Capacity comes from the immutable tenant table, not the
+            // queue: re-taking the admission lock just to echo a config
+            // value would contend with the batcher on the overload path.
             Err((_, false)) => Err(AdmissionError::QueueFull {
-                capacity: self.shared.queue.capacity(),
+                tenant,
+                capacity: self.shared.tenants[tenant.index()].queue_capacity,
             }),
         }
     }
 
-    /// Requests currently waiting for a batch.
+    /// The tenant table the server was started with.
+    pub fn tenants(&self) -> &[TenantSpec] {
+        &self.shared.tenants
+    }
+
+    /// Requests currently waiting for a batch, summed over all tenants.
     pub fn queue_depth(&self) -> usize {
         self.shared.queue.depth()
     }
@@ -377,6 +445,7 @@ impl RagServer {
         ServeReport::assemble(
             &metrics,
             queue_stats,
+            &self.shared.tenants,
             repartitions,
             self.shared.slo_search,
             self.shared.placement_snapshot().1,
@@ -423,9 +492,9 @@ pub(crate) fn empirical_mean_hit<'a>(
     }
 }
 
-/// Batcher: drain the queue when the engine is idle, coarse-quantize and
-/// route under the current placement snapshot, launch, wait for the
-/// dispatcher's batch-done signal.
+/// Batcher: drain the per-tenant queues (weighted-fair) when the engine is
+/// idle, coarse-quantize and route under the current placement snapshot,
+/// launch, wait for the dispatcher's batch-done signal.
 fn batcher(
     shared: &Shared,
     max_batch: usize,
@@ -543,6 +612,10 @@ struct InFlight {
     shards_ready: usize,
     /// CPU completions that arrived before every shard flag was up.
     pending_cpu: Vec<(usize, Vec<Neighbor>)>,
+    /// Exactly-once guard per query: `complete_query` consumes each query's
+    /// shard partials by `mem::take`, which is only sound if a query
+    /// completes once.
+    delivered: Vec<bool>,
     completed: usize,
 }
 
@@ -559,18 +632,26 @@ fn dispatcher(
     while let Ok(msg) = rx.recv() {
         match msg {
             DispatchMsg::Launch(batch) => {
-                debug_assert!(inflight.is_none(), "one batch in flight at a time");
+                // Hard assert, not debug_assert: in release a duplicate
+                // Launch would silently drop the in-flight batch, orphaning
+                // its tickets with no accounting. A protocol violation is a
+                // harness bug (same policy as `LatencyRecorder::record`).
+                assert!(inflight.is_none(), "one batch in flight at a time");
                 inflight = Some(InFlight {
                     shard_partials: vec![None; shared.n_shards],
                     shards_ready: 0,
                     pending_cpu: Vec::new(),
+                    delivered: vec![false; batch.jobs.len()],
                     completed: 0,
                     batch,
                 });
             }
             DispatchMsg::ShardDone { shard, partials } => {
                 let state = inflight.as_mut().expect("completion without a launch");
-                debug_assert!(state.shard_partials[shard].is_none());
+                assert!(
+                    state.shard_partials[shard].is_none(),
+                    "duplicate shard completion"
+                );
                 state.shard_partials[shard] = Some(partials);
                 state.shards_ready += 1;
                 if state.shards_ready == shared.n_shards {
@@ -614,12 +695,17 @@ fn complete_query(
     cpu_partial: Vec<Neighbor>,
     control_tx: &Sender<Observation>,
 ) {
-    let batch = &state.batch;
+    assert!(!state.delivered[qi], "query {qi} completed twice");
+    state.delivered[qi] = true;
+    let batch = Arc::clone(&state.batch);
     let job = &batch.jobs[qi];
     let routed = &batch.routed[qi];
     let mut lists: Vec<Vec<Neighbor>> = vec![cpu_partial];
-    for partials in state.shard_partials.iter().flatten() {
-        lists.push(partials[qi].clone());
+    for partials in state.shard_partials.iter_mut().flatten() {
+        // Each query completes exactly once (asserted above), so its slot
+        // in every shard's partials can be moved out instead of cloned —
+        // this is the dispatcher's hot path.
+        lists.push(std::mem::take(&mut partials[qi]));
     }
     let neighbors = merge_sorted(&lists, batch.k);
     let now = Instant::now();
@@ -639,15 +725,23 @@ fn complete_query(
         metrics.slo.observe(timings.search);
         metrics.hit_sum += hit_rate;
         metrics.completed += 1;
+        let tenant = &mut metrics.tenants[job.tenant.index()];
+        tenant.queue_lat.record(timings.queue);
+        tenant.search_lat.record(timings.search);
+        tenant.e2e_lat.record(timings.e2e);
+        tenant.slo.observe(timings.search);
+        tenant.hit_sum += hit_rate;
+        tenant.completed += 1;
     }
 
-    // Observation for the control loop: hit rate, SLO, and the query's
-    // global probe set (re-profiling sample).
+    // Observation for the control loop: hit rate, SLO, the submitting
+    // tenant, and the query's global probe set (re-profiling sample).
     let mut probes = routed.cpu_probes.clone();
     for globals in &routed.shard_probes_global {
         probes.extend_from_slice(globals);
     }
     let _ = control_tx.send(Observation {
+        tenant: job.tenant,
         hit_rate,
         met_slo,
         probes,
@@ -656,6 +750,7 @@ fn complete_query(
     // The ticket may have been dropped (fire-and-forget submission).
     let _ = job.reply.send(SearchResponse {
         id: job.id,
+        tenant: job.tenant,
         neighbors,
         timings,
         hit_rate,

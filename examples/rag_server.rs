@@ -1,23 +1,60 @@
-//! `vlite-serve` end to end: a long-lived serving runtime under open-loop
-//! Poisson load, with a mid-run hot-set shift that triggers one *online*
-//! repartition — placement changes while the queue keeps admitting and
-//! batches keep launching (it is never drained for the update).
+//! `vlite-serve` end to end, multi-tenant: a long-lived serving runtime
+//! shared by a quiet tenant and an aggressive one. Mid-run the aggressive
+//! tenant floods the server far past its weighted share; per-tenant bounded
+//! queues shed *its* overload against *its* quota while smooth weighted
+//! round-robin draining keeps the quiet tenant's share of every batch — so
+//! the quiet tenant's p99 and SLO attainment hold, which the per-tenant
+//! report table shows directly.
 //!
 //! Run with:
 //! ```sh
 //! cargo run --release --example rag_server
 //! ```
 
-use vectorlite_rag::core::{RealConfig, UpdateConfig};
+use vectorlite_rag::core::RealConfig;
 use vectorlite_rag::metrics::fmt_seconds;
-use vectorlite_rag::serve::loadgen::{run_open_loop, RotatingQuerySource};
-use vectorlite_rag::serve::{ControlConfig, RagServer, ServeConfig};
+use vectorlite_rag::serve::loadgen::{
+    run_open_loop_tenants, LoadPhase, RotatingQuerySource, TenantLoad,
+};
+use vectorlite_rag::serve::{RagServer, SearchResponse, ServeConfig, TenantId, TenantSpec};
 use vectorlite_rag::workload::{CorpusConfig, SyntheticCorpus};
+
+const QUIET: TenantId = TenantId(0);
+const AGGRESSIVE: TenantId = TenantId(1);
+// Generous for CI runners: locally the contended search p99 is ~8 ms, but
+// the solo-vs-contended attainment comparison must not flake on slow
+// shared machines — the point is isolation, not absolute speed.
+const SLO_SEARCH: f64 = 0.050;
+
+fn attainment(responses: &[SearchResponse]) -> f64 {
+    responses
+        .iter()
+        .filter(|r| r.timings.search <= SLO_SEARCH)
+        .count() as f64
+        / responses.len() as f64
+}
+
+fn p99_search(responses: &[SearchResponse]) -> f64 {
+    let mut lats: Vec<f64> = responses.iter().map(|r| r.timings.search).collect();
+    lats.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    lats[((lats.len() - 1) as f64 * 0.99) as usize]
+}
+
+fn quiet_load(corpus: &SyntheticCorpus) -> TenantLoad {
+    TenantLoad {
+        tenant: QUIET,
+        source: RotatingQuerySource::from_corpus(corpus, 0xfeed),
+        phases: vec![LoadPhase {
+            rate: 400.0,
+            n: 800,
+        }],
+    }
+}
 
 fn main() {
     // A corpus with real Zipf topic skew: the hot set is meaningful.
     let corpus_cfg = CorpusConfig {
-        n_vectors: 30_000,
+        n_vectors: 20_000,
         dim: 32,
         n_centers: 64,
         zipf_exponent: 1.1,
@@ -30,96 +67,128 @@ fn main() {
     );
     let corpus = SyntheticCorpus::generate(&corpus_cfg);
 
-    // Offline stage + runtime config. Coverage is pinned mid-range so the
-    // cache is real but partial — the regime where a hot-set shift actually
-    // hurts hit rates (at ρ=0 or ρ=1 drift would be invisible). The control
-    // loop triggers on hit-rate divergence alone (`require_slo_breach:
-    // false`): the shard workers are CPU threads standing in for GPUs, so
-    // wall-clock SLO breaches on this machine would be noise, not signal.
-    let mut config = ServeConfig::small();
-    config.real = RealConfig {
-        ivf: vectorlite_rag::ann::IvfConfig::new(128),
-        nprobe: 16,
-        top_k: 10,
-        n_profile_queries: 768,
-        slo_search: 0.025,
-        mu_llm0: 50.0,
-        kv_bytes_full: 8 << 30,
-        n_shards: 2,
-        seed: 0x7ea1,
-        coverage_override: Some(0.25),
-    };
-    config.max_batch = 64;
-    config.control = ControlConfig {
-        update: UpdateConfig {
-            slo_attainment_threshold: 0.9,
-            hit_rate_divergence: 0.08,
-            window_requests: 400,
+    // Two tenants at weights 1:4. The aggressive tenant gets the larger
+    // weight — the point is that even the *favored* tenant cannot push the
+    // quiet one past its share: overload fills the aggressive tenant's own
+    // bounded queue and is shed there, and weighted-fair draining caps it
+    // at 4/5 of each contested batch.
+    let tenant_table = vec![
+        TenantSpec {
+            weight: 1,
+            queue_capacity: 512,
+            slo_search: SLO_SEARCH,
         },
-        profile_window: 1500,
-        cooldown_requests: 400,
-        require_slo_breach: false,
+        TenantSpec {
+            weight: 4,
+            queue_capacity: 512,
+            slo_search: SLO_SEARCH,
+        },
+    ];
+    let make_config = || {
+        let mut config = ServeConfig::small();
+        config.real = RealConfig {
+            ivf: vectorlite_rag::ann::IvfConfig::new(128),
+            nprobe: 16,
+            top_k: 10,
+            n_profile_queries: 768,
+            slo_search: SLO_SEARCH,
+            mu_llm0: 50.0,
+            kv_bytes_full: 8 << 30,
+            n_shards: 2,
+            seed: 0x7ea1,
+            coverage_override: Some(0.25),
+        };
+        config.max_batch = 64;
+        config.tenants = tenant_table.clone();
+        config
     };
 
+    // Solo baseline: the quiet tenant alone on an identically configured
+    // server — the yardstick its contended attainment is held against.
     println!("training IVF index (128 lists), profiling, partitioning ...");
-    let server = RagServer::start(&corpus, config).expect("server starts");
+    let solo_server = RagServer::start(&corpus, make_config()).expect("server starts");
+    println!("\nsolo baseline: quiet tenant alone, 800 requests at 400/s ...");
+    let mut solo_loads = vec![quiet_load(&corpus)];
+    let solo = run_open_loop_tenants(&solo_server, &mut solo_loads, 7);
+    solo_server.shutdown();
+    let solo_quiet = &solo.tenants[0];
+    assert_eq!(solo_quiet.rejected, 0, "solo quiet load must not be shed");
+    let solo_attainment = attainment(&solo_quiet.responses);
     println!(
-        "offline: coverage {:.1}% (pinned), expected mean hit rate {:.3}, Algorithm-1 decision ρ={:.3}",
-        100.0 * server.current_coverage(),
-        server.expected_mean_hit(),
-        server.initial_decision().coverage,
+        "solo: search p99 {}  SLO({}) attainment {:.1}%",
+        fmt_seconds(p99_search(&solo_quiet.responses)),
+        fmt_seconds(SLO_SEARCH),
+        100.0 * solo_attainment,
     );
-    let placement_before = server.current_shard_clusters();
 
-    // Open loop: 2 400 requests at 1 200 req/s; at the halfway mark the
-    // workload's Zipf popularity ring rotates by half the topics — the old
-    // hot clusters go cold and vice versa.
-    let n_requests = 2_400;
-    let rate = 1_200.0;
-    let rotate_at = n_requests / 2;
-    let rotation = corpus_cfg.n_centers / 2;
+    // Contended run: the same quiet stream, while the aggressive tenant
+    // ramps from a polite rate into a mid-run flood far past the server's
+    // capacity (≫ 5× its weighted share), then back off.
     println!(
-        "\ndriving {n_requests} requests at {rate:.0}/s (hot-set rotation at {rotate_at}) ..."
+        "\ncontended run: quiet tenant at 400/s vs aggressive tenant \
+         (800/s -> 40000/s flood -> 800/s) ..."
     );
-    let mut source = RotatingQuerySource::from_corpus(&corpus, 0xfeed);
-    let outcome = run_open_loop(&server, &mut source, rate, n_requests, 7, |i, source| {
-        if i == rotate_at {
-            source.set_rotation(rotation);
-        }
-    });
-
-    let placement_after = server.current_shard_clusters();
-    let generation = server.placement_generation();
+    let server = RagServer::start(&corpus, make_config()).expect("server starts");
+    let mut loads = vec![
+        quiet_load(&corpus),
+        TenantLoad {
+            tenant: AGGRESSIVE,
+            source: RotatingQuerySource::from_corpus(&corpus, 0xbeef),
+            phases: vec![
+                LoadPhase {
+                    rate: 800.0,
+                    n: 480,
+                },
+                LoadPhase {
+                    rate: 40_000.0,
+                    n: 40_000,
+                },
+                LoadPhase {
+                    rate: 800.0,
+                    n: 240,
+                },
+            ],
+        },
+    ];
+    let outcome = run_open_loop_tenants(&server, &mut loads, 7);
     let report = server.shutdown();
     println!("\n=== ServeReport ===\n{}", report.render());
 
-    // The acceptance bar: every admitted request was served, at least one
-    // online repartition happened, and the placement genuinely changed.
-    assert_eq!(outcome.rejected, 0, "no request was shed at this load");
+    let quiet = &outcome.tenants[0];
+    let aggressive = &outcome.tenants[1];
+    let contended_attainment = attainment(&quiet.responses);
+
+    // The acceptance bar: only the flooding tenant is shed, every admitted
+    // request is served, and the quiet tenant's SLO attainment stays within
+    // 5 points of its solo run.
+    assert_eq!(quiet.rejected, 0, "quiet tenant must never be shed");
+    assert!(
+        aggressive.rejected > 0,
+        "the flood must be shed against the aggressive tenant's own quota"
+    );
     assert_eq!(
         report.completed, report.admitted,
         "queue served everything — never drained"
     );
+    assert_eq!(quiet.responses.len(), 800, "every quiet request served");
     assert!(
-        !report.repartitions.is_empty(),
-        "the hot-set shift must trigger an online repartition"
+        contended_attainment >= solo_attainment - 0.05,
+        "quiet tenant attainment {contended_attainment:.3} fell more than \
+         5 points below solo {solo_attainment:.3}"
     );
-    assert!(generation >= 1, "placement generation must advance");
-    assert_ne!(
-        placement_before, placement_after,
-        "shard placement must change across the swap"
+
+    println!(
+        "quiet tenant under flood: search p99 {}  SLO attainment {:.1}% \
+         (solo {:.1}%)",
+        fmt_seconds(p99_search(&quiet.responses)),
+        100.0 * contended_attainment,
+        100.0 * solo_attainment,
     );
     println!(
-        "placement changed: generation {} installs a new hot set (overlap {:.2} with the old one)",
-        generation, report.repartitions[0].hot_overlap
+        "aggressive tenant: {} submitted, {} rejected (its own quota), {} served",
+        aggressive.submitted,
+        aggressive.rejected,
+        aggressive.responses.len(),
     );
-    println!(
-        "search p50/p95/p99: {} / {} / {}  |  SLO({}) attainment {:.1}%",
-        fmt_seconds(report.search.p50),
-        fmt_seconds(report.search.p95),
-        fmt_seconds(report.search.p99),
-        fmt_seconds(report.slo_target),
-        100.0 * report.slo_attainment,
-    );
-    println!("\nonline repartition verified: placement moved, queue never drained.");
+    println!("\nmulti-tenant isolation verified: the flood paid for itself.");
 }
