@@ -3,9 +3,19 @@
 //! variance, SLO attainment, dispatcher behaviour) on this machine's
 //! actual hardware.
 //!
-//! Sweeps the offered Poisson rate and reports achieved throughput,
-//! p50/p95/p99 search latency, SLO attainment, mean batch size, and
-//! admission shedding. Writes `results/serve_smoke.csv`.
+//! Default mode sweeps the offered Poisson rate and reports achieved
+//! throughput, p50/p95/p99 search latency, SLO attainment, mean batch
+//! size, and admission shedding, then runs a multi-tenant isolation
+//! section. Writes `results/serve_smoke.csv` and
+//! `results/serve_tenants.csv`.
+//!
+//! With `--gate <baseline.csv>` it instead runs only the rates listed in
+//! the baseline file (`rate,p99_max_s` rows, `#` comments allowed) and
+//! exits nonzero if any rate's measured p99 search latency exceeds its
+//! checked-in threshold — CI's perf-smoke step, catching dispatcher/queue
+//! regressions before merge. Thresholds are deliberately loose (an order
+//! of magnitude above local measurements) so shared runners don't flake,
+//! while a hot-path regression that queues batches still trips them.
 
 use vlite_bench::{banner, write_csv};
 use vlite_core::RealConfig;
@@ -13,24 +23,137 @@ use vlite_metrics::{fmt_seconds, Table};
 use vlite_serve::loadgen::{
     run_open_loop, run_open_loop_tenants, LoadPhase, RotatingQuerySource, TenantLoad,
 };
-use vlite_serve::{RagServer, ServeConfig, TenantId, TenantSpec};
+use vlite_serve::{RagServer, ServeConfig, ServeReport, TenantId, TenantSpec};
 use vlite_workload::{CorpusConfig, SyntheticCorpus};
 
-fn main() {
-    banner(
-        "serve-smoke",
-        "vlite-serve wall-clock throughput/latency sweep",
-    );
-
-    let corpus = SyntheticCorpus::generate(&CorpusConfig {
+fn corpus() -> SyntheticCorpus {
+    SyntheticCorpus::generate(&CorpusConfig {
         n_vectors: 20_000,
         dim: 32,
         n_centers: 64,
         zipf_exponent: 1.1,
         noise: 0.3,
         seed: 3,
-    });
+    })
+}
 
+fn real_config() -> RealConfig {
+    RealConfig {
+        ivf: vlite_ann::IvfConfig::new(128),
+        nprobe: 16,
+        top_k: 10,
+        n_profile_queries: 512,
+        slo_search: 0.010,
+        mu_llm0: 50.0,
+        kv_bytes_full: 8 << 30,
+        n_shards: 2,
+        seed: 0x7ea1,
+        coverage_override: Some(0.25),
+    }
+}
+
+/// One single-tenant open-loop point: returns the achieved rate and the
+/// final report.
+fn run_rate(corpus: &SyntheticCorpus, rate: f64, n_requests: usize) -> (f64, ServeReport) {
+    let mut config = ServeConfig::small();
+    config.real = real_config();
+    config.queue_capacity = 512;
+    let server = RagServer::start(corpus, config).expect("server starts");
+    let mut source = RotatingQuerySource::from_corpus(corpus, 11);
+    let outcome = run_open_loop(&server, &mut source, rate, n_requests, 17, |_, _| {});
+    let report = server.shutdown();
+    // Completions over the full run including the queue-drain phase: at
+    // overload this converges to the service capacity instead of echoing
+    // the offered rate.
+    (outcome.achieved_rate(), report)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--gate") {
+        let path = args
+            .get(i + 1)
+            .expect("--gate needs a baseline CSV path")
+            .clone();
+        gate(&path);
+        return;
+    }
+    assert!(args.is_empty(), "unknown arguments: {args:?} (try --gate)");
+    sweep();
+}
+
+/// CI perf gate: measure only the baseline's rates, fail on any p99 breach.
+fn gate(baseline_path: &str) {
+    banner(
+        "serve-smoke --gate",
+        "p99 regression gate against a checked-in baseline",
+    );
+    let text = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+    let thresholds: Vec<(f64, f64)> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#') && !l.starts_with("rate"))
+        .map(|line| {
+            let mut cols = line.split(',');
+            let rate: f64 = cols
+                .next()
+                .and_then(|c| c.trim().parse().ok())
+                .unwrap_or_else(|| panic!("bad baseline row: {line}"));
+            let p99_max: f64 = cols
+                .next()
+                .and_then(|c| c.trim().parse().ok())
+                .unwrap_or_else(|| panic!("bad baseline row: {line}"));
+            (rate, p99_max)
+        })
+        .collect();
+    assert!(
+        !thresholds.is_empty(),
+        "baseline {baseline_path} has no rows"
+    );
+
+    let corpus = corpus();
+    let mut table = Table::new(vec![
+        "offered (req/s)",
+        "search p99",
+        "p99 budget",
+        "SLO attainment",
+        "verdict",
+    ]);
+    let mut breaches = 0;
+    for &(rate, p99_max) in &thresholds {
+        let (_, report) = run_rate(&corpus, rate, 600);
+        let ok = report.search.p99 <= p99_max;
+        if !ok {
+            breaches += 1;
+        }
+        table.row(vec![
+            format!("{rate:.0}"),
+            fmt_seconds(report.search.p99),
+            fmt_seconds(p99_max),
+            format!("{:.1}%", 100.0 * report.slo_attainment),
+            if ok { "pass".into() } else { "FAIL".into() },
+        ]);
+    }
+    println!("{}", table.render());
+    write_csv("ci_perf_gate.csv", &table.to_csv());
+    if breaches > 0 {
+        eprintln!(
+            "perf gate FAILED: {breaches} rate(s) exceeded the p99 budget in {baseline_path}"
+        );
+        std::process::exit(1);
+    }
+    println!("perf gate passed: every rate within its p99 budget.");
+}
+
+/// The default full sweep plus the tenant-isolation section.
+fn sweep() {
+    banner(
+        "serve-smoke",
+        "vlite-serve wall-clock throughput/latency sweep",
+    );
+
+    let corpus = corpus();
     let mut table = Table::new(vec![
         "offered (req/s)",
         "achieved (req/s)",
@@ -42,32 +165,8 @@ fn main() {
         "SLO attainment",
     ]);
 
-    let n_requests = 1_000;
     for &rate in &[250.0, 500.0, 1_000.0, 2_000.0] {
-        let mut config = ServeConfig::small();
-        config.real = RealConfig {
-            ivf: vlite_ann::IvfConfig::new(128),
-            nprobe: 16,
-            top_k: 10,
-            n_profile_queries: 512,
-            slo_search: 0.010,
-            mu_llm0: 50.0,
-            kv_bytes_full: 8 << 30,
-            n_shards: 2,
-            seed: 0x7ea1,
-            coverage_override: Some(0.25),
-        };
-        config.queue_capacity = 512;
-
-        let server = RagServer::start(&corpus, config).expect("server starts");
-        let mut source = RotatingQuerySource::from_corpus(&corpus, 11);
-        let outcome = run_open_loop(&server, &mut source, rate, n_requests, 17, |_, _| {});
-        let report = server.shutdown();
-
-        // Completions over the full run including the queue-drain phase:
-        // at overload this converges to the service capacity instead of
-        // echoing the offered rate.
-        let achieved = outcome.achieved_rate();
+        let (achieved, report) = run_rate(&corpus, rate, 1_000);
         table.row(vec![
             format!("{rate:.0}"),
             format!("{achieved:.0}"),
@@ -92,18 +191,7 @@ fn main() {
     // and the light tenant's attainment holding.
     println!("\nmulti-tenant isolation: light 300/s vs heavy flood (weights 1:4)");
     let mut config = ServeConfig::small();
-    config.real = RealConfig {
-        ivf: vlite_ann::IvfConfig::new(128),
-        nprobe: 16,
-        top_k: 10,
-        n_profile_queries: 512,
-        slo_search: 0.010,
-        mu_llm0: 50.0,
-        kv_bytes_full: 8 << 30,
-        n_shards: 2,
-        seed: 0x7ea1,
-        coverage_override: Some(0.25),
-    };
+    config.real = real_config();
     config.tenants = vec![
         TenantSpec {
             weight: 1,

@@ -52,6 +52,32 @@ pub struct TenantSpec {
     pub slo_search: f64,
 }
 
+/// Network-frontend knobs
+/// ([`HttpFrontend`](crate::http::HttpFrontend)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpConfig {
+    /// Listen address, `host:port`. Port `0` lets the OS pick (read the
+    /// bound address back from
+    /// [`HttpFrontend::addr`](crate::http::HttpFrontend::addr)).
+    pub addr: String,
+    /// Largest request body accepted; bigger ones are rejected with
+    /// `413 Payload Too Large`.
+    pub max_body: usize,
+    /// Whether connections persist across requests (HTTP/1.1 keep-alive).
+    /// `false` forces `Connection: close` after every response.
+    pub keep_alive: bool,
+}
+
+impl Default for HttpConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            max_body: 1 << 20,
+            keep_alive: true,
+        }
+    }
+}
+
 /// Configuration of a [`RagServer`](crate::RagServer).
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -68,6 +94,10 @@ pub struct ServeConfig {
     /// [`ServeConfig::queue_capacity`] and the global search SLO — the
     /// single-tenant configuration older callers expect.
     pub tenants: Vec<TenantSpec>,
+    /// Network-frontend configuration, used when the runtime is exposed
+    /// through an [`HttpFrontend`](crate::http::HttpFrontend); inert for
+    /// purely in-process servers.
+    pub http: HttpConfig,
 }
 
 impl ServeConfig {
@@ -79,6 +109,7 @@ impl ServeConfig {
             max_batch: 64,
             control: ControlConfig::default(),
             tenants: Vec::new(),
+            http: HttpConfig::default(),
         }
     }
 

@@ -1,0 +1,177 @@
+//! A minimal blocking HTTP/1.1 client over one keep-alive connection.
+//!
+//! Exists so the load generator, the smoke bench and the integration tests
+//! can drive the frontend over a real socket without external tooling. One
+//! [`HttpClient`] owns one `TcpStream` and reuses it across requests
+//! (keep-alive); response framing is `Content-Length` only, matching what
+//! the frontend emits.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use crate::http::json::{Json, JsonError};
+
+/// One parsed HTTP response.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code (200, 429, …).
+    pub status: u16,
+    /// Response headers, in wire order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body parsed as JSON.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] if the body is not valid UTF-8 JSON.
+    pub fn json(&self) -> Result<Json, JsonError> {
+        let text = std::str::from_utf8(&self.body).map_err(|_| JsonError {
+            at: 0,
+            what: "valid UTF-8",
+        })?;
+        Json::parse(text)
+    }
+}
+
+/// A blocking HTTP/1.1 client bound to one keep-alive connection.
+#[derive(Debug)]
+pub struct HttpClient {
+    stream: TcpStream,
+    /// Bytes read past the previous response (keep-alive leftovers).
+    buf: Vec<u8>,
+}
+
+impl HttpClient {
+    /// Connects to the frontend at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<HttpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(HttpClient {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Issues a `GET` and reads the full response.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or a response the client cannot frame.
+    pub fn get(&mut self, path: &str) -> std::io::Result<HttpResponse> {
+        self.request("GET", path, &[], b"")
+    }
+
+    /// Issues a `POST` with a JSON body and extra headers.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or a response the client cannot frame.
+    pub fn post_json(
+        &mut self,
+        path: &str,
+        extra_headers: &[(&str, &str)],
+        body: &str,
+    ) -> std::io::Result<HttpResponse> {
+        self.request("POST", path, extra_headers, body.as_bytes())
+    }
+
+    fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        extra_headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> std::io::Result<HttpResponse> {
+        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: vlite-serve\r\n");
+        for (name, value) in extra_headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        if !body.is_empty() || method == "POST" {
+            head.push_str(&format!(
+                "Content-Type: application/json\r\nContent-Length: {}\r\n",
+                body.len()
+            ));
+        }
+        head.push_str("\r\n");
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body)?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> std::io::Result<HttpResponse> {
+        let malformed =
+            || std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed response");
+        let mut chunk = [0u8; 8192];
+        // Head: read until \r\n\r\n.
+        let head_end = loop {
+            if let Some(pos) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos;
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-response",
+                ));
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8(self.buf[..head_end].to_vec()).map_err(|_| malformed())?;
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().ok_or_else(malformed)?;
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|code| code.parse().ok())
+            .ok_or_else(malformed)?;
+        let mut headers = Vec::new();
+        let mut content_length = 0usize;
+        for line in lines {
+            let (name, value) = line.split_once(':').ok_or_else(malformed)?;
+            let name = name.to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_length = value.parse().map_err(|_| malformed())?;
+            }
+            headers.push((name, value));
+        }
+
+        // Body: Content-Length bytes past the head.
+        let body_start = head_end + 4;
+        while self.buf.len() < body_start + content_length {
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-body",
+                ));
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+        let body = self.buf[body_start..body_start + content_length].to_vec();
+        // Keep any pipelined leftovers for the next exchange.
+        self.buf.drain(..body_start + content_length);
+        Ok(HttpResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+}

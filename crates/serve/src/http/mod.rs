@@ -1,0 +1,26 @@
+//! The hand-rolled HTTP/1.1 network frontend (no external dependencies —
+//! `std::net` only, per the no-new-deps constraint).
+//!
+//! Layered bottom-up:
+//!
+//! - [`parser`] — incremental, zero-copy request parsing (request line,
+//!   headers, `Content-Length` framing, keep-alive semantics);
+//! - [`json`] — a small JSON value tree with a hardened parser and a
+//!   compact renderer (the offline `serde` shim's derives are no-ops, so
+//!   the wire format is hand-rolled here);
+//! - [`wire`] — explicit JSON mappings for the API's request/response
+//!   types, round-trip tested;
+//! - [`server`] — the [`HttpFrontend`]: a thread-per-connection acceptor
+//!   mapping `POST /v1/search`, `GET /v1/report`, `GET /v1/tenants` and
+//!   `GET /healthz` onto a running [`RagServer`](crate::RagServer);
+//! - [`client`] — a minimal blocking keep-alive client for load
+//!   generation, benches and tests.
+
+pub mod client;
+pub mod json;
+pub mod parser;
+pub mod server;
+pub mod wire;
+
+pub use client::{HttpClient, HttpResponse};
+pub use server::HttpFrontend;

@@ -1,0 +1,338 @@
+//! Incremental, zero-copy HTTP/1.1 request parsing.
+//!
+//! The connection loop accumulates bytes in a growable buffer and calls
+//! [`parse_head`] after every read: `Ok(None)` means "need more bytes",
+//! `Ok(Some(..))` yields a [`RequestHead`] *borrowing* the buffer (no
+//! copies; body bytes follow at the returned offset), and `Err` is a
+//! protocol violation the connection answers with `400`/`431` and closes.
+//! Partial reads, pipelined requests and keep-alive reuse all fall out of
+//! this shape: the caller drains exactly the consumed prefix and re-parses
+//! whatever is left.
+
+/// Largest request head (request line + headers + CRLFCRLF) accepted.
+/// Beyond this the peer is either broken or hostile.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// The two HTTP versions the frontend speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Version {
+    /// `HTTP/1.0` — one request per connection unless keep-alive is asked.
+    Http10,
+    /// `HTTP/1.1` — persistent connections by default.
+    Http11,
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseError {
+    /// The request line is not `METHOD SP TARGET SP VERSION`.
+    BadRequestLine,
+    /// A header line is not `name: value` (or is not valid UTF-8).
+    BadHeader,
+    /// The version token is not `HTTP/1.0` or `HTTP/1.1`.
+    UnsupportedVersion,
+    /// `Content-Length` is present but not a base-10 integer (or repeats
+    /// with conflicting values — request smuggling territory).
+    BadContentLength,
+    /// The head grew past [`MAX_HEAD_BYTES`] without terminating.
+    HeadTooLarge,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let what = match self {
+            ParseError::BadRequestLine => "malformed request line",
+            ParseError::BadHeader => "malformed header",
+            ParseError::UnsupportedVersion => "unsupported HTTP version",
+            ParseError::BadContentLength => "invalid Content-Length",
+            ParseError::HeadTooLarge => "request head too large",
+        };
+        f.write_str(what)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// One parsed request head, borrowing the connection buffer.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RequestHead<'a> {
+    /// The method token, verbatim (e.g. `GET`, `POST`).
+    pub method: &'a str,
+    /// The request target with any query string still attached.
+    pub target: &'a str,
+    /// Protocol version.
+    pub version: Version,
+    headers: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> RequestHead<'a> {
+    /// The target's path component (query string stripped).
+    pub fn path(&self) -> &'a str {
+        self.target
+            .split_once('?')
+            .map_or(self.target, |(path, _)| path)
+    }
+
+    /// Case-insensitive header lookup (first occurrence).
+    pub fn header(&self, name: &str) -> Option<&'a str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|&(_, v)| v)
+    }
+
+    /// The declared body length. Absent means zero (the frontend does not
+    /// speak chunked transfer encoding — a request asking for it is
+    /// answered before any body handling, see the connection loop).
+    ///
+    /// # Errors
+    ///
+    /// [`ParseError::BadContentLength`] for a non-numeric value or
+    /// conflicting repeats.
+    pub fn content_length(&self) -> Result<usize, ParseError> {
+        let mut declared: Option<usize> = None;
+        for (name, value) in &self.headers {
+            if name.eq_ignore_ascii_case("content-length") {
+                let digits = value.trim();
+                // RFC 9110: DIGIT only. Rust's `parse` would also accept a
+                // leading '+', which an RFC-strict proxy in front of this
+                // server would reject — a framing disagreement (request
+                // smuggling), so reject it here too.
+                if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+                    return Err(ParseError::BadContentLength);
+                }
+                let parsed: usize = digits.parse().map_err(|_| ParseError::BadContentLength)?;
+                match declared {
+                    Some(previous) if previous != parsed => {
+                        return Err(ParseError::BadContentLength)
+                    }
+                    _ => declared = Some(parsed),
+                }
+            }
+        }
+        Ok(declared.unwrap_or(0))
+    }
+
+    /// Whether the client asked for chunked transfer encoding (which the
+    /// frontend rejects rather than mis-frames).
+    pub fn is_chunked(&self) -> bool {
+        self.header("transfer-encoding")
+            .is_some_and(|v| v.to_ascii_lowercase().contains("chunked"))
+    }
+
+    /// Whether the connection should stay open after this exchange:
+    /// HTTP/1.1 defaults to yes unless `Connection: close`, HTTP/1.0 to no
+    /// unless `Connection: keep-alive`.
+    pub fn keep_alive(&self) -> bool {
+        let connection = self.header("connection").map(str::to_ascii_lowercase);
+        match self.version {
+            Version::Http11 => connection.as_deref() != Some("close"),
+            Version::Http10 => connection.as_deref() == Some("keep-alive"),
+        }
+    }
+
+    /// Whether the client sent `Expect: 100-continue` and is waiting for
+    /// an interim response before transmitting the body.
+    pub fn expects_continue(&self) -> bool {
+        self.header("expect")
+            .is_some_and(|v| v.eq_ignore_ascii_case("100-continue"))
+    }
+}
+
+/// Attempts to parse one request head from the front of `buf`.
+///
+/// Returns `Ok(None)` when the head is not yet complete (read more and call
+/// again) and `Ok(Some((head, head_len)))` when it is — the body, if any,
+/// starts at `buf[head_len..]`.
+///
+/// # Errors
+///
+/// Any [`ParseError`]; the connection cannot recover its framing after one.
+pub fn parse_head(buf: &[u8]) -> Result<Option<(RequestHead<'_>, usize)>, ParseError> {
+    let Some(head_end) = find_double_crlf(buf) else {
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(ParseError::HeadTooLarge);
+        }
+        return Ok(None);
+    };
+    if head_end > MAX_HEAD_BYTES {
+        return Err(ParseError::HeadTooLarge);
+    }
+    let head_len = head_end + 4;
+    let text = std::str::from_utf8(&buf[..head_end]).map_err(|_| ParseError::BadHeader)?;
+    let mut lines = text.split("\r\n");
+    let request_line = lines.next().ok_or(ParseError::BadRequestLine)?;
+
+    let mut tokens = request_line.split(' ');
+    let method = tokens.next().filter(|m| !m.is_empty() && is_token(m));
+    let target = tokens.next().filter(|t| !t.is_empty());
+    let version = tokens.next();
+    let (Some(method), Some(target), Some(version), None) =
+        (method, target, version, tokens.next())
+    else {
+        return Err(ParseError::BadRequestLine);
+    };
+    let version = match version {
+        "HTTP/1.1" => Version::Http11,
+        "HTTP/1.0" => Version::Http10,
+        v if v.starts_with("HTTP/") => return Err(ParseError::UnsupportedVersion),
+        _ => return Err(ParseError::BadRequestLine),
+    };
+
+    let mut headers = Vec::new();
+    for line in lines {
+        let (name, value) = line.split_once(':').ok_or(ParseError::BadHeader)?;
+        if name.is_empty() || !is_token(name) {
+            // Leading whitespace in the name would be obs-fold continuation;
+            // reject it like modern servers do.
+            return Err(ParseError::BadHeader);
+        }
+        headers.push((name, value.trim()));
+    }
+
+    Ok(Some((
+        RequestHead {
+            method,
+            target,
+            version,
+            headers,
+        },
+        head_len,
+    )))
+}
+
+/// Byte offset of the first `\r\n\r\n`, if present.
+fn find_double_crlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// RFC 9110 `token` characters (method and header names).
+fn is_token(s: &str) -> bool {
+    s.bytes()
+        .all(|b| b.is_ascii_alphanumeric() || b"!#$%&'*+-.^_`|~".contains(&b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SIMPLE: &[u8] = b"GET /healthz HTTP/1.1\r\nHost: localhost\r\n\r\n";
+
+    #[test]
+    fn parses_a_complete_head() {
+        let (head, consumed) = parse_head(SIMPLE).unwrap().expect("complete");
+        assert_eq!(head.method, "GET");
+        assert_eq!(head.target, "/healthz");
+        assert_eq!(head.version, Version::Http11);
+        assert_eq!(head.header("host"), Some("localhost"));
+        assert_eq!(head.header("HOST"), Some("localhost"));
+        assert_eq!(consumed, SIMPLE.len());
+    }
+
+    #[test]
+    fn incremental_prefixes_ask_for_more_bytes() {
+        // Every strict prefix parses to "need more", never an error — the
+        // split/partial-read contract the connection loop relies on.
+        for cut in 0..SIMPLE.len() {
+            assert!(
+                matches!(parse_head(&SIMPLE[..cut]), Ok(None)),
+                "prefix of {cut} bytes must be incomplete, not an error"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_left_for_the_next_request() {
+        let mut pipelined = SIMPLE.to_vec();
+        pipelined.extend_from_slice(b"GET /v1/report HTTP/1.1\r\n\r\n");
+        let (head, consumed) = parse_head(&pipelined).unwrap().expect("complete");
+        assert_eq!(head.target, "/healthz");
+        let (second, _) = parse_head(&pipelined[consumed..]).unwrap().expect("second");
+        assert_eq!(second.target, "/v1/report");
+    }
+
+    #[test]
+    fn malformed_request_lines_are_rejected() {
+        for bad in [
+            "GET\r\n\r\n",
+            "GET /x\r\n\r\n",
+            "GET  /x HTTP/1.1\r\n\r\n",
+            "GET /x HTTP/1.1 extra\r\n\r\n",
+            "G<T /x HTTP/1.1\r\n\r\n",
+            " GET /x HTTP/1.1\r\n\r\n",
+        ] {
+            assert_eq!(
+                parse_head(bad.as_bytes()),
+                Err(ParseError::BadRequestLine),
+                "accepted {bad:?}"
+            );
+        }
+        assert_eq!(
+            parse_head(b"GET /x HTTP/2.0\r\n\r\n"),
+            Err(ParseError::UnsupportedVersion)
+        );
+        assert_eq!(
+            parse_head(b"GET /x FTP/1.0\r\n\r\n"),
+            Err(ParseError::BadRequestLine)
+        );
+    }
+
+    #[test]
+    fn malformed_headers_are_rejected() {
+        for bad in [
+            "GET /x HTTP/1.1\r\nno-colon\r\n\r\n",
+            "GET /x HTTP/1.1\r\n: empty-name\r\n\r\n",
+            "GET /x HTTP/1.1\r\n sp-name: v\r\n\r\n",
+        ] {
+            assert_eq!(parse_head(bad.as_bytes()), Err(ParseError::BadHeader));
+        }
+    }
+
+    #[test]
+    fn content_length_parsing_and_smuggling_guard() {
+        let head = |text: &'static str| {
+            let raw = format!("POST /v1/search HTTP/1.1\r\n{text}\r\n");
+            let buf = Box::leak(raw.into_bytes().into_boxed_slice());
+            parse_head(buf).unwrap().unwrap().0.content_length()
+        };
+        assert_eq!(head("Content-Length: 42\r\n"), Ok(42));
+        assert_eq!(head(""), Ok(0));
+        assert_eq!(head("Content-Length: 7\r\nContent-Length: 7\r\n"), Ok(7));
+        assert_eq!(
+            head("Content-Length: 7\r\nContent-Length: 8\r\n"),
+            Err(ParseError::BadContentLength)
+        );
+        assert_eq!(
+            head("Content-Length: -1\r\n"),
+            Err(ParseError::BadContentLength)
+        );
+        assert_eq!(
+            head("Content-Length: +5\r\n"),
+            Err(ParseError::BadContentLength),
+            "RFC 9110 allows digits only; a '+' sign is a proxy framing hazard"
+        );
+        assert_eq!(
+            head("Content-Length: 4 4\r\n"),
+            Err(ParseError::BadContentLength)
+        );
+    }
+
+    #[test]
+    fn keep_alive_defaults_follow_the_version() {
+        let parse = |raw: &'static str| {
+            let buf = Box::leak(raw.to_string().into_bytes().into_boxed_slice());
+            parse_head(buf).unwrap().unwrap().0
+        };
+        assert!(parse("GET / HTTP/1.1\r\n\r\n").keep_alive());
+        assert!(!parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").keep_alive());
+        assert!(!parse("GET / HTTP/1.0\r\n\r\n").keep_alive());
+        assert!(parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").keep_alive());
+    }
+
+    #[test]
+    fn oversized_heads_fail_instead_of_buffering_forever() {
+        let mut endless = b"GET / HTTP/1.1\r\nX-Fill: ".to_vec();
+        endless.resize(MAX_HEAD_BYTES + 2, b'a');
+        assert_eq!(parse_head(&endless), Err(ParseError::HeadTooLarge));
+    }
+}

@@ -1,0 +1,441 @@
+//! The network frontend: a thread-per-connection HTTP/1.1 acceptor mapping
+//! the API onto a [`RagServer`].
+//!
+//! | Endpoint | Maps to |
+//! |---|---|
+//! | `POST /v1/search` (+ `X-Tenant`) | [`RagServer::submit_for`], blocks on the [`Ticket`](crate::Ticket), streams the merged result back |
+//! | `GET /v1/report` | [`RagServer::report`] as JSON |
+//! | `GET /v1/tenants` | the tenant table |
+//! | `GET /healthz` | liveness + queue depth + placement generation |
+//!
+//! Connections are persistent (HTTP/1.1 keep-alive, pipelining included);
+//! each runs on its own thread with a short read timeout so it can observe
+//! shutdown. [`HttpFrontend::shutdown`] stops the acceptor, lets in-flight
+//! requests finish (their tickets are served by the still-running batcher),
+//! closes idle connections, then gracefully quiesces the runtime itself and
+//! returns the final [`ServeReport`]. Dropping the frontend without calling
+//! `shutdown` performs the same teardown.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::config::HttpConfig;
+use crate::http::json::Json;
+use crate::http::parser::{self, ParseError, RequestHead};
+use crate::http::wire;
+use crate::report::ServeReport;
+use crate::request::{AdmissionError, TenantId};
+use crate::server::RagServer;
+
+/// How often a blocked connection read re-checks the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Upper bound on writing one response to a stalled client.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// State shared between the acceptor and every connection thread.
+struct FrontendInner {
+    server: RagServer,
+    config: HttpConfig,
+    shutting_down: AtomicBool,
+    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+    started: Instant,
+}
+
+/// The HTTP/1.1 frontend. Owns the [`RagServer`] and the acceptor thread.
+pub struct HttpFrontend {
+    inner: Option<Arc<FrontendInner>>,
+    acceptor: Option<JoinHandle<()>>,
+    addr: SocketAddr,
+}
+
+impl std::fmt::Debug for HttpFrontend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpFrontend")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl HttpFrontend {
+    /// Binds `config.addr` and starts accepting connections against an
+    /// already-running `server`. Use port `0` to let the OS pick (read the
+    /// result back from [`HttpFrontend::addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(server: RagServer, config: &HttpConfig) -> std::io::Result<HttpFrontend> {
+        let listener = TcpListener::bind(config.addr.as_str())?;
+        let addr = listener.local_addr()?;
+        let inner = Arc::new(FrontendInner {
+            server,
+            config: config.clone(),
+            shutting_down: AtomicBool::new(false),
+            conn_threads: Mutex::new(Vec::new()),
+            started: Instant::now(),
+        });
+        let acceptor = {
+            let inner = inner.clone();
+            std::thread::Builder::new()
+                .name("vlite-http-accept".into())
+                .spawn(move || acceptor(&listener, &inner))
+                .expect("spawn http acceptor")
+        };
+        Ok(HttpFrontend {
+            inner: Some(inner),
+            acceptor: Some(acceptor),
+            addr,
+        })
+    }
+
+    /// The address the frontend actually bound (resolves port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The serving runtime behind the frontend (for in-process submissions
+    /// and report snapshots alongside network traffic).
+    pub fn server(&self) -> &RagServer {
+        &self.inner.as_ref().expect("frontend is running").server
+    }
+
+    /// Graceful shutdown: stop accepting, finish in-flight requests, close
+    /// idle connections, quiesce the runtime, return the final report.
+    pub fn shutdown(mut self) -> ServeReport {
+        self.quiesce();
+        let inner = self.inner.take().expect("shutdown runs once");
+        let inner = Arc::try_unwrap(inner)
+            .map_err(|_| ())
+            .expect("all connection threads joined");
+        inner.server.shutdown()
+    }
+
+    /// Stops the acceptor and joins every connection thread. In-flight
+    /// requests complete first: their tickets are served by the runtime,
+    /// which is still fully up until [`HttpFrontend::shutdown`] quiesces it.
+    fn quiesce(&mut self) {
+        let Some(inner) = self.inner.as_ref() else {
+            return;
+        };
+        inner.shutting_down.store(true, Ordering::SeqCst);
+        // The acceptor is blocked in `accept`; poke it awake.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        let handles = std::mem::take(
+            &mut *inner
+                .conn_threads
+                .lock()
+                .expect("connection table poisoned"),
+        );
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for HttpFrontend {
+    fn drop(&mut self) {
+        // Same quiesce path as `shutdown`; the runtime then tears down
+        // gracefully through `RagServer`'s own `Drop`.
+        self.quiesce();
+        self.inner.take();
+    }
+}
+
+fn acceptor(listener: &TcpListener, inner: &Arc<FrontendInner>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if inner.shutting_down.load(Ordering::SeqCst) {
+                    return; // the shutdown poke (or a late client)
+                }
+                let conn_inner = inner.clone();
+                let spawned = std::thread::Builder::new()
+                    .name("vlite-http-conn".into())
+                    .spawn(move || connection(&conn_inner, stream));
+                if let Ok(handle) = spawned {
+                    let mut threads = inner
+                        .conn_threads
+                        .lock()
+                        .expect("connection table poisoned");
+                    // Reap finished connections so a long-lived frontend
+                    // under churn doesn't accumulate dead handles.
+                    threads.retain(|h| !h.is_finished());
+                    threads.push(handle);
+                }
+            }
+            Err(_) => {
+                if inner.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// What the connection loop should do after one service attempt.
+enum Step {
+    /// The buffer holds no complete request yet.
+    NeedMore,
+    /// One request was answered; the connection stays open.
+    Served,
+    /// The connection must close (protocol error or `Connection: close`).
+    Close,
+}
+
+fn connection(inner: &FrontendInner, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 8192];
+    let mut continue_sent = false;
+    loop {
+        // Serve every complete pipelined request already buffered.
+        loop {
+            match try_serve_one(inner, &mut buf, &mut stream, &mut continue_sent) {
+                Ok(Step::NeedMore) => break,
+                Ok(Step::Served) => {}
+                Ok(Step::Close) | Err(_) => return,
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // peer closed
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if inner.shutting_down.load(Ordering::SeqCst) {
+                    return; // idle (or mid-request) connection at shutdown
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Parses and answers at most one request from the front of `buf`.
+fn try_serve_one(
+    inner: &FrontendInner,
+    buf: &mut Vec<u8>,
+    stream: &mut TcpStream,
+    continue_sent: &mut bool,
+) -> std::io::Result<Step> {
+    let (response, consumed, keep) = match parser::parse_head(buf) {
+        Ok(None) => return Ok(Step::NeedMore),
+        Err(err) => {
+            // Framing is unrecoverable after a parse error: answer and close.
+            let status = match err {
+                ParseError::HeadTooLarge => (431, "Request Header Fields Too Large"),
+                ParseError::UnsupportedVersion => (505, "HTTP Version Not Supported"),
+                _ => (400, "Bad Request"),
+            };
+            let response = encode_response(status, &wire::error_body(&err.to_string()), &[], false);
+            stream.write_all(&response)?;
+            return Ok(Step::Close);
+        }
+        Ok(Some((head, head_len))) => {
+            if head.is_chunked() {
+                let response = encode_response(
+                    (411, "Length Required"),
+                    &wire::error_body("chunked transfer encoding is not supported"),
+                    &[],
+                    false,
+                );
+                stream.write_all(&response)?;
+                return Ok(Step::Close);
+            }
+            let body_len = match head.content_length() {
+                Ok(n) => n,
+                Err(err) => {
+                    let response = encode_response(
+                        (400, "Bad Request"),
+                        &wire::error_body(&err.to_string()),
+                        &[],
+                        false,
+                    );
+                    stream.write_all(&response)?;
+                    return Ok(Step::Close);
+                }
+            };
+            if body_len > inner.config.max_body {
+                // Reject before buffering the body; the unread bytes make
+                // the framing unusable, so the connection closes.
+                let response = encode_response(
+                    (413, "Payload Too Large"),
+                    &wire::error_body(&format!(
+                        "body of {body_len} bytes exceeds the {}-byte limit",
+                        inner.config.max_body
+                    )),
+                    &[],
+                    false,
+                );
+                stream.write_all(&response)?;
+                return Ok(Step::Close);
+            }
+            if buf.len() < head_len + body_len {
+                if head.expects_continue() && !*continue_sent {
+                    *continue_sent = true;
+                    stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n")?;
+                }
+                return Ok(Step::NeedMore);
+            }
+            let body = &buf[head_len..head_len + body_len];
+            let keep = head.keep_alive()
+                && inner.config.keep_alive
+                && !inner.shutting_down.load(Ordering::SeqCst);
+            let (status, body_out, extra) = route(inner, &head, body);
+            (
+                encode_response(status, &body_out, &extra, keep),
+                head_len + body_len,
+                keep,
+            )
+        }
+    };
+    stream.write_all(&response)?;
+    buf.drain(..consumed);
+    *continue_sent = false;
+    Ok(if keep { Step::Served } else { Step::Close })
+}
+
+type Reply = ((u16, &'static str), String, Vec<(String, String)>);
+
+const OK: (u16, &str) = (200, "OK");
+
+fn bad_request(message: &str) -> Reply {
+    ((400, "Bad Request"), wire::error_body(message), Vec::new())
+}
+
+fn route(inner: &FrontendInner, head: &RequestHead<'_>, body: &[u8]) -> Reply {
+    if inner.shutting_down.load(Ordering::SeqCst) {
+        return (
+            (503, "Service Unavailable"),
+            wire::error_body("server is shutting down"),
+            Vec::new(),
+        );
+    }
+    match (head.method, head.path()) {
+        ("GET", "/healthz") => (OK, healthz(inner).render(), Vec::new()),
+        ("GET", "/v1/report") => (OK, inner.server.report().to_json().render(), Vec::new()),
+        ("GET", "/v1/tenants") => (
+            OK,
+            wire::tenants_to_json(inner.server.tenants()).render(),
+            Vec::new(),
+        ),
+        ("POST", "/v1/search") => search(inner, head, body),
+        (_, "/healthz" | "/v1/report" | "/v1/tenants") => method_not_allowed("GET"),
+        (_, "/v1/search") => method_not_allowed("POST"),
+        _ => (
+            (404, "Not Found"),
+            wire::error_body("no such endpoint"),
+            Vec::new(),
+        ),
+    }
+}
+
+fn method_not_allowed(allow: &str) -> Reply {
+    (
+        (405, "Method Not Allowed"),
+        wire::error_body(&format!("only {allow} is supported here")),
+        vec![("Allow".into(), allow.into())],
+    )
+}
+
+fn healthz(inner: &FrontendInner) -> Json {
+    Json::Obj(vec![
+        ("status".into(), Json::Str("ok".into())),
+        (
+            "uptime_s".into(),
+            Json::Num(inner.started.elapsed().as_secs_f64()),
+        ),
+        (
+            "generation".into(),
+            Json::Num(inner.server.placement_generation() as f64),
+        ),
+        (
+            "queue_depth".into(),
+            Json::Num(inner.server.queue_depth() as f64),
+        ),
+        (
+            "tenants".into(),
+            Json::Num(inner.server.tenants().len() as f64),
+        ),
+    ])
+}
+
+/// `POST /v1/search`: decode, submit for the `X-Tenant` tenant (default 0),
+/// block on the ticket, encode the merged result.
+fn search(inner: &FrontendInner, head: &RequestHead<'_>, body: &[u8]) -> Reply {
+    let tenant = match head.header("x-tenant") {
+        None => TenantId(0),
+        Some(raw) => match raw.trim().parse::<u16>() {
+            Ok(id) => TenantId(id),
+            Err(_) => return bad_request("X-Tenant must be an integer tenant id"),
+        },
+    };
+    let Ok(text) = std::str::from_utf8(body) else {
+        return bad_request("body must be UTF-8 JSON");
+    };
+    let json = match Json::parse(text) {
+        Ok(json) => json,
+        Err(err) => return bad_request(&err.to_string()),
+    };
+    let query = match wire::search_request_from_json(&json) {
+        Ok(query) => query,
+        Err(err) => return bad_request(&err.to_string()),
+    };
+    match inner.server.submit_for(tenant, query) {
+        Ok(ticket) => match ticket.wait() {
+            Some(response) => (
+                OK,
+                wire::search_response_to_json(&response).render(),
+                Vec::new(),
+            ),
+            None => (
+                (503, "Service Unavailable"),
+                wire::error_body("server stopped before the request completed"),
+                Vec::new(),
+            ),
+        },
+        Err(err @ AdmissionError::QueueFull { .. }) => (
+            (429, "Too Many Requests"),
+            wire::error_body(&err.to_string()),
+            vec![("Retry-After".into(), "0".into())],
+        ),
+        Err(err @ AdmissionError::UnknownTenant { .. }) => bad_request(&err.to_string()),
+        Err(AdmissionError::ShuttingDown) => (
+            (503, "Service Unavailable"),
+            wire::error_body("server is shutting down"),
+            Vec::new(),
+        ),
+    }
+}
+
+/// Serializes one response with explicit framing (`Content-Length` always
+/// present, `Connection` reflecting the keep-alive decision).
+fn encode_response(
+    status: (u16, &str),
+    body: &str,
+    extra_headers: &[(String, String)],
+    keep_alive: bool,
+) -> Vec<u8> {
+    let mut out = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        status.0,
+        status.1,
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    for (name, value) in extra_headers {
+        out.push_str(&format!("{name}: {value}\r\n"));
+    }
+    out.push_str("\r\n");
+    let mut bytes = out.into_bytes();
+    bytes.extend_from_slice(body.as_bytes());
+    bytes
+}

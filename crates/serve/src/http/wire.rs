@@ -1,0 +1,238 @@
+//! JSON wire mappings for the HTTP API's request/response types.
+//!
+//! Each type crossing the socket gets an explicit encode/decode pair over
+//! [`Json`] — no derive magic, so the wire format is spelled out in one
+//! place and round-trip tested. Decoders validate shape strictly: a missing
+//! or mistyped field is a [`WireError`], which the frontend maps to `400`.
+
+use vlite_ann::Neighbor;
+
+use crate::config::TenantSpec;
+use crate::http::json::Json;
+use crate::request::{RequestTimings, SearchResponse, TenantId};
+
+/// A field-level decode failure (maps to `400 Bad Request`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireError {
+    /// Which field was missing or mistyped.
+    pub field: &'static str,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "missing or invalid field: {}", self.field)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn field<'a>(value: &'a Json, name: &'static str) -> Result<&'a Json, WireError> {
+    value.get(name).ok_or(WireError { field: name })
+}
+
+fn num(value: &Json, name: &'static str) -> Result<f64, WireError> {
+    field(value, name)?
+        .as_f64()
+        .ok_or(WireError { field: name })
+}
+
+fn int(value: &Json, name: &'static str) -> Result<u64, WireError> {
+    field(value, name)?
+        .as_u64()
+        .ok_or(WireError { field: name })
+}
+
+/// Encodes a search request body: `{"query":[…]}`.
+pub fn search_request_to_json(query: &[f32]) -> Json {
+    Json::Obj(vec![(
+        "query".into(),
+        Json::Arr(query.iter().map(|&x| Json::Num(f64::from(x))).collect()),
+    )])
+}
+
+/// Decodes a search request body into the query vector.
+///
+/// # Errors
+///
+/// [`WireError`] when `query` is missing, not an array of numbers, or
+/// empty.
+pub fn search_request_from_json(value: &Json) -> Result<Vec<f32>, WireError> {
+    let items = field(value, "query")?
+        .as_array()
+        .ok_or(WireError { field: "query" })?;
+    if items.is_empty() {
+        return Err(WireError { field: "query" });
+    }
+    items
+        .iter()
+        .map(|item| {
+            #[allow(clippy::cast_possible_truncation)]
+            item.as_f64()
+                .map(|x| x as f32)
+                .ok_or(WireError { field: "query" })
+        })
+        .collect()
+}
+
+/// Encodes a completed search: id, tenant, generation, hit rate, per-stage
+/// timings, and the merged neighbor list.
+pub fn search_response_to_json(response: &SearchResponse) -> Json {
+    Json::Obj(vec![
+        ("id".into(), Json::Num(response.id as f64)),
+        ("tenant".into(), Json::Num(f64::from(response.tenant.0))),
+        ("generation".into(), Json::Num(response.generation as f64)),
+        ("hit_rate".into(), Json::Num(response.hit_rate)),
+        (
+            "timings".into(),
+            Json::Obj(vec![
+                ("queue".into(), Json::Num(response.timings.queue)),
+                ("search".into(), Json::Num(response.timings.search)),
+                ("e2e".into(), Json::Num(response.timings.e2e)),
+            ]),
+        ),
+        (
+            "neighbors".into(),
+            Json::Arr(
+                response
+                    .neighbors
+                    .iter()
+                    .map(|n| {
+                        Json::Obj(vec![
+                            ("id".into(), Json::Num(n.id as f64)),
+                            ("distance".into(), Json::Num(f64::from(n.distance))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Decodes a search response (the HTTP load generator's side of the wire).
+///
+/// # Errors
+///
+/// [`WireError`] on any missing or mistyped field.
+pub fn search_response_from_json(value: &Json) -> Result<SearchResponse, WireError> {
+    let timings = field(value, "timings")?;
+    let neighbors = field(value, "neighbors")?
+        .as_array()
+        .ok_or(WireError { field: "neighbors" })?
+        .iter()
+        .map(|n| {
+            #[allow(clippy::cast_possible_truncation)]
+            Ok(Neighbor::new(int(n, "id")?, num(n, "distance")? as f32))
+        })
+        .collect::<Result<Vec<_>, WireError>>()?;
+    let tenant = int(value, "tenant")?;
+    let tenant = u16::try_from(tenant).map_err(|_| WireError { field: "tenant" })?;
+    Ok(SearchResponse {
+        id: int(value, "id")?,
+        tenant: TenantId(tenant),
+        neighbors,
+        timings: RequestTimings {
+            queue: num(timings, "queue")?,
+            search: num(timings, "search")?,
+            e2e: num(timings, "e2e")?,
+        },
+        hit_rate: num(value, "hit_rate")?,
+        generation: int(value, "generation")?,
+    })
+}
+
+/// Encodes the tenant table for `GET /v1/tenants`.
+pub fn tenants_to_json(tenants: &[TenantSpec]) -> Json {
+    Json::Arr(
+        tenants
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                Json::Obj(vec![
+                    ("tenant".into(), Json::Num(i as f64)),
+                    ("weight".into(), Json::Num(f64::from(spec.weight))),
+                    (
+                        "queue_capacity".into(),
+                        Json::Num(spec.queue_capacity as f64),
+                    ),
+                    ("slo_search".into(), Json::Num(spec.slo_search)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// A machine-readable error body: `{"error":"…"}`.
+pub fn error_body(message: &str) -> String {
+    Json::Obj(vec![("error".into(), Json::Str(message.into()))]).render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn search_request_round_trips() {
+        let query = vec![0.25f32, -1.5, 3.0e-7, 42.0];
+        let json = search_request_to_json(&query);
+        let text = json.render();
+        let back = search_request_from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, query);
+    }
+
+    #[test]
+    fn search_request_rejects_bad_shapes() {
+        for bad in [
+            r#"{}"#,
+            r#"{"query":[]}"#,
+            r#"{"query":"nope"}"#,
+            r#"{"query":[1,"x"]}"#,
+        ] {
+            let value = Json::parse(bad).unwrap();
+            assert!(search_request_from_json(&value).is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn search_response_round_trips() {
+        let original = SearchResponse {
+            id: 7,
+            tenant: TenantId(3),
+            neighbors: vec![Neighbor::new(12, 0.125), Neighbor::new(99, 1.75)],
+            timings: RequestTimings {
+                queue: 0.001,
+                search: 0.0045,
+                e2e: 0.0055,
+            },
+            hit_rate: 0.625,
+            generation: 2,
+        };
+        let text = search_response_to_json(&original).render();
+        let back = search_response_from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.id, original.id);
+        assert_eq!(back.tenant, original.tenant);
+        assert_eq!(back.neighbors, original.neighbors);
+        assert_eq!(back.timings, original.timings);
+        assert_eq!(back.hit_rate, original.hit_rate);
+        assert_eq!(back.generation, original.generation);
+    }
+
+    #[test]
+    fn tenant_table_encodes_every_row() {
+        let json = tenants_to_json(&[
+            TenantSpec {
+                weight: 1,
+                queue_capacity: 64,
+                slo_search: 0.01,
+            },
+            TenantSpec {
+                weight: 4,
+                queue_capacity: 256,
+                slo_search: 0.05,
+            },
+        ]);
+        let rows = json.as_array().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].get("weight").unwrap().as_u64(), Some(4));
+        assert_eq!(rows[1].get("slo_search").unwrap().as_f64(), Some(0.05));
+    }
+}

@@ -39,8 +39,13 @@
 //! - [`run_dispatcher`] / [`hybrid_search_batch`] — the one-shot batch
 //!   dispatcher (moved here from `vlite-core`'s prototype in `real.rs`),
 //!   reused by the persistent runtime.
+//! - [`http`] — the hand-rolled HTTP/1.1 network frontend
+//!   ([`HttpFrontend`]): `POST /v1/search` (with an `X-Tenant` header),
+//!   `GET /v1/report`, `GET /v1/tenants` and `GET /healthz` over
+//!   `std::net::TcpListener`, thread-per-connection with keep-alive.
 //! - [`loadgen`] — open-loop Poisson load generation with a rotating-hot-set
-//!   query source for drift experiments, single- and multi-tenant.
+//!   query source for drift experiments, single- and multi-tenant, in
+//!   process or over the HTTP frontend's socket.
 //! - [`ServeReport`] — percentile latencies, SLO attainment, admission and
 //!   repartition accounting for benches and figures, with a per-tenant
 //!   breakdown ([`TenantReport`]).
@@ -73,15 +78,17 @@
 mod config;
 mod control;
 mod dispatch;
+pub mod http;
 pub mod loadgen;
 mod queue;
 mod report;
 mod request;
 mod server;
 
-pub use config::{ControlConfig, ServeConfig, TenantSpec};
+pub use config::{ControlConfig, HttpConfig, ServeConfig, TenantSpec};
 pub use control::RepartitionEvent;
 pub use dispatch::{hybrid_search_batch, run_dispatcher, DispatchOutcome};
+pub use http::HttpFrontend;
 pub use report::{ServeReport, TenantReport};
 pub use request::{AdmissionError, RequestTimings, SearchResponse, TenantId, Ticket};
 pub use server::RagServer;

@@ -7,22 +7,30 @@
 //! a corpus's topic mixture and can rotate the Zipf hot set mid-run, the
 //! drift scenario of §IV-B3.
 //!
-//! Two drivers:
+//! Three drivers:
 //! - [`run_open_loop`] — single-tenant (tenant 0), one Poisson rate;
 //! - [`run_open_loop_tenants`] — multi-tenant: each tenant brings its own
 //!   Zipf query source and a piecewise-constant rate schedule
 //!   ([`LoadPhase`]), so one tenant can flood mid-run while another stays
 //!   steady. Per-tenant arrival processes are independent Poisson streams
 //!   merged on the wall clock.
+//! - [`run_open_loop_http`] — the same multi-tenant schedule fired over a
+//!   real TCP socket against an
+//!   [`HttpFrontend`](crate::http::HttpFrontend), through a pool of
+//!   persistent keep-alive connections.
 
+use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
+use crossbeam::channel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use vlite_ann::VecSet;
 use vlite_workload::{gaussian, SyntheticCorpus, ZipfSampler};
 
+use crate::http::client::HttpClient;
+use crate::http::wire;
 use crate::request::{AdmissionError, SearchResponse, TenantId, Ticket};
 use crate::server::RagServer;
 
@@ -237,26 +245,7 @@ pub fn run_open_loop_tenants(
     loads: &mut [TenantLoad],
     seed: u64,
 ) -> MultiTenantResult {
-    // Precompute per-tenant Poisson arrival offsets (seconds from start).
-    let mut arrivals: Vec<(f64, usize)> = Vec::new();
-    for (li, load) in loads.iter().enumerate() {
-        let mut rng = StdRng::seed_from_u64(seed ^ (0x7e2a_177e + load.tenant.0 as u64 * 0x9e37));
-        let mut t = 0.0f64;
-        for phase in &load.phases {
-            assert!(
-                phase.rate.is_finite() && phase.rate > 0.0,
-                "rate must be positive, got {}",
-                phase.rate
-            );
-            for _ in 0..phase.n {
-                let u: f64 = rng.random();
-                t += -(1.0 - u).ln() / phase.rate;
-                arrivals.push((t, li));
-            }
-        }
-    }
-    assert!(!arrivals.is_empty(), "need at least one request");
-    arrivals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("arrival times are finite"));
+    let arrivals = merged_arrivals(loads, seed);
 
     let mut outcomes: Vec<TenantLoopResult> = loads
         .iter()
@@ -295,6 +284,157 @@ pub fn run_open_loop_tenants(
             if let Some(response) = ticket.wait() {
                 outcomes[li].responses.push(response);
             }
+        }
+    }
+    MultiTenantResult {
+        tenants: outcomes,
+        offered_for,
+        served_for: started.elapsed(),
+    }
+}
+
+/// Precomputes every tenant's Poisson arrival offsets (seconds from start)
+/// and merges them into one timestamp-ordered schedule of `(at, load
+/// index)` pairs.
+///
+/// # Panics
+///
+/// Panics if no load has any requests, or any phase rate is not finite and
+/// positive.
+fn merged_arrivals(loads: &[TenantLoad], seed: u64) -> Vec<(f64, usize)> {
+    let mut arrivals: Vec<(f64, usize)> = Vec::new();
+    for (li, load) in loads.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(seed ^ (0x7e2a_177e + load.tenant.0 as u64 * 0x9e37));
+        let mut t = 0.0f64;
+        for phase in &load.phases {
+            assert!(
+                phase.rate.is_finite() && phase.rate > 0.0,
+                "rate must be positive, got {}",
+                phase.rate
+            );
+            for _ in 0..phase.n {
+                let u: f64 = rng.random();
+                t += -(1.0 - u).ln() / phase.rate;
+                arrivals.push((t, li));
+            }
+        }
+    }
+    assert!(!arrivals.is_empty(), "need at least one request");
+    arrivals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("arrival times are finite"));
+    arrivals
+}
+
+/// One worker's report back to the collector.
+enum HttpOutcome {
+    /// `200 OK` with a decoded search response.
+    Completed(SearchResponse),
+    /// `429 Too Many Requests` — shed against the submitting tenant's
+    /// quota, the same signal as an in-process `QueueFull`.
+    Rejected,
+}
+
+/// Drives the multi-tenant open-loop schedule over a real TCP socket
+/// against an [`HttpFrontend`](crate::http::HttpFrontend) at `addr`.
+///
+/// Arrivals follow the same merged Poisson schedule as
+/// [`run_open_loop_tenants`]; each submission is handed to a pool of
+/// `connections` worker threads, every one holding a persistent keep-alive
+/// connection. A `429` counts as a rejection charged to the submitting
+/// tenant; any other non-`200` status is driver misuse and panics. The
+/// per-request timings inside each returned [`SearchResponse`] are the
+/// *server's* measurements, decoded from the response body, so they are
+/// directly comparable with an in-process run.
+///
+/// Since `POST /v1/search` blocks until the result is merged, `connections`
+/// bounds the number of in-flight requests: size it above the offered rate
+/// times the expected latency, or submissions lag the open-loop schedule.
+/// Per-tenant responses arrive in completion order, not submission order.
+///
+/// # Panics
+///
+/// Panics on an empty schedule, `connections == 0`, connect failures, or a
+/// status other than `200`/`429`.
+pub fn run_open_loop_http(
+    addr: SocketAddr,
+    loads: &mut [TenantLoad],
+    seed: u64,
+    connections: usize,
+) -> MultiTenantResult {
+    assert!(connections > 0, "need at least one connection");
+    let arrivals = merged_arrivals(loads, seed);
+
+    let (job_tx, job_rx) = channel::unbounded::<(usize, TenantId, Vec<f32>)>();
+    let (result_tx, result_rx) = channel::unbounded::<(usize, HttpOutcome)>();
+    let workers: Vec<std::thread::JoinHandle<()>> = (0..connections)
+        .map(|w| {
+            let rx = job_rx.clone();
+            let tx = result_tx.clone();
+            std::thread::Builder::new()
+                .name(format!("vlite-loadgen-{w}"))
+                .spawn(move || {
+                    let mut client = HttpClient::connect(addr).expect("loadgen connects");
+                    while let Ok((li, tenant, query)) = rx.recv() {
+                        let body = wire::search_request_to_json(&query).render();
+                        let tenant_header = tenant.0.to_string();
+                        let response = client
+                            .post_json("/v1/search", &[("X-Tenant", &tenant_header)], &body)
+                            .expect("search exchange succeeds");
+                        let outcome = match response.status {
+                            200 => {
+                                let json = response.json().expect("response body is JSON");
+                                HttpOutcome::Completed(
+                                    wire::search_response_from_json(&json)
+                                        .expect("response decodes"),
+                                )
+                            }
+                            429 => HttpOutcome::Rejected,
+                            status => panic!("unexpected status {status} from /v1/search"),
+                        };
+                        if tx.send((li, outcome)).is_err() {
+                            return;
+                        }
+                    }
+                })
+                .expect("spawn loadgen worker")
+        })
+        .collect();
+    drop(job_rx);
+    drop(result_tx);
+
+    let mut outcomes: Vec<TenantLoopResult> = loads
+        .iter()
+        .map(|load| TenantLoopResult {
+            tenant: load.tenant,
+            submitted: 0,
+            rejected: 0,
+            responses: Vec::new(),
+        })
+        .collect();
+
+    let started = Instant::now();
+    for (at, li) in arrivals {
+        let target = started + Duration::from_secs_f64(at);
+        let now = Instant::now();
+        if target > now {
+            std::thread::sleep(target - now);
+        }
+        let load = &mut loads[li];
+        let query = load.source.next_query();
+        outcomes[li].submitted += 1;
+        job_tx
+            .send((li, load.tenant, query))
+            .expect("worker pool alive");
+    }
+    let offered_for = started.elapsed();
+
+    drop(job_tx); // workers drain the backlog, then exit
+    for worker in workers {
+        worker.join().expect("loadgen worker panicked");
+    }
+    while let Ok((li, outcome)) = result_rx.try_recv() {
+        match outcome {
+            HttpOutcome::Completed(response) => outcomes[li].responses.push(response),
+            HttpOutcome::Rejected => outcomes[li].rejected += 1,
         }
     }
     MultiTenantResult {

@@ -7,6 +7,7 @@ use vlite_metrics::{fmt_seconds, Summary, Table};
 
 use crate::config::TenantSpec;
 use crate::control::RepartitionEvent;
+use crate::http::json::Json;
 use crate::queue::QueueStats;
 use crate::request::TenantId;
 use crate::server::ServeMetrics;
@@ -272,6 +273,97 @@ impl ServeReport {
             ]);
         }
         table
+    }
+
+    /// The whole report as a JSON value — what `GET /v1/report` serves.
+    /// Field names mirror the struct exactly so the wire format needs no
+    /// separate documentation.
+    pub fn to_json(&self) -> Json {
+        fn summary_json(s: &Summary) -> Json {
+            Json::Obj(vec![
+                ("count".into(), Json::Num(s.count as f64)),
+                ("mean".into(), Json::Num(s.mean)),
+                ("min".into(), Json::Num(s.min)),
+                ("max".into(), Json::Num(s.max)),
+                ("p50".into(), Json::Num(s.p50)),
+                ("p90".into(), Json::Num(s.p90)),
+                ("p95".into(), Json::Num(s.p95)),
+                ("p99".into(), Json::Num(s.p99)),
+            ])
+        }
+        let tenants = self
+            .tenants
+            .iter()
+            .map(|t| {
+                Json::Obj(vec![
+                    ("tenant".into(), Json::Num(f64::from(t.tenant.0))),
+                    ("weight".into(), Json::Num(f64::from(t.weight))),
+                    ("queue_capacity".into(), Json::Num(t.queue_capacity as f64)),
+                    ("admitted".into(), Json::Num(t.admitted as f64)),
+                    ("rejected".into(), Json::Num(t.rejected as f64)),
+                    ("completed".into(), Json::Num(t.completed as f64)),
+                    (
+                        "peak_queue_depth".into(),
+                        Json::Num(t.peak_queue_depth as f64),
+                    ),
+                    ("queue".into(), summary_json(&t.queue)),
+                    ("search".into(), summary_json(&t.search)),
+                    ("e2e".into(), summary_json(&t.e2e)),
+                    ("slo_target".into(), Json::Num(t.slo_target)),
+                    ("slo_attainment".into(), Json::Num(t.slo_attainment)),
+                    ("mean_hit_rate".into(), Json::Num(t.mean_hit_rate)),
+                ])
+            })
+            .collect();
+        let repartitions = self
+            .repartitions
+            .iter()
+            .map(|e| {
+                Json::Obj(vec![
+                    ("generation".into(), Json::Num(e.generation as f64)),
+                    ("at_request".into(), Json::Num(e.at_request as f64)),
+                    (
+                        "observed_by_tenant".into(),
+                        Json::Arr(
+                            e.observed_by_tenant
+                                .iter()
+                                .map(|&n| Json::Num(n as f64))
+                                .collect(),
+                        ),
+                    ),
+                    ("old_coverage".into(), Json::Num(e.old_coverage)),
+                    ("new_coverage".into(), Json::Num(e.new_coverage)),
+                    ("hot_overlap".into(), Json::Num(e.hot_overlap)),
+                    (
+                        "queue_depth_at_swap".into(),
+                        Json::Num(e.queue_depth_at_swap as f64),
+                    ),
+                    ("duration_s".into(), Json::Num(e.duration.as_secs_f64())),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("admitted".into(), Json::Num(self.admitted as f64)),
+            ("rejected".into(), Json::Num(self.rejected as f64)),
+            ("completed".into(), Json::Num(self.completed as f64)),
+            (
+                "peak_queue_depth".into(),
+                Json::Num(self.peak_queue_depth as f64),
+            ),
+            ("queue".into(), summary_json(&self.queue)),
+            ("search".into(), summary_json(&self.search)),
+            ("e2e".into(), summary_json(&self.e2e)),
+            ("slo_target".into(), Json::Num(self.slo_target)),
+            ("slo_attainment".into(), Json::Num(self.slo_attainment)),
+            ("batches".into(), Json::Num(self.batches as f64)),
+            ("mean_batch".into(), Json::Num(self.mean_batch)),
+            ("max_batch".into(), Json::Num(self.max_batch as f64)),
+            ("mean_hit_rate".into(), Json::Num(self.mean_hit_rate)),
+            ("tenants".into(), Json::Arr(tenants)),
+            ("repartitions".into(), Json::Arr(repartitions)),
+            ("generation".into(), Json::Num(self.generation as f64)),
+            ("worker_panics".into(), Json::Num(self.worker_panics as f64)),
+        ])
     }
 
     /// The report's latency rows as CSV (stage, p50, p95, p99, mean, max).

@@ -1,0 +1,286 @@
+//! Integration: the HTTP/1.1 network frontend over real loopback sockets.
+//!
+//! Covers the request path end to end (submit → batch → dispatch → JSON
+//! response), the protocol edges a hand-rolled parser must get right
+//! (malformed request lines, reads split across `read()` calls, oversized
+//! bodies, keep-alive pipelining), the ops endpoints, and JSON round-trip
+//! properties for the wire types.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use vectorlite_rag::ann::Neighbor;
+use vectorlite_rag::serve::http::json::Json;
+use vectorlite_rag::serve::http::{wire, HttpClient, HttpFrontend};
+use vectorlite_rag::serve::{RagServer, RequestTimings, SearchResponse, ServeConfig, TenantId};
+use vectorlite_rag::workload::{CorpusConfig, SyntheticCorpus};
+
+fn corpus() -> SyntheticCorpus {
+    SyntheticCorpus::generate(&CorpusConfig {
+        n_vectors: 2_000,
+        dim: 8,
+        n_centers: 16,
+        zipf_exponent: 1.0,
+        noise: 0.2,
+        seed: 7,
+    })
+}
+
+/// A tiny single-tenant server behind a frontend on an OS-picked port.
+fn tiny_frontend(max_body: usize) -> (HttpFrontend, SocketAddr, SyntheticCorpus) {
+    let corpus = corpus();
+    let mut config = ServeConfig::small();
+    config.http.max_body = max_body;
+    let server = RagServer::start(&corpus, config.clone()).expect("server starts");
+    let frontend = HttpFrontend::bind(server, &config.http).expect("frontend binds");
+    let addr = frontend.addr();
+    (frontend, addr, corpus)
+}
+
+fn search_body(query: &[f32]) -> String {
+    wire::search_request_to_json(query).render()
+}
+
+/// Sends raw bytes and reads until the server closes the connection.
+fn raw_exchange(addr: SocketAddr, bytes: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    stream.write_all(bytes).expect("writes");
+    let mut out = String::new();
+    stream.read_to_string(&mut out).expect("reads to close");
+    out
+}
+
+#[test]
+fn end_to_end_search_report_and_health_over_the_socket() {
+    let (frontend, addr, corpus) = tiny_frontend(1 << 20);
+    let mut client = HttpClient::connect(addr).expect("client connects");
+
+    let health = client.get("/healthz").expect("healthz");
+    assert_eq!(health.status, 200);
+    let health_json = health.json().expect("healthz is JSON");
+    assert_eq!(health_json.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(health_json.get("tenants").and_then(Json::as_u64), Some(1));
+
+    let tenants = client.get("/v1/tenants").expect("tenants");
+    assert_eq!(tenants.status, 200);
+    assert_eq!(
+        tenants.json().unwrap().as_array().map(<[_]>::len),
+        Some(1),
+        "implicit single tenant"
+    );
+
+    // A vector is its own nearest neighbor, through the whole HTTP path.
+    let response = client
+        .post_json("/v1/search", &[], &search_body(corpus.vectors.get(0)))
+        .expect("search");
+    assert_eq!(response.status, 200);
+    let decoded = wire::search_response_from_json(&response.json().unwrap()).expect("decodes");
+    assert_eq!(decoded.tenant, TenantId(0));
+    assert_eq!(decoded.neighbors[0].id, 0);
+    assert!(decoded.timings.e2e >= decoded.timings.search);
+
+    let report = client.get("/v1/report").expect("report");
+    assert_eq!(report.status, 200);
+    let report_json = report.json().expect("report is JSON");
+    assert_eq!(report_json.get("completed").and_then(Json::as_u64), Some(1));
+
+    let final_report = frontend.shutdown();
+    assert_eq!(final_report.completed, 1);
+    assert_eq!(final_report.admitted, 1);
+}
+
+#[test]
+fn malformed_request_lines_get_400_and_a_closed_connection() {
+    let (frontend, addr, _) = tiny_frontend(1 << 20);
+    for bad in [
+        "BADLY FORMED\r\n\r\n",
+        "GET /healthz HTTP/9.9\r\n\r\n",
+        "GET /healthz HTTP/1.1 junk\r\n\r\n",
+    ] {
+        let reply = raw_exchange(addr, bad.as_bytes());
+        let status: &str = reply.split("\r\n").next().unwrap();
+        assert!(
+            status.contains("400") || status.contains("505"),
+            "{bad:?} answered {status:?}"
+        );
+        assert!(reply.contains("Connection: close"));
+    }
+    // The frontend survives garbage: a well-formed request still works.
+    let mut client = HttpClient::connect(addr).expect("connects after garbage");
+    assert_eq!(client.get("/healthz").unwrap().status, 200);
+    frontend.shutdown();
+}
+
+#[test]
+fn requests_split_across_many_reads_still_parse() {
+    let (frontend, addr, corpus) = tiny_frontend(1 << 20);
+    let body = search_body(corpus.vectors.get(3));
+    let request = format!(
+        "POST /v1/search HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    let bytes = request.as_bytes();
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    // Dribble the request out a few bytes at a time, across the head/body
+    // boundary, with pauses longer than the server's poll interval.
+    for chunk in bytes.chunks(bytes.len() / 5 + 1) {
+        stream.write_all(chunk).expect("writes chunk");
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(60));
+    }
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).expect("reads");
+    assert!(reply.starts_with("HTTP/1.1 200"), "got {reply}");
+    assert!(reply.contains("\"neighbors\":[{\"id\":3,"));
+    frontend.shutdown();
+}
+
+#[test]
+fn oversized_bodies_are_rejected_with_413() {
+    let (frontend, addr, _) = tiny_frontend(128);
+    let request = format!(
+        "POST /v1/search HTTP/1.1\r\nHost: t\r\nContent-Length: 4096\r\n\r\n{}",
+        "x".repeat(64) // only part of the body; the head alone must trip it
+    );
+    let reply = raw_exchange(addr, request.as_bytes());
+    assert!(reply.starts_with("HTTP/1.1 413"), "got {reply}");
+    assert!(reply.contains("Connection: close"));
+    // In-limit requests still fine on a fresh connection.
+    let mut client = HttpClient::connect(addr).expect("connects");
+    assert_eq!(client.get("/healthz").unwrap().status, 200);
+    frontend.shutdown();
+}
+
+#[test]
+fn keep_alive_pipelining_answers_every_buffered_request_in_order() {
+    let (frontend, addr, corpus) = tiny_frontend(1 << 20);
+    let body = search_body(corpus.vectors.get(5));
+    let pipelined = format!(
+        "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n\
+         POST /v1/search HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{}\
+         GET /v1/tenants HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+        body.len(),
+        body
+    );
+    let reply = raw_exchange(addr, pipelined.as_bytes());
+    let statuses: Vec<usize> = reply
+        .match_indices("HTTP/1.1 200 OK")
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(statuses.len(), 3, "three pipelined responses in {reply}");
+    // Responses come back in request order: health, search, tenants.
+    let health_at = reply.find("\"status\":\"ok\"").expect("health body");
+    let search_at = reply.find("\"neighbors\"").expect("search body");
+    let tenants_at = reply.find("\"queue_capacity\"").expect("tenants body");
+    assert!(health_at < search_at && search_at < tenants_at);
+    assert_eq!(reply.matches("Connection: keep-alive").count(), 2);
+    assert_eq!(reply.matches("Connection: close").count(), 1);
+    let report = frontend.shutdown();
+    assert_eq!(report.completed, 1, "one search among the pipeline");
+}
+
+#[test]
+fn routing_errors_are_distinguishable() {
+    let (frontend, addr, corpus) = tiny_frontend(1 << 20);
+    let mut client = HttpClient::connect(addr).expect("connects");
+
+    let wrong_method = client.get("/v1/search").expect("405 exchange");
+    assert_eq!(wrong_method.status, 405);
+    assert_eq!(wrong_method.header("allow"), Some("POST"));
+
+    let missing = client.get("/v1/nope").expect("404 exchange");
+    assert_eq!(missing.status, 404);
+
+    let bad_tenant = client
+        .post_json(
+            "/v1/search",
+            &[("X-Tenant", "7")],
+            &search_body(corpus.vectors.get(0)),
+        )
+        .expect("unknown-tenant exchange");
+    assert_eq!(bad_tenant.status, 400, "tenant 7 of 1 is unknown");
+
+    let bad_json = client
+        .post_json("/v1/search", &[], "{\"query\":[1,2,")
+        .expect("bad-JSON exchange");
+    assert_eq!(bad_json.status, 400);
+
+    let empty_query = client
+        .post_json("/v1/search", &[], "{\"query\":[]}")
+        .expect("empty-query exchange");
+    assert_eq!(empty_query.status, 400);
+
+    frontend.shutdown();
+}
+
+#[test]
+fn dropping_the_frontend_quiesces_and_releases_the_port() {
+    let (frontend, addr, _) = tiny_frontend(1 << 20);
+    assert_eq!(
+        HttpClient::connect(addr)
+            .unwrap()
+            .get("/healthz")
+            .unwrap()
+            .status,
+        200
+    );
+    drop(frontend); // no shutdown() call — the Drop path must tear down
+    assert!(
+        TcpStream::connect(addr).is_err(),
+        "listener must be closed after drop"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Query vectors survive encode → render → parse → decode bit-exactly
+    /// (f32 → f64 is exact and Rust renders the shortest round-tripping
+    /// decimal).
+    #[test]
+    fn search_request_json_round_trips(query in prop::collection::vec(-1e6f32..1e6, 1..64)) {
+        let text = wire::search_request_to_json(&query).render();
+        let back = wire::search_request_from_json(&Json::parse(&text).unwrap()).unwrap();
+        prop_assert_eq!(back, query);
+    }
+
+    /// Full search responses round-trip field for field.
+    #[test]
+    fn search_response_json_round_trips(
+        id in 0u64..u64::from(u32::MAX),
+        tenant in 0u16..8,
+        generation in 0u64..1000,
+        hit_rate in 0.0f64..1.0,
+        queue in 0.0f64..10.0,
+        search in 0.0f64..10.0,
+        ids in prop::collection::vec(0u64..1_000_000, 0..32),
+        distances in prop::collection::vec(0.0f32..1e5, 0..32),
+    ) {
+        // `zip` truncates to the shorter list, so the neighbor count varies.
+        let neighbors: Vec<Neighbor> = ids
+            .iter()
+            .zip(&distances)
+            .map(|(&id, &d)| Neighbor::new(id, d))
+            .collect();
+        let original = SearchResponse {
+            id,
+            tenant: TenantId(tenant),
+            neighbors,
+            timings: RequestTimings { queue, search, e2e: queue + search },
+            hit_rate,
+            generation,
+        };
+        let text = wire::search_response_to_json(&original).render();
+        let back = wire::search_response_from_json(&Json::parse(&text).unwrap()).unwrap();
+        prop_assert_eq!(back.id, original.id);
+        prop_assert_eq!(back.tenant, original.tenant);
+        prop_assert_eq!(back.neighbors, original.neighbors);
+        prop_assert_eq!(back.timings, original.timings);
+        prop_assert_eq!(back.hit_rate, original.hit_rate);
+        prop_assert_eq!(back.generation, original.generation);
+    }
+}

@@ -168,3 +168,26 @@ fn hot_set_rotation_triggers_online_repartition() {
     assert!(outcome.responses.iter().any(|r| r.generation == 0));
     assert!(outcome.responses.iter().any(|r| r.generation >= 1));
 }
+
+#[test]
+fn dropping_the_server_without_shutdown_serves_the_backlog() {
+    // Regression: `Drop` must run the same graceful quiesce as
+    // `shutdown()` — close admission, serve every queued request, join the
+    // threads — so panicking tests and early-return callers don't orphan
+    // in-flight tickets. A torn-down-mid-batch runtime would make some
+    // `wait()` below return `None`.
+    let corpus = corpus();
+    let server = RagServer::start(&corpus, config()).expect("server starts");
+    let queries = corpus.queries(64, 43);
+    let tickets: Vec<_> = queries
+        .iter()
+        .map(|q| server.submit(q.to_vec()).expect("admitted"))
+        .collect();
+    drop(server); // no shutdown() call
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let response = ticket
+            .wait()
+            .unwrap_or_else(|| panic!("ticket {i} orphaned by drop"));
+        assert!(!response.neighbors.is_empty(), "request {i} served empty");
+    }
+}
