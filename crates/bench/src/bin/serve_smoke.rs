@@ -9,13 +9,20 @@
 //! section. Writes `results/serve_smoke.csv` and
 //! `results/serve_tenants.csv`.
 //!
-//! With `--gate <baseline.csv>` it instead runs only the rates listed in
-//! the baseline file (`rate,p99_max_s` rows, `#` comments allowed) and
-//! exits nonzero if any rate's measured p99 search latency exceeds its
-//! checked-in threshold — CI's perf-smoke step, catching dispatcher/queue
-//! regressions before merge. Thresholds are deliberately loose (an order
-//! of magnitude above local measurements) so shared runners don't flake,
-//! while a hot-path regression that queues batches still trips them.
+//! With `--ttft` it runs the co-scheduled sweep only: the same open-loop
+//! driver against a server with a `GenerationConfig`, reporting TTFT
+//! p50/p99 and TTFT SLO attainment per rate
+//! (`results/serve_ttft.csv`).
+//!
+//! With `--gate <baseline.csv>` it instead runs only the rows listed in
+//! the baseline file (`metric,rate,budget_s` rows, `#` comments allowed;
+//! metrics: `search_p99` for retrieval-only rates, `ttft_p99` for
+//! co-scheduled ones) and exits nonzero if any measured p99 exceeds its
+//! checked-in budget — CI's perf-smoke step, catching dispatcher/queue
+//! (and now generation-bridge) regressions before merge. Budgets are
+//! deliberately loose (an order of magnitude above local measurements) so
+//! shared runners don't flake, while a hot-path regression that queues
+//! batches still trips them.
 
 use vlite_bench::{banner, write_csv};
 use vlite_core::RealConfig;
@@ -23,7 +30,7 @@ use vlite_metrics::{fmt_seconds, Table};
 use vlite_serve::loadgen::{
     run_open_loop, run_open_loop_tenants, LoadPhase, RotatingQuerySource, TenantLoad,
 };
-use vlite_serve::{RagServer, ServeConfig, ServeReport, TenantId, TenantSpec};
+use vlite_serve::{GenerationConfig, RagServer, ServeConfig, ServeReport, TenantId, TenantSpec};
 use vlite_workload::{CorpusConfig, SyntheticCorpus};
 
 fn corpus() -> SyntheticCorpus {
@@ -68,6 +75,19 @@ fn run_rate(corpus: &SyntheticCorpus, rate: f64, n_requests: usize) -> (f64, Ser
     (outcome.achieved_rate(), report)
 }
 
+/// One co-scheduled open-loop point: same driver, with the tiny LLM engine
+/// bridged behind retrieval, so the report carries TTFT rows.
+fn run_rate_ttft(corpus: &SyntheticCorpus, rate: f64, n_requests: usize) -> ServeReport {
+    let mut config = ServeConfig::small();
+    config.real = real_config();
+    config.queue_capacity = 1024;
+    config.generation = Some(GenerationConfig::tiny());
+    let server = RagServer::start(corpus, config).expect("server starts");
+    let mut source = RotatingQuerySource::from_corpus(corpus, 11);
+    run_open_loop(&server, &mut source, rate, n_requests, 17, |_, _| {});
+    server.shutdown()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if let Some(i) = args.iter().position(|a| a == "--gate") {
@@ -78,11 +98,27 @@ fn main() {
         gate(&path);
         return;
     }
-    assert!(args.is_empty(), "unknown arguments: {args:?} (try --gate)");
+    if args.iter().any(|a| a == "--ttft") {
+        assert!(args.len() == 1, "unknown arguments: {args:?}");
+        ttft_sweep();
+        return;
+    }
+    assert!(
+        args.is_empty(),
+        "unknown arguments: {args:?} (try --gate or --ttft)"
+    );
     sweep();
 }
 
-/// CI perf gate: measure only the baseline's rates, fail on any p99 breach.
+/// One parsed baseline row: which metric, at which offered rate, under
+/// which p99 budget.
+struct GateRow {
+    metric: String,
+    rate: f64,
+    budget: f64,
+}
+
+/// CI perf gate: measure only the baseline's rows, fail on any p99 breach.
 fn gate(baseline_path: &str) {
     banner(
         "serve-smoke --gate",
@@ -90,60 +126,115 @@ fn gate(baseline_path: &str) {
     );
     let text = std::fs::read_to_string(baseline_path)
         .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
-    let thresholds: Vec<(f64, f64)> = text
+    let rows: Vec<GateRow> = text
         .lines()
         .map(str::trim)
-        .filter(|l| !l.is_empty() && !l.starts_with('#') && !l.starts_with("rate"))
+        .filter(|l| !l.is_empty() && !l.starts_with('#') && !l.starts_with("metric"))
         .map(|line| {
-            let mut cols = line.split(',');
+            let mut cols = line.split(',').map(str::trim);
+            let metric = cols
+                .next()
+                .unwrap_or_else(|| panic!("bad baseline row: {line}"))
+                .to_string();
             let rate: f64 = cols
                 .next()
-                .and_then(|c| c.trim().parse().ok())
+                .and_then(|c| c.parse().ok())
                 .unwrap_or_else(|| panic!("bad baseline row: {line}"));
-            let p99_max: f64 = cols
+            let budget: f64 = cols
                 .next()
-                .and_then(|c| c.trim().parse().ok())
+                .and_then(|c| c.parse().ok())
                 .unwrap_or_else(|| panic!("bad baseline row: {line}"));
-            (rate, p99_max)
+            GateRow {
+                metric,
+                rate,
+                budget,
+            }
         })
         .collect();
-    assert!(
-        !thresholds.is_empty(),
-        "baseline {baseline_path} has no rows"
-    );
+    assert!(!rows.is_empty(), "baseline {baseline_path} has no rows");
 
     let corpus = corpus();
     let mut table = Table::new(vec![
+        "metric",
         "offered (req/s)",
-        "search p99",
+        "measured p99",
         "p99 budget",
-        "SLO attainment",
+        "attainment",
         "verdict",
     ]);
     let mut breaches = 0;
-    for &(rate, p99_max) in &thresholds {
-        let (_, report) = run_rate(&corpus, rate, 600);
-        let ok = report.search.p99 <= p99_max;
+    for row in &rows {
+        let (p99, attainment) = match row.metric.as_str() {
+            "search_p99" => {
+                let (_, report) = run_rate(&corpus, row.rate, 600);
+                (report.search.p99, report.slo_attainment)
+            }
+            "ttft_p99" => {
+                let report = run_rate_ttft(&corpus, row.rate, 300);
+                assert_eq!(
+                    report.ttft.count as u64, report.completed,
+                    "co-scheduled gate run must measure TTFT for every request"
+                );
+                (report.ttft.p99, report.ttft_attainment)
+            }
+            other => panic!("unknown baseline metric {other:?} (search_p99 | ttft_p99)"),
+        };
+        let ok = p99 <= row.budget;
         if !ok {
             breaches += 1;
         }
         table.row(vec![
-            format!("{rate:.0}"),
-            fmt_seconds(report.search.p99),
-            fmt_seconds(p99_max),
-            format!("{:.1}%", 100.0 * report.slo_attainment),
+            row.metric.clone(),
+            format!("{:.0}", row.rate),
+            fmt_seconds(p99),
+            fmt_seconds(row.budget),
+            format!("{attainment:.1}%", attainment = 100.0 * attainment),
             if ok { "pass".into() } else { "FAIL".into() },
         ]);
     }
     println!("{}", table.render());
     write_csv("ci_perf_gate.csv", &table.to_csv());
     if breaches > 0 {
-        eprintln!(
-            "perf gate FAILED: {breaches} rate(s) exceeded the p99 budget in {baseline_path}"
-        );
+        eprintln!("perf gate FAILED: {breaches} row(s) exceeded the p99 budget in {baseline_path}");
         std::process::exit(1);
     }
-    println!("perf gate passed: every rate within its p99 budget.");
+    println!("perf gate passed: every row within its p99 budget.");
+}
+
+/// The co-scheduled TTFT sweep: offered rate vs TTFT percentiles, phase
+/// p99s, and TTFT SLO attainment. Writes `results/serve_ttft.csv`.
+fn ttft_sweep() {
+    banner(
+        "serve-smoke --ttft",
+        "co-scheduled retrieval + generation TTFT sweep",
+    );
+    let corpus = corpus();
+    let mut table = Table::new(vec![
+        "offered (req/s)",
+        "ttft p50",
+        "ttft p99",
+        "gen queue p99",
+        "prefill p99",
+        "decode p99",
+        "TTFT attainment",
+    ]);
+    for &rate in &[80.0, 140.0] {
+        let report = run_rate_ttft(&corpus, rate, 300);
+        table.row(vec![
+            format!("{rate:.0}"),
+            fmt_seconds(report.ttft.p50),
+            fmt_seconds(report.ttft.p99),
+            fmt_seconds(report.gen_queue.p99),
+            fmt_seconds(report.prefill.p99),
+            fmt_seconds(report.decode.p99),
+            format!("{:.1}%", 100.0 * report.ttft_attainment),
+        ]);
+    }
+    println!("{}", table.render());
+    write_csv("serve_ttft.csv", &table.to_csv());
+    println!("TTFT = retrieval queue + search + generation queue + prefill; the");
+    println!("generation stage runs the LLM cost model on the wall clock, so rates");
+    println!("past the engine's prefill capacity show up as generation queueing.");
 }
 
 /// The default full sweep plus the tenant-isolation section.

@@ -196,6 +196,47 @@ impl LlmEngine {
         self.waiting.is_empty() && self.running.is_empty()
     }
 
+    /// Peek at the requests waiting for admission, front of the queue
+    /// first. The serving bridge uses this to attribute generation-queue
+    /// time; invariant tests use it to observe what each iteration admits.
+    pub fn waiting(&self) -> impl ExactSizeIterator<Item = &LlmRequest> + '_ {
+        self.waiting.iter()
+    }
+
+    /// Peek at the running batch: each sequence's request and how many
+    /// tokens it has generated so far.
+    pub fn running(&self) -> impl ExactSizeIterator<Item = (&LlmRequest, u64)> + '_ {
+        self.running.iter().map(|r| (&r.req, r.generated))
+    }
+
+    /// Drains the engine: advances from `now` until idle, collecting every
+    /// event. Returns the instant the engine went idle and the events in
+    /// emission order. Convenience for closed-loop probes and tests; the
+    /// serving bridge steps iteration-by-iteration instead so new requests
+    /// can join between iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine fails to converge (a scheduling bug that keeps
+    /// some sequence from ever finishing) rather than looping forever.
+    pub fn drain(&mut self, now: SimTime) -> (SimTime, Vec<LlmEvent>) {
+        let mut at = now;
+        let mut events = Vec::new();
+        let mut iterations = 0u64;
+        while let Some(step) = self.advance(at) {
+            at = step.busy_until;
+            events.extend(step.events);
+            iterations += 1;
+            assert!(
+                iterations < 10_000_000,
+                "engine failed to converge: {} waiting, {} running after {iterations} iterations",
+                self.queue_len(),
+                self.running_len()
+            );
+        }
+        (at, events)
+    }
+
     /// Enqueues a request.
     ///
     /// # Panics
@@ -372,13 +413,8 @@ mod tests {
     }
 
     fn drain(engine: &mut LlmEngine) -> Vec<LlmEvent> {
-        let mut now = SimTime::ZERO;
-        let mut events = Vec::new();
-        while let Some(step) = engine.advance(now) {
-            now = step.busy_until;
-            events.extend(step.events);
-            assert!(events.len() < 100_000, "engine failed to converge");
-        }
+        let (_, events) = engine.drain(SimTime::ZERO);
+        assert!(events.len() < 100_000, "engine failed to converge");
         events
     }
 

@@ -1,0 +1,218 @@
+//! Property tests: `LlmEngine` / `PagedKvCache` invariants under random
+//! request mixes, knob settings and submit/advance interleavings.
+//!
+//! The invariants the serving bridge depends on:
+//! - no KV pages leak: after any interleaving drains, the pool is empty;
+//! - the running batch never exceeds `max_batch`, and one prefill never
+//!   admits more than `max_prefill_tokens` prompt tokens unless a single
+//!   oversized request is admitted alone;
+//! - `EngineStats` conserve tokens: every submitted request completes
+//!   exactly once, and without preemptions the generated-token counter is
+//!   exactly the sum of requested outputs (preemptions only re-generate).
+
+use proptest::prelude::*;
+
+use vlite_llm::{LlmCostModel, LlmEngine, LlmEvent, LlmRequest, ModelSpec, PagedKvCache};
+use vlite_sim::{devices, SimTime};
+
+fn engine(kv_tokens: u64, max_batch: usize, max_prefill: u64) -> LlmEngine {
+    let model = ModelSpec::tiny();
+    let kv_bytes = model.kv_bytes_per_token() * kv_tokens;
+    let cost = LlmCostModel::new(model, devices::l40s(), 1);
+    let mut engine = LlmEngine::new(cost, kv_bytes);
+    engine.set_max_batch(max_batch);
+    engine.set_max_prefill_tokens(max_prefill);
+    engine
+}
+
+/// Steps the engine once, checking the admission-cap invariants around the
+/// step. Returns the emitted events.
+fn checked_step(
+    engine: &mut LlmEngine,
+    now: SimTime,
+    max_batch: usize,
+    max_prefill: u64,
+) -> Option<(SimTime, Vec<LlmEvent>)> {
+    let waiting_before: Vec<u64> = engine.waiting().map(|r| r.id).collect();
+    let prefills_before = engine.stats().prefill_steps;
+    let step = engine.advance(now)?;
+    assert!(
+        engine.running_len() <= max_batch,
+        "running batch {} exceeds cap {max_batch}",
+        engine.running_len()
+    );
+    if engine.stats().prefill_steps > prefills_before {
+        // This step admitted: the newly admitted requests are the waiting
+        // set difference (ids are unique engine-wide).
+        let waiting_after: Vec<u64> = engine.waiting().map(|r| r.id).collect();
+        let admitted: Vec<u64> = waiting_before
+            .iter()
+            .copied()
+            .filter(|id| !waiting_after.contains(id))
+            .collect();
+        assert!(!admitted.is_empty(), "a prefill step admits someone");
+        let admitted_tokens: u64 = admitted
+            .iter()
+            .map(|id| {
+                engine
+                    .running()
+                    .find(|(r, _)| r.id == *id)
+                    .map(|(r, _)| r.input_tokens)
+                    // Already finished within this very step (tiny output):
+                    // its tokens are unknown here; count the cap-neutral 0.
+                    .unwrap_or(0)
+            })
+            .sum();
+        if admitted.len() > 1 {
+            assert!(
+                admitted_tokens <= max_prefill,
+                "{admitted_tokens} prompt tokens admitted past the {max_prefill} cap"
+            );
+        }
+    }
+    Some((step.busy_until, step.events))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any submit/advance interleaving drains with zero KV pages held,
+    /// every request completed exactly once, and conserved token counts.
+    #[test]
+    fn engine_interleavings_leak_nothing_and_conserve_tokens(
+        n_first in 1usize..8,
+        n_second in 0usize..8,
+        interleave_steps in 0usize..6,
+        input1 in 1u64..96,
+        input2 in 1u64..96,
+        output in 1u64..12,
+        max_batch in 1usize..9,
+        max_prefill in 32u64..256,
+    ) {
+        // Pool sized so the worst single request always fits (the engine's
+        // submit-time contract) but small enough that admission + growth
+        // pressure (and thus preemption) can occur.
+        let worst = (input1.max(input2) + output) * 2;
+        let mut e = engine(worst.max(160), max_batch, max_prefill);
+
+        let mut submitted = 0u64;
+        let mut expected_output_tokens = 0u64;
+        for i in 0..n_first {
+            let input = if i % 2 == 0 { input1 } else { input2 };
+            e.submit(LlmRequest::new(i as u64, input, output), SimTime::ZERO);
+            submitted += 1;
+            expected_output_tokens += output;
+        }
+        // A few checked iterations mid-stream…
+        let mut now = SimTime::ZERO;
+        let mut completions = 0u64;
+        for _ in 0..interleave_steps {
+            match checked_step(&mut e, now, max_batch, max_prefill) {
+                Some((busy_until, events)) => {
+                    now = busy_until;
+                    completions += events
+                        .iter()
+                        .filter(|ev| matches!(ev, LlmEvent::Completed { .. }))
+                        .count() as u64;
+                }
+                None => break,
+            }
+        }
+        // …then a second submission wave joining the running batch.
+        for i in 0..n_second {
+            let input = if i % 2 == 0 { input2 } else { input1 };
+            e.submit(
+                LlmRequest::new(1000 + i as u64, input, output),
+                now,
+            );
+            submitted += 1;
+            expected_output_tokens += output;
+        }
+        let mut guard = 0;
+        while let Some((busy_until, events)) = checked_step(&mut e, now, max_batch, max_prefill) {
+            now = busy_until;
+            completions += events
+                .iter()
+                .filter(|ev| matches!(ev, LlmEvent::Completed { .. }))
+                .count() as u64;
+            guard += 1;
+            prop_assert!(guard < 100_000, "engine failed to converge");
+        }
+
+        // No KV leak, ever.
+        prop_assert_eq!(e.kv().used_blocks(), 0, "KV pages leaked");
+        prop_assert_eq!(e.kv().active_seqs(), 0);
+        prop_assert_eq!(e.kv().resident_tokens(), 0);
+        // Exactly-once completion.
+        let stats = e.stats();
+        prop_assert_eq!(stats.completed, submitted);
+        prop_assert_eq!(completions, submitted, "completion events match");
+        prop_assert!(e.is_idle());
+        // Token conservation: preemption re-generates lost progress, so
+        // the counter is exact without preemptions and an overcount with.
+        if stats.preemptions == 0 {
+            prop_assert_eq!(stats.generated_tokens, expected_output_tokens);
+        } else {
+            prop_assert!(stats.generated_tokens > expected_output_tokens);
+        }
+        prop_assert!(stats.prefill_steps >= 1);
+    }
+
+    /// Random reserve/grow/free traffic never desynchronizes the pool's
+    /// block accounting, and failed operations mutate nothing.
+    #[test]
+    fn kv_cache_accounting_is_exact_under_random_traffic(
+        block_tokens in 1u32..32,
+        total_blocks in 1u64..64,
+        ops in prop::collection::vec((0u8..3, 1u64..128), 1..200),
+    ) {
+        let mut kv = PagedKvCache::new(block_tokens, total_blocks);
+        let mut live: Vec<(vlite_llm::KvReservation, u64)> = Vec::new();
+        for (op, arg) in ops {
+            match op {
+                // Reserve a new sequence of `arg` tokens.
+                0 => {
+                    let before = kv.used_blocks();
+                    match kv.try_reserve(arg) {
+                        Some(seq) => live.push((seq, arg)),
+                        None => prop_assert_eq!(kv.used_blocks(), before, "failed reserve mutated"),
+                    }
+                }
+                // Grow an existing sequence by one token.
+                1 => {
+                    let idx = (arg % 7) as usize % live.len().max(1);
+                    if let Some(entry) = live.get_mut(idx) {
+                        let before_tokens = kv.seq_tokens(entry.0);
+                        if kv.try_grow(entry.0) {
+                            entry.1 += 1;
+                            prop_assert_eq!(kv.seq_tokens(entry.0), before_tokens + 1);
+                        } else {
+                            prop_assert_eq!(kv.seq_tokens(entry.0), before_tokens, "failed grow mutated");
+                        }
+                    }
+                }
+                // Free a sequence.
+                _ => {
+                    if !live.is_empty() {
+                        let (seq, _) = live.swap_remove((arg as usize) % live.len());
+                        kv.free(seq);
+                    }
+                }
+            }
+            // The block ledger always equals the per-sequence reconstruction.
+            let expected_blocks: u64 = live
+                .iter()
+                .map(|&(_, tokens)| tokens.div_ceil(u64::from(block_tokens)))
+                .sum();
+            prop_assert_eq!(kv.used_blocks(), expected_blocks, "block ledger drifted");
+            prop_assert_eq!(kv.active_seqs(), live.len());
+            let expected_tokens: u64 = live.iter().map(|&(_, t)| t).sum();
+            prop_assert_eq!(kv.resident_tokens(), expected_tokens);
+            prop_assert!(kv.used_blocks() <= kv.total_blocks());
+        }
+        for (seq, _) in live {
+            kv.free(seq);
+        }
+        prop_assert_eq!(kv.used_blocks(), 0);
+    }
+}

@@ -1,6 +1,22 @@
 //! Serving-runtime configuration.
 
 use vlite_core::{RealConfig, UpdateConfig};
+use vlite_llm::{LlmCostModel, ModelSpec};
+use vlite_sim::devices;
+
+/// Which latency the control loop's SLO observations are keyed off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SloSignal {
+    /// Search-stage latency against `slo_search` (retrieval-only servers,
+    /// and the default for co-scheduled ones).
+    #[default]
+    Search,
+    /// End-to-end TTFT against [`GenerationConfig::slo_ttft`] — the metric
+    /// users actually feel. Requires [`ServeConfig::generation`]; the SLO
+    /// half of the drift trigger then reacts to queueing and prefill
+    /// pressure in the generation stage, not just the search stage.
+    Ttft,
+}
 
 /// Online-repartitioning (control-loop) knobs.
 #[derive(Debug, Clone)]
@@ -19,6 +35,8 @@ pub struct ControlConfig {
     /// latency side is pure noise (no actual GPUs behind the shard
     /// workers).
     pub require_slo_breach: bool,
+    /// Which latency feeds the SLO half of the drift trigger.
+    pub slo_signal: SloSignal,
 }
 
 impl Default for ControlConfig {
@@ -28,7 +46,90 @@ impl Default for ControlConfig {
             profile_window: 2048,
             cooldown_requests: 512,
             require_slo_breach: true,
+            slo_signal: SloSignal::Search,
         }
+    }
+}
+
+/// Generation-stage (retrieval → LLM co-scheduling) knobs.
+///
+/// When [`ServeConfig::generation`] is set, every merged retrieval result
+/// is assembled into a prompt (the retrieved documents priced in tokens)
+/// and fed through a [`vlite_llm::LlmEngine`] running on its own worker
+/// thread, so a request's lifecycle ends at its generated tokens and its
+/// [`timings`](crate::RequestTimings::generation) carry
+/// queue/prefill/decode phases and TTFT.
+#[derive(Debug, Clone)]
+pub struct GenerationConfig {
+    /// Iteration latency model (model × device × tensor parallelism).
+    pub cost: LlmCostModel,
+    /// KV-cache pool bytes available to the engine — what remains of GPU
+    /// memory after the vector-index shard takes its partition.
+    pub kv_bytes: u64,
+    /// Running-batch cap (vLLM `max_num_seqs`).
+    pub max_batch: usize,
+    /// Prompt tokens admitted into one prefill iteration (vLLM
+    /// `max_num_batched_tokens`).
+    pub max_prefill_tokens: u64,
+    /// Prompt tokens independent of retrieval (instruction + query).
+    pub prompt_tokens_base: u64,
+    /// Prompt tokens each retrieved document adds.
+    pub tokens_per_doc: u64,
+    /// Tokens generated per request.
+    pub output_tokens: u64,
+    /// End-to-end TTFT SLO in seconds (admission → first token), the
+    /// target of the report's TTFT attainment rows.
+    pub slo_ttft: f64,
+    /// Retrieval-interference multiplier on iteration times (`>= 1.0`; see
+    /// [`LlmCostModel::interference`]).
+    pub interference: f64,
+}
+
+impl GenerationConfig {
+    /// A miniature model on one L40S — fast enough for tests and smoke
+    /// runs while keeping realistic prefill/decode proportions.
+    pub fn tiny() -> Self {
+        Self {
+            cost: LlmCostModel::new(ModelSpec::tiny(), devices::l40s(), 1),
+            kv_bytes: 2 << 30,
+            max_batch: 64,
+            max_prefill_tokens: 8192,
+            prompt_tokens_base: 64,
+            tokens_per_doc: 32,
+            output_tokens: 8,
+            slo_ttft: 0.25,
+            interference: 1.0,
+        }
+    }
+
+    /// Prompt length for a request whose retrieval merged `n_docs`
+    /// documents: the base prompt plus the per-document token cost.
+    pub fn prompt_tokens(&self, n_docs: usize) -> u64 {
+        self.prompt_tokens_base + self.tokens_per_doc * n_docs as u64
+    }
+
+    /// Panics unless the config is servable: positive token counts, a
+    /// finite positive TTFT SLO, and a KV pool that fits the worst-case
+    /// request (`top_k` retrieved docs plus the full output).
+    pub(crate) fn validate(&self, top_k: usize) {
+        assert!(self.output_tokens > 0, "output_tokens must be positive");
+        assert!(
+            self.slo_ttft.is_finite() && self.slo_ttft > 0.0,
+            "slo_ttft must be positive and finite"
+        );
+        assert!(self.interference >= 1.0, "interference must be >= 1.0");
+        let worst = self.prompt_tokens(top_k).max(1) + self.output_tokens;
+        // Size the check with the engine's own allocator so this start-time
+        // assert can never drift from the submit-time one inside the worker.
+        let capacity = vlite_llm::PagedKvCache::with_bytes(
+            self.kv_bytes,
+            self.cost.model().kv_bytes_per_token(),
+        )
+        .capacity_tokens();
+        assert!(
+            worst <= capacity,
+            "a worst-case request needs {worst} KV tokens but the pool holds only {capacity}"
+        );
     }
 }
 
@@ -98,6 +199,10 @@ pub struct ServeConfig {
     /// through an [`HttpFrontend`](crate::http::HttpFrontend); inert for
     /// purely in-process servers.
     pub http: HttpConfig,
+    /// Generation-stage configuration. `None` serves retrieval only (the
+    /// pre-co-scheduling behaviour); `Some` bridges every merged retrieval
+    /// into the LLM engine and reports TTFT end to end.
+    pub generation: Option<GenerationConfig>,
 }
 
 impl ServeConfig {
@@ -110,6 +215,7 @@ impl ServeConfig {
             control: ControlConfig::default(),
             tenants: Vec::new(),
             http: HttpConfig::default(),
+            generation: None,
         }
     }
 

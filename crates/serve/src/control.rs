@@ -11,7 +11,7 @@
 
 use std::collections::VecDeque;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crossbeam::channel::Receiver;
 
@@ -173,7 +173,7 @@ impl ControlLoop {
     /// Re-profile → Algorithm 1 → re-split → hot-swap, without touching the
     /// admission queue.
     fn repartition(&mut self) {
-        let started = Instant::now();
+        let started = self.shared.clock.now();
 
         // Stage 1: re-profile from the observed probe ring.
         let mut counts = vec![0u64; self.sizes.len()];
@@ -231,7 +231,7 @@ impl ControlLoop {
             new_coverage,
             hot_overlap,
             queue_depth_at_swap,
-            duration: started.elapsed(),
+            duration: (self.shared.clock.now() - started).to_std(),
         });
         self.monitor.reset(Some(expected_mean_hit));
         self.expected_mean_hit = expected_mean_hit;
@@ -294,7 +294,7 @@ mod tests {
                 generation: 0,
             }),
             queue: AdmissionQueue::new(&tenants),
-            metrics: Mutex::new(ServeMetrics::new(real.slo_search, &tenants)),
+            metrics: Mutex::new(ServeMetrics::new(real.slo_search, None, &tenants)),
             worker_panics: AtomicU64::new(0),
             tenants,
             repartitions: Mutex::new(Vec::new()),
@@ -302,6 +302,9 @@ mod tests {
             top_k: real.top_k,
             n_shards: 2,
             slo_search: real.slo_search,
+            clock: Arc::new(crate::clock::VirtualClock::new()),
+            generation: None,
+            slo_signal: crate::config::SloSignal::Search,
         });
         let mut config = ServeConfig::small().control;
         config.update = UpdateConfig {
@@ -395,7 +398,7 @@ mod tests {
                     id,
                     tenant: TenantId(0),
                     query: vec![0.0; 8],
-                    enqueued: std::time::Instant::now(),
+                    enqueued: vlite_sim::SimTime::ZERO,
                     reply,
                 })
                 .expect("admitted");

@@ -9,7 +9,7 @@ use vlite_ann::Neighbor;
 
 use crate::config::TenantSpec;
 use crate::http::json::Json;
-use crate::request::{RequestTimings, SearchResponse, TenantId};
+use crate::request::{GenerationTimings, RequestTimings, SearchResponse, TenantId};
 
 /// A field-level decode failure (maps to `400 Bad Request`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,8 +75,18 @@ pub fn search_request_from_json(value: &Json) -> Result<Vec<f32>, WireError> {
 }
 
 /// Encodes a completed search: id, tenant, generation, hit rate, per-stage
-/// timings, and the merged neighbor list.
+/// timings (with the generation phases when the server co-schedules an LLM
+/// stage — `null` otherwise), and the merged neighbor list.
 pub fn search_response_to_json(response: &SearchResponse) -> Json {
+    let generation_timings = match &response.timings.generation {
+        None => Json::Null,
+        Some(g) => Json::Obj(vec![
+            ("gen_queue".into(), Json::Num(g.gen_queue)),
+            ("prefill".into(), Json::Num(g.prefill)),
+            ("decode".into(), Json::Num(g.decode)),
+            ("ttft".into(), Json::Num(g.ttft)),
+        ]),
+    };
     Json::Obj(vec![
         ("id".into(), Json::Num(response.id as f64)),
         ("tenant".into(), Json::Num(f64::from(response.tenant.0))),
@@ -88,6 +98,7 @@ pub fn search_response_to_json(response: &SearchResponse) -> Json {
                 ("queue".into(), Json::Num(response.timings.queue)),
                 ("search".into(), Json::Num(response.timings.search)),
                 ("e2e".into(), Json::Num(response.timings.e2e)),
+                ("generation".into(), generation_timings),
             ]),
         ),
         (
@@ -126,6 +137,17 @@ pub fn search_response_from_json(value: &Json) -> Result<SearchResponse, WireErr
         .collect::<Result<Vec<_>, WireError>>()?;
     let tenant = int(value, "tenant")?;
     let tenant = u16::try_from(tenant).map_err(|_| WireError { field: "tenant" })?;
+    // Absent and `null` both mean "retrieval only" (absent keeps old
+    // clients' encodings decodable).
+    let generation_timings = match timings.get("generation") {
+        None | Some(Json::Null) => None,
+        Some(g) => Some(GenerationTimings {
+            gen_queue: num(g, "gen_queue")?,
+            prefill: num(g, "prefill")?,
+            decode: num(g, "decode")?,
+            ttft: num(g, "ttft")?,
+        }),
+    };
     Ok(SearchResponse {
         id: int(value, "id")?,
         tenant: TenantId(tenant),
@@ -134,6 +156,7 @@ pub fn search_response_from_json(value: &Json) -> Result<SearchResponse, WireErr
             queue: num(timings, "queue")?,
             search: num(timings, "search")?,
             e2e: num(timings, "e2e")?,
+            generation: generation_timings,
         },
         hit_rate: num(value, "hit_rate")?,
         generation: int(value, "generation")?,
@@ -202,6 +225,12 @@ mod tests {
                 queue: 0.001,
                 search: 0.0045,
                 e2e: 0.0055,
+                generation: Some(GenerationTimings {
+                    gen_queue: 0.0002,
+                    prefill: 0.006,
+                    decode: 0.031,
+                    ttft: 0.0117,
+                }),
             },
             hit_rate: 0.625,
             generation: 2,

@@ -23,8 +23,14 @@
 //!        ┌────────────────────────────────┐
 //!        │ dispatcher: merge partials,    │──▶ per-request latencies,
 //!        │ forward early finishers        │    SLO bookkeeping
-//!        └──────────────┬─────────────────┘
-//!                       ▼ observations (hit rate, SLO)
+//!        └──────┬───────┬─────────────────┘
+//!               │       ▼ merged retrievals (co-scheduled servers)
+//!               │  ┌────────────────────────────────┐
+//!               │  │ generation worker: prompt      │──▶ TTFT + phase
+//!               │  │ assembly → LlmEngine prefill/  │    timings, final
+//!               │  │ decode (continuous batching)   │    responses
+//!               │  └───────────────┬────────────────┘
+//!               ▼ observations     ▼ (hit rate, SLO: search- or TTFT-keyed)
 //!        ┌────────────────────────────────┐
 //!        │ control loop: DriftMonitor →   │──▶ hot-swap new Router
 //!        │ re-profile → Algorithm 1 →     │    (queue never drained)
@@ -32,10 +38,19 @@
 //!        └────────────────────────────────┘
 //! ```
 //!
+//! Every timestamp above is taken on a [`Clock`] — [`RealClock`] (wall
+//! time) in production, [`VirtualClock`] (deterministic stepped time) in
+//! tests — so the whole co-scheduled pipeline can be driven and asserted
+//! to the exact tick without sleeping.
+//!
 //! - [`RagServer`] — owns the partitioned index and all runtime threads.
 //! - [`ServeConfig`] / [`ControlConfig`] / [`TenantSpec`] — queueing,
 //!   batching, online repartitioning, and per-tenant (weight, quota, SLO)
 //!   knobs; [`TenantId`] names a tenant throughout the pipeline.
+//! - [`GenerationConfig`] / [`generation`] — the retrieval → LLM bridge:
+//!   retrieved-document token costs, the engine's KV/batch budgets, the
+//!   TTFT SLO, and the [`GenerationStage`](generation::GenerationStage)
+//!   state machine the worker thread drives.
 //! - [`run_dispatcher`] / [`hybrid_search_batch`] — the one-shot batch
 //!   dispatcher (moved here from `vlite-core`'s prototype in `real.rs`),
 //!   reused by the persistent runtime.
@@ -75,9 +90,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod clock;
 mod config;
 mod control;
 mod dispatch;
+pub mod generation;
 pub mod http;
 pub mod loadgen;
 mod queue;
@@ -85,10 +102,13 @@ mod report;
 mod request;
 mod server;
 
-pub use config::{ControlConfig, HttpConfig, ServeConfig, TenantSpec};
+pub use clock::{Clock, RealClock, VirtualClock};
+pub use config::{ControlConfig, GenerationConfig, HttpConfig, ServeConfig, SloSignal, TenantSpec};
 pub use control::RepartitionEvent;
 pub use dispatch::{hybrid_search_batch, run_dispatcher, DispatchOutcome};
 pub use http::HttpFrontend;
 pub use report::{ServeReport, TenantReport};
-pub use request::{AdmissionError, RequestTimings, SearchResponse, TenantId, Ticket};
+pub use request::{
+    AdmissionError, GenerationTimings, RequestTimings, SearchResponse, TenantId, Ticket,
+};
 pub use server::RagServer;

@@ -20,15 +20,17 @@
 //!   persistent keep-alive connections.
 
 use std::net::SocketAddr;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crossbeam::channel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use vlite_ann::VecSet;
+use vlite_sim::SimDuration;
 use vlite_workload::{gaussian, SyntheticCorpus, ZipfSampler};
 
+use crate::clock::{Clock, RealClock};
 use crate::http::client::HttpClient;
 use crate::http::wire;
 use crate::request::{AdmissionError, SearchResponse, TenantId, Ticket};
@@ -144,7 +146,11 @@ pub fn run_open_loop(
     );
     assert!(n > 0, "need at least one request");
     let mut rng = StdRng::seed_from_u64(seed ^ 0x09e4_100b);
-    let started = Instant::now();
+    // Pacing runs on the server's clock: wall time in production, and
+    // non-blocking deterministic steps when the server was started on a
+    // virtual clock.
+    let clock = server.clock();
+    let started = clock.now();
     let mut next_at = 0.0f64;
     let mut tickets: Vec<Ticket> = Vec::with_capacity(n);
     let mut rejected = 0usize;
@@ -155,17 +161,13 @@ pub fn run_open_loop(
         // rate honest even when sleep granularity is coarse.
         let u: f64 = rng.random();
         next_at += -(1.0 - u).ln() / rate;
-        let target = started + Duration::from_secs_f64(next_at);
-        let now = Instant::now();
-        if target > now {
-            std::thread::sleep(target - now);
-        }
+        clock.sleep_until(started + SimDuration::from_secs_f64(next_at));
         match server.submit(source.next_query()) {
             Ok(ticket) => tickets.push(ticket),
             Err(_) => rejected += 1,
         }
     }
-    let offered_for = started.elapsed();
+    let offered_for = (clock.now() - started).to_std();
 
     let mut responses = Vec::with_capacity(tickets.len());
     for ticket in tickets {
@@ -178,7 +180,7 @@ pub fn run_open_loop(
         rejected,
         responses,
         offered_for,
-        served_for: started.elapsed(),
+        served_for: (clock.now() - started).to_std(),
     }
 }
 
@@ -258,13 +260,10 @@ pub fn run_open_loop_tenants(
         .collect();
     let mut tickets: Vec<Vec<Ticket>> = loads.iter().map(|_| Vec::new()).collect();
 
-    let started = Instant::now();
+    let clock = server.clock();
+    let started = clock.now();
     for (at, li) in arrivals {
-        let target = started + Duration::from_secs_f64(at);
-        let now = Instant::now();
-        if target > now {
-            std::thread::sleep(target - now);
-        }
+        clock.sleep_until(started + SimDuration::from_secs_f64(at));
         let load = &mut loads[li];
         let query = load.source.next_query();
         outcomes[li].submitted += 1;
@@ -277,7 +276,7 @@ pub fn run_open_loop_tenants(
             Err(err) => panic!("open-loop submission failed: {err}"),
         }
     }
-    let offered_for = started.elapsed();
+    let offered_for = (clock.now() - started).to_std();
 
     for (li, tenant_tickets) in tickets.into_iter().enumerate() {
         for ticket in tenant_tickets {
@@ -289,7 +288,7 @@ pub fn run_open_loop_tenants(
     MultiTenantResult {
         tenants: outcomes,
         offered_for,
-        served_for: started.elapsed(),
+        served_for: (clock.now() - started).to_std(),
     }
 }
 
@@ -411,13 +410,13 @@ pub fn run_open_loop_http(
         })
         .collect();
 
-    let started = Instant::now();
+    // The HTTP driver paces against a remote server over real sockets, so
+    // its schedule always runs on the wall clock (through the same Clock
+    // interface as the in-process drivers).
+    let clock = RealClock::new();
+    let started = clock.now();
     for (at, li) in arrivals {
-        let target = started + Duration::from_secs_f64(at);
-        let now = Instant::now();
-        if target > now {
-            std::thread::sleep(target - now);
-        }
+        clock.sleep_until(started + SimDuration::from_secs_f64(at));
         let load = &mut loads[li];
         let query = load.source.next_query();
         outcomes[li].submitted += 1;
@@ -425,7 +424,7 @@ pub fn run_open_loop_http(
             .send((li, load.tenant, query))
             .expect("worker pool alive");
     }
-    let offered_for = started.elapsed();
+    let offered_for = (clock.now() - started).to_std();
 
     drop(job_tx); // workers drain the backlog, then exit
     for worker in workers {
@@ -440,6 +439,6 @@ pub fn run_open_loop_http(
     MultiTenantResult {
         tenants: outcomes,
         offered_for,
-        served_for: started.elapsed(),
+        served_for: (clock.now() - started).to_std(),
     }
 }

@@ -211,7 +211,7 @@ impl Inner {
 mod tests {
     use super::*;
     use crossbeam::channel;
-    use std::time::Instant;
+    use vlite_sim::SimTime;
 
     fn spec(weight: u32, capacity: usize) -> TenantSpec {
         TenantSpec {
@@ -227,7 +227,7 @@ mod tests {
             id,
             tenant: TenantId(tenant),
             query: vec![0.0],
-            enqueued: Instant::now(),
+            enqueued: SimTime::ZERO,
             reply,
         }
     }

@@ -39,6 +39,12 @@ pub struct TenantReport {
     pub slo_target: f64,
     /// Fraction of this tenant's requests whose search stage met its SLO.
     pub slo_attainment: f64,
+    /// Admission → first token for this tenant's requests (zero samples on
+    /// retrieval-only servers).
+    pub ttft: Summary,
+    /// Fraction of this tenant's requests whose TTFT met the global
+    /// `slo_ttft` target (`0.0` when generation is disabled).
+    pub ttft_attainment: f64,
     /// Mean cache hit rate across this tenant's served requests.
     pub mean_hit_rate: f64,
 }
@@ -64,6 +70,19 @@ pub struct ServeReport {
     pub slo_target: f64,
     /// Fraction of requests whose search stage met the global SLO.
     pub slo_attainment: f64,
+    /// Admission → first token (zero samples on retrieval-only servers).
+    pub ttft: Summary,
+    /// Merged top-k → prefill start (generation-stage queueing).
+    pub gen_queue: Summary,
+    /// Prefill start → first token.
+    pub prefill: Summary,
+    /// First token → last token.
+    pub decode: Summary,
+    /// The TTFT SLO target in seconds; `None` when generation is disabled.
+    pub slo_ttft: Option<f64>,
+    /// Fraction of requests whose TTFT met `slo_ttft` (`0.0` when
+    /// generation is disabled).
+    pub ttft_attainment: f64,
     /// Batches launched.
     pub batches: u64,
     /// Mean batch size (dynamic on-demand batching).
@@ -84,12 +103,14 @@ pub struct ServeReport {
 }
 
 impl ServeReport {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn assemble(
         metrics: &ServeMetrics,
         queue_stats: QueueStats,
         specs: &[TenantSpec],
         repartitions: Vec<RepartitionEvent>,
         slo_target: f64,
+        slo_ttft: Option<f64>,
         generation: u64,
         worker_panics: u64,
     ) -> ServeReport {
@@ -116,6 +137,8 @@ impl ServeReport {
                     e2e: m.e2e_lat.clone().summary(),
                     slo_target: spec.slo_search,
                     slo_attainment: m.slo.attainment(),
+                    ttft: m.ttft_lat.clone().summary(),
+                    ttft_attainment: m.ttft_slo.attainment(),
                     mean_hit_rate: if m.completed == 0 {
                         0.0
                     } else {
@@ -134,6 +157,12 @@ impl ServeReport {
             e2e: e2e_lat.summary(),
             slo_target,
             slo_attainment: metrics.slo.attainment(),
+            ttft: metrics.ttft_lat.clone().summary(),
+            gen_queue: metrics.gen_queue_lat.clone().summary(),
+            prefill: metrics.prefill_lat.clone().summary(),
+            decode: metrics.decode_lat.clone().summary(),
+            slo_ttft,
+            ttft_attainment: metrics.ttft_slo.attainment(),
             batches: metrics.batches,
             mean_batch: if metrics.batches == 0 {
                 0.0
@@ -169,6 +198,13 @@ impl ServeReport {
             fmt_seconds(self.slo_target),
             100.0 * self.slo_attainment
         ));
+        if let Some(slo_ttft) = self.slo_ttft {
+            out.push_str(&format!(
+                "TTFT SLO {}: attainment {:.1}% (co-scheduled generation)\n",
+                fmt_seconds(slo_ttft),
+                100.0 * self.ttft_attainment
+            ));
+        }
         if self.worker_panics > 0 {
             out.push_str(&format!(
                 "WARNING: {} worker scan(s) panicked and returned degraded partials\n",
@@ -178,11 +214,7 @@ impl ServeReport {
         out.push('\n');
 
         let mut latencies = Table::new(vec!["stage", "p50", "p95", "p99", "mean", "max"]);
-        for (stage, s) in [
-            ("queue", &self.queue),
-            ("search", &self.search),
-            ("e2e", &self.e2e),
-        ] {
+        for (stage, s) in self.stages() {
             latencies.row(vec![
                 stage.to_string(),
                 fmt_seconds(s.p50),
@@ -240,6 +272,21 @@ impl ServeReport {
         out
     }
 
+    /// The report's latency stages in fixed order: the retrieval stages,
+    /// then the generation stages (all-zero summaries when generation is
+    /// disabled). The render/CSV row set, stable for parsers.
+    pub fn stages(&self) -> [(&'static str, &Summary); 7] {
+        [
+            ("queue", &self.queue),
+            ("search", &self.search),
+            ("e2e", &self.e2e),
+            ("gen_queue", &self.gen_queue),
+            ("prefill", &self.prefill),
+            ("decode", &self.decode),
+            ("ttft", &self.ttft),
+        ]
+    }
+
     /// The per-tenant breakdown as an aligned table (one row per tenant).
     pub fn tenant_table(&self) -> Table {
         let mut table = Table::new(vec![
@@ -254,6 +301,8 @@ impl ServeReport {
             "e2e p99",
             "SLO",
             "attainment",
+            "ttft p99",
+            "ttft att.",
             "hit rate",
         ]);
         for t in &self.tenants {
@@ -269,6 +318,16 @@ impl ServeReport {
                 fmt_seconds(t.e2e.p99),
                 fmt_seconds(t.slo_target),
                 format!("{:.1}%", 100.0 * t.slo_attainment),
+                if self.slo_ttft.is_some() {
+                    fmt_seconds(t.ttft.p99)
+                } else {
+                    "-".into()
+                },
+                if self.slo_ttft.is_some() {
+                    format!("{:.1}%", 100.0 * t.ttft_attainment)
+                } else {
+                    "-".into()
+                },
                 format!("{:.3}", t.mean_hit_rate),
             ]);
         }
@@ -311,6 +370,8 @@ impl ServeReport {
                     ("e2e".into(), summary_json(&t.e2e)),
                     ("slo_target".into(), Json::Num(t.slo_target)),
                     ("slo_attainment".into(), Json::Num(t.slo_attainment)),
+                    ("ttft".into(), summary_json(&t.ttft)),
+                    ("ttft_attainment".into(), Json::Num(t.ttft_attainment)),
                     ("mean_hit_rate".into(), Json::Num(t.mean_hit_rate)),
                 ])
             })
@@ -355,6 +416,18 @@ impl ServeReport {
             ("e2e".into(), summary_json(&self.e2e)),
             ("slo_target".into(), Json::Num(self.slo_target)),
             ("slo_attainment".into(), Json::Num(self.slo_attainment)),
+            ("ttft".into(), summary_json(&self.ttft)),
+            ("gen_queue".into(), summary_json(&self.gen_queue)),
+            ("prefill".into(), summary_json(&self.prefill)),
+            ("decode".into(), summary_json(&self.decode)),
+            (
+                "slo_ttft".into(),
+                match self.slo_ttft {
+                    Some(s) => Json::Num(s),
+                    None => Json::Null,
+                },
+            ),
+            ("ttft_attainment".into(), Json::Num(self.ttft_attainment)),
             ("batches".into(), Json::Num(self.batches as f64)),
             ("mean_batch".into(), Json::Num(self.mean_batch)),
             ("max_batch".into(), Json::Num(self.max_batch as f64)),
@@ -366,16 +439,14 @@ impl ServeReport {
         ])
     }
 
-    /// The report's latency rows as CSV (stage, p50, p95, p99, mean, max).
-    /// The per-tenant breakdown is a differently-shaped table and gets its
-    /// own file: see [`ServeReport::tenants_to_csv`].
+    /// The report's latency rows as CSV (stage, p50, p95, p99, mean, max):
+    /// the three retrieval stages plus the four generation stages (all-zero
+    /// rows when generation is disabled, so the arity is stable). The
+    /// per-tenant breakdown is a differently-shaped table and gets its own
+    /// file: see [`ServeReport::tenants_to_csv`].
     pub fn to_csv(&self) -> String {
         let mut out = String::from("stage,p50,p95,p99,mean,max\n");
-        for (stage, s) in [
-            ("queue", &self.queue),
-            ("search", &self.search),
-            ("e2e", &self.e2e),
-        ] {
+        for (stage, s) in self.stages() {
             out.push_str(&format!(
                 "{stage},{:.6},{:.6},{:.6},{:.6},{:.6}\n",
                 s.p50, s.p95, s.p99, s.mean, s.max
@@ -388,11 +459,11 @@ impl ServeReport {
     pub fn tenants_to_csv(&self) -> String {
         let mut out = String::from(
             "tenant,weight,admitted,rejected,completed,queue_p99,search_p50,search_p99,\
-             e2e_p99,slo,attainment,hit_rate\n",
+             e2e_p99,slo,attainment,ttft_p50,ttft_p99,ttft_attainment,hit_rate\n",
         );
         for t in &self.tenants {
             out.push_str(&format!(
-                "{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.4},{:.4}\n",
+                "{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.4},{:.6},{:.6},{:.4},{:.4}\n",
                 t.tenant.0,
                 t.weight,
                 t.admitted,
@@ -404,6 +475,9 @@ impl ServeReport {
                 t.e2e.p99,
                 t.slo_target,
                 t.slo_attainment,
+                t.ttft.p50,
+                t.ttft.p99,
+                t.ttft_attainment,
                 t.mean_hit_rate
             ));
         }

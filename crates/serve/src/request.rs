@@ -1,10 +1,11 @@
 //! Request/response types crossing the serving runtime's thread boundaries.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 
 use vlite_ann::Neighbor;
+use vlite_sim::SimTime;
 
 /// Identifies one tenant (SLO class) of the serving runtime.
 ///
@@ -67,15 +68,37 @@ impl std::fmt::Display for AdmissionError {
 
 impl std::error::Error for AdmissionError {}
 
-/// Wall-clock timeline of one served request, all in seconds.
+/// Generation-stage phase timings of one co-scheduled request, all in
+/// seconds. Present only when the server runs with a
+/// [`GenerationConfig`](crate::GenerationConfig).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenerationTimings {
+    /// Merged top-k → prefill iteration start (waiting for KV space and a
+    /// prefill slot in the engine).
+    pub gen_queue: f64,
+    /// Prefill iteration start → first token.
+    pub prefill: f64,
+    /// First token → last token (decode).
+    pub decode: f64,
+    /// Admission → first token: `queue + search + gen_queue + prefill`,
+    /// the paper's headline end-to-end metric.
+    pub ttft: f64,
+}
+
+/// Timeline of one served request, all in seconds (wall clock in
+/// production, virtual [`Clock`](crate::Clock) time in deterministic
+/// tests).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RequestTimings {
     /// Admission → batch launch (queueing delay).
     pub queue: f64,
     /// Batch launch → merged top-k available (search execution).
     pub search: f64,
-    /// Admission → merged top-k available.
+    /// Admission → final delivery: the merged top-k for retrieval-only
+    /// servers, the last generated token for co-scheduled ones.
     pub e2e: f64,
+    /// Generation phases and TTFT; `None` on retrieval-only servers.
+    pub generation: Option<GenerationTimings>,
 }
 
 /// The merged retrieval result for one request.
@@ -139,6 +162,7 @@ pub(crate) struct Job {
     pub id: u64,
     pub tenant: TenantId,
     pub query: Vec<f32>,
-    pub enqueued: Instant,
+    /// Admission timestamp on the server's [`Clock`](crate::Clock).
+    pub enqueued: SimTime,
     pub reply: Sender<SearchResponse>,
 }

@@ -17,17 +17,19 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
-use std::time::Instant;
 
 use crossbeam::channel::{self, Receiver, Sender};
 
 use vlite_ann::{merge_sorted, IvfIndex, Neighbor};
 use vlite_core::{PartitionDecision, PartitionInput, RealDeployment, RoutedQuery, Router};
 use vlite_metrics::{LatencyRecorder, SloTracker};
+use vlite_sim::SimTime;
 use vlite_workload::SyntheticCorpus;
 
-use crate::config::{ServeConfig, TenantSpec};
+use crate::clock::{Clock, RealClock};
+use crate::config::{GenerationConfig, ServeConfig, SloSignal, TenantSpec};
 use crate::control::{ControlLoop, Observation, RepartitionEvent};
+use crate::generation::{generation_worker, GenWork};
 use crate::queue::AdmissionQueue;
 use crate::report::ServeReport;
 use crate::request::{AdmissionError, Job, RequestTimings, SearchResponse, TenantId, Ticket};
@@ -37,7 +39,7 @@ struct BatchWork {
     jobs: Vec<Job>,
     routed: Vec<RoutedQuery>,
     k: usize,
-    started: Instant,
+    started: SimTime,
     generation: u64,
 }
 
@@ -63,31 +65,47 @@ pub(crate) struct TenantMetrics {
     pub search_lat: LatencyRecorder,
     pub e2e_lat: LatencyRecorder,
     pub slo: SloTracker,
+    /// Admission → first token (empty on retrieval-only servers).
+    pub ttft_lat: LatencyRecorder,
+    /// TTFT against the global `slo_ttft` target.
+    pub ttft_slo: SloTracker,
     pub hit_sum: f64,
     pub completed: u64,
 }
 
 impl TenantMetrics {
-    fn new(slo_search: f64) -> Self {
+    fn new(slo_search: f64, slo_ttft: Option<f64>) -> Self {
         Self {
             queue_lat: LatencyRecorder::new(),
             search_lat: LatencyRecorder::new(),
             e2e_lat: LatencyRecorder::new(),
             slo: SloTracker::new(slo_search),
+            ttft_lat: LatencyRecorder::new(),
+            // Disabled generation never observes TTFT; the placeholder
+            // target keeps the tracker inert (attainment 0.0 at count 0).
+            ttft_slo: SloTracker::new(slo_ttft.unwrap_or(f64::MAX)),
             hit_sum: 0.0,
             completed: 0,
         }
     }
 }
 
-/// Aggregate measurements owned by the dispatcher, snapshotted by
-/// [`RagServer::report`].
+/// Aggregate measurements owned by the dispatcher (and, for co-scheduled
+/// servers, the generation worker), snapshotted by [`RagServer::report`].
 #[derive(Debug)]
 pub(crate) struct ServeMetrics {
     pub queue_lat: LatencyRecorder,
     pub search_lat: LatencyRecorder,
     pub e2e_lat: LatencyRecorder,
     pub slo: SloTracker,
+    /// Admission → first token (empty on retrieval-only servers).
+    pub ttft_lat: LatencyRecorder,
+    /// TTFT against `slo_ttft`.
+    pub ttft_slo: SloTracker,
+    /// Generation-stage phase recorders (empty on retrieval-only servers).
+    pub gen_queue_lat: LatencyRecorder,
+    pub prefill_lat: LatencyRecorder,
+    pub decode_lat: LatencyRecorder,
     pub hit_sum: f64,
     pub completed: u64,
     pub batches: u64,
@@ -99,12 +117,17 @@ pub(crate) struct ServeMetrics {
 }
 
 impl ServeMetrics {
-    pub(crate) fn new(slo_search: f64, tenants: &[TenantSpec]) -> Self {
+    pub(crate) fn new(slo_search: f64, slo_ttft: Option<f64>, tenants: &[TenantSpec]) -> Self {
         Self {
             queue_lat: LatencyRecorder::new(),
             search_lat: LatencyRecorder::new(),
             e2e_lat: LatencyRecorder::new(),
             slo: SloTracker::new(slo_search),
+            ttft_lat: LatencyRecorder::new(),
+            ttft_slo: SloTracker::new(slo_ttft.unwrap_or(f64::MAX)),
+            gen_queue_lat: LatencyRecorder::new(),
+            prefill_lat: LatencyRecorder::new(),
+            decode_lat: LatencyRecorder::new(),
             hit_sum: 0.0,
             completed: 0,
             batches: 0,
@@ -112,7 +135,7 @@ impl ServeMetrics {
             max_batch: 0,
             tenants: tenants
                 .iter()
-                .map(|spec| TenantMetrics::new(spec.slo_search))
+                .map(|spec| TenantMetrics::new(spec.slo_search, slo_ttft))
                 .collect(),
         }
     }
@@ -141,6 +164,12 @@ pub(crate) struct Shared {
     pub(crate) top_k: usize,
     pub(crate) n_shards: usize,
     pub(crate) slo_search: f64,
+    /// The clock every runtime timestamp is taken on.
+    pub(crate) clock: Arc<dyn Clock>,
+    /// Generation-stage config; `None` serves retrieval only.
+    pub(crate) generation: Option<GenerationConfig>,
+    /// Which latency feeds the control loop's SLO observations.
+    pub(crate) slo_signal: SloSignal,
 }
 
 impl Shared {
@@ -190,23 +219,55 @@ impl std::fmt::Debug for RagServer {
 
 impl RagServer {
     /// Runs the offline stage on `corpus` (train, profile, Algorithm 1,
-    /// split) and starts the runtime.
+    /// split) and starts the runtime on the wall clock.
     ///
     /// # Errors
     ///
     /// Propagates index-training errors.
     pub fn start(corpus: &SyntheticCorpus, config: ServeConfig) -> vlite_ann::Result<RagServer> {
-        let deployment = RealDeployment::build(corpus, config.real.clone())?;
-        Ok(Self::from_deployment(deployment, config))
+        Self::start_with_clock(corpus, config, Arc::new(RealClock::new()))
     }
 
-    /// Starts the runtime over an already-built offline deployment.
+    /// [`RagServer::start`] on an explicit [`Clock`] — pass a
+    /// [`VirtualClock`](crate::VirtualClock) for deterministic tests.
+    ///
+    /// # Errors
+    ///
+    /// Propagates index-training errors.
+    pub fn start_with_clock(
+        corpus: &SyntheticCorpus,
+        config: ServeConfig,
+        clock: Arc<dyn Clock>,
+    ) -> vlite_ann::Result<RagServer> {
+        let deployment = RealDeployment::build(corpus, config.real.clone())?;
+        Ok(Self::from_deployment_with_clock(deployment, config, clock))
+    }
+
+    /// Starts the runtime over an already-built offline deployment, on the
+    /// wall clock.
     ///
     /// # Panics
     ///
     /// Panics if the deployment and config disagree on shard count zero, or
     /// if the tenant table is invalid (zero weight or capacity).
     pub fn from_deployment(deployment: RealDeployment, config: ServeConfig) -> RagServer {
+        Self::from_deployment_with_clock(deployment, config, Arc::new(RealClock::new()))
+    }
+
+    /// Starts the runtime over an already-built offline deployment on an
+    /// explicit [`Clock`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the deployment and config disagree on shard count zero,
+    /// if the tenant table is invalid (zero weight or capacity), if the
+    /// generation config cannot fit its worst-case request in KV, or if
+    /// the control loop is keyed off TTFT without a generation stage.
+    pub fn from_deployment_with_clock(
+        deployment: RealDeployment,
+        config: ServeConfig,
+        clock: Arc<dyn Clock>,
+    ) -> RagServer {
         let RealDeployment {
             index,
             profile,
@@ -218,6 +279,14 @@ impl RagServer {
         let n_shards = router.split().n_shards();
         assert!(n_shards > 0, "need at least one shard worker");
         let tenants = config.effective_tenants();
+        if let Some(generation) = &config.generation {
+            generation.validate(config.real.top_k);
+        }
+        assert!(
+            config.control.slo_signal == SloSignal::Search || config.generation.is_some(),
+            "TTFT-keyed control observations require a generation stage"
+        );
+        let slo_ttft = config.generation.as_ref().map(|g| g.slo_ttft);
         // Expected mean hit rate, measured with the *same statistic* the
         // dispatcher will observe (per-query GPU-probe fraction over the
         // calibration probe sets) — the estimator's modeled mean is
@@ -232,7 +301,11 @@ impl RagServer {
                 generation: 0,
             }),
             queue: AdmissionQueue::new(&tenants),
-            metrics: Mutex::new(ServeMetrics::new(config.real.slo_search, &tenants)),
+            metrics: Mutex::new(ServeMetrics::new(
+                config.real.slo_search,
+                slo_ttft,
+                &tenants,
+            )),
             worker_panics: AtomicU64::new(0),
             tenants,
             repartitions: Mutex::new(Vec::new()),
@@ -240,6 +313,9 @@ impl RagServer {
             top_k: config.real.top_k,
             n_shards,
             slo_search: config.real.slo_search,
+            clock,
+            generation: config.generation.clone(),
+            slo_signal: config.control.slo_signal,
         });
 
         // Channel topology. Dispatcher ingress is shared by the batcher
@@ -276,12 +352,33 @@ impl RagServer {
             );
         }
 
+        // Generation stage (optional): the dispatcher forwards merged
+        // retrievals to this worker, which runs the LLM engine against the
+        // clock and delivers the final (post-decode) responses.
+        let gen_tx = config.generation.as_ref().map(|generation| {
+            let (gen_tx, gen_rx) = channel::unbounded::<GenWork>();
+            let shared_ = shared.clone();
+            let generation = generation.clone();
+            let gen_control_tx = control_tx.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("vlite-generate".into())
+                    .spawn(move || {
+                        generation_worker(&shared_, &generation, &gen_rx, &gen_control_tx);
+                    })
+                    .expect("spawn generation worker"),
+            );
+            gen_tx
+        });
+
         {
             let shared_ = shared.clone();
             threads.push(
                 std::thread::Builder::new()
                     .name("vlite-dispatch".into())
-                    .spawn(move || dispatcher(&shared_, &dispatch_rx, &done_tx, &control_tx))
+                    .spawn(move || {
+                        dispatcher(&shared_, &dispatch_rx, &done_tx, &control_tx, gen_tx)
+                    })
                     .expect("spawn dispatcher"),
             );
         }
@@ -375,7 +472,7 @@ impl RagServer {
             id,
             tenant,
             query,
-            enqueued: Instant::now(),
+            enqueued: self.shared.clock.now(),
             reply,
         };
         match self.shared.queue.try_push(job) {
@@ -394,6 +491,18 @@ impl RagServer {
     /// The tenant table the server was started with.
     pub fn tenants(&self) -> &[TenantSpec] {
         &self.shared.tenants
+    }
+
+    /// The clock the runtime reads and sleeps against — the load
+    /// generators pace their arrival schedules on it so virtual-clock
+    /// servers run deterministically at full speed.
+    pub fn clock(&self) -> Arc<dyn Clock> {
+        self.shared.clock.clone()
+    }
+
+    /// The generation-stage configuration, when co-scheduling is enabled.
+    pub fn generation_config(&self) -> Option<&GenerationConfig> {
+        self.shared.generation.as_ref()
     }
 
     /// Requests currently waiting for a batch, summed over all tenants.
@@ -448,6 +557,7 @@ impl RagServer {
             &self.shared.tenants,
             repartitions,
             self.shared.slo_search,
+            self.shared.generation.as_ref().map(|g| g.slo_ttft),
             self.shared.placement_snapshot().1,
             self.shared.worker_panics.load(Ordering::Relaxed),
         )
@@ -505,7 +615,7 @@ fn batcher(
 ) {
     while let Some(jobs) = shared.queue.take_batch(max_batch) {
         let (router, generation) = shared.placement_snapshot();
-        let started = Instant::now();
+        let started = shared.clock.now();
         let routed: Vec<RoutedQuery> = jobs
             .iter()
             .map(|job| {
@@ -620,13 +730,15 @@ struct InFlight {
 }
 
 /// Dispatcher: merge shard/CPU partials per query, forward early
-/// finishers, record latencies and stream observations to the control
+/// finishers (to the caller, or to the generation worker on co-scheduled
+/// servers), record latencies and stream observations to the control
 /// loop.
 fn dispatcher(
     shared: &Shared,
     rx: &Receiver<DispatchMsg>,
     done_tx: &Sender<()>,
     control_tx: &Sender<Observation>,
+    gen_tx: Option<Sender<GenWork>>,
 ) {
     let mut inflight: Option<InFlight> = None;
     while let Ok(msg) = rx.recv() {
@@ -657,14 +769,14 @@ fn dispatcher(
                 if state.shards_ready == shared.n_shards {
                     // All GPU flags up: flush every buffered CPU finisher.
                     for (qi, partial) in std::mem::take(&mut state.pending_cpu) {
-                        complete_query(shared, state, qi, partial, control_tx);
+                        complete_query(shared, state, qi, partial, control_tx, &gen_tx);
                     }
                 }
             }
             DispatchMsg::CpuDone { qi, partial } => {
                 let state = inflight.as_mut().expect("completion without a launch");
                 if state.shards_ready == shared.n_shards {
-                    complete_query(shared, state, qi, partial, control_tx);
+                    complete_query(shared, state, qi, partial, control_tx, &gen_tx);
                 } else {
                     state.pending_cpu.push((qi, partial));
                 }
@@ -687,13 +799,16 @@ fn dispatcher(
     }
 }
 
-/// Merge one query's partials, deliver the response, record measurements.
+/// Merge one query's partials, then either deliver the response (retrieval
+/// only) or hand it to the generation stage (co-scheduled), recording
+/// measurements at whichever point the request's lifecycle actually ends.
 fn complete_query(
     shared: &Shared,
     state: &mut InFlight,
     qi: usize,
     cpu_partial: Vec<Neighbor>,
     control_tx: &Sender<Observation>,
+    gen_tx: &Option<Sender<GenWork>>,
 ) {
     assert!(!state.delivered[qi], "query {qi} completed twice");
     state.delivered[qi] = true;
@@ -708,14 +823,60 @@ fn complete_query(
         lists.push(std::mem::take(&mut partials[qi]));
     }
     let neighbors = merge_sorted(&lists, batch.k);
-    let now = Instant::now();
-    let timings = RequestTimings {
-        queue: batch.started.duration_since(job.enqueued).as_secs_f64(),
-        search: now.duration_since(batch.started).as_secs_f64(),
-        e2e: now.duration_since(job.enqueued).as_secs_f64(),
-    };
+    let now = shared.clock.now();
+    let queue = (batch.started - job.enqueued).as_secs_f64();
+    let search = (now - batch.started).as_secs_f64();
     let hit_rate = routed.hit_rate();
-    let met_slo = timings.search <= shared.slo_search;
+    let met_slo = search <= shared.slo_search;
+    state.completed += 1;
+
+    // The query's global probe set (the control loop's re-profiling
+    // sample). With search-keyed control the observation leaves here; with
+    // TTFT-keyed control it travels with the generation work instead, so
+    // the SLO bit reflects the latency users feel.
+    let probes = || {
+        let mut probes = routed.cpu_probes.clone();
+        for globals in &routed.shard_probes_global {
+            probes.extend_from_slice(globals);
+        }
+        probes
+    };
+
+    if let Some(gen_tx) = gen_tx {
+        let ttft_keyed = shared.slo_signal == SloSignal::Ttft;
+        if !ttft_keyed {
+            let _ = control_tx.send(Observation {
+                tenant: job.tenant,
+                hit_rate,
+                met_slo,
+                probes: probes(),
+            });
+        }
+        // Per-request metrics are recorded by the generation worker when
+        // the request actually finishes; the dispatcher only counts
+        // batch-level statistics for co-scheduled servers.
+        let _ = gen_tx.send(GenWork {
+            id: job.id,
+            tenant: job.tenant,
+            neighbors,
+            hit_rate,
+            generation: batch.generation,
+            enqueued: job.enqueued,
+            queue,
+            search,
+            merged_at: now,
+            reply: job.reply.clone(),
+            probes: ttft_keyed.then(probes),
+        });
+        return;
+    }
+
+    let timings = RequestTimings {
+        queue,
+        search,
+        e2e: (now - job.enqueued).as_secs_f64(),
+        generation: None,
+    };
 
     {
         let mut metrics = shared.metrics.lock().expect("metrics poisoned");
@@ -734,17 +895,11 @@ fn complete_query(
         tenant.completed += 1;
     }
 
-    // Observation for the control loop: hit rate, SLO, the submitting
-    // tenant, and the query's global probe set (re-profiling sample).
-    let mut probes = routed.cpu_probes.clone();
-    for globals in &routed.shard_probes_global {
-        probes.extend_from_slice(globals);
-    }
     let _ = control_tx.send(Observation {
         tenant: job.tenant,
         hit_rate,
         met_slo,
-        probes,
+        probes: probes(),
     });
 
     // The ticket may have been dropped (fire-and-forget submission).
@@ -756,5 +911,4 @@ fn complete_query(
         hit_rate,
         generation: batch.generation,
     });
-    state.completed += 1;
 }

@@ -75,6 +75,12 @@ impl SimDuration {
         self.0 as f64 / 1e9
     }
 
+    /// The duration as a `std::time::Duration` (exact: both are integer
+    /// nanoseconds).
+    pub fn to_std(self) -> std::time::Duration {
+        std::time::Duration::from_nanos(self.0)
+    }
+
     /// Saturating subtraction.
     pub const fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
         SimDuration(self.0.saturating_sub(rhs.0))

@@ -14,7 +14,7 @@
 //! | [`core`] | `vlite-core` | Access-skew profiling, Beta/order-statistic hit-rate estimation, latency-bounded partitioning (Algorithm 1), index splitter, router, dynamic dispatcher, serving pipeline, adaptive update |
 //! | [`ann`] | `vlite-ann` | IVF-Flat / IVF-PQ / fast-scan indexes, k-means, product & scalar quantizers, HNSW, recall/NDCG |
 //! | [`llm`] | `vlite-llm` | Continuous-batching LLM engine simulator, paged KV cache, model specs, throughput probes |
-//! | [`serve`] | `vlite-serve` | Real-time wall-clock serving runtime: multi-tenant weighted-fair admission, dynamic batching, shard workers + dispatcher threads, online SLO-aware repartitioning |
+//! | [`serve`] | `vlite-serve` | Real-time serving runtime: multi-tenant weighted-fair admission, dynamic batching, shard workers + dispatcher threads, retrieval → LLM co-scheduling with TTFT accounting, online SLO-aware repartitioning, real/virtual clocks |
 //! | [`sim`] | `vlite-sim` | Virtual time, event queue, device catalog, GPU memory ledgers, Poisson arrivals |
 //! | [`workload`] | `vlite-workload` | Skew-calibrated cluster workloads, synthetic corpora, dataset presets |
 //! | [`metrics`] | `vlite-metrics` | Latency recorders, SLO trackers, result tables/series |

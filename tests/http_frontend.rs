@@ -15,7 +15,9 @@ use proptest::prelude::*;
 use vectorlite_rag::ann::Neighbor;
 use vectorlite_rag::serve::http::json::Json;
 use vectorlite_rag::serve::http::{wire, HttpClient, HttpFrontend};
-use vectorlite_rag::serve::{RagServer, RequestTimings, SearchResponse, ServeConfig, TenantId};
+use vectorlite_rag::serve::{
+    GenerationTimings, RagServer, RequestTimings, SearchResponse, ServeConfig, TenantId,
+};
 use vectorlite_rag::workload::{CorpusConfig, SyntheticCorpus};
 
 fn corpus() -> SyntheticCorpus {
@@ -248,7 +250,8 @@ proptest! {
         prop_assert_eq!(back, query);
     }
 
-    /// Full search responses round-trip field for field.
+    /// Full search responses round-trip field for field, with and without
+    /// the co-scheduled generation phase timings.
     #[test]
     fn search_response_json_round_trips(
         id in 0u64..u64::from(u32::MAX),
@@ -257,6 +260,10 @@ proptest! {
         hit_rate in 0.0f64..1.0,
         queue in 0.0f64..10.0,
         search in 0.0f64..10.0,
+        co_scheduled in any::<bool>(),
+        gen_queue in 0.0f64..1.0,
+        prefill in 0.0f64..1.0,
+        decode in 0.0f64..10.0,
         ids in prop::collection::vec(0u64..1_000_000, 0..32),
         distances in prop::collection::vec(0.0f32..1e5, 0..32),
     ) {
@@ -266,11 +273,21 @@ proptest! {
             .zip(&distances)
             .map(|(&id, &d)| Neighbor::new(id, d))
             .collect();
+        let gen_timings = co_scheduled.then_some(GenerationTimings {
+            gen_queue,
+            prefill,
+            decode,
+            ttft: queue + search + gen_queue + prefill,
+        });
+        let e2e = match &gen_timings {
+            Some(g) => g.ttft + g.decode,
+            None => queue + search,
+        };
         let original = SearchResponse {
             id,
             tenant: TenantId(tenant),
             neighbors,
-            timings: RequestTimings { queue, search, e2e: queue + search },
+            timings: RequestTimings { queue, search, e2e, generation: gen_timings },
             hit_rate,
             generation,
         };
@@ -282,5 +299,19 @@ proptest! {
         prop_assert_eq!(back.timings, original.timings);
         prop_assert_eq!(back.hit_rate, original.hit_rate);
         prop_assert_eq!(back.generation, original.generation);
+    }
+
+    /// A timings object missing the `generation` key (an old client's
+    /// encoding) still decodes, as retrieval-only.
+    #[test]
+    fn legacy_response_without_generation_key_decodes(queue in 0.0f64..1.0, search in 0.0f64..1.0) {
+        let text = format!(
+            "{{\"id\":1,\"tenant\":0,\"generation\":0,\"hit_rate\":0.5,\
+             \"timings\":{{\"queue\":{queue},\"search\":{search},\"e2e\":{}}},\
+             \"neighbors\":[]}}",
+            queue + search
+        );
+        let back = wire::search_response_from_json(&Json::parse(&text).unwrap()).unwrap();
+        prop_assert_eq!(back.timings.generation, None);
     }
 }

@@ -1,0 +1,214 @@
+//! Round-trip tests for `ServeReport::to_csv` / `to_json`, including the
+//! TTFT columns added with the generation stage: header/row arity, and
+//! parse-back equality of every numeric cell.
+
+use std::time::Duration;
+
+use vectorlite_rag::metrics::Summary;
+use vectorlite_rag::serve::http::json::Json;
+use vectorlite_rag::serve::{RepartitionEvent, ServeReport, TenantId, TenantReport};
+
+fn summary(seed: f64) -> Summary {
+    Summary {
+        count: 100,
+        mean: seed * 1.5,
+        min: seed * 0.5,
+        max: seed * 9.0,
+        p50: seed,
+        p90: seed * 2.0,
+        p95: seed * 3.0,
+        p99: seed * 4.0,
+    }
+}
+
+fn tenant(i: u16, seed: f64) -> TenantReport {
+    TenantReport {
+        tenant: TenantId(i),
+        weight: u32::from(i) + 1,
+        queue_capacity: 256,
+        admitted: 1_000 + u64::from(i),
+        rejected: 17 * u64::from(i),
+        completed: 990 + u64::from(i),
+        peak_queue_depth: 31,
+        queue: summary(seed * 0.1),
+        search: summary(seed),
+        e2e: summary(seed * 2.0),
+        slo_target: 0.05,
+        slo_attainment: 0.9625,
+        ttft: summary(seed * 1.7),
+        ttft_attainment: 0.8421,
+        mean_hit_rate: 0.615,
+    }
+}
+
+/// A fully populated co-scheduled report (every new field nonzero).
+fn co_scheduled_report() -> ServeReport {
+    ServeReport {
+        admitted: 2_001,
+        rejected: 17,
+        completed: 1_981,
+        peak_queue_depth: 44,
+        queue: summary(0.0004),
+        search: summary(0.002),
+        e2e: summary(0.031),
+        slo_target: 0.05,
+        slo_attainment: 0.9812,
+        ttft: summary(0.012),
+        gen_queue: summary(0.0015),
+        prefill: summary(0.0061),
+        decode: summary(0.024),
+        slo_ttft: Some(0.25),
+        ttft_attainment: 0.9031,
+        batches: 77,
+        mean_batch: 25.7,
+        max_batch: 64,
+        mean_hit_rate: 0.633,
+        tenants: vec![tenant(0, 0.002), tenant(1, 0.003)],
+        repartitions: vec![RepartitionEvent {
+            generation: 1,
+            at_request: 512,
+            observed_by_tenant: vec![200, 312],
+            old_coverage: 0.25,
+            new_coverage: 0.3125,
+            hot_overlap: 0.41,
+            queue_depth_at_swap: 9,
+            duration: Duration::from_micros(8_500),
+        }],
+        generation: 1,
+        worker_panics: 0,
+    }
+}
+
+#[test]
+fn csv_has_stable_arity_and_round_trips_every_cell() {
+    let report = co_scheduled_report();
+    let csv = report.to_csv();
+    let mut lines = csv.lines();
+    let header: Vec<&str> = lines.next().expect("header").split(',').collect();
+    assert_eq!(header, vec!["stage", "p50", "p95", "p99", "mean", "max"]);
+
+    let rows: Vec<Vec<&str>> = lines.map(|l| l.split(',').collect()).collect();
+    // Three retrieval stages + four generation stages, always.
+    assert_eq!(rows.len(), 7, "stage rows: {csv}");
+    let stages: Vec<&str> = rows.iter().map(|r| r[0]).collect();
+    assert_eq!(
+        stages,
+        vec![
+            "queue",
+            "search",
+            "e2e",
+            "gen_queue",
+            "prefill",
+            "decode",
+            "ttft"
+        ]
+    );
+    for row in &rows {
+        assert_eq!(row.len(), header.len(), "row arity: {row:?}");
+    }
+    // Parse back every numeric cell and compare against the source summary
+    // at the CSV's 6-decimal precision.
+    for (row, (_, s)) in rows.iter().zip(report.stages()) {
+        for (cell, want) in row[1..].iter().zip([s.p50, s.p95, s.p99, s.mean, s.max]) {
+            let parsed: f64 = cell.parse().expect("numeric cell");
+            assert!(
+                (parsed - want).abs() < 5e-7,
+                "cell {cell} drifted from {want}"
+            );
+        }
+    }
+}
+
+#[test]
+fn retrieval_only_csv_keeps_the_same_shape_with_zero_generation_rows() {
+    let mut report = co_scheduled_report();
+    report.slo_ttft = None;
+    report.ttft = Summary::default();
+    report.gen_queue = Summary::default();
+    report.prefill = Summary::default();
+    report.decode = Summary::default();
+    let csv = report.to_csv();
+    assert_eq!(csv.lines().count(), 8, "header + 7 stage rows");
+    let ttft_row = csv.lines().last().unwrap();
+    assert_eq!(
+        ttft_row,
+        "ttft,0.000000,0.000000,0.000000,0.000000,0.000000"
+    );
+}
+
+#[test]
+fn tenants_csv_header_matches_row_arity_and_round_trips() {
+    let report = co_scheduled_report();
+    let csv = report.tenants_to_csv();
+    let mut lines = csv.lines();
+    let header: Vec<&str> = lines.next().expect("header").split(',').collect();
+    assert!(header.contains(&"ttft_p50"));
+    assert!(header.contains(&"ttft_p99"));
+    assert!(header.contains(&"ttft_attainment"));
+    let rows: Vec<Vec<&str>> = lines.map(|l| l.split(',').collect()).collect();
+    assert_eq!(rows.len(), report.tenants.len());
+    for (row, t) in rows.iter().zip(&report.tenants) {
+        assert_eq!(row.len(), header.len(), "row arity: {row:?}");
+        let cell = |name: &str| -> f64 {
+            let i = header.iter().position(|h| h.trim() == name).unwrap();
+            row[i].parse().expect("numeric cell")
+        };
+        assert_eq!(cell("tenant") as u16, t.tenant.0);
+        assert_eq!(cell("admitted") as u64, t.admitted);
+        assert_eq!(cell("rejected") as u64, t.rejected);
+        assert_eq!(cell("completed") as u64, t.completed);
+        assert!((cell("ttft_p50") - t.ttft.p50).abs() < 5e-7);
+        assert!((cell("ttft_p99") - t.ttft.p99).abs() < 5e-7);
+        assert!((cell("ttft_attainment") - t.ttft_attainment).abs() < 5e-5);
+        assert!((cell("attainment") - t.slo_attainment).abs() < 5e-5);
+    }
+}
+
+#[test]
+fn json_round_trips_exactly_including_ttft_fields() {
+    let report = co_scheduled_report();
+    let text = report.to_json().render();
+    let json = Json::parse(&text).expect("rendered report parses back");
+
+    let num = |v: &Json, k: &str| v.get(k).and_then(Json::as_f64).unwrap();
+    // f64 renders shortest-round-trip, so parse-back equality is exact.
+    assert_eq!(num(&json, "slo_ttft"), 0.25);
+    assert_eq!(num(&json, "ttft_attainment"), report.ttft_attainment);
+    assert_eq!(num(&json, "slo_attainment"), report.slo_attainment);
+    assert_eq!(num(&json, "completed"), report.completed as f64);
+    for (key, s) in [
+        ("ttft", &report.ttft),
+        ("gen_queue", &report.gen_queue),
+        ("prefill", &report.prefill),
+        ("decode", &report.decode),
+        ("queue", &report.queue),
+        ("search", &report.search),
+        ("e2e", &report.e2e),
+    ] {
+        let obj = json.get(key).unwrap();
+        assert_eq!(num(obj, "count"), s.count as f64, "{key}.count");
+        assert_eq!(num(obj, "mean"), s.mean, "{key}.mean");
+        assert_eq!(num(obj, "p50"), s.p50, "{key}.p50");
+        assert_eq!(num(obj, "p99"), s.p99, "{key}.p99");
+        assert_eq!(num(obj, "max"), s.max, "{key}.max");
+    }
+    let tenants = json.get("tenants").and_then(Json::as_array).unwrap();
+    assert_eq!(tenants.len(), 2);
+    for (row, t) in tenants.iter().zip(&report.tenants) {
+        assert_eq!(num(row, "ttft_attainment"), t.ttft_attainment);
+        let ttft = row.get("ttft").unwrap();
+        assert_eq!(num(ttft, "p99"), t.ttft.p99);
+        assert_eq!(num(row, "slo_attainment"), t.slo_attainment);
+    }
+    let repartitions = json.get("repartitions").and_then(Json::as_array).unwrap();
+    assert_eq!(num(&repartitions[0], "at_request"), 512.0);
+}
+
+#[test]
+fn retrieval_only_json_encodes_slo_ttft_as_null() {
+    let mut report = co_scheduled_report();
+    report.slo_ttft = None;
+    let text = report.to_json().render();
+    let json = Json::parse(&text).unwrap();
+    assert_eq!(json.get("slo_ttft"), Some(&Json::Null));
+}

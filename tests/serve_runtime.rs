@@ -3,15 +3,23 @@
 //! Two scenarios on a tiny corpus:
 //! 1. Steady load meets the search SLO and serves every admitted request
 //!    through the persistent shard-worker/dispatcher pipeline, with results
-//!    identical to the single-path scan.
+//!    identical to the single-path scan. This is the file's one *real-time*
+//!    smoke: its SLO assertions are about wall-clock behaviour, so it keeps
+//!    the wall clock and the Poisson sleeps.
 //! 2. Rotating the workload's Zipf hot set mid-run makes observed hit
 //!    rates diverge from the estimator's expectation, which must trigger at
 //!    least one `DriftMonitor`-driven online repartition — placement
-//!    changes, the queue is never drained, and no request is lost.
+//!    changes, the queue is never drained, and no request is lost. This
+//!    scenario asserts *logical* behaviour only, so it runs on the
+//!    deterministic `VirtualClock`: the load generator's Poisson schedule
+//!    advances virtual time instead of sleeping, cutting the test's
+//!    wall-clock runtime to the scan work alone.
+
+use std::sync::Arc;
 
 use vectorlite_rag::core::{RealConfig, UpdateConfig};
 use vectorlite_rag::serve::loadgen::{run_open_loop, RotatingQuerySource};
-use vectorlite_rag::serve::{ControlConfig, RagServer, ServeConfig};
+use vectorlite_rag::serve::{ControlConfig, RagServer, ServeConfig, VirtualClock};
 use vectorlite_rag::workload::{CorpusConfig, SyntheticCorpus};
 
 fn corpus() -> SyntheticCorpus {
@@ -52,10 +60,13 @@ fn config() -> ServeConfig {
         profile_window: 600,
         cooldown_requests: 200,
         require_slo_breach: false,
+        ..ControlConfig::default()
     };
     config
 }
 
+// The file's real-time smoke: wall-clock pacing and SLO attainment are the
+// subject here, so it intentionally keeps `RealClock` and the sleeps.
 #[test]
 fn steady_poisson_load_meets_search_slo() {
     let corpus = corpus();
@@ -121,8 +132,12 @@ fn responses_match_single_path_search_exactly() {
 
 #[test]
 fn hot_set_rotation_triggers_online_repartition() {
+    // Virtual clock: the 1,200-request Poisson schedule advances stepped
+    // time instead of sleeping (~0.8s of wall-clock sleeps removed); the
+    // drift trigger runs on hit-rate observations, which are identical.
     let corpus = corpus();
-    let server = RagServer::start(&corpus, config()).expect("server starts");
+    let server = RagServer::start_with_clock(&corpus, config(), Arc::new(VirtualClock::new()))
+        .expect("server starts");
     let placement_before = server.current_shard_clusters();
     assert_eq!(server.placement_generation(), 0);
 
