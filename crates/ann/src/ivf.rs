@@ -16,8 +16,8 @@ use rand::seq::index::sample;
 use rand::SeedableRng;
 
 use crate::{
-    AnnError, FastScanList, Hnsw, HnswConfig, KMeans, KMeansConfig, Metric, Neighbor, PqConfig,
-    ProductQuantizer, QuantizedLut, Result, TopK, VecSet,
+    AnnError, ClusterStore, FastScanList, Hnsw, HnswConfig, KMeans, KMeansConfig, Metric, Neighbor,
+    PqConfig, ProductQuantizer, QuantizedLut, Result, TopK, VecSet,
 };
 
 /// How inverted lists store their vectors.
@@ -510,6 +510,66 @@ impl IvfIndex {
             }
         }
         top.into_sorted()
+    }
+
+    /// Stages 2+3 over an external [`ClusterStore`] instead of this index's
+    /// own lists: the scan path of a *physically tiered* deployment, where
+    /// hot clusters are resident arenas and cold clusters are quantized
+    /// on-disk extents. The index still owns coarse quantization
+    /// ([`IvfIndex::probe`]); the store owns every payload byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store disagrees with the index on dimensionality,
+    /// cluster count, or metric, or if a list id is out of range.
+    pub fn scan_lists_with(
+        &self,
+        store: &dyn ClusterStore,
+        query: &[f32],
+        lists: &[u32],
+        k: usize,
+    ) -> Vec<Neighbor> {
+        assert_eq!(store.dim(), self.dim, "store has wrong dimensionality");
+        assert_eq!(
+            store.n_clusters(),
+            self.nlist(),
+            "store has wrong cluster count"
+        );
+        assert_eq!(
+            store.metric(),
+            self.config.metric,
+            "store scores under a different metric"
+        );
+        crate::scan_lists_store(store, query, lists, k)
+    }
+
+    /// Detaches every inverted list's payload (ids + full-precision
+    /// vectors), leaving the lists empty — the handoff that moves list
+    /// bytes out of the index and into an external [`ClusterStore`].
+    /// Returns `None` (index untouched) unless the storage scheme is
+    /// [`ListStorage::Flat`].
+    ///
+    /// After detaching, [`IvfIndex::probe`] and the centroids are
+    /// unaffected, but [`IvfIndex::scan_lists`] sees empty lists: all
+    /// scanning must go through [`IvfIndex::scan_lists_with`].
+    pub fn take_flat_lists(&mut self) -> Option<Vec<(Vec<u64>, VecSet)>> {
+        if !matches!(self.config.storage, ListStorage::Flat) {
+            return None;
+        }
+        let dim = self.dim;
+        Some(
+            self.lists
+                .iter_mut()
+                .map(|list| {
+                    let ids = std::mem::take(&mut list.ids);
+                    let data = match &mut list.data {
+                        ListData::Flat(store) => std::mem::replace(store, VecSet::new(dim)),
+                        _ => unreachable!("flat storage holds flat lists"),
+                    };
+                    (ids, data)
+                })
+                .collect(),
+        )
     }
 
     /// The query's residual against one list's centroid.

@@ -52,6 +52,7 @@ mod ivf;
 mod kmeans;
 mod pq;
 mod sq;
+mod store;
 mod topk;
 mod vecset;
 
@@ -64,6 +65,7 @@ pub use ivf::{CoarseKind, IvfConfig, IvfIndex, ListStorage, Probe};
 pub use kmeans::{KMeans, KMeansConfig, KMeansInit};
 pub use pq::{Lut, PqConfig, ProductQuantizer};
 pub use sq::ScalarQuantizer;
+pub use store::{scan_lists_store, ClusterStore};
 pub use topk::{merge_sorted, Neighbor, TopK};
 pub use vecset::VecSet;
 

@@ -66,6 +66,37 @@ impl ScalarQuantizer {
         Ok(ScalarQuantizer { mins, scales })
     }
 
+    /// Reconstructs a quantizer from serialized per-dimension parameters —
+    /// the deserialization path of persisted SQ8 payloads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter vectors differ in length, are empty, or any
+    /// parameter is non-finite (a scale must additionally be positive).
+    pub fn from_params(mins: Vec<f32>, scales: Vec<f32>) -> ScalarQuantizer {
+        assert_eq!(mins.len(), scales.len(), "mins/scales length mismatch");
+        assert!(!mins.is_empty(), "quantizer must cover at least one dim");
+        assert!(
+            mins.iter().all(|m| m.is_finite()),
+            "quantizer mins must be finite"
+        );
+        assert!(
+            scales.iter().all(|s| s.is_finite() && *s > 0.0),
+            "quantizer scales must be finite and positive"
+        );
+        ScalarQuantizer { mins, scales }
+    }
+
+    /// Per-dimension minimums (the decode offsets).
+    pub fn mins(&self) -> &[f32] {
+        &self.mins
+    }
+
+    /// Per-dimension step sizes (the decode scales).
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
     /// Dimensionality this quantizer encodes.
     pub fn dim(&self) -> usize {
         self.mins.len()

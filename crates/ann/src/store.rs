@@ -1,0 +1,179 @@
+//! The [`ClusterStore`] abstraction: where inverted-list payloads
+//! physically live.
+//!
+//! [`IvfIndex`](crate::IvfIndex) historically owned every list's vectors in
+//! memory at full precision, which makes "placement" a routing concept
+//! only. A `ClusterStore` turns placement physical: the IVF scan path reads
+//! cluster payloads *through this trait*, so an implementation can keep hot
+//! clusters in resident full-precision arenas while cold clusters live in
+//! quantized on-disk extents — the asymmetric fast/slow tiers of the
+//! paper's partitioning, realized in bytes rather than labels. The
+//! `vlite-store` crate provides the tiered implementation; this crate only
+//! defines the read interface so the scan loop stays storage-agnostic.
+
+use crate::{Metric, Neighbor, TopK};
+
+/// Read-side interface over physically stored cluster payloads.
+///
+/// An implementation owns the bytes of every cluster (inverted list) of one
+/// index and knows how to accumulate scan candidates for a query, whatever
+/// the encoding (full-precision `f32`, SQ8 codes against a per-query lookup
+/// table, …). Implementations must be shareable across scan threads.
+///
+/// The distance metric is a property of the store (fixed when the payloads
+/// were written), not of the call: callers route queries, stores score
+/// them.
+///
+/// # Examples
+///
+/// A minimal resident store over one flat cluster:
+///
+/// ```
+/// use vlite_ann::{ClusterStore, Metric, TopK, VecSet};
+///
+/// struct OneCluster(VecSet);
+///
+/// impl ClusterStore for OneCluster {
+///     fn dim(&self) -> usize { self.0.dim() }
+///     fn n_clusters(&self) -> usize { 1 }
+///     fn metric(&self) -> Metric { Metric::L2 }
+///     fn cluster_len(&self, _c: u32) -> usize { self.0.len() }
+///     fn scan_cluster(&self, _c: u32, query: &[f32], top: &mut TopK) {
+///         for (i, v) in self.0.iter().enumerate() {
+///             top.push(i as u64, Metric::L2.score(query, v));
+///         }
+///     }
+/// }
+///
+/// let store = OneCluster(VecSet::from_fn(8, 2, |i, j| (i + j) as f32));
+/// let mut top = TopK::new(1);
+/// store.scan_cluster(0, &[0.0, 1.0], &mut top);
+/// assert_eq!(top.into_sorted()[0].id, 0);
+/// ```
+pub trait ClusterStore: Send + Sync {
+    /// Vector dimensionality of every stored cluster.
+    fn dim(&self) -> usize;
+
+    /// Number of clusters the store holds payloads for.
+    fn n_clusters(&self) -> usize;
+
+    /// The distance metric the payloads are scored under.
+    fn metric(&self) -> Metric;
+
+    /// Number of vectors stored in cluster `cluster`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of range.
+    fn cluster_len(&self, cluster: u32) -> usize;
+
+    /// Scans cluster `cluster`, offering every stored vector's `(id,
+    /// score)` to `top` under [`ClusterStore::metric`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of range or `query.len() != dim()`.
+    fn scan_cluster(&self, cluster: u32, query: &[f32], top: &mut TopK);
+
+    /// Scans several clusters for one query. The default just loops over
+    /// [`ClusterStore::scan_cluster`]; implementations override it to
+    /// share per-query state across the clusters (e.g. one SQ8 lookup
+    /// table across every cold probe, instead of one per probe).
+    ///
+    /// # Panics
+    ///
+    /// As [`ClusterStore::scan_cluster`].
+    fn scan_clusters(&self, clusters: &[u32], query: &[f32], top: &mut TopK) {
+        for &c in clusters {
+            self.scan_cluster(c, query, top);
+        }
+    }
+}
+
+/// Scans `lists` through a [`ClusterStore`] and returns the top-`k`
+/// neighbors — the storage-agnostic stage-3 scan loop.
+///
+/// # Panics
+///
+/// Panics if `query.len() != store.dim()`, `k == 0`, or a list id is out of
+/// range.
+pub fn scan_lists_store(
+    store: &dyn ClusterStore,
+    query: &[f32],
+    lists: &[u32],
+    k: usize,
+) -> Vec<Neighbor> {
+    assert_eq!(query.len(), store.dim(), "query has wrong dimensionality");
+    let mut top = TopK::new(k);
+    store.scan_clusters(lists, query, &mut top);
+    top.into_sorted()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VecSet;
+
+    /// Two tiny clusters with disjoint id spaces.
+    struct TwoClusters {
+        a: VecSet,
+        b: VecSet,
+    }
+
+    impl ClusterStore for TwoClusters {
+        fn dim(&self) -> usize {
+            self.a.dim()
+        }
+        fn n_clusters(&self) -> usize {
+            2
+        }
+        fn metric(&self) -> Metric {
+            Metric::L2
+        }
+        fn cluster_len(&self, cluster: u32) -> usize {
+            match cluster {
+                0 => self.a.len(),
+                1 => self.b.len(),
+                other => panic!("cluster {other} out of range"),
+            }
+        }
+        fn scan_cluster(&self, cluster: u32, query: &[f32], top: &mut TopK) {
+            let (set, base) = match cluster {
+                0 => (&self.a, 0u64),
+                1 => (&self.b, 100u64),
+                other => panic!("cluster {other} out of range"),
+            };
+            for (i, v) in set.iter().enumerate() {
+                top.push(base + i as u64, Metric::L2.score(query, v));
+            }
+        }
+    }
+
+    fn store() -> TwoClusters {
+        TwoClusters {
+            a: VecSet::from_fn(4, 2, |i, _| i as f32),
+            b: VecSet::from_fn(4, 2, |i, _| 10.0 + i as f32),
+        }
+    }
+
+    #[test]
+    fn scan_lists_store_merges_across_clusters() {
+        let s = store();
+        let hits = scan_lists_store(&s, &[10.0, 10.0], &[0, 1], 2);
+        assert_eq!(hits[0].id, 100, "closest lives in cluster 1");
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn scan_subset_only_touches_requested_lists() {
+        let s = store();
+        let hits = scan_lists_store(&s, &[10.0, 10.0], &[0], 1);
+        assert_eq!(hits[0].id, 3, "cluster 1 excluded from the scan");
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong dimensionality")]
+    fn dimension_mismatch_rejected() {
+        scan_lists_store(&store(), &[0.0; 3], &[0], 1);
+    }
+}

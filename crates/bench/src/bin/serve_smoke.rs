@@ -14,15 +14,26 @@
 //! p50/p99 and TTFT SLO attainment per rate
 //! (`results/serve_ttft.csv`).
 //!
+//! With `--tiers` it sweeps the physical storage tiers: the same
+//! open-loop driver against three placements — all-hot (coverage 1.0,
+//! everything resident at full precision), paper placement (the pinned
+//! coverage the rest of this bench uses), and all-cold (coverage 0.0,
+//! every scan through the segment file's mmap'd SQ8 extents on the single
+//! CPU worker). Reports per-tier probe counts, fast-tier residency, and
+//! search percentiles (`results/serve_tiers.csv`), and asserts the
+//! expected asymmetry: all-cold p99 measurably worse than paper
+//! placement, which tracks all-hot within `TIER_MARGIN`.
+//!
 //! With `--gate <baseline.csv>` it instead runs only the rows listed in
 //! the baseline file (`metric,rate,budget_s` rows, `#` comments allowed;
 //! metrics: `search_p99` for retrieval-only rates, `ttft_p99` for
-//! co-scheduled ones) and exits nonzero if any measured p99 exceeds its
-//! checked-in budget — CI's perf-smoke step, catching dispatcher/queue
-//! (and now generation-bridge) regressions before merge. Budgets are
-//! deliberately loose (an order of magnitude above local measurements) so
-//! shared runners don't flake, while a hot-path regression that queues
-//! batches still trips them.
+//! co-scheduled ones, `tiers_all_hot_p99` / `tiers_paper_p99` /
+//! `tiers_all_cold_p99` for the tier sweep) and exits nonzero if any
+//! measured p99 exceeds its checked-in budget — CI's perf-smoke step,
+//! catching dispatcher/queue (and now generation-bridge and tier-scan)
+//! regressions before merge. Budgets are deliberately loose (an order of
+//! magnitude above local measurements) so shared runners don't flake,
+//! while a hot-path regression that queues batches still trips them.
 
 use vlite_bench::{banner, write_csv};
 use vlite_core::RealConfig;
@@ -75,6 +86,47 @@ fn run_rate(corpus: &SyntheticCorpus, rate: f64, n_requests: usize) -> (f64, Ser
     (outcome.achieved_rate(), report)
 }
 
+/// The pinned "paper placement" coverage used across this bench.
+const PAPER_COVERAGE: f64 = 0.25;
+
+/// Paper placement must track all-hot within this p99 factor; the bound
+/// is deliberately loose (CI-runner noise) while still catching a cold
+/// path accidentally wired into the hot tier.
+const TIER_MARGIN: f64 = 4.0;
+
+/// The tier sweep's corpus: big enough that scan work (not thread
+/// coordination) dominates per-query latency, so the tiers' physical
+/// asymmetry — parallel full-precision arenas vs serial SQ8 LUT scans —
+/// is what the percentiles measure.
+fn tier_corpus() -> SyntheticCorpus {
+    SyntheticCorpus::generate(&CorpusConfig {
+        n_vectors: 60_000,
+        dim: 64,
+        n_centers: 64,
+        zipf_exponent: 1.1,
+        noise: 0.3,
+        seed: 3,
+    })
+}
+
+/// One open-loop point at a pinned cache coverage (tier placement):
+/// 1.0 = all-hot, 0.0 = all-cold, anything else a genuine split.
+fn run_rate_tier(
+    corpus: &SyntheticCorpus,
+    coverage: f64,
+    rate: f64,
+    n_requests: usize,
+) -> ServeReport {
+    let mut config = ServeConfig::small();
+    config.real = real_config();
+    config.real.coverage_override = Some(coverage);
+    config.queue_capacity = 512;
+    let server = RagServer::start(corpus, config).expect("server starts");
+    let mut source = RotatingQuerySource::from_corpus(corpus, 11);
+    run_open_loop(&server, &mut source, rate, n_requests, 17, |_, _| {});
+    server.shutdown()
+}
+
 /// One co-scheduled open-loop point: same driver, with the tiny LLM engine
 /// bridged behind retrieval, so the report carries TTFT rows.
 fn run_rate_ttft(corpus: &SyntheticCorpus, rate: f64, n_requests: usize) -> ServeReport {
@@ -103,11 +155,93 @@ fn main() {
         ttft_sweep();
         return;
     }
+    if args.iter().any(|a| a == "--tiers") {
+        assert!(args.len() == 1, "unknown arguments: {args:?}");
+        tiers_sweep();
+        return;
+    }
     assert!(
         args.is_empty(),
-        "unknown arguments: {args:?} (try --gate or --ttft)"
+        "unknown arguments: {args:?} (try --gate, --ttft or --tiers)"
     );
     sweep();
+}
+
+/// The physical-tier sweep: all-hot vs paper placement vs all-cold at one
+/// offered rate. Writes `results/serve_tiers.csv` and asserts the tiers'
+/// latency asymmetry.
+fn tiers_sweep() {
+    banner(
+        "serve-smoke --tiers",
+        "physical storage-tier sweep: all-hot / paper placement / all-cold",
+    );
+    let corpus = tier_corpus();
+    // Near the all-cold configuration's single-worker saturation: queueing
+    // amplifies the serial SQ8 path's tail while the parallel placements
+    // stay comfortable, so the tier asymmetry is unmistakable.
+    let rate = 1_000.0;
+    let n = 1_200;
+    let mut table = Table::new(vec![
+        "tier",
+        "coverage",
+        "fast probes",
+        "cold probes",
+        "fast residency",
+        "search p50",
+        "search p99",
+        "SLO attainment",
+    ]);
+    let mut p99s = Vec::new();
+    for (label, coverage) in [
+        ("all_hot", 1.0),
+        ("paper", PAPER_COVERAGE),
+        ("all_cold", 0.0),
+    ] {
+        let report = run_rate_tier(&corpus, coverage, rate, n);
+        let store = report
+            .store
+            .as_ref()
+            .expect("tier sweep runs over a tiered store");
+        match label {
+            "all_hot" => assert_eq!(store.cold_probes, 0, "all-hot must never scan cold"),
+            "all_cold" => assert_eq!(store.hot_probes, 0, "all-cold must never scan hot"),
+            _ => assert!(
+                store.hot_probes > 0 && store.cold_probes > 0,
+                "paper placement must exercise both tiers"
+            ),
+        }
+        p99s.push(report.search.p99);
+        table.row(vec![
+            label.to_string(),
+            format!("{coverage:.2}"),
+            store.hot_probes.to_string(),
+            store.cold_probes.to_string(),
+            format!("{:.1}%", 100.0 * store.fast_residency),
+            fmt_seconds(report.search.p50),
+            fmt_seconds(report.search.p99),
+            format!("{:.1}%", 100.0 * report.slo_attainment),
+        ]);
+    }
+    println!("{}", table.render());
+    write_csv("serve_tiers.csv", &table.to_csv());
+
+    let (all_hot, paper, all_cold) = (p99s[0], p99s[1], p99s[2]);
+    println!(
+        "p99: all-hot {}  paper {}  all-cold {}  (margin {TIER_MARGIN}x)",
+        fmt_seconds(all_hot),
+        fmt_seconds(paper),
+        fmt_seconds(all_cold)
+    );
+    assert!(
+        all_cold > paper,
+        "all-cold p99 ({all_cold:.6}s) must be measurably worse than paper placement \
+         ({paper:.6}s): every probe runs serially on the CPU worker through SQ8 LUTs"
+    );
+    assert!(
+        paper <= all_hot * TIER_MARGIN,
+        "paper placement p99 ({paper:.6}s) must track all-hot ({all_hot:.6}s) within {TIER_MARGIN}x"
+    );
+    println!("tier asymmetry holds: all_cold > paper, paper within {TIER_MARGIN}x of all_hot.");
 }
 
 /// One parsed baseline row: which metric, at which offered rate, under
@@ -177,7 +311,20 @@ fn gate(baseline_path: &str) {
                 );
                 (report.ttft.p99, report.ttft_attainment)
             }
-            other => panic!("unknown baseline metric {other:?} (search_p99 | ttft_p99)"),
+            "tiers_all_hot_p99" | "tiers_paper_p99" | "tiers_all_cold_p99" => {
+                let coverage = match row.metric.as_str() {
+                    "tiers_all_hot_p99" => 1.0,
+                    "tiers_paper_p99" => PAPER_COVERAGE,
+                    _ => 0.0,
+                };
+                let report = run_rate_tier(&tier_corpus(), coverage, row.rate, 600);
+                assert!(report.store.is_some(), "tier gate runs need the store");
+                (report.search.p99, report.slo_attainment)
+            }
+            other => panic!(
+                "unknown baseline metric {other:?} \
+                 (search_p99 | ttft_p99 | tiers_all_hot_p99 | tiers_paper_p99 | tiers_all_cold_p99)"
+            ),
         };
         let ok = p99 <= row.budget;
         if !ok {

@@ -13,6 +13,7 @@
 use std::time::Instant;
 
 use vlite_ann::{IvfConfig, IvfIndex, Neighbor};
+use vlite_store::{StoreError, TieredStore};
 use vlite_workload::SyntheticCorpus;
 
 use crate::{
@@ -174,6 +175,53 @@ impl RealDeployment {
             .map(|p| p.list)
             .collect()
     }
+
+    /// Builds (or reopens) a [`TieredStore`] at `segment_path` from this
+    /// deployment, making the partitioner's placement physical: the
+    /// router's hot clusters become resident full-precision arenas, the
+    /// cold ones live in the segment's mmap'd SQ8 extents. The index's
+    /// flat list payloads are *detached* into the store — after this call
+    /// the deployment's bytes genuinely live where the placement says, and
+    /// all scanning must go through
+    /// [`IvfIndex::scan_lists_with`](vlite_ann::IvfIndex::scan_lists_with).
+    ///
+    /// If a segment file already exists at `segment_path` it is reopened
+    /// and verified (per-cluster content checksums against the freshly
+    /// trained index) instead of rewritten — the save → load → serve path.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Unsupported`] unless the index uses flat list storage
+    /// and an SQ8-decomposable metric; any segment write/validation error.
+    pub fn build_tiered_store(
+        &mut self,
+        segment_path: &std::path::Path,
+    ) -> std::result::Result<TieredStore, StoreError> {
+        // Every "unsupported" check must run BEFORE detaching the lists:
+        // a gutted index whose store build then fails would silently
+        // serve empty scans through the fallback path.
+        if !vlite_store::supports_metric(self.config.ivf.metric) {
+            return Err(StoreError::Unsupported(format!(
+                "tiered storage cannot score under {:?} (not SQ8-decomposable)",
+                self.config.ivf.metric
+            )));
+        }
+        let Some(lists) = self.index.take_flat_lists() else {
+            return Err(StoreError::Unsupported(
+                "tiered storage requires flat (full-precision) list storage".into(),
+            ));
+        };
+        let hot: Vec<bool> = (0..self.index.nlist() as u32)
+            .map(|c| self.router.split().is_hot(c))
+            .collect();
+        TieredStore::create_or_open(
+            segment_path,
+            self.index.dim(),
+            self.config.ivf.metric,
+            &lists,
+            &hot,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -233,5 +281,64 @@ mod tests {
         assert!((0.0..=1.0).contains(&d.decision.coverage));
         assert!(d.decision.index_bytes <= d.profile.total_bytes());
         assert!(d.decision.expected_batch >= 1);
+    }
+
+    #[test]
+    fn unsupported_metric_leaves_the_index_intact() {
+        // Regression: the cosine check must run before the lists are
+        // detached — a failed store build on a gutted index would make
+        // every subsequent scan silently return nothing.
+        let corpus = SyntheticCorpus::generate(&CorpusConfig {
+            n_vectors: 2000,
+            dim: 8,
+            n_centers: 16,
+            zipf_exponent: 1.1,
+            noise: 0.25,
+            seed: 4,
+        });
+        let mut config = RealConfig::small();
+        config.ivf = IvfConfig::new(16).metric(vlite_ann::Metric::Cosine);
+        let mut d = RealDeployment::build(&corpus, config).expect("cosine flat builds");
+        let path =
+            std::env::temp_dir().join(format!("vlite-real-cosine-{}.seg", std::process::id()));
+        let err = d.build_tiered_store(&path).expect_err("cosine unsupported");
+        assert!(matches!(err, StoreError::Unsupported(_)), "{err}");
+        // The index still owns its lists and serves real results.
+        let hits = d.search_flat_path(corpus.vectors.get(0));
+        assert_eq!(hits.first().map(|n| n.id), Some(0));
+        assert!(!path.exists(), "no segment may be written");
+    }
+
+    #[test]
+    fn tiered_store_makes_the_placement_physical() {
+        let mut d = deployment();
+        let full_path = d.search_flat_path(&[0.5; 16]);
+        let path =
+            std::env::temp_dir().join(format!("vlite-real-store-{}.seg", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut store = d.build_tiered_store(&path).expect("store builds");
+        store.set_ephemeral(true);
+
+        // The store's tiers mirror the router's placement exactly.
+        let flags = store.hot_flags();
+        for c in 0..d.index.nlist() as u32 {
+            assert_eq!(flags[c as usize], d.router.split().is_hot(c));
+        }
+        let residency = store.residency();
+        assert_eq!(residency.total_clusters, d.index.nlist());
+        assert_eq!(residency.hot_clusters, d.router.split().hot_count());
+
+        // The index's own lists were detached: bytes moved into the store.
+        assert!(d.index.search(&[0.5; 16], 10, 16).is_empty());
+
+        // Scanning through the store still serves the query (hot clusters
+        // exactly, cold ones within SQ8 bounds).
+        let probes = d.probe_global(&[0.5; 16]);
+        let snapshot = store.snapshot();
+        let hits = d.index.scan_lists_with(&snapshot, &[0.5; 16], &probes, 10);
+        assert_eq!(hits.len(), 10);
+        let full_ids: Vec<u64> = full_path.iter().map(|n| n.id).collect();
+        let overlap = hits.iter().filter(|n| full_ids.contains(&n.id)).count();
+        assert!(overlap >= 5, "tiered scan diverged badly: {overlap}/10");
     }
 }

@@ -1,5 +1,7 @@
 //! Serving-runtime configuration.
 
+use std::path::PathBuf;
+
 use vlite_core::{RealConfig, UpdateConfig};
 use vlite_llm::{LlmCostModel, ModelSpec};
 use vlite_sim::devices;
@@ -83,6 +85,13 @@ pub struct GenerationConfig {
     /// Retrieval-interference multiplier on iteration times (`>= 1.0`; see
     /// [`LlmCostModel::interference`]).
     pub interference: f64,
+    /// KV-aware admission: shed a request at generation enqueue when its
+    /// prompt could not be KV-resident (and prefilled) within `slo_ttft`,
+    /// instead of letting it queue into a guaranteed SLO miss. A shed
+    /// request still receives its retrieval results (with
+    /// `timings.generation == None`) and is counted as a TTFT miss in the
+    /// submitting tenant's attainment. Off by default.
+    pub kv_admission: bool,
 }
 
 impl GenerationConfig {
@@ -99,6 +108,7 @@ impl GenerationConfig {
             output_tokens: 8,
             slo_ttft: 0.25,
             interference: 1.0,
+            kv_admission: false,
         }
     }
 
@@ -130,6 +140,47 @@ impl GenerationConfig {
             worst <= capacity,
             "a worst-case request needs {worst} KV tokens but the pool holds only {capacity}"
         );
+    }
+}
+
+/// Tiered-storage (vlite-store) knobs.
+///
+/// When enabled (the default) and the index uses flat list storage, the
+/// runtime detaches the index's list payloads into a
+/// [`TieredStore`](vlite_store::TieredStore): clusters the placement marks
+/// hot become resident full-precision arenas, cold clusters live in the
+/// segment file's mmap'd SQ8 extents, and a background migrator moves
+/// cluster extents between tiers on every online repartition without
+/// stalling the dispatcher.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StoreConfig {
+    /// Directory holding the segment file (`vlite-store.seg`). `None`
+    /// uses a per-server temporary directory whose segment is removed at
+    /// shutdown; set a real path to persist the segment across restarts —
+    /// an existing file is reopened and verified instead of rewritten
+    /// (save → load → serve).
+    pub dir: Option<PathBuf>,
+    /// Disables tiered storage entirely: the index keeps its in-memory
+    /// lists and placement stays routing-only (the pre-store behaviour,
+    /// and the only option for PQ/fast-scan list storage, which the
+    /// runtime falls back to automatically).
+    pub disabled: bool,
+}
+
+impl StoreConfig {
+    /// The segment file this config points at, given a freshly created
+    /// temp dir when [`StoreConfig::dir`] is `None`.
+    pub(crate) fn segment_path(&self) -> (PathBuf, bool) {
+        match &self.dir {
+            Some(dir) => (dir.join("vlite-store.seg"), false),
+            None => {
+                static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+                let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let dir =
+                    std::env::temp_dir().join(format!("vlite-store-{}-{n}", std::process::id()));
+                (dir.join("vlite-store.seg"), true)
+            }
+        }
     }
 }
 
@@ -203,6 +254,9 @@ pub struct ServeConfig {
     /// pre-co-scheduling behaviour); `Some` bridges every merged retrieval
     /// into the LLM engine and reports TTFT end to end.
     pub generation: Option<GenerationConfig>,
+    /// Tiered-storage configuration: where the segment file lives and
+    /// whether physical tiering is enabled at all.
+    pub store: StoreConfig,
 }
 
 impl ServeConfig {
@@ -216,6 +270,7 @@ impl ServeConfig {
             tenants: Vec::new(),
             http: HttpConfig::default(),
             generation: None,
+            store: StoreConfig::default(),
         }
     }
 

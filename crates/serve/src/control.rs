@@ -3,17 +3,23 @@
 //! The dispatcher streams one [`Observation`] per completed request into
 //! this loop: the request's cache hit rate under the placement that served
 //! it, whether the search stage met its SLO, and the query's global probe
-//! set. A windowed [`DriftMonitor`] watches attainment and hit-rate
-//! divergence; when it trips, the loop re-profiles from the recent probe
-//! sets, re-runs Algorithm 1 ([`partition`]), re-splits, and hot-swaps the
-//! router — the admission queue keeps accepting and batches keep launching
-//! throughout, exactly the paper's "service never stops" full-shard update.
+//! set. One windowed [`DriftMonitor`] *per tenant* watches attainment and
+//! hit-rate divergence — a small tenant's hot-set shift trips its own
+//! monitor instead of being averaged away by a large tenant's stable
+//! traffic — and when any monitor trips, the loop re-profiles from the
+//! recent probe sets, re-runs Algorithm 1 ([`partition`]), re-splits, and
+//! hot-swaps the router — the admission queue keeps accepting and batches
+//! keep launching throughout, exactly the paper's "service never stops"
+//! full-shard update. When the runtime scans through a tiered store, the
+//! loop also emits a [`MigrationOrder`](crate::migrate::MigrationOrder)
+//! after each swap so the background migrator moves cluster extents to
+//! match the new placement.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::channel::Receiver;
+use crossbeam::channel::{Receiver, Sender};
 
 use vlite_core::{
     partition, AccessProfile, DriftMonitor, HitRateEstimator, IndexSplit, PartitionInput,
@@ -21,6 +27,7 @@ use vlite_core::{
 };
 
 use crate::config::ControlConfig;
+use crate::migrate::MigrationOrder;
 use crate::request::TenantId;
 use crate::server::Shared;
 
@@ -45,6 +52,10 @@ pub struct RepartitionEvent {
     pub generation: u64,
     /// Completed requests observed when the trigger fired.
     pub at_request: u64,
+    /// The tenant whose [`DriftMonitor`] tripped this repartition (the
+    /// monitors are per-tenant, so a small tenant's drift is attributable
+    /// even under a large tenant's stable flood).
+    pub triggered_by: TenantId,
     /// Per-tenant observation counts since the previous repartition —
     /// whose traffic the triggering window (and re-profiling sample) was
     /// made of.
@@ -68,7 +79,8 @@ pub struct RepartitionEvent {
 pub(crate) struct ControlLoop {
     shared: Arc<Shared>,
     config: ControlConfig,
-    monitor: DriftMonitor,
+    /// One drift monitor per tenant, indexed by [`TenantId`].
+    monitors: Vec<DriftMonitor>,
     expected_mean_hit: f64,
     input: PartitionInput,
     perf: PerfModel,
@@ -85,6 +97,9 @@ pub(crate) struct ControlLoop {
     /// Observations per tenant since the last repartition.
     observed_by_tenant: Vec<u64>,
     last_repartition: u64,
+    /// Where tier-migration orders go after each swap (inert when the
+    /// runtime has no tiered store).
+    migrate_tx: Sender<MigrationOrder>,
 }
 
 impl ControlLoop {
@@ -98,13 +113,16 @@ impl ControlLoop {
         coverage_override: Option<f64>,
         sizes: Vec<u64>,
         bytes: Vec<u64>,
+        migrate_tx: Sender<MigrationOrder>,
     ) -> Self {
-        let monitor = DriftMonitor::new(config.update, expected_mean_hit);
         let n_tenants = shared.tenants.len();
+        let monitors = (0..n_tenants)
+            .map(|_| DriftMonitor::new(config.update, expected_mean_hit))
+            .collect();
         Self {
             shared,
             config,
-            monitor,
+            monitors,
             expected_mean_hit,
             input,
             perf,
@@ -115,6 +133,7 @@ impl ControlLoop {
             observed: 0,
             observed_by_tenant: vec![0; n_tenants],
             last_repartition: 0,
+            migrate_tx,
         }
     }
 
@@ -127,22 +146,28 @@ impl ControlLoop {
 
     pub(crate) fn observe(&mut self, obs: Observation) {
         self.observed += 1;
-        self.observed_by_tenant[obs.tenant.index()] += 1;
-        self.monitor.observe(obs.hit_rate, obs.met_slo);
+        let tenant = obs.tenant.index();
+        self.observed_by_tenant[tenant] += 1;
+        self.monitors[tenant].observe(obs.hit_rate, obs.met_slo);
         if self.ring.len() == self.config.profile_window.max(1) {
             self.ring.pop_front();
         }
         self.ring.push_back(obs.probes);
 
-        if self.should_repartition() {
-            self.repartition();
-        } else if self.monitor.window_full() && !self.in_cooldown() {
-            // Periodic counter reset, keeping the current expectation.
-            // Skipped during cooldown: a drift window accumulated while
-            // repartitioning is forbidden must survive until the cooldown
-            // expires, so genuine drift triggers promptly instead of
-            // re-accumulating a whole window from scratch.
-            self.monitor.reset(None);
+        if let Some(tripped) = self.should_repartition() {
+            self.repartition(tripped);
+        } else if !self.in_cooldown() {
+            // Periodic counter reset per full monitor, keeping the current
+            // expectation. Skipped during cooldown: a drift window
+            // accumulated while repartitioning is forbidden must survive
+            // until the cooldown expires, so genuine drift triggers
+            // promptly instead of re-accumulating a whole window from
+            // scratch.
+            for monitor in &mut self.monitors {
+                if monitor.window_full() {
+                    monitor.reset(None);
+                }
+            }
         }
     }
 
@@ -153,26 +178,33 @@ impl ControlLoop {
         self.observed - self.last_repartition < self.config.cooldown_requests as u64
     }
 
-    /// The paper's dual trigger, with an optional relaxation to
+    /// The paper's dual trigger, evaluated per tenant — returns the first
+    /// tenant whose monitor trips — with an optional relaxation to
     /// hit-rate-divergence-only for hardware where the latency side is
     /// noise (see [`ControlConfig::require_slo_breach`]).
-    fn should_repartition(&self) -> bool {
+    fn should_repartition(&self) -> Option<TenantId> {
         if self.in_cooldown() {
-            return false;
+            return None;
         }
-        if self.config.require_slo_breach {
-            self.monitor.should_update()
-        } else {
-            let min_window = self.config.update.window_requests.min(100);
-            self.monitor.window_len() >= min_window
-                && (self.monitor.observed_mean_hit() - self.expected_mean_hit).abs()
-                    > self.config.update.hit_rate_divergence
+        for (t, monitor) in self.monitors.iter().enumerate() {
+            let tripped = if self.config.require_slo_breach {
+                monitor.should_update()
+            } else {
+                let min_window = self.config.update.window_requests.min(100);
+                monitor.window_len() >= min_window
+                    && (monitor.observed_mean_hit() - self.expected_mean_hit).abs()
+                        > self.config.update.hit_rate_divergence
+            };
+            if tripped {
+                return Some(TenantId(t as u16));
+            }
         }
+        None
     }
 
     /// Re-profile → Algorithm 1 → re-split → hot-swap, without touching the
     /// admission queue.
-    fn repartition(&mut self) {
+    fn repartition(&mut self, triggered_by: TenantId) {
         let started = self.shared.clock.now();
 
         // Stage 1: re-profile from the observed probe ring.
@@ -206,6 +238,13 @@ impl ControlLoop {
             retained as f64 / old_hot.len() as f64
         };
         let new_coverage = split.coverage();
+        // Tiered runtimes also need the new hot set (for the migrator);
+        // read it off the split in hand before the router consumes it.
+        let hot_flags: Option<Vec<bool>> = self.shared.store.is_some().then(|| {
+            (0..self.sizes.len() as u32)
+                .map(|c| split.is_hot(c))
+                .collect()
+        });
         let new_router = Router::new(split);
         // Refresh the expectation with the runtime's observable statistic:
         // the recent probe sets routed through the *new* placement.
@@ -220,9 +259,21 @@ impl ControlLoop {
         let queue_depth_at_swap = self.shared.queue.depth();
         let generation = self.shared.install_placement(new_router);
 
+        // Stage 5 (tiered runtimes): hand the new hot set to the migrator,
+        // which promotes/demotes cluster extents in the background while
+        // batches keep launching against whatever tier each cluster is on.
+        if let Some(hot) = hot_flags {
+            let _ = self.migrate_tx.send(MigrationOrder {
+                placement_generation: generation,
+                triggered_by,
+                hot,
+            });
+        }
+
         self.shared.record_repartition(RepartitionEvent {
             generation,
             at_request: self.observed,
+            triggered_by,
             observed_by_tenant: std::mem::replace(
                 &mut self.observed_by_tenant,
                 vec![0; self.shared.tenants.len()],
@@ -233,7 +284,9 @@ impl ControlLoop {
             queue_depth_at_swap,
             duration: (self.shared.clock.now() - started).to_std(),
         });
-        self.monitor.reset(Some(expected_mean_hit));
+        for monitor in &mut self.monitors {
+            monitor.reset(Some(expected_mean_hit));
+        }
         self.expected_mean_hit = expected_mean_hit;
         self.last_repartition = self.observed;
     }
@@ -254,7 +307,11 @@ mod tests {
     /// Builds a minimal `Shared` + `ControlLoop` over a tiny real
     /// deployment, so `observe`/`repartition` can be driven synchronously
     /// without spawning the runtime threads.
-    fn harness(cooldown: usize, window: usize) -> (Arc<Shared>, ControlLoop, Vec<Vec<u32>>) {
+    fn harness(
+        cooldown: usize,
+        window: usize,
+        n_tenants: usize,
+    ) -> (Arc<Shared>, ControlLoop, Vec<Vec<u32>>) {
         let corpus = SyntheticCorpus::generate(&CorpusConfig {
             n_vectors: 2_000,
             dim: 8,
@@ -282,11 +339,13 @@ mod tests {
         let bytes: Vec<u64> = (0..profile.nlist() as u32)
             .map(|c| profile.bytes_of(c))
             .collect();
-        let tenants = vec![TenantSpec {
-            weight: 1,
-            queue_capacity: 64,
-            slo_search: real.slo_search,
-        }];
+        let tenants: Vec<TenantSpec> = (0..n_tenants)
+            .map(|_| TenantSpec {
+                weight: 1,
+                queue_capacity: 64,
+                slo_search: real.slo_search,
+            })
+            .collect();
         let shared = Arc::new(Shared {
             index,
             placement: RwLock::new(PlacementState {
@@ -298,6 +357,8 @@ mod tests {
             worker_panics: AtomicU64::new(0),
             tenants,
             repartitions: Mutex::new(Vec::new()),
+            migrations: Mutex::new(Vec::new()),
+            store: None,
             nprobe: real.nprobe,
             top_k: real.top_k,
             n_shards: 2,
@@ -316,6 +377,7 @@ mod tests {
         config.profile_window = 512;
         config.require_slo_breach = true;
         let input = PartitionInput::new(real.slo_search, real.mu_llm0, real.kv_bytes_full);
+        let (migrate_tx, _migrate_rx) = crossbeam::channel::unbounded();
         let control = ControlLoop::new(
             shared.clone(),
             config,
@@ -327,6 +389,7 @@ mod tests {
             Some(0.3),
             sizes,
             bytes,
+            migrate_tx,
         );
         (shared, control, probe_sets)
     }
@@ -348,7 +411,7 @@ mod tests {
         // not fire before request 480. With the reset skipped during
         // cooldown, the already-full window fires the moment the cooldown
         // expires, at request 440 exactly.
-        let (shared, mut control, probe_sets) = harness(440, 80);
+        let (shared, mut control, probe_sets) = harness(440, 80, 1);
         for i in 0..600 {
             control.observe(drifted(&probe_sets, i));
         }
@@ -366,7 +429,7 @@ mod tests {
         // Healthy traffic (matching the expectation) with a short cooldown:
         // the monitor's window must keep being reset once cooldown is over,
         // never growing without bound.
-        let (shared, mut control, probe_sets) = harness(50, 80);
+        let (shared, mut control, probe_sets) = harness(50, 80, 1);
         for i in 0..500 {
             control.observe(Observation {
                 tenant: TenantId(0),
@@ -377,15 +440,15 @@ mod tests {
         }
         assert!(shared.repartitions.lock().unwrap().is_empty());
         assert!(
-            control.monitor.window_len() <= 80,
+            control.monitors[0].window_len() <= 80,
             "window {} never reset",
-            control.monitor.window_len()
+            control.monitors[0].window_len()
         );
     }
 
     #[test]
     fn queue_depth_at_swap_reports_the_backlog_at_swap_time() {
-        let (shared, mut control, probe_sets) = harness(100, 80);
+        let (shared, mut control, probe_sets) = harness(100, 80, 1);
         for i in 0..99 {
             control.observe(drifted(&probe_sets, i));
         }
@@ -408,9 +471,49 @@ mod tests {
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].queue_depth_at_swap, 7);
         assert_eq!(events[0].at_request, 100);
+        assert_eq!(events[0].triggered_by, TenantId(0));
         // The triggering traffic is attributed to its tenant, and the
         // counter restarts for the next event.
         assert_eq!(events[0].observed_by_tenant, vec![100]);
         assert_eq!(control.observed_by_tenant, vec![0]);
+    }
+
+    #[test]
+    fn small_tenant_drift_is_not_drowned_out_by_a_stable_large_tenant() {
+        // Tenant 0 floods with perfectly healthy traffic (hit rate at the
+        // expectation, SLO met); tenant 1 trickles 1-in-8 requests whose
+        // hit rate has collapsed. A single global monitor would average the
+        // small tenant's drift to ~0.09 divergence (< 0.1) and never fire;
+        // the per-tenant monitor attributes the trigger to tenant 1.
+        let (shared, mut control, probe_sets) = harness(100, 80, 2);
+        let mut i = 0usize;
+        while shared.repartitions.lock().unwrap().is_empty() && i < 5_000 {
+            if i % 8 == 7 {
+                control.observe(Observation {
+                    tenant: TenantId(1),
+                    hit_rate: 0.0,
+                    met_slo: false,
+                    probes: probe_sets[i % probe_sets.len()].clone(),
+                });
+            } else {
+                control.observe(Observation {
+                    tenant: TenantId(0),
+                    hit_rate: 0.9,
+                    met_slo: true,
+                    probes: probe_sets[i % probe_sets.len()].clone(),
+                });
+            }
+            i += 1;
+        }
+        let events = shared.repartitions.lock().unwrap();
+        assert_eq!(events.len(), 1, "small tenant's drift must trigger");
+        assert_eq!(
+            events[0].triggered_by,
+            TenantId(1),
+            "the event must name the drifting tenant"
+        );
+        // The large tenant's healthy traffic dominates the window, which
+        // is exactly why a global monitor would have stayed silent.
+        assert!(events[0].observed_by_tenant[0] > events[0].observed_by_tenant[1] * 3);
     }
 }

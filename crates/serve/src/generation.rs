@@ -167,6 +167,81 @@ impl GenerationStage {
         );
     }
 
+    /// Estimated earliest first-token instant for a request with
+    /// `prompt_tokens` arriving at `now` — the KV-aware admission model.
+    ///
+    /// The estimate is deliberately simple and deterministic, built only
+    /// from the engine's public state:
+    ///
+    /// 1. the engine is busy until `max(now, free_at)`;
+    /// 2. if the KV pool cannot hold the already-waiting claims plus this
+    ///    request (`prompt + output` tokens each), the running batch must
+    ///    retire first — bounded by its longest remaining output at the
+    ///    current decode-step rate;
+    /// 3. every waiting prompt prefills ahead of this one (FCFS), then
+    ///    this prompt prefills.
+    ///
+    /// It under-approximates heavy preemption churn, but a request it
+    /// condemns has no plausible path to its first token in time.
+    pub fn estimate_first_token(&self, prompt_tokens: u64, now: SimTime) -> SimTime {
+        let start = if now > self.free_at {
+            now
+        } else {
+            self.free_at
+        };
+        let kv = self.engine.kv();
+        let needed = prompt_tokens + self.config.output_tokens;
+        let queued_claim: u64 = self
+            .engine
+            .waiting()
+            .map(|r| r.input_tokens + r.output_tokens)
+            .sum();
+        let mut at = start;
+        if kv.resident_tokens() + queued_claim + needed > kv.capacity_tokens() {
+            let batch = self.engine.running_len().max(1);
+            let max_remaining = self
+                .engine
+                .running()
+                .map(|(req, generated)| req.output_tokens.saturating_sub(generated))
+                .max()
+                .unwrap_or(0);
+            let step = self.config.cost.decode_step_time(
+                batch,
+                kv.resident_tokens().max(1),
+                self.config.interference,
+            );
+            at += SimDuration::from_secs_f64(step.as_secs_f64() * max_remaining as f64);
+        }
+        let queued_prompts: u64 = self.engine.waiting().map(|r| r.input_tokens).sum();
+        at + self
+            .config
+            .cost
+            .prefill_time(queued_prompts + prompt_tokens, self.config.interference)
+    }
+
+    /// KV-aware admission ([`GenerationConfig::kv_admission`]): submits the
+    /// request unless its estimated TTFT already exceeds `slo_ttft`, in
+    /// which case the request is shed (`Err` carries the condemning
+    /// estimate) and the stage is left untouched.
+    ///
+    /// # Errors
+    ///
+    /// The estimated admission → first-token duration when it exceeds the
+    /// TTFT SLO.
+    pub fn submit_or_shed(
+        &mut self,
+        req: GenRequest,
+        now: SimTime,
+    ) -> std::result::Result<(), SimDuration> {
+        let prompt = self.prompt_tokens(req.n_docs);
+        let est_ttft = self.estimate_first_token(prompt, now) - req.admitted_at;
+        if est_ttft.as_secs_f64() > self.config.slo_ttft {
+            return Err(est_ttft);
+        }
+        self.submit(req, now);
+        Ok(())
+    }
+
     /// Runs one engine iteration. The iteration starts at `now` or at the
     /// end of the previous iteration, whichever is later (the engine is a
     /// single serial device). Returns `None` when the stage is idle.
@@ -299,13 +374,13 @@ pub(crate) fn generation_worker(
                 break;
             }
             match rx.recv() {
-                Ok(work) => admit(&mut stage, &mut pending, work),
+                Ok(work) => admit(shared, config, &mut stage, &mut pending, control_tx, work),
                 Err(_) => break,
             }
         }
         loop {
             match rx.try_recv() {
-                Ok(work) => admit(&mut stage, &mut pending, work),
+                Ok(work) => admit(shared, config, &mut stage, &mut pending, control_tx, work),
                 Err(TryRecvError::Empty) => break,
                 Err(TryRecvError::Disconnected) => {
                     closed = true;
@@ -349,21 +424,33 @@ pub(crate) fn generation_worker(
     );
 }
 
-fn admit(stage: &mut GenerationStage, pending: &mut HashMap<u64, PendingGen>, work: GenWork) {
+fn admit(
+    shared: &Shared,
+    config: &GenerationConfig,
+    stage: &mut GenerationStage,
+    pending: &mut HashMap<u64, PendingGen>,
+    control_tx: &Sender<Observation>,
+    work: GenWork,
+) {
     // The merge instant is the request's true arrival into this stage —
     // time spent in the channel while the worker slept out an iteration
     // is generation queueing and must count toward `gen_queue`, or the
     // ttft = queue + search + gen_queue + prefill identity breaks. The
     // next iteration starts at max(now, free_at) >= merged_at, so the
     // queued phase stays non-negative.
-    stage.submit(
-        GenRequest {
-            id: work.id,
-            n_docs: work.neighbors.len(),
-            admitted_at: work.enqueued,
-        },
-        work.merged_at,
-    );
+    let req = GenRequest {
+        id: work.id,
+        n_docs: work.neighbors.len(),
+        admitted_at: work.enqueued,
+    };
+    if config.kv_admission {
+        if stage.submit_or_shed(req, work.merged_at).is_err() {
+            shed(shared, control_tx, work);
+            return;
+        }
+    } else {
+        stage.submit(req, work.merged_at);
+    }
     pending.insert(
         work.id,
         PendingGen {
@@ -371,6 +458,61 @@ fn admit(stage: &mut GenerationStage, pending: &mut HashMap<u64, PendingGen>, wo
             first_token: None,
         },
     );
+}
+
+/// KV-aware admission rejected this request: serve its retrieval results
+/// immediately (no generation phases) and account it as a TTFT miss — a
+/// shed — against its tenant.
+///
+/// The shed instant is the merge instant the dispatcher stamped, so the
+/// response's timings are deterministic under a virtual clock regardless
+/// of when this worker thread got scheduled.
+fn shed(shared: &Shared, control_tx: &Sender<Observation>, mut work: GenWork) {
+    let timings = RequestTimings {
+        queue: work.queue,
+        search: work.search,
+        e2e: work.queue + work.search,
+        generation: None,
+    };
+    {
+        let mut metrics = shared.metrics.lock().expect("metrics poisoned");
+        metrics.queue_lat.record(timings.queue);
+        metrics.search_lat.record(timings.search);
+        metrics.e2e_lat.record(timings.e2e);
+        metrics.slo.observe(timings.search);
+        // A shed never produces a first token: an infinite TTFT keeps the
+        // attainment denominator honest without a latency sample.
+        metrics.ttft_slo.observe(f64::INFINITY);
+        metrics.gen_sheds += 1;
+        metrics.hit_sum += work.hit_rate;
+        metrics.completed += 1;
+        let tenant = &mut metrics.tenants[work.tenant.index()];
+        tenant.queue_lat.record(timings.queue);
+        tenant.search_lat.record(timings.search);
+        tenant.e2e_lat.record(timings.e2e);
+        tenant.slo.observe(timings.search);
+        tenant.ttft_slo.observe(f64::INFINITY);
+        tenant.gen_sheds += 1;
+        tenant.hit_sum += work.hit_rate;
+        tenant.completed += 1;
+    }
+    // TTFT-keyed control observations treat a shed as the SLO miss it is.
+    if let Some(probes) = work.probes.take() {
+        let _ = control_tx.send(Observation {
+            tenant: work.tenant,
+            hit_rate: work.hit_rate,
+            met_slo: false,
+            probes,
+        });
+    }
+    let _ = work.reply.send(SearchResponse {
+        id: work.id,
+        tenant: work.tenant,
+        neighbors: work.neighbors,
+        timings,
+        hit_rate: work.hit_rate,
+        generation: work.generation,
+    });
 }
 
 /// Deliver one finished request: record every per-request metric and send

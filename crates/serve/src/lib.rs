@@ -19,6 +19,9 @@
 //!        │ shard workers│   │ CPU scan pool│  (per-query completion
 //!        │ ("GPUs")     │   │              │   callbacks)
 //!        └──────┬───────┘   └──────┬───────┘
+//!               │ scans read through a vlite-store StoreSnapshot:
+//!               │ hot = resident f32 arenas, cold = mmap'd SQ8 extents,
+//!               │ tiers moved live by the migrator thread on repartition
 //!               ▼                  ▼
 //!        ┌────────────────────────────────┐
 //!        │ dispatcher: merge partials,    │──▶ per-request latencies,
@@ -27,14 +30,14 @@
 //!               │       ▼ merged retrievals (co-scheduled servers)
 //!               │  ┌────────────────────────────────┐
 //!               │  │ generation worker: prompt      │──▶ TTFT + phase
-//!               │  │ assembly → LlmEngine prefill/  │    timings, final
-//!               │  │ decode (continuous batching)   │    responses
+//!               │  │ assembly → KV-aware admission  │    timings, sheds,
+//!               │  │ → LlmEngine prefill/decode     │    final responses
 //!               │  └───────────────┬────────────────┘
 //!               ▼ observations     ▼ (hit rate, SLO: search- or TTFT-keyed)
 //!        ┌────────────────────────────────┐
-//!        │ control loop: DriftMonitor →   │──▶ hot-swap new Router
-//!        │ re-profile → Algorithm 1 →     │    (queue never drained)
-//!        │ re-split                       │
+//!        │ control loop: per-tenant       │──▶ hot-swap new Router +
+//!        │ DriftMonitors → re-profile →   │    order tier migration
+//!        │ Algorithm 1 → re-split         │    (queue never drained)
 //!        └────────────────────────────────┘
 //! ```
 //!
@@ -97,17 +100,21 @@ mod dispatch;
 pub mod generation;
 pub mod http;
 pub mod loadgen;
+mod migrate;
 mod queue;
 mod report;
 mod request;
 mod server;
 
 pub use clock::{Clock, RealClock, VirtualClock};
-pub use config::{ControlConfig, GenerationConfig, HttpConfig, ServeConfig, SloSignal, TenantSpec};
+pub use config::{
+    ControlConfig, GenerationConfig, HttpConfig, ServeConfig, SloSignal, StoreConfig, TenantSpec,
+};
 pub use control::RepartitionEvent;
 pub use dispatch::{hybrid_search_batch, run_dispatcher, DispatchOutcome};
 pub use http::HttpFrontend;
-pub use report::{ServeReport, TenantReport};
+pub use migrate::MigrationEvent;
+pub use report::{ServeReport, StoreReport, TenantReport};
 pub use request::{
     AdmissionError, GenerationTimings, RequestTimings, SearchResponse, TenantId, Ticket,
 };

@@ -4,10 +4,12 @@
 //! multi-tenant runs.
 
 use vlite_metrics::{fmt_seconds, Summary, Table};
+use vlite_store::TieredStore;
 
 use crate::config::TenantSpec;
 use crate::control::RepartitionEvent;
 use crate::http::json::Json;
+use crate::migrate::MigrationEvent;
 use crate::queue::QueueStats;
 use crate::request::TenantId;
 use crate::server::ServeMetrics;
@@ -43,10 +45,80 @@ pub struct TenantReport {
     /// retrieval-only servers).
     pub ttft: Summary,
     /// Fraction of this tenant's requests whose TTFT met the global
-    /// `slo_ttft` target (`0.0` when generation is disabled).
+    /// `slo_ttft` target (`0.0` when generation is disabled). Sheds count
+    /// as misses.
     pub ttft_attainment: f64,
+    /// This tenant's requests shed by KV-aware generation admission
+    /// (served retrieval-only, counted as TTFT misses).
+    pub gen_sheds: u64,
     /// Mean cache hit rate across this tenant's served requests.
     pub mean_hit_rate: f64,
+}
+
+/// Physical-tiering snapshot of one serving run: fast-tier residency,
+/// per-tier probe/byte counters, and the tier migrations the background
+/// migrator applied. Present only when the runtime scans through a
+/// [`TieredStore`].
+#[derive(Debug, Clone)]
+pub struct StoreReport {
+    /// Clusters resident in the fast tier at snapshot time.
+    pub fast_clusters: usize,
+    /// Total clusters in the store.
+    pub total_clusters: usize,
+    /// Bytes resident in fast-tier arenas.
+    pub fast_bytes: u64,
+    /// Bytes the slow tier's mmap'd SQ8 extents cover.
+    pub cold_bytes: u64,
+    /// Fast-tier share of total stored bytes.
+    pub fast_residency: f64,
+    /// Probes scanned against fast-tier (resident full-precision)
+    /// clusters.
+    pub hot_probes: u64,
+    /// Probes scanned against slow-tier (mmap'd SQ8) clusters.
+    pub cold_probes: u64,
+    /// Payload bytes touched by fast-tier scans.
+    pub hot_bytes_scanned: u64,
+    /// Payload bytes touched by slow-tier scans.
+    pub cold_bytes_scanned: u64,
+    /// Bytes materialized into resident arenas by promotions, lifetime.
+    pub bytes_promoted: u64,
+    /// Resident bytes released by demotions, lifetime.
+    pub bytes_demoted: u64,
+    /// The store generation (bumped by every applied migration).
+    pub store_generation: u64,
+    /// Times a scan found the tier map write-locked (0 in healthy runs:
+    /// migrations swap a pointer, they do not hold the lock for I/O).
+    pub snapshot_waits: u64,
+    /// Whether the segment file was reopened from disk (save → load →
+    /// serve) rather than freshly written.
+    pub opened_existing: bool,
+    /// Tier migrations applied by the background migrator, in order.
+    pub migrations: Vec<MigrationEvent>,
+}
+
+impl StoreReport {
+    /// Captures the store's residency and counters at report time.
+    pub(crate) fn capture(store: &TieredStore, migrations: Vec<MigrationEvent>) -> StoreReport {
+        let residency = store.residency();
+        let stats = store.stats();
+        StoreReport {
+            fast_clusters: residency.hot_clusters,
+            total_clusters: residency.total_clusters,
+            fast_bytes: residency.hot_bytes,
+            cold_bytes: residency.cold_bytes,
+            fast_residency: residency.byte_fraction(),
+            hot_probes: stats.hot_probes,
+            cold_probes: stats.cold_probes,
+            hot_bytes_scanned: stats.hot_bytes_scanned,
+            cold_bytes_scanned: stats.cold_bytes_scanned,
+            bytes_promoted: stats.bytes_promoted,
+            bytes_demoted: stats.bytes_demoted,
+            store_generation: store.generation(),
+            snapshot_waits: stats.snapshot_waits,
+            opened_existing: store.opened_existing(),
+            migrations,
+        }
+    }
 }
 
 /// Snapshot of everything a serving run measured.
@@ -81,8 +153,11 @@ pub struct ServeReport {
     /// The TTFT SLO target in seconds; `None` when generation is disabled.
     pub slo_ttft: Option<f64>,
     /// Fraction of requests whose TTFT met `slo_ttft` (`0.0` when
-    /// generation is disabled).
+    /// generation is disabled). Sheds count as misses.
     pub ttft_attainment: f64,
+    /// Requests shed by KV-aware generation admission (served
+    /// retrieval-only, counted as TTFT misses).
+    pub gen_sheds: u64,
     /// Batches launched.
     pub batches: u64,
     /// Mean batch size (dynamic on-demand batching).
@@ -95,6 +170,9 @@ pub struct ServeReport {
     pub tenants: Vec<TenantReport>,
     /// Online repartitions performed by the control loop, in order.
     pub repartitions: Vec<RepartitionEvent>,
+    /// Physical-tiering snapshot; `None` when the runtime scans the
+    /// index's own in-memory lists.
+    pub store: Option<StoreReport>,
     /// Placement generation at snapshot time.
     pub generation: u64,
     /// Worker scans that panicked and were degraded to empty partials
@@ -109,6 +187,7 @@ impl ServeReport {
         queue_stats: QueueStats,
         specs: &[TenantSpec],
         repartitions: Vec<RepartitionEvent>,
+        store: Option<StoreReport>,
         slo_target: f64,
         slo_ttft: Option<f64>,
         generation: u64,
@@ -139,6 +218,7 @@ impl ServeReport {
                     slo_attainment: m.slo.attainment(),
                     ttft: m.ttft_lat.clone().summary(),
                     ttft_attainment: m.ttft_slo.attainment(),
+                    gen_sheds: m.gen_sheds,
                     mean_hit_rate: if m.completed == 0 {
                         0.0
                     } else {
@@ -163,6 +243,7 @@ impl ServeReport {
             decode: metrics.decode_lat.clone().summary(),
             slo_ttft,
             ttft_attainment: metrics.ttft_slo.attainment(),
+            gen_sheds: metrics.gen_sheds,
             batches: metrics.batches,
             mean_batch: if metrics.batches == 0 {
                 0.0
@@ -177,6 +258,7 @@ impl ServeReport {
             },
             tenants,
             repartitions,
+            store,
             generation,
             worker_panics,
         }
@@ -200,9 +282,14 @@ impl ServeReport {
         ));
         if let Some(slo_ttft) = self.slo_ttft {
             out.push_str(&format!(
-                "TTFT SLO {}: attainment {:.1}% (co-scheduled generation)\n",
+                "TTFT SLO {}: attainment {:.1}% (co-scheduled generation{})\n",
                 fmt_seconds(slo_ttft),
-                100.0 * self.ttft_attainment
+                100.0 * self.ttft_attainment,
+                if self.gen_sheds > 0 {
+                    format!(", {} KV-admission sheds", self.gen_sheds)
+                } else {
+                    String::new()
+                }
             ));
         }
         if self.worker_panics > 0 {
@@ -238,6 +325,7 @@ impl ServeReport {
             let mut events = Table::new(vec![
                 "gen",
                 "at request",
+                "tripped by",
                 "obs by tenant",
                 "coverage",
                 "hot overlap",
@@ -254,6 +342,7 @@ impl ServeReport {
                 events.row(vec![
                     e.generation.to_string(),
                     e.at_request.to_string(),
+                    e.triggered_by.to_string(),
                     by_tenant,
                     format!(
                         "{:.1}% -> {:.1}%",
@@ -268,6 +357,56 @@ impl ServeReport {
             out.push('\n');
             out.push_str("online repartitions (queue never drained):\n");
             out.push_str(&events.render());
+        }
+
+        if let Some(store) = &self.store {
+            out.push('\n');
+            out.push_str(&format!(
+                "tiered store: {}/{} clusters fast ({:.1}% of bytes resident)  \
+                 generation {}  reopened {}\n",
+                store.fast_clusters,
+                store.total_clusters,
+                100.0 * store.fast_residency,
+                store.store_generation,
+                if store.opened_existing { "yes" } else { "no" }
+            ));
+            out.push_str(&format!(
+                "  probes: fast {} / cold {}  scanned: fast {} B / cold {} B  \
+                 migrated: +{} B / -{} B  snapshot waits {}\n",
+                store.hot_probes,
+                store.cold_probes,
+                store.hot_bytes_scanned,
+                store.cold_bytes_scanned,
+                store.bytes_promoted,
+                store.bytes_demoted,
+                store.snapshot_waits
+            ));
+            if !store.migrations.is_empty() {
+                let mut table = Table::new(vec![
+                    "placement gen",
+                    "store gen",
+                    "tripped by",
+                    "promoted",
+                    "demoted",
+                    "bytes +/-",
+                    "batches during",
+                    "duration",
+                ]);
+                for m in &store.migrations {
+                    table.row(vec![
+                        m.placement_generation.to_string(),
+                        m.store_generation.to_string(),
+                        m.triggered_by.to_string(),
+                        m.promoted.to_string(),
+                        m.demoted.to_string(),
+                        format!("+{}/-{}", m.bytes_promoted, m.bytes_demoted),
+                        format!("{}..{}", m.batches_before, m.batches_after),
+                        fmt_seconds(m.duration.as_secs_f64()),
+                    ]);
+                }
+                out.push_str("  tier migrations (dispatcher never stalled):\n");
+                out.push_str(&table.render());
+            }
         }
         out
     }
@@ -303,6 +442,7 @@ impl ServeReport {
             "attainment",
             "ttft p99",
             "ttft att.",
+            "sheds",
             "hit rate",
         ]);
         for t in &self.tenants {
@@ -328,6 +468,7 @@ impl ServeReport {
                 } else {
                     "-".into()
                 },
+                t.gen_sheds.to_string(),
                 format!("{:.3}", t.mean_hit_rate),
             ]);
         }
@@ -372,6 +513,7 @@ impl ServeReport {
                     ("slo_attainment".into(), Json::Num(t.slo_attainment)),
                     ("ttft".into(), summary_json(&t.ttft)),
                     ("ttft_attainment".into(), Json::Num(t.ttft_attainment)),
+                    ("gen_sheds".into(), Json::Num(t.gen_sheds as f64)),
                     ("mean_hit_rate".into(), Json::Num(t.mean_hit_rate)),
                 ])
             })
@@ -383,6 +525,10 @@ impl ServeReport {
                 Json::Obj(vec![
                     ("generation".into(), Json::Num(e.generation as f64)),
                     ("at_request".into(), Json::Num(e.at_request as f64)),
+                    (
+                        "triggered_by".into(),
+                        Json::Num(f64::from(e.triggered_by.0)),
+                    ),
                     (
                         "observed_by_tenant".into(),
                         Json::Arr(
@@ -428,12 +574,74 @@ impl ServeReport {
                 },
             ),
             ("ttft_attainment".into(), Json::Num(self.ttft_attainment)),
+            ("gen_sheds".into(), Json::Num(self.gen_sheds as f64)),
             ("batches".into(), Json::Num(self.batches as f64)),
             ("mean_batch".into(), Json::Num(self.mean_batch)),
             ("max_batch".into(), Json::Num(self.max_batch as f64)),
             ("mean_hit_rate".into(), Json::Num(self.mean_hit_rate)),
             ("tenants".into(), Json::Arr(tenants)),
             ("repartitions".into(), Json::Arr(repartitions)),
+            (
+                "store".into(),
+                match &self.store {
+                    None => Json::Null,
+                    Some(s) => {
+                        let migrations = s
+                            .migrations
+                            .iter()
+                            .map(|m| {
+                                Json::Obj(vec![
+                                    (
+                                        "placement_generation".into(),
+                                        Json::Num(m.placement_generation as f64),
+                                    ),
+                                    (
+                                        "store_generation".into(),
+                                        Json::Num(m.store_generation as f64),
+                                    ),
+                                    (
+                                        "triggered_by".into(),
+                                        Json::Num(f64::from(m.triggered_by.0)),
+                                    ),
+                                    ("promoted".into(), Json::Num(m.promoted as f64)),
+                                    ("demoted".into(), Json::Num(m.demoted as f64)),
+                                    ("bytes_promoted".into(), Json::Num(m.bytes_promoted as f64)),
+                                    ("bytes_demoted".into(), Json::Num(m.bytes_demoted as f64)),
+                                    ("batches_before".into(), Json::Num(m.batches_before as f64)),
+                                    ("batches_after".into(), Json::Num(m.batches_after as f64)),
+                                    ("duration_s".into(), Json::Num(m.duration.as_secs_f64())),
+                                ])
+                            })
+                            .collect();
+                        Json::Obj(vec![
+                            ("fast_clusters".into(), Json::Num(s.fast_clusters as f64)),
+                            ("total_clusters".into(), Json::Num(s.total_clusters as f64)),
+                            ("fast_bytes".into(), Json::Num(s.fast_bytes as f64)),
+                            ("cold_bytes".into(), Json::Num(s.cold_bytes as f64)),
+                            ("fast_residency".into(), Json::Num(s.fast_residency)),
+                            ("hot_probes".into(), Json::Num(s.hot_probes as f64)),
+                            ("cold_probes".into(), Json::Num(s.cold_probes as f64)),
+                            (
+                                "hot_bytes_scanned".into(),
+                                Json::Num(s.hot_bytes_scanned as f64),
+                            ),
+                            (
+                                "cold_bytes_scanned".into(),
+                                Json::Num(s.cold_bytes_scanned as f64),
+                            ),
+                            ("bytes_promoted".into(), Json::Num(s.bytes_promoted as f64)),
+                            ("bytes_demoted".into(), Json::Num(s.bytes_demoted as f64)),
+                            (
+                                "store_generation".into(),
+                                Json::Num(s.store_generation as f64),
+                            ),
+                            ("snapshot_waits".into(), Json::Num(s.snapshot_waits as f64)),
+                            ("opened_existing".into(), Json::Bool(s.opened_existing)),
+                            ("migrations".into(), Json::Arr(migrations)),
+                        ])
+                    }
+                },
+            ),
             ("generation".into(), Json::Num(self.generation as f64)),
             ("worker_panics".into(), Json::Num(self.worker_panics as f64)),
         ])
@@ -459,11 +667,11 @@ impl ServeReport {
     pub fn tenants_to_csv(&self) -> String {
         let mut out = String::from(
             "tenant,weight,admitted,rejected,completed,queue_p99,search_p50,search_p99,\
-             e2e_p99,slo,attainment,ttft_p50,ttft_p99,ttft_attainment,hit_rate\n",
+             e2e_p99,slo,attainment,ttft_p50,ttft_p99,ttft_attainment,gen_sheds,hit_rate\n",
         );
         for t in &self.tenants {
             out.push_str(&format!(
-                "{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.4},{:.6},{:.6},{:.4},{:.4}\n",
+                "{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.4},{:.6},{:.6},{:.4},{},{:.4}\n",
                 t.tenant.0,
                 t.weight,
                 t.admitted,
@@ -478,9 +686,43 @@ impl ServeReport {
                 t.ttft.p50,
                 t.ttft.p99,
                 t.ttft_attainment,
+                t.gen_sheds,
                 t.mean_hit_rate
             ));
         }
+        out
+    }
+
+    /// The physical-tiering snapshot as CSV: one header plus one row
+    /// (empty string when the runtime has no tiered store).
+    pub fn store_to_csv(&self) -> String {
+        let Some(s) = &self.store else {
+            return String::new();
+        };
+        let mut out = String::from(
+            "fast_clusters,total_clusters,fast_bytes,cold_bytes,fast_residency,\
+             hot_probes,cold_probes,hot_bytes_scanned,cold_bytes_scanned,\
+             bytes_promoted,bytes_demoted,store_generation,snapshot_waits,\
+             opened_existing,migrations\n",
+        );
+        out.push_str(&format!(
+            "{},{},{},{},{:.4},{},{},{},{},{},{},{},{},{},{}\n",
+            s.fast_clusters,
+            s.total_clusters,
+            s.fast_bytes,
+            s.cold_bytes,
+            s.fast_residency,
+            s.hot_probes,
+            s.cold_probes,
+            s.hot_bytes_scanned,
+            s.cold_bytes_scanned,
+            s.bytes_promoted,
+            s.bytes_demoted,
+            s.store_generation,
+            s.snapshot_waits,
+            s.opened_existing,
+            s.migrations.len()
+        ));
         out
     }
 }

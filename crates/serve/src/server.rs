@@ -24,14 +24,16 @@ use vlite_ann::{merge_sorted, IvfIndex, Neighbor};
 use vlite_core::{PartitionDecision, PartitionInput, RealDeployment, RoutedQuery, Router};
 use vlite_metrics::{LatencyRecorder, SloTracker};
 use vlite_sim::SimTime;
+use vlite_store::{StoreError, StoreSnapshot, TieredStore};
 use vlite_workload::SyntheticCorpus;
 
 use crate::clock::{Clock, RealClock};
 use crate::config::{GenerationConfig, ServeConfig, SloSignal, TenantSpec};
 use crate::control::{ControlLoop, Observation, RepartitionEvent};
 use crate::generation::{generation_worker, GenWork};
+use crate::migrate::{migrator_worker, MigrationEvent, MigrationOrder};
 use crate::queue::AdmissionQueue;
-use crate::report::ServeReport;
+use crate::report::{ServeReport, StoreReport};
 use crate::request::{AdmissionError, Job, RequestTimings, SearchResponse, TenantId, Ticket};
 
 /// One batch travelling from the batcher to the workers and dispatcher.
@@ -69,6 +71,9 @@ pub(crate) struct TenantMetrics {
     pub ttft_lat: LatencyRecorder,
     /// TTFT against the global `slo_ttft` target.
     pub ttft_slo: SloTracker,
+    /// Requests shed by KV-aware generation admission (each also counted
+    /// as a TTFT miss in `ttft_slo`).
+    pub gen_sheds: u64,
     pub hit_sum: f64,
     pub completed: u64,
 }
@@ -84,6 +89,7 @@ impl TenantMetrics {
             // Disabled generation never observes TTFT; the placeholder
             // target keeps the tracker inert (attainment 0.0 at count 0).
             ttft_slo: SloTracker::new(slo_ttft.unwrap_or(f64::MAX)),
+            gen_sheds: 0,
             hit_sum: 0.0,
             completed: 0,
         }
@@ -106,6 +112,8 @@ pub(crate) struct ServeMetrics {
     pub gen_queue_lat: LatencyRecorder,
     pub prefill_lat: LatencyRecorder,
     pub decode_lat: LatencyRecorder,
+    /// Requests shed by KV-aware generation admission.
+    pub gen_sheds: u64,
     pub hit_sum: f64,
     pub completed: u64,
     pub batches: u64,
@@ -128,6 +136,7 @@ impl ServeMetrics {
             gen_queue_lat: LatencyRecorder::new(),
             prefill_lat: LatencyRecorder::new(),
             decode_lat: LatencyRecorder::new(),
+            gen_sheds: 0,
             hit_sum: 0.0,
             completed: 0,
             batches: 0,
@@ -160,6 +169,12 @@ pub(crate) struct Shared {
     pub(crate) worker_panics: AtomicU64,
     pub(crate) tenants: Vec<TenantSpec>,
     pub(crate) repartitions: Mutex<Vec<RepartitionEvent>>,
+    /// Tier migrations applied by the migrator, in order.
+    pub(crate) migrations: Mutex<Vec<MigrationEvent>>,
+    /// The tiered storage engine the scan path reads through; `None`
+    /// keeps the pre-store behaviour (in-index lists, routing-only
+    /// placement) — disabled by config or non-flat list storage.
+    pub(crate) store: Option<Arc<TieredStore>>,
     pub(crate) nprobe: usize,
     pub(crate) top_k: usize,
     pub(crate) n_shards: usize,
@@ -264,10 +279,29 @@ impl RagServer {
     /// generation config cannot fit its worst-case request in KV, or if
     /// the control loop is keyed off TTFT without a generation stage.
     pub fn from_deployment_with_clock(
-        deployment: RealDeployment,
+        mut deployment: RealDeployment,
         config: ServeConfig,
         clock: Arc<dyn Clock>,
     ) -> RagServer {
+        // Physical tiering: detach the index's flat lists into a
+        // TieredStore whose tiers mirror the placement — hot clusters
+        // resident at full precision, cold ones in the segment file's
+        // mmap'd SQ8 extents. Non-flat list storage (PQ/fast-scan) keeps
+        // the in-index scan path; any other store failure is fatal (a
+        // half-built store would silently serve wrong bytes).
+        let store = if config.store.disabled {
+            None
+        } else {
+            let (segment_path, ephemeral) = config.store.segment_path();
+            match deployment.build_tiered_store(&segment_path) {
+                Ok(mut store) => {
+                    store.set_ephemeral(ephemeral);
+                    Some(Arc::new(store))
+                }
+                Err(StoreError::Unsupported(_)) => None,
+                Err(err) => panic!("tiered store build failed: {err}"),
+            }
+        };
         let RealDeployment {
             index,
             profile,
@@ -309,6 +343,8 @@ impl RagServer {
             worker_panics: AtomicU64::new(0),
             tenants,
             repartitions: Mutex::new(Vec::new()),
+            migrations: Mutex::new(Vec::new()),
+            store,
             nprobe: config.real.nprobe,
             top_k: config.real.top_k,
             n_shards,
@@ -403,6 +439,20 @@ impl RagServer {
             );
         }
 
+        // Tier migrator: subscribes to the control loop's post-swap
+        // orders and moves cluster extents between tiers without ever
+        // blocking the scan path (see `migrate.rs`).
+        let (migrate_tx, migrate_rx) = channel::unbounded::<MigrationOrder>();
+        {
+            let shared_ = shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("vlite-migrate".into())
+                    .spawn(move || migrator_worker(&shared_, &migrate_rx))
+                    .expect("spawn migrator"),
+            );
+        }
+
         {
             let input = PartitionInput::new(
                 config.real.slo_search,
@@ -424,6 +474,7 @@ impl RagServer {
                 config.real.coverage_override,
                 sizes,
                 bytes,
+                migrate_tx,
             );
             threads.push(
                 std::thread::Builder::new()
@@ -541,6 +592,14 @@ impl RagServer {
             .collect()
     }
 
+    /// The tiered storage engine the scan path reads through, when
+    /// physical tiering is enabled. The `Arc` can be cloned to inspect the
+    /// store after [`RagServer::shutdown`] (every migration is applied by
+    /// then: shutdown joins the migrator).
+    pub fn store(&self) -> Option<&Arc<TieredStore>> {
+        self.shared.store.as_ref()
+    }
+
     /// Snapshot of the runtime's measurements so far.
     pub fn report(&self) -> ServeReport {
         let metrics = self.shared.metrics.lock().expect("metrics poisoned");
@@ -551,11 +610,22 @@ impl RagServer {
             .lock()
             .expect("events poisoned")
             .clone();
+        let store = self.shared.store.as_ref().map(|store| {
+            StoreReport::capture(
+                store,
+                self.shared
+                    .migrations
+                    .lock()
+                    .expect("migrations poisoned")
+                    .clone(),
+            )
+        });
         ServeReport::assemble(
             &metrics,
             queue_stats,
             &self.shared.tenants,
             repartitions,
+            store,
             self.shared.slo_search,
             self.shared.generation.as_ref().map(|g| g.slo_ttft),
             self.shared.placement_snapshot().1,
@@ -666,13 +736,23 @@ fn shard_worker(
     dispatch: &Sender<DispatchMsg>,
 ) {
     while let Ok(batch) = rx.recv() {
+        // One store snapshot per batch: the whole batch scans a consistent
+        // tier map, and a concurrent migration swaps tiers for the *next*
+        // batch without stalling this one.
+        let snapshot = shared.store.as_ref().map(|store| store.snapshot());
         let mut partials: Vec<Vec<Neighbor>> = vec![Vec::new(); batch.jobs.len()];
         for (qi, out) in partials.iter_mut().enumerate() {
             // Global ids: correctness is placement-independent, so batches
             // routed just before a hot swap still scan the right lists.
             let lists = &batch.routed[qi].shard_probes_global[shard];
             if !lists.is_empty() {
-                *out = degraded_scan(shared, &batch.jobs[qi].query, lists, batch.k);
+                *out = degraded_scan(
+                    shared,
+                    snapshot.as_ref(),
+                    &batch.jobs[qi].query,
+                    lists,
+                    batch.k,
+                );
             }
         }
         if dispatch
@@ -688,9 +768,20 @@ fn shard_worker(
 /// partial (counted in [`Shared::worker_panics`]) instead of killing the
 /// worker thread — a dead worker would never send its completion message
 /// and the batcher would block on the batch-done signal forever.
-fn degraded_scan(shared: &Shared, query: &[f32], lists: &[u32], k: usize) -> Vec<Neighbor> {
-    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        shared.index.scan_lists(query, lists, k)
+///
+/// With a tiered store the scan reads cluster payloads through the
+/// snapshot (resident arenas for hot clusters, mmap'd SQ8 extents for
+/// cold ones); without one it scans the index's own lists.
+fn degraded_scan(
+    shared: &Shared,
+    snapshot: Option<&StoreSnapshot>,
+    query: &[f32],
+    lists: &[u32],
+    k: usize,
+) -> Vec<Neighbor> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match snapshot {
+        Some(snapshot) => shared.index.scan_lists_with(snapshot, query, lists, k),
+        None => shared.index.scan_lists(query, lists, k),
     }))
     .unwrap_or_else(|_| {
         shared.worker_panics.fetch_add(1, Ordering::Relaxed);
@@ -702,11 +793,18 @@ fn degraded_scan(shared: &Shared, query: &[f32], lists: &[u32], k: usize) -> Vec
 /// completion callback so early finishers can leave the batch.
 fn cpu_worker(shared: &Shared, rx: &Receiver<Arc<BatchWork>>, dispatch: &Sender<DispatchMsg>) {
     while let Ok(batch) = rx.recv() {
+        let snapshot = shared.store.as_ref().map(|store| store.snapshot());
         for (qi, routed) in batch.routed.iter().enumerate() {
             let partial = if routed.cpu_probes.is_empty() {
                 Vec::new()
             } else {
-                degraded_scan(shared, &batch.jobs[qi].query, &routed.cpu_probes, batch.k)
+                degraded_scan(
+                    shared,
+                    snapshot.as_ref(),
+                    &batch.jobs[qi].query,
+                    &routed.cpu_probes,
+                    batch.k,
+                )
             };
             if dispatch.send(DispatchMsg::CpuDone { qi, partial }).is_err() {
                 return;

@@ -1,0 +1,789 @@
+//! The tiered storage engine: resident hot arenas + mmap'd SQ8 cold
+//! extents behind one [`ClusterStore`], with live non-blocking tier
+//! migration.
+//!
+//! Readers never block on a migration: a scan takes a [`StoreSnapshot`]
+//! (an `Arc` of the generation-counted tier map, cloned under a read lock
+//! held for nanoseconds — the same hot-swap discipline the serving
+//! runtime's `Router` uses) and scans against that snapshot for the whole
+//! batch. The migrator prepares new arenas entirely outside the lock,
+//! then swaps the map pointer and bumps the generation; in-flight scans
+//! keep their old snapshot alive via the `Arc` until they finish.
+//!
+//! Tier asymmetry is physical, exactly the paper's fast/slow split:
+//!
+//! - **Hot** clusters are full-precision arenas in memory
+//!   (`ids + n × dim × f32`), scanned exactly as an in-memory IVF-Flat
+//!   list would be.
+//! - **Cold** clusters stay on disk in the segment's SQ8 extents
+//!   (`ids + n × dim × u8`, 4× fewer payload bytes), scanned through a
+//!   per-query lookup table built over the segment's quantizer — cheaper
+//!   in bytes, pricier in recall-per-probe.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use vlite_ann::{ClusterStore, Metric, ScalarQuantizer, TopK, VecSet};
+
+use crate::checksum::Crc32;
+use crate::segment::{write_segment, Segment, StoreError};
+
+/// Result alias re-used from the segment layer.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+/// One resident full-precision cluster.
+#[derive(Debug)]
+struct HotCluster {
+    ids: Vec<u64>,
+    vectors: VecSet,
+}
+
+/// Where one cluster currently lives.
+#[derive(Debug, Clone)]
+enum TierEntry {
+    /// Resident full-precision arena (fast tier).
+    Hot(Arc<HotCluster>),
+    /// On-disk SQ8 extent, scanned through the segment mapping (slow
+    /// tier).
+    Cold,
+}
+
+/// The generation-counted tier map readers snapshot.
+#[derive(Debug)]
+struct TierMap {
+    entries: Vec<TierEntry>,
+    generation: u64,
+}
+
+/// Monotonic scan/migration counters shared by the store and every
+/// snapshot taken from it.
+#[derive(Debug, Default)]
+struct Counters {
+    hot_probes: AtomicU64,
+    cold_probes: AtomicU64,
+    hot_bytes_scanned: AtomicU64,
+    cold_bytes_scanned: AtomicU64,
+    bytes_promoted: AtomicU64,
+    bytes_demoted: AtomicU64,
+    clusters_promoted: AtomicU64,
+    clusters_demoted: AtomicU64,
+    snapshot_waits: AtomicU64,
+}
+
+/// A point-in-time copy of the store's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Probes scanned against hot (resident full-precision) clusters.
+    pub hot_probes: u64,
+    /// Probes scanned against cold (mmap'd SQ8) clusters.
+    pub cold_probes: u64,
+    /// Payload bytes touched by hot scans.
+    pub hot_bytes_scanned: u64,
+    /// Payload bytes touched by cold scans.
+    pub cold_bytes_scanned: u64,
+    /// Bytes materialized into resident arenas by promotions.
+    pub bytes_promoted: u64,
+    /// Resident bytes released by demotions.
+    pub bytes_demoted: u64,
+    /// Clusters promoted cold → hot.
+    pub clusters_promoted: u64,
+    /// Clusters demoted hot → cold.
+    pub clusters_demoted: u64,
+    /// Times a reader found the tier map write-locked and had to wait —
+    /// 0 in healthy runs: the migrator only holds the write lock for one
+    /// pointer swap.
+    pub snapshot_waits: u64,
+}
+
+/// Fast-tier residency of the store at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Residency {
+    /// Clusters currently hot.
+    pub hot_clusters: usize,
+    /// Total clusters in the store.
+    pub total_clusters: usize,
+    /// Bytes resident in hot arenas.
+    pub hot_bytes: u64,
+    /// Bytes the cold tier would touch scanning every cold cluster once.
+    pub cold_bytes: u64,
+}
+
+impl Residency {
+    /// Hot fraction of total stored bytes (`0.0` when the store is
+    /// empty).
+    pub fn byte_fraction(&self) -> f64 {
+        let total = self.hot_bytes + self.cold_bytes;
+        if total == 0 {
+            0.0
+        } else {
+            self.hot_bytes as f64 / total as f64
+        }
+    }
+}
+
+/// Outcome of one [`TieredStore::apply_placement`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierShift {
+    /// Clusters promoted cold → hot by this call.
+    pub promoted: usize,
+    /// Clusters demoted hot → cold by this call.
+    pub demoted: usize,
+    /// Bytes materialized into resident arenas.
+    pub bytes_promoted: u64,
+    /// Resident bytes released.
+    pub bytes_demoted: u64,
+    /// The store generation after the swap.
+    pub generation: u64,
+}
+
+/// The tiered vector storage engine over one segment file.
+#[derive(Debug)]
+pub struct TieredStore {
+    segment: Arc<Segment>,
+    map: RwLock<Arc<TierMap>>,
+    counters: Arc<Counters>,
+    opened_existing: bool,
+    ephemeral: bool,
+}
+
+impl TieredStore {
+    /// Writes a fresh segment at `path` from `clusters` and opens it with
+    /// the given hot set resident.
+    ///
+    /// # Errors
+    ///
+    /// Propagates segment write/validation errors; rejects a `hot` slice
+    /// whose length differs from the cluster count.
+    pub fn create(
+        path: &Path,
+        dim: usize,
+        metric: Metric,
+        clusters: &[(Vec<u64>, VecSet)],
+        hot: &[bool],
+    ) -> Result<TieredStore> {
+        write_segment(path, dim, metric, clusters)?;
+        let mut store = Self::open(path, metric, hot)?;
+        store.opened_existing = false;
+        Ok(store)
+    }
+
+    /// Opens an existing segment at `path`, loading the `hot` clusters
+    /// into resident arenas.
+    ///
+    /// # Errors
+    ///
+    /// Propagates segment validation errors; [`StoreError::Mismatch`] if
+    /// the segment's metric differs from `metric` or `hot` has the wrong
+    /// length.
+    pub fn open(path: &Path, metric: Metric, hot: &[bool]) -> Result<TieredStore> {
+        let segment = Arc::new(Segment::open(path)?);
+        if segment.metric() != metric {
+            return Err(StoreError::Mismatch(format!(
+                "segment scores under {:?}, deployment wants {metric:?}",
+                segment.metric()
+            )));
+        }
+        if hot.len() != segment.n_clusters() {
+            return Err(StoreError::Mismatch(format!(
+                "hot set covers {} clusters, segment holds {}",
+                hot.len(),
+                segment.n_clusters()
+            )));
+        }
+        let entries: Vec<TierEntry> = hot
+            .iter()
+            .enumerate()
+            .map(|(c, &is_hot)| {
+                if is_hot {
+                    let (ids, vectors) = segment.load_cluster_f32(c as u32);
+                    TierEntry::Hot(Arc::new(HotCluster { ids, vectors }))
+                } else {
+                    TierEntry::Cold
+                }
+            })
+            .collect();
+        Ok(TieredStore {
+            segment,
+            map: RwLock::new(Arc::new(TierMap {
+                entries,
+                generation: 0,
+            })),
+            counters: Arc::new(Counters::default()),
+            opened_existing: true,
+            ephemeral: false,
+        })
+    }
+
+    /// Opens the segment at `path` if one exists (verifying it describes
+    /// exactly `clusters`), otherwise creates it — the save → load →
+    /// serve entry point. [`TieredStore::opened_existing`] reports which
+    /// path was taken.
+    ///
+    /// # Errors
+    ///
+    /// Propagates create/open errors; [`StoreError::Mismatch`] if an
+    /// existing file's shape or per-cluster content checksums disagree
+    /// with `clusters`.
+    pub fn create_or_open(
+        path: &Path,
+        dim: usize,
+        metric: Metric,
+        clusters: &[(Vec<u64>, VecSet)],
+        hot: &[bool],
+    ) -> Result<TieredStore> {
+        if !path.exists() {
+            return Self::create(path, dim, metric, clusters, hot);
+        }
+        let store = Self::open(path, metric, hot)?;
+        let segment = &store.segment;
+        if segment.dim() != dim || segment.n_clusters() != clusters.len() {
+            return Err(StoreError::Mismatch(format!(
+                "existing segment is {} clusters × dim {}, deployment built {} × {dim}",
+                segment.n_clusters(),
+                segment.dim(),
+                clusters.len()
+            )));
+        }
+        for (c, (ids, vectors)) in clusters.iter().enumerate() {
+            let (ids_crc, f32_crc) = segment.cluster_crcs(c as u32);
+            let mut h = Crc32::new();
+            for &id in ids {
+                h.update(&id.to_le_bytes());
+            }
+            if h.finish() != ids_crc {
+                return Err(StoreError::Mismatch(format!(
+                    "cluster {c}: existing segment holds different vector ids"
+                )));
+            }
+            let mut h = Crc32::new();
+            for v in vectors.iter() {
+                for &x in v {
+                    h.update(&x.to_le_bytes());
+                }
+            }
+            if h.finish() != f32_crc {
+                return Err(StoreError::Mismatch(format!(
+                    "cluster {c}: existing segment holds different vectors"
+                )));
+            }
+        }
+        Ok(store)
+    }
+
+    /// Whether this store reopened an existing segment file rather than
+    /// writing a fresh one.
+    pub fn opened_existing(&self) -> bool {
+        self.opened_existing
+    }
+
+    /// Marks the segment file (and its parent directory, if then empty)
+    /// for removal when the store drops — used for auto-created temp
+    /// segments so default serving runs leave nothing behind.
+    pub fn set_ephemeral(&mut self, ephemeral: bool) {
+        self.ephemeral = ephemeral;
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.segment.dim()
+    }
+
+    /// Number of clusters.
+    pub fn n_clusters(&self) -> usize {
+        self.segment.n_clusters()
+    }
+
+    /// The metric payloads are scored under.
+    pub fn metric(&self) -> Metric {
+        self.segment.metric()
+    }
+
+    /// The segment file backing the cold tier.
+    pub fn path(&self) -> &Path {
+        self.segment.path()
+    }
+
+    /// The SQ8 quantizer cold extents are encoded under.
+    pub fn sq(&self) -> &ScalarQuantizer {
+        self.segment.sq()
+    }
+
+    /// Whether cold extents are served by a real memory mapping.
+    pub fn is_mapped(&self) -> bool {
+        self.segment.is_mapped()
+    }
+
+    /// The store generation: bumped by every applied tier shift.
+    pub fn generation(&self) -> u64 {
+        self.map.read().expect("tier map poisoned").generation
+    }
+
+    /// The current hot flags, indexed by cluster id.
+    pub fn hot_flags(&self) -> Vec<bool> {
+        let map = self.map.read().expect("tier map poisoned");
+        map.entries
+            .iter()
+            .map(|e| matches!(e, TierEntry::Hot(_)))
+            .collect()
+    }
+
+    /// Fast-tier residency right now.
+    pub fn residency(&self) -> Residency {
+        let map = self.map.read().expect("tier map poisoned");
+        let mut r = Residency {
+            hot_clusters: 0,
+            total_clusters: map.entries.len(),
+            hot_bytes: 0,
+            cold_bytes: 0,
+        };
+        for (c, entry) in map.entries.iter().enumerate() {
+            match entry {
+                TierEntry::Hot(_) => {
+                    r.hot_clusters += 1;
+                    r.hot_bytes += self.segment.hot_bytes(c as u32);
+                }
+                TierEntry::Cold => {
+                    r.cold_bytes += self.segment.cold_bytes(c as u32);
+                }
+            }
+        }
+        r
+    }
+
+    /// A point-in-time copy of the scan/migration counters.
+    pub fn stats(&self) -> StoreStats {
+        let c = &self.counters;
+        StoreStats {
+            hot_probes: c.hot_probes.load(Ordering::Relaxed),
+            cold_probes: c.cold_probes.load(Ordering::Relaxed),
+            hot_bytes_scanned: c.hot_bytes_scanned.load(Ordering::Relaxed),
+            cold_bytes_scanned: c.cold_bytes_scanned.load(Ordering::Relaxed),
+            bytes_promoted: c.bytes_promoted.load(Ordering::Relaxed),
+            bytes_demoted: c.bytes_demoted.load(Ordering::Relaxed),
+            clusters_promoted: c.clusters_promoted.load(Ordering::Relaxed),
+            clusters_demoted: c.clusters_demoted.load(Ordering::Relaxed),
+            snapshot_waits: c.snapshot_waits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Takes a read snapshot of the tier map for scanning. Never blocks in
+    /// healthy operation: the writer only holds the write lock for a
+    /// pointer swap, and the rare collision is counted in
+    /// [`StoreStats::snapshot_waits`].
+    pub fn snapshot(&self) -> StoreSnapshot {
+        let map = match self.map.try_read() {
+            Ok(guard) => guard.clone(),
+            Err(std::sync::TryLockError::WouldBlock) => {
+                self.counters.snapshot_waits.fetch_add(1, Ordering::Relaxed);
+                self.map.read().expect("tier map poisoned").clone()
+            }
+            Err(std::sync::TryLockError::Poisoned(_)) => panic!("tier map poisoned"),
+        };
+        StoreSnapshot {
+            segment: self.segment.clone(),
+            map,
+            counters: self.counters.clone(),
+        }
+    }
+
+    /// Moves the store to a new hot set: promotions materialize f32
+    /// extents from the segment into resident arenas, demotions release
+    /// arenas back to the cold tier. All I/O and arena construction happen
+    /// *before* the write lock is taken; the lock is held only to swap the
+    /// map pointer, so concurrent readers are never stalled behind disk
+    /// reads. Clusters already in the requested tier are untouched (their
+    /// arenas are shared with the previous map by `Arc`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hot.len()` differs from the cluster count.
+    pub fn apply_placement(&self, hot: &[bool]) -> TierShift {
+        assert_eq!(
+            hot.len(),
+            self.n_clusters(),
+            "hot set must cover every cluster"
+        );
+        let old = self.map.read().expect("tier map poisoned").clone();
+        let mut shift = TierShift::default();
+        let entries: Vec<TierEntry> = old
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(c, entry)| match (entry, hot[c]) {
+                (TierEntry::Hot(arena), true) => TierEntry::Hot(arena.clone()),
+                (TierEntry::Cold, false) => TierEntry::Cold,
+                (TierEntry::Cold, true) => {
+                    let (ids, vectors) = self.segment.load_cluster_f32(c as u32);
+                    shift.promoted += 1;
+                    shift.bytes_promoted += self.segment.hot_bytes(c as u32);
+                    TierEntry::Hot(Arc::new(HotCluster { ids, vectors }))
+                }
+                (TierEntry::Hot(_), false) => {
+                    shift.demoted += 1;
+                    shift.bytes_demoted += self.segment.hot_bytes(c as u32);
+                    TierEntry::Cold
+                }
+            })
+            .collect();
+        let next = Arc::new(TierMap {
+            entries,
+            generation: old.generation + 1,
+        });
+        {
+            // The only write-side critical section: one pointer swap.
+            let mut guard = self.map.write().expect("tier map poisoned");
+            *guard = next;
+            shift.generation = guard.generation;
+        }
+        let c = &self.counters;
+        c.bytes_promoted
+            .fetch_add(shift.bytes_promoted, Ordering::Relaxed);
+        c.bytes_demoted
+            .fetch_add(shift.bytes_demoted, Ordering::Relaxed);
+        c.clusters_promoted
+            .fetch_add(shift.promoted as u64, Ordering::Relaxed);
+        c.clusters_demoted
+            .fetch_add(shift.demoted as u64, Ordering::Relaxed);
+        shift
+    }
+}
+
+impl Drop for TieredStore {
+    fn drop(&mut self) {
+        if self.ephemeral {
+            let path = self.segment.path().to_path_buf();
+            let _ = std::fs::remove_file(&path);
+            if let Some(parent) = path.parent() {
+                let _ = std::fs::remove_dir(parent); // only if empty
+            }
+        }
+    }
+}
+
+/// Per-query SQ8 asymmetric-distance lookup table: `dim × 256` partial
+/// scores, so a cold scan is `dim` table lookups and adds per vector.
+struct SqLut {
+    dim: usize,
+    table: Vec<f32>,
+}
+
+impl SqLut {
+    fn new(sq: &ScalarQuantizer, metric: Metric, query: &[f32]) -> SqLut {
+        let dim = sq.dim();
+        debug_assert_eq!(query.len(), dim);
+        let mut table = Vec::with_capacity(dim * 256);
+        for (j, &q) in query.iter().enumerate() {
+            let (min, scale) = (sq.mins()[j], sq.scales()[j]);
+            for code in 0..256u32 {
+                let decoded = min + (code as f32) * scale;
+                table.push(match metric {
+                    Metric::L2 => {
+                        let d = q - decoded;
+                        d * d
+                    }
+                    Metric::InnerProduct => -(q * decoded),
+                    Metric::Cosine => unreachable!("cosine rejected at segment write"),
+                });
+            }
+        }
+        SqLut { dim, table }
+    }
+
+    #[inline]
+    fn distance(&self, code: &[u8]) -> f32 {
+        debug_assert_eq!(code.len(), self.dim);
+        let mut sum = 0.0f32;
+        for (j, &c) in code.iter().enumerate() {
+            sum += self.table[j * 256 + usize::from(c)];
+        }
+        sum
+    }
+}
+
+/// A consistent view of the tier map for one scan batch.
+///
+/// Holding a snapshot pins the arenas it references: a migration that
+/// demotes a cluster mid-batch does not invalidate scans already running
+/// against the old map.
+#[derive(Debug)]
+pub struct StoreSnapshot {
+    segment: Arc<Segment>,
+    map: Arc<TierMap>,
+    counters: Arc<Counters>,
+}
+
+impl StoreSnapshot {
+    /// The generation of the tier map this snapshot pinned.
+    pub fn generation(&self) -> u64 {
+        self.map.generation
+    }
+
+    /// Whether `cluster` is hot in this snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of range.
+    pub fn is_hot(&self, cluster: u32) -> bool {
+        matches!(self.map.entries[cluster as usize], TierEntry::Hot(_))
+    }
+
+    fn scan_hot(&self, cluster: u32, arena: &HotCluster, query: &[f32], top: &mut TopK) {
+        self.counters.hot_probes.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .hot_bytes_scanned
+            .fetch_add(self.segment.hot_bytes(cluster), Ordering::Relaxed);
+        let metric = self.segment.metric();
+        for (i, v) in arena.vectors.iter().enumerate() {
+            top.push(arena.ids[i], metric.score(query, v));
+        }
+    }
+
+    fn scan_cold(&self, cluster: u32, lut: &SqLut, top: &mut TopK) {
+        self.counters.cold_probes.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .cold_bytes_scanned
+            .fetch_add(self.segment.cold_bytes(cluster), Ordering::Relaxed);
+        let dim = self.segment.dim();
+        let codes = self.segment.sq8_codes(cluster);
+        for (i, code) in codes.chunks_exact(dim).enumerate() {
+            top.push(self.segment.id_at(cluster, i), lut.distance(code));
+        }
+    }
+}
+
+impl ClusterStore for StoreSnapshot {
+    fn dim(&self) -> usize {
+        self.segment.dim()
+    }
+
+    fn n_clusters(&self) -> usize {
+        self.segment.n_clusters()
+    }
+
+    fn metric(&self) -> Metric {
+        self.segment.metric()
+    }
+
+    fn cluster_len(&self, cluster: u32) -> usize {
+        self.segment.cluster_len(cluster)
+    }
+
+    fn scan_cluster(&self, cluster: u32, query: &[f32], top: &mut TopK) {
+        assert_eq!(query.len(), self.segment.dim(), "query dimensionality");
+        match &self.map.entries[cluster as usize] {
+            TierEntry::Hot(arena) => self.scan_hot(cluster, arena, query, top),
+            TierEntry::Cold => {
+                let lut = SqLut::new(self.segment.sq(), self.segment.metric(), query);
+                self.scan_cold(cluster, &lut, top);
+            }
+        }
+    }
+
+    /// The LUT depends only on the query and the segment's quantizer, so
+    /// one table serves every cold probe of the scan — built lazily on
+    /// the first cold cluster (an all-hot probe set never pays for it).
+    fn scan_clusters(&self, clusters: &[u32], query: &[f32], top: &mut TopK) {
+        assert_eq!(query.len(), self.segment.dim(), "query dimensionality");
+        let mut lut: Option<SqLut> = None;
+        for &cluster in clusters {
+            match &self.map.entries[cluster as usize] {
+                TierEntry::Hot(arena) => self.scan_hot(cluster, arena, query, top),
+                TierEntry::Cold => {
+                    let lut = lut.get_or_insert_with(|| {
+                        SqLut::new(self.segment.sq(), self.segment.metric(), query)
+                    });
+                    self.scan_cold(cluster, lut, top);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vlite_ann::scan_lists_store;
+
+    fn sample_clusters(
+        n_clusters: usize,
+        per: usize,
+        dim: usize,
+        seed: u64,
+    ) -> Vec<(Vec<u64>, VecSet)> {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n_clusters)
+            .map(|c| {
+                let ids: Vec<u64> = (0..per as u64).map(|i| (c as u64) * 1_000 + i).collect();
+                let vectors =
+                    VecSet::from_fn(per, dim, |_, _| (c as f32) * 2.0 + rng.random::<f32>());
+                (ids, vectors)
+            })
+            .collect()
+    }
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "vlite-tiered-test-{}-{tag}.seg",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn hot_scan_matches_source_vectors_exactly() {
+        let clusters = sample_clusters(4, 30, 8, 10);
+        let path = temp_path("hot");
+        let store =
+            TieredStore::create(&path, 8, Metric::L2, &clusters, &[true; 4]).expect("creates");
+        let snap = store.snapshot();
+        let query: Vec<f32> = clusters[2].1.get(5).to_vec();
+        let hits = scan_lists_store(&snap, &query, &[0, 1, 2, 3], 1);
+        assert_eq!(hits[0].id, 2_005, "a vector is its own nearest neighbor");
+        assert_eq!(hits[0].distance, 0.0);
+        assert!(store.stats().hot_probes == 4 && store.stats().cold_probes == 0);
+        drop(snap);
+        drop(store);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn cold_scan_equals_scanning_the_decoded_vectors() {
+        let clusters = sample_clusters(3, 25, 6, 11);
+        let path = temp_path("cold");
+        let store =
+            TieredStore::create(&path, 6, Metric::L2, &clusters, &[false; 3]).expect("creates");
+        let snap = store.snapshot();
+        let query: Vec<f32> = clusters[1].1.get(3).to_vec();
+        let hits = scan_lists_store(&snap, &query, &[0, 1, 2], 5);
+
+        // Reference: decode every vector's SQ8 code at full precision with
+        // the segment's own quantizer and scan flat.
+        let sq = store.sq().clone();
+        let mut top = TopK::new(5);
+        for (ids, vectors) in &clusters {
+            for (i, v) in vectors.iter().enumerate() {
+                let decoded = sq.decode(&sq.encode(v));
+                let mut d = 0.0f32;
+                for (q, x) in query.iter().zip(&decoded) {
+                    d += (q - x) * (q - x);
+                }
+                top.push(ids[i], d);
+            }
+        }
+        let want = top.into_sorted();
+        assert_eq!(
+            hits.iter().map(|n| n.id).collect::<Vec<_>>(),
+            want.iter().map(|n| n.id).collect::<Vec<_>>()
+        );
+        for (a, b) in hits.iter().zip(&want) {
+            assert!((a.distance - b.distance).abs() < 1e-3, "{a:?} vs {b:?}");
+        }
+        assert!(store.stats().cold_probes == 3 && store.stats().hot_probes == 0);
+        drop(snap);
+        drop(store);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn migration_is_invisible_to_held_snapshots() {
+        let clusters = sample_clusters(4, 20, 4, 12);
+        let path = temp_path("migrate");
+        let store =
+            TieredStore::create(&path, 4, Metric::L2, &clusters, &[true, true, false, false])
+                .expect("creates");
+        let before = store.snapshot();
+        assert!(before.is_hot(0) && !before.is_hot(2));
+
+        let shift = store.apply_placement(&[false, false, true, true]);
+        assert_eq!(shift.promoted, 2);
+        assert_eq!(shift.demoted, 2);
+        assert!(shift.bytes_promoted > 0 && shift.bytes_demoted > 0);
+        assert_eq!(shift.generation, 1);
+        assert_eq!(store.generation(), 1);
+
+        // The old snapshot still sees — and can scan — the old tiers.
+        assert!(before.is_hot(0));
+        let query: Vec<f32> = clusters[0].1.get(0).to_vec();
+        let old_hits = scan_lists_store(&before, &query, &[0, 1, 2, 3], 3);
+        let after = store.snapshot();
+        assert!(!after.is_hot(0) && after.is_hot(2));
+        let new_hits = scan_lists_store(&after, &query, &[0, 1, 2, 3], 3);
+        assert_eq!(
+            old_hits[0].id, new_hits[0].id,
+            "identity results survive the tier move"
+        );
+        assert_eq!(store.hot_flags(), vec![false, false, true, true]);
+        drop((before, after, store));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn noop_placement_still_bumps_the_generation_only() {
+        let clusters = sample_clusters(2, 5, 4, 13);
+        let path = temp_path("noop");
+        let store =
+            TieredStore::create(&path, 4, Metric::L2, &clusters, &[true, false]).expect("creates");
+        let shift = store.apply_placement(&[true, false]);
+        assert_eq!(shift.promoted + shift.demoted, 0);
+        assert_eq!(shift.bytes_promoted + shift.bytes_demoted, 0);
+        assert_eq!(store.generation(), 1);
+        drop(store);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn create_or_open_reuses_and_verifies_an_existing_segment() {
+        let clusters = sample_clusters(3, 12, 4, 14);
+        let path = temp_path("reuse");
+        let first = TieredStore::create(&path, 4, Metric::L2, &clusters, &[true, false, false])
+            .expect("creates");
+        assert!(!first.opened_existing());
+        drop(first);
+
+        let second =
+            TieredStore::create_or_open(&path, 4, Metric::L2, &clusters, &[false, true, false])
+                .expect("reopens");
+        assert!(second.opened_existing());
+        assert_eq!(second.hot_flags(), vec![false, true, false]);
+        drop(second);
+
+        // Same shape, different contents: must be rejected, not served.
+        let other = sample_clusters(3, 12, 4, 999);
+        let err = TieredStore::create_or_open(&path, 4, Metric::L2, &other, &[false; 3])
+            .expect_err("mismatched contents");
+        assert!(matches!(err, StoreError::Mismatch(_)), "{err}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn ephemeral_store_removes_its_file_on_drop() {
+        let clusters = sample_clusters(2, 5, 4, 15);
+        let path = temp_path("ephemeral");
+        let mut store =
+            TieredStore::create(&path, 4, Metric::L2, &clusters, &[false, false]).expect("creates");
+        store.set_ephemeral(true);
+        assert!(path.exists());
+        drop(store);
+        assert!(!path.exists(), "ephemeral segment must be cleaned up");
+    }
+
+    #[test]
+    fn residency_accounts_hot_and_cold_bytes() {
+        let clusters = sample_clusters(4, 10, 8, 16);
+        let path = temp_path("residency");
+        let store =
+            TieredStore::create(&path, 8, Metric::L2, &clusters, &[true, true, false, false])
+                .expect("creates");
+        let r = store.residency();
+        assert_eq!(r.hot_clusters, 2);
+        assert_eq!(r.total_clusters, 4);
+        // Hot arenas: 10 × (8 + 32) per cluster; cold extents: 10 × (8 + 8).
+        assert_eq!(r.hot_bytes, 2 * 10 * 40);
+        assert_eq!(r.cold_bytes, 2 * 10 * 16);
+        assert!(r.byte_fraction() > 0.5, "full precision dominates bytes");
+        drop(store);
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,127 @@
+//! The persisted-index workload: **build → save → reload → serve**, with
+//! bit-identical results asserted across the restart.
+//!
+//! Run with `cargo run --release --example tiered_store` (CI runs it as an
+//! e2e step).
+//!
+//! The first server trains the index, runs Algorithm 1, and detaches the
+//! index's list payloads into a `vlite-store` segment file on disk: hot
+//! clusters stay resident at full precision, cold clusters are scanned
+//! straight from the segment's mmap'd SQ8 extents. The second server —
+//! built from the same corpus and seeds — finds the segment already on
+//! disk, verifies it against the freshly trained index (per-cluster
+//! content checksums), reopens it instead of rewriting, and must serve
+//! exactly the same neighbors, bit for bit.
+
+use std::sync::Arc;
+
+use vectorlite_rag::ann::Neighbor;
+use vectorlite_rag::core::RealConfig;
+use vectorlite_rag::serve::{RagServer, ServeConfig, VirtualClock};
+use vectorlite_rag::workload::{CorpusConfig, SyntheticCorpus};
+
+fn config(dir: std::path::PathBuf) -> ServeConfig {
+    let mut config = ServeConfig::small();
+    config.real = RealConfig {
+        ivf: vectorlite_rag::ann::IvfConfig::new(128),
+        nprobe: 16,
+        top_k: 10,
+        n_profile_queries: 512,
+        slo_search: 0.050,
+        mu_llm0: 50.0,
+        kv_bytes_full: 8 << 30,
+        n_shards: 2,
+        seed: 0x7ea1,
+        // Pinned coverage: the split is then a pure function of the seeded
+        // calibration profile, so both servers build identical placements
+        // — the precondition for a bit-identical round trip.
+        coverage_override: Some(0.25),
+    };
+    config.store.dir = Some(dir);
+    config
+}
+
+fn serve_queries(server: &RagServer, queries: &vectorlite_rag::ann::VecSet) -> Vec<Vec<Neighbor>> {
+    queries
+        .iter()
+        .map(|q| {
+            server
+                .submit(q.to_vec())
+                .expect("admitted")
+                .wait()
+                .expect("served")
+                .neighbors
+        })
+        .collect()
+}
+
+fn main() {
+    let corpus = SyntheticCorpus::generate(&CorpusConfig {
+        n_vectors: 12_000,
+        dim: 32,
+        n_centers: 64,
+        zipf_exponent: 1.1,
+        noise: 0.3,
+        seed: 3,
+    });
+    let queries = corpus.queries(48, 41);
+    let dir = std::env::temp_dir().join(format!("vlite-tiered-example-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // ---- build + save -----------------------------------------------------
+    println!("[1/2] building the deployment and writing the segment…");
+    let server =
+        RagServer::start_with_clock(&corpus, config(dir.clone()), Arc::new(VirtualClock::new()))
+            .expect("server starts");
+    {
+        let store = server.store().expect("flat index builds a tiered store");
+        let residency = store.residency();
+        println!(
+            "      segment: {}  ({} clusters, {}/{} fast, {:.1}% of bytes resident, mmap: {})",
+            store.path().display(),
+            residency.total_clusters,
+            residency.hot_clusters,
+            residency.total_clusters,
+            100.0 * residency.byte_fraction(),
+            store.is_mapped(),
+        );
+    }
+    let first = serve_queries(&server, &queries);
+    let report = server.shutdown();
+    let store_report = report.store.as_ref().expect("tiered report");
+    assert!(
+        !store_report.opened_existing,
+        "first run must write a fresh segment"
+    );
+    assert!(store_report.hot_probes > 0 && store_report.cold_probes > 0);
+    println!(
+        "      served {} requests: {} fast-tier probes, {} cold-tier probes",
+        report.completed, store_report.hot_probes, store_report.cold_probes
+    );
+
+    // ---- reload + serve ---------------------------------------------------
+    println!("[2/2] rebuilding the deployment and reloading the segment…");
+    let server =
+        RagServer::start_with_clock(&corpus, config(dir.clone()), Arc::new(VirtualClock::new()))
+            .expect("server restarts");
+    let second = serve_queries(&server, &queries);
+    let report = server.shutdown();
+    let store_report = report.store.as_ref().expect("tiered report");
+    assert!(
+        store_report.opened_existing,
+        "second run must reopen (and checksum-verify) the existing segment"
+    );
+
+    assert_eq!(
+        first, second,
+        "save → load → serve must return bit-identical top-k results"
+    );
+    println!(
+        "      reloaded segment served {} requests with bit-identical top-{} results ✓",
+        report.completed,
+        first[0].len()
+    );
+    println!("\n{}", report.render());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

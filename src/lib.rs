@@ -14,7 +14,8 @@
 //! | [`core`] | `vlite-core` | Access-skew profiling, Beta/order-statistic hit-rate estimation, latency-bounded partitioning (Algorithm 1), index splitter, router, dynamic dispatcher, serving pipeline, adaptive update |
 //! | [`ann`] | `vlite-ann` | IVF-Flat / IVF-PQ / fast-scan indexes, k-means, product & scalar quantizers, HNSW, recall/NDCG |
 //! | [`llm`] | `vlite-llm` | Continuous-batching LLM engine simulator, paged KV cache, model specs, throughput probes |
-//! | [`serve`] | `vlite-serve` | Real-time serving runtime: multi-tenant weighted-fair admission, dynamic batching, shard workers + dispatcher threads, retrieval → LLM co-scheduling with TTFT accounting, online SLO-aware repartitioning, real/virtual clocks |
+//! | [`serve`] | `vlite-serve` | Real-time serving runtime: multi-tenant weighted-fair admission, dynamic batching, shard workers + dispatcher threads, retrieval → LLM co-scheduling with TTFT accounting, online SLO-aware repartitioning with live tier migration, real/virtual clocks |
+//! | [`store`] | `vlite-store` | Tiered vector storage engine: resident full-precision hot arenas + mmap'd SQ8 cold segments (checksummed on-disk format) behind the `ClusterStore` trait, with non-blocking tier migration |
 //! | [`sim`] | `vlite-sim` | Virtual time, event queue, device catalog, GPU memory ledgers, Poisson arrivals |
 //! | [`workload`] | `vlite-workload` | Skew-calibrated cluster workloads, synthetic corpora, dataset presets |
 //! | [`metrics`] | `vlite-metrics` | Latency recorders, SLO trackers, result tables/series |
@@ -44,4 +45,5 @@ pub use vlite_llm as llm;
 pub use vlite_metrics as metrics;
 pub use vlite_serve as serve;
 pub use vlite_sim as sim;
+pub use vlite_store as store;
 pub use vlite_workload as workload;

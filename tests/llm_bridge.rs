@@ -361,6 +361,183 @@ fn search_keyed_observations_ignore_ttft_breaches() {
 }
 
 #[test]
+fn kv_admission_estimate_and_rejection_are_pinned_to_the_exact_tick() {
+    // Scripted virtual-time scenario on the public GenerationStage, the
+    // same harness style as the queueing-phase test: request 0 fills the
+    // KV pool; request 1 arrives while the engine is busy and the pool
+    // full, and its shed decision — and the condemning estimate — must be
+    // exact functions of the cost model at the scripted tick.
+    let mut config = GenerationConfig::tiny();
+    config.kv_admission = true;
+    config.output_tokens = 64;
+    // Pool of exactly 512 tokens: request 0's claim (384 prompt + 64
+    // output) fits alone; adding request 1's equal claim cannot.
+    config.kv_bytes = config.cost.model().kv_bytes_per_token() * 512;
+    let prompt = config.prompt_tokens(10); // 64 + 32·10 = 384
+    assert_eq!(prompt, 384);
+    let p0 = config.cost.prefill_time(prompt, 1.0);
+    // SLO wide enough for an idle admit (one prefill), far too tight for
+    // a drain-then-prefill wait.
+    config.slo_ttft = 1.5 * p0.as_secs_f64();
+    let mut stage = GenerationStage::new(&config);
+
+    let t0 = SimTime::ZERO;
+    // Idle stage: request 0 admits — its estimate is one prefill.
+    assert_eq!(
+        stage.estimate_first_token(prompt, t0),
+        t0 + p0,
+        "idle estimate is exactly one prefill"
+    );
+    stage
+        .submit_or_shed(
+            GenRequest {
+                id: 0,
+                n_docs: 10,
+                admitted_at: t0,
+            },
+            t0,
+        )
+        .expect("idle engine admits");
+    let step = stage.advance(t0).expect("prefill runs");
+    assert_eq!(step.busy_until, t0 + p0);
+
+    // Request 1 at the same scripted tick: the engine is busy until
+    // t0 + p0, its 384 resident prompt tokens leave no room, so the
+    // estimate is engine-free wait + full decode drain + its own prefill.
+    let decode = config.cost.decode_step_time(1, 384, 1.0);
+    let drain = vectorlite_rag::sim::SimDuration::from_secs_f64(
+        decode.as_secs_f64() * 63.0, // 64 output tokens, 1 emitted at prefill
+    );
+    let expected = ((t0 + p0) + drain + p0) - t0;
+    assert_eq!(
+        stage.estimate_first_token(prompt, t0),
+        t0 + p0 + drain + p0,
+        "busy estimate must be exact"
+    );
+    let shed = stage
+        .submit_or_shed(
+            GenRequest {
+                id: 1,
+                n_docs: 10,
+                admitted_at: t0,
+            },
+            t0,
+        )
+        .expect_err("KV-full engine must shed");
+    assert_eq!(shed, expected, "the condemning estimate is pinned");
+    assert_eq!(
+        stage.queue_len(),
+        0,
+        "a shed request never enters the queue"
+    );
+
+    // The admitted request is unaffected: it still completes.
+    let mut done = false;
+    let mut now = step.busy_until;
+    for _ in 0..200 {
+        match stage.advance(now) {
+            Some(step) => {
+                done |= step
+                    .events
+                    .iter()
+                    .any(|e| matches!(e, GenEvent::Completed { id: 0, .. }));
+                now = step.busy_until;
+            }
+            None => break,
+        }
+    }
+    assert!(done, "request 0 must finish despite the shed");
+}
+
+#[test]
+fn kv_admission_sheds_are_counted_in_per_tenant_ttft_attainment() {
+    let corpus = small_corpus();
+    let mut config = co_scheduled_config();
+    let generation = config.generation.as_mut().unwrap();
+    generation.kv_admission = true;
+    generation.output_tokens = 32;
+    // Admission bar: an idle prefill fits comfortably, a backlog of them
+    // does not — so a flood is guaranteed to produce both outcomes.
+    let base_prefill = generation
+        .cost
+        .prefill_time(generation.prompt_tokens(10), 1.0);
+    generation.slo_ttft = 4.0 * base_prefill.as_secs_f64();
+    config.tenants = vec![
+        TenantSpec {
+            weight: 1,
+            queue_capacity: 512,
+            slo_search: 0.05,
+        },
+        TenantSpec {
+            weight: 1,
+            queue_capacity: 512,
+            slo_search: 0.05,
+        },
+    ];
+    let clock = Arc::new(VirtualClock::new());
+    let server = RagServer::start_with_clock(&corpus, config, clock).expect("server starts");
+
+    let mut tickets = Vec::new();
+    for i in 0..360 {
+        let tenant = TenantId((i % 2) as u16);
+        tickets.push(
+            server
+                .submit_for(tenant, corpus.vectors.get(i % 500).to_vec())
+                .expect("admitted"),
+        );
+    }
+    let mut shed_by_tenant = [0u64; 2];
+    let mut served_by_tenant = [0u64; 2];
+    for ticket in tickets {
+        let response = ticket.wait().expect("served");
+        match response.timings.generation {
+            // A shed reply carries the retrieval results and its timings
+            // end at the merge: e2e = queue + search, exactly.
+            None => {
+                shed_by_tenant[response.tenant.index()] += 1;
+                assert_eq!(
+                    response.timings.e2e,
+                    response.timings.queue + response.timings.search,
+                    "shed timings end at the merge tick"
+                );
+                assert!(!response.neighbors.is_empty(), "retrieval still served");
+            }
+            Some(gen) => {
+                served_by_tenant[response.tenant.index()] += 1;
+                assert!(gen.ttft > 0.0);
+            }
+        }
+    }
+    let report = server.shutdown();
+
+    let sheds: u64 = shed_by_tenant.iter().sum();
+    let served: u64 = served_by_tenant.iter().sum();
+    assert!(sheds > 0, "the flood must shed");
+    assert!(served > 0, "the flood must also serve");
+    assert_eq!(report.completed, 360);
+    assert_eq!(report.gen_sheds, sheds);
+    // TTFT samples exist only for served requests; the attainment
+    // denominator nevertheless includes every shed as a miss.
+    assert_eq!(report.ttft.count as u64, served);
+    assert!(report.ttft_attainment < 1.0, "sheds must dent attainment");
+    for (t, row) in report.tenants.iter().enumerate() {
+        assert_eq!(row.gen_sheds, shed_by_tenant[t], "tenant {t} shed count");
+        assert_eq!(row.ttft.count as u64, served_by_tenant[t]);
+        assert!(
+            row.ttft_attainment
+                <= served_by_tenant[t] as f64 / (served_by_tenant[t] + shed_by_tenant[t]) as f64
+                    + 1e-9,
+            "tenant {t} attainment must count its sheds as misses"
+        );
+    }
+    let rendered = report.render();
+    assert!(
+        rendered.contains("KV-admission sheds"),
+        "render must surface sheds: {rendered}"
+    );
+}
+
+#[test]
 fn co_scheduled_ttft_attainment_is_served_over_the_http_frontend() {
     let corpus = small_corpus();
     let config = co_scheduled_config();

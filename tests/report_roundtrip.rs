@@ -6,7 +6,9 @@ use std::time::Duration;
 
 use vectorlite_rag::metrics::Summary;
 use vectorlite_rag::serve::http::json::Json;
-use vectorlite_rag::serve::{RepartitionEvent, ServeReport, TenantId, TenantReport};
+use vectorlite_rag::serve::{
+    MigrationEvent, RepartitionEvent, ServeReport, StoreReport, TenantId, TenantReport,
+};
 
 fn summary(seed: f64) -> Summary {
     Summary {
@@ -37,6 +39,7 @@ fn tenant(i: u16, seed: f64) -> TenantReport {
         slo_attainment: 0.9625,
         ttft: summary(seed * 1.7),
         ttft_attainment: 0.8421,
+        gen_sheds: 3 + u64::from(i),
         mean_hit_rate: 0.615,
     }
 }
@@ -59,6 +62,7 @@ fn co_scheduled_report() -> ServeReport {
         decode: summary(0.024),
         slo_ttft: Some(0.25),
         ttft_attainment: 0.9031,
+        gen_sheds: 7,
         batches: 77,
         mean_batch: 25.7,
         max_batch: 64,
@@ -67,6 +71,7 @@ fn co_scheduled_report() -> ServeReport {
         repartitions: vec![RepartitionEvent {
             generation: 1,
             at_request: 512,
+            triggered_by: TenantId(1),
             observed_by_tenant: vec![200, 312],
             old_coverage: 0.25,
             new_coverage: 0.3125,
@@ -74,6 +79,34 @@ fn co_scheduled_report() -> ServeReport {
             queue_depth_at_swap: 9,
             duration: Duration::from_micros(8_500),
         }],
+        store: Some(StoreReport {
+            fast_clusters: 34,
+            total_clusters: 128,
+            fast_bytes: 5_120_000,
+            cold_bytes: 1_280_000,
+            fast_residency: 0.8,
+            hot_probes: 4_321,
+            cold_probes: 1_234,
+            hot_bytes_scanned: 99_000_000,
+            cold_bytes_scanned: 7_000_000,
+            bytes_promoted: 2_000_000,
+            bytes_demoted: 1_500_000,
+            store_generation: 2,
+            snapshot_waits: 0,
+            opened_existing: true,
+            migrations: vec![MigrationEvent {
+                placement_generation: 1,
+                store_generation: 1,
+                triggered_by: TenantId(1),
+                promoted: 9,
+                demoted: 7,
+                bytes_promoted: 2_000_000,
+                bytes_demoted: 1_500_000,
+                batches_before: 40,
+                batches_after: 55,
+                duration: Duration::from_micros(2_750),
+            }],
+        }),
         generation: 1,
         worker_panics: 0,
     }
@@ -202,6 +235,51 @@ fn json_round_trips_exactly_including_ttft_fields() {
     }
     let repartitions = json.get("repartitions").and_then(Json::as_array).unwrap();
     assert_eq!(num(&repartitions[0], "at_request"), 512.0);
+    assert_eq!(num(&repartitions[0], "triggered_by"), 1.0);
+    assert_eq!(num(&json, "gen_sheds"), 7.0);
+
+    // The tiered-store section round-trips, including its migrations.
+    let store = json.get("store").expect("store object");
+    let s = report.store.as_ref().unwrap();
+    assert_eq!(num(store, "fast_clusters"), s.fast_clusters as f64);
+    assert_eq!(num(store, "fast_residency"), s.fast_residency);
+    assert_eq!(num(store, "hot_probes"), s.hot_probes as f64);
+    assert_eq!(num(store, "cold_probes"), s.cold_probes as f64);
+    assert_eq!(num(store, "bytes_promoted"), s.bytes_promoted as f64);
+    assert_eq!(num(store, "snapshot_waits"), 0.0);
+    assert_eq!(store.get("opened_existing"), Some(&Json::Bool(true)));
+    let migrations = store.get("migrations").and_then(Json::as_array).unwrap();
+    assert_eq!(migrations.len(), 1);
+    assert_eq!(num(&migrations[0], "promoted"), 9.0);
+    assert_eq!(num(&migrations[0], "batches_after"), 55.0);
+}
+
+#[test]
+fn storeless_json_encodes_store_as_null_and_csv_as_empty() {
+    let mut report = co_scheduled_report();
+    report.store = None;
+    let text = report.to_json().render();
+    let json = Json::parse(&text).unwrap();
+    assert_eq!(json.get("store"), Some(&Json::Null));
+    assert_eq!(report.store_to_csv(), "");
+}
+
+#[test]
+fn store_csv_has_matching_header_and_row_arity() {
+    let report = co_scheduled_report();
+    let csv = report.store_to_csv();
+    let mut lines = csv.lines();
+    let header: Vec<&str> = lines.next().expect("header").split(',').collect();
+    let row: Vec<&str> = lines.next().expect("row").split(',').collect();
+    assert_eq!(header.len(), row.len());
+    let cell = |name: &str| -> &str {
+        let i = header.iter().position(|h| h.trim() == name).unwrap();
+        row[i]
+    };
+    assert_eq!(cell("fast_clusters"), "34");
+    assert_eq!(cell("bytes_promoted"), "2000000");
+    assert_eq!(cell("opened_existing"), "true");
+    assert_eq!(cell("migrations"), "1");
 }
 
 #[test]

@@ -100,7 +100,13 @@ fn steady_poisson_load_meets_search_slo() {
 #[test]
 fn responses_match_single_path_search_exactly() {
     let corpus = corpus();
-    let server = RagServer::start(&corpus, config()).expect("server starts");
+    // Tiering disabled: this test pins the hybrid *merge* against the
+    // full-precision single-path scan, which only holds when cold
+    // clusters are not SQ8-quantized. The tiered scan path has its own
+    // equivalence and round-trip suite in tests/tiered_serve.rs.
+    let mut storeless = config();
+    storeless.store.disabled = true;
+    let server = RagServer::start(&corpus, storeless).expect("server starts");
     let queries = corpus.queries(24, 41);
 
     let tickets: Vec<_> = queries
