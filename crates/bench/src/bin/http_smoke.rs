@@ -11,7 +11,11 @@
 //!    SLO-attainment bar (within 5 points of in-process, the
 //!    `rag_server` example's margin);
 //! 3. fetches `GET /v1/report` and asserts its per-tenant JSON rows match
-//!    the in-process `ServeReport` the runtime hands back at shutdown.
+//!    the in-process `ServeReport` the runtime hands back at shutdown;
+//! 4. scrapes `GET /v1/metrics` and asserts the Prometheus exposition's
+//!    counters equal the report's totals, then fetches `GET /v1/traces`
+//!    and `GET /v1/events` and checks the telemetry plane captured the
+//!    run.
 //!
 //! Artifacts: `results/http_smoke.csv` (per-tenant rows) and
 //! `results/http_report.json` (the `/v1/report` body, verbatim).
@@ -200,6 +204,74 @@ fn main() {
     assert_eq!(report_http.status, 200);
     let report_body = String::from_utf8(report_http.body.clone()).expect("report is UTF-8");
     let report_json = Json::parse(&report_body).expect("report is JSON");
+
+    // --- the telemetry plane over the socket: scrape, traces, journal ---
+    let metrics = client.get("/v1/metrics").expect("metrics exchange");
+    assert_eq!(metrics.status, 200, "/v1/metrics must be 200");
+    assert!(
+        metrics
+            .header("content-type")
+            .is_some_and(|ct| ct.starts_with("text/plain")),
+        "scrape must be text exposition, not JSON"
+    );
+    let exposition = String::from_utf8(metrics.body.clone()).expect("exposition is UTF-8");
+    let scraped = |name: &str| -> f64 {
+        exposition
+            .lines()
+            .filter(|l| !l.starts_with('#'))
+            .find_map(|l| {
+                let (key, v) = l.rsplit_once(char::is_whitespace)?;
+                (key == name).then(|| v.parse().expect("numeric sample"))
+            })
+            .unwrap_or_else(|| panic!("metric {name} missing from scrape"))
+    };
+    // The scrape happened after every reply was delivered, so the
+    // lock-free counters agree exactly with the mutex-guarded report
+    // fetched moments earlier.
+    let expected_completed = get_num(&report_json, "completed") as u64;
+    assert_eq!(
+        scraped("vlite_admitted_total") as u64,
+        get_num(&report_json, "admitted") as u64
+    );
+    assert_eq!(
+        scraped("vlite_rejected_total") as u64,
+        get_num(&report_json, "rejected") as u64
+    );
+    assert_eq!(scraped("vlite_completed_total") as u64, expected_completed);
+    assert_eq!(
+        scraped("vlite_batches_total") as u64,
+        get_num(&report_json, "batches") as u64
+    );
+    assert_eq!(
+        scraped("vlite_stage_seconds_count{stage=\"search\"}") as u64,
+        expected_completed,
+        "one search histogram sample per completed request"
+    );
+    assert!(scraped("vlite_uptime_seconds") > 0.0);
+    println!(
+        "/v1/metrics agrees with /v1/report: admitted/rejected/completed/batches and the \
+         search-stage histogram count all match"
+    );
+
+    let traces = client.get("/v1/traces").expect("traces exchange");
+    assert_eq!(traces.status, 200, "/v1/traces must be 200");
+    let traces_body = String::from_utf8(traces.body.clone()).expect("traces are UTF-8");
+    let traces_json = Json::parse(&traces_body).expect("traces are JSON");
+    let recent = traces_json
+        .get("recent")
+        .and_then(Json::as_array)
+        .expect("recent trace ring");
+    assert!(!recent.is_empty(), "the run must leave recent traces");
+
+    let events = client.get("/v1/events").expect("events exchange");
+    assert_eq!(events.status, 200, "/v1/events must be 200");
+    let events_json = events.json().expect("events are JSON");
+    assert!(events_json.get("events").is_some(), "journal renders");
+    println!(
+        "/v1/traces holds {} recent timelines; /v1/events renders the journal",
+        recent.len()
+    );
+
     let final_report = frontend.shutdown();
 
     let rows = report_json

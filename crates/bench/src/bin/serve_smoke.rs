@@ -5,9 +5,10 @@
 //!
 //! Default mode sweeps the offered Poisson rate and reports achieved
 //! throughput, p50/p95/p99 search latency, SLO attainment, mean batch
-//! size, and admission shedding, then runs a multi-tenant isolation
-//! section. Writes `results/serve_smoke.csv` and
-//! `results/serve_tenants.csv`.
+//! size, and admission shedding, then an observability-overhead section
+//! (the identical workload with the telemetry plane off vs on,
+//! `results/serve_obs.csv`), then a multi-tenant isolation section.
+//! Writes `results/serve_smoke.csv` and `results/serve_tenants.csv`.
 //!
 //! With `--ttft` it runs the co-scheduled sweep only: the same open-loop
 //! driver against a server with a `GenerationConfig`, reporting TTFT
@@ -27,7 +28,8 @@
 //! With `--gate <baseline.csv>` it instead runs only the rows listed in
 //! the baseline file (`metric,rate,budget_s` rows, `#` comments allowed;
 //! metrics: `search_p99` for retrieval-only rates, `ttft_p99` for
-//! co-scheduled ones, `tiers_all_hot_p99` / `tiers_paper_p99` /
+//! co-scheduled ones, `obs_overhead` for a fully-instrumented
+//! telemetry-plane-on run, `tiers_all_hot_p99` / `tiers_paper_p99` /
 //! `tiers_all_cold_p99` for the tier sweep) and exits nonzero if any
 //! measured p99 exceeds its checked-in budget — CI's perf-smoke step,
 //! catching dispatcher/queue (and now generation-bridge and tier-scan)
@@ -71,11 +73,23 @@ fn real_config() -> RealConfig {
 }
 
 /// One single-tenant open-loop point: returns the achieved rate and the
-/// final report.
+/// final report. The telemetry plane runs in its default (enabled) state.
 fn run_rate(corpus: &SyntheticCorpus, rate: f64, n_requests: usize) -> (f64, ServeReport) {
+    run_rate_obs(corpus, rate, n_requests, true)
+}
+
+/// The same open-loop point with the telemetry plane toggled explicitly:
+/// the obs-overhead comparison runs it both ways on the same workload.
+fn run_rate_obs(
+    corpus: &SyntheticCorpus,
+    rate: f64,
+    n_requests: usize,
+    obs_enabled: bool,
+) -> (f64, ServeReport) {
     let mut config = ServeConfig::small();
     config.real = real_config();
     config.queue_capacity = 512;
+    config.obs.enabled = obs_enabled;
     let server = RagServer::start(corpus, config).expect("server starts");
     let mut source = RotatingQuerySource::from_corpus(corpus, 11);
     let outcome = run_open_loop(&server, &mut source, rate, n_requests, 17, |_, _| {});
@@ -311,6 +325,18 @@ fn gate(baseline_path: &str) {
                 );
                 (report.ttft.p99, report.ttft_attainment)
             }
+            "obs_overhead" => {
+                // The telemetry plane enabled (its default): the budget
+                // bounds the p99 of a fully-instrumented run, so a
+                // regression that puts a lock or allocation on the obs
+                // hot path trips this row.
+                let (_, report) = run_rate_obs(&corpus, row.rate, 600, true);
+                assert!(
+                    report.completed > 0,
+                    "obs-overhead gate run must complete requests"
+                );
+                (report.search.p99, report.slo_attainment)
+            }
             "tiers_all_hot_p99" | "tiers_paper_p99" | "tiers_all_cold_p99" => {
                 let coverage = match row.metric.as_str() {
                     "tiers_all_hot_p99" => 1.0,
@@ -323,7 +349,8 @@ fn gate(baseline_path: &str) {
             }
             other => panic!(
                 "unknown baseline metric {other:?} \
-                 (search_p99 | ttft_p99 | tiers_all_hot_p99 | tiers_paper_p99 | tiers_all_cold_p99)"
+                 (search_p99 | ttft_p99 | obs_overhead | tiers_all_hot_p99 | tiers_paper_p99 \
+                 | tiers_all_cold_p99)"
             ),
         };
         let ok = p99 <= row.budget;
@@ -422,6 +449,39 @@ fn sweep() {
     println!("On-demand batching absorbs queueing as the offered rate crosses the");
     println!("service capacity: batch size grows, per-query latency stays bounded by");
     println!("the batch scan, and admission control sheds load past the queue bound.");
+
+    // Observability overhead: the identical workload with the telemetry
+    // plane off, then on. The plane's hot path is sharded atomics and
+    // log-bucketed histograms — the comparison documents that always-on
+    // telemetry is not a tail-latency tax (the `obs_overhead` gate row
+    // pins the obs-on p99 in CI).
+    println!("\nobservability overhead: telemetry plane off vs on at 500 req/s");
+    let mut obs_table = Table::new(vec![
+        "telemetry",
+        "achieved (req/s)",
+        "search p50",
+        "search p99",
+        "SLO attainment",
+    ]);
+    let mut obs_p99 = [0.0f64; 2];
+    for (i, (label, enabled)) in [("off", false), ("on", true)].into_iter().enumerate() {
+        let (achieved, report) = run_rate_obs(&corpus, 500.0, 1_000, enabled);
+        obs_p99[i] = report.search.p99;
+        obs_table.row(vec![
+            label.to_string(),
+            format!("{achieved:.0}"),
+            fmt_seconds(report.search.p50),
+            fmt_seconds(report.search.p99),
+            format!("{:.1}%", 100.0 * report.slo_attainment),
+        ]);
+    }
+    println!("{}", obs_table.render());
+    write_csv("serve_obs.csv", &obs_table.to_csv());
+    println!(
+        "obs-on p99 {} vs obs-off {}: recording is lock-free on the request path.",
+        fmt_seconds(obs_p99[1]),
+        fmt_seconds(obs_p99[0])
+    );
 
     // Multi-tenant isolation: a steady light tenant (weight 1) shares the
     // server with a heavy tenant (weight 4) offered far past capacity. The

@@ -9,6 +9,9 @@
 //! - [`Series`] and [`Table`] — lightweight result containers that render to
 //!   aligned text tables and CSV, mirroring the paper's figure series.
 //! - [`Summary`] — mean/min/max/percentile digest of a sample set.
+//! - [`obs`] — lock-free always-on instruments (sharded [`obs::Counter`]s,
+//!   [`obs::Gauge`]s, log-bucketed [`obs::StreamingHistogram`]s) for
+//!   hot-path telemetry that must never take a global lock.
 //!
 //! # Examples
 //!
@@ -26,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod obs;
 mod recorder;
 mod series;
 mod slo;

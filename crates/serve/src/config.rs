@@ -257,6 +257,10 @@ pub struct ServeConfig {
     /// Tiered-storage configuration: where the segment file lives and
     /// whether physical tiering is enabled at all.
     pub store: StoreConfig,
+    /// Telemetry-plane configuration (on by default): live lock-free
+    /// metrics, trace rings, and the unified event journal behind
+    /// `GET /v1/metrics`, `/v1/traces` and `/v1/events`.
+    pub obs: crate::obs::ObsConfig,
 }
 
 impl ServeConfig {
@@ -271,6 +275,7 @@ impl ServeConfig {
             http: HttpConfig::default(),
             generation: None,
             store: StoreConfig::default(),
+            obs: crate::obs::ObsConfig::default(),
         }
     }
 

@@ -296,6 +296,7 @@ impl ControlLoop {
 mod tests {
     use super::*;
     use crate::config::{ServeConfig, TenantSpec};
+    use crate::obs::{BoundedRing, ObsConfig, ObsPlane};
     use crate::queue::AdmissionQueue;
     use crate::request::Job;
     use crate::server::{PlacementState, ServeMetrics, Shared};
@@ -356,8 +357,9 @@ mod tests {
             metrics: Mutex::new(ServeMetrics::new(real.slo_search, None, &tenants)),
             worker_panics: AtomicU64::new(0),
             tenants,
-            repartitions: Mutex::new(Vec::new()),
-            migrations: Mutex::new(Vec::new()),
+            repartitions: BoundedRing::new(1024),
+            migrations: BoundedRing::new(1024),
+            obs: Arc::new(ObsPlane::new(&ObsConfig::default())),
             store: None,
             nprobe: real.nprobe,
             top_k: real.top_k,
@@ -415,7 +417,7 @@ mod tests {
         for i in 0..600 {
             control.observe(drifted(&probe_sets, i));
         }
-        let events = shared.repartitions.lock().unwrap();
+        let events = shared.repartitions.snapshot();
         assert!(!events.is_empty(), "drift must trigger a repartition");
         assert_eq!(
             events[0].at_request, 440,
@@ -438,7 +440,7 @@ mod tests {
                 probes: probe_sets[i % probe_sets.len()].clone(),
             });
         }
-        assert!(shared.repartitions.lock().unwrap().is_empty());
+        assert!(shared.repartitions.is_empty());
         assert!(
             control.monitors[0].window_len() <= 80,
             "window {} never reset",
@@ -467,7 +469,7 @@ mod tests {
                 .expect("admitted");
         }
         control.observe(drifted(&probe_sets, 99));
-        let events = shared.repartitions.lock().unwrap();
+        let events = shared.repartitions.snapshot();
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].queue_depth_at_swap, 7);
         assert_eq!(events[0].at_request, 100);
@@ -487,7 +489,7 @@ mod tests {
         // the per-tenant monitor attributes the trigger to tenant 1.
         let (shared, mut control, probe_sets) = harness(100, 80, 2);
         let mut i = 0usize;
-        while shared.repartitions.lock().unwrap().is_empty() && i < 5_000 {
+        while shared.repartitions.is_empty() && i < 5_000 {
             if i % 8 == 7 {
                 control.observe(Observation {
                     tenant: TenantId(1),
@@ -505,7 +507,7 @@ mod tests {
             }
             i += 1;
         }
-        let events = shared.repartitions.lock().unwrap();
+        let events = shared.repartitions.snapshot();
         assert_eq!(events.len(), 1, "small tenant's drift must trigger");
         assert_eq!(
             events[0].triggered_by,

@@ -496,6 +496,23 @@ fn shed(shared: &Shared, control_tx: &Sender<Observation>, mut work: GenWork) {
         tenant.hit_sum += work.hit_rate;
         tenant.completed += 1;
     }
+    shared.obs.on_request(
+        work.id,
+        work.tenant,
+        work.enqueued.as_nanos(),
+        &timings,
+        timings.search <= shared.slo_search,
+        Some(false),
+        true,
+    );
+    shared.obs.journal(
+        work.merged_at.as_nanos(),
+        "shed",
+        format!(
+            "request {} ({}) shed by KV-aware admission after {:.4}s of retrieval",
+            work.id, work.tenant, timings.e2e
+        ),
+    );
     // TTFT-keyed control observations treat a shed as the SLO miss it is.
     if let Some(probes) = work.probes.take() {
         let _ = control_tx.send(Observation {
@@ -557,6 +574,17 @@ fn finish(shared: &Shared, entry: PendingGen, at: SimTime) {
         tenant.hit_sum += work.hit_rate;
         tenant.completed += 1;
     }
+
+    let ttft_met = shared.generation.as_ref().map(|g| gen.ttft <= g.slo_ttft);
+    shared.obs.on_request(
+        work.id,
+        work.tenant,
+        work.enqueued.as_nanos(),
+        &timings,
+        timings.search <= shared.slo_search,
+        ttft_met,
+        false,
+    );
 
     // The ticket may have been dropped (fire-and-forget submission).
     let _ = work.reply.send(SearchResponse {

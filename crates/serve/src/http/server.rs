@@ -5,8 +5,11 @@
 //! |---|---|
 //! | `POST /v1/search` (+ `X-Tenant`) | [`RagServer::submit_for`], blocks on the [`Ticket`](crate::Ticket), streams the merged result back |
 //! | `GET /v1/report` | [`RagServer::report`] as JSON |
+//! | `GET /v1/metrics` | [`RagServer::prometheus_text`] + frontend uptime, as Prometheus text exposition |
+//! | `GET /v1/traces` | the recent + slow request-trace rings as JSON |
+//! | `GET /v1/events` | the unified event journal as JSON |
 //! | `GET /v1/tenants` | the tenant table |
-//! | `GET /healthz` | liveness + queue depth + placement generation |
+//! | `GET /healthz` | liveness + queue depth + placement generation + completed count |
 //!
 //! Connections are persistent (HTTP/1.1 keep-alive, pipelining included);
 //! each runs on its own thread with a short read timeout so it can observe
@@ -235,7 +238,13 @@ fn try_serve_one(
                 ParseError::UnsupportedVersion => (505, "HTTP Version Not Supported"),
                 _ => (400, "Bad Request"),
             };
-            let response = encode_response(status, &wire::error_body(&err.to_string()), &[], false);
+            let response = encode_response(
+                status,
+                &wire::error_body(&err.to_string()),
+                &[],
+                JSON_CT,
+                false,
+            );
             stream.write_all(&response)?;
             return Ok(Step::Close);
         }
@@ -245,6 +254,7 @@ fn try_serve_one(
                     (411, "Length Required"),
                     &wire::error_body("chunked transfer encoding is not supported"),
                     &[],
+                    JSON_CT,
                     false,
                 );
                 stream.write_all(&response)?;
@@ -257,6 +267,7 @@ fn try_serve_one(
                         (400, "Bad Request"),
                         &wire::error_body(&err.to_string()),
                         &[],
+                        JSON_CT,
                         false,
                     );
                     stream.write_all(&response)?;
@@ -273,6 +284,7 @@ fn try_serve_one(
                         inner.config.max_body
                     )),
                     &[],
+                    JSON_CT,
                     false,
                 );
                 stream.write_all(&response)?;
@@ -289,9 +301,15 @@ fn try_serve_one(
             let keep = head.keep_alive()
                 && inner.config.keep_alive
                 && !inner.shutting_down.load(Ordering::SeqCst);
-            let (status, body_out, extra) = route(inner, &head, body);
+            let reply = route(inner, &head, body);
             (
-                encode_response(status, &body_out, &extra, keep),
+                encode_response(
+                    reply.status,
+                    &reply.body,
+                    &reply.headers,
+                    reply.content_type,
+                    keep,
+                ),
                 head_len + body_len,
                 keep,
             )
@@ -303,47 +321,87 @@ fn try_serve_one(
     Ok(if keep { Step::Served } else { Step::Close })
 }
 
-type Reply = ((u16, &'static str), String, Vec<(String, String)>);
+/// One routed response: status, body, extra headers, content type.
+struct Reply {
+    status: (u16, &'static str),
+    body: String,
+    headers: Vec<(String, String)>,
+    content_type: &'static str,
+}
+
+const JSON_CT: &str = "application/json";
+/// Prometheus text exposition format version 0.0.4.
+const PROM_CT: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+impl Reply {
+    /// A JSON reply with no extra headers (the common case).
+    fn json(status: (u16, &'static str), body: String) -> Reply {
+        Reply {
+            status,
+            body,
+            headers: Vec::new(),
+            content_type: JSON_CT,
+        }
+    }
+}
 
 const OK: (u16, &str) = (200, "OK");
 
 fn bad_request(message: &str) -> Reply {
-    ((400, "Bad Request"), wire::error_body(message), Vec::new())
+    Reply::json((400, "Bad Request"), wire::error_body(message))
 }
 
 fn route(inner: &FrontendInner, head: &RequestHead<'_>, body: &[u8]) -> Reply {
     if inner.shutting_down.load(Ordering::SeqCst) {
-        return (
+        return Reply::json(
             (503, "Service Unavailable"),
             wire::error_body("server is shutting down"),
-            Vec::new(),
         );
     }
     match (head.method, head.path()) {
-        ("GET", "/healthz") => (OK, healthz(inner).render(), Vec::new()),
-        ("GET", "/v1/report") => (OK, inner.server.report().to_json().render(), Vec::new()),
-        ("GET", "/v1/tenants") => (
-            OK,
-            wire::tenants_to_json(inner.server.tenants()).render(),
-            Vec::new(),
-        ),
+        ("GET", "/healthz") => Reply::json(OK, healthz(inner).render()),
+        ("GET", "/v1/report") => Reply::json(OK, inner.server.report().to_json().render()),
+        ("GET", "/v1/metrics") => Reply {
+            status: OK,
+            body: metrics_text(inner),
+            headers: Vec::new(),
+            content_type: PROM_CT,
+        },
+        ("GET", "/v1/traces") => Reply::json(OK, inner.server.obs().traces_json().render()),
+        ("GET", "/v1/events") => Reply::json(OK, inner.server.obs().events_json().render()),
+        ("GET", "/v1/tenants") => {
+            Reply::json(OK, wire::tenants_to_json(inner.server.tenants()).render())
+        }
         ("POST", "/v1/search") => search(inner, head, body),
-        (_, "/healthz" | "/v1/report" | "/v1/tenants") => method_not_allowed("GET"),
+        (
+            _,
+            "/healthz" | "/v1/report" | "/v1/metrics" | "/v1/traces" | "/v1/events" | "/v1/tenants",
+        ) => method_not_allowed("GET"),
         (_, "/v1/search") => method_not_allowed("POST"),
-        _ => (
-            (404, "Not Found"),
-            wire::error_body("no such endpoint"),
-            Vec::new(),
-        ),
+        _ => Reply::json((404, "Not Found"), wire::error_body("no such endpoint")),
     }
 }
 
 fn method_not_allowed(allow: &str) -> Reply {
-    (
-        (405, "Method Not Allowed"),
-        wire::error_body(&format!("only {allow} is supported here")),
-        vec![("Allow".into(), allow.into())],
-    )
+    Reply {
+        status: (405, "Method Not Allowed"),
+        body: wire::error_body(&format!("only {allow} is supported here")),
+        headers: vec![("Allow".into(), allow.into())],
+        content_type: JSON_CT,
+    }
+}
+
+/// The Prometheus exposition: the runtime's families plus the frontend's
+/// own uptime gauge.
+fn metrics_text(inner: &FrontendInner) -> String {
+    let mut out = inner.server.prometheus_text();
+    crate::obs::prom_gauge(
+        &mut out,
+        "vlite_uptime_seconds",
+        "Seconds since the HTTP frontend started",
+        inner.started.elapsed().as_secs_f64(),
+    );
+    out
 }
 
 fn healthz(inner: &FrontendInner) -> Json {
@@ -364,6 +422,18 @@ fn healthz(inner: &FrontendInner) -> Json {
         (
             "tenants".into(),
             Json::Num(inner.server.tenants().len() as f64),
+        ),
+        (
+            "completed".into(),
+            Json::Num(inner.server.obs().completed.get() as f64),
+        ),
+        (
+            "worker_panics".into(),
+            Json::Num(inner.server.worker_panics() as f64),
+        ),
+        (
+            "obs_enabled".into(),
+            Json::Bool(inner.server.obs().enabled()),
         ),
     ])
 }
@@ -391,27 +461,22 @@ fn search(inner: &FrontendInner, head: &RequestHead<'_>, body: &[u8]) -> Reply {
     };
     match inner.server.submit_for(tenant, query) {
         Ok(ticket) => match ticket.wait() {
-            Some(response) => (
-                OK,
-                wire::search_response_to_json(&response).render(),
-                Vec::new(),
-            ),
-            None => (
+            Some(response) => Reply::json(OK, wire::search_response_to_json(&response).render()),
+            None => Reply::json(
                 (503, "Service Unavailable"),
                 wire::error_body("server stopped before the request completed"),
-                Vec::new(),
             ),
         },
-        Err(err @ AdmissionError::QueueFull { .. }) => (
-            (429, "Too Many Requests"),
-            wire::error_body(&err.to_string()),
-            vec![("Retry-After".into(), "0".into())],
-        ),
+        Err(err @ AdmissionError::QueueFull { .. }) => Reply {
+            status: (429, "Too Many Requests"),
+            body: wire::error_body(&err.to_string()),
+            headers: vec![("Retry-After".into(), "0".into())],
+            content_type: JSON_CT,
+        },
         Err(err @ AdmissionError::UnknownTenant { .. }) => bad_request(&err.to_string()),
-        Err(AdmissionError::ShuttingDown) => (
+        Err(AdmissionError::ShuttingDown) => Reply::json(
             (503, "Service Unavailable"),
             wire::error_body("server is shutting down"),
-            Vec::new(),
         ),
     }
 }
@@ -422,12 +487,14 @@ fn encode_response(
     status: (u16, &str),
     body: &str,
     extra_headers: &[(String, String)],
+    content_type: &str,
     keep_alive: bool,
 ) -> Vec<u8> {
     let mut out = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         status.0,
         status.1,
+        content_type,
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     );

@@ -59,8 +59,14 @@
 //!   reused by the persistent runtime.
 //! - [`http`] — the hand-rolled HTTP/1.1 network frontend
 //!   ([`HttpFrontend`]): `POST /v1/search` (with an `X-Tenant` header),
-//!   `GET /v1/report`, `GET /v1/tenants` and `GET /healthz` over
-//!   `std::net::TcpListener`, thread-per-connection with keep-alive.
+//!   `GET /v1/report`, `GET /v1/metrics` (Prometheus text exposition),
+//!   `GET /v1/traces`, `GET /v1/events`, `GET /v1/tenants` and
+//!   `GET /healthz` over `std::net::TcpListener`, thread-per-connection
+//!   with keep-alive.
+//! - [`obs`] — the always-on telemetry plane ([`ObsPlane`]): lock-free
+//!   live counters and stage histograms, per-request trace timelines
+//!   ([`RequestTrace`]), and the bounded unified event journal behind the
+//!   three observability endpoints.
 //! - [`loadgen`] — open-loop Poisson load generation with a rotating-hot-set
 //!   query source for drift experiments, single- and multi-tenant, in
 //!   process or over the HTTP frontend's socket.
@@ -101,6 +107,7 @@ pub mod generation;
 pub mod http;
 pub mod loadgen;
 mod migrate;
+pub mod obs;
 mod queue;
 mod report;
 mod request;
@@ -114,6 +121,7 @@ pub use control::RepartitionEvent;
 pub use dispatch::{hybrid_search_batch, run_dispatcher, DispatchOutcome};
 pub use http::HttpFrontend;
 pub use migrate::MigrationEvent;
+pub use obs::{BoundedRing, ObsConfig, ObsEvent, ObsPlane, RequestTrace, TraceSpan};
 pub use report::{ServeReport, StoreReport, TenantReport};
 pub use request::{
     AdmissionError, GenerationTimings, RequestTimings, SearchResponse, TenantId, Ticket,

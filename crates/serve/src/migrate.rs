@@ -89,10 +89,6 @@ pub(crate) fn migrator_worker(shared: &Arc<Shared>, rx: &Receiver<MigrationOrder
             batches_after,
             duration: (shared.clock.now() - started).to_std(),
         };
-        shared
-            .migrations
-            .lock()
-            .expect("migrations poisoned")
-            .push(event);
+        shared.record_migration(event);
     }
 }

@@ -1,0 +1,750 @@
+//! The always-on telemetry plane (`vlite-obs`).
+//!
+//! Every per-request measurement the runtime takes also funnels through
+//! one `Mutex<ServeMetrics>` — exact, but a global lock on the hot path
+//! and only queryable as an end-of-run [`ServeReport`](crate::ServeReport)
+//! snapshot. This module is the *live* counterpart, built from the
+//! lock-free instruments in [`vlite_metrics::obs`]:
+//!
+//! - [`ObsPlane`] — sharded atomic counters and log-bucketed streaming
+//!   histograms for every pipeline stage, recorded by the dispatcher,
+//!   generation worker and admission path without taking any global lock,
+//!   and readable at any moment (the `GET /v1/metrics` Prometheus
+//!   exposition) while the runtime keeps serving.
+//! - [`RequestTrace`] — a per-request timeline of stage spans (queue →
+//!   search → gen-queue → prefill → first token → decode) assembled from
+//!   the existing [`RequestTimings`], kept in a bounded ring of recent
+//!   traces plus a separate always-captured slow-trace ring
+//!   ([`ObsConfig::slow_threshold_s`]), served as JSON by `GET /v1/traces`.
+//! - [`ObsEvent`] + a bounded journal — one ordered stream for the
+//!   runtime's discrete events (repartitions, tier migrations, sheds, SLO
+//!   breaches), served by `GET /v1/events`.
+//! - [`BoundedRing`] — the fixed-capacity, eviction-counting ring behind
+//!   the trace and journal stores, also capping the repartition/migration
+//!   histories that previously grew without bound.
+//!
+//! The plane is deliberately *additive*: the exact mutex-guarded metrics
+//! remain the source of truth for [`ServeReport`](crate::ServeReport)
+//! (tests pin its exact values), while the plane answers the same totals
+//! lock-free — and a test asserts the two agree.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use vlite_metrics::obs::{Counter, StreamingHistogram};
+
+use crate::http::json::Json;
+use crate::request::{RequestTimings, TenantId};
+
+/// Telemetry-plane knobs ([`ServeConfig::obs`](crate::ServeConfig)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsConfig {
+    /// Master switch. Disabled, every hook is an early return (the
+    /// `serve_smoke` obs-on-vs-off comparison measures the difference) and
+    /// the endpoints serve empty/zero data.
+    pub enabled: bool,
+    /// Capacity of the recent-trace ring.
+    pub recent_traces: usize,
+    /// Capacity of the slow-trace ring (kept separately so a flood of
+    /// fast requests can never evict the interesting outliers).
+    pub slow_traces: usize,
+    /// End-to-end latency (seconds) at or above which a request's trace is
+    /// always captured into the slow ring. Sheds are always slow.
+    pub slow_threshold_s: f64,
+    /// Capacity of the unified event journal.
+    pub journal_capacity: usize,
+    /// Capacity of the repartition-history ring (the previously unbounded
+    /// `Vec<RepartitionEvent>`).
+    pub repartition_capacity: usize,
+    /// Capacity of the migration-history ring (the previously unbounded
+    /// `Vec<MigrationEvent>`).
+    pub migration_capacity: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            recent_traces: 256,
+            slow_traces: 64,
+            slow_threshold_s: 0.25,
+            journal_capacity: 1024,
+            repartition_capacity: 1024,
+            migration_capacity: 1024,
+        }
+    }
+}
+
+/// A fixed-capacity ring that counts what it evicts.
+///
+/// This is *not* a hot-path instrument — pushes take a (short, dedicated)
+/// mutex — it is the bounded replacement for the runtime's grow-forever
+/// event vectors, and the store behind the trace rings and journal.
+#[derive(Debug)]
+pub struct BoundedRing<T> {
+    items: Mutex<VecDeque<T>>,
+    capacity: usize,
+    evicted: AtomicU64,
+}
+
+impl<T: Clone> BoundedRing<T> {
+    /// An empty ring holding at most `capacity` items (capacity 0 keeps
+    /// nothing and counts every push as an eviction).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            items: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            capacity,
+            evicted: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends `item`, evicting the oldest entry when full.
+    pub fn push(&self, item: T) {
+        let mut items = self.items.lock().expect("ring poisoned");
+        if self.capacity == 0 {
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if items.len() == self.capacity {
+            items.pop_front();
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+        }
+        items.push_back(item);
+    }
+
+    /// The retained items, oldest first.
+    pub fn snapshot(&self) -> Vec<T> {
+        self.items
+            .lock()
+            .expect("ring poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of retained items.
+    pub fn len(&self) -> usize {
+        self.items.lock().expect("ring poisoned").len()
+    }
+
+    /// Whether the ring holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Items evicted (or dropped at capacity 0) over the ring's lifetime.
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+}
+
+/// One stage span of a [`RequestTrace`], in seconds relative to the
+/// request's admission. A zero-length span is an instant marker (the
+/// `first_token` event).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSpan {
+    /// Stage name (`queue`, `search`, `gen_queue`, `prefill`,
+    /// `first_token`, `decode`).
+    pub stage: &'static str,
+    /// Span start, seconds after admission.
+    pub start_s: f64,
+    /// Span end, seconds after admission.
+    pub end_s: f64,
+}
+
+/// The timeline of one served request, assembled from its
+/// [`RequestTimings`] at the moment its lifecycle ends.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestTrace {
+    /// Request id (assigned at admission).
+    pub id: u64,
+    /// The submitting tenant.
+    pub tenant: TenantId,
+    /// Admission instant, nanoseconds on the server's clock.
+    pub admitted_ns: u64,
+    /// Admission → final delivery, seconds.
+    pub e2e_s: f64,
+    /// Whether KV-aware admission shed the request (retrieval-only reply,
+    /// no generation spans).
+    pub shed: bool,
+    /// Stage spans in timeline order.
+    pub spans: Vec<TraceSpan>,
+}
+
+impl RequestTrace {
+    /// Builds the timeline from one request's timings. Span boundaries are
+    /// cumulative offsets from admission, so the trace renders directly as
+    /// a waterfall.
+    pub fn from_timings(
+        id: u64,
+        tenant: TenantId,
+        admitted_ns: u64,
+        timings: &RequestTimings,
+        shed: bool,
+    ) -> Self {
+        let mut spans = Vec::with_capacity(6);
+        let queue_end = timings.queue;
+        let search_end = queue_end + timings.search;
+        spans.push(TraceSpan {
+            stage: "queue",
+            start_s: 0.0,
+            end_s: queue_end,
+        });
+        spans.push(TraceSpan {
+            stage: "search",
+            start_s: queue_end,
+            end_s: search_end,
+        });
+        if let Some(gen) = &timings.generation {
+            let gen_queue_end = search_end + gen.gen_queue;
+            let prefill_end = gen_queue_end + gen.prefill;
+            spans.push(TraceSpan {
+                stage: "gen_queue",
+                start_s: search_end,
+                end_s: gen_queue_end,
+            });
+            spans.push(TraceSpan {
+                stage: "prefill",
+                start_s: gen_queue_end,
+                end_s: prefill_end,
+            });
+            // The instant the user first saw output — by construction
+            // ttft = queue + search + gen_queue + prefill.
+            spans.push(TraceSpan {
+                stage: "first_token",
+                start_s: gen.ttft,
+                end_s: gen.ttft,
+            });
+            spans.push(TraceSpan {
+                stage: "decode",
+                start_s: prefill_end,
+                end_s: prefill_end + gen.decode,
+            });
+        }
+        Self {
+            id,
+            tenant,
+            admitted_ns,
+            e2e_s: timings.e2e,
+            shed,
+            spans,
+        }
+    }
+
+    /// The trace as a JSON value (what `GET /v1/traces` serves per entry).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("id".into(), Json::Num(self.id as f64)),
+            ("tenant".into(), Json::Num(f64::from(self.tenant.0))),
+            ("admitted_ns".into(), Json::Num(self.admitted_ns as f64)),
+            ("e2e_s".into(), Json::Num(self.e2e_s)),
+            ("shed".into(), Json::Bool(self.shed)),
+            (
+                "spans".into(),
+                Json::Arr(
+                    self.spans
+                        .iter()
+                        .map(|s| {
+                            Json::Obj(vec![
+                                ("stage".into(), Json::Str(s.stage.into())),
+                                ("start_s".into(), Json::Num(s.start_s)),
+                                ("end_s".into(), Json::Num(s.end_s)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// One discrete runtime event in the unified journal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsEvent {
+    /// When the event happened, nanoseconds on the server's clock.
+    pub at_ns: u64,
+    /// Event kind (`repartition`, `migration`, `shed`, `slo_breach`).
+    pub kind: &'static str,
+    /// Human-readable detail line.
+    pub detail: String,
+}
+
+impl ObsEvent {
+    /// The event as a JSON value (what `GET /v1/events` serves per entry).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("at_ns".into(), Json::Num(self.at_ns as f64)),
+            ("kind".into(), Json::Str(self.kind.into())),
+            ("detail".into(), Json::Str(self.detail.clone())),
+        ])
+    }
+}
+
+/// The pipeline-stage histograms, in the exposition's fixed order.
+const STAGES: [&str; 7] = [
+    "queue",
+    "search",
+    "e2e",
+    "ttft",
+    "gen_queue",
+    "prefill",
+    "decode",
+];
+
+/// The live telemetry plane: one instance per server, shared by every
+/// runtime thread. All counter/histogram recording is lock-free
+/// ([`vlite_metrics::obs`]); only trace/journal capture takes a (short,
+/// dedicated) ring mutex. Every hook is an early return when the plane is
+/// disabled.
+#[derive(Debug)]
+pub struct ObsPlane {
+    enabled: bool,
+    slow_threshold_s: f64,
+    /// Requests admitted into a queue (mirrors `QueueStats::admitted`).
+    pub admitted: Counter,
+    /// Requests rejected by a full tenant queue (mirrors
+    /// `QueueStats::rejected`).
+    pub rejected: Counter,
+    /// Requests whose lifecycle ended (mirrors `ServeMetrics::completed`).
+    pub completed: Counter,
+    /// Requests shed by KV-aware generation admission.
+    pub gen_sheds: Counter,
+    /// Batches launched.
+    pub batches: Counter,
+    /// Requests absorbed into batches.
+    pub batched_requests: Counter,
+    /// Requests whose search stage missed its SLO.
+    pub search_slo_breaches: Counter,
+    /// Requests whose TTFT missed `slo_ttft` (sheds included).
+    pub ttft_slo_breaches: Counter,
+    /// Stage latency histograms, indexed like [`STAGES`].
+    stage_hist: [StreamingHistogram; 7],
+    recent: BoundedRing<RequestTrace>,
+    slow: BoundedRing<RequestTrace>,
+    journal: BoundedRing<ObsEvent>,
+}
+
+impl ObsPlane {
+    /// Builds the plane from its config.
+    pub fn new(config: &ObsConfig) -> Self {
+        Self {
+            enabled: config.enabled,
+            slow_threshold_s: config.slow_threshold_s,
+            admitted: Counter::new(),
+            rejected: Counter::new(),
+            completed: Counter::new(),
+            gen_sheds: Counter::new(),
+            batches: Counter::new(),
+            batched_requests: Counter::new(),
+            search_slo_breaches: Counter::new(),
+            ttft_slo_breaches: Counter::new(),
+            stage_hist: std::array::from_fn(|_| StreamingHistogram::new()),
+            recent: BoundedRing::new(config.recent_traces),
+            slow: BoundedRing::new(config.slow_traces),
+            journal: BoundedRing::new(config.journal_capacity),
+        }
+    }
+
+    /// Whether the plane records anything.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The stage histogram for `stage` (one of `queue`, `search`, `e2e`,
+    /// `ttft`, `gen_queue`, `prefill`, `decode`).
+    pub fn stage(&self, stage: &str) -> Option<&StreamingHistogram> {
+        STAGES
+            .iter()
+            .position(|&s| s == stage)
+            .map(|i| &self.stage_hist[i])
+    }
+
+    /// [`ObsPlane::stage`] for the fixed stage names used internally.
+    fn hist(&self, stage: &str) -> &StreamingHistogram {
+        self.stage(stage).expect("known stage name")
+    }
+
+    /// One request admitted.
+    pub fn on_admit(&self) {
+        if self.enabled {
+            self.admitted.inc();
+        }
+    }
+
+    /// One request rejected by its tenant's full queue.
+    pub fn on_reject(&self) {
+        if self.enabled {
+            self.rejected.inc();
+        }
+    }
+
+    /// One batch of `n` requests completed.
+    pub fn on_batch(&self, n: usize) {
+        if self.enabled {
+            self.batches.inc();
+            self.batched_requests.add(n as u64);
+        }
+    }
+
+    /// One request's lifecycle ended: record every stage histogram, the
+    /// breach counters, and capture the trace. `ttft_met` is `None` on
+    /// retrieval-only servers, `Some(false)` for sheds.
+    #[allow(clippy::too_many_arguments)]
+    pub fn on_request(
+        &self,
+        id: u64,
+        tenant: TenantId,
+        admitted_ns: u64,
+        timings: &RequestTimings,
+        search_met: bool,
+        ttft_met: Option<bool>,
+        shed: bool,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.completed.inc();
+        self.hist("queue").record(timings.queue);
+        self.hist("search").record(timings.search);
+        self.hist("e2e").record(timings.e2e);
+        if let Some(gen) = &timings.generation {
+            self.hist("ttft").record(gen.ttft);
+            self.hist("gen_queue").record(gen.gen_queue);
+            self.hist("prefill").record(gen.prefill);
+            self.hist("decode").record(gen.decode);
+        }
+        // Breach timestamps are derived (admission + e2e): the hooks run
+        // on hot paths and must not take an extra clock read per request.
+        let finished_ns = admitted_ns.saturating_add((timings.e2e * 1e9) as u64);
+        if !search_met {
+            self.search_slo_breaches.inc();
+            self.journal(
+                finished_ns,
+                "slo_breach",
+                format!(
+                    "request {id} ({tenant}) search stage took {:.4}s",
+                    timings.search
+                ),
+            );
+        }
+        if ttft_met == Some(false) {
+            self.ttft_slo_breaches.inc();
+            if let Some(gen) = &timings.generation {
+                self.journal(
+                    finished_ns,
+                    "slo_breach",
+                    format!("request {id} ({tenant}) TTFT was {:.4}s", gen.ttft),
+                );
+            }
+        }
+        if shed {
+            self.gen_sheds.inc();
+        }
+        let trace = RequestTrace::from_timings(id, tenant, admitted_ns, timings, shed);
+        if shed || timings.e2e >= self.slow_threshold_s {
+            self.slow.push(trace.clone());
+        }
+        self.recent.push(trace);
+    }
+
+    /// Appends one event to the unified journal.
+    pub fn journal(&self, at_ns: u64, kind: &'static str, detail: String) {
+        if self.enabled {
+            self.journal.push(ObsEvent {
+                at_ns,
+                kind,
+                detail,
+            });
+        }
+    }
+
+    /// The recent-trace ring, oldest first.
+    pub fn recent_traces(&self) -> Vec<RequestTrace> {
+        self.recent.snapshot()
+    }
+
+    /// The slow-trace ring (threshold breaches and sheds), oldest first.
+    pub fn slow_traces(&self) -> Vec<RequestTrace> {
+        self.slow.snapshot()
+    }
+
+    /// The unified event journal, oldest first.
+    pub fn journal_snapshot(&self) -> Vec<ObsEvent> {
+        self.journal.snapshot()
+    }
+
+    /// The recent- and slow-trace rings as the `/v1/traces` JSON body.
+    pub fn traces_json(&self) -> Json {
+        let ring = |r: &BoundedRing<RequestTrace>| {
+            Json::Arr(r.snapshot().iter().map(RequestTrace::to_json).collect())
+        };
+        Json::Obj(vec![
+            ("recent".into(), ring(&self.recent)),
+            ("slow".into(), ring(&self.slow)),
+            ("slow_threshold_s".into(), Json::Num(self.slow_threshold_s)),
+            (
+                "recent_evicted".into(),
+                Json::Num(self.recent.evicted() as f64),
+            ),
+            ("slow_evicted".into(), Json::Num(self.slow.evicted() as f64)),
+        ])
+    }
+
+    /// The journal as the `/v1/events` JSON body.
+    pub fn events_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "events".into(),
+                Json::Arr(
+                    self.journal
+                        .snapshot()
+                        .iter()
+                        .map(ObsEvent::to_json)
+                        .collect(),
+                ),
+            ),
+            ("evicted".into(), Json::Num(self.journal.evicted() as f64)),
+        ])
+    }
+
+    /// Trace/journal ring occupancy and evictions, for the exposition's
+    /// bookkeeping gauges.
+    pub fn ring_stats(&self) -> [(&'static str, usize, u64); 3] {
+        [
+            ("recent_traces", self.recent.len(), self.recent.evicted()),
+            ("slow_traces", self.slow.len(), self.slow.evicted()),
+            ("journal", self.journal.len(), self.journal.evicted()),
+        ]
+    }
+
+    /// Writes the plane's own metric families (counters + stage
+    /// histograms) in Prometheus text exposition format. The caller
+    /// appends scrape-time gauges (queue depth, placement generation,
+    /// store residency, uptime) before serving.
+    pub fn prometheus_into(&self, out: &mut String) {
+        for (name, help, counter) in [
+            (
+                "vlite_admitted_total",
+                "Requests admitted into a tenant queue",
+                &self.admitted,
+            ),
+            (
+                "vlite_rejected_total",
+                "Requests rejected by a full tenant queue",
+                &self.rejected,
+            ),
+            (
+                "vlite_completed_total",
+                "Requests whose lifecycle ended (delivered or shed)",
+                &self.completed,
+            ),
+            (
+                "vlite_gen_sheds_total",
+                "Requests shed by KV-aware generation admission",
+                &self.gen_sheds,
+            ),
+            (
+                "vlite_batches_total",
+                "Batches launched by the on-demand batcher",
+                &self.batches,
+            ),
+            (
+                "vlite_batched_requests_total",
+                "Requests absorbed into batches",
+                &self.batched_requests,
+            ),
+            (
+                "vlite_search_slo_breaches_total",
+                "Requests whose search stage missed its SLO",
+                &self.search_slo_breaches,
+            ),
+            (
+                "vlite_ttft_slo_breaches_total",
+                "Requests whose TTFT missed the slo_ttft target (sheds included)",
+                &self.ttft_slo_breaches,
+            ),
+        ] {
+            prom_counter(out, name, help, counter.get());
+        }
+        out.push_str(
+            "# HELP vlite_stage_seconds Per-stage latency distributions (log-bucketed)\n\
+             # TYPE vlite_stage_seconds histogram\n",
+        );
+        for (i, stage) in STAGES.iter().enumerate() {
+            let hist = &self.stage_hist[i];
+            // Only materialized buckets are emitted — with log-spaced
+            // bounds every emitted `le` is still a valid cumulative row,
+            // and ~320 mostly-empty rows per stage would drown the scrape.
+            for (bound, cumulative) in hist.cumulative_buckets() {
+                out.push_str(&format!(
+                    "vlite_stage_seconds_bucket{{stage=\"{stage}\",le=\"{bound:e}\"}} {cumulative}\n"
+                ));
+            }
+            out.push_str(&format!(
+                "vlite_stage_seconds_bucket{{stage=\"{stage}\",le=\"+Inf\"}} {}\n",
+                hist.count()
+            ));
+            out.push_str(&format!(
+                "vlite_stage_seconds_sum{{stage=\"{stage}\"}} {}\n",
+                hist.sum_seconds()
+            ));
+            out.push_str(&format!(
+                "vlite_stage_seconds_count{{stage=\"{stage}\"}} {}\n",
+                hist.count()
+            ));
+        }
+    }
+}
+
+/// Writes one counter family in exposition format.
+pub(crate) fn prom_counter(out: &mut String, name: &str, help: &str, value: u64) {
+    out.push_str(&format!(
+        "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+    ));
+}
+
+/// Writes one gauge family in exposition format.
+pub(crate) fn prom_gauge(out: &mut String, name: &str, help: &str, value: f64) {
+    out.push_str(&format!(
+        "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::GenerationTimings;
+
+    fn timings(e2e: f64) -> RequestTimings {
+        RequestTimings {
+            queue: 0.001,
+            search: 0.002,
+            e2e,
+            generation: None,
+        }
+    }
+
+    #[test]
+    fn bounded_ring_evicts_oldest_and_counts() {
+        let ring = BoundedRing::new(3);
+        for i in 0..5 {
+            ring.push(i);
+        }
+        assert_eq!(ring.snapshot(), vec![2, 3, 4]);
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.evicted(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_ring_keeps_nothing() {
+        let ring = BoundedRing::new(0);
+        ring.push(1);
+        assert!(ring.is_empty());
+        assert_eq!(ring.evicted(), 1);
+    }
+
+    #[test]
+    fn trace_spans_are_cumulative_offsets() {
+        let t = RequestTimings {
+            queue: 0.001,
+            search: 0.002,
+            e2e: 0.020,
+            generation: Some(GenerationTimings {
+                gen_queue: 0.003,
+                prefill: 0.004,
+                decode: 0.010,
+                ttft: 0.010,
+            }),
+        };
+        let trace = RequestTrace::from_timings(7, TenantId(1), 42, &t, false);
+        let stages: Vec<&str> = trace.spans.iter().map(|s| s.stage).collect();
+        assert_eq!(
+            stages,
+            [
+                "queue",
+                "search",
+                "gen_queue",
+                "prefill",
+                "first_token",
+                "decode"
+            ]
+        );
+        // queue + search + gen_queue + prefill == ttft == the marker.
+        assert!((trace.spans[3].end_s - 0.010).abs() < 1e-12);
+        assert_eq!(trace.spans[4].start_s, trace.spans[4].end_s);
+        // decode ends at e2e.
+        assert!((trace.spans[5].end_s - 0.020).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retrieval_only_trace_has_no_generation_spans() {
+        let trace = RequestTrace::from_timings(1, TenantId(0), 0, &timings(0.003), false);
+        assert_eq!(trace.spans.len(), 2);
+    }
+
+    #[test]
+    fn slow_and_shed_traces_land_in_the_slow_ring() {
+        let config = ObsConfig {
+            slow_threshold_s: 0.01,
+            ..ObsConfig::default()
+        };
+        let plane = ObsPlane::new(&config);
+        plane.on_request(0, TenantId(0), 0, &timings(0.003), true, None, false);
+        plane.on_request(1, TenantId(0), 0, &timings(0.5), false, None, false);
+        plane.on_request(2, TenantId(0), 0, &timings(0.004), true, Some(false), true);
+        assert_eq!(plane.recent.len(), 3);
+        let slow: Vec<u64> = plane.slow.snapshot().iter().map(|t| t.id).collect();
+        assert_eq!(slow, vec![1, 2], "the slow request and the shed");
+        assert_eq!(plane.completed.get(), 3);
+        assert_eq!(plane.gen_sheds.get(), 1);
+        assert_eq!(plane.search_slo_breaches.get(), 1);
+        assert_eq!(plane.ttft_slo_breaches.get(), 1);
+    }
+
+    #[test]
+    fn disabled_plane_records_nothing() {
+        let config = ObsConfig {
+            enabled: false,
+            ..ObsConfig::default()
+        };
+        let plane = ObsPlane::new(&config);
+        plane.on_admit();
+        plane.on_batch(4);
+        plane.on_request(0, TenantId(0), 0, &timings(9.0), false, None, true);
+        plane.journal(0, "shed", "x".into());
+        assert_eq!(plane.admitted.get(), 0);
+        assert_eq!(plane.completed.get(), 0);
+        assert!(plane.recent.is_empty() && plane.slow.is_empty());
+        assert!(plane.journal.is_empty());
+    }
+
+    #[test]
+    fn exposition_counts_agree_with_the_counters() {
+        let plane = ObsPlane::new(&ObsConfig::default());
+        plane.on_admit();
+        plane.on_admit();
+        plane.on_reject();
+        plane.on_batch(2);
+        plane.on_request(0, TenantId(0), 0, &timings(0.003), true, None, false);
+        let mut text = String::new();
+        plane.prometheus_into(&mut text);
+        assert!(text.contains("vlite_admitted_total 2\n"));
+        assert!(text.contains("vlite_rejected_total 1\n"));
+        assert!(text.contains("vlite_completed_total 1\n"));
+        assert!(text.contains("vlite_batches_total 1\n"));
+        assert!(text.contains("vlite_stage_seconds_count{stage=\"search\"} 1\n"));
+        assert!(text.contains("le=\"+Inf\"}"));
+        // Retrieval-only: generation stages exist but are empty.
+        assert!(text.contains("vlite_stage_seconds_count{stage=\"ttft\"} 0\n"));
+    }
+
+    #[test]
+    fn stage_lookup_knows_every_stage() {
+        let plane = ObsPlane::new(&ObsConfig::default());
+        for stage in STAGES {
+            assert!(plane.stage(stage).is_some());
+        }
+        assert!(plane.stage("nope").is_none());
+    }
+}

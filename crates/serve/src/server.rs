@@ -32,6 +32,7 @@ use crate::config::{GenerationConfig, ServeConfig, SloSignal, TenantSpec};
 use crate::control::{ControlLoop, Observation, RepartitionEvent};
 use crate::generation::{generation_worker, GenWork};
 use crate::migrate::{migrator_worker, MigrationEvent, MigrationOrder};
+use crate::obs::{prom_counter, prom_gauge, BoundedRing, ObsPlane};
 use crate::queue::AdmissionQueue;
 use crate::report::{ServeReport, StoreReport};
 use crate::request::{AdmissionError, Job, RequestTimings, SearchResponse, TenantId, Ticket};
@@ -168,9 +169,16 @@ pub(crate) struct Shared {
     /// (availability over exactness; surfaced in the report).
     pub(crate) worker_panics: AtomicU64,
     pub(crate) tenants: Vec<TenantSpec>,
-    pub(crate) repartitions: Mutex<Vec<RepartitionEvent>>,
-    /// Tier migrations applied by the migrator, in order.
-    pub(crate) migrations: Mutex<Vec<MigrationEvent>>,
+    /// Online repartitions, newest-capped: a long-lived server keeps the
+    /// most recent [`ObsConfig::repartition_capacity`](crate::ObsConfig)
+    /// events instead of growing without bound (evictions counted).
+    pub(crate) repartitions: BoundedRing<RepartitionEvent>,
+    /// Tier migrations applied by the migrator, in order, same cap
+    /// discipline as `repartitions`.
+    pub(crate) migrations: BoundedRing<MigrationEvent>,
+    /// The always-on telemetry plane (lock-free counters/histograms,
+    /// trace rings, event journal).
+    pub(crate) obs: Arc<ObsPlane>,
     /// The tiered storage engine the scan path reads through; `None`
     /// keeps the pre-store behaviour (in-index lists, routing-only
     /// placement) — disabled by config or non-flat list storage.
@@ -189,10 +197,40 @@ pub(crate) struct Shared {
 
 impl Shared {
     pub fn record_repartition(&self, event: RepartitionEvent) {
-        self.repartitions
-            .lock()
-            .expect("events poisoned")
-            .push(event);
+        self.obs.journal(
+            self.clock.now().as_nanos(),
+            "repartition",
+            format!(
+                "generation {} tripped by {} (coverage {:.3} -> {:.3}, hot overlap {:.2}, \
+                 queue depth {} at swap)",
+                event.generation,
+                event.triggered_by,
+                event.old_coverage,
+                event.new_coverage,
+                event.hot_overlap,
+                event.queue_depth_at_swap
+            ),
+        );
+        self.repartitions.push(event);
+    }
+
+    /// Records one applied tier migration (ring + journal).
+    pub fn record_migration(&self, event: MigrationEvent) {
+        self.obs.journal(
+            self.clock.now().as_nanos(),
+            "migration",
+            format!(
+                "store generation {} for placement {} (promoted {}, demoted {}, \
+                 +{} B / -{} B)",
+                event.store_generation,
+                event.placement_generation,
+                event.promoted,
+                event.demoted,
+                event.bytes_promoted,
+                event.bytes_demoted
+            ),
+        );
+        self.migrations.push(event);
     }
 
     /// Snapshot of the installed placement.
@@ -342,8 +380,9 @@ impl RagServer {
             )),
             worker_panics: AtomicU64::new(0),
             tenants,
-            repartitions: Mutex::new(Vec::new()),
-            migrations: Mutex::new(Vec::new()),
+            repartitions: BoundedRing::new(config.obs.repartition_capacity),
+            migrations: BoundedRing::new(config.obs.migration_capacity),
+            obs: Arc::new(ObsPlane::new(&config.obs)),
             store,
             nprobe: config.real.nprobe,
             top_k: config.real.top_k,
@@ -527,15 +566,24 @@ impl RagServer {
             reply,
         };
         match self.shared.queue.try_push(job) {
-            Ok(()) => Ok(Ticket { id, tenant, rx }),
+            Ok(()) => {
+                self.shared.obs.on_admit();
+                Ok(Ticket { id, tenant, rx })
+            }
             Err((_, true)) => Err(AdmissionError::ShuttingDown),
             // Capacity comes from the immutable tenant table, not the
             // queue: re-taking the admission lock just to echo a config
             // value would contend with the batcher on the overload path.
-            Err((_, false)) => Err(AdmissionError::QueueFull {
-                tenant,
-                capacity: self.shared.tenants[tenant.index()].queue_capacity,
-            }),
+            Err((_, false)) => {
+                // Mirrors QueueStats exactly: only a QueueFull rejection
+                // counts (closed-queue and unknown-tenant refusals don't),
+                // so /v1/metrics totals equal the report's.
+                self.shared.obs.on_reject();
+                Err(AdmissionError::QueueFull {
+                    tenant,
+                    capacity: self.shared.tenants[tenant.index()].queue_capacity,
+                })
+            }
         }
     }
 
@@ -600,26 +648,158 @@ impl RagServer {
         self.shared.store.as_ref()
     }
 
+    /// The live telemetry plane: lock-free counters/histograms, trace
+    /// rings and the event journal, readable at any moment without
+    /// touching the exact (mutex-guarded) report metrics.
+    pub fn obs(&self) -> &ObsPlane {
+        &self.shared.obs
+    }
+
+    /// A clone of the telemetry plane's `Arc`, letting callers keep
+    /// scraping counters, traces and the journal after
+    /// [`RagServer::shutdown`] has consumed the server (by then every
+    /// worker has joined, so the values are final).
+    pub fn obs_handle(&self) -> Arc<ObsPlane> {
+        Arc::clone(&self.shared.obs)
+    }
+
+    /// Worker scans that panicked and were degraded to empty partials.
+    pub fn worker_panics(&self) -> u64 {
+        self.shared.worker_panics.load(Ordering::Relaxed)
+    }
+
+    /// The full Prometheus text exposition served by `GET /v1/metrics`:
+    /// the telemetry plane's counters and stage histograms plus
+    /// scrape-time gauges (queue depth, placement generation, ring
+    /// occupancy, store residency). Every value is read lock-free or
+    /// under a short dedicated lock — never the global metrics mutex.
+    pub fn prometheus_text(&self) -> String {
+        let mut out = String::with_capacity(8 * 1024);
+        self.shared.obs.prometheus_into(&mut out);
+        prom_counter(
+            &mut out,
+            "vlite_worker_panics_total",
+            "Worker scans that panicked and were degraded to empty partials",
+            self.shared.worker_panics.load(Ordering::Relaxed),
+        );
+        // Lifetime totals = retained ring entries + evictions.
+        prom_counter(
+            &mut out,
+            "vlite_repartitions_total",
+            "Online repartitions performed by the control loop",
+            self.shared.repartitions.len() as u64 + self.shared.repartitions.evicted(),
+        );
+        prom_counter(
+            &mut out,
+            "vlite_migrations_total",
+            "Tier migrations applied by the background migrator",
+            self.shared.migrations.len() as u64 + self.shared.migrations.evicted(),
+        );
+        prom_gauge(
+            &mut out,
+            "vlite_queue_depth",
+            "Requests waiting for a batch, summed over tenants",
+            self.queue_depth() as f64,
+        );
+        prom_gauge(
+            &mut out,
+            "vlite_placement_generation",
+            "Current placement generation (0 until the first repartition)",
+            self.placement_generation() as f64,
+        );
+        out.push_str(
+            "# HELP vlite_obs_ring_items Entries currently retained per bounded ring\n\
+             # TYPE vlite_obs_ring_items gauge\n",
+        );
+        for (ring, len, _) in self.shared.obs.ring_stats() {
+            out.push_str(&format!("vlite_obs_ring_items{{ring=\"{ring}\"}} {len}\n"));
+        }
+        out.push_str(
+            "# HELP vlite_obs_ring_evictions_total Entries evicted per bounded ring\n\
+             # TYPE vlite_obs_ring_evictions_total counter\n",
+        );
+        for (ring, _, evicted) in self.shared.obs.ring_stats() {
+            out.push_str(&format!(
+                "vlite_obs_ring_evictions_total{{ring=\"{ring}\"}} {evicted}\n"
+            ));
+        }
+        if let Some(store) = &self.shared.store {
+            let residency = store.residency();
+            let stats = store.stats();
+            prom_gauge(
+                &mut out,
+                "vlite_store_fast_clusters",
+                "Clusters resident in the fast tier",
+                residency.hot_clusters as f64,
+            );
+            prom_gauge(
+                &mut out,
+                "vlite_store_total_clusters",
+                "Total clusters in the tiered store",
+                residency.total_clusters as f64,
+            );
+            prom_gauge(
+                &mut out,
+                "vlite_store_fast_bytes",
+                "Bytes resident in fast-tier arenas",
+                residency.hot_bytes as f64,
+            );
+            prom_gauge(
+                &mut out,
+                "vlite_store_cold_bytes",
+                "Bytes covered by the slow tier's mmap'd SQ8 extents",
+                residency.cold_bytes as f64,
+            );
+            prom_gauge(
+                &mut out,
+                "vlite_store_fast_residency",
+                "Fast-tier share of total stored bytes",
+                residency.byte_fraction(),
+            );
+            prom_gauge(
+                &mut out,
+                "vlite_store_generation",
+                "Store generation (bumped by every applied migration)",
+                store.generation() as f64,
+            );
+            prom_counter(
+                &mut out,
+                "vlite_store_hot_probes_total",
+                "Probes scanned against fast-tier clusters",
+                stats.hot_probes,
+            );
+            prom_counter(
+                &mut out,
+                "vlite_store_cold_probes_total",
+                "Probes scanned against slow-tier clusters",
+                stats.cold_probes,
+            );
+            prom_counter(
+                &mut out,
+                "vlite_store_bytes_promoted_total",
+                "Bytes materialized into resident arenas by promotions",
+                stats.bytes_promoted,
+            );
+            prom_counter(
+                &mut out,
+                "vlite_store_bytes_demoted_total",
+                "Resident bytes released back to the cold tier by demotions",
+                stats.bytes_demoted,
+            );
+        }
+        out
+    }
+
     /// Snapshot of the runtime's measurements so far.
     pub fn report(&self) -> ServeReport {
         let metrics = self.shared.metrics.lock().expect("metrics poisoned");
         let queue_stats = self.shared.queue.stats();
-        let repartitions = self
+        let repartitions = self.shared.repartitions.snapshot();
+        let store = self
             .shared
-            .repartitions
-            .lock()
-            .expect("events poisoned")
-            .clone();
-        let store = self.shared.store.as_ref().map(|store| {
-            StoreReport::capture(
-                store,
-                self.shared
-                    .migrations
-                    .lock()
-                    .expect("migrations poisoned")
-                    .clone(),
-            )
-        });
+            .store
+            .as_ref()
+            .map(|store| StoreReport::capture(store, self.shared.migrations.snapshot()));
         ServeReport::assemble(
             &metrics,
             queue_stats,
@@ -888,6 +1068,7 @@ fn dispatcher(
                 metrics.batched_requests += batch_size as u64;
                 metrics.max_batch = metrics.max_batch.max(batch_size);
                 drop(metrics);
+                shared.obs.on_batch(batch_size);
                 inflight = None;
                 if done_tx.send(()).is_err() {
                     return;
@@ -992,6 +1173,16 @@ fn complete_query(
         tenant.hit_sum += hit_rate;
         tenant.completed += 1;
     }
+
+    shared.obs.on_request(
+        job.id,
+        job.tenant,
+        job.enqueued.as_nanos(),
+        &timings,
+        met_slo,
+        None,
+        false,
+    );
 
     let _ = control_tx.send(Observation {
         tenant: job.tenant,

@@ -61,12 +61,17 @@ fn main() {
 
     println!("\nHTTP frontend listening on http://{addr}");
     println!("endpoints:");
-    println!("  GET  /healthz      liveness, queue depth, placement generation");
+    println!("  GET  /healthz      liveness, queue depth, placement generation, completed");
     println!("  GET  /v1/tenants   the tenant table");
     println!("  GET  /v1/report    full ServeReport as JSON");
+    println!("  GET  /v1/metrics   live Prometheus text exposition (lock-free scrape)");
+    println!("  GET  /v1/traces    recent + slow per-request trace timelines");
+    println!("  GET  /v1/events    the unified runtime event journal");
     println!("  POST /v1/search    body {{\"query\":[...]}}, X-Tenant header picks the tenant");
     println!("\ntry it:");
     println!("  curl http://{addr}/healthz");
+    println!("  curl http://{addr}/v1/metrics");
+    println!("  curl http://{addr}/v1/traces");
     println!(
         "  curl -X POST http://{addr}/v1/search -H 'X-Tenant: 1' \\\n       -d '{{\"query\":[{}]}}'",
         corpus
@@ -131,6 +136,19 @@ fn main() {
         report.status,
         report.body.len()
     );
+
+    // The live scrape: every counter here was recorded lock-free while
+    // the searches above were in flight.
+    let metrics = client.get("/v1/metrics").expect("metrics");
+    let exposition = String::from_utf8_lossy(&metrics.body);
+    println!("GET /v1/metrics -> {} — a few samples:", metrics.status);
+    for line in exposition.lines().filter(|l| {
+        l.starts_with("vlite_completed_total")
+            || l.starts_with("vlite_batches_total")
+            || l.starts_with("vlite_queue_depth")
+    }) {
+        println!("  {line}");
+    }
 
     let final_report = frontend.shutdown();
     println!("\nfinal report after graceful shutdown:");

@@ -95,6 +95,102 @@ fn end_to_end_search_report_and_health_over_the_socket() {
 }
 
 #[test]
+fn observability_endpoints_over_the_socket() {
+    let (frontend, addr, corpus) = tiny_frontend(1 << 20);
+    let mut client = HttpClient::connect(addr).expect("client connects");
+
+    let n = 5;
+    for qi in 0..n {
+        let response = client
+            .post_json("/v1/search", &[], &search_body(corpus.vectors.get(qi)))
+            .expect("search");
+        assert_eq!(response.status, 200);
+    }
+
+    // The scrape endpoint speaks Prometheus text exposition, not JSON.
+    let metrics = client.get("/v1/metrics").expect("metrics");
+    assert_eq!(metrics.status, 200);
+    assert!(
+        metrics
+            .header("content-type")
+            .is_some_and(|ct| ct.starts_with("text/plain")),
+        "exposition content type"
+    );
+    let text = String::from_utf8(metrics.body.clone()).expect("UTF-8 exposition");
+    let value = |name: &str| -> f64 {
+        text.lines()
+            .filter(|l| !l.starts_with('#'))
+            .find_map(|l| {
+                let (key, v) = l.rsplit_once(' ')?;
+                (key == name).then(|| v.parse().expect("numeric sample"))
+            })
+            .unwrap_or_else(|| panic!("metric {name} missing from scrape"))
+    };
+    assert_eq!(value("vlite_admitted_total") as u64, n as u64);
+    assert_eq!(value("vlite_completed_total") as u64, n as u64);
+    assert_eq!(value("vlite_rejected_total"), 0.0);
+    assert_eq!(
+        value("vlite_stage_seconds_count{stage=\"search\"}") as u64,
+        n as u64
+    );
+    assert!(value("vlite_uptime_seconds") >= 0.0);
+    assert!(value("vlite_queue_depth") >= 0.0);
+
+    // Scraped totals agree with the JSON report of the same run.
+    let report = client.get("/v1/report").expect("report");
+    let report_json = report.json().expect("report is JSON");
+    assert_eq!(
+        report_json.get("completed").and_then(Json::as_u64),
+        Some(value("vlite_completed_total") as u64)
+    );
+
+    // Trace timelines: every search of this run is in the recent ring.
+    let traces = client.get("/v1/traces").expect("traces");
+    assert_eq!(traces.status, 200);
+    let traces_json = traces.json().expect("traces are JSON");
+    let recent = traces_json
+        .get("recent")
+        .and_then(Json::as_array)
+        .expect("recent ring");
+    assert_eq!(recent.len(), n);
+    for trace in recent {
+        let spans = trace.get("spans").and_then(Json::as_array).expect("spans");
+        assert!(spans.len() >= 2, "queue and search spans at minimum");
+    }
+
+    // The event journal renders (possibly empty on an undisturbed run).
+    let events = client.get("/v1/events").expect("events");
+    assert_eq!(events.status, 200);
+    assert!(events
+        .json()
+        .expect("events are JSON")
+        .get("events")
+        .is_some());
+
+    // /healthz carries the new lock-free liveness fields.
+    let health = client.get("/healthz").expect("healthz");
+    let health_json = health.json().expect("healthz is JSON");
+    assert_eq!(
+        health_json.get("completed").and_then(Json::as_u64),
+        Some(n as u64)
+    );
+    assert_eq!(
+        health_json.get("worker_panics").and_then(Json::as_u64),
+        Some(0)
+    );
+    assert_eq!(health_json.get("obs_enabled"), Some(&Json::Bool(true)));
+
+    // The new paths are GET-only.
+    let post = client
+        .post_json("/v1/metrics", &[], "{}")
+        .expect("405 exchange");
+    assert_eq!(post.status, 405);
+    assert_eq!(post.header("allow"), Some("GET"));
+
+    frontend.shutdown();
+}
+
+#[test]
 fn malformed_request_lines_get_400_and_a_closed_connection() {
     let (frontend, addr, _) = tiny_frontend(1 << 20);
     for bad in [

@@ -1,0 +1,323 @@
+//! Integration: the always-on telemetry plane against the exact report.
+//!
+//! The obs plane is *additive*: the mutex-guarded `ServeMetrics` stays the
+//! source of truth for `ServeReport`, and the lock-free counters/histograms
+//! mirror it. These tests pin the contract from the outside:
+//!
+//! 1. After a run, every Prometheus-scraped counter equals the exact
+//!    report's total, and the stage histograms saw exactly one sample per
+//!    completed request (retrieval-only and co-scheduled).
+//! 2. The trace rings capture per-request waterfalls whose span boundaries
+//!    reproduce the delivered timings, and a zero slow-threshold routes
+//!    every trace into the slow ring.
+//! 3. A disabled plane records nothing while leaving the exact report
+//!    untouched.
+//! 4. Hot-path recording is lock-free: writers hammering one plane from
+//!    many threads lose no samples even while a scraper renders the
+//!    exposition concurrently (no global lock to convoy on).
+
+use std::sync::Arc;
+
+use vectorlite_rag::core::RealConfig;
+use vectorlite_rag::serve::{GenerationConfig, ObsConfig, ObsPlane, RagServer, ServeConfig};
+use vectorlite_rag::workload::{CorpusConfig, SyntheticCorpus};
+
+fn corpus() -> SyntheticCorpus {
+    SyntheticCorpus::generate(&CorpusConfig {
+        n_vectors: 4_000,
+        dim: 12,
+        n_centers: 16,
+        zipf_exponent: 1.1,
+        noise: 0.25,
+        seed: 23,
+    })
+}
+
+fn config() -> ServeConfig {
+    let mut config = ServeConfig::small();
+    config.real = RealConfig {
+        ivf: vectorlite_rag::ann::IvfConfig::new(32),
+        nprobe: 8,
+        top_k: 8,
+        n_profile_queries: 256,
+        slo_search: 0.050,
+        mu_llm0: 50.0,
+        kv_bytes_full: 8 << 30,
+        n_shards: 2,
+        seed: 0xab5,
+        coverage_override: Some(0.3),
+    };
+    config
+}
+
+/// Extracts one sample value from a Prometheus text exposition. `name`
+/// includes labels when the family has them, e.g.
+/// `vlite_stage_seconds_count{stage="search"}`.
+fn prom_value(text: &str, name: &str) -> f64 {
+    for line in text.lines() {
+        if line.starts_with('#') {
+            continue;
+        }
+        if let Some((key, value)) = line.rsplit_once(' ') {
+            if key == name {
+                return value
+                    .parse()
+                    .unwrap_or_else(|_| panic!("metric {name} has non-numeric value {value:?}"));
+            }
+        }
+    }
+    panic!("metric {name} not found in exposition");
+}
+
+#[test]
+fn scraped_counters_match_the_exact_report() {
+    let corpus = corpus();
+    let server = RagServer::start(&corpus, config()).expect("server starts");
+    let queries = corpus.queries(48, 17);
+    let tickets: Vec<_> = queries
+        .iter()
+        .map(|q| server.submit(q.to_vec()).expect("admitted"))
+        .collect();
+    for ticket in tickets {
+        ticket.wait().expect("server alive");
+    }
+
+    // Counters that settle before the ticket reply is sent (the obs hook
+    // runs first in `complete_query`) are exact the moment every wait
+    // returns — scrape and compare against the live report.
+    let text = server.prometheus_text();
+    let report = server.report();
+    assert_eq!(
+        prom_value(&text, "vlite_admitted_total") as u64,
+        report.admitted
+    );
+    assert_eq!(
+        prom_value(&text, "vlite_rejected_total") as u64,
+        report.rejected
+    );
+    assert_eq!(
+        prom_value(&text, "vlite_completed_total") as u64,
+        report.completed
+    );
+    assert_eq!(report.completed, 48);
+    assert_eq!(
+        prom_value(&text, "vlite_stage_seconds_count{stage=\"search\"}") as u64,
+        report.completed,
+        "one search sample per completed request"
+    );
+    assert_eq!(
+        prom_value(&text, "vlite_stage_seconds_count{stage=\"queue\"}") as u64,
+        report.completed
+    );
+    assert_eq!(
+        prom_value(&text, "vlite_stage_seconds_count{stage=\"e2e\"}") as u64,
+        report.completed
+    );
+    // Retrieval-only server: no generation stages recorded.
+    assert_eq!(
+        prom_value(&text, "vlite_stage_seconds_count{stage=\"ttft\"}"),
+        0.0
+    );
+    assert_eq!(prom_value(&text, "vlite_gen_sheds_total"), 0.0);
+
+    // Batch counters are finalized by the dispatcher after the last reply,
+    // so compare them post-shutdown (every worker joined) via the handle
+    // that outlives the server.
+    let obs = server.obs_handle();
+    let report = server.shutdown();
+    assert_eq!(obs.admitted.get(), report.admitted);
+    assert_eq!(obs.completed.get(), report.completed);
+    assert_eq!(obs.rejected.get(), report.rejected);
+    assert_eq!(obs.batches.get(), report.batches);
+    assert_eq!(
+        obs.batched_requests.get(),
+        (report.mean_batch * report.batches as f64).round() as u64,
+        "mean batch size is batched_requests / batches"
+    );
+    // Histogram sums track the exact recorders (sums are exact up to
+    // nanosecond truncation — only the *positions* are bucketed).
+    let search = obs.stage("search").expect("known stage");
+    assert_eq!(search.count(), report.completed);
+    let exact_sum = report.search.mean * report.completed as f64;
+    assert!(
+        (search.sum_seconds() - exact_sum).abs() <= 1e-6 * exact_sum.max(1.0),
+        "histogram sum {} vs exact {}",
+        search.sum_seconds(),
+        exact_sum
+    );
+}
+
+#[test]
+fn co_scheduled_run_records_generation_stages_and_traces() {
+    let corpus = corpus();
+    let mut config = config();
+    config.generation = Some(GenerationConfig::tiny());
+    // Capture every request in the slow ring regardless of latency.
+    config.obs.slow_threshold_s = 0.0;
+    let n = 32;
+    let server = RagServer::start(&corpus, config).expect("server starts");
+    let queries = corpus.queries(n, 29);
+    let tickets: Vec<_> = queries
+        .iter()
+        .map(|q| server.submit(q.to_vec()).expect("admitted"))
+        .collect();
+    for ticket in tickets {
+        let response = ticket.wait().expect("server alive");
+        assert!(response.timings.generation.is_some(), "co-scheduled reply");
+    }
+
+    let obs = server.obs_handle();
+    let report = server.shutdown();
+    assert_eq!(report.completed, n as u64);
+    assert_eq!(obs.completed.get(), report.completed);
+    assert_eq!(obs.gen_sheds.get(), report.gen_sheds);
+
+    // Generation stages record once per delivered (non-shed) request.
+    let delivered = report.completed - report.gen_sheds;
+    for stage in ["ttft", "gen_queue", "prefill", "decode"] {
+        assert_eq!(
+            obs.stage(stage).expect("known stage").count(),
+            delivered,
+            "stage {stage}"
+        );
+    }
+
+    // Every trace landed in both rings (threshold 0.0), with a waterfall
+    // whose boundaries reproduce the TTFT identity.
+    let recent = obs.recent_traces();
+    let slow = obs.slow_traces();
+    assert_eq!(recent.len(), n);
+    assert_eq!(slow.len(), n);
+    for trace in &recent {
+        if trace.shed {
+            continue;
+        }
+        let span = |stage: &str| {
+            trace
+                .spans
+                .iter()
+                .find(|s| s.stage == stage)
+                .unwrap_or_else(|| panic!("trace {} missing span {stage}", trace.id))
+        };
+        // Cumulative offsets: each stage starts where the previous ended.
+        assert_eq!(span("queue").start_s, 0.0);
+        assert_eq!(span("queue").end_s, span("search").start_s);
+        assert_eq!(span("search").end_s, span("gen_queue").start_s);
+        assert_eq!(span("gen_queue").end_s, span("prefill").start_s);
+        assert_eq!(span("prefill").end_s, span("decode").start_s);
+        // first_token is a zero-length marker at the prefill boundary:
+        // ttft = queue + search + gen_queue + prefill.
+        let first = span("first_token");
+        assert_eq!(first.start_s, first.end_s);
+        assert!((first.start_s - span("prefill").end_s).abs() < 1e-9);
+        assert!(
+            span("decode").end_s <= trace.e2e_s + 1e-9,
+            "decode must end by e2e"
+        );
+    }
+}
+
+#[test]
+fn disabled_plane_records_nothing_and_report_is_unaffected() {
+    let corpus = corpus();
+    let mut config = config();
+    config.obs.enabled = false;
+    let server = RagServer::start(&corpus, config).expect("server starts");
+    let queries = corpus.queries(16, 31);
+    let tickets: Vec<_> = queries
+        .iter()
+        .map(|q| server.submit(q.to_vec()).expect("admitted"))
+        .collect();
+    for ticket in tickets {
+        ticket.wait().expect("server alive");
+    }
+
+    // The exposition still renders (scrape-time gauges stay live), but
+    // every plane-recorded family reads zero.
+    let text = server.prometheus_text();
+    assert_eq!(prom_value(&text, "vlite_admitted_total"), 0.0);
+    assert_eq!(prom_value(&text, "vlite_completed_total"), 0.0);
+
+    let obs = server.obs_handle();
+    let report = server.shutdown();
+    assert!(!obs.enabled());
+    assert_eq!(obs.completed.get(), 0);
+    assert!(obs.recent_traces().is_empty());
+    assert!(obs.slow_traces().is_empty());
+    assert!(obs.journal_snapshot().is_empty());
+    // The exact report never depended on the plane.
+    assert_eq!(report.completed, 16);
+}
+
+// The lock-freedom pin: concurrent writers plus a concurrent scraper, no
+// global lock to convoy on, and the final totals are exact. A mutex-guarded
+// plane would still pass the counting half, but the scraper here renders
+// the full exposition in a tight loop the whole time — with the writers'
+// hot path taking any shared lock this test becomes a convoy (and the
+// sharded `Counter` in `vlite_metrics::obs` has its own loss-freedom
+// proptest); together they pin "recording never serializes on a lock".
+#[test]
+fn concurrent_recording_with_live_scrapes_loses_nothing() {
+    use vectorlite_rag::serve::TenantId;
+
+    let plane = Arc::new(ObsPlane::new(&ObsConfig {
+        slow_threshold_s: 0.5,
+        ..ObsConfig::default()
+    }));
+    let writers = 8;
+    let per_writer: u64 = 20_000;
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+    let scraper = {
+        let plane = Arc::clone(&plane);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut scrapes = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let mut out = String::new();
+                plane.prometheus_into(&mut out);
+                assert!(out.contains("vlite_admitted_total"));
+                scrapes += 1;
+            }
+            scrapes
+        })
+    };
+
+    let handles: Vec<_> = (0..writers)
+        .map(|w| {
+            let plane = Arc::clone(&plane);
+            std::thread::spawn(move || {
+                for i in 0..per_writer {
+                    plane.on_admit();
+                    let timings = vectorlite_rag::serve::RequestTimings {
+                        queue: 1e-4,
+                        search: 1e-3 * (1.0 + (i % 7) as f64),
+                        e2e: 1e-4 + 1e-3 * (1.0 + (i % 7) as f64),
+                        generation: None,
+                    };
+                    plane.on_request(
+                        w * per_writer + i,
+                        TenantId(0),
+                        i,
+                        &timings,
+                        true,
+                        None,
+                        false,
+                    );
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("writer");
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let scrapes = scraper.join().expect("scraper");
+
+    let total = writers * per_writer;
+    assert_eq!(plane.admitted.get(), total);
+    assert_eq!(plane.completed.get(), total);
+    assert_eq!(plane.stage("search").expect("stage").count(), total);
+    assert_eq!(plane.stage("e2e").expect("stage").count(), total);
+    assert!(scrapes > 0, "scraper ran concurrently with the writers");
+}
