@@ -1,0 +1,375 @@
+//! A small comment/string/char-literal-aware Rust lexer.
+//!
+//! The analyzer's rules are textual, so the one thing the lexer must get
+//! right is *where code stops and prose begins*: a rule pattern inside a
+//! string literal, a raw string, a block comment, or a `//` comment must
+//! never fire, while the same bytes in code position must. Rather than
+//! produce a token stream, [`lex`] classifies every byte of the source and
+//! returns a per-line *code view* (non-code bytes blanked to spaces, so
+//! byte offsets and line lengths are preserved) plus a per-line *comment
+//! view* (the text of any comments on that line) — rules match on the
+//! former and read suppressions/justifications from the latter.
+//!
+//! Handled: nested `/* */` block comments, `//` line comments (including
+//! doc comments), `"…"` strings with escapes, raw strings `r"…"` /
+//! `r#"…"#` with any hash count, byte and raw-byte strings, char and byte
+//! literals, and the `'lifetime` ambiguity (a `'` followed by an
+//! identifier with no closing quote is a lifetime, not a char literal).
+
+/// One source line, split into its code and comment parts.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// The line with comments, strings and char literals blanked to
+    /// spaces. Same byte length as the original line.
+    pub code: String,
+    /// The concatenated text of comments on this line (without `//`
+    /// markers), empty when the line has none.
+    pub comment: String,
+    /// Whether the line is inside a `#[cfg(test)]` item's braces.
+    pub in_test: bool,
+}
+
+/// A lexed file: per-line code/comment views plus test-region marks.
+#[derive(Debug)]
+pub struct FileView {
+    /// The classified lines, in order.
+    pub lines: Vec<Line>,
+    /// All code lines joined with `\n` — what patterns match against.
+    pub code_text: String,
+}
+
+impl FileView {
+    /// Maps a byte offset in [`FileView::code_text`] to a 1-indexed line.
+    pub fn line_of(&self, offset: usize) -> usize {
+        let mut consumed = 0usize;
+        for (i, line) in self.lines.iter().enumerate() {
+            let end = consumed + line.code.len();
+            if offset <= end {
+                return i + 1;
+            }
+            consumed = end + 1; // the joining '\n'
+        }
+        self.lines.len().max(1)
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Class {
+    Code,
+    Comment,
+    Quoted,
+}
+
+/// Classifies `source` into per-line code and comment views.
+pub fn lex(source: &str) -> FileView {
+    let bytes = source.as_bytes();
+    let mut class = vec![Class::Code; bytes.len()];
+    let mut i = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let end = line_end(bytes, i);
+                mark(&mut class, i, end, Class::Comment);
+                i = end;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let end = block_comment_end(bytes, i);
+                mark(&mut class, i, end, Class::Comment);
+                i = end;
+            }
+            b'"' => {
+                let end = string_end(bytes, i + 1);
+                mark(&mut class, i, end, Class::Quoted);
+                i = end;
+            }
+            b'r' if is_raw_string_start(bytes, i) => {
+                let end = raw_string_end(bytes, i + 1);
+                mark(&mut class, i, end, Class::Quoted);
+                i = end;
+            }
+            b'b' if bytes.get(i + 1) == Some(&b'"') => {
+                let end = string_end(bytes, i + 2);
+                mark(&mut class, i, end, Class::Quoted);
+                i = end;
+            }
+            b'b' if bytes.get(i + 1) == Some(&b'r') && is_raw_string_start(bytes, i + 1) => {
+                let end = raw_string_end(bytes, i + 2);
+                mark(&mut class, i, end, Class::Quoted);
+                i = end;
+            }
+            b'b' if bytes.get(i + 1) == Some(&b'\'') => {
+                let end = char_literal_end(bytes, i + 2).unwrap_or(i + 2);
+                mark(&mut class, i, end, Class::Quoted);
+                i = end;
+            }
+            b'\'' => {
+                // Char literal or lifetime. `'\…'` and `'x'` are literals;
+                // `'ident` with no closing quote within a couple of chars
+                // is a lifetime and stays code.
+                if let Some(end) = char_literal_end(bytes, i + 1) {
+                    mark(&mut class, i, end, Class::Quoted);
+                    i = end;
+                } else {
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+
+    let mut lines = Vec::new();
+    for (start, end) in line_spans(bytes) {
+        let mut code = String::with_capacity(end - start);
+        let mut comment = String::new();
+        for j in start..end {
+            let ch = bytes[j];
+            match class[j] {
+                Class::Code => code.push(if ch.is_ascii() { ch as char } else { ' ' }),
+                Class::Comment => {
+                    code.push(' ');
+                    if ch.is_ascii() && ch != b'/' && ch != b'*' {
+                        comment.push(ch as char);
+                    } else if !ch.is_ascii() {
+                        comment.push(' ');
+                    }
+                }
+                Class::Quoted => code.push(' '),
+            }
+        }
+        lines.push(Line {
+            code,
+            comment,
+            in_test: false,
+        });
+    }
+    mark_test_regions(&mut lines);
+    let code_text = lines
+        .iter()
+        .map(|l| l.code.as_str())
+        .collect::<Vec<_>>()
+        .join("\n");
+    FileView { lines, code_text }
+}
+
+fn mark(class: &mut [Class], from: usize, to: usize, c: Class) {
+    for slot in class.iter_mut().take(to).skip(from) {
+        *slot = c;
+    }
+}
+
+fn line_end(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len() && bytes[i] != b'\n' {
+        i += 1;
+    }
+    i
+}
+
+fn line_spans(bytes: &[u8]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut start = 0usize;
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'\n' {
+            spans.push((start, i));
+            start = i + 1;
+        }
+    }
+    spans.push((start, bytes.len()));
+    spans
+}
+
+/// End (exclusive) of a nested block comment starting at `/*`.
+fn block_comment_end(bytes: &[u8], start: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = start;
+    while i < bytes.len() {
+        if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+            depth += 1;
+            i += 2;
+        } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+            depth -= 1;
+            i += 2;
+            if depth == 0 {
+                return i;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    bytes.len()
+}
+
+/// End (exclusive) of a `"…"` string whose contents start at `i`.
+fn string_end(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    bytes.len()
+}
+
+/// Whether `r` at `i` begins a raw (byte) string: `r"` or `r#…#"`.
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    let mut j = i + 1;
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&b'"')
+}
+
+/// End (exclusive) of a raw string; `i` points just past the leading `r`.
+fn raw_string_end(bytes: &[u8], mut i: usize) -> usize {
+    let mut hashes = 0usize;
+    while bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    debug_assert_eq!(bytes.get(i), Some(&b'"'));
+    i += 1;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while seen < hashes && bytes.get(j) == Some(&b'#') {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return j;
+            }
+        }
+        i += 1;
+    }
+    bytes.len()
+}
+
+/// End (exclusive) of a char literal whose contents start at `i`, or
+/// `None` when the quote at `i - 1` is a lifetime.
+fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
+    match bytes.get(i) {
+        Some(b'\\') => {
+            // Escaped char: scan to the closing quote.
+            let mut j = i + 1;
+            while j < bytes.len() {
+                match bytes[j] {
+                    b'\\' => j += 2,
+                    b'\'' => return Some(j + 1),
+                    b'\n' => return None,
+                    _ => j += 1,
+                }
+            }
+            None
+        }
+        Some(_) => {
+            // `'x'` (possibly multibyte): a closing quote within the next
+            // 1–4 bytes makes it a literal; otherwise it is a lifetime.
+            let end = (i + 5).min(bytes.len());
+            for (j, &b) in bytes.iter().enumerate().take(end).skip(i + 1) {
+                if b == b'\'' {
+                    return Some(j + 1);
+                }
+                if !is_ident_byte(b) && b < 0x80 {
+                    return None;
+                }
+            }
+            None
+        }
+        None => None,
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Marks lines inside `#[cfg(test)]` items by tracking brace depth in the
+/// code view from each attribute to its item's closing brace.
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut i = 0usize;
+    while i < lines.len() {
+        if lines[i].code.contains("#[cfg(test)]") {
+            // Find the opening brace of the annotated item.
+            let mut depth = 0i32;
+            let mut opened = false;
+            let mut j = i;
+            'outer: while j < lines.len() {
+                for ch in lines[j].code.chars() {
+                    match ch {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                    if opened && depth == 0 {
+                        break 'outer;
+                    }
+                }
+                j += 1;
+            }
+            let end = j.min(lines.len() - 1);
+            for line in lines.iter_mut().take(end + 1).skip(i) {
+                line.in_test = true;
+            }
+            i = end + 1;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let v = lex("let a = \"Instant::now()\"; // Instant::now()\nlet b = 1;");
+        assert!(!v.lines[0].code.contains("Instant"));
+        assert!(v.lines[0].comment.contains("Instant::now()"));
+        assert!(v.lines[0].code.contains("let a ="));
+        assert_eq!(v.lines[1].code, "let b = 1;");
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_are_blanked() {
+        let v = lex("let s = r#\"a \" quote .unwrap() \"#; x.unwrap();");
+        let code = &v.lines[0].code;
+        assert_eq!(code.matches(".unwrap()").count(), 1, "{code:?}");
+    }
+
+    #[test]
+    fn nested_block_comments_end_correctly() {
+        let v = lex("/* a /* b */ still comment */ code()");
+        assert!(v.lines[0].code.contains("code()"));
+        assert!(!v.lines[0].code.contains("still"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let v = lex("fn f<'a>(x: &'a str) -> &'a str { x } let c = 'x'; let s = \"'\";");
+        let code = &v.lines[0].code;
+        assert!(code.contains("fn f<'a>"), "{code:?}");
+        assert!(!code.contains("'x'"), "char literal blanked: {code:?}");
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}";
+        let v = lex(src);
+        assert!(!v.lines[0].in_test);
+        assert!(v.lines[1].in_test && v.lines[2].in_test && v.lines[3].in_test);
+        assert!(v.lines[4].in_test);
+        assert!(!v.lines[5].in_test);
+    }
+
+    #[test]
+    fn line_of_maps_offsets() {
+        let v = lex("a\nbb\nccc");
+        let pos = v.code_text.find("ccc").unwrap();
+        assert_eq!(v.line_of(pos), 3);
+    }
+}

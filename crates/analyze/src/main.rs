@@ -1,0 +1,117 @@
+//! The `vlite-analyze` CLI: scan the workspace, report, gate.
+//!
+//! ```text
+//! vlite-analyze [--root <dir>] [--check] [--json] [--max-millis <n>] [--list-rules]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` diagnostics found or time budget exceeded,
+//! `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+// vlite-lint itself is allowlisted for clock-discipline: it times its own
+// scan against the CI budget and never runs under VirtualClock.
+use std::time::Instant;
+
+use vlite_analyze::{analyze_workspace, rules};
+
+struct Options {
+    root: PathBuf,
+    json: bool,
+    max_millis: Option<u128>,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        json: false,
+        max_millis: None,
+        list_rules: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let v = args.next().ok_or("--root needs a directory")?;
+                opts.root = PathBuf::from(v);
+            }
+            // --check is the default behaviour; accepted for CI clarity.
+            "--check" => {}
+            "--json" => opts.json = true,
+            "--max-millis" => {
+                let v = args.next().ok_or("--max-millis needs a number")?;
+                opts.max_millis = Some(v.parse::<u128>().map_err(|e| e.to_string())?);
+            }
+            "--list-rules" => opts.list_rules = true,
+            "-h" | "--help" => {
+                return Err(String::from(
+                    "usage: vlite-analyze [--root <dir>] [--check] [--json] \
+                     [--max-millis <n>] [--list-rules]",
+                ))
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.list_rules {
+        for rule in rules() {
+            println!("{:<18} {}", rule.id, rule.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let started = Instant::now();
+    let mut report = match analyze_workspace(&opts.root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("vlite-analyze: scan failed: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    report.elapsed_ms = started.elapsed().as_millis();
+
+    if opts.json {
+        print!("{}", report.to_json());
+    } else {
+        for d in &report.diagnostics {
+            println!("{d}");
+        }
+        println!(
+            "vlite-lint: {} diagnostic{} across {} files in {} ms",
+            report.diagnostics.len(),
+            if report.diagnostics.len() == 1 {
+                ""
+            } else {
+                "s"
+            },
+            report.files_scanned,
+            report.elapsed_ms
+        );
+    }
+
+    let mut failed = !report.diagnostics.is_empty();
+    if let Some(budget) = opts.max_millis {
+        if report.elapsed_ms > budget {
+            eprintln!(
+                "vlite-analyze: scan took {} ms, over the {} ms budget — keep the gate cheap",
+                report.elapsed_ms, budget
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,33 @@
+//! Fixture: suppression parsing and hygiene.
+//!
+//! Scanned by `tests/analyzer.rs` under a pretend `crates/serve/src/`
+//! relpath; the workspace scanner skips this directory entirely.
+
+pub fn justified_waiver() {
+    // vlite-allow(clock-discipline): fixture exercising a valid waiver.
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+pub fn trailing_waiver() {
+    std::thread::sleep(std::time::Duration::from_millis(1)); // vlite-allow(clock-discipline): trailing waiver covers its own line.
+}
+
+pub fn waiver_missing_reason() {
+    // vlite-allow(clock-discipline)
+    std::thread::sleep(std::time::Duration::from_millis(2));
+}
+
+pub fn waiver_names_unknown_rule() {
+    // vlite-allow(not-a-rule): no rule has this id.
+    std::thread::sleep(std::time::Duration::from_millis(3));
+}
+
+pub fn waiver_suppresses_nothing() {
+    // vlite-allow(lock-hygiene): nothing on the next line locks.
+    let _ = 1 + 1;
+}
+
+pub fn prose_mentioning_the_syntax_is_not_a_waiver() {
+    // vlite-allow(<rule>): angle brackets mean this is prose, not a waiver.
+    let _ = 2 + 2;
+}

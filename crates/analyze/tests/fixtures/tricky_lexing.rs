@@ -1,0 +1,39 @@
+//! Fixture: rule-pattern text inside strings, raw strings and comments
+//! must never fire; the two real violations at the bottom must.
+//!
+//! Scanned by `tests/analyzer.rs` under a pretend `crates/serve/src/`
+//! relpath; the workspace scanner skips this directory entirely.
+
+pub fn quoted_patterns_do_not_fire() -> (usize, usize, String) {
+    let a = "Instant::now() inside a plain string";
+    let b = r#"raw string with .lock().unwrap() and "escaped quotes" inside"#;
+    let c = format!("SystemTime::now() mentioned next to code: {}", a.len());
+    let bytes = b"thread::sleep(Duration::from_secs(1)) in a byte string";
+    (a.len() + bytes.len(), b.len(), c)
+}
+
+/* block comment: thread::sleep(Duration::from_secs(1)) must not fire
+   /* nested block comment: Instant::now() still inside the outer one */
+   still comment: .lock().unwrap() */
+// line comment: mpsc::channel( and Ordering::Relaxed must not fire
+
+pub fn lifetimes_are_not_char_literals<'a>(x: &'a str) -> &'a str {
+    // 'a above must not open a character literal and swallow the rest of
+    // the file as quoted text; the violations below must still be seen.
+    x
+}
+
+pub fn real_sleep_violation() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+pub fn real_lock_violation(m: &std::sync::Mutex<u32>) -> u32 {
+    *m.lock()
+        .unwrap()
+}
+
+pub fn chains_do_not_cross_statements(m: &std::sync::Mutex<u32>) -> u32 {
+    let g = m.lock();
+    drop(g);
+    Option::<u32>::Some(3).unwrap()
+}

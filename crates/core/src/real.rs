@@ -123,18 +123,24 @@ impl RealDeployment {
             let (mut t_cq, mut t_lut) = (0.0f64, 0.0f64);
             for rep in 0..reps {
                 let start_q = (rep * batch) % calibration.len().saturating_sub(batch).max(1);
+                // vlite-allow(clock-discipline): PerfModel calibration times
+                // the real machine; virtualizing it would fit a fiction.
                 let t0 = Instant::now();
                 let mut probe_lists = Vec::with_capacity(batch);
                 for i in 0..batch {
                     let q = calibration.get((start_q + i) % calibration.len());
                     probe_lists.push(index.probe(q, config.nprobe));
                 }
+                // vlite-allow(clock-discipline): same wall-clock calibration
+                // split point as t0 above.
                 let cq_done = Instant::now();
                 for (i, probes) in probe_lists.iter().enumerate() {
                     let q = calibration.get((start_q + i) % calibration.len());
                     let lists: Vec<u32> = probes.iter().map(|p| p.list).collect();
                     let _ = index.scan_lists(q, &lists, config.top_k);
                 }
+                // vlite-allow(clock-discipline): same wall-clock calibration
+                // split point as t0 above.
                 let scan_done = Instant::now();
                 t_cq += cq_done.duration_since(t0).as_secs_f64();
                 t_lut += scan_done.duration_since(cq_done).as_secs_f64();

@@ -54,6 +54,8 @@ struct PaddedCell(AtomicU64);
 fn thread_shard() -> usize {
     static NEXT: AtomicUsize = AtomicUsize::new(0);
     thread_local! {
+        // relaxed: fresh-id allocation; each thread only needs a distinct
+        // value, no ordering with other memory.
         static SHARD: usize = NEXT.fetch_add(1, Ordering::Relaxed);
     }
     SHARD.with(|s| *s)
@@ -78,6 +80,7 @@ impl Counter {
 
     /// Adds `n` to the counter (relaxed; never blocks).
     pub fn add(&self, n: u64) {
+        // relaxed: monotone stat shard; get() tolerates in-flight bumps.
         self.cells[thread_shard() & (COUNTER_SHARDS - 1)]
             .0
             .fetch_add(n, Ordering::Relaxed);
@@ -90,6 +93,8 @@ impl Counter {
 
     /// The current total across all shards.
     pub fn get(&self) -> u64 {
+        // relaxed: the documented monotonic-counter read guarantee needs
+        // no cross-shard ordering.
         self.cells.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
     }
 }
@@ -116,11 +121,13 @@ impl Gauge {
 
     /// Sets the gauge.
     pub fn set(&self, value: f64) {
+        // relaxed: last-write-wins gauge; any published value is complete.
         self.bits.store(value.to_bits(), Ordering::Relaxed);
     }
 
     /// Reads the gauge.
     pub fn get(&self) -> f64 {
+        // relaxed: reads one complete bit-cast word; staleness is fine.
         f64::from_bits(self.bits.load(Ordering::Relaxed))
     }
 }
@@ -232,12 +239,16 @@ impl StreamingHistogram {
         } else {
             u64::MAX
         };
+        // relaxed: each field is an independent tally; readers tolerate a
+        // bucket/count/sum triple that tears across concurrent records.
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         // Saturating sum: one pathological sample must not wrap the total.
         let mut prev = self.sum_nanos.load(Ordering::Relaxed);
         loop {
             let next = prev.saturating_add(nanos);
+            // relaxed: the CAS only needs atomicity of this one word; the
+            // sum orders nothing else.
             match self.sum_nanos.compare_exchange_weak(
                 prev,
                 next,
@@ -248,11 +259,13 @@ impl StreamingHistogram {
                 Err(actual) => prev = actual,
             }
         }
+        // relaxed: single-word running maximum, same tally discipline.
         self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
     }
 
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
+        // relaxed: monotone tally read; staleness is acceptable.
         self.count.load(Ordering::Relaxed)
     }
 
@@ -263,11 +276,13 @@ impl StreamingHistogram {
 
     /// Total of all samples, in seconds (saturating at ~584 years).
     pub fn sum_seconds(&self) -> f64 {
+        // relaxed: monotone tally read; staleness is acceptable.
         self.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9
     }
 
     /// Largest recorded sample, in seconds (`0.0` when empty).
     pub fn max_seconds(&self) -> f64 {
+        // relaxed: monotone running-max read; staleness is acceptable.
         let nanos = self.max_nanos.load(Ordering::Relaxed);
         if nanos == u64::MAX {
             f64::INFINITY
@@ -290,6 +305,9 @@ impl StreamingHistogram {
             (0.0..=1.0).contains(&q),
             "quantile must be in [0,1], got {q}"
         );
+        // relaxed: the percentile is already approximate; a snapshot that
+        // tears across buckets shifts the answer by at most the in-flight
+        // samples, which the error bound documents.
         let snapshot: Vec<u64> = self
             .buckets
             .iter()
@@ -318,18 +336,22 @@ impl StreamingHistogram {
     /// Merging is commutative and associative up to the saturating sum, so
     /// per-thread shards can be reduced in any grouping.
     pub fn merge_from(&self, other: &StreamingHistogram) {
+        // relaxed: bucket-wise tally fold; both sides tolerate in-flight
+        // records, so no ordering relates the fields.
         for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
             let n = theirs.load(Ordering::Relaxed);
             if n > 0 {
                 mine.fetch_add(n, Ordering::Relaxed);
             }
         }
+        // relaxed: as above — independent tallies.
         self.count
             .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
         let other_sum = other.sum_nanos.load(Ordering::Relaxed);
         let mut prev = self.sum_nanos.load(Ordering::Relaxed);
         loop {
             let next = prev.saturating_add(other_sum);
+            // relaxed: single-word saturating-sum CAS, as in record().
             match self.sum_nanos.compare_exchange_weak(
                 prev,
                 next,
@@ -340,6 +362,7 @@ impl StreamingHistogram {
                 Err(actual) => prev = actual,
             }
         }
+        // relaxed: single-word running maximum, same tally discipline.
         self.max_nanos
             .fetch_max(other.max_nanos.load(Ordering::Relaxed), Ordering::Relaxed);
     }
@@ -353,6 +376,7 @@ impl StreamingHistogram {
         let mut out = Vec::new();
         let mut cumulative = 0u64;
         for (i, bucket) in self.buckets.iter().enumerate().take(N_BUCKETS - 1) {
+            // relaxed: exposition snapshot; tolerates in-flight records.
             let n = bucket.load(Ordering::Relaxed);
             if n > 0 {
                 cumulative += n;

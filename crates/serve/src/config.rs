@@ -175,6 +175,8 @@ impl StoreConfig {
             Some(dir) => (dir.join("vlite-store.seg"), false),
             None => {
                 static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+                // relaxed: unique-suffix counter; atomicity is all that
+                // distinct temp dirs need.
                 let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let dir =
                     std::env::temp_dir().join(format!("vlite-store-{}-{n}", std::process::id()));

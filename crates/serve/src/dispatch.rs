@@ -56,7 +56,10 @@ pub fn run_dispatcher(
     let n_queries = queries.len();
     let n_shards = routed.first().map_or(0, |r| r.shard_probes.len());
     let shard_flags: Vec<AtomicBool> = (0..n_shards).map(|_| AtomicBool::new(false)).collect();
+    // vlite-allow(bounded-queues): one message per shard per batch; the
+    // fan-in is bounded by the shard count.
     let (shard_tx, shard_rx) = channel::unbounded::<(usize, Vec<Vec<Neighbor>>)>();
+    // vlite-allow(bounded-queues): one message per query in the batch.
     let (cpu_tx, cpu_rx) = channel::unbounded::<(usize, Vec<Neighbor>)>();
 
     let mut results: Vec<Vec<Neighbor>> = vec![Vec::new(); n_queries];
@@ -77,7 +80,9 @@ pub fn run_dispatcher(
                     }
                 }
                 flags[shard].store(true, Ordering::Release);
-                tx.send((shard, partials)).expect("dispatcher alive");
+                // A closed channel means the dispatcher is gone; exiting
+                // quietly beats panicking a scoped worker.
+                let _ = tx.send((shard, partials));
             });
         }
         drop(shard_tx);
@@ -90,7 +95,9 @@ pub fn run_dispatcher(
                     index.scan_lists(queries.get(qi), &r.cpu_probes, k)
                 };
                 // The callback: the query has scanned all assigned clusters.
-                cpu_tx.send((qi, partial)).expect("dispatcher alive");
+                if cpu_tx.send((qi, partial)).is_err() {
+                    return; // dispatcher gone; nothing left to report to
+                }
             }
             drop(cpu_tx);
         });
@@ -99,7 +106,12 @@ pub fn run_dispatcher(
         let mut shard_partials: Vec<Vec<Vec<Neighbor>>> =
             vec![vec![Vec::new(); n_queries]; n_shards];
         for _ in 0..n_shards {
-            let (shard, partials) = shard_rx.recv().expect("shard worker alive");
+            // A worker that died without sending surfaces as Err here; the
+            // batch degrades to the partials that did arrive, and the
+            // scope join below still propagates the worker's panic.
+            let Ok((shard, partials)) = shard_rx.recv() else {
+                break;
+            };
             debug_assert!(shard_flags[shard].load(Ordering::Acquire));
             shard_partials[shard] = partials;
         }

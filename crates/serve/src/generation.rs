@@ -475,7 +475,7 @@ fn shed(shared: &Shared, control_tx: &Sender<Observation>, mut work: GenWork) {
         generation: None,
     };
     {
-        let mut metrics = shared.metrics.lock().expect("metrics poisoned");
+        let mut metrics = crate::sync::lock_recover(&shared.metrics);
         metrics.queue_lat.record(timings.queue);
         metrics.search_lat.record(timings.search);
         metrics.e2e_lat.record(timings.e2e);
@@ -552,7 +552,7 @@ fn finish(shared: &Shared, entry: PendingGen, at: SimTime) {
     };
 
     {
-        let mut metrics = shared.metrics.lock().expect("metrics poisoned");
+        let mut metrics = crate::sync::lock_recover(&shared.metrics);
         metrics.queue_lat.record(timings.queue);
         metrics.search_lat.record(timings.search);
         metrics.e2e_lat.record(timings.e2e);

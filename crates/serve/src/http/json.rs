@@ -408,7 +408,12 @@ impl<'a> Parser<'a> {
             }
             self.digits();
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ASCII");
+        // The scanned range is digits/sign/dot/exponent bytes only, so
+        // UTF-8 decoding cannot fail; degrade to a parse error anyway
+        // rather than panic inside the request path.
+        let Ok(text) = std::str::from_utf8(&self.bytes[start..self.pos]) else {
+            return Err(self.err("a representable number"));
+        };
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|_| self.err("a representable number"))

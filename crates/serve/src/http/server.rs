@@ -24,7 +24,9 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use vlite_sim::SimTime;
 
 use crate::config::HttpConfig;
 use crate::http::json::Json;
@@ -46,7 +48,16 @@ struct FrontendInner {
     config: HttpConfig,
     shutting_down: AtomicBool,
     conn_threads: Mutex<Vec<JoinHandle<()>>>,
-    started: Instant,
+    /// The runtime clock's reading at bind time; uptime is measured on
+    /// the same `Clock` as every other timestamp, so VirtualClock tests
+    /// see a deterministic uptime too.
+    started: SimTime,
+}
+
+impl FrontendInner {
+    fn uptime_seconds(&self) -> f64 {
+        (self.server.clock().now() - self.started).as_secs_f64()
+    }
 }
 
 /// The HTTP/1.1 frontend. Owns the [`RagServer`] and the acceptor thread.
@@ -75,12 +86,13 @@ impl HttpFrontend {
     pub fn bind(server: RagServer, config: &HttpConfig) -> std::io::Result<HttpFrontend> {
         let listener = TcpListener::bind(config.addr.as_str())?;
         let addr = listener.local_addr()?;
+        let started = server.clock().now();
         let inner = Arc::new(FrontendInner {
             server,
             config: config.clone(),
             shutting_down: AtomicBool::new(false),
             conn_threads: Mutex::new(Vec::new()),
-            started: Instant::now(),
+            started,
         });
         let acceptor = {
             let inner = inner.clone();
@@ -131,12 +143,7 @@ impl HttpFrontend {
         if let Some(handle) = self.acceptor.take() {
             let _ = handle.join();
         }
-        let handles = std::mem::take(
-            &mut *inner
-                .conn_threads
-                .lock()
-                .expect("connection table poisoned"),
-        );
+        let handles = std::mem::take(&mut *crate::sync::lock_recover(&inner.conn_threads));
         for handle in handles {
             let _ = handle.join();
         }
@@ -164,10 +171,7 @@ fn acceptor(listener: &TcpListener, inner: &Arc<FrontendInner>) {
                     .name("vlite-http-conn".into())
                     .spawn(move || connection(&conn_inner, stream));
                 if let Ok(handle) = spawned {
-                    let mut threads = inner
-                        .conn_threads
-                        .lock()
-                        .expect("connection table poisoned");
+                    let mut threads = crate::sync::lock_recover(&inner.conn_threads);
                     // Reap finished connections so a long-lived frontend
                     // under churn doesn't accumulate dead handles.
                     threads.retain(|h| !h.is_finished());
@@ -399,7 +403,7 @@ fn metrics_text(inner: &FrontendInner) -> String {
         &mut out,
         "vlite_uptime_seconds",
         "Seconds since the HTTP frontend started",
-        inner.started.elapsed().as_secs_f64(),
+        inner.uptime_seconds(),
     );
     out
 }
@@ -407,10 +411,7 @@ fn metrics_text(inner: &FrontendInner) -> String {
 fn healthz(inner: &FrontendInner) -> Json {
     Json::Obj(vec![
         ("status".into(), Json::Str("ok".into())),
-        (
-            "uptime_s".into(),
-            Json::Num(inner.started.elapsed().as_secs_f64()),
-        ),
+        ("uptime_s".into(), Json::Num(inner.uptime_seconds())),
         (
             "generation".into(),
             Json::Num(inner.server.placement_generation() as f64),

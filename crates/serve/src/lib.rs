@@ -112,6 +112,7 @@ mod queue;
 mod report;
 mod request;
 mod server;
+mod sync;
 
 pub use clock::{Clock, RealClock, VirtualClock};
 pub use config::{

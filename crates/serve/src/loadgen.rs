@@ -362,7 +362,10 @@ pub fn run_open_loop_http(
     assert!(connections > 0, "need at least one connection");
     let arrivals = merged_arrivals(loads, seed);
 
+    // vlite-allow(bounded-queues): the generator enqueues one job per
+    // scripted arrival; the schedule is finite and precomputed.
     let (job_tx, job_rx) = channel::unbounded::<(usize, TenantId, Vec<f32>)>();
+    // vlite-allow(bounded-queues): exactly one outcome per scripted job.
     let (result_tx, result_rx) = channel::unbounded::<(usize, HttpOutcome)>();
     let workers: Vec<std::thread::JoinHandle<()>> = (0..connections)
         .map(|w| {

@@ -74,9 +74,9 @@ pub(crate) fn migrator_worker(shared: &Arc<Shared>, rx: &Receiver<MigrationOrder
     };
     while let Ok(order) = rx.recv() {
         let started = shared.clock.now();
-        let batches_before = shared.metrics.lock().expect("metrics poisoned").batches;
+        let batches_before = crate::sync::lock_recover(&shared.metrics).batches;
         let shift = store.apply_placement(&order.hot);
-        let batches_after = shared.metrics.lock().expect("metrics poisoned").batches;
+        let batches_after = crate::sync::lock_recover(&shared.metrics).batches;
         let event = MigrationEvent {
             placement_generation: order.placement_generation,
             store_generation: shift.generation,

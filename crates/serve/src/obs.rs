@@ -101,13 +101,16 @@ impl<T: Clone> BoundedRing<T> {
 
     /// Appends `item`, evicting the oldest entry when full.
     pub fn push(&self, item: T) {
-        let mut items = self.items.lock().expect("ring poisoned");
+        let mut items = crate::sync::lock_recover(&self.items);
         if self.capacity == 0 {
+            // relaxed: eviction stat counter; the ring's contents are
+            // ordered by the mutex, the counter is a lone tally.
             self.evicted.fetch_add(1, Ordering::Relaxed);
             return;
         }
         if items.len() == self.capacity {
             items.pop_front();
+            // relaxed: eviction stat counter, as above.
             self.evicted.fetch_add(1, Ordering::Relaxed);
         }
         items.push_back(item);
@@ -115,9 +118,7 @@ impl<T: Clone> BoundedRing<T> {
 
     /// The retained items, oldest first.
     pub fn snapshot(&self) -> Vec<T> {
-        self.items
-            .lock()
-            .expect("ring poisoned")
+        crate::sync::lock_recover(&self.items)
             .iter()
             .cloned()
             .collect()
@@ -125,7 +126,7 @@ impl<T: Clone> BoundedRing<T> {
 
     /// Number of retained items.
     pub fn len(&self) -> usize {
-        self.items.lock().expect("ring poisoned").len()
+        crate::sync::lock_recover(&self.items).len()
     }
 
     /// Whether the ring holds nothing.
@@ -135,6 +136,7 @@ impl<T: Clone> BoundedRing<T> {
 
     /// Items evicted (or dropped at capacity 0) over the ring's lifetime.
     pub fn evicted(&self) -> u64 {
+        // relaxed: stat counter read for reporting only.
         self.evicted.load(Ordering::Relaxed)
     }
 }

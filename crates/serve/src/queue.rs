@@ -29,6 +29,7 @@ use crate::config::TenantSpec;
 use crate::request::Job;
 #[cfg(test)]
 use crate::request::TenantId;
+use crate::sync::{lock_recover, wait_recover};
 
 /// One tenant's bounded lane plus its fair-share scheduling state.
 #[derive(Debug)]
@@ -110,7 +111,7 @@ impl AdmissionQueue {
     /// full / the queue is closed. `Err((job, closed))` reports which of
     /// the two happened. Only the submitting tenant's counters are touched.
     pub fn try_push(&self, job: Job) -> Result<(), (Job, bool)> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = lock_recover(&self.inner);
         if inner.closed {
             return Err((job, true));
         }
@@ -136,7 +137,7 @@ impl AdmissionQueue {
     /// `None` once the queue is closed *and* fully empty (graceful shutdown
     /// serves every tenant's backlog first).
     pub fn take_batch(&self, max: usize) -> Option<Vec<Job>> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = lock_recover(&self.inner);
         loop {
             if inner.total_depth > 0 {
                 return Some(inner.drain(max.max(1)));
@@ -144,23 +145,23 @@ impl AdmissionQueue {
             if inner.closed {
                 return None;
             }
-            inner = self.not_empty.wait(inner).expect("queue poisoned");
+            inner = wait_recover(&self.not_empty, inner);
         }
     }
 
     /// Marks the queue closed and wakes every waiter.
     pub fn close(&self) {
-        self.inner.lock().expect("queue poisoned").closed = true;
+        lock_recover(&self.inner).closed = true;
         self.not_empty.notify_all();
     }
 
     /// Requests currently waiting, summed over all tenants.
     pub fn depth(&self) -> usize {
-        self.inner.lock().expect("queue poisoned").total_depth
+        lock_recover(&self.inner).total_depth
     }
 
     pub fn stats(&self) -> QueueStats {
-        let inner = self.inner.lock().expect("queue poisoned");
+        let inner = lock_recover(&self.inner);
         let tenants: Vec<TenantQueueStats> = inner
             .lanes
             .iter()
@@ -292,6 +293,8 @@ mod tests {
         let q = std::sync::Arc::new(single(4));
         let q2 = q.clone();
         let taker = std::thread::spawn(move || q2.take_batch(8).map(|b| b.len()));
+        // vlite-allow(clock-discipline): real-thread rendezvous in a test of
+        // real blocking; no timestamps are recorded against any clock.
         std::thread::sleep(std::time::Duration::from_millis(20));
         q.try_push(job(0, 7)).unwrap();
         assert_eq!(taker.join().unwrap(), Some(1));

@@ -235,14 +235,14 @@ impl Shared {
 
     /// Snapshot of the installed placement.
     pub fn placement_snapshot(&self) -> (Arc<Router>, u64) {
-        let guard = self.placement.read().expect("placement poisoned");
+        let guard = crate::sync::read_recover(&self.placement);
         (guard.router.clone(), guard.generation)
     }
 
     /// Installs a new router, advancing the generation atomically with it.
     /// Returns the new generation.
     pub fn install_placement(&self, router: Router) -> u64 {
-        let mut guard = self.placement.write().expect("placement poisoned");
+        let mut guard = crate::sync::write_recover(&self.placement);
         guard.router = Arc::new(router);
         guard.generation += 1;
         guard.generation
@@ -396,13 +396,21 @@ impl RagServer {
         // Channel topology. Dispatcher ingress is shared by the batcher
         // (Launch) and every worker (completions); per-worker work channels
         // carry Arc'd batches.
+        // vlite-allow(bounded-queues): depth is capped by the admission
+        // queue's per-tenant lanes — only admitted jobs generate messages.
         let (dispatch_tx, dispatch_rx) = channel::unbounded::<DispatchMsg>();
+        // vlite-allow(bounded-queues): carries exactly one unit per
+        // dispatcher-batch completion; bounded by in-flight batches.
         let (done_tx, done_rx) = channel::unbounded::<()>();
+        // vlite-allow(bounded-queues): one observation per completed
+        // request; bounded by the admission queue upstream.
         let (control_tx, control_rx) = channel::unbounded::<Observation>();
         let mut shard_channels = Vec::with_capacity(n_shards);
         let mut threads = Vec::new();
 
         for shard in 0..n_shards {
+            // vlite-allow(bounded-queues): at most one in-flight batch per
+            // shard; the dispatcher launches the next only after completion.
             let (tx, rx) = channel::unbounded::<Arc<BatchWork>>();
             shard_channels.push(tx);
             let shared_ = shared.clone();
@@ -415,6 +423,8 @@ impl RagServer {
             );
         }
 
+        // vlite-allow(bounded-queues): same one-in-flight-batch protocol as
+        // the shard workers above.
         let (cpu_tx, cpu_rx) = channel::unbounded::<Arc<BatchWork>>();
         {
             let shared_ = shared.clone();
@@ -431,6 +441,8 @@ impl RagServer {
         // retrievals to this worker, which runs the LLM engine against the
         // clock and delivers the final (post-decode) responses.
         let gen_tx = config.generation.as_ref().map(|generation| {
+            // vlite-allow(bounded-queues): fed only with admitted, merged
+            // retrievals; KV-aware admission sheds before this can grow.
             let (gen_tx, gen_rx) = channel::unbounded::<GenWork>();
             let shared_ = shared.clone();
             let generation = generation.clone();
@@ -481,6 +493,8 @@ impl RagServer {
         // Tier migrator: subscribes to the control loop's post-swap
         // orders and moves cluster extents between tiers without ever
         // blocking the scan path (see `migrate.rs`).
+        // vlite-allow(bounded-queues): at most one order per repartition,
+        // and the control loop's cooldown spaces repartitions out.
         let (migrate_tx, migrate_rx) = channel::unbounded::<MigrationOrder>();
         {
             let shared_ = shared.clone();
@@ -556,7 +570,11 @@ impl RagServer {
         if tenant.index() >= n_tenants {
             return Err(AdmissionError::UnknownTenant { tenant, n_tenants });
         }
+        // relaxed: a fresh-id counter — uniqueness needs atomicity only,
+        // no ordering with any other memory.
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        // vlite-allow(bounded-queues): a per-request reply channel carries
+        // exactly one response before it is dropped.
         let (reply, rx) = channel::unbounded();
         let job = Job {
             id,
@@ -665,6 +683,7 @@ impl RagServer {
 
     /// Worker scans that panicked and were degraded to empty partials.
     pub fn worker_panics(&self) -> u64 {
+        // relaxed: monotonic stat counter read for reporting only.
         self.shared.worker_panics.load(Ordering::Relaxed)
     }
 
@@ -680,6 +699,7 @@ impl RagServer {
             &mut out,
             "vlite_worker_panics_total",
             "Worker scans that panicked and were degraded to empty partials",
+            // relaxed: monotonic stat counter read for reporting only.
             self.shared.worker_panics.load(Ordering::Relaxed),
         );
         // Lifetime totals = retained ring entries + evictions.
@@ -792,7 +812,7 @@ impl RagServer {
 
     /// Snapshot of the runtime's measurements so far.
     pub fn report(&self) -> ServeReport {
-        let metrics = self.shared.metrics.lock().expect("metrics poisoned");
+        let metrics = crate::sync::lock_recover(&self.shared.metrics);
         let queue_stats = self.shared.queue.stats();
         let repartitions = self.shared.repartitions.snapshot();
         let store = self
@@ -809,6 +829,7 @@ impl RagServer {
             self.shared.slo_search,
             self.shared.generation.as_ref().map(|g| g.slo_ttft),
             self.shared.placement_snapshot().1,
+            // relaxed: monotonic stat counter read for reporting only.
             self.shared.worker_panics.load(Ordering::Relaxed),
         )
     }
@@ -964,6 +985,8 @@ fn degraded_scan(
         None => shared.index.scan_lists(query, lists, k),
     }))
     .unwrap_or_else(|_| {
+        // relaxed: stat counter bump; the degraded partial itself flows
+        // through the dispatch channel, which orders the handoff.
         shared.worker_panics.fetch_add(1, Ordering::Relaxed);
         Vec::new()
     })
@@ -1063,7 +1086,7 @@ fn dispatcher(
         if let Some(state) = &inflight {
             if state.completed == state.batch.jobs.len() {
                 let batch_size = state.batch.jobs.len();
-                let mut metrics = shared.metrics.lock().expect("metrics poisoned");
+                let mut metrics = crate::sync::lock_recover(&shared.metrics);
                 metrics.batches += 1;
                 metrics.batched_requests += batch_size as u64;
                 metrics.max_batch = metrics.max_batch.max(batch_size);
@@ -1158,7 +1181,7 @@ fn complete_query(
     };
 
     {
-        let mut metrics = shared.metrics.lock().expect("metrics poisoned");
+        let mut metrics = crate::sync::lock_recover(&shared.metrics);
         metrics.queue_lat.record(timings.queue);
         metrics.search_lat.record(timings.search);
         metrics.e2e_lat.record(timings.e2e);

@@ -62,6 +62,7 @@
 mod checksum;
 mod mmap;
 mod segment;
+mod sync;
 mod tiered;
 
 pub use checksum::{crc32, Crc32};

@@ -43,6 +43,8 @@ enum Backing {
 ))]
 #[allow(unsafe_code)]
 unsafe impl Send for Mmap {}
+// SAFETY: as for Send above — the mapped bytes are read-only for the
+// mapping's whole lifetime, so concurrent shared access cannot race.
 #[cfg(all(
     target_os = "linux",
     any(target_arch = "x86_64", target_arch = "aarch64")

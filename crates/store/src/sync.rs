@@ -1,0 +1,26 @@
+//! Poisoned-lock recovery for the tier map (same idiom as `vlite-serve`).
+//!
+//! The tier map's write-side critical section is a single pointer swap,
+//! so a panicking writer cannot leave the map half-updated: the guard a
+//! recovering reader obtains always points at a complete, valid
+//! `TierMap`. Panicking every subsequent scan because an
+//! unrelated thread died would turn one fault into a store-wide outage;
+//! recovering the guard keeps the scan path serving. The `lock-hygiene`
+//! rule in `vlite-lint` enforces that acquisitions go through these
+//! helpers instead of `.expect(…)` poisoning panics.
+
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Read-locks `rwlock`, recovering the guard from poisoning.
+pub(crate) fn read_recover<T>(rwlock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    rwlock
+        .read()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Write-locks `rwlock`, recovering the guard from poisoning.
+pub(crate) fn write_recover<T>(rwlock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    rwlock
+        .write()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}

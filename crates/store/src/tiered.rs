@@ -316,12 +316,12 @@ impl TieredStore {
 
     /// The store generation: bumped by every applied tier shift.
     pub fn generation(&self) -> u64 {
-        self.map.read().expect("tier map poisoned").generation
+        crate::sync::read_recover(&self.map).generation
     }
 
     /// The current hot flags, indexed by cluster id.
     pub fn hot_flags(&self) -> Vec<bool> {
-        let map = self.map.read().expect("tier map poisoned");
+        let map = crate::sync::read_recover(&self.map);
         map.entries
             .iter()
             .map(|e| matches!(e, TierEntry::Hot(_)))
@@ -330,7 +330,7 @@ impl TieredStore {
 
     /// Fast-tier residency right now.
     pub fn residency(&self) -> Residency {
-        let map = self.map.read().expect("tier map poisoned");
+        let map = crate::sync::read_recover(&self.map);
         let mut r = Residency {
             hot_clusters: 0,
             total_clusters: map.entries.len(),
@@ -355,10 +355,13 @@ impl TieredStore {
     pub fn stats(&self) -> StoreStats {
         let c = &self.counters;
         StoreStats {
+            // relaxed: independent monotone stat counters; a snapshot may
+            // tear across fields but every value is a real observed count.
             hot_probes: c.hot_probes.load(Ordering::Relaxed),
             cold_probes: c.cold_probes.load(Ordering::Relaxed),
             hot_bytes_scanned: c.hot_bytes_scanned.load(Ordering::Relaxed),
             cold_bytes_scanned: c.cold_bytes_scanned.load(Ordering::Relaxed),
+            // relaxed: same independent stat counters, continued.
             bytes_promoted: c.bytes_promoted.load(Ordering::Relaxed),
             bytes_demoted: c.bytes_demoted.load(Ordering::Relaxed),
             clusters_promoted: c.clusters_promoted.load(Ordering::Relaxed),
@@ -375,10 +378,14 @@ impl TieredStore {
         let map = match self.map.try_read() {
             Ok(guard) => guard.clone(),
             Err(std::sync::TryLockError::WouldBlock) => {
+                // relaxed: contention tally only; ordered by the read lock
+                // acquired on the next line.
                 self.counters.snapshot_waits.fetch_add(1, Ordering::Relaxed);
-                self.map.read().expect("tier map poisoned").clone()
+                crate::sync::read_recover(&self.map).clone()
             }
-            Err(std::sync::TryLockError::Poisoned(_)) => panic!("tier map poisoned"),
+            // A panicking writer cannot leave a torn map (the write-side
+            // critical section is one pointer swap), so recover the guard.
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => poisoned.into_inner().clone(),
         };
         StoreSnapshot {
             segment: self.segment.clone(),
@@ -404,7 +411,7 @@ impl TieredStore {
             self.n_clusters(),
             "hot set must cover every cluster"
         );
-        let old = self.map.read().expect("tier map poisoned").clone();
+        let old = crate::sync::read_recover(&self.map).clone();
         let mut shift = TierShift::default();
         let entries: Vec<TierEntry> = old
             .entries
@@ -432,15 +439,18 @@ impl TieredStore {
         });
         {
             // The only write-side critical section: one pointer swap.
-            let mut guard = self.map.write().expect("tier map poisoned");
+            let mut guard = crate::sync::write_recover(&self.map);
             *guard = next;
             shift.generation = guard.generation;
         }
         let c = &self.counters;
+        // relaxed: migration accounting read only via stats(); the shift
+        // itself is published by the write lock's release above.
         c.bytes_promoted
             .fetch_add(shift.bytes_promoted, Ordering::Relaxed);
         c.bytes_demoted
             .fetch_add(shift.bytes_demoted, Ordering::Relaxed);
+        // relaxed: same migration accounting, continued.
         c.clusters_promoted
             .fetch_add(shift.promoted as u64, Ordering::Relaxed);
         c.clusters_demoted
@@ -529,6 +539,8 @@ impl StoreSnapshot {
     }
 
     fn scan_hot(&self, cluster: u32, arena: &HotCluster, query: &[f32], top: &mut TopK) {
+        // relaxed: hot-path probe tally; only read by stats(), never used
+        // to order memory.
         self.counters.hot_probes.fetch_add(1, Ordering::Relaxed);
         self.counters
             .hot_bytes_scanned
@@ -540,6 +552,8 @@ impl StoreSnapshot {
     }
 
     fn scan_cold(&self, cluster: u32, lut: &SqLut, top: &mut TopK) {
+        // relaxed: cold-path probe tally; only read by stats(), never used
+        // to order memory.
         self.counters.cold_probes.fetch_add(1, Ordering::Relaxed);
         self.counters
             .cold_bytes_scanned

@@ -87,6 +87,8 @@ fn main() {
     if let Ok(hold) = std::env::var("VLITE_HTTP_HOLD") {
         let secs: u64 = hold.parse().unwrap_or(30);
         println!("VLITE_HTTP_HOLD set: serving external traffic for {secs}s ...");
+        // vlite-allow(clock-discipline): interactive demo hold for a human
+        // poking the socket with curl; nothing is timed against it.
         std::thread::sleep(std::time::Duration::from_secs(secs));
     }
 

@@ -228,6 +228,8 @@ fn requests_split_across_many_reads_still_parse() {
     for chunk in bytes.chunks(bytes.len() / 5 + 1) {
         stream.write_all(chunk).expect("writes chunk");
         stream.flush().unwrap();
+        // vlite-allow(clock-discipline): deliberately dribbles bytes slower
+        // than the server's poll interval; the pause is the test subject.
         std::thread::sleep(Duration::from_millis(60));
     }
     let mut reply = String::new();
