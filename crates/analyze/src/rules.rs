@@ -120,16 +120,42 @@ pub fn rules() -> &'static [Rule] {
         },
         Rule {
             id: "unsafe-audit",
-            summary: "`unsafe` only in the audited mmap shim, every site SAFETY-commented",
+            summary: "`unsafe` only in audited scopes (mmap shim, SIMD kernels), every site SAFETY-commented",
             include_tests: true,
             scope: &[],
-            allow: &[(
-                "crates/store/src/mmap.rs",
-                "the workspace's audited unsafe surface: raw mmap/munmap syscalls behind a safe facade",
-            )],
+            allow: &[
+                (
+                    "crates/store/src/mmap.rs",
+                    "the workspace's audited unsafe surface: raw mmap/munmap syscalls behind a safe facade",
+                ),
+                (
+                    "crates/ann/src/kernel/",
+                    "the CPUID-gated std::arch SIMD kernels; every intrinsic block argues \
+                     alignment/length/feature-gate in its SAFETY comment",
+                ),
+            ],
             patterns: &[word(&["unsafe"])],
             check: Check::UnsafeAudit { window: 8 },
             message: "`unsafe` outside the audited allowlist",
+        },
+        Rule {
+            id: "kernel-dispatch",
+            summary: "CPU feature detection only in the kernel dispatcher, never per call or in loops",
+            include_tests: true,
+            scope: &[],
+            allow: &[(
+                "crates/ann/src/kernel/mod.rs",
+                "the dispatcher's one-time OnceLock'd detection — the single place allowed to \
+                 ask the CPU what it supports",
+            )],
+            patterns: &[
+                pat(&["is_x86_feature_detected!"]),
+                pat(&["is_aarch64_feature_detected!"]),
+            ],
+            check: Check::Forbid,
+            message: "CPU feature detection outside the kernel dispatcher; the macro re-reads \
+                      CPUID state and must never sit in a scan loop body — route through \
+                      vlite_ann::kernel (detected()/kernels()), which detects once per process",
         },
         Rule {
             id: "atomics-ordering",

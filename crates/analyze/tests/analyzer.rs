@@ -28,6 +28,40 @@ fn patterns_in_strings_and_comments_do_not_fire() {
 }
 
 #[test]
+fn kernel_dispatch_fires_outside_the_dispatcher_only() {
+    let source = include_str!("fixtures/kernel_dispatch.rs");
+    let mut diags = scan("crates/store/src/fixture_kernel_dispatch.rs", source);
+    diags.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
+    let found: Vec<(&str, usize)> = diags.iter().map(|d| (d.rule.as_str(), d.line)).collect();
+    assert_eq!(
+        found,
+        vec![
+            // Detection in a loop body and at top level both fire; the
+            // quoted/commented copies above them never do.
+            ("kernel-dispatch", 20),
+            ("kernel-dispatch", 28),
+            // `unsafe` outside the audited kernel/mmap scopes.
+            ("unsafe-audit", 32),
+        ],
+        "diagnostics: {diags:#?}"
+    );
+
+    // The same detection text under the dispatcher's own path is allowed…
+    let allowed = scan("crates/ann/src/kernel/mod.rs", source);
+    assert!(
+        allowed.iter().all(|d| d.rule != "kernel-dispatch"),
+        "the dispatcher itself may detect features: {allowed:#?}"
+    );
+    // …and a SAFETY-commented `unsafe` inside the kernel scope is too.
+    let kernel_unsafe = "// SAFETY: CPUID-gated by dispatch; loads stay in bounds.\n\
+                         pub fn f(p: *const f32) -> f32 { unsafe { *p } }\n";
+    assert!(
+        scan("crates/ann/src/kernel/x86.rs", kernel_unsafe).is_empty(),
+        "SAFETY-commented kernel unsafe must pass the audit"
+    );
+}
+
+#[test]
 fn suppression_lifecycle_is_enforced() {
     let source = include_str!("fixtures/suppressions.rs");
     let mut diags = scan("crates/serve/src/fixture_suppressions.rs", source);

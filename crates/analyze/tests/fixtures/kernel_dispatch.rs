@@ -1,0 +1,33 @@
+//! Fixture: the `kernel-dispatch` rule must fire on real CPU-feature
+//! detection outside the dispatcher — including the classic sin, the
+//! macro inside a scan loop body — and never on quoted/commented copies.
+//! Also one `unsafe` without a SAFETY comment, for `unsafe-audit`.
+//!
+//! Scanned by `tests/analyzer.rs` under a pretend `crates/store/src/`
+//! relpath; the workspace scanner skips this directory entirely.
+
+pub fn quoted_detection_does_not_fire() -> usize {
+    let a = "is_x86_feature_detected!(\"avx2\") in a plain string";
+    // comment copy: is_x86_feature_detected!("avx2") must not fire
+    /* nor in a block comment: is_aarch64_feature_detected!("neon") */
+    a.len()
+}
+
+pub fn detection_in_a_loop_body(chunks: &[&[f32]]) -> usize {
+    let mut simd_chunks = 0;
+    for chunk in chunks {
+        // The per-iteration CPUID re-check the rule exists to kill.
+        if std::arch::is_x86_feature_detected!("avx2") && chunk.len() >= 8 {
+            simd_chunks += 1;
+        }
+    }
+    simd_chunks
+}
+
+pub fn detection_at_top_level_still_fires() -> bool {
+    std::arch::is_x86_feature_detected!("fma")
+}
+
+pub fn unsafe_outside_the_audit_scope(p: *const f32) -> f32 {
+    unsafe { *p }
+}

@@ -1,12 +1,15 @@
-//! Distance kernels.
+//! Distance functions and the [`Metric`] enum.
 //!
-//! The inner loops are manually unrolled 4-wide; on x86-64 the compiler
-//! auto-vectorizes them to SSE/AVX, which stands in for the hand-written
-//! SIMD kernels of Faiss. (This crate forbids `unsafe`, so explicit
-//! intrinsics are out of scope; layout and unrolling capture the same
-//! memory-behaviour trends the paper's model depends on.)
+//! The actual arithmetic lives in [`crate::kernel`]: runtime-dispatched
+//! `std::arch` SIMD (AVX2+FMA / NEON) with the portable unrolled-scalar
+//! loops as the always-tested fallback. The entry points here are the
+//! crate's stable public API; they pay one relaxed atomic load of
+//! dispatch state per call. Scan loops that want zero per-call dispatch
+//! resolve a [`crate::kernel::Kernels`] table once per pass instead.
 
 use serde::{Deserialize, Serialize};
+
+use crate::kernel;
 
 /// Squared Euclidean (L2²) distance.
 ///
@@ -21,22 +24,7 @@ use serde::{Deserialize, Serialize};
 /// ```
 #[inline]
 pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut acc = [0.0f32; 4];
-    let chunks = a.len() / 4;
-    for i in 0..chunks {
-        let base = i * 4;
-        for lane in 0..4 {
-            let d = a[base + lane] - b[base + lane];
-            acc[lane] += d * d;
-        }
-    }
-    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
-    for i in chunks * 4..a.len() {
-        let d = a[i] - b[i];
-        sum += d * d;
-    }
-    sum
+    kernel::l2_sq(a, b)
 }
 
 /// Inner (dot) product.
@@ -52,20 +40,7 @@ pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
 /// ```
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut acc = [0.0f32; 4];
-    let chunks = a.len() / 4;
-    for i in 0..chunks {
-        let base = i * 4;
-        for lane in 0..4 {
-            acc[lane] += a[base + lane] * b[base + lane];
-        }
-    }
-    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
-    for i in chunks * 4..a.len() {
-        sum += a[i] * b[i];
-    }
-    sum
+    kernel::dot(a, b)
 }
 
 /// Cosine distance `1 − cos(a, b)`; `1.0` when either vector is zero.

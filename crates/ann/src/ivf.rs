@@ -16,8 +16,8 @@ use rand::seq::index::sample;
 use rand::SeedableRng;
 
 use crate::{
-    AnnError, ClusterStore, FastScanList, Hnsw, HnswConfig, KMeans, KMeansConfig, Metric, Neighbor,
-    PqConfig, ProductQuantizer, QuantizedLut, Result, TopK, VecSet,
+    AnnError, BatchQuery, ClusterStore, FastScanList, Hnsw, HnswConfig, KMeans, KMeansConfig,
+    Metric, Neighbor, PqConfig, ProductQuantizer, QuantizedLut, Result, TopK, VecSet,
 };
 
 /// How inverted lists store their vectors.
@@ -541,6 +541,34 @@ impl IvfIndex {
             "store scores under a different metric"
         );
         crate::scan_lists_store(store, query, lists, k)
+    }
+
+    /// Batched counterpart of [`IvfIndex::scan_lists_with`]: scans every
+    /// query of a batch through the store in one call, letting tiered
+    /// stores run blocked (cluster-major) passes when queries share
+    /// probes. Returns each query's top-`k`, in batch order.
+    ///
+    /// # Panics
+    ///
+    /// As [`IvfIndex::scan_lists_with`], for any query in the batch.
+    pub fn scan_lists_batch_with(
+        &self,
+        store: &dyn ClusterStore,
+        queries: &[BatchQuery<'_>],
+        k: usize,
+    ) -> Vec<Vec<Neighbor>> {
+        assert_eq!(store.dim(), self.dim, "store has wrong dimensionality");
+        assert_eq!(
+            store.n_clusters(),
+            self.nlist(),
+            "store has wrong cluster count"
+        );
+        assert_eq!(
+            store.metric(),
+            self.config.metric,
+            "store scores under a different metric"
+        );
+        crate::scan_lists_store_batch(store, queries, k)
     }
 
     /// Detaches every inverted list's payload (ids + full-precision

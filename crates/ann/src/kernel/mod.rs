@@ -1,0 +1,342 @@
+//! Runtime-dispatched SIMD distance kernels.
+//!
+//! Every distance computed by this workspace funnels through three
+//! primitives — f32 dot product, f32 squared-L2, and the SQ8
+//! asymmetric-distance LUT sum — and all three were scalar loops until
+//! this module. Here they get hand-written `std::arch` implementations:
+//!
+//! - **AVX2 + FMA** on `x86_64` ([`x86`]): 8-lane `f32` with fused
+//!   multiply-add, two independent accumulators for ILP, and
+//!   `vgatherdps` for the SQ8 table walk.
+//! - **NEON** on `aarch64` ([`neon`]): 4-lane `f32` with `vfmaq_f32`
+//!   (the SQ8 LUT walk stays scalar — NEON has no gather).
+//! - **Scalar** ([`scalar`]): the portable fallback, kept permanently as
+//!   the reference the property tests compare the SIMD paths against.
+//!
+//! # Dispatch
+//!
+//! Feature detection runs **once** per process ([`detected`], a
+//! `OnceLock` over CPUID / `getauxval`) — never inside a scan loop. Call
+//! sites either use the convenience entry points ([`dot`], [`l2_sq`],
+//! [`sq8_lut_sum`]), which cost one relaxed atomic load per call, or —
+//! on scan hot paths — resolve a [`Kernels`] table once per cluster pass
+//! via [`kernels`] and loop over plain function pointers, so the inner
+//! loop carries no dispatch branching at all.
+//!
+//! Setting `VLITE_FORCE_SCALAR=1` in the environment pins dispatch to
+//! the scalar kernels (read once, at first dispatch); CI's kernel
+//! equivalence matrix runs the whole test suite under both settings.
+//! [`force_scalar`] / [`clear_force`] override the choice at runtime for
+//! in-process A/B benchmarks (`serve_smoke --kernels`).
+//!
+//! # Accuracy contract
+//!
+//! The SIMD kernels reassociate the reduction (lane-parallel partial
+//! sums, FMA contraction), so results may differ from the scalar
+//! kernels. The documented bound, asserted by the property tests in
+//! `tests/kernel_props.rs`: each of the `n` accumulation steps may
+//! contribute at most one unit of rounding at the running magnitude,
+//! i.e. `|simd − scalar| ≤ n · ε_f32 · Σ|termᵢ|` (for L2 and SQ8 the
+//! terms are non-negative, so the envelope is `n · ε · result`).
+//! Where the operation order allows no reassociation (length ≤ 1 blocks,
+//! the scalar tail) results are bit-exact.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+pub mod scalar;
+
+// The audited unsafe surface of this crate: raw `std::arch` intrinsics
+// behind CPUID-gated wrappers. `vlite-analyze`'s `unsafe-audit` rule
+// allowlists exactly these files and still requires a SAFETY comment at
+// every site.
+#[cfg(target_arch = "aarch64")]
+#[allow(unsafe_code)]
+mod neon;
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod x86;
+
+/// Which kernel implementation dispatch selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelKind {
+    /// Portable scalar loops (always available, always tested).
+    Scalar,
+    /// AVX2 + FMA on `x86_64` (8-lane f32, gather-based SQ8).
+    Avx2Fma,
+    /// NEON on `aarch64` (4-lane f32; SQ8 stays scalar).
+    Neon,
+}
+
+impl KernelKind {
+    /// Stable lowercase name for reports, CSV rows and Prometheus labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelKind::Scalar => "scalar",
+            KernelKind::Avx2Fma => "avx2_fma",
+            KernelKind::Neon => "neon",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            KernelKind::Scalar => 0,
+            KernelKind::Avx2Fma => 1,
+            KernelKind::Neon => 2,
+        }
+    }
+}
+
+/// The best kernel this CPU supports, independent of any override — the
+/// dispatcher's one-time feature detection (CPUID on `x86_64`,
+/// `getauxval`-backed detection on `aarch64`), cached in a `OnceLock` so
+/// no scan path ever re-runs it.
+pub fn detected() -> KernelKind {
+    static DETECTED: OnceLock<KernelKind> = OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                return KernelKind::Avx2Fma;
+            }
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            if std::arch::is_aarch64_feature_detected!("neon") {
+                return KernelKind::Neon;
+            }
+        }
+        KernelKind::Scalar
+    })
+}
+
+/// Whether `VLITE_FORCE_SCALAR=1` was set when dispatch first ran (the
+/// environment is read once; changing it later has no effect).
+fn env_forces_scalar() -> bool {
+    static FORCED: OnceLock<bool> = OnceLock::new();
+    *FORCED.get_or_init(|| {
+        std::env::var("VLITE_FORCE_SCALAR")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+    })
+}
+
+/// Runtime override: 0 = follow `VLITE_FORCE_SCALAR` + detection,
+/// 1 = force scalar, 2 = force the detected kernel (ignore the env var).
+static OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Forces dispatch to the scalar kernels from now on — the in-process
+/// counterpart of `VLITE_FORCE_SCALAR=1`, used by benchmarks that A/B
+/// the kernels inside one process. Undo with [`clear_force`].
+pub fn force_scalar() {
+    // relaxed: a dispatch preference flag; every kernel it selects
+    // computes the same mathematical result, so no ordering is needed.
+    OVERRIDE.store(1, Ordering::Relaxed);
+}
+
+/// Forces dispatch to the detected kernel, overriding both a previous
+/// [`force_scalar`] *and* `VLITE_FORCE_SCALAR` (benchmark use only).
+pub fn force_native() {
+    // relaxed: same dispatch preference flag as `force_scalar`.
+    OVERRIDE.store(2, Ordering::Relaxed);
+}
+
+/// Restores default dispatch (`VLITE_FORCE_SCALAR` + detection).
+pub fn clear_force() {
+    // relaxed: same dispatch preference flag as `force_scalar`.
+    OVERRIDE.store(0, Ordering::Relaxed);
+}
+
+/// The kernel dispatch would select right now — the self-report the CI
+/// kernel-equivalence matrix asserts against.
+pub fn active() -> KernelKind {
+    // relaxed: reading the dispatch preference; any raced value selects
+    // a correct kernel.
+    match OVERRIDE.load(Ordering::Relaxed) {
+        1 => KernelKind::Scalar,
+        2 => detected(),
+        _ => {
+            if env_forces_scalar() {
+                KernelKind::Scalar
+            } else {
+                detected()
+            }
+        }
+    }
+}
+
+/// How many times [`kernels`] resolved each kind — the "was the SIMD
+/// path actually exercised?" evidence the equivalence tests assert.
+static RESOLUTIONS: [AtomicU64; 3] = [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)];
+
+/// Times [`kernels`] has resolved to `kind` since process start.
+pub fn resolution_count(kind: KernelKind) -> u64 {
+    // relaxed: monotone telemetry counter, read only by tests/reports.
+    RESOLUTIONS[kind.index()].load(Ordering::Relaxed)
+}
+
+/// A resolved kernel table: plain function pointers, so a scan loop pays
+/// dispatch exactly once per pass and zero branches per vector.
+#[derive(Clone, Copy)]
+pub struct Kernels {
+    /// Which implementation the table points at.
+    pub kind: KernelKind,
+    /// Inner (dot) product over equal-length slices.
+    pub dot: fn(&[f32], &[f32]) -> f32,
+    /// Squared Euclidean distance over equal-length slices.
+    pub l2_sq: fn(&[f32], &[f32]) -> f32,
+    /// SQ8 LUT sum: `Σⱼ table[j·256 + codes[j]]` with
+    /// `table.len() == codes.len() · 256`.
+    pub sq8_lut_sum: fn(&[f32], &[u8]) -> f32,
+}
+
+impl std::fmt::Debug for Kernels {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernels").field("kind", &self.kind).finish()
+    }
+}
+
+const SCALAR_KERNELS: Kernels = Kernels {
+    kind: KernelKind::Scalar,
+    dot: scalar::dot,
+    l2_sq: scalar::l2_sq,
+    sq8_lut_sum: scalar::sq8_lut_sum,
+};
+
+/// Resolves the active kernel table. Call once per scan pass, not per
+/// vector: the table itself is two words and `Copy`.
+pub fn kernels() -> Kernels {
+    let kind = active();
+    // relaxed: monotone telemetry counter (see `resolution_count`).
+    RESOLUTIONS[kind.index()].fetch_add(1, Ordering::Relaxed);
+    match kind {
+        KernelKind::Scalar => SCALAR_KERNELS,
+        #[cfg(target_arch = "x86_64")]
+        KernelKind::Avx2Fma => Kernels {
+            kind,
+            dot: x86::dot,
+            l2_sq: x86::l2_sq,
+            sq8_lut_sum: x86::sq8_lut_sum,
+        },
+        #[cfg(target_arch = "aarch64")]
+        KernelKind::Neon => Kernels {
+            kind,
+            dot: neon::dot,
+            l2_sq: neon::l2_sq,
+            // NEON has no gather; the LUT walk stays scalar.
+            sq8_lut_sum: scalar::sq8_lut_sum,
+        },
+        // A kind whose arch is compiled out can never be detected here.
+        #[allow(unreachable_patterns)]
+        _ => SCALAR_KERNELS,
+    }
+}
+
+/// Dispatched inner (dot) product.
+///
+/// # Panics
+///
+/// Panics in debug builds if the slices differ in length.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        KernelKind::Avx2Fma => x86::dot(a, b),
+        #[cfg(target_arch = "aarch64")]
+        KernelKind::Neon => neon::dot(a, b),
+        _ => scalar::dot(a, b),
+    }
+}
+
+/// Dispatched squared Euclidean (L2²) distance.
+///
+/// # Panics
+///
+/// Panics in debug builds if the slices differ in length.
+#[inline]
+pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        KernelKind::Avx2Fma => x86::l2_sq(a, b),
+        #[cfg(target_arch = "aarch64")]
+        KernelKind::Neon => neon::l2_sq(a, b),
+        _ => scalar::l2_sq(a, b),
+    }
+}
+
+/// Dispatched SQ8 LUT sum: `Σⱼ table[j·256 + codes[j]]`.
+///
+/// # Panics
+///
+/// Panics in debug builds if `table.len() != codes.len() * 256`.
+#[inline]
+pub fn sq8_lut_sum(table: &[f32], codes: &[u8]) -> f32 {
+    debug_assert_eq!(table.len(), codes.len() * 256);
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        KernelKind::Avx2Fma => x86::sq8_lut_sum(table, codes),
+        _ => scalar::sq8_lut_sum(table, codes),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The shared per-test tolerance: `n · ε · Σ|terms|` (the module's
+    /// documented reassociation envelope) plus a whisker of absolute
+    /// slack for all-zero inputs.
+    fn bound(n: usize, abs_sum: f32) -> f32 {
+        (n as f32) * f32::EPSILON * abs_sum + 1e-12
+    }
+
+    #[test]
+    fn detected_kernel_matches_arch_expectations() {
+        let k = detected();
+        #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+        assert_eq!(k, KernelKind::Scalar);
+        #[cfg(target_arch = "aarch64")]
+        assert_ne!(k, KernelKind::Avx2Fma);
+        #[cfg(target_arch = "x86_64")]
+        assert_ne!(k, KernelKind::Neon);
+    }
+
+    #[test]
+    fn all_kernels_agree_on_fixed_vectors() {
+        let n = 67; // odd length exercises every tail path
+        let a: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37).sin()).collect();
+        let b: Vec<f32> = (0..n).map(|i| (i as f32 * 0.21).cos()).collect();
+        let table = kernels();
+        let dot_abs: f32 = a.iter().zip(&b).map(|(x, y)| (x * y).abs()).sum();
+        assert!(
+            ((table.dot)(&a, &b) - scalar::dot(&a, &b)).abs() <= bound(n, dot_abs),
+            "dot disagrees beyond the documented envelope"
+        );
+        let l2_ref = scalar::l2_sq(&a, &b);
+        assert!(((table.l2_sq)(&a, &b) - l2_ref).abs() <= bound(n, l2_ref));
+    }
+
+    #[test]
+    fn sq8_kernels_agree_on_fixed_codes() {
+        let dim = 19;
+        let table: Vec<f32> = (0..dim * 256).map(|i| ((i % 97) as f32) * 0.013).collect();
+        let codes: Vec<u8> = (0..dim).map(|j| (j * 41 % 256) as u8).collect();
+        let want = scalar::sq8_lut_sum(&table, &codes);
+        let got = (kernels().sq8_lut_sum)(&table, &codes);
+        assert!((got - want).abs() <= bound(dim, want.abs()));
+    }
+
+    #[test]
+    fn empty_and_single_lane_inputs_are_bit_exact() {
+        let table = kernels();
+        assert_eq!((table.dot)(&[], &[]), 0.0);
+        assert_eq!((table.l2_sq)(&[], &[]), 0.0);
+        // Length 1 admits no reassociation: bit-exact by contract.
+        assert_eq!((table.dot)(&[3.5], &[-2.0]), scalar::dot(&[3.5], &[-2.0]));
+        assert_eq!((table.sq8_lut_sum)(&[0.0; 256], &[7]), 0.0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Portable scalar kernels — the always-available dispatch fallback and
+//! the reference implementation every SIMD kernel is property-tested
+//! against.
+//!
+//! The f32 loops are manually unrolled 4-wide into independent lane
+//! accumulators; on x86-64 the compiler auto-vectorizes them to SSE/AVX
+//! even without the hand-written kernels, which is what stood in for
+//! Faiss's SIMD before the `kernel` module existed.
+
+/// Scalar squared Euclidean (L2²) distance.
+///
+/// # Panics
+///
+/// Panics in debug builds if the slices differ in length.
+#[inline]
+pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let base = i * 4;
+        for lane in 0..4 {
+            let d = a[base + lane] - b[base + lane];
+            acc[lane] += d * d;
+        }
+    }
+    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
+    for i in chunks * 4..a.len() {
+        let d = a[i] - b[i];
+        sum += d * d;
+    }
+    sum
+}
+
+/// Scalar inner (dot) product.
+///
+/// # Panics
+///
+/// Panics in debug builds if the slices differ in length.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let base = i * 4;
+        for lane in 0..4 {
+            acc[lane] += a[base + lane] * b[base + lane];
+        }
+    }
+    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
+    for i in chunks * 4..a.len() {
+        sum += a[i] * b[i];
+    }
+    sum
+}
+
+/// Scalar SQ8 LUT sum: `Σⱼ table[j·256 + codes[j]]` — the asymmetric-
+/// distance accumulation over one stored vector's codes, `table` being
+/// the per-query `dim × 256` lookup table.
+///
+/// # Panics
+///
+/// Panics in debug builds if `table.len() != codes.len() * 256`.
+#[inline]
+pub fn sq8_lut_sum(table: &[f32], codes: &[u8]) -> f32 {
+    debug_assert_eq!(table.len(), codes.len() * 256);
+    let mut sum = 0.0f32;
+    for (j, &c) in codes.iter().enumerate() {
+        sum += table[j * 256 + usize::from(c)];
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_naive_on_odd_lengths() {
+        for n in [0, 1, 3, 4, 5, 7, 16, 33, 100] {
+            let a: Vec<f32> = (0..n).map(|i| i as f32 * 0.5).collect();
+            let b: Vec<f32> = (0..n).map(|i| (n - i) as f32 * 0.25).collect();
+            let naive_l2: f32 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum();
+            let naive_dot: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            assert!((l2_sq(&a, &b) - naive_l2).abs() < 1e-3, "n={n}");
+            assert!((dot(&a, &b) - naive_dot).abs() < 1e-3, "n={n}");
+        }
+    }
+
+    #[test]
+    fn lut_sum_matches_naive() {
+        let dim = 9;
+        let table: Vec<f32> = (0..dim * 256).map(|i| i as f32 * 0.001).collect();
+        let codes: Vec<u8> = (0..dim).map(|j| (j * 29) as u8).collect();
+        let naive: f32 = codes
+            .iter()
+            .enumerate()
+            .map(|(j, &c)| table[j * 256 + usize::from(c)])
+            .sum();
+        assert_eq!(sq8_lut_sum(&table, &codes), naive);
+    }
+}

@@ -1,0 +1,157 @@
+//! AVX2 + FMA kernels for `x86_64`.
+//!
+//! Each public entry is a safe wrapper over a `#[target_feature]` inner
+//! function; the wrappers are only reachable through the dispatcher in
+//! [`super`], which routes here strictly after one-time CPUID detection
+//! confirmed `avx2` and `fma`. The f32 reductions run two independent
+//! 8-lane FMA accumulators (breaking the dependency chain for ILP); the
+//! SQ8 LUT walk widens 8 codes to `u32` lanes and fetches all 8 table
+//! entries with one `vgatherdps`.
+//!
+//! Accuracy: lane-parallel partial sums + FMA contraction reassociate
+//! the reduction, bounded by the envelope documented in [`super`]
+//! (`n · ε · Σ|termᵢ|`); scalar tails and length ≤ 1 inputs are
+//! bit-exact against [`super::scalar`].
+
+use std::arch::x86_64::{
+    __m128i, __m256, _mm256_add_epi32, _mm256_add_ps, _mm256_castps256_ps128, _mm256_cvtepu8_epi32,
+    _mm256_extractf128_ps, _mm256_fmadd_ps, _mm256_i32gather_ps, _mm256_loadu_ps, _mm256_set_epi32,
+    _mm256_setzero_ps, _mm256_sub_ps, _mm_add_ps, _mm_add_ss, _mm_cvtss_f32, _mm_loadl_epi64,
+    _mm_movehdup_ps, _mm_movehl_ps,
+};
+
+/// AVX2+FMA inner (dot) product; dispatch-only entry.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    // SAFETY: the dispatcher routes to this module only after CPUID
+    // detection confirmed avx2+fma, satisfying `dot_avx2`'s sole
+    // (target-feature) precondition; slice lengths were just asserted
+    // equal and all loads below stay within them.
+    unsafe { dot_avx2(a, b) }
+}
+
+/// AVX2+FMA squared-L2 distance; dispatch-only entry.
+pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    // SAFETY: same argument as `dot` — CPUID-gated dispatch guarantees
+    // the avx2+fma target-feature precondition of `l2_sq_avx2`.
+    unsafe { l2_sq_avx2(a, b) }
+}
+
+/// AVX2 gather-based SQ8 LUT sum; dispatch-only entry.
+pub fn sq8_lut_sum(table: &[f32], codes: &[u8]) -> f32 {
+    debug_assert_eq!(table.len(), codes.len() * 256);
+    // SAFETY: CPUID-gated dispatch guarantees the avx2 target-feature
+    // precondition; the gather index bound (< 2048 f32 from the moving
+    // base) is argued at the gather site inside.
+    unsafe { sq8_avx2(table, codes) }
+}
+
+// SAFETY: `unsafe` is the target-feature contract only (callers checked
+// CPUID); every `loadu` reads 8 f32 at offset i with `i + 8 <= n`
+// maintained by the loop bounds, and the tail indexes via safe slices.
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn dot_avx2(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len();
+    let pa = a.as_ptr();
+    let pb = b.as_ptr();
+    let mut acc0 = _mm256_setzero_ps();
+    let mut acc1 = _mm256_setzero_ps();
+    let mut i = 0usize;
+    while i + 16 <= n {
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)), acc0);
+        acc1 = _mm256_fmadd_ps(
+            _mm256_loadu_ps(pa.add(i + 8)),
+            _mm256_loadu_ps(pb.add(i + 8)),
+            acc1,
+        );
+        i += 16;
+    }
+    if i + 8 <= n {
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)), acc0);
+        i += 8;
+    }
+    let mut sum = hsum8(_mm256_add_ps(acc0, acc1));
+    while i < n {
+        sum += a[i] * b[i];
+        i += 1;
+    }
+    sum
+}
+
+// SAFETY: `unsafe` is the target-feature contract only (callers checked
+// CPUID); load bounds identical to `dot_avx2` (`i + 8 <= n` before each
+// 8-lane `loadu`), scalar tail via safe indexing.
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn l2_sq_avx2(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len();
+    let pa = a.as_ptr();
+    let pb = b.as_ptr();
+    let mut acc0 = _mm256_setzero_ps();
+    let mut acc1 = _mm256_setzero_ps();
+    let mut i = 0usize;
+    while i + 16 <= n {
+        let d0 = _mm256_sub_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)));
+        acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+        let d1 = _mm256_sub_ps(
+            _mm256_loadu_ps(pa.add(i + 8)),
+            _mm256_loadu_ps(pb.add(i + 8)),
+        );
+        acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+        i += 16;
+    }
+    if i + 8 <= n {
+        let d = _mm256_sub_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)));
+        acc0 = _mm256_fmadd_ps(d, d, acc0);
+        i += 8;
+    }
+    let mut sum = hsum8(_mm256_add_ps(acc0, acc1));
+    while i < n {
+        let d = a[i] - b[i];
+        sum += d * d;
+        i += 1;
+    }
+    sum
+}
+
+// SAFETY: `unsafe` is the target-feature contract only (callers checked
+// CPUID). Bounds: the 8-byte `loadl_epi64` reads codes[j..j+8] under
+// `j + 8 <= dim`; the gather reads lane k at f32 index
+// `j·256 + k·256 + codes[j+k] ≤ (j+7)·256 + 255 < dim·256 = table.len()`
+// (the caller asserted that length), so every gathered element is
+// in-bounds.
+#[target_feature(enable = "avx2")]
+unsafe fn sq8_avx2(table: &[f32], codes: &[u8]) -> f32 {
+    let dim = codes.len();
+    // Per-lane row offsets: lane k of a gather starting at dim j reads
+    // row j+k, i.e. byte-index (k·256 + code) into the f32 table slice
+    // based at j·256. (`set_epi32` takes the highest lane first.)
+    let row_off = _mm256_set_epi32(1792, 1536, 1280, 1024, 768, 512, 256, 0);
+    let mut acc = _mm256_setzero_ps();
+    let mut j = 0usize;
+    while j + 8 <= dim {
+        let codes8 = _mm_loadl_epi64(codes.as_ptr().add(j).cast::<__m128i>());
+        let idx = _mm256_add_epi32(_mm256_cvtepu8_epi32(codes8), row_off);
+        acc = _mm256_add_ps(
+            acc,
+            _mm256_i32gather_ps::<4>(table.as_ptr().add(j * 256), idx),
+        );
+        j += 8;
+    }
+    let mut sum = hsum8(acc);
+    while j < dim {
+        sum += table[j * 256 + usize::from(codes[j])];
+        j += 1;
+    }
+    sum
+}
+
+// SAFETY: `unsafe` is the target-feature contract only (pure register
+// shuffles and adds, no memory access); only called from the avx2
+// kernels above, which are themselves CPUID-gated.
+#[target_feature(enable = "avx2")]
+unsafe fn hsum8(v: __m256) -> f32 {
+    let s = _mm_add_ps(_mm256_castps256_ps128(v), _mm256_extractf128_ps::<1>(v));
+    let s = _mm_add_ps(s, _mm_movehdup_ps(s));
+    _mm_cvtss_f32(_mm_add_ss(s, _mm_movehl_ps(s, s)))
+}

@@ -39,7 +39,11 @@
 //! # Ok::<(), vlite_ann::AnnError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the `kernel` module's arch submodules carry a
+// scoped `#[allow(unsafe_code)]` for `std::arch` intrinsics — the
+// crate's sole audited unsafe surface (see `vlite-analyze`'s
+// unsafe-audit rule). Everything else still refuses `unsafe`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod distance;
@@ -49,6 +53,7 @@ mod fastscan;
 mod flat;
 mod hnsw;
 mod ivf;
+pub mod kernel;
 mod kmeans;
 mod pq;
 mod sq;
@@ -62,10 +67,11 @@ pub use fastscan::{FastScanList, QuantizedLut, FAST_SCAN_BLOCK};
 pub use flat::FlatIndex;
 pub use hnsw::{Hnsw, HnswConfig};
 pub use ivf::{CoarseKind, IvfConfig, IvfIndex, ListStorage, Probe};
+pub use kernel::{KernelKind, Kernels};
 pub use kmeans::{KMeans, KMeansConfig, KMeansInit};
 pub use pq::{Lut, PqConfig, ProductQuantizer};
 pub use sq::ScalarQuantizer;
-pub use store::{scan_lists_store, ClusterStore};
+pub use store::{scan_lists_store, scan_lists_store_batch, BatchQuery, ClusterStore};
 pub use topk::{merge_sorted, Neighbor, TopK};
 pub use vecset::VecSet;
 

@@ -88,6 +88,39 @@ pub trait ClusterStore: Send + Sync {
             self.scan_cluster(c, query, top);
         }
     }
+
+    /// Scans a whole batch of queries — each with its own probe list — in
+    /// one call, accumulating into `tops[i]` for `queries[i]`.
+    ///
+    /// The default runs query-at-a-time over
+    /// [`ClusterStore::scan_clusters`]. Implementations override it to
+    /// make *blocked* (cluster-major) passes: when several queries of the
+    /// batch probe the same cluster, one pass over the cluster's bytes
+    /// scores all of them, instead of each query re-streaming the
+    /// payload. Because [`TopK`]'s ordering is a total order over
+    /// `(score, id)`, any override must produce results identical to this
+    /// default for every query, whatever order it visits clusters in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries.len() != tops.len()`; otherwise as
+    /// [`ClusterStore::scan_cluster`].
+    fn scan_batch(&self, queries: &[BatchQuery<'_>], tops: &mut [TopK]) {
+        assert_eq!(queries.len(), tops.len(), "one TopK per batched query");
+        for (q, top) in queries.iter().zip(tops.iter_mut()) {
+            self.scan_clusters(q.lists, q.query, top);
+        }
+    }
+}
+
+/// One query of a batched scan: the vector plus the clusters its coarse
+/// probe selected.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchQuery<'a> {
+    /// The query vector (`dim()` components).
+    pub query: &'a [f32],
+    /// The cluster ids this query probes.
+    pub lists: &'a [u32],
 }
 
 /// Scans `lists` through a [`ClusterStore`] and returns the top-`k`
@@ -107,6 +140,29 @@ pub fn scan_lists_store(
     let mut top = TopK::new(k);
     store.scan_clusters(lists, query, &mut top);
     top.into_sorted()
+}
+
+/// Scans a whole batch of queries through a [`ClusterStore`] and returns
+/// each query's top-`k` neighbors, in batch order — the batched
+/// counterpart of [`scan_lists_store`], routing through
+/// [`ClusterStore::scan_batch`] so tiered stores can block the scan
+/// (one pass over a cluster's bytes scores every query probing it).
+///
+/// # Panics
+///
+/// Panics if any `query.len() != store.dim()`, `k == 0`, or a list id is
+/// out of range.
+pub fn scan_lists_store_batch(
+    store: &dyn ClusterStore,
+    queries: &[BatchQuery<'_>],
+    k: usize,
+) -> Vec<Vec<Neighbor>> {
+    for q in queries {
+        assert_eq!(q.query.len(), store.dim(), "query has wrong dimensionality");
+    }
+    let mut tops: Vec<TopK> = (0..queries.len()).map(|_| TopK::new(k)).collect();
+    store.scan_batch(queries, &mut tops);
+    tops.into_iter().map(TopK::into_sorted).collect()
 }
 
 #[cfg(test)]

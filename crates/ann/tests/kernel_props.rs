@@ -1,0 +1,194 @@
+//! Kernel-equivalence properties and the dispatch self-report.
+//!
+//! These tests are the substance of CI's `kernels` matrix job: the suite
+//! runs once with `VLITE_FORCE_SCALAR=1` (every dispatched call must hit
+//! the scalar kernels) and once with native features (`RUSTFLAGS="-C
+//! target-cpu=native"`, plus `VLITE_REQUIRE_SIMD=1` so this file *fails*
+//! if a runner that supports SIMD did not actually exercise it — a
+//! silently-rotten dispatcher cannot pass).
+//!
+//! Equivalence contract (documented in `vlite_ann::kernel`): SIMD
+//! results match the scalar kernels bit-exactly wherever the operation
+//! order admits no reassociation (empty inputs, length ≤ 1, the pure
+//! scalar tail), and within the 1-ulp-per-accumulation envelope
+//! `n · ε_f32 · Σ|termᵢ|` for the FMA-reassociated reductions.
+
+use proptest::prelude::*;
+
+use vlite_ann::kernel::{self, KernelKind};
+
+/// The documented reassociation envelope, plus an absolute whisker so
+/// all-zero inputs don't demand exact-zero agreement of `-0.0` vs `0.0`.
+fn envelope(n: usize, abs_sum: f32) -> f32 {
+    (n as f32) * f32::EPSILON * abs_sum + 1e-12
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Dispatched dot matches the scalar reference within the envelope
+    /// on arbitrary lengths (covering every unroll width and tail).
+    #[test]
+    fn dot_matches_scalar_within_envelope(
+        a in prop::collection::vec(-8.0f32..8.0, 0..200),
+        extra in 0usize..3,
+    ) {
+        let n = a.len();
+        let b: Vec<f32> = (0..n).map(|i| ((i + extra) as f32 * 0.73).sin() * 4.0).collect();
+        let table = kernel::kernels();
+        let simd = (table.dot)(&a, &b);
+        let scalar = kernel::scalar::dot(&a, &b);
+        let abs_sum: f32 = a.iter().zip(&b).map(|(x, y)| (x * y).abs()).sum();
+        prop_assert!(
+            (simd - scalar).abs() <= envelope(n, abs_sum),
+            "kind={:?} n={n} simd={simd} scalar={scalar}", table.kind
+        );
+    }
+
+    /// Dispatched squared-L2 matches the scalar reference within the
+    /// envelope (terms are non-negative, so Σ|terms| is the result).
+    #[test]
+    fn l2_matches_scalar_within_envelope(
+        a in prop::collection::vec(-8.0f32..8.0, 0..200),
+        extra in 0usize..3,
+    ) {
+        let n = a.len();
+        let b: Vec<f32> = (0..n).map(|i| ((i + extra) as f32 * 0.41).cos() * 4.0).collect();
+        let table = kernel::kernels();
+        let simd = (table.l2_sq)(&a, &b);
+        let scalar = kernel::scalar::l2_sq(&a, &b);
+        prop_assert!(
+            (simd - scalar).abs() <= envelope(n, scalar),
+            "kind={:?} n={n} simd={simd} scalar={scalar}", table.kind
+        );
+    }
+
+    /// Dispatched SQ8 LUT sum matches the scalar reference within the
+    /// envelope over random tables and codes (gather-path coverage).
+    #[test]
+    fn sq8_lut_matches_scalar_within_envelope(
+        raw_codes in prop::collection::vec(0u16..256, 0..70),
+        scale in 0.001f32..2.0,
+    ) {
+        let codes: Vec<u8> = raw_codes.iter().map(|&c| c as u8).collect();
+        let dim = codes.len();
+        let table: Vec<f32> = (0..dim * 256)
+            .map(|i| ((i % 131) as f32 - 40.0) * scale)
+            .collect();
+        let kern = kernel::kernels();
+        let simd = (kern.sq8_lut_sum)(&table, &codes);
+        let scalar = kernel::scalar::sq8_lut_sum(&table, &codes);
+        let abs_sum: f32 = codes
+            .iter()
+            .enumerate()
+            .map(|(j, &c)| table[j * 256 + usize::from(c)].abs())
+            .sum();
+        prop_assert!(
+            (simd - scalar).abs() <= envelope(dim, abs_sum),
+            "kind={:?} dim={dim} simd={simd} scalar={scalar}", kern.kind
+        );
+    }
+
+    /// Where the op order admits no reassociation — length ≤ 1 — every
+    /// kernel is bit-exact against scalar, not merely within a bound.
+    #[test]
+    fn length_le_one_is_bit_exact(x in -100.0f32..100.0, y in -100.0f32..100.0) {
+        let table = kernel::kernels();
+        prop_assert_eq!((table.dot)(&[], &[]).to_bits(), 0.0f32.to_bits());
+        prop_assert_eq!(
+            (table.dot)(&[x], &[y]).to_bits(),
+            kernel::scalar::dot(&[x], &[y]).to_bits()
+        );
+        prop_assert_eq!(
+            (table.l2_sq)(&[x], &[y]).to_bits(),
+            kernel::scalar::l2_sq(&[x], &[y]).to_bits()
+        );
+        let lut: Vec<f32> = (0..256).map(|i| i as f32 * 0.5 - x).collect();
+        prop_assert_eq!(
+            (table.sq8_lut_sum)(&lut, &[129]).to_bits(),
+            kernel::scalar::sq8_lut_sum(&lut, &[129]).to_bits()
+        );
+    }
+
+    /// The scalar tail of a SIMD kernel runs the same arithmetic as the
+    /// scalar kernel's tail: extending both inputs by one element past a
+    /// full SIMD block changes both results by the bit-identical term.
+    #[test]
+    fn simd_tail_is_the_scalar_tail(tail_a in -4.0f32..4.0, tail_b in -4.0f32..4.0) {
+        let table = kernel::kernels();
+        let base: Vec<f32> = (0..16).map(|i| i as f32 * 0.25).collect();
+        let mut a = base.clone();
+        let mut b = base.clone();
+        let whole_dot = (table.dot)(&a, &b);
+        a.push(tail_a);
+        b.push(tail_b);
+        prop_assert_eq!(
+            (table.dot)(&a, &b).to_bits(),
+            (whole_dot + tail_a * tail_b).to_bits()
+        );
+    }
+}
+
+/// The only test that touches the process-global dispatch override: it
+/// owns the whole force/clear lifecycle sequentially, then asserts the
+/// self-report the CI matrix relies on. (The equivalence proptests above
+/// stay correct under any concurrent override state — they compare
+/// whatever table dispatch returns against the scalar module directly.)
+#[test]
+fn dispatch_overrides_and_self_report() {
+    let env_scalar = std::env::var("VLITE_FORCE_SCALAR").map(|v| v == "1") == Ok(true);
+    let default_kind = kernel::active();
+
+    // Env semantics: VLITE_FORCE_SCALAR pins scalar, otherwise dispatch
+    // follows one-time feature detection.
+    if env_scalar {
+        assert_eq!(
+            default_kind,
+            KernelKind::Scalar,
+            "env override must pin scalar"
+        );
+    } else {
+        assert_eq!(default_kind, kernel::detected());
+    }
+
+    // Runtime overrides (benchmark A/B hooks) take precedence over the
+    // environment in both directions.
+    kernel::force_scalar();
+    assert_eq!(kernel::active(), KernelKind::Scalar);
+    assert_eq!(kernel::kernels().kind, KernelKind::Scalar);
+    kernel::force_native();
+    assert_eq!(kernel::active(), kernel::detected());
+    kernel::clear_force();
+    assert_eq!(
+        kernel::active(),
+        default_kind,
+        "clear_force restores env semantics"
+    );
+
+    // Self-report: resolving a table must tally under the active kind,
+    // and the resolved table must agree with scalar on a smoke vector.
+    let before = kernel::resolution_count(default_kind);
+    let table = kernel::kernels();
+    assert_eq!(table.kind, default_kind);
+    assert!(kernel::resolution_count(default_kind) > before);
+    let a: Vec<f32> = (0..33).map(|i| i as f32 * 0.1).collect();
+    let diff = ((table.dot)(&a, &a) - kernel::scalar::dot(&a, &a)).abs();
+    assert!(diff <= envelope(a.len(), (table.dot)(&a, &a).abs()));
+
+    // The CI matrix's teeth: the native-feature job exports
+    // VLITE_REQUIRE_SIMD=1, so a runner whose CPU supports a SIMD kernel
+    // *fails* here if dispatch did not select it.
+    if std::env::var("VLITE_REQUIRE_SIMD").map(|v| v == "1") == Ok(true) {
+        assert_ne!(
+            kernel::detected(),
+            KernelKind::Scalar,
+            "VLITE_REQUIRE_SIMD is set but this CPU detects no SIMD kernel — \
+             run the forced-scalar lane instead"
+        );
+        assert_eq!(
+            default_kind,
+            kernel::detected(),
+            "SIMD-capable runner dispatched scalar: the SIMD path was not exercised"
+        );
+    }
+}

@@ -25,12 +25,20 @@
 //! expected asymmetry: all-cold p99 measurably worse than paper
 //! placement, which tracks all-hot within `TIER_MARGIN`.
 //!
+//! With `--kernels` it sweeps the distance-kernel dispatch and the
+//! blocked batch scans: the paper-placement tier workload under every
+//! combination of forced-scalar vs native SIMD kernels and blocked vs
+//! query-at-a-time cluster scans (`results/serve_kernels.csv`), and
+//! asserts that the SIMD rows' p99 never exceeds the scalar rows' and
+//! that blocked SIMD beats the scalar query-at-a-time baseline.
+//!
 //! With `--gate <baseline.csv>` it instead runs only the rows listed in
 //! the baseline file (`metric,rate,budget_s` rows, `#` comments allowed;
 //! metrics: `search_p99` for retrieval-only rates, `ttft_p99` for
 //! co-scheduled ones, `obs_overhead` for a fully-instrumented
 //! telemetry-plane-on run, `tiers_all_hot_p99` / `tiers_paper_p99` /
-//! `tiers_all_cold_p99` for the tier sweep) and exits nonzero if any
+//! `tiers_all_cold_p99` for the tier sweep, `kernel_scalar_p99` /
+//! `kernel_simd_p99` for the dispatch A/B) and exits nonzero if any
 //! measured p99 exceeds its checked-in budget — CI's perf-smoke step,
 //! catching dispatcher/queue (and now generation-bridge and tier-scan)
 //! regressions before merge. Budgets are deliberately loose (an order of
@@ -108,6 +116,12 @@ const PAPER_COVERAGE: f64 = 0.25;
 /// path accidentally wired into the hot tier.
 const TIER_MARGIN: f64 = 4.0;
 
+/// p99 noise allowance for the kernel sweep's SIMD-vs-scalar comparison:
+/// the tail folds in queueing bursts, so a shared runner can see a slow
+/// SIMD p99 without the kernels being at fault. p50 carries the strict
+/// comparison.
+const KERNEL_NOISE: f64 = 1.5;
+
 /// The tier sweep's corpus: big enough that scan work (not thread
 /// coordination) dominates per-query latency, so the tiers' physical
 /// asymmetry — parallel full-precision arenas vs serial SQ8 LUT scans —
@@ -174,9 +188,14 @@ fn main() {
         tiers_sweep();
         return;
     }
+    if args.iter().any(|a| a == "--kernels") {
+        assert!(args.len() == 1, "unknown arguments: {args:?}");
+        kernels_sweep();
+        return;
+    }
     assert!(
         args.is_empty(),
-        "unknown arguments: {args:?} (try --gate, --ttft or --tiers)"
+        "unknown arguments: {args:?} (try --gate, --ttft, --tiers or --kernels)"
     );
     sweep();
 }
@@ -256,6 +275,122 @@ fn tiers_sweep() {
         "paper placement p99 ({paper:.6}s) must track all-hot ({all_hot:.6}s) within {TIER_MARGIN}x"
     );
     println!("tier asymmetry holds: all_cold > paper, paper within {TIER_MARGIN}x of all_hot.");
+}
+
+/// One open-loop point at paper placement with the blocked batch scans
+/// toggled: the kernel/blocking A/B's shared workload. Callers force the
+/// kernel (scalar or native) around this and must clear it afterwards.
+fn run_rate_kernel(
+    corpus: &SyntheticCorpus,
+    unblocked: bool,
+    rate: f64,
+    n_requests: usize,
+) -> ServeReport {
+    let mut config = ServeConfig::small();
+    config.real = real_config();
+    config.real.coverage_override = Some(PAPER_COVERAGE);
+    config.store.unblocked = unblocked;
+    config.queue_capacity = 512;
+    let server = RagServer::start(corpus, config).expect("server starts");
+    let mut source = RotatingQuerySource::from_corpus(corpus, 11);
+    run_open_loop(&server, &mut source, rate, n_requests, 17, |_, _| {});
+    server.shutdown()
+}
+
+/// The kernel/blocking sweep: forced-scalar vs native SIMD kernels, each
+/// with and without blocked (cluster-major) batch scans, on the paper
+/// placement tier workload. Writes `results/serve_kernels.csv` and
+/// asserts the dispatch's whole point: SIMD never loses to scalar, and
+/// the shipped configuration (blocked + SIMD) beats the scalar
+/// query-at-a-time baseline outright.
+fn kernels_sweep() {
+    banner(
+        "serve-smoke --kernels",
+        "distance-kernel dispatch x blocked-scan sweep at paper placement",
+    );
+    let corpus = tier_corpus();
+    let rate = 1_000.0;
+    let n = 1_200;
+    let mut table = Table::new(vec![
+        "kernel",
+        "scan",
+        "blocked passes",
+        "search p50",
+        "search p99",
+        "SLO attainment",
+    ]);
+    // (forced scalar?, unblocked?) — the last row is the shipped default.
+    let mut p50 = std::collections::HashMap::new();
+    let mut p99 = std::collections::HashMap::new();
+    for (scalar, unblocked) in [(true, true), (true, false), (false, true), (false, false)] {
+        if scalar {
+            vlite_ann::kernel::force_scalar();
+        } else {
+            vlite_ann::kernel::force_native();
+        }
+        let report = run_rate_kernel(&corpus, unblocked, rate, n);
+        vlite_ann::kernel::clear_force();
+        let store = report
+            .store
+            .as_ref()
+            .expect("kernel sweep runs over a tiered store");
+        if unblocked {
+            assert_eq!(store.blocked_scans, 0, "unblocked runs must never block");
+        }
+        let kernel = store.kernel;
+        assert_eq!(
+            kernel == "scalar",
+            scalar,
+            "the forced kernel must be the one the report attributes"
+        );
+        let scan = if unblocked { "per_query" } else { "blocked" };
+        p50.insert((scalar, unblocked), report.search.p50);
+        p99.insert((scalar, unblocked), report.search.p99);
+        table.row(vec![
+            kernel.to_string(),
+            scan.to_string(),
+            store.blocked_scans.to_string(),
+            fmt_seconds(report.search.p50),
+            fmt_seconds(report.search.p99),
+            format!("{:.1}%", 100.0 * report.slo_attainment),
+        ]);
+    }
+    println!("{}", table.render());
+    write_csv("serve_kernels.csv", &table.to_csv());
+
+    let scalar_baseline = p99[&(true, true)];
+    let simd_blocked = p99[&(false, false)];
+    println!(
+        "p99: scalar/per-query {}  simd/blocked {}",
+        fmt_seconds(scalar_baseline),
+        fmt_seconds(simd_blocked)
+    );
+    for unblocked in [true, false] {
+        // p50 is the robust kernel signal (scan work dominates the
+        // median; locally SIMD wins it ~2.4x) so it is held strictly;
+        // p99 also folds in queueing bursts, so it gets a noise
+        // allowance for shared runners.
+        assert!(
+            p50[&(false, unblocked)] < p50[&(true, unblocked)],
+            "SIMD p50 ({:.6}s) must beat scalar p50 ({:.6}s) (unblocked={unblocked}): \
+             the dispatcher would be selecting a losing kernel",
+            p50[&(false, unblocked)],
+            p50[&(true, unblocked)]
+        );
+        assert!(
+            p99[&(false, unblocked)] <= p99[&(true, unblocked)] * KERNEL_NOISE,
+            "SIMD p99 ({:.6}s) must not exceed scalar p99 ({:.6}s) by more than the \
+             {KERNEL_NOISE}x noise allowance (unblocked={unblocked})",
+            p99[&(false, unblocked)],
+            p99[&(true, unblocked)]
+        );
+    }
+    assert!(
+        simd_blocked <= scalar_baseline,
+        "blocked SIMD p99 ({simd_blocked:.6}s) must beat the scalar query-at-a-time baseline \
+         ({scalar_baseline:.6}s): both optimisations compound on the same scan bytes"
+    );
+    println!("kernel dispatch holds: simd beats scalar per mode, blocked simd beats the baseline.");
 }
 
 /// One parsed baseline row: which metric, at which offered rate, under
@@ -347,10 +482,30 @@ fn gate(baseline_path: &str) {
                 assert!(report.store.is_some(), "tier gate runs need the store");
                 (report.search.p99, report.slo_attainment)
             }
+            "kernel_scalar_p99" | "kernel_simd_p99" => {
+                let scalar = row.metric == "kernel_scalar_p99";
+                if scalar {
+                    vlite_ann::kernel::force_scalar();
+                } else {
+                    vlite_ann::kernel::force_native();
+                }
+                let report = run_rate_kernel(&tier_corpus(), false, row.rate, 600);
+                vlite_ann::kernel::clear_force();
+                let store = report
+                    .store
+                    .as_ref()
+                    .expect("kernel gate runs need the store");
+                assert_eq!(
+                    store.kernel == "scalar",
+                    scalar,
+                    "kernel gate row must measure the kernel it names"
+                );
+                (report.search.p99, report.slo_attainment)
+            }
             other => panic!(
                 "unknown baseline metric {other:?} \
                  (search_p99 | ttft_p99 | obs_overhead | tiers_all_hot_p99 | tiers_paper_p99 \
-                 | tiers_all_cold_p99)"
+                 | tiers_all_cold_p99 | kernel_scalar_p99 | kernel_simd_p99)"
             ),
         };
         let ok = p99 <= row.budget;

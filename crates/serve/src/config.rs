@@ -165,6 +165,11 @@ pub struct StoreConfig {
     /// and the only option for PQ/fast-scan list storage, which the
     /// runtime falls back to automatically).
     pub disabled: bool,
+    /// Disables blocked (cluster-major) batch scans, reverting the shard
+    /// and CPU workers to query-at-a-time scanning. Results are
+    /// identical either way; the flag exists for A/B measurement
+    /// (`serve_smoke` sweeps it) and as an escape hatch.
+    pub unblocked: bool,
 }
 
 impl StoreConfig {

@@ -361,6 +361,7 @@ mod tests {
             migrations: BoundedRing::new(1024),
             obs: Arc::new(ObsPlane::new(&ObsConfig::default())),
             store: None,
+            blocked_scans: true,
             nprobe: real.nprobe,
             top_k: real.top_k,
             n_shards: 2,

@@ -89,6 +89,12 @@ pub struct StoreReport {
     /// Times a scan found the tier map write-locked (0 in healthy runs:
     /// migrations swap a pointer, they do not hold the lock for I/O).
     pub snapshot_waits: u64,
+    /// Blocked (cluster-major) passes that scored ≥ 2 batched queries in
+    /// one sweep over a cluster's bytes.
+    pub blocked_scans: u64,
+    /// The distance-kernel implementation dispatch selects on this host
+    /// (`scalar`, `avx2_fma`, or `neon`).
+    pub kernel: &'static str,
     /// Whether the segment file was reopened from disk (save → load →
     /// serve) rather than freshly written.
     pub opened_existing: bool,
@@ -115,6 +121,8 @@ impl StoreReport {
             bytes_demoted: stats.bytes_demoted,
             store_generation: store.generation(),
             snapshot_waits: stats.snapshot_waits,
+            blocked_scans: stats.blocked_scans,
+            kernel: vlite_ann::kernel::active().name(),
             opened_existing: store.opened_existing(),
             migrations,
         }
@@ -381,6 +389,10 @@ impl ServeReport {
                 store.bytes_demoted,
                 store.snapshot_waits
             ));
+            out.push_str(&format!(
+                "  kernel {}  blocked scans {} (cluster passes scoring >= 2 batched queries)\n",
+                store.kernel, store.blocked_scans
+            ));
             if !store.migrations.is_empty() {
                 let mut table = Table::new(vec![
                     "placement gen",
@@ -636,6 +648,8 @@ impl ServeReport {
                                 Json::Num(s.store_generation as f64),
                             ),
                             ("snapshot_waits".into(), Json::Num(s.snapshot_waits as f64)),
+                            ("blocked_scans".into(), Json::Num(s.blocked_scans as f64)),
+                            ("kernel".into(), Json::Str(s.kernel.into())),
                             ("opened_existing".into(), Json::Bool(s.opened_existing)),
                             ("migrations".into(), Json::Arr(migrations)),
                         ])

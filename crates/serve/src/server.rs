@@ -20,7 +20,7 @@ use std::thread::JoinHandle;
 
 use crossbeam::channel::{self, Receiver, Sender};
 
-use vlite_ann::{merge_sorted, IvfIndex, Neighbor};
+use vlite_ann::{merge_sorted, BatchQuery, IvfIndex, Neighbor};
 use vlite_core::{PartitionDecision, PartitionInput, RealDeployment, RoutedQuery, Router};
 use vlite_metrics::{LatencyRecorder, SloTracker};
 use vlite_sim::SimTime;
@@ -183,6 +183,11 @@ pub(crate) struct Shared {
     /// keeps the pre-store behaviour (in-index lists, routing-only
     /// placement) — disabled by config or non-flat list storage.
     pub(crate) store: Option<Arc<TieredStore>>,
+    /// Whether shard/CPU workers hand whole batches to the store's
+    /// blocked (cluster-major) scan path instead of scanning
+    /// query-at-a-time (`!StoreConfig::unblocked`; no effect without a
+    /// store).
+    pub(crate) blocked_scans: bool,
     pub(crate) nprobe: usize,
     pub(crate) top_k: usize,
     pub(crate) n_shards: usize,
@@ -384,6 +389,7 @@ impl RagServer {
             migrations: BoundedRing::new(config.obs.migration_capacity),
             obs: Arc::new(ObsPlane::new(&config.obs)),
             store,
+            blocked_scans: !config.store.unblocked,
             nprobe: config.real.nprobe,
             top_k: config.real.top_k,
             n_shards,
@@ -806,7 +812,20 @@ impl RagServer {
                 "Resident bytes released back to the cold tier by demotions",
                 stats.bytes_demoted,
             );
+            prom_counter(
+                &mut out,
+                "vlite_store_blocked_scans_total",
+                "Blocked (cluster-major) passes scoring >= 2 batched queries in one sweep",
+                stats.blocked_scans,
+            );
         }
+        out.push_str(&format!(
+            "# HELP vlite_kernel_active Distance-kernel implementation dispatch selects \
+             (1 for the active kernel)\n\
+             # TYPE vlite_kernel_active gauge\n\
+             vlite_kernel_active{{kernel=\"{}\"}} 1\n",
+            vlite_ann::kernel::active().name()
+        ));
         out
     }
 
@@ -941,27 +960,70 @@ fn shard_worker(
         // tier map, and a concurrent migration swaps tiers for the *next*
         // batch without stalling this one.
         let snapshot = shared.store.as_ref().map(|store| store.snapshot());
-        let mut partials: Vec<Vec<Neighbor>> = vec![Vec::new(); batch.jobs.len()];
-        for (qi, out) in partials.iter_mut().enumerate() {
-            // Global ids: correctness is placement-independent, so batches
-            // routed just before a hot swap still scan the right lists.
-            let lists = &batch.routed[qi].shard_probes_global[shard];
-            if !lists.is_empty() {
-                *out = degraded_scan(
-                    shared,
-                    snapshot.as_ref(),
-                    &batch.jobs[qi].query,
-                    lists,
-                    batch.k,
-                );
-            }
-        }
+        // Global ids: correctness is placement-independent, so batches
+        // routed just before a hot swap still scan the right lists.
+        let per_query: Vec<&[u32]> = (0..batch.jobs.len())
+            .map(|qi| batch.routed[qi].shard_probes_global[shard].as_slice())
+            .collect();
+        let partials = scan_batch_or_queries(shared, snapshot.as_ref(), &batch, &per_query);
         if dispatch
             .send(DispatchMsg::ShardDone { shard, partials })
             .is_err()
         {
             return;
         }
+    }
+}
+
+/// Scans one worker's share of a batch — `per_query[qi]` being query
+/// `qi`'s probe lists for this worker — through the blocked
+/// (cluster-major) store path when enabled, falling back to
+/// query-at-a-time [`degraded_scan`]s otherwise.
+///
+/// Panic containment matches [`degraded_scan`]: a panicking blocked pass
+/// degrades the *whole worker share* to empty partials (one
+/// [`Shared::worker_panics`] tick) rather than killing the worker thread.
+fn scan_batch_or_queries(
+    shared: &Shared,
+    snapshot: Option<&StoreSnapshot>,
+    batch: &BatchWork,
+    per_query: &[&[u32]],
+) -> Vec<Vec<Neighbor>> {
+    let blockable =
+        batch.jobs.len() >= 2 && per_query.iter().filter(|l| !l.is_empty()).count() >= 2;
+    if let (Some(snapshot), true, true) = (snapshot, shared.blocked_scans, blockable) {
+        let queries: Vec<BatchQuery<'_>> = (0..batch.jobs.len())
+            .map(|qi| BatchQuery {
+                query: &batch.jobs[qi].query,
+                lists: per_query[qi],
+            })
+            .collect();
+        let scanned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            shared
+                .index
+                .scan_lists_batch_with(snapshot, &queries, batch.k)
+        }));
+        match scanned {
+            Ok(partials) => partials,
+            Err(_) => {
+                // relaxed: stat counter bump; the degraded partials flow
+                // through the dispatch channel, which orders the handoff.
+                shared.worker_panics.fetch_add(1, Ordering::Relaxed);
+                vec![Vec::new(); batch.jobs.len()]
+            }
+        }
+    } else {
+        per_query
+            .iter()
+            .enumerate()
+            .map(|(qi, lists)| {
+                if lists.is_empty() {
+                    Vec::new()
+                } else {
+                    degraded_scan(shared, snapshot, &batch.jobs[qi].query, lists, batch.k)
+                }
+            })
+            .collect()
     }
 }
 
@@ -992,25 +1054,42 @@ fn degraded_scan(
     })
 }
 
-/// CPU worker: scan cold probes query-by-query, firing the per-query
-/// completion callback so early finishers can leave the batch.
+/// CPU worker: scan the batch's cold probes and fire the per-query
+/// completion callback. With blocked scans the whole batch is scanned in
+/// one cluster-major pass first (cheapest total bytes) and the per-query
+/// `CpuDone` messages fire as the results are scattered back; unblocked,
+/// it scans query-by-query so early finishers leave the batch sooner.
 fn cpu_worker(shared: &Shared, rx: &Receiver<Arc<BatchWork>>, dispatch: &Sender<DispatchMsg>) {
     while let Ok(batch) = rx.recv() {
         let snapshot = shared.store.as_ref().map(|store| store.snapshot());
-        for (qi, routed) in batch.routed.iter().enumerate() {
-            let partial = if routed.cpu_probes.is_empty() {
-                Vec::new()
-            } else {
-                degraded_scan(
-                    shared,
-                    snapshot.as_ref(),
-                    &batch.jobs[qi].query,
-                    &routed.cpu_probes,
-                    batch.k,
-                )
-            };
-            if dispatch.send(DispatchMsg::CpuDone { qi, partial }).is_err() {
-                return;
+        if shared.blocked_scans && snapshot.is_some() {
+            let per_query: Vec<&[u32]> = batch
+                .routed
+                .iter()
+                .map(|r| r.cpu_probes.as_slice())
+                .collect();
+            let partials = scan_batch_or_queries(shared, snapshot.as_ref(), &batch, &per_query);
+            for (qi, partial) in partials.into_iter().enumerate() {
+                if dispatch.send(DispatchMsg::CpuDone { qi, partial }).is_err() {
+                    return;
+                }
+            }
+        } else {
+            for (qi, routed) in batch.routed.iter().enumerate() {
+                let partial = if routed.cpu_probes.is_empty() {
+                    Vec::new()
+                } else {
+                    degraded_scan(
+                        shared,
+                        snapshot.as_ref(),
+                        &batch.jobs[qi].query,
+                        &routed.cpu_probes,
+                        batch.k,
+                    )
+                };
+                if dispatch.send(DispatchMsg::CpuDone { qi, partial }).is_err() {
+                    return;
+                }
             }
         }
     }

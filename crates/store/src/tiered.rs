@@ -20,11 +20,13 @@
 //!   per-query lookup table built over the segment's quantizer — cheaper
 //!   in bytes, pricier in recall-per-probe.
 
+use std::collections::BTreeMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
-use vlite_ann::{ClusterStore, Metric, ScalarQuantizer, TopK, VecSet};
+use vlite_ann::kernel::{self, Kernels};
+use vlite_ann::{BatchQuery, ClusterStore, Metric, ScalarQuantizer, TopK, VecSet};
 
 use crate::checksum::Crc32;
 use crate::segment::{write_segment, Segment, StoreError};
@@ -69,6 +71,7 @@ struct Counters {
     clusters_promoted: AtomicU64,
     clusters_demoted: AtomicU64,
     snapshot_waits: AtomicU64,
+    blocked_scans: AtomicU64,
 }
 
 /// A point-in-time copy of the store's counters.
@@ -94,6 +97,12 @@ pub struct StoreStats {
     /// 0 in healthy runs: the migrator only holds the write lock for one
     /// pointer swap.
     pub snapshot_waits: u64,
+    /// Blocked (cluster-major) passes that scored ≥ 2 queries of a batch
+    /// in one sweep over a cluster's bytes. Each such pass counts every
+    /// query in `hot_probes`/`cold_probes` but the payload bytes only
+    /// once in `*_bytes_scanned` — the bytes-per-probe saving *is* the
+    /// blocking win.
+    pub blocked_scans: u64,
 }
 
 /// Fast-tier residency of the store at one instant.
@@ -367,6 +376,7 @@ impl TieredStore {
             clusters_promoted: c.clusters_promoted.load(Ordering::Relaxed),
             clusters_demoted: c.clusters_demoted.load(Ordering::Relaxed),
             snapshot_waits: c.snapshot_waits.load(Ordering::Relaxed),
+            blocked_scans: c.blocked_scans.load(Ordering::Relaxed),
         }
     }
 
@@ -500,14 +510,12 @@ impl SqLut {
         SqLut { dim, table }
     }
 
+    /// Scores one stored vector's codes through `kern`'s SQ8 kernel
+    /// (AVX2 gather on supporting CPUs, scalar otherwise).
     #[inline]
-    fn distance(&self, code: &[u8]) -> f32 {
+    fn distance(&self, kern: &Kernels, code: &[u8]) -> f32 {
         debug_assert_eq!(code.len(), self.dim);
-        let mut sum = 0.0f32;
-        for (j, &c) in code.iter().enumerate() {
-            sum += self.table[j * 256 + usize::from(c)];
-        }
-        sum
+        (kern.sq8_lut_sum)(&self.table, code)
     }
 }
 
@@ -538,7 +546,29 @@ impl StoreSnapshot {
         matches!(self.map.entries[cluster as usize], TierEntry::Hot(_))
     }
 
-    fn scan_hot(&self, cluster: u32, arena: &HotCluster, query: &[f32], top: &mut TopK) {
+    /// Scores `query` against one hot vector via the resolved kernel
+    /// table — metric branch outside the caller's vector loop would be
+    /// better still, but the fn-pointer call is branch-predictable and
+    /// the arms stay in one place.
+    #[inline]
+    fn score_hot(kern: &Kernels, metric: Metric, query: &[f32], v: &[f32]) -> f32 {
+        match metric {
+            Metric::L2 => (kern.l2_sq)(query, v),
+            Metric::InnerProduct => -(kern.dot)(query, v),
+            // Cosine never reaches a tiered scan (rejected at segment
+            // write); score it portably if it somehow does.
+            Metric::Cosine => metric.score(query, v),
+        }
+    }
+
+    fn scan_hot(
+        &self,
+        cluster: u32,
+        arena: &HotCluster,
+        query: &[f32],
+        top: &mut TopK,
+        kern: &Kernels,
+    ) {
         // relaxed: hot-path probe tally; only read by stats(), never used
         // to order memory.
         self.counters.hot_probes.fetch_add(1, Ordering::Relaxed);
@@ -547,11 +577,11 @@ impl StoreSnapshot {
             .fetch_add(self.segment.hot_bytes(cluster), Ordering::Relaxed);
         let metric = self.segment.metric();
         for (i, v) in arena.vectors.iter().enumerate() {
-            top.push(arena.ids[i], metric.score(query, v));
+            top.push(arena.ids[i], Self::score_hot(kern, metric, query, v));
         }
     }
 
-    fn scan_cold(&self, cluster: u32, lut: &SqLut, top: &mut TopK) {
+    fn scan_cold(&self, cluster: u32, lut: &SqLut, top: &mut TopK, kern: &Kernels) {
         // relaxed: cold-path probe tally; only read by stats(), never used
         // to order memory.
         self.counters.cold_probes.fetch_add(1, Ordering::Relaxed);
@@ -561,7 +591,92 @@ impl StoreSnapshot {
         let dim = self.segment.dim();
         let codes = self.segment.sq8_codes(cluster);
         for (i, code) in codes.chunks_exact(dim).enumerate() {
-            top.push(self.segment.id_at(cluster, i), lut.distance(code));
+            top.push(self.segment.id_at(cluster, i), lut.distance(kern, code));
+        }
+    }
+
+    /// One blocked pass over a hot cluster: every vector is streamed
+    /// once and scored against all `qis` queries (batch-major loop).
+    fn scan_hot_blocked(
+        &self,
+        cluster: u32,
+        arena: &HotCluster,
+        queries: &[BatchQuery<'_>],
+        qis: &[usize],
+        tops: &mut [TopK],
+        kern: &Kernels,
+    ) {
+        // relaxed: probe tally; only read by stats(). Each query of the
+        // pass counts as a probe.
+        self.counters
+            .hot_probes
+            .fetch_add(qis.len() as u64, Ordering::Relaxed);
+        // relaxed: byte tally; only read by stats(). The payload bytes
+        // count once per blocked pass — that saving is the point.
+        self.counters
+            .hot_bytes_scanned
+            .fetch_add(self.segment.hot_bytes(cluster), Ordering::Relaxed);
+        if qis.len() >= 2 {
+            // relaxed: same stats-only tally as the probe counters above.
+            self.counters.blocked_scans.fetch_add(1, Ordering::Relaxed);
+        }
+        let metric = self.segment.metric();
+        for (i, v) in arena.vectors.iter().enumerate() {
+            let id = arena.ids[i];
+            for &qi in qis {
+                tops[qi].push(id, Self::score_hot(kern, metric, queries[qi].query, v));
+            }
+        }
+    }
+
+    /// One blocked pass over a cold cluster: the cluster's code bytes are
+    /// streamed from the segment once (the first query's walk) and every
+    /// further probing query re-reads them from cache, query-major so
+    /// each query's LUT stays hot in L1/L2 through its walk. (The
+    /// code-major orientation loses badly here: it switches between the
+    /// per-query 64 KiB LUTs on every vector, and the SIMD gather path
+    /// amplifies those misses.) Missing LUTs are built here, on the
+    /// query's first cold probe of the batch.
+    fn scan_cold_blocked(
+        &self,
+        cluster: u32,
+        queries: &[BatchQuery<'_>],
+        qis: &[usize],
+        luts: &mut [Option<SqLut>],
+        tops: &mut [TopK],
+        kern: &Kernels,
+    ) {
+        // relaxed: probe tally; only read by stats(). Each query of the
+        // pass counts as a probe.
+        self.counters
+            .cold_probes
+            .fetch_add(qis.len() as u64, Ordering::Relaxed);
+        // relaxed: byte tally; only read by stats(). The payload bytes
+        // count once per blocked pass — that saving is the point.
+        self.counters
+            .cold_bytes_scanned
+            .fetch_add(self.segment.cold_bytes(cluster), Ordering::Relaxed);
+        if qis.len() >= 2 {
+            // relaxed: same stats-only tally as the probe counters above.
+            self.counters.blocked_scans.fetch_add(1, Ordering::Relaxed);
+        }
+        for &qi in qis {
+            if luts[qi].is_none() {
+                luts[qi] = Some(SqLut::new(
+                    self.segment.sq(),
+                    self.segment.metric(),
+                    queries[qi].query,
+                ));
+            }
+        }
+        let dim = self.segment.dim();
+        let codes = self.segment.sq8_codes(cluster);
+        for &qi in qis {
+            if let Some(lut) = luts[qi].as_ref() {
+                for (i, code) in codes.chunks_exact(dim).enumerate() {
+                    tops[qi].push(self.segment.id_at(cluster, i), lut.distance(kern, code));
+                }
+            }
         }
     }
 }
@@ -585,11 +700,14 @@ impl ClusterStore for StoreSnapshot {
 
     fn scan_cluster(&self, cluster: u32, query: &[f32], top: &mut TopK) {
         assert_eq!(query.len(), self.segment.dim(), "query dimensionality");
+        // Kernel dispatch resolves once per pass; the scan loops below
+        // run over plain function pointers.
+        let kern = kernel::kernels();
         match &self.map.entries[cluster as usize] {
-            TierEntry::Hot(arena) => self.scan_hot(cluster, arena, query, top),
+            TierEntry::Hot(arena) => self.scan_hot(cluster, arena, query, top, &kern),
             TierEntry::Cold => {
                 let lut = SqLut::new(self.segment.sq(), self.segment.metric(), query);
-                self.scan_cold(cluster, &lut, top);
+                self.scan_cold(cluster, &lut, top, &kern);
             }
         }
     }
@@ -599,15 +717,55 @@ impl ClusterStore for StoreSnapshot {
     /// the first cold cluster (an all-hot probe set never pays for it).
     fn scan_clusters(&self, clusters: &[u32], query: &[f32], top: &mut TopK) {
         assert_eq!(query.len(), self.segment.dim(), "query dimensionality");
+        // Kernel dispatch resolves once per pass; the scan loops below
+        // run over plain function pointers.
+        let kern = kernel::kernels();
         let mut lut: Option<SqLut> = None;
         for &cluster in clusters {
             match &self.map.entries[cluster as usize] {
-                TierEntry::Hot(arena) => self.scan_hot(cluster, arena, query, top),
+                TierEntry::Hot(arena) => self.scan_hot(cluster, arena, query, top, &kern),
                 TierEntry::Cold => {
                     let lut = lut.get_or_insert_with(|| {
                         SqLut::new(self.segment.sq(), self.segment.metric(), query)
                     });
-                    self.scan_cold(cluster, lut, top);
+                    self.scan_cold(cluster, lut, top, &kern);
+                }
+            }
+        }
+    }
+
+    /// Blocked (cluster-major) batch scan: the per-query probe lists are
+    /// inverted into cluster → probing-queries, then each cluster's bytes
+    /// are streamed exactly once, scoring every query that probes it.
+    /// Results are identical to the query-at-a-time default for every
+    /// query — [`TopK`]'s `(score, id)` total order makes the outcome
+    /// independent of push order — only the traversal (and therefore the
+    /// bytes touched) changes.
+    fn scan_batch(&self, queries: &[BatchQuery<'_>], tops: &mut [TopK]) {
+        assert_eq!(queries.len(), tops.len(), "one TopK per batched query");
+        for q in queries {
+            assert_eq!(q.query.len(), self.segment.dim(), "query dimensionality");
+        }
+        // Kernel dispatch resolves once for the whole batch.
+        let kern = kernel::kernels();
+        // BTreeMap: clusters are visited in ascending id order, so the
+        // traversal (and every counter) is deterministic for a batch.
+        let mut by_cluster: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+        for (qi, q) in queries.iter().enumerate() {
+            for &c in q.lists {
+                by_cluster.entry(c).or_default().push(qi);
+            }
+        }
+        // Per-query SQ8 LUTs, built lazily on the query's first cold
+        // probe and shared across all its cold clusters of the batch.
+        let mut luts: Vec<Option<SqLut>> = queries.iter().map(|_| None).collect();
+        for (&cluster, qis) in &by_cluster {
+            match &self.map.entries[cluster as usize] {
+                TierEntry::Hot(arena) => {
+                    self.scan_hot_blocked(cluster, arena, queries, qis, tops, &kern);
+                }
+                TierEntry::Cold => {
+                    self.scan_cold_blocked(cluster, queries, qis, &mut luts, tops, &kern);
                 }
             }
         }

@@ -1,0 +1,144 @@
+//! Blocked-scan equivalence: a cluster-major batched scan through
+//! [`TieredStore`] must return, for every query, exactly what the
+//! query-at-a-time path returns — same ids, bit-identical distances —
+//! whatever mix of hot arenas and cold SQ8 extents the probe lists hit.
+//! The counters must also account a blocked pass correctly: every query
+//! counts as a probe, the shared cluster's payload bytes count once.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use vlite_ann::{scan_lists_store, scan_lists_store_batch, BatchQuery, Metric, VecSet};
+use vlite_store::TieredStore;
+
+fn sample_clusters(
+    n_clusters: usize,
+    per: usize,
+    dim: usize,
+    seed: u64,
+) -> Vec<(Vec<u64>, VecSet)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n_clusters)
+        .map(|c| {
+            let ids: Vec<u64> = (0..per as u64).map(|i| ((c as u64) << 20) | i).collect();
+            let vectors = VecSet::from_fn(per, dim, |_, _| {
+                (c as f32) * 2.0 + rng.random::<f32>() * 3.0 - 1.5
+            });
+            (ids, vectors)
+        })
+        .collect()
+}
+
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("vlite-blocked-{}-{tag}.seg", std::process::id()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For random tiers, batches, and (overlapping) probe lists, the
+    /// blocked batch scan ≡ the query-at-a-time scan, per query, bit for
+    /// bit. Holds because both paths score through the same kernels and
+    /// per-query LUT construction, and `TopK`'s `(distance, id)` total
+    /// order makes the winner set independent of push order.
+    #[test]
+    fn blocked_batch_equals_query_at_a_time(
+        seed in 0u64..1_000_000,
+        n_clusters in 2usize..7,
+        per in 4usize..32,
+        dim in 2usize..24,
+        n_queries in 2usize..6,
+        k in 1usize..8,
+    ) {
+        let clusters = sample_clusters(n_clusters, per, dim, seed);
+        let path = temp_path(&format!("prop-{seed}-{n_clusters}-{per}-{dim}-{n_queries}-{k}"));
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xb10c);
+        let hot: Vec<bool> = (0..n_clusters).map(|_| rng.random::<bool>()).collect();
+        let mut store = TieredStore::create(&path, dim, Metric::L2, &clusters, &hot)
+            .expect("creates");
+        store.set_ephemeral(true);
+
+        // Random per-query probe lists, deliberately overlapping (every
+        // query probes cluster 0) so blocked passes actually block.
+        let queries: Vec<Vec<f32>> = (0..n_queries)
+            .map(|_| (0..dim).map(|_| rng.random::<f32>() * 8.0).collect())
+            .collect();
+        let lists: Vec<Vec<u32>> = (0..n_queries)
+            .map(|_| {
+                let mut l: Vec<u32> = vec![0];
+                for c in 1..n_clusters as u32 {
+                    if rng.random::<bool>() {
+                        l.push(c);
+                    }
+                }
+                l
+            })
+            .collect();
+
+        let snap = store.snapshot();
+        let batch: Vec<BatchQuery<'_>> = (0..n_queries)
+            .map(|qi| BatchQuery { query: &queries[qi], lists: &lists[qi] })
+            .collect();
+        let blocked = scan_lists_store_batch(&snap, &batch, k);
+        for qi in 0..n_queries {
+            let solo = scan_lists_store(&snap, &queries[qi], &lists[qi], k);
+            prop_assert_eq!(blocked[qi].len(), solo.len(), "query {}", qi);
+            for (b, s) in blocked[qi].iter().zip(&solo) {
+                prop_assert_eq!(b.id, s.id, "query {}", qi);
+                prop_assert_eq!(
+                    b.distance.to_bits(), s.distance.to_bits(),
+                    "query {}: {} vs {}", qi, b.distance, s.distance
+                );
+            }
+        }
+        drop(snap);
+        let _ = std::fs::remove_file(store.path());
+    }
+}
+
+/// Counter semantics of a blocked pass: with every query probing every
+/// cluster, each cluster is streamed once per batch (bytes counted once)
+/// while every query still counts as a probe, and each multi-query pass
+/// ticks `blocked_scans`.
+#[test]
+fn blocked_pass_counts_bytes_once_and_probes_per_query() {
+    let n_clusters = 3;
+    let clusters = sample_clusters(n_clusters, 10, 4, 77);
+    let path = temp_path("counters");
+    let mut store = TieredStore::create(&path, 4, Metric::L2, &clusters, &[true, false, false])
+        .expect("creates");
+    store.set_ephemeral(true);
+
+    let queries: Vec<Vec<f32>> = (0..4).map(|q| vec![q as f32; 4]).collect();
+    let all: Vec<u32> = (0..n_clusters as u32).collect();
+    let batch: Vec<BatchQuery<'_>> = queries
+        .iter()
+        .map(|q| BatchQuery {
+            query: q,
+            lists: &all,
+        })
+        .collect();
+    let snap = store.snapshot();
+    let _ = scan_lists_store_batch(&snap, &batch, 3);
+    let stats = store.stats();
+    // 4 queries × 1 hot cluster, 4 × 2 cold clusters.
+    assert_eq!(stats.hot_probes, 4);
+    assert_eq!(stats.cold_probes, 8);
+    // Every pass covered all 4 queries → one blocked tick per cluster.
+    assert_eq!(stats.blocked_scans, n_clusters as u64);
+    // Bytes: each cluster streamed exactly once. A query-at-a-time rerun
+    // of the same probe lists must cost 4× the bytes.
+    let hot_once = stats.hot_bytes_scanned;
+    let cold_once = stats.cold_bytes_scanned;
+    for q in &queries {
+        let _ = scan_lists_store(&snap, q, &all, 3);
+    }
+    let after = store.stats();
+    assert_eq!(after.hot_bytes_scanned - hot_once, 4 * hot_once);
+    assert_eq!(after.cold_bytes_scanned - cold_once, 4 * cold_once);
+    assert_eq!(
+        after.blocked_scans, stats.blocked_scans,
+        "solo scans never block"
+    );
+}

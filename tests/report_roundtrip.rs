@@ -89,6 +89,8 @@ fn co_scheduled_report() -> ServeReport {
             cold_probes: 1_234,
             hot_bytes_scanned: 99_000_000,
             cold_bytes_scanned: 7_000_000,
+            blocked_scans: 612,
+            kernel: "avx2_fma",
             bytes_promoted: 2_000_000,
             bytes_demoted: 1_500_000,
             store_generation: 2,
