@@ -238,10 +238,13 @@ pub fn kernels() -> Kernels {
 ///
 /// # Panics
 ///
-/// Panics in debug builds if the slices differ in length.
+/// Panics if the slices differ in length. The check is load-bearing for
+/// the SIMD paths (their unchecked lane loads assume equal lengths), so
+/// it runs in release builds too; one compare per kernel call is noise
+/// next to the reduction itself.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), b.len());
     match active() {
         #[cfg(target_arch = "x86_64")]
         KernelKind::Avx2Fma => x86::dot(a, b),
@@ -255,10 +258,11 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
 ///
 /// # Panics
 ///
-/// Panics in debug builds if the slices differ in length.
+/// Panics if the slices differ in length (release builds included — see
+/// [`dot`]).
 #[inline]
 pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), b.len());
     match active() {
         #[cfg(target_arch = "x86_64")]
         KernelKind::Avx2Fma => x86::l2_sq(a, b),
@@ -272,10 +276,11 @@ pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
 ///
 /// # Panics
 ///
-/// Panics in debug builds if `table.len() != codes.len() * 256`.
+/// Panics if `table.len() != codes.len() * 256` (release builds
+/// included — see [`dot`]).
 #[inline]
 pub fn sq8_lut_sum(table: &[f32], codes: &[u8]) -> f32 {
-    debug_assert_eq!(table.len(), codes.len() * 256);
+    assert_eq!(table.len(), codes.len() * 256);
     match active() {
         #[cfg(target_arch = "x86_64")]
         KernelKind::Avx2Fma => x86::sq8_lut_sum(table, codes),

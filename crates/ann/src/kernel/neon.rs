@@ -13,20 +13,31 @@
 use std::arch::aarch64::{vaddq_f32, vaddvq_f32, vdupq_n_f32, vfmaq_f32, vld1q_f32, vsubq_f32};
 
 /// NEON inner (dot) product; dispatch-only entry.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length (the assert is load-bearing:
+/// it is what makes the unchecked 4-lane loads below sound).
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), b.len());
     // SAFETY: the dispatcher routes to this module only after runtime
     // feature detection confirmed NEON, satisfying `dot_neon`'s sole
-    // (target-feature) precondition; all loads stay within the
-    // just-asserted equal slice lengths.
+    // (target-feature) precondition; all loads stay within the slice
+    // lengths just asserted equal (in all build profiles).
     unsafe { dot_neon(a, b) }
 }
 
 /// NEON squared-L2 distance; dispatch-only entry.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length (the assert is load-bearing:
+/// it is what makes the unchecked 4-lane loads below sound).
 pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), b.len());
     // SAFETY: same argument as `dot` — feature-gated dispatch
-    // guarantees the NEON target-feature precondition of `l2_sq_neon`.
+    // guarantees the NEON target-feature precondition of `l2_sq_neon`,
+    // and the length equality the loads rely on was just asserted.
     unsafe { l2_sq_neon(a, b) }
 }
 

@@ -21,29 +21,48 @@ use std::arch::x86_64::{
 };
 
 /// AVX2+FMA inner (dot) product; dispatch-only entry.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length (the assert is load-bearing:
+/// it is what makes the unchecked 8-lane loads below sound).
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), b.len());
     // SAFETY: the dispatcher routes to this module only after CPUID
     // detection confirmed avx2+fma, satisfying `dot_avx2`'s sole
     // (target-feature) precondition; slice lengths were just asserted
-    // equal and all loads below stay within them.
+    // equal (in all build profiles) and all loads below stay within
+    // them.
     unsafe { dot_avx2(a, b) }
 }
 
 /// AVX2+FMA squared-L2 distance; dispatch-only entry.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length (the assert is load-bearing:
+/// it is what makes the unchecked 8-lane loads below sound).
 pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), b.len());
     // SAFETY: same argument as `dot` — CPUID-gated dispatch guarantees
-    // the avx2+fma target-feature precondition of `l2_sq_avx2`.
+    // the avx2+fma target-feature precondition of `l2_sq_avx2`, and the
+    // length equality the loads rely on was just asserted.
     unsafe { l2_sq_avx2(a, b) }
 }
 
 /// AVX2 gather-based SQ8 LUT sum; dispatch-only entry.
+///
+/// # Panics
+///
+/// Panics if `table.len() != codes.len() * 256` (the assert is
+/// load-bearing: it is what makes the gather bound argument sound).
 pub fn sq8_lut_sum(table: &[f32], codes: &[u8]) -> f32 {
-    debug_assert_eq!(table.len(), codes.len() * 256);
+    assert_eq!(table.len(), codes.len() * 256);
     // SAFETY: CPUID-gated dispatch guarantees the avx2 target-feature
-    // precondition; the gather index bound (< 2048 f32 from the moving
-    // base) is argued at the gather site inside.
+    // precondition; the table/codes length relation the gather bound
+    // depends on was just asserted (in all build profiles), and the
+    // gather index bound (< 2048 f32 from the moving base) is argued at
+    // the gather site inside.
     unsafe { sq8_avx2(table, codes) }
 }
 

@@ -97,11 +97,12 @@ pub struct StoreStats {
     /// 0 in healthy runs: the migrator only holds the write lock for one
     /// pointer swap.
     pub snapshot_waits: u64,
-    /// Blocked (cluster-major) passes that scored ≥ 2 queries of a batch
-    /// in one sweep over a cluster's bytes. Each such pass counts every
-    /// query in `hot_probes`/`cold_probes` but the payload bytes only
-    /// once in `*_bytes_scanned` — the bytes-per-probe saving *is* the
-    /// blocking win.
+    /// Blocked (cluster-major) passes that scored ≥ 2 *distinct* queries
+    /// of a batch in one sweep over a cluster's bytes (one query probing
+    /// the same cluster twice is not a batching win and does not count).
+    /// Each such pass counts every query in `hot_probes`/`cold_probes`
+    /// but the payload bytes only once in `*_bytes_scanned` — the
+    /// bytes-per-probe saving *is* the blocking win.
     pub blocked_scans: u64,
 }
 
@@ -595,6 +596,19 @@ impl StoreSnapshot {
         }
     }
 
+    /// Whether a blocked pass's query list names ≥ 2 *distinct* queries
+    /// — the `blocked_scans` counter's documented semantics. A query
+    /// whose probe list repeats a cluster id occurs in `qis` once per
+    /// occurrence (kept that way so blocked scoring stays exactly
+    /// equivalent to the per-query path, which also re-scores the
+    /// duplicate), but such repeats are not a batching win and must not
+    /// tick the counter. `qis` is nondecreasing by construction (the
+    /// inversion walks queries in index order), so distinctness is one
+    /// adjacent-pair sweep.
+    fn is_multi_query(qis: &[usize]) -> bool {
+        qis.windows(2).any(|w| w[0] != w[1])
+    }
+
     /// One blocked pass over a hot cluster: every vector is streamed
     /// once and scored against all `qis` queries (batch-major loop).
     fn scan_hot_blocked(
@@ -616,7 +630,7 @@ impl StoreSnapshot {
         self.counters
             .hot_bytes_scanned
             .fetch_add(self.segment.hot_bytes(cluster), Ordering::Relaxed);
-        if qis.len() >= 2 {
+        if Self::is_multi_query(qis) {
             // relaxed: same stats-only tally as the probe counters above.
             self.counters.blocked_scans.fetch_add(1, Ordering::Relaxed);
         }
@@ -656,7 +670,7 @@ impl StoreSnapshot {
         self.counters
             .cold_bytes_scanned
             .fetch_add(self.segment.cold_bytes(cluster), Ordering::Relaxed);
-        if qis.len() >= 2 {
+        if Self::is_multi_query(qis) {
             // relaxed: same stats-only tally as the probe counters above.
             self.counters.blocked_scans.fetch_add(1, Ordering::Relaxed);
         }
