@@ -32,14 +32,26 @@
 //! asserts that the SIMD rows' p99 never exceeds the scalar rows' and
 //! that blocked SIMD beats the scalar query-at-a-time baseline.
 //!
+//! With `--deadlines` it floods the server with requests whose uniform
+//! per-request budget cannot absorb the queueing the flood creates, and
+//! runs the identical workload twice: measure-only (budgets recorded,
+//! never acted on) vs enforcing (the full degradation ladder: admission
+//! shed, queue-expiry shed, probe shrinking, cold-tier skip). Reports
+//! goodput — deadline-met completions per offered second — per mode
+//! (`results/serve_deadlines.csv`) and asserts the enforcing run's
+//! goodput strictly exceeds the measure-only baseline's: shedding doomed
+//! work early must buy capacity for feasible work.
+//!
 //! With `--gate <baseline.csv>` it instead runs only the rows listed in
 //! the baseline file (`metric,rate,budget_s` rows, `#` comments allowed;
 //! metrics: `search_p99` for retrieval-only rates, `ttft_p99` for
 //! co-scheduled ones, `obs_overhead` for a fully-instrumented
 //! telemetry-plane-on run, `tiers_all_hot_p99` / `tiers_paper_p99` /
 //! `tiers_all_cold_p99` for the tier sweep, `kernel_scalar_p99` /
-//! `kernel_simd_p99` for the dispatch A/B) and exits nonzero if any
-//! measured p99 exceeds its checked-in budget — CI's perf-smoke step,
+//! `kernel_simd_p99` for the dispatch A/B, `deadline_goodput` for the
+//! deadline flood — the one *inverted* row, where the budget column is a
+//! goodput floor the measured value must stay above) and exits nonzero if
+//! any measured p99 exceeds its checked-in budget — CI's perf-smoke step,
 //! catching dispatcher/queue (and now generation-bridge and tier-scan)
 //! regressions before merge. Budgets are deliberately loose (an order of
 //! magnitude above local measurements) so shared runners don't flake,
@@ -201,11 +213,129 @@ fn main() {
         kernels_sweep();
         return;
     }
+    if args.iter().any(|a| a == "--deadlines") {
+        assert!(args.len() == 1, "unknown arguments: {args:?}");
+        deadlines_sweep();
+        return;
+    }
     assert!(
         args.is_empty(),
-        "unknown arguments: {args:?} (try --gate, --ttft, --tiers or --kernels)"
+        "unknown arguments: {args:?} (try --gate, --ttft, --tiers, --kernels or --deadlines)"
     );
     sweep();
+}
+
+/// The uniform per-request budget for the deadline flood, in seconds:
+/// generous next to an unloaded request (~1-3 ms locally) and hopeless
+/// next to the queueing the flood builds up, so enforcement has real
+/// doomed work to shed.
+const DEADLINE_BUDGET_S: f64 = 0.010;
+
+/// The deadline flood's offered rate (req/s): far enough past the
+/// paper-placement service capacity on the tier corpus (where cold
+/// probes serialize on the single CPU worker) that the queue saturates
+/// and budgets die in it.
+const DEADLINE_FLOOD_RATE: f64 = 12_000.0;
+
+/// One open-loop point where every request carries the same deadline
+/// budget (via the policy default), with the ladder enforcing or
+/// measure-only.
+fn run_rate_deadline(
+    corpus: &SyntheticCorpus,
+    rate: f64,
+    n_requests: usize,
+    budget_s: f64,
+    enforce: bool,
+) -> ServeReport {
+    let mut config = ServeConfig::small();
+    config.real = real_config();
+    config.queue_capacity = 512;
+    config.deadline.default_deadline = Some(budget_s);
+    config.deadline.enforce = enforce;
+    let server = RagServer::start(corpus, config).expect("server starts");
+    let mut source = RotatingQuerySource::from_corpus(corpus, 11);
+    run_open_loop(&server, &mut source, rate, n_requests, 17, |_, _| {});
+    server.shutdown()
+}
+
+/// Deadline-met completions per offered second: the goodput a client with
+/// this budget actually experiences. Late completions count for nothing.
+fn goodput(report: &ServeReport, rate: f64, n_requests: usize) -> f64 {
+    report.deadline_met as f64 / (n_requests as f64 / rate)
+}
+
+/// The deadline flood A/B: the identical over-budget workload with the
+/// degradation ladder off (measure-only) and on (enforcing). Writes
+/// `results/serve_deadlines.csv` and asserts enforcement strictly wins
+/// on goodput.
+fn deadlines_sweep() {
+    banner(
+        "serve-smoke --deadlines",
+        "over-budget flood: measure-only vs enforcing degradation ladder",
+    );
+    // The tier corpus at paper placement: cold probes serialize on the
+    // CPU worker, so an over-capacity flood builds real queueing for
+    // budgets to die in — and rung 4 has a genuinely slow tier to skip.
+    let corpus = tier_corpus();
+    let n = 1_500;
+    let mut table = Table::new(vec![
+        "mode",
+        "offered (req/s)",
+        "budget",
+        "completed",
+        "deadline met",
+        "goodput (met/s)",
+        "sheds adm/queue/gen",
+        "degraded probes",
+        "cold skips",
+        "attainment",
+    ]);
+    let mut goodputs = Vec::new();
+    for (label, enforce) in [("measure_only", false), ("enforcing", true)] {
+        let report = run_rate_deadline(&corpus, DEADLINE_FLOOD_RATE, n, DEADLINE_BUDGET_S, enforce);
+        let g = goodput(&report, DEADLINE_FLOOD_RATE, n);
+        goodputs.push(g);
+        if !enforce {
+            assert_eq!(
+                report.deadline_sheds,
+                [0, 0, 0],
+                "measure-only must never shed on a deadline"
+            );
+            assert_eq!(report.degraded_probes, 0);
+            assert_eq!(report.cold_skips, 0);
+        }
+        table.row(vec![
+            label.to_string(),
+            format!("{DEADLINE_FLOOD_RATE:.0}"),
+            fmt_seconds(DEADLINE_BUDGET_S),
+            report.completed.to_string(),
+            report.deadline_met.to_string(),
+            format!("{g:.1}"),
+            format!(
+                "{}/{}/{}",
+                report.deadline_sheds[0], report.deadline_sheds[1], report.deadline_sheds[2]
+            ),
+            report.degraded_probes.to_string(),
+            report.cold_skips.to_string(),
+            report
+                .deadline_attainment
+                .map_or("-".into(), |a| format!("{:.1}%", 100.0 * a)),
+        ]);
+    }
+    println!("{}", table.render());
+    write_csv("serve_deadlines.csv", &table.to_csv());
+
+    let (baseline, enforcing) = (goodputs[0], goodputs[1]);
+    println!(
+        "goodput: measure-only {baseline:.1}/s  enforcing {enforcing:.1}/s  \
+         (budget {DEADLINE_BUDGET_S}s at {DEADLINE_FLOOD_RATE:.0} req/s offered)"
+    );
+    assert!(
+        enforcing > baseline,
+        "enforcing goodput ({enforcing:.2}/s) must strictly exceed measure-only \
+         ({baseline:.2}/s): shedding doomed work early buys capacity for feasible work"
+    );
+    println!("deadline enforcement wins: {enforcing:.1}/s > {baseline:.1}/s goodput.");
 }
 
 /// The physical-tier sweep: all-hot vs paper placement vs all-cold at one
@@ -516,21 +646,55 @@ fn gate(baseline_path: &str) {
                 );
                 (report.search.p99, report.slo_attainment)
             }
+            "deadline_goodput" => {
+                // The one inverted row: the measured value is goodput
+                // (deadline-met completions per offered second, enforcing
+                // ladder, over-budget flood) and the budget column is a
+                // FLOOR it must stay above — a regression that sheds too
+                // eagerly or stops degrading drops it.
+                let report =
+                    run_rate_deadline(&tier_corpus(), row.rate, 600, DEADLINE_BUDGET_S, true);
+                let ladder_actions = report.deadline_sheds.iter().sum::<u64>()
+                    + report.degraded_probes
+                    + report.cold_skips;
+                assert!(
+                    ladder_actions > 0,
+                    "the deadline gate flood must actually exercise the ladder \
+                     (no sheds, no probe shrinks, no cold skips)"
+                );
+                (
+                    goodput(&report, row.rate, 600),
+                    report.deadline_attainment.unwrap_or(0.0),
+                )
+            }
             other => panic!(
                 "unknown baseline metric {other:?} \
                  (search_p99 | ttft_p99 | obs_overhead | tiers_all_hot_p99 | tiers_paper_p99 \
-                 | tiers_all_cold_p99 | kernel_scalar_p99 | kernel_simd_p99)"
+                 | tiers_all_cold_p99 | kernel_scalar_p99 | kernel_simd_p99 | deadline_goodput)"
             ),
         };
-        let ok = p99 <= row.budget;
+        // Goodput gates invert: higher is better, the budget is a floor.
+        let inverted = row.metric == "deadline_goodput";
+        let ok = if inverted {
+            p99 >= row.budget
+        } else {
+            p99 <= row.budget
+        };
         if !ok {
             breaches += 1;
         }
+        let fmt_cell = |v: f64| {
+            if inverted {
+                format!("{v:.1}/s")
+            } else {
+                fmt_seconds(v)
+            }
+        };
         table.row(vec![
             row.metric.clone(),
             format!("{:.0}", row.rate),
-            fmt_seconds(p99),
-            fmt_seconds(row.budget),
+            fmt_cell(p99),
+            fmt_cell(row.budget),
             format!("{attainment:.1}%", attainment = 100.0 * attainment),
             if ok { "pass".into() } else { "FAIL".into() },
         ]);
@@ -538,10 +702,10 @@ fn gate(baseline_path: &str) {
     println!("{}", table.render());
     write_csv("ci_perf_gate.csv", &table.to_csv());
     if breaches > 0 {
-        eprintln!("perf gate FAILED: {breaches} row(s) exceeded the p99 budget in {baseline_path}");
+        eprintln!("perf gate FAILED: {breaches} row(s) breached their budget in {baseline_path}");
         std::process::exit(1);
     }
-    println!("perf gate passed: every row within its p99 budget.");
+    println!("perf gate passed: every row within its budget.");
 }
 
 /// The co-scheduled TTFT sweep: offered rate vs TTFT percentiles, phase

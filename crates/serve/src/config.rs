@@ -143,6 +143,105 @@ impl GenerationConfig {
     }
 }
 
+/// Deadline-budget (latency-enforcement) knobs.
+///
+/// `slo_search`/`slo_ttft` are *measured* targets; a [`DeadlinePolicy`]
+/// makes latency an *enforced* input. Every admitted request carries an
+/// absolute end-to-end deadline (the client's `X-Deadline-Ms`, or
+/// [`default_deadline`](DeadlinePolicy::default_deadline)) and, when
+/// [`enforce`](DeadlinePolicy::enforce) is on, each stage adapts to the
+/// remaining budget — the degradation ladder, in order:
+///
+/// 1. **Admission shed**: when the estimated queue wait (lane depth over
+///    the recent drain rate) already exceeds the whole budget, reject at
+///    submit with [`AdmissionError::DeadlineUnmeetable`](crate::AdmissionError).
+/// 2. **Queue-expiry shed**: a request whose deadline passed while queued
+///    is dropped at batch formation instead of wasting a batch slot.
+/// 3. **Probe shrinking**: a request that burned queue budget probes a
+///    prefix of its closeness-ordered probe list, scaled to the remaining
+///    budget (never below
+///    [`min_probe_fraction`](DeadlinePolicy::min_probe_fraction)).
+/// 4. **Cold-tier skip**: when the remaining budget cannot absorb a
+///    cold-tier (CPU) scan, the query keeps only its fast-tier probes.
+/// 5. **Generation shed**: a request whose estimated first token lands
+///    past the deadline is shed at generation admission (the retrieval
+///    results are still delivered).
+///
+/// Every rung is counted (`deadline_sheds`, `degraded_probes`,
+/// `cold_skips`) and per-stage budget burn is reported, so degradation is
+/// observable, never silent. With `enforce == false` the budget is still
+/// threaded and *measured* (burn + goodput accounting) but never acted on
+/// — the measure-only baseline `serve_smoke --deadlines` compares against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeadlinePolicy {
+    /// Default end-to-end deadline in seconds stamped on requests that do
+    /// not carry their own. `None` leaves such requests unbudgeted (they
+    /// are never shed or degraded).
+    pub default_deadline: Option<f64>,
+    /// Whether stages act on the budget. `false` = measure-only: budget
+    /// burn and deadline attainment are reported but nothing is shed or
+    /// degraded.
+    pub enforce: bool,
+    /// Estimated full-probe search-stage cost in seconds (a measured p50
+    /// is a good value). Drives probe shrinking: a request whose remaining
+    /// budget is below this probes proportionally fewer lists.
+    pub est_search: f64,
+    /// Estimated extra seconds a cold-tier (CPU/SQ8) scan adds on top of
+    /// the fast tier. When the remaining budget is below
+    /// `est_search + est_cold`, the query skips its cold-tier probes.
+    pub est_cold: f64,
+    /// Floor on the fraction of the configured probe list a degraded
+    /// query keeps (always at least one probe).
+    pub min_probe_fraction: f64,
+    /// Upper bound in seconds the HTTP handler waits on an *unbudgeted*
+    /// request before answering `504 Gateway Timeout` — the backstop that
+    /// keeps a wedged pipeline from pinning connection threads forever.
+    /// Budgeted requests wait until their own deadline instead.
+    pub max_http_wait: f64,
+}
+
+impl Default for DeadlinePolicy {
+    fn default() -> Self {
+        Self {
+            default_deadline: None,
+            enforce: false,
+            est_search: 0.005,
+            est_cold: 0.050,
+            min_probe_fraction: 0.25,
+            max_http_wait: 30.0,
+        }
+    }
+}
+
+impl DeadlinePolicy {
+    /// Panics unless the policy is servable: positive finite estimates, a
+    /// probe floor in `(0, 1]`, and a positive default deadline when set.
+    pub(crate) fn validate(&self) {
+        if let Some(d) = self.default_deadline {
+            assert!(
+                d.is_finite() && d > 0.0,
+                "default_deadline must be positive and finite"
+            );
+        }
+        assert!(
+            self.est_search.is_finite() && self.est_search > 0.0,
+            "est_search must be positive and finite"
+        );
+        assert!(
+            self.est_cold.is_finite() && self.est_cold >= 0.0,
+            "est_cold must be non-negative and finite"
+        );
+        assert!(
+            self.min_probe_fraction > 0.0 && self.min_probe_fraction <= 1.0,
+            "min_probe_fraction must be in (0, 1]"
+        );
+        assert!(
+            self.max_http_wait.is_finite() && self.max_http_wait > 0.0,
+            "max_http_wait must be positive and finite"
+        );
+    }
+}
+
 /// Tiered-storage (vlite-store) knobs.
 ///
 /// When enabled (the default) and the index uses flat list storage, the
@@ -264,6 +363,10 @@ pub struct ServeConfig {
     /// Tiered-storage configuration: where the segment file lives and
     /// whether physical tiering is enabled at all.
     pub store: StoreConfig,
+    /// Deadline-budget policy: default per-request budget, whether stages
+    /// enforce it (shed/degrade) or only measure burn, and the cost
+    /// estimates the degradation ladder scales against.
+    pub deadline: DeadlinePolicy,
     /// Telemetry-plane configuration (on by default): live lock-free
     /// metrics, trace rings, and the unified event journal behind
     /// `GET /v1/metrics`, `/v1/traces` and `/v1/events`.
@@ -282,6 +385,7 @@ impl ServeConfig {
             http: HttpConfig::default(),
             generation: None,
             store: StoreConfig::default(),
+            deadline: DeadlinePolicy::default(),
             obs: crate::obs::ObsConfig::default(),
         }
     }

@@ -313,6 +313,22 @@ mod tests {
         window: usize,
         n_tenants: usize,
     ) -> (Arc<Shared>, ControlLoop, Vec<Vec<u32>>) {
+        harness_with_deadline(
+            cooldown,
+            window,
+            n_tenants,
+            crate::config::DeadlinePolicy::default(),
+        )
+    }
+
+    /// [`harness`] with an explicit deadline policy — the admission-shed
+    /// tests need `enforce` on, which the default policy keeps off.
+    fn harness_with_deadline(
+        cooldown: usize,
+        window: usize,
+        n_tenants: usize,
+        deadline: crate::config::DeadlinePolicy,
+    ) -> (Arc<Shared>, ControlLoop, Vec<Vec<u32>>) {
         let corpus = SyntheticCorpus::generate(&CorpusConfig {
             n_vectors: 2_000,
             dim: 8,
@@ -369,6 +385,7 @@ mod tests {
             clock: Arc::new(crate::clock::VirtualClock::new()),
             generation: None,
             slo_signal: crate::config::SloSignal::Search,
+            deadline,
         });
         let mut config = ServeConfig::small().control;
         config.update = UpdateConfig {
@@ -465,6 +482,7 @@ mod tests {
                     tenant: TenantId(0),
                     query: vec![0.0; 8],
                     enqueued: vlite_sim::SimTime::ZERO,
+                    deadline: None,
                     reply,
                 })
                 .expect("admitted");
@@ -518,5 +536,116 @@ mod tests {
         // The large tenant's healthy traffic dominates the window, which
         // is exactly why a global monitor would have stayed silent.
         assert!(events[0].observed_by_tenant[0] > events[0].observed_by_tenant[1] * 3);
+    }
+
+    /// Backlogs tenant 0's lane with `n` jobs. No batcher thread exists in
+    /// this harness, so the jobs stay queued and `estimated_wait` reads a
+    /// real depth.
+    fn backlog(shared: &Shared, n: u64) {
+        for id in 0..n {
+            let (reply, _rx) = crossbeam::channel::unbounded();
+            shared
+                .queue
+                .try_push(Job {
+                    id,
+                    tenant: TenantId(0),
+                    query: vec![0.0; 8],
+                    enqueued: vlite_sim::SimTime::ZERO,
+                    deadline: None,
+                    reply,
+                })
+                .expect("within lane capacity");
+        }
+    }
+
+    #[test]
+    fn admission_shed_fires_only_when_the_queue_wait_exceeds_the_budget() {
+        let policy = crate::config::DeadlinePolicy {
+            enforce: true,
+            ..crate::config::DeadlinePolicy::default()
+        };
+        let (shared, _control, _probe_sets) = harness_with_deadline(100, 80, 1, policy);
+        let t0 = vlite_sim::SimTime::ZERO;
+        // Seed the drain-rate EWMA: two drains of 4 jobs 10 ms apart read
+        // ~400 jobs/s, then backlog the lane so the wait estimate is real.
+        shared.queue.record_drain(4, t0);
+        shared
+            .queue
+            .record_drain(4, t0 + vlite_sim::SimDuration::from_millis(10.0));
+        backlog(&shared, 32);
+        let wait = shared
+            .queue
+            .estimated_wait(TenantId(0))
+            .expect("rate and depth both measured");
+        assert!(wait > 0.0);
+
+        // A budget below the estimated wait sheds, with full accounting.
+        let err = shared
+            .shed_if_unmeetable(TenantId(0), Some(wait / 2.0), t0)
+            .expect_err("unmeetable budget must shed at admission");
+        match err {
+            crate::request::AdmissionError::DeadlineUnmeetable {
+                tenant,
+                budget,
+                estimated_wait,
+            } => {
+                assert_eq!(tenant, TenantId(0));
+                assert!((budget - wait / 2.0).abs() < 1e-12);
+                assert!((estimated_wait - wait).abs() < 1e-12);
+            }
+            other => panic!("wrong admission error: {other:?}"),
+        }
+        assert_eq!(
+            crate::sync::lock_recover(&shared.metrics).deadline_sheds
+                [crate::obs::DEADLINE_STAGE_ADMISSION],
+            1
+        );
+        assert!(
+            shared
+                .obs
+                .journal_snapshot()
+                .iter()
+                .any(|e| e.kind == "deadline-shed" && e.detail.contains("shed at admission")),
+            "admission sheds must reach the event journal"
+        );
+
+        // A budget above the estimated wait is feasible and admits.
+        shared
+            .shed_if_unmeetable(TenantId(0), Some(wait * 2.0), t0)
+            .expect("feasible budget must admit");
+        // Unbudgeted submissions never shed at admission.
+        shared
+            .shed_if_unmeetable(TenantId(0), None, t0)
+            .expect("unbudgeted submissions always admit");
+        assert_eq!(
+            crate::sync::lock_recover(&shared.metrics).deadline_sheds
+                [crate::obs::DEADLINE_STAGE_ADMISSION],
+            1,
+            "only the unmeetable budget shed"
+        );
+    }
+
+    #[test]
+    fn measure_only_policy_never_sheds_at_admission() {
+        let (shared, _control, _probe_sets) = harness(100, 80, 1);
+        let t0 = vlite_sim::SimTime::ZERO;
+        shared.queue.record_drain(4, t0);
+        shared
+            .queue
+            .record_drain(4, t0 + vlite_sim::SimDuration::from_millis(10.0));
+        backlog(&shared, 32);
+        let wait = shared
+            .queue
+            .estimated_wait(TenantId(0))
+            .expect("rate and depth both measured");
+        // Even a budget far below the wait admits when `enforce` is off.
+        shared
+            .shed_if_unmeetable(TenantId(0), Some(wait / 100.0), t0)
+            .expect("measure-only policies never shed");
+        assert_eq!(
+            crate::sync::lock_recover(&shared.metrics).deadline_sheds
+                [crate::obs::DEADLINE_STAGE_ADMISSION],
+            0
+        );
     }
 }

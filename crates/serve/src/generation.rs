@@ -336,6 +336,8 @@ pub(crate) struct GenWork {
     pub hit_rate: f64,
     pub generation: u64,
     pub enqueued: SimTime,
+    /// Absolute end-to-end deadline, when the request carries a budget.
+    pub deadline: Option<SimTime>,
     /// Queue/search phases measured by the dispatcher, in seconds.
     pub queue: f64,
     pub search: f64,
@@ -346,6 +348,24 @@ pub(crate) struct GenWork {
     /// the control loop is keyed off TTFT (`None` otherwise — the
     /// dispatcher already sent the search-keyed observation).
     pub probes: Option<Vec<u32>>,
+}
+
+impl GenWork {
+    /// The request's whole budget in seconds, when it carries one.
+    fn budget_secs(&self) -> Option<f64> {
+        self.deadline
+            .map(|d| (d - self.enqueued).as_secs_f64().max(1e-12))
+    }
+}
+
+/// Why the generation stage refused a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ShedCause {
+    /// KV-aware admission: estimated TTFT past `slo_ttft`.
+    Kv,
+    /// Deadline enforcement: estimated first token past the request's own
+    /// end-to-end deadline.
+    Deadline,
 }
 
 /// In-flight per-request state the worker joins engine events against.
@@ -443,9 +463,22 @@ fn admit(
         n_docs: work.neighbors.len(),
         admitted_at: work.enqueued,
     };
+    // Rung 5 of the degradation ladder: when the estimated first token
+    // lands past the request's own end-to-end deadline, generation is
+    // pointless — deliver the retrieval results now instead of queueing
+    // into a guaranteed deadline miss.
+    if shared.deadline.enforce {
+        if let Some(deadline) = work.deadline {
+            let prompt = stage.prompt_tokens(work.neighbors.len());
+            if stage.estimate_first_token(prompt, work.merged_at) > deadline {
+                shed(shared, control_tx, work, ShedCause::Deadline);
+                return;
+            }
+        }
+    }
     if config.kv_admission {
         if stage.submit_or_shed(req, work.merged_at).is_err() {
-            shed(shared, control_tx, work);
+            shed(shared, control_tx, work, ShedCause::Kv);
             return;
         }
     } else {
@@ -460,14 +493,14 @@ fn admit(
     );
 }
 
-/// KV-aware admission rejected this request: serve its retrieval results
-/// immediately (no generation phases) and account it as a TTFT miss — a
-/// shed — against its tenant.
+/// Generation admission rejected this request (KV-aware or
+/// deadline-aware): serve its retrieval results immediately (no generation
+/// phases) and account it as a TTFT miss — a shed — against its tenant.
 ///
 /// The shed instant is the merge instant the dispatcher stamped, so the
 /// response's timings are deterministic under a virtual clock regardless
 /// of when this worker thread got scheduled.
-fn shed(shared: &Shared, control_tx: &Sender<Observation>, mut work: GenWork) {
+fn shed(shared: &Shared, control_tx: &Sender<Observation>, mut work: GenWork, cause: ShedCause) {
     let timings = RequestTimings {
         queue: work.queue,
         search: work.search,
@@ -484,6 +517,19 @@ fn shed(shared: &Shared, control_tx: &Sender<Observation>, mut work: GenWork) {
         // attainment denominator honest without a latency sample.
         metrics.ttft_slo.observe(f64::INFINITY);
         metrics.gen_sheds += 1;
+        if cause == ShedCause::Deadline {
+            metrics.deadline_sheds[crate::obs::DEADLINE_STAGE_GENERATION] += 1;
+        }
+        if let Some(budget) = work.budget_secs() {
+            metrics.burn_queue.record(timings.queue / budget);
+            metrics.burn_search.record(timings.search / budget);
+            // The retrieval-only reply leaves at the merge instant.
+            if work.merged_at <= work.deadline.expect("budget implies deadline") {
+                metrics.deadline_met += 1;
+            } else {
+                metrics.deadline_missed += 1;
+            }
+        }
         metrics.hit_sum += work.hit_rate;
         metrics.completed += 1;
         let tenant = &mut metrics.tenants[work.tenant.index()];
@@ -496,6 +542,19 @@ fn shed(shared: &Shared, control_tx: &Sender<Observation>, mut work: GenWork) {
         tenant.hit_sum += work.hit_rate;
         tenant.completed += 1;
     }
+    if cause == ShedCause::Deadline {
+        shared
+            .obs
+            .on_deadline_shed(crate::obs::DEADLINE_STAGE_GENERATION);
+    }
+    if let Some(budget) = work.budget_secs() {
+        shared
+            .obs
+            .on_budget_burn(crate::obs::BURN_STAGE_QUEUE, timings.queue / budget);
+        shared
+            .obs
+            .on_budget_burn(crate::obs::BURN_STAGE_SEARCH, timings.search / budget);
+    }
     shared.obs.on_request(
         work.id,
         work.tenant,
@@ -505,11 +564,15 @@ fn shed(shared: &Shared, control_tx: &Sender<Observation>, mut work: GenWork) {
         Some(false),
         true,
     );
+    let (kind, why) = match cause {
+        ShedCause::Kv => ("shed", "KV-aware admission"),
+        ShedCause::Deadline => ("deadline-shed", "deadline-aware generation admission"),
+    };
     shared.obs.journal(
         work.merged_at.as_nanos(),
-        "shed",
+        kind,
         format!(
-            "request {} ({}) shed by KV-aware admission after {:.4}s of retrieval",
+            "request {} ({}) shed by {why} after {:.4}s of retrieval",
             work.id, work.tenant, timings.e2e
         ),
     );
@@ -562,6 +625,18 @@ fn finish(shared: &Shared, entry: PendingGen, at: SimTime) {
         metrics.gen_queue_lat.record(gen.gen_queue);
         metrics.prefill_lat.record(gen.prefill);
         metrics.decode_lat.record(gen.decode);
+        if let Some(budget) = work.budget_secs() {
+            metrics.burn_queue.record(timings.queue / budget);
+            metrics.burn_search.record(timings.search / budget);
+            metrics
+                .burn_gen
+                .record((at - work.merged_at).as_secs_f64() / budget);
+            if at <= work.deadline.expect("budget implies deadline") {
+                metrics.deadline_met += 1;
+            } else {
+                metrics.deadline_missed += 1;
+            }
+        }
         metrics.hit_sum += work.hit_rate;
         metrics.completed += 1;
         let tenant = &mut metrics.tenants[work.tenant.index()];
@@ -573,6 +648,19 @@ fn finish(shared: &Shared, entry: PendingGen, at: SimTime) {
         tenant.ttft_slo.observe(gen.ttft);
         tenant.hit_sum += work.hit_rate;
         tenant.completed += 1;
+    }
+
+    if let Some(budget) = work.budget_secs() {
+        shared
+            .obs
+            .on_budget_burn(crate::obs::BURN_STAGE_QUEUE, timings.queue / budget);
+        shared
+            .obs
+            .on_budget_burn(crate::obs::BURN_STAGE_SEARCH, timings.search / budget);
+        shared.obs.on_budget_burn(
+            crate::obs::BURN_STAGE_GENERATION,
+            (at - work.merged_at).as_secs_f64() / budget,
+        );
     }
 
     let ttft_met = shared.generation.as_ref().map(|g| gen.ttft <= g.slo_ttft);

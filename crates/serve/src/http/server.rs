@@ -33,7 +33,7 @@ use crate::http::json::Json;
 use crate::http::parser::{self, ParseError, RequestHead};
 use crate::http::wire;
 use crate::report::ServeReport;
-use crate::request::{AdmissionError, TenantId};
+use crate::request::{AdmissionError, TenantId, Ticket};
 use crate::server::RagServer;
 
 /// How often a blocked connection read re-checks the shutdown flag.
@@ -145,7 +145,9 @@ impl HttpFrontend {
         }
         let handles = std::mem::take(&mut *crate::sync::lock_recover(&inner.conn_threads));
         for handle in handles {
-            let _ = handle.join();
+            if handle.join().is_err() {
+                inner.server.record_connection_panic();
+            }
         }
     }
 }
@@ -173,8 +175,21 @@ fn acceptor(listener: &TcpListener, inner: &Arc<FrontendInner>) {
                 if let Ok(handle) = spawned {
                     let mut threads = crate::sync::lock_recover(&inner.conn_threads);
                     // Reap finished connections so a long-lived frontend
-                    // under churn doesn't accumulate dead handles.
-                    threads.retain(|h| !h.is_finished());
+                    // under churn doesn't accumulate dead handles — and
+                    // actually join them: a bare `retain(!is_finished)`
+                    // discards the JoinHandle, which silently swallows any
+                    // connection-thread panic.
+                    let mut live = Vec::with_capacity(threads.len() + 1);
+                    for h in threads.drain(..) {
+                        if h.is_finished() {
+                            if h.join().is_err() {
+                                inner.server.record_connection_panic();
+                            }
+                        } else {
+                            live.push(h);
+                        }
+                    }
+                    *threads = live;
                     threads.push(handle);
                 }
             }
@@ -439,14 +454,23 @@ fn healthz(inner: &FrontendInner) -> Json {
     ])
 }
 
-/// `POST /v1/search`: decode, submit for the `X-Tenant` tenant (default 0),
-/// block on the ticket, encode the merged result.
+/// `POST /v1/search`: decode, submit for the `X-Tenant` tenant (default 0)
+/// under the `X-Deadline-Ms` budget (default: the policy's), wait on the
+/// ticket with a bounded, shutdown-aware poll loop, encode the merged
+/// result.
 fn search(inner: &FrontendInner, head: &RequestHead<'_>, body: &[u8]) -> Reply {
     let tenant = match head.header("x-tenant") {
         None => TenantId(0),
         Some(raw) => match raw.trim().parse::<u16>() {
             Ok(id) => TenantId(id),
             Err(_) => return bad_request("X-Tenant must be an integer tenant id"),
+        },
+    };
+    let deadline = match head.header("x-deadline-ms") {
+        None => None,
+        Some(raw) => match raw.trim().parse::<f64>() {
+            Ok(ms) if ms.is_finite() && ms > 0.0 => Some(Duration::from_secs_f64(ms / 1e3)),
+            _ => return bad_request("X-Deadline-Ms must be a positive number of milliseconds"),
         },
     };
     let Ok(text) = std::str::from_utf8(body) else {
@@ -460,25 +484,87 @@ fn search(inner: &FrontendInner, head: &RequestHead<'_>, body: &[u8]) -> Reply {
         Ok(query) => query,
         Err(err) => return bad_request(&err.to_string()),
     };
-    match inner.server.submit_for(tenant, query) {
-        Ok(ticket) => match ticket.wait() {
-            Some(response) => Reply::json(OK, wire::search_response_to_json(&response).render()),
-            None => Reply::json(
-                (503, "Service Unavailable"),
-                wire::error_body("server stopped before the request completed"),
-            ),
-        },
+    match inner.server.submit_with_deadline(tenant, query, deadline) {
+        Ok(ticket) => {
+            let waited_from = inner.server.clock().now();
+            wait_for_ticket(inner, ticket, waited_from)
+        }
         Err(err @ AdmissionError::QueueFull { .. }) => Reply {
             status: (429, "Too Many Requests"),
             body: wire::error_body(&err.to_string()),
-            headers: vec![("Retry-After".into(), "0".into())],
+            headers: vec![(
+                "Retry-After".into(),
+                inner.server.retry_after_hint(tenant).to_string(),
+            )],
             content_type: JSON_CT,
         },
         Err(err @ AdmissionError::UnknownTenant { .. }) => bad_request(&err.to_string()),
+        Err(err @ AdmissionError::InvalidQuery { .. }) => bad_request(&err.to_string()),
+        Err(err @ AdmissionError::DeadlineUnmeetable { .. }) => {
+            Reply::json((504, "Gateway Timeout"), wire::error_body(&err.to_string()))
+        }
         Err(AdmissionError::ShuttingDown) => Reply::json(
             (503, "Service Unavailable"),
             wire::error_body("server is shutting down"),
         ),
+    }
+}
+
+/// Waits for an admitted request's response without ever blocking
+/// unboundedly: the wait is sliced into [`POLL_INTERVAL`] chunks, and every
+/// slice re-checks shutdown, the request's deadline (on the server's own
+/// clock, so VirtualClock tests drive it deterministically), and — for
+/// unbudgeted requests — the policy's `max_http_wait` cap. A stalled
+/// pipeline therefore answers 504 instead of hanging the connection
+/// forever, and shutdown no longer waits on abandoned tickets.
+fn wait_for_ticket(inner: &FrontendInner, ticket: Ticket, waited_from: SimTime) -> Reply {
+    let budgeted = ticket.deadline().is_some();
+    let gateway_timeout = |message: &str| -> Reply {
+        Reply::json((504, "Gateway Timeout"), wire::error_body(message))
+    };
+    let clock = inner.server.clock();
+    let max_wait = inner.server.deadline_policy().max_http_wait;
+    let mut ticket = ticket;
+    loop {
+        match ticket.wait_timeout(POLL_INTERVAL) {
+            Ok(Some(response)) => {
+                return Reply::json(OK, wire::search_response_to_json(&response).render());
+            }
+            Ok(None) => {
+                // The reply channel disconnected without a response: either
+                // the runtime dropped the job at a deadline shed (rungs 2/5)
+                // or the server is tearing down.
+                return if budgeted && !inner.shutting_down.load(Ordering::SeqCst) {
+                    gateway_timeout("request shed: its deadline budget was unmeetable")
+                } else {
+                    Reply::json(
+                        (503, "Service Unavailable"),
+                        wire::error_body("server stopped before the request completed"),
+                    )
+                };
+            }
+            Err(still_waiting) => {
+                ticket = still_waiting;
+                if inner.shutting_down.load(Ordering::SeqCst) {
+                    return Reply::json(
+                        (503, "Service Unavailable"),
+                        wire::error_body("server is shutting down"),
+                    );
+                }
+                let now = clock.now();
+                match ticket.deadline() {
+                    Some(deadline) if now >= deadline => {
+                        return gateway_timeout(
+                            "deadline exceeded while the request was in flight",
+                        );
+                    }
+                    None if (now - waited_from).as_secs_f64() >= max_wait => {
+                        return gateway_timeout("request exceeded the frontend's maximum wait");
+                    }
+                    _ => {}
+                }
+            }
+        }
     }
 }
 
@@ -506,4 +592,157 @@ fn encode_response(
     let mut bytes = out.into_bytes();
     bytes.extend_from_slice(body.as_bytes());
     bytes
+}
+
+#[cfg(test)]
+mod tests {
+    //! Stalled-wait behavior, pinned without a single real sleep: the
+    //! ticket under test is hand-made and its reply sender is held live,
+    //! so the "pipeline" genuinely never answers — the only exits are the
+    //! deadline check, the max-wait cap, and the shutdown flag, all driven
+    //! on a [`VirtualClock`].
+
+    use super::*;
+    use crate::clock::{Clock, VirtualClock};
+    use crate::config::ServeConfig;
+    use crate::request::SearchResponse;
+    use crossbeam::channel::Sender;
+    use vlite_sim::SimDuration;
+    use vlite_workload::{CorpusConfig, SyntheticCorpus};
+
+    fn frontend_inner() -> (Arc<FrontendInner>, Arc<VirtualClock>) {
+        let corpus = SyntheticCorpus::generate(&CorpusConfig {
+            n_vectors: 512,
+            dim: 8,
+            n_centers: 8,
+            zipf_exponent: 1.0,
+            noise: 0.2,
+            seed: 11,
+        });
+        let clock = Arc::new(VirtualClock::new());
+        let server = RagServer::start_with_clock(&corpus, ServeConfig::small(), clock.clone())
+            .expect("server starts");
+        let started = server.clock().now();
+        let inner = Arc::new(FrontendInner {
+            server,
+            config: HttpConfig::default(),
+            shutting_down: AtomicBool::new(false),
+            conn_threads: Mutex::new(Vec::new()),
+            started,
+        });
+        (inner, clock)
+    }
+
+    /// A ticket no runtime thread knows about: holding the sender open
+    /// stalls the wait forever, dropping it simulates a shed.
+    fn stalled_ticket(deadline: Option<SimTime>) -> (Ticket, Sender<SearchResponse>) {
+        // Reply channel carrying at most one response.
+        let (tx, rx) = crossbeam::channel::unbounded();
+        (
+            Ticket {
+                id: 0,
+                tenant: TenantId(0),
+                deadline,
+                rx,
+            },
+            tx,
+        )
+    }
+
+    #[test]
+    fn stalled_budgeted_wait_times_out_at_the_deadline_tick() {
+        let (inner, clock) = frontend_inner();
+        let waited_from = clock.now();
+        let deadline = waited_from + SimDuration::from_millis(10.0);
+        let (ticket, _keep_alive) = stalled_ticket(Some(deadline));
+        // Advance exactly to the deadline: `now >= deadline` holds by
+        // equality, so the very first poll slice answers 504.
+        clock.advance(SimDuration::from_millis(10.0));
+        let reply = wait_for_ticket(&inner, ticket, waited_from);
+        assert_eq!(reply.status.0, 504, "stalled budgeted wait must 504");
+        assert!(
+            reply.body.contains("deadline exceeded"),
+            "unexpected body: {}",
+            reply.body
+        );
+    }
+
+    #[test]
+    fn stalled_unbudgeted_wait_is_capped_by_max_http_wait() {
+        let (inner, clock) = frontend_inner();
+        let waited_from = clock.now();
+        let (ticket, _keep_alive) = stalled_ticket(None);
+        let max_wait = inner.server.deadline_policy().max_http_wait;
+        clock.advance(SimDuration::from_secs_f64(max_wait));
+        let reply = wait_for_ticket(&inner, ticket, waited_from);
+        assert_eq!(reply.status.0, 504, "uncapped waits must not hang");
+        assert!(
+            reply.body.contains("maximum wait"),
+            "unexpected body: {}",
+            reply.body
+        );
+    }
+
+    #[test]
+    fn stalled_wait_observes_shutdown() {
+        let (inner, clock) = frontend_inner();
+        let waited_from = clock.now();
+        let (ticket, _keep_alive) = stalled_ticket(None);
+        inner.shutting_down.store(true, Ordering::SeqCst);
+        let reply = wait_for_ticket(&inner, ticket, waited_from);
+        assert_eq!(reply.status.0, 503, "shutdown must end stalled waits");
+        assert!(reply.body.contains("shutting down"));
+    }
+
+    #[test]
+    fn shed_budgeted_request_maps_disconnect_to_504() {
+        let (inner, clock) = frontend_inner();
+        let waited_from = clock.now();
+        let deadline = waited_from + SimDuration::from_millis(10.0);
+        let (ticket, tx) = stalled_ticket(Some(deadline));
+        drop(tx); // the runtime dropped the job: rung-2/5 shed
+        let reply = wait_for_ticket(&inner, ticket, waited_from);
+        assert_eq!(reply.status.0, 504);
+        assert!(
+            reply.body.contains("request shed"),
+            "unexpected body: {}",
+            reply.body
+        );
+    }
+
+    #[test]
+    fn shed_unbudgeted_request_maps_disconnect_to_503() {
+        let (inner, clock) = frontend_inner();
+        let waited_from = clock.now();
+        let (ticket, tx) = stalled_ticket(None);
+        drop(tx);
+        let reply = wait_for_ticket(&inner, ticket, waited_from);
+        assert_eq!(
+            reply.status.0, 503,
+            "an unbudgeted disconnect is teardown, not a deadline"
+        );
+    }
+
+    #[test]
+    fn connection_panic_is_counted_and_journaled() {
+        let (inner, _clock) = frontend_inner();
+        inner.server.record_connection_panic();
+        assert_eq!(inner.server.report().worker_panics, 1);
+        let journal = inner.server.obs().journal_snapshot();
+        assert!(
+            journal
+                .iter()
+                .any(|e| e.kind == "panic" && e.detail.contains("connection thread")),
+            "panic must reach the event journal"
+        );
+    }
+
+    #[test]
+    fn retry_after_hint_is_never_zero() {
+        let (inner, _clock) = frontend_inner();
+        // Even an idle lane must back a 429 with at least one second:
+        // `Retry-After: 0` tells a flooding client to retry immediately.
+        assert!(inner.server.retry_after_hint(TenantId(0)) >= 1);
+        assert!(inner.server.retry_after_hint(TenantId(999)) >= 1);
+    }
 }

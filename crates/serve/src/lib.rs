@@ -116,7 +116,8 @@ mod sync;
 
 pub use clock::{Clock, RealClock, VirtualClock};
 pub use config::{
-    ControlConfig, GenerationConfig, HttpConfig, ServeConfig, SloSignal, StoreConfig, TenantSpec,
+    ControlConfig, DeadlinePolicy, GenerationConfig, HttpConfig, ServeConfig, SloSignal,
+    StoreConfig, TenantSpec,
 };
 pub use control::RepartitionEvent;
 pub use dispatch::{hybrid_search_batch, run_dispatcher, DispatchOutcome};

@@ -138,6 +138,29 @@ pub fn run_open_loop(
     rate: f64,
     n: usize,
     seed: u64,
+    before_submit: impl FnMut(usize, &mut RotatingQuerySource),
+) -> OpenLoopResult {
+    run_open_loop_deadline(server, source, rate, n, seed, None, before_submit)
+}
+
+/// [`run_open_loop`] with every request stamped with the same end-to-end
+/// `deadline` budget (via
+/// [`RagServer::submit_with_deadline`](crate::RagServer::submit_with_deadline)).
+/// Under an enforcing [`DeadlinePolicy`](crate::DeadlinePolicy) requests
+/// may be shed at admission (counted as rejections) or mid-pipeline (their
+/// tickets resolve without a response), so `responses` holds only the
+/// requests that were actually served.
+///
+/// # Panics
+///
+/// Panics if `rate` is not finite and positive or `n == 0`.
+pub fn run_open_loop_deadline(
+    server: &RagServer,
+    source: &mut RotatingQuerySource,
+    rate: f64,
+    n: usize,
+    seed: u64,
+    deadline: Option<Duration>,
     mut before_submit: impl FnMut(usize, &mut RotatingQuerySource),
 ) -> OpenLoopResult {
     assert!(
@@ -162,7 +185,7 @@ pub fn run_open_loop(
         let u: f64 = rng.random();
         next_at += -(1.0 - u).ln() / rate;
         clock.sleep_until(started + SimDuration::from_secs_f64(next_at));
-        match server.submit(source.next_query()) {
+        match server.submit_with_deadline(TenantId(0), source.next_query(), deadline) {
             Ok(ticket) => tickets.push(ticket),
             Err(_) => rejected += 1,
         }
@@ -215,6 +238,9 @@ pub struct TenantLoopResult {
     pub submitted: usize,
     /// Requests rejected against this tenant's quota.
     pub rejected: usize,
+    /// Requests answered `504 Gateway Timeout` (HTTP driver only): the
+    /// request's deadline budget was unmeetable or expired in flight.
+    pub deadline_misses: usize,
     /// This tenant's completed responses, in submission order.
     pub responses: Vec<SearchResponse>,
 }
@@ -255,6 +281,7 @@ pub fn run_open_loop_tenants(
             tenant: load.tenant,
             submitted: 0,
             rejected: 0,
+            deadline_misses: 0,
             responses: Vec::new(),
         })
         .collect();
@@ -330,6 +357,9 @@ enum HttpOutcome {
     /// `429 Too Many Requests` — shed against the submitting tenant's
     /// quota, the same signal as an in-process `QueueFull`.
     Rejected,
+    /// `504 Gateway Timeout` — the request's deadline budget was
+    /// unmeetable at admission or expired in flight.
+    DeadlineMiss,
 }
 
 /// Drives the multi-tenant open-loop schedule over a real TCP socket
@@ -352,7 +382,7 @@ enum HttpOutcome {
 /// # Panics
 ///
 /// Panics on an empty schedule, `connections == 0`, connect failures, or a
-/// status other than `200`/`429`.
+/// status other than `200`/`429`/`504`.
 pub fn run_open_loop_http(
     addr: SocketAddr,
     loads: &mut [TenantLoad],
@@ -390,6 +420,7 @@ pub fn run_open_loop_http(
                                 )
                             }
                             429 => HttpOutcome::Rejected,
+                            504 => HttpOutcome::DeadlineMiss,
                             status => panic!("unexpected status {status} from /v1/search"),
                         };
                         if tx.send((li, outcome)).is_err() {
@@ -409,6 +440,7 @@ pub fn run_open_loop_http(
             tenant: load.tenant,
             submitted: 0,
             rejected: 0,
+            deadline_misses: 0,
             responses: Vec::new(),
         })
         .collect();
@@ -437,6 +469,7 @@ pub fn run_open_loop_http(
         match outcome {
             HttpOutcome::Completed(response) => outcomes[li].responses.push(response),
             HttpOutcome::Rejected => outcomes[li].rejected += 1,
+            HttpOutcome::DeadlineMiss => outcomes[li].deadline_misses += 1,
         }
     }
     MultiTenantResult {

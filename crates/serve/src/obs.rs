@@ -266,7 +266,8 @@ impl RequestTrace {
 pub struct ObsEvent {
     /// When the event happened, nanoseconds on the server's clock.
     pub at_ns: u64,
-    /// Event kind (`repartition`, `migration`, `shed`, `slo_breach`).
+    /// Event kind (`repartition`, `migration`, `shed`, `deadline-shed`,
+    /// `degrade`, `panic`, `slo_breach`).
     pub kind: &'static str,
     /// Human-readable detail line.
     pub detail: String,
@@ -294,6 +295,33 @@ const STAGES: [&str; 7] = [
     "decode",
 ];
 
+/// Index into the deadline-shed counters: shed at admission (rung 1 of
+/// the degradation ladder — the estimated queue wait already exceeds the
+/// whole budget).
+pub const DEADLINE_STAGE_ADMISSION: usize = 0;
+/// Index into the deadline-shed counters: shed at batch formation (rung 2
+/// — the request expired while queued).
+pub const DEADLINE_STAGE_QUEUE: usize = 1;
+/// Index into the deadline-shed counters: shed by generation admission
+/// (rung 5 — the estimated first token would land past the deadline).
+pub const DEADLINE_STAGE_GENERATION: usize = 2;
+
+/// Names of the deadline-shed stages, indexed by the
+/// `DEADLINE_STAGE_*` constants.
+pub const DEADLINE_STAGES: [&str; 3] = ["admission", "queue", "generation"];
+
+/// Index into the budget-burn histograms: fraction of the budget burned
+/// waiting in the admission queue.
+pub const BURN_STAGE_QUEUE: usize = 0;
+/// Index into the budget-burn histograms: fraction burned in retrieval.
+pub const BURN_STAGE_SEARCH: usize = 1;
+/// Index into the budget-burn histograms: fraction burned in generation.
+pub const BURN_STAGE_GENERATION: usize = 2;
+
+/// Names of the budget-burn stages, indexed by the `BURN_STAGE_*`
+/// constants.
+pub const BURN_STAGES: [&str; 3] = ["queue", "search", "generation"];
+
 /// The live telemetry plane: one instance per server, shared by every
 /// runtime thread. All counter/histogram recording is lock-free
 /// ([`vlite_metrics::obs`]); only trace/journal capture takes a (short,
@@ -320,8 +348,20 @@ pub struct ObsPlane {
     pub search_slo_breaches: Counter,
     /// Requests whose TTFT missed `slo_ttft` (sheds included).
     pub ttft_slo_breaches: Counter,
+    /// Requests shed on deadline grounds, indexed like
+    /// [`DEADLINE_STAGES`].
+    pub deadline_sheds: [Counter; 3],
+    /// Requests whose probe list was shrunk to fit the remaining budget
+    /// (rung 3 of the degradation ladder).
+    pub degraded_probes: Counter,
+    /// Requests whose cold-tier (CPU) probes were skipped because only the
+    /// fast tier fit the remaining budget (rung 4).
+    pub cold_skips: Counter,
     /// Stage latency histograms, indexed like [`STAGES`].
     stage_hist: [StreamingHistogram; 7],
+    /// Budget-burn ratio histograms (stage seconds over budget seconds),
+    /// indexed like [`BURN_STAGES`].
+    burn_hist: [StreamingHistogram; 3],
     recent: BoundedRing<RequestTrace>,
     slow: BoundedRing<RequestTrace>,
     journal: BoundedRing<ObsEvent>,
@@ -341,7 +381,11 @@ impl ObsPlane {
             batched_requests: Counter::new(),
             search_slo_breaches: Counter::new(),
             ttft_slo_breaches: Counter::new(),
+            deadline_sheds: std::array::from_fn(|_| Counter::new()),
+            degraded_probes: Counter::new(),
+            cold_skips: Counter::new(),
             stage_hist: std::array::from_fn(|_| StreamingHistogram::new()),
+            burn_hist: std::array::from_fn(|_| StreamingHistogram::new()),
             recent: BoundedRing::new(config.recent_traces),
             slow: BoundedRing::new(config.slow_traces),
             journal: BoundedRing::new(config.journal_capacity),
@@ -387,6 +431,52 @@ impl ObsPlane {
             self.batches.inc();
             self.batched_requests.add(n as u64);
         }
+    }
+
+    /// One request shed on deadline grounds at `stage` (a
+    /// `DEADLINE_STAGE_*` index).
+    pub fn on_deadline_shed(&self, stage: usize) {
+        if self.enabled {
+            self.deadline_sheds[stage].inc();
+        }
+    }
+
+    /// One budgeted request burned `ratio` of its budget in `stage` (a
+    /// `BURN_STAGE_*` index). Ratios above 1.0 mean the stage alone
+    /// overran the whole budget.
+    pub fn on_budget_burn(&self, stage: usize, ratio: f64) {
+        if self.enabled {
+            self.burn_hist[stage].record(ratio);
+        }
+    }
+
+    /// One request's probe list was shrunk from `full` to `kept` lists to
+    /// fit its remaining budget, at `at_ns` on the server's clock.
+    pub fn on_degraded_probes(&self, at_ns: u64, id: u64, kept: usize, full: usize) {
+        if self.enabled {
+            self.degraded_probes.inc();
+            self.journal(
+                at_ns,
+                "degrade",
+                format!("request {id} probes shrunk {full} -> {kept} to fit its budget"),
+            );
+        }
+    }
+
+    /// One request's cold-tier probes were skipped because only the fast
+    /// tier fit its remaining budget.
+    pub fn on_cold_skip(&self) {
+        if self.enabled {
+            self.cold_skips.inc();
+        }
+    }
+
+    /// The budget-burn histogram for `stage` (one of [`BURN_STAGES`]).
+    pub fn burn(&self, stage: &str) -> Option<&StreamingHistogram> {
+        BURN_STAGES
+            .iter()
+            .position(|&s| s == stage)
+            .map(|i| &self.burn_hist[i])
     }
 
     /// One request's lifecycle ended: record every stage histogram, the
@@ -570,6 +660,52 @@ impl ObsPlane {
             prom_counter(out, name, help, counter.get());
         }
         out.push_str(
+            "# HELP vlite_deadline_sheds_total Requests shed on deadline grounds, by pipeline stage\n\
+             # TYPE vlite_deadline_sheds_total counter\n",
+        );
+        for (i, stage) in DEADLINE_STAGES.iter().enumerate() {
+            out.push_str(&format!(
+                "vlite_deadline_sheds_total{{stage=\"{stage}\"}} {}\n",
+                self.deadline_sheds[i].get()
+            ));
+        }
+        prom_counter(
+            out,
+            "vlite_degraded_probes_total",
+            "Requests whose probe list was shrunk to fit the remaining budget",
+            self.degraded_probes.get(),
+        );
+        prom_counter(
+            out,
+            "vlite_cold_skips_total",
+            "Requests whose cold-tier probes were skipped to fit the remaining budget",
+            self.cold_skips.get(),
+        );
+        out.push_str(
+            "# HELP vlite_budget_burn Per-stage budget-burn ratio distributions (stage seconds / budget seconds)\n\
+             # TYPE vlite_budget_burn histogram\n",
+        );
+        for (i, stage) in BURN_STAGES.iter().enumerate() {
+            let hist = &self.burn_hist[i];
+            for (bound, cumulative) in hist.cumulative_buckets() {
+                out.push_str(&format!(
+                    "vlite_budget_burn_bucket{{stage=\"{stage}\",le=\"{bound:e}\"}} {cumulative}\n"
+                ));
+            }
+            out.push_str(&format!(
+                "vlite_budget_burn_bucket{{stage=\"{stage}\",le=\"+Inf\"}} {}\n",
+                hist.count()
+            ));
+            out.push_str(&format!(
+                "vlite_budget_burn_sum{{stage=\"{stage}\"}} {}\n",
+                hist.sum_seconds()
+            ));
+            out.push_str(&format!(
+                "vlite_budget_burn_count{{stage=\"{stage}\"}} {}\n",
+                hist.count()
+            ));
+        }
+        out.push_str(
             "# HELP vlite_stage_seconds Per-stage latency distributions (log-bucketed)\n\
              # TYPE vlite_stage_seconds histogram\n",
         );
@@ -739,6 +875,49 @@ mod tests {
         assert!(text.contains("le=\"+Inf\"}"));
         // Retrieval-only: generation stages exist but are empty.
         assert!(text.contains("vlite_stage_seconds_count{stage=\"ttft\"} 0\n"));
+    }
+
+    #[test]
+    fn deadline_hooks_count_and_expose() {
+        let plane = ObsPlane::new(&ObsConfig::default());
+        plane.on_deadline_shed(DEADLINE_STAGE_ADMISSION);
+        plane.on_deadline_shed(DEADLINE_STAGE_QUEUE);
+        plane.on_deadline_shed(DEADLINE_STAGE_QUEUE);
+        plane.on_deadline_shed(DEADLINE_STAGE_GENERATION);
+        plane.on_degraded_probes(42, 7, 4, 16);
+        plane.on_cold_skip();
+        plane.on_budget_burn(BURN_STAGE_QUEUE, 0.5);
+        plane.on_budget_burn(BURN_STAGE_SEARCH, 0.25);
+        let mut text = String::new();
+        plane.prometheus_into(&mut text);
+        assert!(text.contains("vlite_deadline_sheds_total{stage=\"admission\"} 1\n"));
+        assert!(text.contains("vlite_deadline_sheds_total{stage=\"queue\"} 2\n"));
+        assert!(text.contains("vlite_deadline_sheds_total{stage=\"generation\"} 1\n"));
+        assert!(text.contains("vlite_degraded_probes_total 1\n"));
+        assert!(text.contains("vlite_cold_skips_total 1\n"));
+        assert!(text.contains("vlite_budget_burn_count{stage=\"queue\"} 1\n"));
+        assert!(text.contains("vlite_budget_burn_count{stage=\"search\"} 1\n"));
+        assert!(text.contains("vlite_budget_burn_count{stage=\"generation\"} 0\n"));
+        let events = plane.journal_snapshot();
+        assert!(events.iter().any(|e| e.kind == "degrade"));
+        assert!(plane.burn("queue").is_some() && plane.burn("nope").is_none());
+    }
+
+    #[test]
+    fn disabled_plane_ignores_deadline_hooks() {
+        let config = ObsConfig {
+            enabled: false,
+            ..ObsConfig::default()
+        };
+        let plane = ObsPlane::new(&config);
+        plane.on_deadline_shed(DEADLINE_STAGE_QUEUE);
+        plane.on_degraded_probes(0, 1, 1, 2);
+        plane.on_cold_skip();
+        plane.on_budget_burn(BURN_STAGE_GENERATION, 1.5);
+        assert_eq!(plane.deadline_sheds[DEADLINE_STAGE_QUEUE].get(), 0);
+        assert_eq!(plane.degraded_probes.get(), 0);
+        assert_eq!(plane.cold_skips.get(), 0);
+        assert_eq!(plane.burn_hist[BURN_STAGE_GENERATION].count(), 0);
     }
 
     #[test]

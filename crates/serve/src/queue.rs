@@ -26,10 +26,14 @@ use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
 use crate::config::TenantSpec;
-use crate::request::Job;
-#[cfg(test)]
-use crate::request::TenantId;
+use crate::request::{Job, TenantId};
 use crate::sync::{lock_recover, wait_recover};
+use vlite_sim::SimTime;
+
+/// EWMA smoothing for the drain-rate estimate: recent batches dominate so
+/// the estimate tracks load shifts within a few batches, while one odd
+/// inter-batch gap cannot swing it.
+const DRAIN_ALPHA: f64 = 0.2;
 
 /// One tenant's bounded lane plus its fair-share scheduling state.
 #[derive(Debug)]
@@ -51,6 +55,11 @@ struct Inner {
     total_depth: usize,
     peak_total_depth: usize,
     closed: bool,
+    /// Recent drain throughput in jobs/sec (EWMA over `record_drain`
+    /// samples); `0.0` until two drains have been observed.
+    drain_rate: f64,
+    /// Timestamp of the most recent drain, on the server's clock.
+    last_drain: Option<SimTime>,
 }
 
 /// Snapshot of one tenant's admission counters.
@@ -102,6 +111,8 @@ impl AdmissionQueue {
                 total_depth: 0,
                 peak_total_depth: 0,
                 closed: false,
+                drain_rate: 0.0,
+                last_drain: None,
             }),
             not_empty: Condvar::new(),
         }
@@ -147,6 +158,70 @@ impl AdmissionQueue {
             }
             inner = wait_recover(&self.not_empty, inner);
         }
+    }
+
+    /// Records that the batcher drained `n` jobs at `now`, feeding the
+    /// EWMA drain-rate estimate that backs admission feasibility and the
+    /// `Retry-After` hint. The first call only seeds the timestamp; the
+    /// rate needs two drains before it reads non-zero.
+    pub fn record_drain(&self, n: usize, now: SimTime) {
+        if n == 0 {
+            return;
+        }
+        let mut inner = lock_recover(&self.inner);
+        if let Some(prev) = inner.last_drain {
+            let dt = now.duration_since(prev).as_secs_f64();
+            if dt > 0.0 {
+                let inst = n as f64 / dt;
+                inner.drain_rate = if inner.drain_rate > 0.0 {
+                    (1.0 - DRAIN_ALPHA) * inner.drain_rate + DRAIN_ALPHA * inst
+                } else {
+                    inst
+                };
+            }
+        }
+        inner.last_drain = Some(now);
+    }
+
+    /// Recent drain throughput in jobs/sec (`0.0` until measured).
+    #[cfg(test)]
+    pub fn drain_rate(&self) -> f64 {
+        lock_recover(&self.inner).drain_rate
+    }
+
+    /// Estimated seconds a job submitted *now* by `tenant` would wait
+    /// before batching: the tenant's lane depth over its weighted share of
+    /// the recent drain rate. `None` while the queue is empty for that
+    /// tenant or no drain rate has been measured yet (an idle or cold
+    /// server admits optimistically).
+    pub fn estimated_wait(&self, tenant: TenantId) -> Option<f64> {
+        let inner = lock_recover(&self.inner);
+        if inner.drain_rate <= 0.0 {
+            return None;
+        }
+        let depth = inner.lanes[tenant.index()].jobs.len();
+        if depth == 0 {
+            return None;
+        }
+        // The lane drains at its smooth-WRR share of the overall rate:
+        // weight over the total backlogged weight (counting this lane).
+        let backlogged: i64 = inner
+            .lanes
+            .iter()
+            .filter(|l| !l.jobs.is_empty())
+            .map(|l| l.weight)
+            .sum();
+        let share = inner.lanes[tenant.index()].weight as f64 / backlogged.max(1) as f64;
+        Some(depth as f64 / (inner.drain_rate * share))
+    }
+
+    /// Backoff hint in whole seconds for a rejected submission: the
+    /// estimated time for the tenant's lane to drain, clamped to
+    /// `[1, 60]`. Always at least one second — `Retry-After: 0` is a
+    /// useless hint under flood.
+    pub fn retry_after_secs(&self, tenant: TenantId) -> u64 {
+        let wait = self.estimated_wait(tenant).unwrap_or(0.0);
+        (wait.ceil() as u64).clamp(1, 60)
     }
 
     /// Marks the queue closed and wakes every waiter.
@@ -229,6 +304,7 @@ mod tests {
             tenant: TenantId(tenant),
             query: vec![0.0],
             enqueued: SimTime::ZERO,
+            deadline: None,
             reply,
         }
     }
@@ -413,6 +489,53 @@ mod tests {
         let batch = q.take_batch(8).unwrap();
         assert_eq!(batch.len(), 8);
         assert!(batch.iter().all(|j| j.tenant == TenantId(0)));
+    }
+
+    #[test]
+    fn drain_rate_estimates_wait_and_retry_after() {
+        let q = single(64);
+        // No drain history: optimistic (no estimate), Retry-After floors
+        // at 1s.
+        assert_eq!(q.estimated_wait(TenantId(0)), None);
+        assert_eq!(q.retry_after_secs(TenantId(0)), 1);
+        // Two drains of 10 jobs, 1s apart → 10 jobs/sec exactly (the
+        // first call only seeds the timestamp).
+        q.record_drain(10, SimTime::from_secs_f64(1.0));
+        q.record_drain(10, SimTime::from_secs_f64(2.0));
+        assert!((q.drain_rate() - 10.0).abs() < 1e-9);
+        for id in 0..30 {
+            q.try_push(job(0, id)).unwrap();
+        }
+        // 30 queued at 10/sec → 3s estimated wait, Retry-After 3.
+        let wait = q.estimated_wait(TenantId(0)).expect("rate measured");
+        assert!((wait - 3.0).abs() < 1e-9, "wait {wait}");
+        assert_eq!(q.retry_after_secs(TenantId(0)), 3);
+    }
+
+    #[test]
+    fn estimated_wait_respects_weighted_share() {
+        // Equal backlogs, weights 1:3 → the light tenant drains at 1/4 of
+        // the rate and waits 3x longer than the heavy one.
+        let q = AdmissionQueue::new(&[spec(1, 64), spec(3, 64)]);
+        q.record_drain(8, SimTime::from_secs_f64(1.0));
+        q.record_drain(8, SimTime::from_secs_f64(2.0));
+        for id in 0..8 {
+            q.try_push(job(0, id)).unwrap();
+            q.try_push(job(1, id)).unwrap();
+        }
+        let light = q.estimated_wait(TenantId(0)).unwrap();
+        let heavy = q.estimated_wait(TenantId(1)).unwrap();
+        assert!((light / heavy - 3.0).abs() < 1e-9, "{light} vs {heavy}");
+    }
+
+    #[test]
+    fn retry_after_saturated_lane_is_at_least_one() {
+        let q = single(4);
+        for id in 0..4 {
+            q.try_push(job(0, id)).unwrap();
+        }
+        assert!(q.try_push(job(0, 99)).is_err(), "lane saturated");
+        assert!(q.retry_after_secs(TenantId(0)) >= 1);
     }
 
     #[test]

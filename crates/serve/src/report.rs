@@ -186,6 +186,29 @@ pub struct ServeReport {
     /// Worker scans that panicked and were degraded to empty partials
     /// (0 in healthy runs; nonzero means results were incomplete).
     pub worker_panics: u64,
+    /// Requests shed on deadline grounds, indexed like
+    /// [`crate::obs::DEADLINE_STAGES`] (admission, queue, generation).
+    pub deadline_sheds: [u64; 3],
+    /// Requests whose probe list was shrunk to fit the remaining budget.
+    pub degraded_probes: u64,
+    /// Requests whose cold-tier probes were skipped to fit the remaining
+    /// budget.
+    pub cold_skips: u64,
+    /// Budgeted requests that finished (or were shed) on or before their
+    /// deadline.
+    pub deadline_met: u64,
+    /// Budgeted requests that finished (or were shed) past their deadline.
+    pub deadline_missed: u64,
+    /// `met / (met + missed)` over budgeted requests; `None` when the run
+    /// carried no deadlines.
+    pub deadline_attainment: Option<f64>,
+    /// Budget-burn ratio (queue seconds / budget seconds) over budgeted
+    /// requests.
+    pub burn_queue: Summary,
+    /// Budget-burn ratio (search seconds / budget seconds).
+    pub burn_search: Summary,
+    /// Budget-burn ratio (generation seconds / budget seconds).
+    pub burn_gen: Summary,
 }
 
 impl ServeReport {
@@ -269,6 +292,18 @@ impl ServeReport {
             store,
             generation,
             worker_panics,
+            deadline_sheds: metrics.deadline_sheds,
+            degraded_probes: metrics.degraded_probes,
+            cold_skips: metrics.cold_skips,
+            deadline_met: metrics.deadline_met,
+            deadline_missed: metrics.deadline_missed,
+            deadline_attainment: {
+                let budgeted = metrics.deadline_met + metrics.deadline_missed;
+                (budgeted > 0).then(|| metrics.deadline_met as f64 / budgeted as f64)
+            },
+            burn_queue: metrics.burn_queue.clone().summary(),
+            burn_search: metrics.burn_search.clone().summary(),
+            burn_gen: metrics.burn_gen.clone().summary(),
         }
     }
 
@@ -298,6 +333,30 @@ impl ServeReport {
                 } else {
                     String::new()
                 }
+            ));
+        }
+        let sheds_total: u64 = self.deadline_sheds.iter().sum();
+        if let Some(attainment) = self.deadline_attainment {
+            out.push_str(&format!(
+                "deadlines: {:.1}% met ({} met / {} missed)  \
+                 sheds adm/queue/gen {}/{}/{}  degraded probes {}  cold skips {}\n",
+                100.0 * attainment,
+                self.deadline_met,
+                self.deadline_missed,
+                self.deadline_sheds[0],
+                self.deadline_sheds[1],
+                self.deadline_sheds[2],
+                self.degraded_probes,
+                self.cold_skips
+            ));
+            out.push_str(&format!(
+                "  budget burn p99: queue {:.2}  search {:.2}  generation {:.2}\n",
+                self.burn_queue.p99, self.burn_search.p99, self.burn_gen.p99
+            ));
+        } else if sheds_total > 0 {
+            out.push_str(&format!(
+                "deadlines: every budgeted request shed (adm/queue/gen {}/{}/{})\n",
+                self.deadline_sheds[0], self.deadline_sheds[1], self.deadline_sheds[2]
             ));
         }
         if self.worker_panics > 0 {
@@ -658,6 +717,37 @@ impl ServeReport {
             ),
             ("generation".into(), Json::Num(self.generation as f64)),
             ("worker_panics".into(), Json::Num(self.worker_panics as f64)),
+            (
+                "deadline_sheds".into(),
+                Json::Obj(vec![
+                    ("admission".into(), Json::Num(self.deadline_sheds[0] as f64)),
+                    ("queue".into(), Json::Num(self.deadline_sheds[1] as f64)),
+                    (
+                        "generation".into(),
+                        Json::Num(self.deadline_sheds[2] as f64),
+                    ),
+                ]),
+            ),
+            (
+                "degraded_probes".into(),
+                Json::Num(self.degraded_probes as f64),
+            ),
+            ("cold_skips".into(), Json::Num(self.cold_skips as f64)),
+            ("deadline_met".into(), Json::Num(self.deadline_met as f64)),
+            (
+                "deadline_missed".into(),
+                Json::Num(self.deadline_missed as f64),
+            ),
+            (
+                "deadline_attainment".into(),
+                match self.deadline_attainment {
+                    Some(a) => Json::Num(a),
+                    None => Json::Null,
+                },
+            ),
+            ("burn_queue".into(), summary_json(&self.burn_queue)),
+            ("burn_search".into(), summary_json(&self.burn_search)),
+            ("burn_gen".into(), summary_json(&self.burn_gen)),
         ])
     }
 

@@ -30,7 +30,7 @@ impl std::fmt::Display for TenantId {
 }
 
 /// Why a submission was not admitted.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AdmissionError {
     /// The submitting tenant's bounded queue is at capacity (open-loop
     /// overload). Rejection charges the over-quota tenant only: no other
@@ -48,6 +48,31 @@ pub enum AdmissionError {
         /// Number of configured tenants (valid ids are `0..n_tenants`).
         n_tenants: usize,
     },
+    /// The query vector is malformed: wrong dimensionality for the served
+    /// index, or a non-finite (NaN/Inf) component. Rejected at admission —
+    /// downstream the SIMD kernels assert on slice lengths and NaN poisons
+    /// the top-k total order, so such a query must never reach a scan.
+    InvalidQuery {
+        /// Dimensionality of the served index.
+        expected_dim: usize,
+        /// Dimensionality of the submitted query.
+        got_dim: usize,
+        /// Whether the query contained a NaN or infinite component.
+        non_finite: bool,
+    },
+    /// The request's deadline budget is already unmeetable at admission:
+    /// the estimated queue wait (tenant lane depth over the recent drain
+    /// rate) exceeds the whole end-to-end budget, so queueing it would
+    /// only burn a batch slot on a guaranteed miss. Only produced when
+    /// [`DeadlinePolicy::enforce`](crate::DeadlinePolicy) is on.
+    DeadlineUnmeetable {
+        /// The submitting tenant.
+        tenant: TenantId,
+        /// The request's end-to-end budget in seconds.
+        budget: f64,
+        /// The estimated queue wait in seconds that made it unmeetable.
+        estimated_wait: f64,
+    },
     /// The server is shutting down.
     ShuttingDown,
 }
@@ -60,6 +85,31 @@ impl std::fmt::Display for AdmissionError {
             }
             AdmissionError::UnknownTenant { tenant, n_tenants } => {
                 write!(f, "{tenant} not configured ({n_tenants} tenants)")
+            }
+            AdmissionError::InvalidQuery {
+                expected_dim,
+                got_dim,
+                non_finite,
+            } => {
+                if *non_finite {
+                    write!(f, "query contains a non-finite (NaN/Inf) component")
+                } else {
+                    write!(
+                        f,
+                        "query has {got_dim} dimensions but the index serves {expected_dim}"
+                    )
+                }
+            }
+            AdmissionError::DeadlineUnmeetable {
+                tenant,
+                budget,
+                estimated_wait,
+            } => {
+                write!(
+                    f,
+                    "{tenant} deadline budget {:.3}s unmeetable (estimated queue wait {:.3}s)",
+                    budget, estimated_wait
+                )
             }
             AdmissionError::ShuttingDown => write!(f, "server is shutting down"),
         }
@@ -125,6 +175,7 @@ pub struct SearchResponse {
 pub struct Ticket {
     pub(crate) id: u64,
     pub(crate) tenant: TenantId,
+    pub(crate) deadline: Option<SimTime>,
     pub(crate) rx: Receiver<SearchResponse>,
 }
 
@@ -137,6 +188,13 @@ impl Ticket {
     /// The tenant the request was admitted under.
     pub fn tenant(&self) -> TenantId {
         self.tenant
+    }
+
+    /// The request's absolute end-to-end deadline on the server's
+    /// [`Clock`](crate::Clock), when it carries one (an explicit
+    /// per-request deadline or the policy default stamped at admission).
+    pub fn deadline(&self) -> Option<SimTime> {
+        self.deadline
     }
 
     /// Blocks until the request completes. Returns `None` only if the
@@ -164,5 +222,17 @@ pub(crate) struct Job {
     pub query: Vec<f32>,
     /// Admission timestamp on the server's [`Clock`](crate::Clock).
     pub enqueued: SimTime,
+    /// Absolute end-to-end deadline, when the request carries a budget.
+    /// `None` = unbudgeted: never shed or degraded on deadline grounds.
+    pub deadline: Option<SimTime>,
     pub reply: Sender<SearchResponse>,
+}
+
+impl Job {
+    /// The request's total budget in seconds (`deadline - enqueued`), when
+    /// it carries one.
+    pub(crate) fn budget_secs(&self) -> Option<f64> {
+        self.deadline
+            .map(|d| d.duration_since(self.enqueued).as_secs_f64())
+    }
 }

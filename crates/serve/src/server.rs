@@ -28,7 +28,7 @@ use vlite_store::{StoreError, StoreSnapshot, TieredStore};
 use vlite_workload::SyntheticCorpus;
 
 use crate::clock::{Clock, RealClock};
-use crate::config::{GenerationConfig, ServeConfig, SloSignal, TenantSpec};
+use crate::config::{DeadlinePolicy, GenerationConfig, ServeConfig, SloSignal, TenantSpec};
 use crate::control::{ControlLoop, Observation, RepartitionEvent};
 use crate::generation::{generation_worker, GenWork};
 use crate::migrate::{migrator_worker, MigrationEvent, MigrationOrder};
@@ -115,6 +115,25 @@ pub(crate) struct ServeMetrics {
     pub decode_lat: LatencyRecorder,
     /// Requests shed by KV-aware generation admission.
     pub gen_sheds: u64,
+    /// Requests shed on deadline grounds, by stage:
+    /// `[admission, queue-expiry, generation]` (see
+    /// [`crate::obs::DEADLINE_STAGES`]).
+    pub deadline_sheds: [u64; 3],
+    /// Requests that probed a truncated (budget-scaled) prefix of their
+    /// probe list.
+    pub degraded_probes: u64,
+    /// Requests whose cold-tier (CPU) probes were skipped because only the
+    /// fast tier fit the remaining budget.
+    pub cold_skips: u64,
+    /// Completed budgeted responses that landed within their deadline.
+    pub deadline_met: u64,
+    /// Completed budgeted responses that landed past their deadline.
+    pub deadline_missed: u64,
+    /// Per-stage budget burn of budgeted requests, as fractions of the
+    /// request's whole budget (`stage_seconds / budget_seconds`).
+    pub burn_queue: LatencyRecorder,
+    pub burn_search: LatencyRecorder,
+    pub burn_gen: LatencyRecorder,
     pub hit_sum: f64,
     pub completed: u64,
     pub batches: u64,
@@ -138,6 +157,14 @@ impl ServeMetrics {
             prefill_lat: LatencyRecorder::new(),
             decode_lat: LatencyRecorder::new(),
             gen_sheds: 0,
+            deadline_sheds: [0; 3],
+            degraded_probes: 0,
+            cold_skips: 0,
+            deadline_met: 0,
+            deadline_missed: 0,
+            burn_queue: LatencyRecorder::new(),
+            burn_search: LatencyRecorder::new(),
+            burn_gen: LatencyRecorder::new(),
             hit_sum: 0.0,
             completed: 0,
             batches: 0,
@@ -198,9 +225,53 @@ pub(crate) struct Shared {
     pub(crate) generation: Option<GenerationConfig>,
     /// Which latency feeds the control loop's SLO observations.
     pub(crate) slo_signal: SloSignal,
+    /// Deadline-budget policy every stage consults.
+    pub(crate) deadline: DeadlinePolicy,
 }
 
 impl Shared {
+    /// Admission feasibility (rung 1 of the degradation ladder): when the
+    /// estimated queue wait alone already exceeds the whole budget,
+    /// queueing the request would only burn a batch slot on a guaranteed
+    /// miss — shed it now so the client can retry elsewhere. Full
+    /// accounting (shed counter, obs hook, journal) happens here; callers
+    /// just propagate the error. Measure-only policies never shed.
+    pub fn shed_if_unmeetable(
+        &self,
+        tenant: TenantId,
+        budget: Option<f64>,
+        now: SimTime,
+    ) -> Result<(), AdmissionError> {
+        if !self.deadline.enforce {
+            return Ok(());
+        }
+        let (Some(budget), Some(wait)) = (budget, self.queue.estimated_wait(tenant)) else {
+            return Ok(());
+        };
+        if wait <= budget {
+            return Ok(());
+        }
+        crate::sync::lock_recover(&self.metrics).deadline_sheds
+            [crate::obs::DEADLINE_STAGE_ADMISSION] += 1;
+        self.obs
+            .on_deadline_shed(crate::obs::DEADLINE_STAGE_ADMISSION);
+        self.obs.journal(
+            now.as_nanos(),
+            "deadline-shed",
+            format!(
+                "{tenant} submission shed at admission: budget {:.1} ms < \
+                 estimated queue wait {:.1} ms",
+                budget * 1e3,
+                wait * 1e3
+            ),
+        );
+        Err(AdmissionError::DeadlineUnmeetable {
+            tenant,
+            budget,
+            estimated_wait: wait,
+        })
+    }
+
     pub fn record_repartition(&self, event: RepartitionEvent) {
         self.obs.journal(
             self.clock.now().as_nanos(),
@@ -359,6 +430,7 @@ impl RagServer {
         if let Some(generation) = &config.generation {
             generation.validate(config.real.top_k);
         }
+        config.deadline.validate();
         assert!(
             config.control.slo_signal == SloSignal::Search || config.generation.is_some(),
             "TTFT-keyed control observations require a generation stage"
@@ -397,6 +469,7 @@ impl RagServer {
             clock,
             generation: config.generation.clone(),
             slo_signal: config.control.slo_signal,
+            deadline: config.deadline.clone(),
         });
 
         // Channel topology. Dispatcher ingress is shared by the batcher
@@ -566,16 +639,65 @@ impl RagServer {
     /// Submits one query for `tenant` through admission control. Rejection
     /// charges this tenant's quota only.
     ///
+    /// The request's deadline budget is the policy default
+    /// ([`DeadlinePolicy::default_deadline`]); use
+    /// [`RagServer::submit_with_deadline`] for a per-request budget.
+    ///
     /// # Errors
     ///
     /// [`AdmissionError::QueueFull`] when this tenant's queue is at
     /// capacity, [`AdmissionError::UnknownTenant`] for an id outside the
-    /// tenant table, [`AdmissionError::ShuttingDown`] after shutdown began.
+    /// tenant table, [`AdmissionError::InvalidQuery`] for a wrong-dimension
+    /// or non-finite query, [`AdmissionError::DeadlineUnmeetable`] when an
+    /// enforced budget cannot survive the estimated queue wait,
+    /// [`AdmissionError::ShuttingDown`] after shutdown began.
     pub fn submit_for(&self, tenant: TenantId, query: Vec<f32>) -> Result<Ticket, AdmissionError> {
+        self.submit_with_deadline(tenant, query, None)
+    }
+
+    /// Submits one query for `tenant` with an explicit end-to-end deadline
+    /// budget (`None` falls back to the policy default). The budget is
+    /// stamped as an absolute deadline on the server's clock and acted on
+    /// by every stage when [`DeadlinePolicy::enforce`] is set; otherwise
+    /// it is only measured (budget burn + deadline attainment).
+    ///
+    /// # Errors
+    ///
+    /// As [`RagServer::submit_for`].
+    pub fn submit_with_deadline(
+        &self,
+        tenant: TenantId,
+        query: Vec<f32>,
+        deadline: Option<std::time::Duration>,
+    ) -> Result<Ticket, AdmissionError> {
         let n_tenants = self.shared.tenants.len();
         if tenant.index() >= n_tenants {
             return Err(AdmissionError::UnknownTenant { tenant, n_tenants });
         }
+        // Malformed queries must never reach a scan: the SIMD kernel
+        // wrappers assert on slice lengths (a wrong dimension would panic
+        // the shard worker) and NaN poisons the top-k total order.
+        let expected_dim = self.shared.index.dim();
+        if query.len() != expected_dim {
+            return Err(AdmissionError::InvalidQuery {
+                expected_dim,
+                got_dim: query.len(),
+                non_finite: false,
+            });
+        }
+        if query.iter().any(|x| !x.is_finite()) {
+            return Err(AdmissionError::InvalidQuery {
+                expected_dim,
+                got_dim: query.len(),
+                non_finite: true,
+            });
+        }
+        let now = self.shared.clock.now();
+        let budget = deadline
+            .map(|d| d.as_secs_f64())
+            .or(self.shared.deadline.default_deadline);
+        let abs_deadline = budget.map(|b| now + vlite_sim::SimDuration::from_secs_f64(b.max(0.0)));
+        self.shared.shed_if_unmeetable(tenant, budget, now)?;
         // relaxed: a fresh-id counter — uniqueness needs atomicity only,
         // no ordering with any other memory.
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
@@ -586,13 +708,19 @@ impl RagServer {
             id,
             tenant,
             query,
-            enqueued: self.shared.clock.now(),
+            enqueued: now,
+            deadline: abs_deadline,
             reply,
         };
         match self.shared.queue.try_push(job) {
             Ok(()) => {
                 self.shared.obs.on_admit();
-                Ok(Ticket { id, tenant, rx })
+                Ok(Ticket {
+                    id,
+                    tenant,
+                    deadline: abs_deadline,
+                    rx,
+                })
             }
             Err((_, true)) => Err(AdmissionError::ShuttingDown),
             // Capacity comes from the immutable tenant table, not the
@@ -691,6 +819,36 @@ impl RagServer {
     pub fn worker_panics(&self) -> u64 {
         // relaxed: monotonic stat counter read for reporting only.
         self.shared.worker_panics.load(Ordering::Relaxed)
+    }
+
+    /// The deadline-budget policy the server runs under.
+    pub fn deadline_policy(&self) -> &DeadlinePolicy {
+        &self.shared.deadline
+    }
+
+    /// Backoff hint in whole seconds for a rejected submission by
+    /// `tenant`: the estimated time for that tenant's lane to drain at the
+    /// recent drain rate, clamped to `[1, 60]` (never the useless
+    /// `Retry-After: 0`).
+    pub fn retry_after_hint(&self, tenant: TenantId) -> u64 {
+        if tenant.index() >= self.shared.tenants.len() {
+            return 1;
+        }
+        self.shared.queue.retry_after_secs(tenant)
+    }
+
+    /// Records a panicked frontend connection thread: counted into
+    /// [`RagServer::worker_panics`] and journaled, so a dying connection
+    /// handler is never silent.
+    pub(crate) fn record_connection_panic(&self) {
+        // relaxed: stat counter bump; visibility ordering is irrelevant
+        // for a monotonic reporting counter.
+        self.shared.worker_panics.fetch_add(1, Ordering::Relaxed);
+        self.shared.obs.journal(
+            self.shared.clock.now().as_nanos(),
+            "panic",
+            "http connection thread panicked".to_string(),
+        );
     }
 
     /// The full Prometheus text exposition served by `GET /v1/metrics`:
@@ -906,18 +1064,69 @@ fn batcher(
     while let Some(jobs) = shared.queue.take_batch(max_batch) {
         let (router, generation) = shared.placement_snapshot();
         let started = shared.clock.now();
+        shared.queue.record_drain(jobs.len(), started);
+        // Rung 2 of the degradation ladder: a job whose deadline passed
+        // while it queued is dropped here instead of burning a batch slot
+        // on a response nobody will accept (its waiter sees the reply
+        // channel disconnect and answers 504).
+        let jobs: Vec<Job> = if shared.deadline.enforce {
+            jobs.into_iter()
+                .filter_map(|job| match job.deadline {
+                    Some(deadline) if started >= deadline => {
+                        shed_expired(shared, &job, started);
+                        None
+                    }
+                    _ => Some(job),
+                })
+                .collect()
+        } else {
+            jobs
+        };
+        if jobs.is_empty() {
+            // The whole drain expired: nothing was launched, so there is
+            // no batch-done signal to wait for.
+            continue;
+        }
+        let mut degraded = 0u64;
+        let mut cold_skips = 0u64;
         let routed: Vec<RoutedQuery> = jobs
             .iter()
             .map(|job| {
+                // Rungs 3 and 4: scale the probe list to the remaining
+                // budget (the probe list is closeness-ordered, so a
+                // truncated query scans a prefix-quality subset), and keep
+                // only fast-tier probes when the remainder cannot absorb a
+                // cold-tier scan.
+                let (nprobe, fast_only) = probe_budget(shared, job, started);
                 let probes: Vec<u32> = shared
                     .index
-                    .probe(&job.query, shared.nprobe)
+                    .probe(&job.query, nprobe)
                     .iter()
                     .map(|p| p.list)
                     .collect();
-                router.route(&probes)
+                let mut routed = router.route(&probes);
+                if nprobe < shared.nprobe {
+                    degraded += 1;
+                    shared.obs.on_degraded_probes(
+                        started.as_nanos(),
+                        job.id,
+                        nprobe,
+                        shared.nprobe,
+                    );
+                }
+                if fast_only && !routed.cpu_probes.is_empty() {
+                    routed.cpu_probes.clear();
+                    cold_skips += 1;
+                    shared.obs.on_cold_skip();
+                }
+                routed
             })
             .collect();
+        if degraded + cold_skips > 0 {
+            let mut metrics = crate::sync::lock_recover(&shared.metrics);
+            metrics.degraded_probes += degraded;
+            metrics.cold_skips += cold_skips;
+        }
         let batch = Arc::new(BatchWork {
             jobs,
             routed,
@@ -945,6 +1154,61 @@ fn batcher(
             return;
         }
     }
+}
+
+/// Sheds one queue-expired job at batch formation: full accounting
+/// (deadline-shed counter, queue-stage budget burn, journal), then the job
+/// is dropped — its reply sender goes with it, so the ticket's waiter sees
+/// a disconnect instead of hanging.
+fn shed_expired(shared: &Shared, job: &Job, now: SimTime) {
+    let queue = (now - job.enqueued).as_secs_f64();
+    let burn = job.budget_secs().map_or(0.0, |b| queue / b.max(1e-12));
+    {
+        let mut metrics = crate::sync::lock_recover(&shared.metrics);
+        metrics.deadline_sheds[crate::obs::DEADLINE_STAGE_QUEUE] += 1;
+        metrics.burn_queue.record(burn);
+    }
+    shared
+        .obs
+        .on_deadline_shed(crate::obs::DEADLINE_STAGE_QUEUE);
+    shared
+        .obs
+        .on_budget_burn(crate::obs::BURN_STAGE_QUEUE, burn);
+    shared.obs.journal(
+        now.as_nanos(),
+        "deadline-shed",
+        format!(
+            "request {} ({}) expired in queue: {:.1} ms queued of a {:.1} ms budget",
+            job.id,
+            job.tenant,
+            queue * 1e3,
+            job.budget_secs().unwrap_or(0.0) * 1e3
+        ),
+    );
+}
+
+/// Budget-scaled probe selection for one job at batch formation. Returns
+/// the probe count to use and whether the query should keep only its
+/// fast-tier probes. Unbudgeted jobs (or a measure-only policy) always
+/// probe the full list.
+fn probe_budget(shared: &Shared, job: &Job, now: SimTime) -> (usize, bool) {
+    let policy = &shared.deadline;
+    if !policy.enforce {
+        return (shared.nprobe, false);
+    }
+    let Some(deadline) = job.deadline else {
+        return (shared.nprobe, false);
+    };
+    // Expired jobs were shed before routing, so `deadline > now` here.
+    let remaining = deadline.duration_since(now).as_secs_f64();
+    let nprobe = if remaining < policy.est_search {
+        let frac = (remaining / policy.est_search).max(policy.min_probe_fraction);
+        ((shared.nprobe as f64 * frac).ceil() as usize).clamp(1, shared.nprobe)
+    } else {
+        shared.nprobe
+    };
+    let fast_only = remaining < policy.est_search + policy.est_cold;
+    (nprobe, fast_only)
 }
 
 /// Shard ("GPU") worker: scan the batch's pruned probe lists for this
@@ -1243,6 +1507,7 @@ fn complete_query(
             hit_rate,
             generation: batch.generation,
             enqueued: job.enqueued,
+            deadline: job.deadline,
             queue,
             search,
             merged_at: now,
@@ -1267,6 +1532,16 @@ fn complete_query(
         metrics.slo.observe(timings.search);
         metrics.hit_sum += hit_rate;
         metrics.completed += 1;
+        if let Some(budget) = job.budget_secs() {
+            let budget = budget.max(1e-12);
+            metrics.burn_queue.record(timings.queue / budget);
+            metrics.burn_search.record(timings.search / budget);
+            if now <= job.deadline.expect("budget implies deadline") {
+                metrics.deadline_met += 1;
+            } else {
+                metrics.deadline_missed += 1;
+            }
+        }
         let tenant = &mut metrics.tenants[job.tenant.index()];
         tenant.queue_lat.record(timings.queue);
         tenant.search_lat.record(timings.search);
@@ -1274,6 +1549,16 @@ fn complete_query(
         tenant.slo.observe(timings.search);
         tenant.hit_sum += hit_rate;
         tenant.completed += 1;
+    }
+
+    if let Some(budget) = job.budget_secs() {
+        let budget = budget.max(1e-12);
+        shared
+            .obs
+            .on_budget_burn(crate::obs::BURN_STAGE_QUEUE, timings.queue / budget);
+        shared
+            .obs
+            .on_budget_burn(crate::obs::BURN_STAGE_SEARCH, timings.search / budget);
     }
 
     shared.obs.on_request(

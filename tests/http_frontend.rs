@@ -318,6 +318,70 @@ fn routing_errors_are_distinguishable() {
 }
 
 #[test]
+fn malformed_query_vectors_are_refused_at_admission_not_downstream() {
+    // Regression: a wrong-dimension or non-finite query used to sail
+    // through `submit_for` and panic a shard worker (the SIMD wrappers
+    // assert on slice lengths, NaN poisons the top-k order). Admission
+    // must refuse it, and over the socket that is a 400 — not a hung
+    // connection over a dead worker.
+    let (frontend, addr, corpus) = tiny_frontend(1 << 20);
+    let mut client = HttpClient::connect(addr).expect("connects");
+
+    // Wrong dimension: 3 components against an 8-d index.
+    let wrong_dim = client
+        .post_json("/v1/search", &[], &search_body(&[1.0, 2.0, 3.0]))
+        .expect("wrong-dim exchange");
+    assert_eq!(wrong_dim.status, 400);
+    let message = wrong_dim
+        .json()
+        .expect("JSON error body")
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap_or_default()
+        .to_string();
+    assert!(
+        message.contains("dimensions"),
+        "the 400 must say why: {message}"
+    );
+
+    // NaN cannot transit JSON, so the wire layer already 400s it.
+    let nan_body = client
+        .post_json("/v1/search", &[], "{\"query\":[NaN,0,0,0,0,0,0,0]}")
+        .expect("NaN exchange");
+    assert_eq!(nan_body.status, 400);
+
+    // In process (the path loadgen and embedders use), a non-finite
+    // component is an admission error with the non-finite flag set.
+    let server = frontend.server();
+    let err = server
+        .submit(vec![f32::NAN, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0])
+        .expect_err("NaN query must be refused");
+    assert_eq!(
+        err,
+        vectorlite_rag::serve::AdmissionError::InvalidQuery {
+            expected_dim: 8,
+            got_dim: 8,
+            non_finite: true,
+        }
+    );
+
+    // The worker pool survived all of it: the same connection still
+    // serves a healthy query, and no worker panicked.
+    let ok = client
+        .post_json("/v1/search", &[], &search_body(corpus.vectors.get(0)))
+        .expect("healthy exchange");
+    assert_eq!(ok.status, 200);
+    let health = client.get("/healthz").expect("healthz").json().unwrap();
+    assert_eq!(
+        health.get("worker_panics").and_then(Json::as_u64),
+        Some(0),
+        "malformed queries must never reach (and kill) a worker"
+    );
+
+    frontend.shutdown();
+}
+
+#[test]
 fn dropping_the_frontend_quiesces_and_releases_the_port() {
     let (frontend, addr, _) = tiny_frontend(1 << 20);
     assert_eq!(

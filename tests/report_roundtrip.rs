@@ -111,6 +111,15 @@ fn co_scheduled_report() -> ServeReport {
         }),
         generation: 1,
         worker_panics: 0,
+        deadline_sheds: [2, 5, 3],
+        degraded_probes: 11,
+        cold_skips: 4,
+        deadline_met: 900,
+        deadline_missed: 100,
+        deadline_attainment: Some(0.9),
+        burn_queue: summary(0.1),
+        burn_search: summary(0.4),
+        burn_gen: summary(0.3),
     }
 }
 
@@ -240,6 +249,27 @@ fn json_round_trips_exactly_including_ttft_fields() {
     assert_eq!(num(&repartitions[0], "triggered_by"), 1.0);
     assert_eq!(num(&json, "gen_sheds"), 7.0);
 
+    // The deadline-budget section round-trips: per-stage sheds,
+    // degradation counters, attainment, and burn summaries.
+    let sheds = json.get("deadline_sheds").expect("deadline_sheds object");
+    assert_eq!(num(sheds, "admission"), 2.0);
+    assert_eq!(num(sheds, "queue"), 5.0);
+    assert_eq!(num(sheds, "generation"), 3.0);
+    assert_eq!(num(&json, "degraded_probes"), 11.0);
+    assert_eq!(num(&json, "cold_skips"), 4.0);
+    assert_eq!(num(&json, "deadline_met"), 900.0);
+    assert_eq!(num(&json, "deadline_missed"), 100.0);
+    assert_eq!(num(&json, "deadline_attainment"), 0.9);
+    for (key, s) in [
+        ("burn_queue", &report.burn_queue),
+        ("burn_search", &report.burn_search),
+        ("burn_gen", &report.burn_gen),
+    ] {
+        let obj = json.get(key).unwrap();
+        assert_eq!(num(obj, "p99"), s.p99, "{key}.p99");
+        assert_eq!(num(obj, "mean"), s.mean, "{key}.mean");
+    }
+
     // The tiered-store section round-trips, including its migrations.
     let store = json.get("store").expect("store object");
     let s = report.store.as_ref().unwrap();
@@ -291,4 +321,28 @@ fn retrieval_only_json_encodes_slo_ttft_as_null() {
     let text = report.to_json().render();
     let json = Json::parse(&text).unwrap();
     assert_eq!(json.get("slo_ttft"), Some(&Json::Null));
+}
+
+#[test]
+fn unbudgeted_json_encodes_deadline_attainment_as_null() {
+    let mut report = co_scheduled_report();
+    report.deadline_attainment = None;
+    let text = report.to_json().render();
+    let json = Json::parse(&text).unwrap();
+    assert_eq!(json.get("deadline_attainment"), Some(&Json::Null));
+}
+
+#[test]
+fn render_surfaces_the_deadline_section_only_when_budgeted() {
+    let report = co_scheduled_report();
+    let text = report.render();
+    assert!(text.contains("deadlines: 90.0% met (900 met / 100 missed)"));
+    assert!(text.contains("sheds adm/queue/gen 2/5/3"));
+    assert!(text.contains("degraded probes 11"));
+    assert!(text.contains("budget burn p99"));
+
+    let mut unbudgeted = co_scheduled_report();
+    unbudgeted.deadline_attainment = None;
+    unbudgeted.deadline_sheds = [0, 0, 0];
+    assert!(!unbudgeted.render().contains("deadlines:"));
 }
