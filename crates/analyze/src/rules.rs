@@ -133,6 +133,11 @@ pub fn rules() -> &'static [Rule] {
                     "the CPUID-gated std::arch SIMD kernels; every intrinsic block argues \
                      alignment/length/feature-gate in its SAFETY comment",
                 ),
+                (
+                    "crates/metrics/src/cputime.rs",
+                    "the profiler's audited unsafe surface: raw clock_gettime/gettid syscalls \
+                     behind a safe facade, mirroring the mmap shim",
+                ),
             ],
             patterns: &[word(&["unsafe"])],
             check: Check::UnsafeAudit { window: 8 },

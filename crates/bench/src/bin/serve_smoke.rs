@@ -32,6 +32,11 @@
 //! asserts that the SIMD rows' p99 never exceeds the scalar rows' and
 //! that blocked SIMD beats the scalar query-at-a-time baseline.
 //!
+//! With `--trace` it runs the causal-tracing overhead A/B: the identical
+//! workload with the trace plane (span trees, stage timers, burn-rate
+//! watchdog) off vs on (`results/serve_trace.csv`), printing the trace-on
+//! run's wall-vs-CPU scan-stage profile alongside the latency comparison.
+//!
 //! With `--deadlines` it floods the server with requests whose uniform
 //! per-request budget cannot absorb the queueing the flood creates, and
 //! runs the identical workload twice: measure-only (budgets recorded,
@@ -46,7 +51,8 @@
 //! the baseline file (`metric,rate,budget_s` rows, `#` comments allowed;
 //! metrics: `search_p99` for retrieval-only rates, `ttft_p99` for
 //! co-scheduled ones, `obs_overhead` for a fully-instrumented
-//! telemetry-plane-on run, `tiers_all_hot_p99` / `tiers_paper_p99` /
+//! telemetry-plane-on run, `trace_overhead` for a span-recording
+//! trace-plane-on run, `tiers_all_hot_p99` / `tiers_paper_p99` /
 //! `tiers_all_cold_p99` for the tier sweep, `kernel_scalar_p99` /
 //! `kernel_simd_p99` for the dispatch A/B, `deadline_goodput` for the
 //! deadline flood — the one *inverted* row, where the budget column is a
@@ -118,6 +124,89 @@ fn run_rate_obs(
     // overload this converges to the service capacity instead of echoing
     // the offered rate.
     (outcome.achieved_rate(), report)
+}
+
+/// The same open-loop point with the trace plane toggled explicitly: the
+/// trace-overhead comparison runs it both ways on the same workload. The
+/// obs plane stays in its default (enabled) state either way, so the A/B
+/// isolates the *tracing* cost — span trees, stage timers, watchdog.
+fn run_rate_trace(
+    corpus: &SyntheticCorpus,
+    rate: f64,
+    n_requests: usize,
+    trace_enabled: bool,
+) -> (f64, ServeReport) {
+    let mut config = ServeConfig::small();
+    config.real = real_config();
+    config.queue_capacity = 512;
+    config.trace.enabled = trace_enabled;
+    let server = RagServer::start(corpus, config).expect("server starts");
+    let mut source = RotatingQuerySource::from_corpus(corpus, 11);
+    let outcome = run_open_loop(&server, &mut source, rate, n_requests, 17, |_, _| {});
+    let report = server.shutdown();
+    (outcome.achieved_rate(), report)
+}
+
+/// The causal-tracing overhead A/B: the identical workload with the trace
+/// plane off, then on. Writes `results/serve_trace.csv` and prints the
+/// trace-on run's scan-stage wall-vs-CPU profile (the `trace_overhead`
+/// gate row pins the trace-on p99 in CI).
+fn trace_sweep() {
+    banner(
+        "serve-smoke --trace",
+        "causal-tracing overhead: trace plane off vs on at 500 req/s",
+    );
+    let corpus = corpus();
+    let mut table = Table::new(vec![
+        "tracing",
+        "achieved (req/s)",
+        "search p50",
+        "search p99",
+        "SLO attainment",
+    ]);
+    let mut p99 = [0.0f64; 2];
+    for (i, (label, enabled)) in [("off", false), ("on", true)].into_iter().enumerate() {
+        let (achieved, report) = run_rate_trace(&corpus, 500.0, 1_000, enabled);
+        p99[i] = report.search.p99;
+        if enabled {
+            let scan = report
+                .profile
+                .iter()
+                .find(|s| s.stage == "shard_scan")
+                .expect("trace-on run profiles the scan stage");
+            assert!(
+                scan.sections > 0,
+                "trace-on run must record scan stage sections"
+            );
+            println!(
+                "scan stage (trace on): wall {}  cpu {}  stall {}  over {} sections",
+                fmt_seconds(scan.wall_s),
+                fmt_seconds(scan.cpu_s),
+                fmt_seconds(scan.stall_s),
+                scan.sections
+            );
+        } else {
+            assert!(
+                report.profile.is_empty(),
+                "trace-off run must not carry a profile"
+            );
+        }
+        table.row(vec![
+            label.to_string(),
+            format!("{achieved:.0}"),
+            fmt_seconds(report.search.p50),
+            fmt_seconds(report.search.p99),
+            format!("{:.1}%", 100.0 * report.slo_attainment),
+        ]);
+    }
+    println!("{}", table.render());
+    write_csv("serve_trace.csv", &table.to_csv());
+    println!(
+        "trace-on p99 {} vs trace-off {}: span recording is a ring write plus",
+        fmt_seconds(p99[1]),
+        fmt_seconds(p99[0])
+    );
+    println!("two thread-CPU clock reads per stage section, off the reply path.");
 }
 
 /// The pinned "paper placement" coverage used across this bench.
@@ -218,9 +307,14 @@ fn main() {
         deadlines_sweep();
         return;
     }
+    if args.iter().any(|a| a == "--trace") {
+        assert!(args.len() == 1, "unknown arguments: {args:?}");
+        trace_sweep();
+        return;
+    }
     assert!(
         args.is_empty(),
-        "unknown arguments: {args:?} (try --gate, --ttft, --tiers, --kernels or --deadlines)"
+        "unknown arguments: {args:?} (try --gate, --ttft, --tiers, --kernels, --deadlines or --trace)"
     );
     sweep();
 }
@@ -616,6 +710,22 @@ fn gate(baseline_path: &str) {
                 );
                 (report.search.p99, report.slo_attainment)
             }
+            "trace_overhead" => {
+                // Tracing in its default (enabled) state: the budget
+                // bounds the p99 of a run where every request records a
+                // span tree, every batch a shared batch span, and the
+                // stage timers wrap each pipeline hop — a span-path lock
+                // or allocation regression trips this row.
+                let (_, report) = run_rate_trace(&corpus, row.rate, 600, true);
+                assert!(
+                    report
+                        .profile
+                        .iter()
+                        .any(|s| s.stage == "shard_scan" && s.sections > 0),
+                    "trace-overhead gate run must record scan stage sections"
+                );
+                (report.search.p99, report.slo_attainment)
+            }
             "tiers_all_hot_p99" | "tiers_paper_p99" | "tiers_all_cold_p99" => {
                 let coverage = match row.metric.as_str() {
                     "tiers_all_hot_p99" => 1.0,
@@ -669,8 +779,9 @@ fn gate(baseline_path: &str) {
             }
             other => panic!(
                 "unknown baseline metric {other:?} \
-                 (search_p99 | ttft_p99 | obs_overhead | tiers_all_hot_p99 | tiers_paper_p99 \
-                 | tiers_all_cold_p99 | kernel_scalar_p99 | kernel_simd_p99 | deadline_goodput)"
+                 (search_p99 | ttft_p99 | obs_overhead | trace_overhead | tiers_all_hot_p99 \
+                 | tiers_paper_p99 | tiers_all_cold_p99 | kernel_scalar_p99 | kernel_simd_p99 \
+                 | deadline_goodput)"
             ),
         };
         // Goodput gates invert: higher is better, the budget is a floor.

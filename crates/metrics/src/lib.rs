@@ -12,6 +12,11 @@
 //! - [`obs`] — lock-free always-on instruments (sharded [`obs::Counter`]s,
 //!   [`obs::Gauge`]s, log-bucketed [`obs::StreamingHistogram`]s) for
 //!   hot-path telemetry that must never take a global lock.
+//! - [`spans`] — span-tree primitives for causal request tracing: the
+//!   bounded [`spans::SpanStore`] and the [`spans::tree_violations`]
+//!   well-formedness checker.
+//! - [`cputime`] — per-thread CPU-time clocks (raw `clock_gettime(2)` on
+//!   Linux, graceful zero elsewhere) backing the per-stage profiler.
 //!
 //! # Examples
 //!
@@ -26,13 +31,18 @@
 //! assert!(rec.percentile(0.5) >= 0.002 && rec.percentile(0.5) <= 0.004);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` (not `forbid`) so `cputime` can open its audited raw-syscall
+// shim with a module-local `#[allow(unsafe_code)]`, mirroring the mmap
+// shim in `vlite-store`; every other module stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cputime;
 pub mod obs;
 mod recorder;
 mod series;
 mod slo;
+pub mod spans;
 mod summary;
 mod table;
 

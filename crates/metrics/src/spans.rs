@@ -1,0 +1,318 @@
+//! Span-tree primitives for causal request tracing.
+//!
+//! A *trace* is identified by a 128-bit id and holds a list of spans; each
+//! span names a stage of work with `[start_s, end_s]` boundaries, an
+//! optional parent span (forming a tree), and zero or more *links* to other
+//! trace ids that causally interacted with it — the batch a request rode
+//! in, the requests a migration stalled. The store is bounded: once more
+//! than `capacity` distinct traces are held, whole oldest traces are
+//! evicted (a trace is only useful complete — evicting individual spans
+//! would leave dangling parents).
+//!
+//! The recording side lives in `vlite-serve`; this module owns the data
+//! model, the bounded store, and the well-formedness checker that the
+//! property tests drive.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// One recorded span of work inside a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// The 128-bit trace this span belongs to.
+    pub trace_id: u128,
+    /// Id unique within the process (not just the trace).
+    pub span_id: u64,
+    /// Parent span id within the same trace; `None` for a root span.
+    pub parent_id: Option<u64>,
+    /// Stage name, e.g. `request`, `queue`, `batch`, `scan:shard0`.
+    pub name: String,
+    /// Start boundary in seconds since the serving epoch.
+    pub start_s: f64,
+    /// End boundary in seconds since the serving epoch (`>= start_s`).
+    pub end_s: f64,
+    /// Trace ids causally linked to this span (co-batched requests, the
+    /// batch a migration stalled, ...).
+    pub links: Vec<u128>,
+}
+
+struct Inner {
+    traces: HashMap<u128, Vec<SpanRecord>>,
+    /// Trace ids in first-recorded order; the eviction queue.
+    order: VecDeque<u128>,
+}
+
+/// Bounded, thread-safe store of span trees keyed by trace id.
+pub struct SpanStore {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    evicted: AtomicU64,
+}
+
+/// Local poisoned-lock recovery: span recording must keep working after an
+/// unrelated panic, and the data is append-mostly so a poisoned snapshot is
+/// still internally consistent.
+fn lock_recover<'a>(mutex: &'a Mutex<Inner>) -> MutexGuard<'a, Inner> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl SpanStore {
+    /// A store holding at most `capacity` distinct traces. Capacity `0`
+    /// drops every span (counting each dropped trace as an eviction).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                traces: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            capacity,
+            evicted: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one span, evicting the oldest whole trace if `span` starts a
+    /// new trace beyond capacity.
+    pub fn record(&self, span: SpanRecord) {
+        if self.capacity == 0 {
+            // relaxed: a monotonically increasing diagnostics-only counter;
+            // no other memory depends on its ordering.
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let mut inner = lock_recover(&self.inner);
+        if !inner.traces.contains_key(&span.trace_id) {
+            while inner.order.len() >= self.capacity {
+                if let Some(oldest) = inner.order.pop_front() {
+                    inner.traces.remove(&oldest);
+                    // relaxed: same diagnostics-only counter as above.
+                    self.evicted.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            inner.order.push_back(span.trace_id);
+        }
+        inner.traces.entry(span.trace_id).or_default().push(span);
+    }
+
+    /// All spans recorded for `trace_id`, in recording order.
+    pub fn get(&self, trace_id: u128) -> Option<Vec<SpanRecord>> {
+        lock_recover(&self.inner).traces.get(&trace_id).cloned()
+    }
+
+    /// Number of distinct traces currently held.
+    pub fn len(&self) -> usize {
+        lock_recover(&self.inner).order.len()
+    }
+
+    /// Whether no traces are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total whole traces evicted (or dropped at capacity 0) so far.
+    pub fn evicted(&self) -> u64 {
+        // relaxed: reading a diagnostics-only counter.
+        self.evicted.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for SpanStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanStore")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .field("evicted", &self.evicted())
+            .finish()
+    }
+}
+
+/// Renders a trace id as the 32-digit lowercase hex W3C form.
+pub fn format_trace_id(id: u128) -> String {
+    format!("{id:032x}")
+}
+
+/// Parses a 32-digit hex trace id (the W3C `trace-id` field).
+pub fn parse_trace_id(s: &str) -> Option<u128> {
+    if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    u128::from_str_radix(s, 16).ok()
+}
+
+/// Tolerance when comparing span boundaries: recorded times are f64
+/// seconds derived from integer nanoseconds, so equal instants compare
+/// equal, but allow for one ulp of drift from unit conversion.
+const NEST_EPS: f64 = 1e-9;
+
+/// Checks that `spans` form a well-formed tree for one trace and returns a
+/// human-readable description of every violation found (empty = valid).
+///
+/// Checked invariants:
+/// - every span's `end_s >= start_s`;
+/// - span ids are unique within the trace;
+/// - every `parent_id` refers to a span in the list;
+/// - every child's interval nests within its parent's interval;
+/// - parent links are acyclic (a root is reachable from every span).
+pub fn tree_violations(spans: &[SpanRecord]) -> Vec<String> {
+    let mut violations = Vec::new();
+    let mut by_id: HashMap<u64, &SpanRecord> = HashMap::new();
+    for span in spans {
+        if span.end_s < span.start_s {
+            violations.push(format!(
+                "span {} `{}` ends before it starts ({} < {})",
+                span.span_id, span.name, span.end_s, span.start_s
+            ));
+        }
+        if by_id.insert(span.span_id, span).is_some() {
+            violations.push(format!("duplicate span id {}", span.span_id));
+        }
+    }
+    for span in spans {
+        let Some(parent_id) = span.parent_id else {
+            continue;
+        };
+        let Some(parent) = by_id.get(&parent_id) else {
+            violations.push(format!(
+                "span {} `{}` references missing parent {}",
+                span.span_id, span.name, parent_id
+            ));
+            continue;
+        };
+        if span.start_s + NEST_EPS < parent.start_s || span.end_s > parent.end_s + NEST_EPS {
+            violations.push(format!(
+                "span {} `{}` [{}, {}] escapes parent {} `{}` [{}, {}]",
+                span.span_id,
+                span.name,
+                span.start_s,
+                span.end_s,
+                parent.span_id,
+                parent.name,
+                parent.start_s,
+                parent.end_s
+            ));
+        }
+    }
+    // Cycle check: walk each span's parent chain; a well-formed chain
+    // terminates at a root within len(spans) hops.
+    for span in spans {
+        let mut hops = 0usize;
+        let mut cursor = span;
+        while let Some(parent_id) = cursor.parent_id {
+            let Some(parent) = by_id.get(&parent_id) else {
+                break; // already reported as a missing parent
+            };
+            cursor = parent;
+            hops += 1;
+            if hops > spans.len() {
+                violations.push(format!(
+                    "span {} `{}` sits on a parent cycle",
+                    span.span_id, span.name
+                ));
+                break;
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(trace: u128, id: u64, parent: Option<u64>, start: f64, end: f64) -> SpanRecord {
+        SpanRecord {
+            trace_id: trace,
+            span_id: id,
+            parent_id: parent,
+            name: format!("s{id}"),
+            start_s: start,
+            end_s: end,
+            links: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn store_keeps_whole_traces_and_evicts_oldest() {
+        let store = SpanStore::new(2);
+        store.record(span(1, 10, None, 0.0, 1.0));
+        store.record(span(1, 11, Some(10), 0.2, 0.8));
+        store.record(span(2, 20, None, 0.0, 1.0));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.evicted(), 0);
+
+        store.record(span(3, 30, None, 0.0, 1.0));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.evicted(), 1);
+        assert!(store.get(1).is_none(), "oldest trace evicted whole");
+        assert_eq!(store.get(2).expect("trace 2 kept").len(), 1);
+        assert_eq!(store.get(3).expect("trace 3 kept").len(), 1);
+
+        // Appending to a *held* trace never evicts.
+        store.record(span(2, 21, Some(20), 0.1, 0.9));
+        assert_eq!(store.evicted(), 1);
+        assert_eq!(store.get(2).expect("trace 2 kept").len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let store = SpanStore::new(0);
+        store.record(span(1, 1, None, 0.0, 1.0));
+        assert!(store.is_empty());
+        assert_eq!(store.evicted(), 1);
+        assert!(store.get(1).is_none());
+    }
+
+    #[test]
+    fn trace_id_hex_round_trips() {
+        let id = 0x0102_0304_0506_0708_090a_0b0c_0d0e_0f10u128;
+        let hex = format_trace_id(id);
+        assert_eq!(hex, "0102030405060708090a0b0c0d0e0f10");
+        assert_eq!(parse_trace_id(&hex), Some(id));
+        assert_eq!(parse_trace_id("0102"), None, "short ids rejected");
+        assert_eq!(
+            parse_trace_id("zz02030405060708090a0b0c0d0e0f10"),
+            None,
+            "non-hex rejected"
+        );
+    }
+
+    #[test]
+    fn well_formed_tree_has_no_violations() {
+        let spans = vec![
+            span(1, 1, None, 0.0, 10.0),
+            span(1, 2, Some(1), 0.0, 4.0),
+            span(1, 3, Some(1), 4.0, 10.0),
+            span(1, 4, Some(3), 4.0, 6.0),
+        ];
+        assert!(tree_violations(&spans).is_empty());
+    }
+
+    #[test]
+    fn violations_are_detected() {
+        let inverted = vec![span(1, 1, None, 5.0, 1.0)];
+        assert_eq!(tree_violations(&inverted).len(), 1);
+
+        let dangling = vec![span(1, 1, Some(99), 0.0, 1.0)];
+        assert!(tree_violations(&dangling)
+            .iter()
+            .any(|v| v.contains("missing parent")));
+
+        let escaping = vec![span(1, 1, None, 2.0, 3.0), span(1, 2, Some(1), 0.0, 5.0)];
+        assert!(tree_violations(&escaping)
+            .iter()
+            .any(|v| v.contains("escapes parent")));
+
+        let mut duplicate = vec![span(1, 7, None, 0.0, 1.0)];
+        duplicate.push(span(1, 7, None, 0.0, 1.0));
+        assert!(tree_violations(&duplicate)
+            .iter()
+            .any(|v| v.contains("duplicate span id")));
+
+        let cyclic = vec![span(1, 1, Some(2), 0.0, 1.0), span(1, 2, Some(1), 0.0, 1.0)];
+        assert!(tree_violations(&cyclic)
+            .iter()
+            .any(|v| v.contains("parent cycle")));
+    }
+}

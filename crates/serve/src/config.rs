@@ -290,6 +290,80 @@ impl StoreConfig {
     }
 }
 
+/// Causal-tracing, profiling and alerting knobs
+/// ([`TracePlane`](crate::trace::TracePlane)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceConfig {
+    /// Master switch. When `false` no spans are recorded, no profiler
+    /// thread is spawned and the watchdog never fires; the trace/profile/
+    /// alerts endpoints answer with empty bodies.
+    pub enabled: bool,
+    /// Distinct traces retained before whole oldest traces are evicted.
+    pub trace_capacity: usize,
+    /// Sampling-profiler period in seconds (real clocks only; virtual-
+    /// clock runs sample explicitly via
+    /// [`TracePlane::sample_now`](crate::trace::TracePlane::sample_now)).
+    pub sample_interval_s: f64,
+    /// Attainment target the burn-rate watchdog holds every SLO signal
+    /// (search / TTFT / deadline) to, e.g. `0.95` = 5% error budget.
+    pub slo_target: f64,
+    /// Fast burn-rate window in seconds (catches sharp regressions).
+    pub fast_window_s: f64,
+    /// Slow burn-rate window in seconds (confirms sustained burn).
+    pub slow_window_s: f64,
+    /// Burn rate (budget consumption multiple) at which a signal enters
+    /// `warn` — both windows must exceed it.
+    pub warn_burn: f64,
+    /// Burn rate at which a signal enters `critical`.
+    pub critical_burn: f64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            trace_capacity: 512,
+            sample_interval_s: 0.050,
+            slo_target: 0.95,
+            fast_window_s: 60.0,
+            slow_window_s: 600.0,
+            warn_burn: 2.0,
+            critical_burn: 10.0,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// Panics unless the config is servable: positive finite windows and
+    /// interval, a target in `(0, 1)`, and ordered burn thresholds.
+    pub(crate) fn validate(&self) {
+        assert!(
+            self.sample_interval_s.is_finite() && self.sample_interval_s > 0.0,
+            "sample_interval_s must be positive and finite"
+        );
+        assert!(
+            self.slo_target > 0.0 && self.slo_target < 1.0,
+            "slo_target must be in (0, 1)"
+        );
+        assert!(
+            self.fast_window_s.is_finite() && self.fast_window_s > 0.0,
+            "fast_window_s must be positive and finite"
+        );
+        assert!(
+            self.slow_window_s >= self.fast_window_s,
+            "slow_window_s must be >= fast_window_s"
+        );
+        assert!(
+            self.warn_burn.is_finite() && self.warn_burn > 0.0,
+            "warn_burn must be positive and finite"
+        );
+        assert!(
+            self.critical_burn >= self.warn_burn,
+            "critical_burn must be >= warn_burn"
+        );
+    }
+}
+
 /// One tenant (SLO class) of the serving runtime.
 ///
 /// Tenants are identified by their index in [`ServeConfig::tenants`]
@@ -371,6 +445,11 @@ pub struct ServeConfig {
     /// metrics, trace rings, and the unified event journal behind
     /// `GET /v1/metrics`, `/v1/traces` and `/v1/events`.
     pub obs: crate::obs::ObsConfig,
+    /// Causal-tracing configuration (on by default): span trees behind
+    /// `GET /v1/trace/{id}`, the per-stage sampling profiler behind
+    /// `GET /v1/profile`, and the SLO burn-rate watchdog behind
+    /// `GET /v1/alerts`.
+    pub trace: TraceConfig,
 }
 
 impl ServeConfig {
@@ -387,6 +466,7 @@ impl ServeConfig {
             store: StoreConfig::default(),
             deadline: DeadlinePolicy::default(),
             obs: crate::obs::ObsConfig::default(),
+            trace: TraceConfig::default(),
         }
     }
 

@@ -386,6 +386,10 @@ mod tests {
             generation: None,
             slo_signal: crate::config::SloSignal::Search,
             deadline,
+            trace: Arc::new(crate::trace::TracePlane::new(
+                &crate::config::TraceConfig::default(),
+                7,
+            )),
         });
         let mut config = ServeConfig::small().control;
         config.update = UpdateConfig {
@@ -483,6 +487,7 @@ mod tests {
                     query: vec![0.0; 8],
                     enqueued: vlite_sim::SimTime::ZERO,
                     deadline: None,
+                    trace: crate::trace::TraceId(u128::from(id) + 1),
                     reply,
                 })
                 .expect("admitted");
@@ -552,6 +557,7 @@ mod tests {
                     query: vec![0.0; 8],
                     enqueued: vlite_sim::SimTime::ZERO,
                     deadline: None,
+                    trace: crate::trace::TraceId(u128::from(id) + 1),
                     reply,
                 })
                 .expect("within lane capacity");

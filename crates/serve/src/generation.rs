@@ -26,8 +26,12 @@ use vlite_sim::{SimDuration, SimTime};
 
 use crate::config::GenerationConfig;
 use crate::control::Observation;
+use crate::obs::Severity;
 use crate::request::{GenerationTimings, RequestTimings, SearchResponse};
 use crate::server::Shared;
+use crate::trace::{
+    GenSpans, RequestSpanTimes, TraceId, SIG_DEADLINE, SIG_SEARCH, SIG_TTFT, STAGE_GENERATION,
+};
 
 /// One request entering the generation stage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -338,6 +342,11 @@ pub(crate) struct GenWork {
     pub enqueued: SimTime,
     /// Absolute end-to-end deadline, when the request carries a budget.
     pub deadline: Option<SimTime>,
+    /// The request's trace id for causal span recording.
+    pub trace: TraceId,
+    /// The trace id of the batch span the request's search rode, when
+    /// tracing is enabled.
+    pub batch_trace: Option<u128>,
     /// Queue/search phases measured by the dispatcher, in seconds.
     pub queue: f64,
     pub search: f64,
@@ -383,6 +392,7 @@ pub(crate) fn generation_worker(
     rx: &Receiver<GenWork>,
     control_tx: &Sender<Observation>,
 ) {
+    shared.trace.register_worker(STAGE_GENERATION);
     let mut stage = GenerationStage::new(config);
     let mut pending: HashMap<u64, PendingGen> = HashMap::new();
     let mut closed = false;
@@ -409,6 +419,7 @@ pub(crate) fn generation_worker(
             }
         }
         let now = shared.clock.now();
+        let timer = shared.trace.stage_start(STAGE_GENERATION, now);
         if let Some(step) = stage.advance(now) {
             // The engine is busy until the iteration ends: wait it out on
             // the wall clock (or advance virtual time) before acting on
@@ -436,6 +447,7 @@ pub(crate) fn generation_worker(
                 }
             }
         }
+        shared.trace.stage_end(timer, shared.clock.now());
     }
     assert!(
         pending.is_empty(),
@@ -570,12 +582,38 @@ fn shed(shared: &Shared, control_tx: &Sender<Observation>, mut work: GenWork, ca
     };
     shared.obs.journal(
         work.merged_at.as_nanos(),
+        Severity::Warn,
         kind,
         format!(
             "request {} ({}) shed by {why} after {:.4}s of retrieval",
             work.id, work.tenant, timings.e2e
         ),
     );
+    let end_s = work.merged_at.as_nanos() as f64 / 1e9;
+    shared.trace.record_request(
+        work.trace,
+        work.batch_trace,
+        RequestSpanTimes {
+            enqueued_s: work.enqueued.as_nanos() as f64 / 1e9,
+            search_start_s: end_s - timings.search,
+            search_end_s: end_s,
+            end_s,
+        },
+        None,
+        Some(match cause {
+            ShedCause::Kv => "kv-admission",
+            ShedCause::Deadline => "gen-deadline",
+        }),
+    );
+    shared.watch_slo(
+        SIG_SEARCH,
+        timings.search <= shared.slo_search,
+        work.merged_at,
+    );
+    shared.watch_slo(SIG_TTFT, false, work.merged_at);
+    if let Some(deadline) = work.deadline {
+        shared.watch_slo(SIG_DEADLINE, work.merged_at <= deadline, work.merged_at);
+    }
     // TTFT-keyed control observations treat a shed as the SLO miss it is.
     if let Some(probes) = work.probes.take() {
         let _ = control_tx.send(Observation {
@@ -592,6 +630,7 @@ fn shed(shared: &Shared, control_tx: &Sender<Observation>, mut work: GenWork, ca
         timings,
         hit_rate: work.hit_rate,
         generation: work.generation,
+        trace: work.trace,
     });
 }
 
@@ -674,6 +713,29 @@ fn finish(shared: &Shared, entry: PendingGen, at: SimTime) {
         false,
     );
 
+    let search_end_s = (work.enqueued.as_nanos() as f64 / 1e9) + timings.queue + timings.search;
+    shared.trace.record_request(
+        work.trace,
+        work.batch_trace,
+        RequestSpanTimes {
+            enqueued_s: work.enqueued.as_nanos() as f64 / 1e9,
+            search_start_s: search_end_s - timings.search,
+            search_end_s,
+            end_s: at.as_nanos() as f64 / 1e9,
+        },
+        Some(GenSpans {
+            queue_s: gen.gen_queue,
+            prefill_s: gen.prefill,
+            decode_s: gen.decode,
+        }),
+        None,
+    );
+    shared.watch_slo(SIG_SEARCH, timings.search <= shared.slo_search, at);
+    shared.watch_slo(SIG_TTFT, ttft_met.unwrap_or(true), at);
+    if let Some(deadline) = work.deadline {
+        shared.watch_slo(SIG_DEADLINE, at <= deadline, at);
+    }
+
     // The ticket may have been dropped (fire-and-forget submission).
     let _ = work.reply.send(SearchResponse {
         id: work.id,
@@ -682,5 +744,6 @@ fn finish(shared: &Shared, entry: PendingGen, at: SimTime) {
         timings,
         hit_rate: work.hit_rate,
         generation: work.generation,
+        trace: work.trace,
     });
 }

@@ -3,13 +3,16 @@
 //!
 //! | Endpoint | Maps to |
 //! |---|---|
-//! | `POST /v1/search` (+ `X-Tenant`) | [`RagServer::submit_for`], blocks on the [`Ticket`](crate::Ticket), streams the merged result back |
+//! | `POST /v1/search` (+ `X-Tenant`, `traceparent`) | [`RagServer::submit_with_trace`], blocks on the [`Ticket`](crate::Ticket), streams the merged result back with a `traceparent` response header |
 //! | `GET /v1/report` | [`RagServer::report`] as JSON |
 //! | `GET /v1/metrics` | [`RagServer::prometheus_text`] + frontend uptime, as Prometheus text exposition |
 //! | `GET /v1/traces` | the recent + slow request-trace rings as JSON |
-//! | `GET /v1/events` | the unified event journal as JSON |
+//! | `GET /v1/trace/{id}` | one trace's causal span tree (`?format=chrome` for a `chrome://tracing` export) |
+//! | `GET /v1/profile` | per-stage wall vs CPU profile + collapsed sampler stacks |
+//! | `GET /v1/alerts` | SLO burn-rate watchdog states per signal |
+//! | `GET /v1/events` | the unified event journal as JSON (`?severity=` to filter) |
 //! | `GET /v1/tenants` | the tenant table |
-//! | `GET /healthz` | liveness + queue depth + placement generation + completed count |
+//! | `GET /healthz` | liveness + version + queue depth + placement generation + completed count |
 //!
 //! Connections are persistent (HTTP/1.1 keep-alive, pipelining included);
 //! each runs on its own thread with a short read timeout so it can observe
@@ -32,9 +35,11 @@ use crate::config::HttpConfig;
 use crate::http::json::Json;
 use crate::http::parser::{self, ParseError, RequestHead};
 use crate::http::wire;
+use crate::obs::Severity;
 use crate::report::ServeReport;
 use crate::request::{AdmissionError, TenantId, Ticket};
 use crate::server::RagServer;
+use crate::trace::{format_traceparent, parse_traceparent, STAGE_ACCEPTOR};
 
 /// How often a blocked connection read re-checks the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
@@ -162,6 +167,7 @@ impl Drop for HttpFrontend {
 }
 
 fn acceptor(listener: &TcpListener, inner: &Arc<FrontendInner>) {
+    inner.server.trace_plane().register_worker(STAGE_ACCEPTOR);
     loop {
         match listener.accept() {
             Ok((stream, _)) => {
@@ -387,17 +393,75 @@ fn route(inner: &FrontendInner, head: &RequestHead<'_>, body: &[u8]) -> Reply {
             content_type: PROM_CT,
         },
         ("GET", "/v1/traces") => Reply::json(OK, inner.server.obs().traces_json().render()),
-        ("GET", "/v1/events") => Reply::json(OK, inner.server.obs().events_json().render()),
+        ("GET", "/v1/events") => events(inner, head),
+        ("GET", "/v1/profile") => {
+            Reply::json(OK, inner.server.trace_plane().profile_json().render())
+        }
+        ("GET", "/v1/alerts") => {
+            let now = inner.server.clock().now();
+            Reply::json(OK, inner.server.trace_plane().alerts_json(now).render())
+        }
         ("GET", "/v1/tenants") => {
             Reply::json(OK, wire::tenants_to_json(inner.server.tenants()).render())
         }
+        ("GET", path) if path.starts_with("/v1/trace/") => trace_lookup(inner, head, path),
         ("POST", "/v1/search") => search(inner, head, body),
         (
             _,
-            "/healthz" | "/v1/report" | "/v1/metrics" | "/v1/traces" | "/v1/events" | "/v1/tenants",
+            "/healthz" | "/v1/report" | "/v1/metrics" | "/v1/traces" | "/v1/events" | "/v1/tenants"
+            | "/v1/profile" | "/v1/alerts",
         ) => method_not_allowed("GET"),
+        (_, path) if path.starts_with("/v1/trace/") => method_not_allowed("GET"),
         (_, "/v1/search") => method_not_allowed("POST"),
         _ => Reply::json((404, "Not Found"), wire::error_body("no such endpoint")),
+    }
+}
+
+/// The value of one `?key=value` query parameter on the request target.
+fn query_param<'a>(head: &RequestHead<'a>, key: &str) -> Option<&'a str> {
+    let (_, query) = head.target.split_once('?')?;
+    query
+        .split('&')
+        .filter_map(|pair| pair.split_once('='))
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| v)
+}
+
+/// `GET /v1/events[?severity=info|warn|critical]`.
+fn events(inner: &FrontendInner, head: &RequestHead<'_>) -> Reply {
+    let severity = match query_param(head, "severity") {
+        None => None,
+        Some(raw) => match Severity::parse(raw) {
+            Some(level) => Some(level),
+            None => return bad_request("severity must be info, warn, or critical"),
+        },
+    };
+    Reply::json(
+        OK,
+        inner.server.obs().events_json_filtered(severity).render(),
+    )
+}
+
+/// `GET /v1/trace/{id}`: the causal span tree for one 32-hex trace id,
+/// either as the span-tree document or (with `?format=chrome`) as a Chrome
+/// `trace_event` array loadable in `chrome://tracing` / Perfetto.
+fn trace_lookup(inner: &FrontendInner, head: &RequestHead<'_>, path: &str) -> Reply {
+    let raw = &path["/v1/trace/".len()..];
+    let Some(id) = vlite_metrics::spans::parse_trace_id(raw) else {
+        return bad_request("trace id must be 32 hex digits");
+    };
+    let trace = inner.server.trace_plane();
+    let doc = match query_param(head, "format") {
+        None | Some("tree") => trace.trace_json(id),
+        Some("chrome") => trace.chrome_json(id),
+        Some(other) => return bad_request(&format!("unknown trace format: {other}")),
+    };
+    match doc {
+        Some(json) => Reply::json(OK, json.render()),
+        None => Reply::json(
+            (404, "Not Found"),
+            wire::error_body("no such trace (unknown id, or evicted from the ring)"),
+        ),
     }
 }
 
@@ -426,6 +490,10 @@ fn metrics_text(inner: &FrontendInner) -> String {
 fn healthz(inner: &FrontendInner) -> Json {
     Json::Obj(vec![
         ("status".into(), Json::Str("ok".into())),
+        (
+            "version".into(),
+            Json::Str(env!("CARGO_PKG_VERSION").into()),
+        ),
         ("uptime_s".into(), Json::Num(inner.uptime_seconds())),
         (
             "generation".into(),
@@ -484,7 +552,13 @@ fn search(inner: &FrontendInner, head: &RequestHead<'_>, body: &[u8]) -> Reply {
         Ok(query) => query,
         Err(err) => return bad_request(&err.to_string()),
     };
-    match inner.server.submit_with_deadline(tenant, query, deadline) {
+    // W3C trace context: a malformed `traceparent` is treated as absent
+    // (restart the trace) rather than rejected.
+    let trace = head.header("traceparent").and_then(parse_traceparent);
+    match inner
+        .server
+        .submit_with_trace(tenant, query, deadline, trace)
+    {
         Ok(ticket) => {
             let waited_from = inner.server.clock().now();
             wait_for_ticket(inner, ticket, waited_from)
@@ -528,7 +602,12 @@ fn wait_for_ticket(inner: &FrontendInner, ticket: Ticket, waited_from: SimTime) 
     loop {
         match ticket.wait_timeout(POLL_INTERVAL) {
             Ok(Some(response)) => {
-                return Reply::json(OK, wire::search_response_to_json(&response).render());
+                let mut reply = Reply::json(OK, wire::search_response_to_json(&response).render());
+                reply.headers.push((
+                    "traceparent".into(),
+                    format_traceparent(response.trace, response.id),
+                ));
+                return reply;
             }
             Ok(None) => {
                 // The reply channel disconnected without a response: either
@@ -643,6 +722,7 @@ mod tests {
                 id: 0,
                 tenant: TenantId(0),
                 deadline,
+                trace: crate::trace::TraceId(7),
                 rx,
             },
             tx,

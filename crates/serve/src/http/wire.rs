@@ -10,6 +10,7 @@ use vlite_ann::Neighbor;
 use crate::config::TenantSpec;
 use crate::http::json::Json;
 use crate::request::{GenerationTimings, RequestTimings, SearchResponse, TenantId};
+use crate::trace::TraceId;
 
 /// A field-level decode failure (maps to `400 Bad Request`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,6 +93,7 @@ pub fn search_response_to_json(response: &SearchResponse) -> Json {
         ("tenant".into(), Json::Num(f64::from(response.tenant.0))),
         ("generation".into(), Json::Num(response.generation as f64)),
         ("hit_rate".into(), Json::Num(response.hit_rate)),
+        ("trace_id".into(), Json::Str(response.trace.to_string())),
         (
             "timings".into(),
             Json::Obj(vec![
@@ -160,6 +162,14 @@ pub fn search_response_from_json(value: &Json) -> Result<SearchResponse, WireErr
         },
         hit_rate: num(value, "hit_rate")?,
         generation: int(value, "generation")?,
+        // Absent on old encodings; the zero id marks "no trace".
+        trace: TraceId(
+            value
+                .get("trace_id")
+                .and_then(Json::as_str)
+                .and_then(vlite_metrics::spans::parse_trace_id)
+                .unwrap_or(0),
+        ),
     })
 }
 
@@ -234,6 +244,7 @@ mod tests {
             },
             hit_rate: 0.625,
             generation: 2,
+            trace: TraceId(0xdead_beef_0000_0000_0000_0000_0000_0001),
         };
         let text = search_response_to_json(&original).render();
         let back = search_response_from_json(&Json::parse(&text).unwrap()).unwrap();
@@ -243,6 +254,19 @@ mod tests {
         assert_eq!(back.timings, original.timings);
         assert_eq!(back.hit_rate, original.hit_rate);
         assert_eq!(back.generation, original.generation);
+        assert_eq!(back.trace, original.trace);
+    }
+
+    #[test]
+    fn search_response_without_trace_id_still_decodes() {
+        let value = Json::parse(
+            r#"{"id":1,"tenant":0,"generation":0,"hit_rate":1.0,
+                "timings":{"queue":0.0,"search":0.0,"e2e":0.0,"generation":null},
+                "neighbors":[]}"#,
+        )
+        .unwrap();
+        let back = search_response_from_json(&value).unwrap();
+        assert_eq!(back.trace, TraceId(0));
     }
 
     #[test]

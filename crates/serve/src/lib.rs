@@ -113,19 +113,21 @@ mod report;
 mod request;
 mod server;
 mod sync;
+pub mod trace;
 
 pub use clock::{Clock, RealClock, VirtualClock};
 pub use config::{
     ControlConfig, DeadlinePolicy, GenerationConfig, HttpConfig, ServeConfig, SloSignal,
-    StoreConfig, TenantSpec,
+    StoreConfig, TenantSpec, TraceConfig,
 };
 pub use control::RepartitionEvent;
 pub use dispatch::{hybrid_search_batch, run_dispatcher, DispatchOutcome};
 pub use http::HttpFrontend;
 pub use migrate::MigrationEvent;
-pub use obs::{BoundedRing, ObsConfig, ObsEvent, ObsPlane, RequestTrace, TraceSpan};
+pub use obs::{BoundedRing, ObsConfig, ObsEvent, ObsPlane, RequestTrace, Severity, TraceSpan};
 pub use report::{ServeReport, StoreReport, TenantReport};
 pub use request::{
     AdmissionError, GenerationTimings, RequestTimings, SearchResponse, TenantId, Ticket,
 };
 pub use server::RagServer;
+pub use trace::{AlertLevel, AlertState, AlertTransition, StageProfile, TraceId, TracePlane};

@@ -25,6 +25,7 @@ use crossbeam::channel::Receiver;
 
 use crate::request::TenantId;
 use crate::server::Shared;
+use crate::trace::STAGE_MIGRATE;
 
 /// One tier-migration request from the control loop to the migrator.
 #[derive(Debug)]
@@ -67,6 +68,7 @@ pub struct MigrationEvent {
 /// The migrator thread: applies tier shifts as repartitions install new
 /// placements. Exits when the control loop drops its order sender.
 pub(crate) fn migrator_worker(shared: &Arc<Shared>, rx: &Receiver<MigrationOrder>) {
+    shared.trace.register_worker(STAGE_MIGRATE);
     let Some(store) = shared.store.as_ref() else {
         // No tiered store: drain orders (none should arrive) until close.
         while rx.recv().is_ok() {}
@@ -74,9 +76,17 @@ pub(crate) fn migrator_worker(shared: &Arc<Shared>, rx: &Receiver<MigrationOrder
     };
     while let Ok(order) = rx.recv() {
         let started = shared.clock.now();
+        let timer = shared.trace.stage_start(STAGE_MIGRATE, started);
         let batches_before = crate::sync::lock_recover(&shared.metrics).batches;
         let shift = store.apply_placement(&order.hot);
         let batches_after = crate::sync::lock_recover(&shared.metrics).batches;
+        let finished = shared.clock.now();
+        shared.trace.stage_end(timer, finished);
+        // The migration span lives in its own trace, linked both ways to
+        // whatever batch was in flight while the tiers moved.
+        shared
+            .trace
+            .record_migration("migration", started, finished);
         let event = MigrationEvent {
             placement_generation: order.placement_generation,
             store_generation: shift.generation,

@@ -261,13 +261,56 @@ impl RequestTrace {
     }
 }
 
+/// How serious a journal event is. Routine bookkeeping (repartitions,
+/// migrations) is `Info`; degradations and sheds are `Warn`; conditions
+/// that demand an operator (worker panics, critical SLO burn) are
+/// `Critical`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Routine bookkeeping.
+    Info,
+    /// Degraded service: sheds, SLO breaches, deadline drops.
+    Warn,
+    /// Operator-demanding: panics, critical burn rates.
+    Critical,
+}
+
+impl Severity {
+    /// Lowercase name as rendered in `/v1/events`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Critical => "critical",
+        }
+    }
+
+    /// Parses the lowercase name (the `?severity=` query value).
+    pub fn parse(s: &str) -> Option<Severity> {
+        match s {
+            "info" => Some(Severity::Info),
+            "warn" => Some(Severity::Warn),
+            "critical" => Some(Severity::Critical),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// One discrete runtime event in the unified journal.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ObsEvent {
     /// When the event happened, nanoseconds on the server's clock.
     pub at_ns: u64,
+    /// How serious the event is.
+    pub severity: Severity,
     /// Event kind (`repartition`, `migration`, `shed`, `deadline-shed`,
-    /// `degrade`, `panic`, `slo_breach`).
+    /// `degrade`, `panic`, `slo_breach`, `slo_burn`).
     pub kind: &'static str,
     /// Human-readable detail line.
     pub detail: String,
@@ -278,6 +321,7 @@ impl ObsEvent {
     pub fn to_json(&self) -> Json {
         Json::Obj(vec![
             ("at_ns".into(), Json::Num(self.at_ns as f64)),
+            ("severity".into(), Json::Str(self.severity.as_str().into())),
             ("kind".into(), Json::Str(self.kind.into())),
             ("detail".into(), Json::Str(self.detail.clone())),
         ])
@@ -457,6 +501,7 @@ impl ObsPlane {
             self.degraded_probes.inc();
             self.journal(
                 at_ns,
+                Severity::Warn,
                 "degrade",
                 format!("request {id} probes shrunk {full} -> {kept} to fit its budget"),
             );
@@ -513,6 +558,7 @@ impl ObsPlane {
             self.search_slo_breaches.inc();
             self.journal(
                 finished_ns,
+                Severity::Warn,
                 "slo_breach",
                 format!(
                     "request {id} ({tenant}) search stage took {:.4}s",
@@ -525,6 +571,7 @@ impl ObsPlane {
             if let Some(gen) = &timings.generation {
                 self.journal(
                     finished_ns,
+                    Severity::Warn,
                     "slo_breach",
                     format!("request {id} ({tenant}) TTFT was {:.4}s", gen.ttft),
                 );
@@ -541,10 +588,11 @@ impl ObsPlane {
     }
 
     /// Appends one event to the unified journal.
-    pub fn journal(&self, at_ns: u64, kind: &'static str, detail: String) {
+    pub fn journal(&self, at_ns: u64, severity: Severity, kind: &'static str, detail: String) {
         if self.enabled {
             self.journal.push(ObsEvent {
                 at_ns,
+                severity,
                 kind,
                 detail,
             });
@@ -585,16 +633,24 @@ impl ObsPlane {
 
     /// The journal as the `/v1/events` JSON body.
     pub fn events_json(&self) -> Json {
+        self.events_json_filtered(None)
+    }
+
+    /// [`ObsPlane::events_json`] restricted to one severity when
+    /// `severity` is `Some` (the `?severity=` query parameter).
+    pub fn events_json_filtered(&self, severity: Option<Severity>) -> Json {
+        let events: Vec<Json> = self
+            .journal
+            .snapshot()
+            .iter()
+            .filter(|e| severity.is_none_or(|s| e.severity == s))
+            .map(ObsEvent::to_json)
+            .collect();
         Json::Obj(vec![
+            ("events".into(), Json::Arr(events)),
             (
-                "events".into(),
-                Json::Arr(
-                    self.journal
-                        .snapshot()
-                        .iter()
-                        .map(ObsEvent::to_json)
-                        .collect(),
-                ),
+                "severity".into(),
+                severity.map_or(Json::Null, |s| Json::Str(s.as_str().into())),
             ),
             ("evicted".into(), Json::Num(self.journal.evicted() as f64)),
         ])
@@ -749,6 +805,21 @@ pub(crate) fn prom_gauge(out: &mut String, name: &str, help: &str, value: f64) {
     ));
 }
 
+/// Escapes a label value per the Prometheus text-format spec: backslash,
+/// double-quote and newline must be escaped inside `label="..."`.
+pub(crate) fn prom_label_escape(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -850,7 +921,7 @@ mod tests {
         plane.on_admit();
         plane.on_batch(4);
         plane.on_request(0, TenantId(0), 0, &timings(9.0), false, None, true);
-        plane.journal(0, "shed", "x".into());
+        plane.journal(0, Severity::Warn, "shed", "x".into());
         assert_eq!(plane.admitted.get(), 0);
         assert_eq!(plane.completed.get(), 0);
         assert!(plane.recent.is_empty() && plane.slow.is_empty());
@@ -918,6 +989,28 @@ mod tests {
         assert_eq!(plane.degraded_probes.get(), 0);
         assert_eq!(plane.cold_skips.get(), 0);
         assert_eq!(plane.burn_hist[BURN_STAGE_GENERATION].count(), 0);
+    }
+
+    #[test]
+    fn journal_severity_renders_and_filters() {
+        let plane = ObsPlane::new(&ObsConfig::default());
+        plane.journal(1, Severity::Info, "repartition", "routine".into());
+        plane.journal(2, Severity::Warn, "shed", "degraded".into());
+        plane.journal(3, Severity::Critical, "panic", "bad".into());
+        let all = plane.events_json().render();
+        assert!(all.contains("\"severity\":\"info\""));
+        assert!(all.contains("\"severity\":\"critical\""));
+        let warn_only = plane.events_json_filtered(Some(Severity::Warn)).render();
+        assert!(warn_only.contains("degraded"));
+        assert!(!warn_only.contains("routine") && !warn_only.contains("bad"));
+        assert_eq!(Severity::parse("critical"), Some(Severity::Critical));
+        assert_eq!(Severity::parse("nope"), None);
+    }
+
+    #[test]
+    fn label_values_escape_per_spec() {
+        assert_eq!(prom_label_escape("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+        assert_eq!(prom_label_escape("plain-1.2.3"), "plain-1.2.3");
     }
 
     #[test]

@@ -305,6 +305,7 @@ mod tests {
             query: vec![0.0],
             enqueued: SimTime::ZERO,
             deadline: None,
+            trace: crate::trace::TraceId(1),
             reply,
         }
     }

@@ -13,6 +13,7 @@ use crate::migrate::MigrationEvent;
 use crate::queue::QueueStats;
 use crate::request::TenantId;
 use crate::server::ServeMetrics;
+use crate::trace::StageProfile;
 
 /// One tenant's slice of a serving run.
 #[derive(Debug, Clone)]
@@ -209,6 +210,9 @@ pub struct ServeReport {
     pub burn_search: Summary,
     /// Budget-burn ratio (generation seconds / budget seconds).
     pub burn_gen: Summary,
+    /// Per-stage wall vs CPU profile from the trace plane's stage timers
+    /// and sampling profiler (empty when tracing is disabled).
+    pub profile: Vec<StageProfile>,
 }
 
 impl ServeReport {
@@ -223,6 +227,7 @@ impl ServeReport {
         slo_ttft: Option<f64>,
         generation: u64,
         worker_panics: u64,
+        profile: Vec<StageProfile>,
     ) -> ServeReport {
         let mut queue_lat = metrics.queue_lat.clone();
         let mut search_lat = metrics.search_lat.clone();
@@ -304,6 +309,7 @@ impl ServeReport {
             burn_queue: metrics.burn_queue.clone().summary(),
             burn_search: metrics.burn_search.clone().summary(),
             burn_gen: metrics.burn_gen.clone().summary(),
+            profile,
         }
     }
 
@@ -379,6 +385,31 @@ impl ServeReport {
             ]);
         }
         out.push_str(&latencies.render());
+
+        let active_stages: Vec<&StageProfile> = self
+            .profile
+            .iter()
+            .filter(|p| p.sections > 0 || p.samples > 0)
+            .collect();
+        if !active_stages.is_empty() {
+            let mut prof = Table::new(vec![
+                "stage", "wall", "cpu", "stall", "sections", "sampled", "samples",
+            ]);
+            for p in active_stages {
+                prof.row(vec![
+                    p.stage.to_string(),
+                    fmt_seconds(p.wall_s),
+                    fmt_seconds(p.cpu_s),
+                    fmt_seconds(p.stall_s),
+                    p.sections.to_string(),
+                    fmt_seconds(p.sampled_cpu_s),
+                    p.samples.to_string(),
+                ]);
+            }
+            out.push('\n');
+            out.push_str("per-stage profile (wall vs CPU inside instrumented sections):\n");
+            out.push_str(&prof.render());
+        }
 
         if self.tenants.len() > 1 {
             out.push('\n');
@@ -748,6 +779,25 @@ impl ServeReport {
             ("burn_queue".into(), summary_json(&self.burn_queue)),
             ("burn_search".into(), summary_json(&self.burn_search)),
             ("burn_gen".into(), summary_json(&self.burn_gen)),
+            (
+                "profile".into(),
+                Json::Arr(
+                    self.profile
+                        .iter()
+                        .map(|p| {
+                            Json::Obj(vec![
+                                ("stage".into(), Json::Str(p.stage.into())),
+                                ("wall_s".into(), Json::Num(p.wall_s)),
+                                ("cpu_s".into(), Json::Num(p.cpu_s)),
+                                ("stall_s".into(), Json::Num(p.stall_s)),
+                                ("sections".into(), Json::Num(p.sections as f64)),
+                                ("sampled_cpu_s".into(), Json::Num(p.sampled_cpu_s)),
+                                ("samples".into(), Json::Num(p.samples as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         ])
     }
 

@@ -7,6 +7,8 @@ use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use vlite_ann::Neighbor;
 use vlite_sim::SimTime;
 
+use crate::trace::TraceId;
+
 /// Identifies one tenant (SLO class) of the serving runtime.
 ///
 /// The id is an index into [`ServeConfig::tenants`](crate::ServeConfig):
@@ -168,6 +170,9 @@ pub struct SearchResponse {
     /// Placement generation that served the request (increments on every
     /// online repartition).
     pub generation: u64,
+    /// The request's 128-bit trace id (caller-supplied `traceparent` or
+    /// derived deterministically at admission).
+    pub trace: TraceId,
 }
 
 /// A handle to one in-flight request.
@@ -176,6 +181,7 @@ pub struct Ticket {
     pub(crate) id: u64,
     pub(crate) tenant: TenantId,
     pub(crate) deadline: Option<SimTime>,
+    pub(crate) trace: TraceId,
     pub(crate) rx: Receiver<SearchResponse>,
 }
 
@@ -195,6 +201,12 @@ impl Ticket {
     /// per-request deadline or the policy default stamped at admission).
     pub fn deadline(&self) -> Option<SimTime> {
         self.deadline
+    }
+
+    /// The request's 128-bit trace id: the caller's `traceparent` when one
+    /// was supplied, otherwise derived deterministically at admission.
+    pub fn trace_id(&self) -> TraceId {
+        self.trace
     }
 
     /// Blocks until the request completes. Returns `None` only if the
@@ -225,6 +237,8 @@ pub(crate) struct Job {
     /// Absolute end-to-end deadline, when the request carries a budget.
     /// `None` = unbudgeted: never shed or degraded on deadline grounds.
     pub deadline: Option<SimTime>,
+    /// The request's trace id for causal span recording.
+    pub trace: TraceId,
     pub reply: Sender<SearchResponse>,
 }
 

@@ -32,10 +32,14 @@ use crate::config::{DeadlinePolicy, GenerationConfig, ServeConfig, SloSignal, Te
 use crate::control::{ControlLoop, Observation, RepartitionEvent};
 use crate::generation::{generation_worker, GenWork};
 use crate::migrate::{migrator_worker, MigrationEvent, MigrationOrder};
-use crate::obs::{prom_counter, prom_gauge, BoundedRing, ObsPlane};
+use crate::obs::{prom_counter, prom_gauge, prom_label_escape, BoundedRing, ObsPlane, Severity};
 use crate::queue::AdmissionQueue;
 use crate::report::{ServeReport, StoreReport};
 use crate::request::{AdmissionError, Job, RequestTimings, SearchResponse, TenantId, Ticket};
+use crate::trace::{
+    AlertLevel, BatchCtx, RequestSpanTimes, TraceId, TracePlane, SIG_DEADLINE, SIG_SEARCH,
+    STAGE_BATCHER, STAGE_CONTROL, STAGE_CPU_SCAN, STAGE_DISPATCH, STAGE_SHARD_SCAN,
+};
 
 /// One batch travelling from the batcher to the workers and dispatcher.
 struct BatchWork {
@@ -44,6 +48,9 @@ struct BatchWork {
     k: usize,
     started: SimTime,
     generation: u64,
+    /// The shared batch span every member's trace links to (`None` when
+    /// tracing is disabled).
+    trace: Option<BatchCtx>,
 }
 
 /// Everything the worker threads see through the dispatcher channel.
@@ -206,6 +213,9 @@ pub(crate) struct Shared {
     /// The always-on telemetry plane (lock-free counters/histograms,
     /// trace rings, event journal).
     pub(crate) obs: Arc<ObsPlane>,
+    /// Causal tracing, per-stage CPU profiling and the SLO burn-rate
+    /// watchdog (cheap no-ops when disabled by config).
+    pub(crate) trace: Arc<TracePlane>,
     /// The tiered storage engine the scan path reads through; `None`
     /// keeps the pre-store behaviour (in-index lists, routing-only
     /// placement) — disabled by config or non-flat list storage.
@@ -257,6 +267,7 @@ impl Shared {
             .on_deadline_shed(crate::obs::DEADLINE_STAGE_ADMISSION);
         self.obs.journal(
             now.as_nanos(),
+            Severity::Warn,
             "deadline-shed",
             format!(
                 "{tenant} submission shed at admission: budget {:.1} ms < \
@@ -265,6 +276,7 @@ impl Shared {
                 wait * 1e3
             ),
         );
+        self.watch_slo(SIG_DEADLINE, false, now);
         Err(AdmissionError::DeadlineUnmeetable {
             tenant,
             budget,
@@ -272,9 +284,41 @@ impl Shared {
         })
     }
 
+    /// Feeds one SLO attainment observation into the burn-rate watchdog,
+    /// journaling any alert-level transition with the matching severity so
+    /// `/v1/events` carries the escalation/recovery timeline.
+    pub(crate) fn watch_slo(&self, signal: usize, ok: bool, now: SimTime) {
+        if let Some(tr) = self.trace.observe_slo(signal, ok, now) {
+            let severity = match tr.to {
+                AlertLevel::Critical => Severity::Critical,
+                AlertLevel::Warn => Severity::Warn,
+                AlertLevel::Ok => Severity::Info,
+            };
+            self.obs.journal(
+                now.as_nanos(),
+                severity,
+                "slo_burn",
+                format!(
+                    "{} burn {} -> {} (fast {:.2}x, slow {:.2}x of error budget)",
+                    tr.signal,
+                    tr.from.as_str(),
+                    tr.to.as_str(),
+                    tr.fast_burn,
+                    tr.slow_burn
+                ),
+            );
+        }
+    }
+
     pub fn record_repartition(&self, event: RepartitionEvent) {
+        let now = self.clock.now();
+        // The hot swap is one pointer store, so the repartition records as
+        // a zero-width span — its value is the links to the batch (and
+        // member requests) it raced with.
+        self.trace.record_migration("repartition", now, now);
         self.obs.journal(
-            self.clock.now().as_nanos(),
+            now.as_nanos(),
+            Severity::Info,
             "repartition",
             format!(
                 "generation {} tripped by {} (coverage {:.3} -> {:.3}, hot overlap {:.2}, \
@@ -294,6 +338,7 @@ impl Shared {
     pub fn record_migration(&self, event: MigrationEvent) {
         self.obs.journal(
             self.clock.now().as_nanos(),
+            Severity::Info,
             "migration",
             format!(
                 "store generation {} for placement {} (promoted {}, demoted {}, \
@@ -443,6 +488,11 @@ impl RagServer {
         // make the drift monitor's divergence trigger fire without drift.
         let expected_mean_hit = empirical_mean_hit(&router, profile.probe_sets());
 
+        // Trace-id derivation is seeded by a constant so a given server
+        // replays the same ids for the same request sequence (deterministic
+        // virtual-clock tests); uniqueness only matters within one server.
+        let trace = Arc::new(TracePlane::new(&config.trace, 0x766c_6974_6531));
+
         let shared = Arc::new(Shared {
             index,
             placement: RwLock::new(PlacementState {
@@ -460,6 +510,7 @@ impl RagServer {
             repartitions: BoundedRing::new(config.obs.repartition_capacity),
             migrations: BoundedRing::new(config.obs.migration_capacity),
             obs: Arc::new(ObsPlane::new(&config.obs)),
+            trace,
             store,
             blocked_scans: !config.store.unblocked,
             nprobe: config.real.nprobe,
@@ -608,11 +659,38 @@ impl RagServer {
                 bytes,
                 migrate_tx,
             );
+            let shared_ = shared.clone();
             threads.push(
                 std::thread::Builder::new()
                     .name("vlite-control".into())
-                    .spawn(move || control.run(control_rx))
+                    .spawn(move || {
+                        shared_.trace.register_worker(STAGE_CONTROL);
+                        control.run(control_rx)
+                    })
                     .expect("spawn control loop"),
+            );
+        }
+
+        // Continuous sampling profiler: reads every registered worker's
+        // CPU clock on a period. Real clocks only — a VirtualClock's
+        // `sleep_until` *advances* scripted time, so a background sampler
+        // would fast-forward deterministic tests; those pump
+        // [`TracePlane::sample_now`] explicitly instead.
+        if shared.trace.enabled() && !shared.clock.is_virtual() {
+            let trace_ = shared.trace.clone();
+            let clock_ = shared.clock.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("vlite-profiler".into())
+                    .spawn(move || {
+                        let interval = trace_.sample_interval();
+                        while !trace_.sampler_stopped() {
+                            trace_.sample_now();
+                            let now = clock_.now();
+                            clock_.sleep_until(now + interval);
+                        }
+                    })
+                    .expect("spawn profiler"),
             );
         }
 
@@ -670,6 +748,24 @@ impl RagServer {
         query: Vec<f32>,
         deadline: Option<std::time::Duration>,
     ) -> Result<Ticket, AdmissionError> {
+        self.submit_with_trace(tenant, query, deadline, None)
+    }
+
+    /// [`RagServer::submit_with_deadline`] plus an explicit trace id: the
+    /// HTTP frontend passes the client's W3C `traceparent` trace id here so
+    /// the request's span tree records under the caller's trace. `None`
+    /// derives a fresh deterministic id at admission.
+    ///
+    /// # Errors
+    ///
+    /// As [`RagServer::submit_for`].
+    pub fn submit_with_trace(
+        &self,
+        tenant: TenantId,
+        query: Vec<f32>,
+        deadline: Option<std::time::Duration>,
+        trace: Option<TraceId>,
+    ) -> Result<Ticket, AdmissionError> {
         let n_tenants = self.shared.tenants.len();
         if tenant.index() >= n_tenants {
             return Err(AdmissionError::UnknownTenant { tenant, n_tenants });
@@ -701,6 +797,7 @@ impl RagServer {
         // relaxed: a fresh-id counter — uniqueness needs atomicity only,
         // no ordering with any other memory.
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let trace = trace.unwrap_or_else(|| self.shared.trace.derive_trace_id(id));
         // vlite-allow(bounded-queues): a per-request reply channel carries
         // exactly one response before it is dropped.
         let (reply, rx) = channel::unbounded();
@@ -710,6 +807,7 @@ impl RagServer {
             query,
             enqueued: now,
             deadline: abs_deadline,
+            trace,
             reply,
         };
         match self.shared.queue.try_push(job) {
@@ -719,6 +817,7 @@ impl RagServer {
                     id,
                     tenant,
                     deadline: abs_deadline,
+                    trace,
                     rx,
                 })
             }
@@ -815,6 +914,20 @@ impl RagServer {
         Arc::clone(&self.shared.obs)
     }
 
+    /// The causal-tracing plane: span trees, per-stage CPU profile rows,
+    /// and the SLO burn-rate watchdog behind `/v1/trace/{id}`,
+    /// `/v1/profile` and `/v1/alerts`.
+    pub fn trace_plane(&self) -> &TracePlane {
+        &self.shared.trace
+    }
+
+    /// A clone of the trace plane's `Arc`, letting callers keep reading
+    /// span trees and profiles after [`RagServer::shutdown`] has consumed
+    /// the server.
+    pub fn trace_handle(&self) -> Arc<TracePlane> {
+        Arc::clone(&self.shared.trace)
+    }
+
     /// Worker scans that panicked and were degraded to empty partials.
     pub fn worker_panics(&self) -> u64 {
         // relaxed: monotonic stat counter read for reporting only.
@@ -846,6 +959,7 @@ impl RagServer {
         self.shared.worker_panics.fetch_add(1, Ordering::Relaxed);
         self.shared.obs.journal(
             self.shared.clock.now().as_nanos(),
+            Severity::Critical,
             "panic",
             "http connection thread panicked".to_string(),
         );
@@ -858,7 +972,25 @@ impl RagServer {
     /// under a short dedicated lock — never the global metrics mutex.
     pub fn prometheus_text(&self) -> String {
         let mut out = String::with_capacity(8 * 1024);
+        out.push_str(&format!(
+            "# HELP vlite_build_info Build metadata of the serving crate (value is always 1)\n\
+             # TYPE vlite_build_info gauge\n\
+             vlite_build_info{{version=\"{}\"}} 1\n",
+            prom_label_escape(env!("CARGO_PKG_VERSION"))
+        ));
         self.shared.obs.prometheus_into(&mut out);
+        prom_gauge(
+            &mut out,
+            "vlite_traces_held",
+            "Distinct span traces currently retained by the trace plane",
+            self.shared.trace.traces_held() as f64,
+        );
+        prom_counter(
+            &mut out,
+            "vlite_trace_evictions_total",
+            "Whole traces evicted from the bounded trace store",
+            self.shared.trace.traces_evicted(),
+        );
         prom_counter(
             &mut out,
             "vlite_worker_panics_total",
@@ -1008,6 +1140,11 @@ impl RagServer {
             self.shared.placement_snapshot().1,
             // relaxed: monotonic stat counter read for reporting only.
             self.shared.worker_panics.load(Ordering::Relaxed),
+            if self.shared.trace.enabled() {
+                self.shared.trace.profile()
+            } else {
+                Vec::new()
+            },
         )
     }
 
@@ -1015,6 +1152,7 @@ impl RagServer {
     /// thread, and returns the final report.
     pub fn shutdown(mut self) -> ServeReport {
         self.shared.queue.close();
+        self.shared.trace.stop_sampler();
         for handle in self.threads.drain(..) {
             handle.join().expect("runtime thread panicked");
         }
@@ -1025,6 +1163,7 @@ impl RagServer {
 impl Drop for RagServer {
     fn drop(&mut self) {
         self.shared.queue.close();
+        self.shared.trace.stop_sampler();
         for handle in self.threads.drain(..) {
             // Avoid double-panicking in unwind paths.
             let _ = handle.join();
@@ -1061,9 +1200,11 @@ fn batcher(
     dispatch_tx: &Sender<DispatchMsg>,
     done_rx: &Receiver<()>,
 ) {
+    shared.trace.register_worker(STAGE_BATCHER);
     while let Some(jobs) = shared.queue.take_batch(max_batch) {
         let (router, generation) = shared.placement_snapshot();
         let started = shared.clock.now();
+        let stage = shared.trace.stage_start(STAGE_BATCHER, started);
         shared.queue.record_drain(jobs.len(), started);
         // Rung 2 of the degradation ladder: a job whose deadline passed
         // while it queued is dropped here instead of burning a batch slot
@@ -1085,6 +1226,7 @@ fn batcher(
         if jobs.is_empty() {
             // The whole drain expired: nothing was launched, so there is
             // no batch-done signal to wait for.
+            shared.trace.stage_end(stage, shared.clock.now());
             continue;
         }
         let mut degraded = 0u64;
@@ -1127,13 +1269,16 @@ fn batcher(
             metrics.degraded_probes += degraded;
             metrics.cold_skips += cold_skips;
         }
+        let members: Vec<TraceId> = jobs.iter().map(|j| j.trace).collect();
         let batch = Arc::new(BatchWork {
             jobs,
             routed,
             k: shared.top_k,
             started,
             generation,
+            trace: shared.trace.begin_batch(&members),
         });
+        shared.trace.stage_end(stage, shared.clock.now());
         if dispatch_tx
             .send(DispatchMsg::Launch(batch.clone()))
             .is_err()
@@ -1176,6 +1321,7 @@ fn shed_expired(shared: &Shared, job: &Job, now: SimTime) {
         .on_budget_burn(crate::obs::BURN_STAGE_QUEUE, burn);
     shared.obs.journal(
         now.as_nanos(),
+        Severity::Warn,
         "deadline-shed",
         format!(
             "request {} ({}) expired in queue: {:.1} ms queued of a {:.1} ms budget",
@@ -1185,6 +1331,20 @@ fn shed_expired(shared: &Shared, job: &Job, now: SimTime) {
             job.budget_secs().unwrap_or(0.0) * 1e3
         ),
     );
+    let end_s = now.as_nanos() as f64 / 1e9;
+    shared.trace.record_request(
+        job.trace,
+        None,
+        RequestSpanTimes {
+            enqueued_s: job.enqueued.as_nanos() as f64 / 1e9,
+            search_start_s: end_s,
+            search_end_s: end_s,
+            end_s,
+        },
+        None,
+        Some("queue-expired"),
+    );
+    shared.watch_slo(SIG_DEADLINE, false, now);
 }
 
 /// Budget-scaled probe selection for one job at batch formation. Returns
@@ -1219,7 +1379,10 @@ fn shard_worker(
     rx: &Receiver<Arc<BatchWork>>,
     dispatch: &Sender<DispatchMsg>,
 ) {
+    shared.trace.register_worker(STAGE_SHARD_SCAN);
     while let Ok(batch) = rx.recv() {
+        let scan_start = shared.clock.now();
+        let stage = shared.trace.stage_start(STAGE_SHARD_SCAN, scan_start);
         // One store snapshot per batch: the whole batch scans a consistent
         // tier map, and a concurrent migration swaps tiers for the *next*
         // batch without stalling this one.
@@ -1230,6 +1393,13 @@ fn shard_worker(
             .map(|qi| batch.routed[qi].shard_probes_global[shard].as_slice())
             .collect();
         let partials = scan_batch_or_queries(shared, snapshot.as_ref(), &batch, &per_query);
+        let scan_end = shared.clock.now();
+        shared.trace.stage_end(stage, scan_end);
+        if let Some(ctx) = &batch.trace {
+            shared
+                .trace
+                .record_scan(ctx, format!("scan:shard{shard}"), scan_start, scan_end);
+        }
         if dispatch
             .send(DispatchMsg::ShardDone { shard, partials })
             .is_err()
@@ -1324,7 +1494,10 @@ fn degraded_scan(
 /// `CpuDone` messages fire as the results are scattered back; unblocked,
 /// it scans query-by-query so early finishers leave the batch sooner.
 fn cpu_worker(shared: &Shared, rx: &Receiver<Arc<BatchWork>>, dispatch: &Sender<DispatchMsg>) {
+    shared.trace.register_worker(STAGE_CPU_SCAN);
     while let Ok(batch) = rx.recv() {
+        let scan_start = shared.clock.now();
+        let stage = shared.trace.stage_start(STAGE_CPU_SCAN, scan_start);
         let snapshot = shared.store.as_ref().map(|store| store.snapshot());
         if shared.blocked_scans && snapshot.is_some() {
             let per_query: Vec<&[u32]> = batch
@@ -1356,6 +1529,13 @@ fn cpu_worker(shared: &Shared, rx: &Receiver<Arc<BatchWork>>, dispatch: &Sender<
                 }
             }
         }
+        let scan_end = shared.clock.now();
+        shared.trace.stage_end(stage, scan_end);
+        if let Some(ctx) = &batch.trace {
+            shared
+                .trace
+                .record_scan(ctx, "scan:cpu".to_string(), scan_start, scan_end);
+        }
     }
 }
 
@@ -1384,8 +1564,10 @@ fn dispatcher(
     control_tx: &Sender<Observation>,
     gen_tx: Option<Sender<GenWork>>,
 ) {
+    shared.trace.register_worker(STAGE_DISPATCH);
     let mut inflight: Option<InFlight> = None;
     while let Ok(msg) = rx.recv() {
+        let stage = shared.trace.stage_start(STAGE_DISPATCH, shared.clock.now());
         match msg {
             DispatchMsg::Launch(batch) => {
                 // Hard assert, not debug_assert: in release a duplicate
@@ -1435,12 +1617,18 @@ fn dispatcher(
                 metrics.max_batch = metrics.max_batch.max(batch_size);
                 drop(metrics);
                 shared.obs.on_batch(batch_size);
+                if let Some(ctx) = &state.batch.trace {
+                    shared
+                        .trace
+                        .end_batch(ctx, state.batch.started, shared.clock.now());
+                }
                 inflight = None;
                 if done_tx.send(()).is_err() {
                     return;
                 }
             }
         }
+        shared.trace.stage_end(stage, shared.clock.now());
     }
 }
 
@@ -1508,6 +1696,8 @@ fn complete_query(
             generation: batch.generation,
             enqueued: job.enqueued,
             deadline: job.deadline,
+            trace: job.trace,
+            batch_trace: batch.trace.as_ref().map(|c| c.trace_id),
             queue,
             search,
             merged_at: now,
@@ -1571,6 +1761,23 @@ fn complete_query(
         false,
     );
 
+    shared.trace.record_request(
+        job.trace,
+        batch.trace.as_ref().map(|c| c.trace_id),
+        RequestSpanTimes {
+            enqueued_s: job.enqueued.as_nanos() as f64 / 1e9,
+            search_start_s: batch.started.as_nanos() as f64 / 1e9,
+            search_end_s: now.as_nanos() as f64 / 1e9,
+            end_s: now.as_nanos() as f64 / 1e9,
+        },
+        None,
+        None,
+    );
+    shared.watch_slo(SIG_SEARCH, met_slo, now);
+    if let Some(deadline) = job.deadline {
+        shared.watch_slo(SIG_DEADLINE, now <= deadline, now);
+    }
+
     let _ = control_tx.send(Observation {
         tenant: job.tenant,
         hit_rate,
@@ -1586,5 +1793,6 @@ fn complete_query(
         timings,
         hit_rate,
         generation: batch.generation,
+        trace: job.trace,
     });
 }

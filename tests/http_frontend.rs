@@ -16,7 +16,7 @@ use vectorlite_rag::ann::Neighbor;
 use vectorlite_rag::serve::http::json::Json;
 use vectorlite_rag::serve::http::{wire, HttpClient, HttpFrontend};
 use vectorlite_rag::serve::{
-    GenerationTimings, RagServer, RequestTimings, SearchResponse, ServeConfig, TenantId,
+    GenerationTimings, RagServer, RequestTimings, SearchResponse, ServeConfig, TenantId, TraceId,
 };
 use vectorlite_rag::workload::{CorpusConfig, SyntheticCorpus};
 
@@ -452,6 +452,7 @@ proptest! {
             timings: RequestTimings { queue, search, e2e, generation: gen_timings },
             hit_rate,
             generation,
+            trace: TraceId(u128::from(id) << 32 | 1),
         };
         let text = wire::search_response_to_json(&original).render();
         let back = wire::search_response_from_json(&Json::parse(&text).unwrap()).unwrap();
@@ -461,6 +462,7 @@ proptest! {
         prop_assert_eq!(back.timings, original.timings);
         prop_assert_eq!(back.hit_rate, original.hit_rate);
         prop_assert_eq!(back.generation, original.generation);
+        prop_assert_eq!(back.trace, original.trace);
     }
 
     /// A timings object missing the `generation` key (an old client's

@@ -7,7 +7,8 @@ use std::time::Duration;
 use vectorlite_rag::metrics::Summary;
 use vectorlite_rag::serve::http::json::Json;
 use vectorlite_rag::serve::{
-    MigrationEvent, RepartitionEvent, ServeReport, StoreReport, TenantId, TenantReport,
+    MigrationEvent, RepartitionEvent, ServeReport, StageProfile, StoreReport, TenantId,
+    TenantReport,
 };
 
 fn summary(seed: f64) -> Summary {
@@ -120,6 +121,15 @@ fn co_scheduled_report() -> ServeReport {
         burn_queue: summary(0.1),
         burn_search: summary(0.4),
         burn_gen: summary(0.3),
+        profile: vec![StageProfile {
+            stage: "shard_scan",
+            wall_s: 1.25,
+            cpu_s: 1.0,
+            stall_s: 0.25,
+            sections: 77,
+            sampled_cpu_s: 0.9,
+            samples: 18,
+        }],
     }
 }
 
@@ -269,6 +279,19 @@ fn json_round_trips_exactly_including_ttft_fields() {
         assert_eq!(num(obj, "p99"), s.p99, "{key}.p99");
         assert_eq!(num(obj, "mean"), s.mean, "{key}.mean");
     }
+
+    // The per-stage profile section round-trips.
+    let profile = json.get("profile").and_then(Json::as_array).unwrap();
+    assert_eq!(profile.len(), 1);
+    assert_eq!(
+        profile[0].get("stage").and_then(Json::as_str),
+        Some("shard_scan")
+    );
+    assert_eq!(num(&profile[0], "wall_s"), 1.25);
+    assert_eq!(num(&profile[0], "cpu_s"), 1.0);
+    assert_eq!(num(&profile[0], "stall_s"), 0.25);
+    assert_eq!(num(&profile[0], "sections"), 77.0);
+    assert_eq!(num(&profile[0], "samples"), 18.0);
 
     // The tiered-store section round-trips, including its migrations.
     let store = json.get("store").expect("store object");
